@@ -1,0 +1,59 @@
+// Shared plumbing for the paper-reproduction benchmark binaries.
+//
+// Every bench prints the rows/series of one table or figure from the paper
+// (see DESIGN.md's experiment index).  Workload sizes scale with LACC_SCALE
+// and the rank sweep with LACC_MAX_RANKS, so the same binaries run in
+// seconds on a laptop or much larger when given hardware.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/parconnect.hpp"
+#include "baselines/union_find.hpp"
+#include "core/lacc_dist.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/csr.hpp"
+#include "graph/testproblems.hpp"
+#include "sim/machine.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+
+namespace lacc::bench {
+
+/// Default problem scale for bench runs (LACC_SCALE, default 0.25: every
+/// figure regenerates in seconds on two cores).
+inline double problem_scale() { return env_double("LACC_SCALE", 0.25); }
+
+/// Virtual-rank sweep: square counts up to LACC_MAX_RANKS (default 64).
+/// The paper's Edison runs use 4 ranks per node, so ranks {4,16,64,256,1024}
+/// correspond to nodes {1,4,16,64,256} — Figure 4's x-axis.
+inline std::vector<int> rank_sweep() {
+  const auto max_ranks = static_cast<int>(env_int("LACC_MAX_RANKS", 64));
+  std::vector<int> sweep;
+  for (int r = 4; r <= max_ranks; r *= 4) sweep.push_back(r);
+  if (sweep.empty()) sweep.push_back(1);
+  return sweep;
+}
+
+/// Banner with reproduction context, printed at the top of every bench.
+inline void print_banner(const std::string& what, const std::string& paper) {
+  std::cout << "=== " << what << " ===\n"
+            << "Reproduces: " << paper << "\n"
+            << "(LACC_SCALE=" << problem_scale()
+            << ", LACC_MAX_RANKS=" << env_int("LACC_MAX_RANKS", 64)
+            << "; modeled times use the alpha-beta-work cost model of the\n"
+            << " named machine — see DESIGN.md for the substitution rationale)\n\n";
+}
+
+/// Verify a distributed result against union-find ground truth; aborts the
+/// bench on mismatch so no figure is ever printed from a wrong run.
+inline void check_against_truth(const graph::EdgeList& el,
+                                const std::vector<VertexId>& parent) {
+  const auto truth = baselines::union_find_cc(el);
+  if (!core::same_partition(parent, truth.parent))
+    throw Error("bench result does not match union-find ground truth");
+}
+
+}  // namespace lacc::bench

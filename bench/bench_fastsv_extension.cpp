@@ -1,0 +1,50 @@
+// Extension bench (beyond the paper): FastSV, the successor algorithm from
+// the same group, against LACC and the distributed Multistep and
+// ParConnect-like baselines on the Figure-4 graphs.  FastSV drops star bookkeeping entirely (one mxv, one
+// grandparent extract, one min-accumulating assign per iteration) but
+// cannot shrink its working set; LACC's converged-component tracking is the
+// counter-trade.
+#include "core/fastsv.hpp"
+
+#include "baselines/multistep_dist.hpp"
+#include "bench_scaling_common.hpp"
+
+using namespace lacc;
+
+int main() {
+  bench::print_banner("Extension — FastSV vs LACC vs Multistep vs ParConnect",
+                      "future-work direction of Azad & Buluc, IPDPS 2019");
+
+  const auto& machine = sim::MachineModel::edison();
+  const int ranks = bench::rank_sweep().back();
+  const auto problems = graph::make_test_problems(bench::problem_scale());
+
+  TextTable t({"graph", "LACC", "FastSV", "Multistep", "ParConnect",
+               "LACC iters", "FastSV iters"});
+  for (const auto& name : graph::figure4_names()) {
+    const auto& p = graph::find_problem(problems, name);
+    const auto lacc = core::lacc_dist(p.graph, ranks, machine);
+    bench::check_against_truth(p.graph, lacc.cc.parent);
+    const auto fsv = core::fastsv_dist(p.graph, ranks, machine);
+    bench::check_against_truth(p.graph, fsv.cc.parent);
+    const auto ms = baselines::multistep_dist(p.graph, ranks, machine);
+    bench::check_against_truth(p.graph, ms.cc.parent);
+    const auto pc = baselines::parconnect_dist(p.graph, ranks, machine);
+    bench::check_against_truth(p.graph, pc.cc.parent);
+    t.add_row({name, fmt_seconds(lacc.modeled_seconds),
+               fmt_seconds(fsv.modeled_seconds),
+               fmt_seconds(ms.modeled_seconds),
+               fmt_seconds(pc.modeled_seconds),
+               std::to_string(lacc.cc.iterations),
+               std::to_string(fsv.cc.iterations)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(Modeled seconds at " << ranks << " ranks = "
+            << fmt_double(machine.nodes_for_ranks(ranks), 0)
+            << " Edison nodes.)\nExpected shape: FastSV's lean loop (one "
+               "mxv + one extract + one\nmin-assign, no star bookkeeping) "
+               "beats LACC per iteration, matching\nthe published FastSV "
+               "results; LACC narrows the gap on many-component\ngraphs "
+               "where its converged-component tracking bites.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 7: percentage of vertices in converged connected components per
+// iteration, for the five graphs with the most components.  A direct
+// algorithmic measurement (no cost model): it shows why LACC's sparse
+// vectors pay off on protein-similarity graphs and why M3 resists
+// (most of its iterations keep <5% of vertices converged in the paper).
+#include "bench_common.hpp"
+
+using namespace lacc;
+
+int main() {
+  bench::print_banner("Figure 7 — % vertices in converged components",
+                      "Azad & Buluc, IPDPS 2019, Figure 7");
+
+  const auto problems = graph::make_test_problems(bench::problem_scale());
+  const auto names = graph::figure7_names();
+
+  std::vector<core::CcResult> results;
+  int max_iters = 0;
+  for (const auto& name : names) {
+    const auto& p = graph::find_problem(problems, name);
+    const graph::Csr g(p.graph);
+    results.push_back(core::lacc_grb(g));
+    bench::check_against_truth(p.graph, results.back().parent);
+    max_iters = std::max(max_iters, results.back().iterations);
+  }
+
+  std::vector<std::string> header{"iteration"};
+  for (const auto& name : names) header.push_back(name);
+  TextTable t(header);
+  for (int it = 1; it <= max_iters; ++it) {
+    std::vector<std::string> row{std::to_string(it)};
+    for (std::size_t k = 0; k < names.size(); ++k) {
+      const auto& trace = results[k].trace;
+      if (it <= static_cast<int>(trace.size())) {
+        const auto& p = graph::find_problem(problems, names[k]);
+        const double pct = 100.0 *
+                           static_cast<double>(trace[it - 1].converged_vertices) /
+                           static_cast<double>(p.graph.n);
+        row.push_back(fmt_double(pct, 1) + "%");
+      } else {
+        row.push_back("done");
+      }
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected shape: the protein graphs (archaea, eukarya) and\n"
+               "web graphs converge a large fraction of vertices within a\n"
+               "few iterations; M3's tiny path-shaped components converge\n"
+               "late, which is why LACC gains least there (Section VI-E).\n";
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Kernel microbenchmarks (google-benchmark): the serial GraphBLAS
+// primitives, the sorting machinery under the distributed kernels, and the
+// serial CC algorithms, so kernel-level regressions are visible without
+// running the figure harnesses.
+#include <benchmark/benchmark.h>
+
+#include "baselines/serial_cc.hpp"
+#include "core/lacc_dist.hpp"
+#include "baselines/union_find.hpp"
+#include "core/lacc_omp.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "dist/dist_mat.hpp"
+#include "dist/ops.hpp"
+#include "grb/ops.hpp"
+#include "sim/runtime.hpp"
+#include "support/rng.hpp"
+#include "support/sort.hpp"
+
+namespace {
+
+using namespace lacc;
+
+const graph::Csr& medium_graph() {
+  static const graph::Csr g(graph::erdos_renyi(20000, 80000, 42));
+  return g;
+}
+
+const graph::Csr& clustered_graph() {
+  static const graph::Csr g(graph::clustered_components(20000, 600, 8.0, 7));
+  return g;
+}
+
+void BM_GrbMxvDense(benchmark::State& state) {
+  const auto& g = medium_graph();
+  auto f = grb::Vector<VertexId>::full(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) f.set(v, v);
+  for (auto _ : state) {
+    auto w = grb::mxv_select2nd(g, f, grb::MinOp{}, grb::no_mask());
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GrbMxvDense);
+
+void BM_GrbMxvSparse(benchmark::State& state) {
+  const auto& g = medium_graph();
+  grb::Vector<VertexId> f(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); v += 50) f.set(v, v);
+  for (auto _ : state) {
+    auto w = grb::mxv_select2nd(g, f, grb::MinOp{}, grb::no_mask());
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_GrbMxvSparse);
+
+void BM_RadixSortPairs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> base_keys(n);
+  std::vector<std::uint64_t> base_vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base_keys[i] = rng();
+    base_vals[i] = i;
+  }
+  for (auto _ : state) {
+    auto keys = base_keys;
+    auto vals = base_vals;
+    radix_sort_pairs(keys, vals);
+    benchmark::DoNotOptimize(keys);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RadixSortPairs)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto& g = medium_graph();
+  for (auto _ : state) {
+    auto result = baselines::union_find_cc(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_UnionFind);
+
+void BM_SerialLaccGrb(benchmark::State& state) {
+  const auto& g = clustered_graph();
+  for (auto _ : state) {
+    auto result = core::lacc_grb(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SerialLaccGrb);
+
+void BM_SerialAwerbuchShiloach(benchmark::State& state) {
+  const auto& g = clustered_graph();
+  for (auto _ : state) {
+    auto result = core::awerbuch_shiloach(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SerialAwerbuchShiloach);
+
+void BM_AwerbuchShiloachOmp(benchmark::State& state) {
+  const auto& g = clustered_graph();
+  for (auto _ : state) {
+    auto result = core::awerbuch_shiloach_omp(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AwerbuchShiloachOmp);
+
+void BM_BfsCc(benchmark::State& state) {
+  const auto& g = clustered_graph();
+  for (auto _ : state) {
+    auto result = baselines::bfs_cc(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BfsCc);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  const auto& g = clustered_graph();
+  for (auto _ : state) {
+    auto result = baselines::label_propagation(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LabelPropagation);
+
+// Distributed kernels: wall time of one collective kernel on 4 virtual
+// ranks (includes thread scheduling; modeled time is what the figures use,
+// this guards against real-time regressions in the runtime itself).
+void BM_DistMxvDense(benchmark::State& state) {
+  const auto el = graph::erdos_renyi(20000, 80000, 42);
+  for (auto _ : state) {
+    sim::run_spmd(4, sim::MachineModel::local(), [&](sim::Comm& world) {
+      dist::ProcGrid grid(world);
+      dist::DistCsc A(grid, el);
+      dist::DistVec<VertexId> x(grid, el.n);
+      for (const VertexId g : x.owned()) x.set(g, g);
+      auto y = dist::mxv_select2nd_min(grid, A, x, dist::MaskSpec{},
+                                       dist::CommTuning{});
+      benchmark::DoNotOptimize(y);
+    });
+  }
+}
+BENCHMARK(BM_DistMxvDense)->Unit(benchmark::kMillisecond);
+
+void BM_DistGatherAt(benchmark::State& state) {
+  const VertexId n = 50000;
+  for (auto _ : state) {
+    sim::run_spmd(4, sim::MachineModel::local(), [&](sim::Comm& world) {
+      dist::ProcGrid grid(world);
+      dist::DistVec<VertexId> u(grid, n), targets(grid, n);
+      for (const VertexId g : u.owned()) {
+        u.set(g, g);
+        targets.set(g, (g * 7919) % n);
+      }
+      auto out = dist::gather_at(grid, u, targets, dist::CommTuning{});
+      benchmark::DoNotOptimize(out);
+    });
+  }
+}
+BENCHMARK(BM_DistGatherAt)->Unit(benchmark::kMillisecond);
+
+void BM_DistLaccEndToEnd(benchmark::State& state) {
+  const auto el = graph::clustered_components(20000, 600, 8.0, 7);
+  for (auto _ : state) {
+    auto result = core::lacc_dist(el, 4, sim::MachineModel::local());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DistLaccEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

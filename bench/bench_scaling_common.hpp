@@ -1,0 +1,86 @@
+// Strong-scaling harness shared by the Figure 4 / 5 / 6 benches.
+//
+// The comparison is at equal *node* counts, as in the paper: LACC runs 4
+// multithreaded ranks per node, ParConnect runs flat MPI with one rank per
+// core (24 on Edison, 68 on Cori) — the configuration difference the paper
+// identifies as one root of ParConnect's scaling wall.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace lacc::bench {
+
+/// One (nodes) measurement for both algorithms.
+struct ScalingPoint {
+  int nodes = 0;
+  int lacc_ranks = 0;
+  int parconnect_ranks = 0;
+  double lacc_seconds = 0;
+  double parconnect_seconds = 0;
+};
+
+/// Largest perfect square <= cap(v): our grids are square, so flat-MPI rank
+/// counts round down to a square (the paper's runs are squares by design).
+inline int square_ranks(int wanted, int cap = 1024) {
+  const int v = std::min(wanted, cap);
+  int q = 1;
+  while ((q + 1) * (q + 1) <= v) ++q;
+  return q * q;
+}
+
+/// Node sweep corresponding to rank_sweep() under LACC's 4 ranks/node.
+inline std::vector<int> node_sweep(const sim::MachineModel& machine) {
+  std::vector<int> nodes;
+  for (const int ranks : rank_sweep())
+    nodes.push_back(std::max(1, static_cast<int>(
+                                    machine.nodes_for_ranks(ranks))));
+  return nodes;
+}
+
+/// Run LACC and the ParConnect-like baseline across a node sweep on one
+/// graph, verifying both against ground truth.
+inline std::vector<ScalingPoint> strong_scaling(
+    const graph::EdgeList& el, const sim::MachineModel& machine,
+    const std::vector<int>& nodes_sweep) {
+  const sim::MachineModel flat = machine.flat_mpi_variant();
+  std::vector<ScalingPoint> points;
+  for (const int nodes : nodes_sweep) {
+    ScalingPoint point;
+    point.nodes = nodes;
+    point.lacc_ranks = square_ranks(nodes * machine.procs_per_node);
+    point.parconnect_ranks = square_ranks(nodes * flat.procs_per_node);
+    const auto lacc = core::lacc_dist(el, point.lacc_ranks, machine);
+    check_against_truth(el, lacc.cc.parent);
+    point.lacc_seconds = lacc.modeled_seconds;
+    const auto pc =
+        baselines::parconnect_dist(el, point.parconnect_ranks, flat);
+    check_against_truth(el, pc.cc.parent);
+    point.parconnect_seconds = pc.modeled_seconds;
+    points.push_back(point);
+  }
+  return points;
+}
+
+/// Print one graph's scaling series in the paper's layout (modeled seconds
+/// per node count, one series per algorithm).
+inline void print_scaling(const std::string& name,
+                          const sim::MachineModel& machine,
+                          const std::vector<ScalingPoint>& points,
+                          std::ostream& os) {
+  os << name << ":\n";
+  TextTable t({"nodes", "cores", "LACC (modeled)", "ParConnect (modeled)",
+               "LACC speedup"});
+  for (const auto& point : points) {
+    t.add_row({std::to_string(point.nodes),
+               fmt_double(static_cast<double>(point.nodes) *
+                              machine.cores_per_node,
+                          0),
+               fmt_seconds(point.lacc_seconds),
+               fmt_seconds(point.parconnect_seconds),
+               fmt_ratio(point.parconnect_seconds / point.lacc_seconds)});
+  }
+  t.print(os);
+  os << "\n";
+}
+
+}  // namespace lacc::bench

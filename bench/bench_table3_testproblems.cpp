@@ -1,0 +1,29 @@
+// Table III: the ten test problems.  Generates each scaled stand-in,
+// measures its actual size and component count with exact union-find, and
+// prints them next to the paper's figures for the original datasets.
+#include "bench_common.hpp"
+
+using namespace lacc;
+
+int main() {
+  bench::print_banner("Table III — test problems (scaled stand-ins)",
+                      "Azad & Buluc, IPDPS 2019, Table III");
+
+  const auto problems = graph::make_test_problems(bench::problem_scale());
+  TextTable t({"Graph", "Vertices", "Directed edges", "Avg deg", "Components",
+               "Paper vertices", "Paper edges", "Paper comps"});
+  for (const auto& p : problems) {
+    const graph::Csr g(p.graph);
+    const auto comps =
+        core::count_components(baselines::union_find_cc(g).parent);
+    t.add_row({p.name, fmt_count(g.num_vertices()), fmt_count(g.num_edges()),
+               fmt_double(g.average_degree(), 1), fmt_count(comps),
+               fmt_count(p.paper_vertices), fmt_count(p.paper_edges),
+               fmt_count(p.paper_components)});
+  }
+  t.print(std::cout);
+  std::cout << "\nStand-ins match the papers' structural regimes (component\n"
+               "count and average degree), scaled down by LACC_SCALE — the\n"
+               "two structural knobs Section VI's analysis depends on.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Metagenome assembly scenario (paper Section I): assemblers represent
+// partially-assembled reads as a huge, extremely sparse contig graph whose
+// connected components can then be processed independently.  This example
+// builds an M3-like contig graph, extracts its components with distributed
+// LACC, and reports the component-size histogram an assembler would use to
+// schedule downstream work.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <unordered_map>
+
+#include "core/lacc_dist.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+
+using namespace lacc;
+
+int main() {
+  const auto n = static_cast<VertexId>(env_int("CONTIGS", 200000));
+  std::cout << "Metagenome contig graph: " << fmt_count(n)
+            << " contigs, overlap chains of ~60 contigs (avg degree ~2,\n"
+               "the M3 regime: communication-bound, slow convergence)\n\n";
+  const auto el = graph::path_forest(n, 60, 2024);
+
+  const auto result = core::lacc_dist(el, 16, sim::MachineModel::edison());
+  const auto sizes = core::component_sizes(result.cc.parent);
+  std::cout << "LACC found " << fmt_count(sizes.size())
+            << " assembly bins in " << result.cc.iterations
+            << " iterations (modeled "
+            << fmt_seconds(result.modeled_seconds) << " on 4 Edison nodes)\n\n";
+
+  const std::uint64_t largest = sizes.empty() ? 0 : sizes.front();
+  TextTable t({"component size", "count"});
+  for (const auto& [bucket, count] :
+       core::component_size_histogram(result.cc.parent))
+    t.add_row({fmt_count(bucket) + "-" + fmt_count(bucket * 2 - 1),
+               fmt_count(count)});
+  t.print(std::cout);
+  std::cout << "\nLargest bin: " << fmt_count(largest)
+            << " contigs.  Each bin is now an independent assembly\n"
+               "subproblem — the decomposition step LACC provides for\n"
+               "distributed metagenome pipelines.\n";
+  return 0;
+}

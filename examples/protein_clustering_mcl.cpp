@@ -1,0 +1,64 @@
+// HipMCL scenario (paper Sections I and VI-F): Markov clustering iterates
+// expansion (matrix squaring), inflation (elementwise powering with column
+// renormalization), and pruning until the matrix converges; the clusters
+// are then the connected components of the symmetrized converged matrix —
+// the step LACC provides at scale.
+//
+// This example drives the apps::mcl pipeline on a protein-similarity-like
+// network and checks the extracted clusters against the generator's
+// planted communities.
+#include <iostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "apps/mcl.hpp"
+#include "baselines/union_find.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+
+using namespace lacc;
+
+int main() {
+  const auto n = static_cast<VertexId>(env_int("PROTEINS", 2000));
+  const VertexId planted = n / 33;
+  const auto el = graph::clustered_components(n, planted, 10.0, 99);
+  const graph::Csr g(el);
+  std::cout << "Protein network: " << fmt_count(n) << " proteins, "
+            << fmt_count(g.num_edges()) << " similarities, "
+            << fmt_count(planted) << " planted clusters\n\n";
+
+  apps::MclOptions options;
+  options.inflation = env_double("INFLATION", 2.0);
+  const auto result = apps::markov_cluster(g, options, /*ranks=*/16);
+
+  std::cout << "MCL converged after " << result.sweeps
+            << " expansion/inflation sweeps\n";
+  std::cout << "LACC extracted " << fmt_count(result.num_clusters)
+            << " clusters in " << result.extraction.iterations
+            << " iterations\n\n";
+
+  // Compare against the planted clustering: MCL may split weakly-connected
+  // planted clusters, so expect at least as many, and every MCL cluster
+  // confined to one planted cluster.
+  const auto planted_labels =
+      core::normalize_labels(baselines::union_find_cc(el).parent);
+  std::unordered_set<VertexId> mixed;
+  std::unordered_map<VertexId, VertexId> cluster_home;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto [it, fresh] =
+        cluster_home.try_emplace(result.cluster[v], planted_labels[v]);
+    if (!fresh && it->second != planted_labels[v]) mixed.insert(result.cluster[v]);
+  }
+  std::cout << "Clusters vs planted communities: "
+            << fmt_count(result.num_clusters) << " found / "
+            << fmt_count(planted) << " planted; " << fmt_count(mixed.size())
+            << " clusters span more than one planted community\n"
+            << (mixed.empty() && result.num_clusters >= planted
+                    ? "Result: every MCL cluster sits inside one planted "
+                      "community — the pipeline works.\n"
+                    : "Result: unexpected cluster mixing — inspect the MCL "
+                      "parameters.\n");
+  return mixed.empty() ? 0 : 1;
+}

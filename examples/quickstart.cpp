@@ -1,0 +1,68 @@
+// Quickstart: build a graph, find its connected components three ways
+// (serial GraphBLAS LACC, distributed LACC on virtual ranks, union-find),
+// and confirm they agree.
+//
+//   ./quickstart                 # demo graph
+//   ./quickstart graph.mtx       # your own Matrix Market file
+#include <iostream>
+
+#include "baselines/union_find.hpp"
+#include "core/lacc_dist.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/table.hpp"
+
+using namespace lacc;
+
+int main(int argc, char** argv) {
+  // 1. Get a graph: from a Matrix Market file, or a demo with known
+  //    structure (three components: a community, a ring, and dust).
+  graph::EdgeList el;
+  if (argc > 1) {
+    el = graph::read_matrix_market_file(argv[1]);
+    std::cout << "Loaded " << argv[1] << ": " << fmt_count(el.n)
+              << " vertices, " << fmt_count(el.edges.size()) << " entries\n";
+  } else {
+    el = graph::disjoint_union(graph::erdos_renyi(3000, 9000, 1),
+                               graph::cycle(500));
+    el = graph::disjoint_union(el, graph::empty_graph(20));
+    std::cout << "Demo graph: " << fmt_count(el.n) << " vertices, "
+              << fmt_count(el.edges.size()) << " edges\n";
+  }
+
+  // 2. Serial LACC over the GraphBLAS primitives (Algorithms 3-6).
+  const graph::Csr g(el);
+  const auto serial = core::lacc_grb(g);
+  std::cout << "\nSerial LACC:      " << fmt_count(core::count_components(
+                                             serial.parent))
+            << " components in " << serial.iterations << " iterations\n";
+
+  // 3. Distributed LACC on 16 virtual ranks with the Edison cost model.
+  const auto distributed =
+      core::lacc_dist(el, 16, sim::MachineModel::edison());
+  std::cout << "Distributed LACC: "
+            << fmt_count(core::count_components(distributed.cc.parent))
+            << " components in " << distributed.cc.iterations
+            << " iterations; modeled time on 4 Edison nodes: "
+            << fmt_seconds(distributed.modeled_seconds) << "\n";
+
+  // 4. Validate against the optimal serial algorithm.
+  const auto truth = baselines::union_find_cc(g);
+  const bool ok =
+      core::same_partition(serial.parent, truth.parent) &&
+      core::same_partition(distributed.cc.parent, truth.parent);
+  std::cout << "Agreement with union-find ground truth: "
+            << (ok ? "yes" : "NO") << "\n";
+
+  // 5. The per-iteration trace shows the sparsity LACC exploits.
+  std::cout << "\nPer-iteration convergence (serial run):\n";
+  TextTable t({"iteration", "active", "converged", "hooks"});
+  for (const auto& rec : serial.trace)
+    t.add_row({std::to_string(rec.iteration), fmt_count(rec.active_vertices),
+               fmt_count(rec.converged_vertices),
+               fmt_count(rec.cond_hooks + rec.uncond_hooks)});
+  t.print(std::cout);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,141 @@
+#include "apps/mcl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/lacc_dist.hpp"
+#include "support/error.hpp"
+
+namespace lacc::apps {
+
+StochasticMatrix::StochasticMatrix(const graph::Csr& g) : n_(g.num_vertices()) {
+  columns_.resize(n_);
+  for (VertexId j = 0; j < n_; ++j) {
+    const auto nbrs = g.neighbors(j);
+    const double w = 1.0 / (static_cast<double>(nbrs.size()) + 1.0);
+    columns_[j].reserve(nbrs.size() + 1);
+    columns_[j].push_back({j, w});  // MCL adds self loops
+    for (const VertexId i : nbrs) columns_[j].push_back({i, w});
+    std::sort(columns_[j].begin(), columns_[j].end());
+  }
+}
+
+std::uint64_t StochasticMatrix::nnz() const {
+  std::uint64_t total = 0;
+  for (const auto& column : columns_) total += column.size();
+  return total;
+}
+
+StochasticMatrix StochasticMatrix::expand() const {
+  StochasticMatrix out;
+  out.n_ = n_;
+  out.columns_.resize(n_);
+  std::vector<double> acc(n_, 0.0);
+  std::vector<VertexId> touched;
+  for (VertexId j = 0; j < n_; ++j) {
+    for (const auto& [k, wkj] : columns_[j])
+      for (const auto& [i, wik] : columns_[k]) {
+        if (acc[i] == 0.0) touched.push_back(i);
+        acc[i] += wik * wkj;
+      }
+    std::sort(touched.begin(), touched.end());
+    out.columns_[j].reserve(touched.size());
+    for (const VertexId i : touched) {
+      out.columns_[j].push_back({i, acc[i]});
+      acc[i] = 0.0;
+    }
+    touched.clear();
+  }
+  return out;
+}
+
+void StochasticMatrix::inflate(double power, double prune) {
+  LACC_CHECK(power > 0);
+  for (auto& column : columns_) {
+    if (column.empty()) continue;
+    double total = 0;
+    for (auto& [i, w] : column) {
+      w = std::pow(w, power);
+      total += w;
+    }
+    std::vector<std::pair<VertexId, double>> kept;
+    kept.reserve(column.size());
+    double kept_total = 0;
+    for (auto& [i, w] : column) {
+      w /= total;
+      if (w >= prune) {
+        kept.push_back({i, w});
+        kept_total += w;
+      }
+    }
+    if (kept.empty()) {
+      // Keep the heaviest entry so the column stays stochastic.
+      const auto heaviest =
+          std::max_element(column.begin(), column.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.second < b.second;
+                           });
+      kept.push_back({heaviest->first, 1.0});
+      kept_total = 1.0;
+    }
+    for (auto& [i, w] : kept) w /= kept_total;
+    column = std::move(kept);
+  }
+}
+
+double StochasticMatrix::max_column_change(const StochasticMatrix& other) const {
+  LACC_CHECK(n_ == other.n_);
+  double change = 0;
+  for (VertexId j = 0; j < n_; ++j) {
+    std::map<VertexId, double> merged;
+    for (const auto& [i, w] : columns_[j]) merged[i] += w;
+    for (const auto& [i, w] : other.columns_[j]) merged[i] -= w;
+    for (const auto& [i, w] : merged) change = std::max(change, std::abs(w));
+  }
+  return change;
+}
+
+graph::EdgeList StochasticMatrix::pattern() const {
+  graph::EdgeList el(n_);
+  for (VertexId j = 0; j < n_; ++j)
+    for (const auto& [i, w] : columns_[j])
+      if (i != j) el.add(i, j);
+  return el;
+}
+
+bool StochasticMatrix::is_column_stochastic(double tolerance) const {
+  for (const auto& column : columns_) {
+    if (column.empty()) continue;
+    double total = 0;
+    for (const auto& [i, w] : column) total += w;
+    if (std::abs(total - 1.0) > tolerance) return false;
+  }
+  return true;
+}
+
+MclResult markov_cluster(const graph::Csr& g, const MclOptions& options,
+                         int ranks) {
+  MclResult result;
+  StochasticMatrix m(g);
+  double change = 1.0;
+  while (change > options.convergence_delta &&
+         result.sweeps < options.max_sweeps) {
+    StochasticMatrix next = m.expand();
+    next.inflate(options.inflation, options.prune_threshold);
+    change = next.max_column_change(m);
+    m = std::move(next);
+    ++result.sweeps;
+  }
+
+  // Cluster extraction: connected components of the symmetrized converged
+  // matrix, computed with distributed LACC (HipMCL's approach).
+  const auto run =
+      core::lacc_dist(m.pattern(), ranks, sim::MachineModel::edison());
+  result.extraction = run.cc;
+  result.cluster = core::normalize_labels(run.cc.parent);
+  result.num_clusters = core::count_components(result.cluster);
+  return result;
+}
+
+}  // namespace lacc::apps

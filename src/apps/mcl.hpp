@@ -1,0 +1,84 @@
+// HipMCL-lite: a compact Markov clustering pipeline with LACC-based
+// cluster extraction (paper Sections I and VI-F).
+//
+// MCL iterates on a column-stochastic matrix M derived from the similarity
+// graph: expansion (M <- M*M) spreads flow, inflation (elementwise power
+// with column renormalization) sharpens it, and pruning drops negligible
+// entries.  At convergence the surviving structure decomposes into
+// "attractor systems"; the clusters are the connected components of the
+// symmetrized converged matrix — the step HipMCL delegates to LACC at
+// scale, and the reason the paper needs a connected-components algorithm
+// that scales to thousands of nodes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "support/types.hpp"
+
+namespace lacc::apps {
+
+/// MCL parameters; the defaults match the classic r=2 regime.
+struct MclOptions {
+  double inflation = 2.0;      ///< elementwise power (r); higher = finer
+  double prune_threshold = 1e-4;  ///< entries below this are dropped
+  double convergence_delta = 1e-4;  ///< max column change to declare done
+  int max_sweeps = 50;
+};
+
+/// Column-stochastic sparse matrix (column-major), the MCL state.
+class StochasticMatrix {
+ public:
+  /// Build the initial transition matrix from a similarity graph: uniform
+  /// weights over each vertex's neighbors plus a self-loop (MCL's standard
+  /// initialization for unweighted input).
+  explicit StochasticMatrix(const graph::Csr& g);
+
+  VertexId n() const { return n_; }
+  std::uint64_t nnz() const;
+
+  /// Expansion: returns this * this.
+  StochasticMatrix expand() const;
+
+  /// Inflation with pruning: elementwise power, renormalize columns, drop
+  /// entries below `prune`, renormalize the survivors.
+  void inflate(double power, double prune);
+
+  /// Max absolute per-entry column difference against another matrix.
+  double max_column_change(const StochasticMatrix& other) const;
+
+  /// The pattern of off-diagonal entries as an undirected edge list (the
+  /// symmetrized converged matrix LACC runs on).
+  graph::EdgeList pattern() const;
+
+  /// Column-stochastic invariant check: every nonempty column sums to ~1.
+  bool is_column_stochastic(double tolerance = 1e-9) const;
+
+  const std::vector<std::pair<VertexId, double>>& column(VertexId j) const {
+    return columns_[j];
+  }
+
+ private:
+  StochasticMatrix() = default;
+  VertexId n_ = 0;
+  std::vector<std::vector<std::pair<VertexId, double>>> columns_;
+};
+
+/// Result of the full pipeline.
+struct MclResult {
+  std::vector<VertexId> cluster;  ///< cluster label per vertex (min id)
+  std::uint64_t num_clusters = 0;
+  int sweeps = 0;                 ///< expansion/inflation rounds
+  core::CcResult extraction;      ///< the LACC run on the converged matrix
+};
+
+/// Run Markov clustering on a similarity graph, extracting the final
+/// clusters with distributed LACC on `ranks` virtual ranks.
+MclResult markov_cluster(const graph::Csr& g, const MclOptions& options = {},
+                         int ranks = 16);
+
+}  // namespace lacc::apps

@@ -1,0 +1,24 @@
+// Distributed Multistep method (Slota et al.), the paper's other cited
+// distributed-memory competitor: a parallel BFS peels the component of a
+// seed vertex (usually the giant one), then label propagation finishes the
+// remainder.  Runs on the same 2D substrate as LACC; like ParConnect it has
+// no converged-component tracking, and its label-propagation phase needs
+// diameter-many rounds on the remainder.
+#pragma once
+
+#include "core/lacc_dist.hpp"
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+
+namespace lacc::baselines {
+
+/// Run distributed Multistep on `nranks` virtual ranks.
+core::DistRunResult multistep_dist(const graph::EdgeList& el, int nranks,
+                                   const sim::MachineModel& machine,
+                                   int max_iterations = 100000);
+
+/// Collective in-SPMD body.  Returns modeled seconds.
+double multistep_dist_body(dist::ProcGrid& grid, const dist::DistCsc& A,
+                           core::CcResult& out, int max_iterations = 100000);
+
+}  // namespace lacc::baselines

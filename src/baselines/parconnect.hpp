@@ -1,0 +1,28 @@
+// ParConnect-like distributed baseline (Jain et al.), the state of the art
+// the paper compares against.
+//
+// ParConnect combines a parallel BFS that peels the (usually giant)
+// component of a seed vertex with iterative Shiloach–Vishkin on the rest.
+// Crucially for the comparison, it has none of LACC's refinements: vectors
+// stay dense in every SV iteration, all-to-alls use the pairwise-exchange
+// algorithm (alpha*(p-1) latency), and there is no hotspot mitigation —
+// exactly the properties Section VI identifies to explain the gap.
+#pragma once
+
+#include "core/lacc_dist.hpp"
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+#include "sim/runtime.hpp"
+
+namespace lacc::baselines {
+
+/// Run the ParConnect-like algorithm on `nranks` virtual ranks.
+core::DistRunResult parconnect_dist(const graph::EdgeList& el, int nranks,
+                                    const sim::MachineModel& machine,
+                                    int max_iterations = 10000);
+
+/// Collective in-SPMD body (see lacc_dist_body).  Returns modeled seconds.
+double parconnect_dist_body(dist::ProcGrid& grid, const dist::DistCsc& A,
+                            core::CcResult& out, int max_iterations = 10000);
+
+}  // namespace lacc::baselines

@@ -1,0 +1,174 @@
+#include "baselines/serial_cc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lacc::baselines {
+
+core::CcResult bfs_cc(const graph::Csr& g) {
+  const VertexId n = g.num_vertices();
+  core::CcResult result;
+  result.iterations = 1;
+  result.parent.assign(n, kNoVertex);
+  std::vector<VertexId> frontier;
+  for (VertexId s = 0; s < n; ++s) {
+    if (result.parent[s] != kNoVertex) continue;
+    result.parent[s] = s;
+    frontier.assign(1, s);
+    while (!frontier.empty()) {
+      std::vector<VertexId> next;
+      for (const VertexId u : frontier)
+        for (const VertexId v : g.neighbors(u))
+          if (result.parent[v] == kNoVertex) {
+            result.parent[v] = s;
+            next.push_back(v);
+          }
+      frontier.swap(next);
+    }
+  }
+  return result;
+}
+
+core::CcResult shiloach_vishkin(const graph::Csr& g, int max_iterations) {
+  const VertexId n = g.num_vertices();
+  core::CcResult result;
+  result.parent.resize(n);
+  auto& f = result.parent;
+  std::iota(f.begin(), f.end(), VertexId{0});
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    core::IterationRecord rec;
+    rec.iteration = iter;
+    rec.active_vertices = n;
+    bool changed = false;
+
+    // Hook: for every edge, hook the larger root onto the smaller parent
+    // (min-reduced proposals emulate the CRCW arbitrary write).
+    std::vector<VertexId> proposal(n, kNoVertex);
+    for (VertexId u = 0; u < n; ++u)
+      for (const VertexId v : g.neighbors(u))
+        if (f[v] < f[u] && f[f[u]] == f[u] && f[v] < proposal[f[u]])
+          proposal[f[u]] = f[v];
+    for (VertexId r = 0; r < n; ++r)
+      if (proposal[r] != kNoVertex && proposal[r] < f[r]) {
+        f[r] = proposal[r];
+        changed = true;
+        ++rec.cond_hooks;
+      }
+
+    // Aggressive hook for stagnant roots (SV's second hooking phase).
+    std::fill(proposal.begin(), proposal.end(), kNoVertex);
+    for (VertexId u = 0; u < n; ++u)
+      for (const VertexId v : g.neighbors(u))
+        if (f[v] != f[u] && f[f[u]] == f[u] && f[v] < proposal[f[u]])
+          proposal[f[u]] = f[v];
+    for (VertexId r = 0; r < n; ++r)
+      if (proposal[r] != kNoVertex && f[r] == r && proposal[r] != r) {
+        f[r] = proposal[r];
+        changed = true;
+        ++rec.uncond_hooks;
+      }
+
+    // Shortcut (pointer jumping).
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId gf = f[f[v]];
+      if (gf != f[v]) {
+        f[v] = gf;
+        changed = true;
+      }
+    }
+
+    result.trace.push_back(rec);
+    result.iterations = iter;
+    if (!changed) break;
+    LACC_CHECK_MSG(iter < max_iterations, "SV did not converge");
+  }
+  return result;
+}
+
+core::CcResult label_propagation(const graph::Csr& g, int max_iterations) {
+  const VertexId n = g.num_vertices();
+  core::CcResult result;
+  result.parent.resize(n);
+  auto& label = result.parent;
+  std::iota(label.begin(), label.end(), VertexId{0});
+
+  bool changed = true;
+  int iter = 0;
+  while (changed) {
+    LACC_CHECK_MSG(iter < max_iterations, "label propagation did not converge");
+    ++iter;
+    changed = false;
+    // Jacobi-style sweep: read the previous labels, write fresh ones, so
+    // the result is deterministic under OpenMP.
+    std::vector<VertexId> next(label);
+#pragma omp parallel for schedule(dynamic, 1024)
+    for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      VertexId best = label[v];
+      for (const VertexId u : g.neighbors(v)) best = std::min(best, label[u]);
+      if (best < next[v]) next[v] = best;
+    }
+    for (VertexId v = 0; v < n; ++v)
+      if (next[v] != label[v]) {
+        changed = true;
+        break;
+      }
+    label.swap(next);
+  }
+  result.iterations = iter;
+  return result;
+}
+
+core::CcResult multistep(const graph::Csr& g) {
+  const VertexId n = g.num_vertices();
+  core::CcResult result;
+  result.parent.assign(n, kNoVertex);
+  if (n == 0) return result;
+
+  // Step 1: BFS from the maximum-degree vertex peels the giant component.
+  VertexId seed = 0;
+  for (VertexId v = 0; v < n; ++v)
+    if (g.degree(v) > g.degree(seed)) seed = v;
+  std::vector<VertexId> frontier{seed};
+  result.parent[seed] = seed;
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    for (const VertexId u : frontier)
+      for (const VertexId v : g.neighbors(u))
+        if (result.parent[v] == kNoVertex) {
+          result.parent[v] = seed;
+          next.push_back(v);
+        }
+    frontier.swap(next);
+  }
+
+  // Step 2: label propagation on the remainder.
+  std::vector<VertexId> label(n);
+  std::iota(label.begin(), label.end(), VertexId{0});
+  bool changed = true;
+  int iter = 1;
+  while (changed) {
+    changed = false;
+    ++iter;
+    for (VertexId v = 0; v < n; ++v) {
+      if (result.parent[v] != kNoVertex) continue;
+      VertexId best = label[v];
+      for (const VertexId u : g.neighbors(v))
+        if (result.parent[u] == kNoVertex) best = std::min(best, label[u]);
+      if (best < label[v]) {
+        label[v] = best;
+        changed = true;
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v)
+    if (result.parent[v] == kNoVertex) result.parent[v] = label[v];
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace lacc::baselines

@@ -1,0 +1,28 @@
+// Additional serial / shared-memory connected-components baselines.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace lacc::baselines {
+
+/// Breadth-first search sweep: textbook O(n + m) labeling.
+core::CcResult bfs_cc(const graph::Csr& g);
+
+/// Shiloach–Vishkin (1982): the algorithm AS simplifies.  Keeps the
+/// previous iteration's forest to detect quiescence instead of star checks.
+core::CcResult shiloach_vishkin(const graph::Csr& g,
+                                int max_iterations = 10000);
+
+/// Label propagation with OpenMP: iterate "take the min label among
+/// neighbors" until a fixed point.  The shared-memory technique used by the
+/// original MCL software and one ingredient of Slota et al.'s Multistep.
+core::CcResult label_propagation(const graph::Csr& g,
+                                 int max_iterations = 100000);
+
+/// Multistep method (Slota et al.): BFS from a heuristically-chosen seed
+/// peels the (usually giant) first component, then label propagation
+/// finishes the rest.
+core::CcResult multistep(const graph::Csr& g);
+
+}  // namespace lacc::baselines

@@ -1,0 +1,88 @@
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/options.hpp"
+#include "support/error.hpp"
+
+namespace lacc::core {
+
+namespace {
+
+/// Flatten an arbitrary rooted forest: every entry becomes its root.
+std::vector<VertexId> flatten(const std::vector<VertexId>& parent) {
+  const auto n = static_cast<VertexId>(parent.size());
+  std::vector<VertexId> flat = parent;
+  for (VertexId v = 0; v < n; ++v) {
+    LACC_CHECK_MSG(parent[v] < n, "parent " << parent[v] << " out of range");
+    VertexId r = flat[v];
+    std::uint64_t hops = 0;
+    while (flat[r] != r) {
+      r = flat[r];
+      LACC_CHECK_MSG(++hops <= n, "cycle in parent vector");
+    }
+    // Path compression keeps the pass linear overall.
+    VertexId u = v;
+    while (flat[u] != r) {
+      const VertexId next = flat[u];
+      flat[u] = r;
+      u = next;
+    }
+  }
+  return flat;
+}
+
+}  // namespace
+
+std::uint64_t count_components(const std::vector<VertexId>& parent) {
+  const std::vector<VertexId> flat = flatten(parent);
+  std::unordered_set<VertexId> roots;
+  roots.reserve(flat.size() / 4 + 1);
+  for (const VertexId p : flat) roots.insert(p);
+  return roots.size();
+}
+
+std::vector<std::uint64_t> component_sizes(const std::vector<VertexId>& parent) {
+  const std::vector<VertexId> flat = flatten(parent);
+  std::unordered_map<VertexId, std::uint64_t> size_of;
+  size_of.reserve(flat.size() / 4 + 1);
+  for (const VertexId r : flat) ++size_of[r];
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(size_of.size());
+  for (const auto& [root, size] : size_of) sizes.push_back(size);
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> component_size_histogram(
+    const std::vector<VertexId>& parent) {
+  std::map<std::uint64_t, std::uint64_t> buckets;
+  for (const std::uint64_t size : component_sizes(parent)) {
+    std::uint64_t bucket = 1;
+    while (bucket * 2 <= size) bucket *= 2;
+    ++buckets[bucket];
+  }
+  return {buckets.begin(), buckets.end()};
+}
+
+std::vector<VertexId> normalize_labels(const std::vector<VertexId>& parent) {
+  // Each root's canonical label is the minimum vertex id mapping to it.
+  const std::vector<VertexId> flat = flatten(parent);
+  const auto n = static_cast<VertexId>(flat.size());
+  std::vector<VertexId> canonical(n, kNoVertex);
+  for (VertexId v = 0; v < n; ++v)
+    canonical[flat[v]] = std::min(canonical[flat[v]], v);
+  std::vector<VertexId> out(n);
+  for (VertexId v = 0; v < n; ++v) out[v] = canonical[flat[v]];
+  return out;
+}
+
+bool same_partition(const std::vector<VertexId>& a,
+                    const std::vector<VertexId>& b) {
+  if (a.size() != b.size()) return false;
+  return normalize_labels(a) == normalize_labels(b);
+}
+
+}  // namespace lacc::core

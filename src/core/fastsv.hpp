@@ -1,0 +1,38 @@
+// FastSV — the successor algorithm (Zhang, Azad & Buluç, 2020), implemented
+// here as the paper's "future work" extension.
+//
+// FastSV simplifies the AS/LACC loop: no star detection at all.  Each
+// iteration performs three monotone min-updates against the grandparent
+// vector gf = f[f]:
+//   (1) stochastic hooking:  f[f[u]] <- min(f[f[u]], min gf over N(u))
+//   (2) aggressive hooking:  f[u]    <- min(f[u],    min gf over N(u))
+//   (3) shortcutting:        f[u]    <- min(f[u],    gf[u])
+// and terminates when gf reaches a fixed point.  All updates are monotone
+// decreasing, so no hooking guard is needed; the label of a component
+// converges to its minimum vertex id.
+//
+// Trade-off vs LACC: fewer primitives per iteration (one mxv, one
+// grandparent extract, one remote assign) but no converged-component
+// tracking, so every iteration touches every vertex.
+#pragma once
+
+#include "core/lacc_dist.hpp"
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace lacc::core {
+
+/// Serial FastSV over dense arrays.
+CcResult fastsv(const graph::Csr& g, int max_iterations = 10000);
+
+/// Distributed FastSV on `nranks` virtual ranks.
+DistRunResult fastsv_dist(const graph::EdgeList& el, int nranks,
+                          const sim::MachineModel& machine,
+                          int max_iterations = 10000);
+
+/// Collective in-SPMD body (see lacc_dist_body).  Returns modeled seconds.
+double fastsv_dist_body(dist::ProcGrid& grid, const dist::DistCsc& A,
+                        CcResult& out, int max_iterations = 10000);
+
+}  // namespace lacc::core

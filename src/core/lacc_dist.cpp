@@ -1,0 +1,330 @@
+#include "core/lacc_dist.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+
+#include "dist/dist_vec.hpp"
+#include "dist/ops.hpp"
+#include "support/bitvector.hpp"
+#include "support/error.hpp"
+
+namespace lacc::core {
+
+using dist::CommTuning;
+using dist::DistCsc;
+using dist::DistVec;
+using dist::MaskSpec;
+using dist::ProcGrid;
+using dist::Tuple;
+
+namespace {
+
+CommTuning tuning_from(const LaccOptions& options) {
+  CommTuning tuning;
+  tuning.alltoall = options.hypercube_alltoall
+                        ? sim::AllToAllAlgo::kSparseHypercube
+                        : sim::AllToAllAlgo::kPairwise;
+  tuning.hotspot_broadcast = options.hotspot_broadcast;
+  tuning.hotspot_threshold = options.hotspot_threshold;
+  tuning.force_dense = !options.use_sparse_vectors;
+  return tuning;
+}
+
+}  // namespace
+
+double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
+                      const LaccOptions& options, CcResult& out) {
+  auto& world = grid.world();
+  const VertexId n = A.n();
+  const CommTuning tuning = tuning_from(options);
+  const double sim_start = world.state().sim_time;
+  // The paper's future-work cyclic layout spreads hooked-parent hotspots
+  // across ranks; mxv inputs/outputs are realigned around it (see below).
+  const dist::Layout layout = options.cyclic_vectors
+                                  ? dist::Layout::kCyclic
+                                  : dist::Layout::kBlockAligned;
+
+  // f: every vertex its own parent (dense).  star: all true.  active: local
+  // flags over my share; converged vertices leave both active and star.
+  DistVec<VertexId> f(grid, n, layout);
+  for (const VertexId g : f.owned()) f.set(g, g);
+  DistVec<std::uint8_t> star(grid, n, layout);
+  star.fill(1);
+  BitVector active(f.local_size(), true);
+  auto is_active = [&](VertexId g) { return active.get(f.local_slot(g)); };
+
+  // mxv requires block-aligned vectors; in cyclic mode the input is
+  // realigned, the semiring runs unmasked, and the output comes back to the
+  // cyclic layout where the star filter is applied locally (CombBLAS-style
+  // late masking) — the realignment cost the paper's conclusion predicts.
+  auto run_mxv = [&](const DistVec<VertexId>& x,
+                     bool fused) -> std::pair<DistVec<VertexId>,
+                                              DistVec<VertexId>> {
+    auto filter_by_star = [&](DistVec<VertexId>& y) {
+      for (const VertexId g : y.owned())
+        if (y.has(g) && !(star.has(g) && star.at(g) != 0)) y.remove(g);
+    };
+    if (!options.cyclic_vectors) {
+      if (fused)
+        return dist::mxv_select2nd_minmax(grid, A, x, MaskSpec{&star, false},
+                                          tuning);
+      return {dist::mxv_select2nd(grid, A, x, MaskSpec{&star, false}, tuning,
+                                  dist::SemiringAdd::kMin),
+              DistVec<VertexId>(grid, n, layout)};
+    }
+    const auto xb = dist::to_layout(grid, x, dist::Layout::kBlockAligned,
+                                    tuning);
+    if (fused) {
+      auto both = dist::mxv_select2nd_minmax(grid, A, xb, MaskSpec{}, tuning);
+      auto mn = dist::to_layout(grid, both.first, layout, tuning);
+      auto mx = dist::to_layout(grid, both.second, layout, tuning);
+      filter_by_star(mn);
+      filter_by_star(mx);
+      return {std::move(mn), std::move(mx)};
+    }
+    auto yb = dist::mxv_select2nd(grid, A, xb, MaskSpec{}, tuning,
+                                  dist::SemiringAdd::kMin);
+    auto y = dist::to_layout(grid, yb, layout, tuning);
+    filter_by_star(y);
+    return {std::move(y), DistVec<VertexId>(grid, n, layout)};
+  };
+
+  // Starcheck (Algorithm 6) on the active subset.  The grandparent fetch is
+  // tagged with a per-iteration counter when requested — Figure 3's
+  // measurement of request skew in GrB_extract.
+  auto starcheck = [&](int iter) {
+    sim::Region region(world, "starcheck");
+    // star <- true on active vertices.
+    for (const VertexId g : f.owned())
+      if (is_active(g)) star.set(g, 1);
+    // Grandparents of active vertices.
+    DistVec<VertexId> targets(grid, n, layout);
+    for (const VertexId g : f.owned())
+      if (is_active(g)) targets.set(g, f.at(g));
+    const DistVec<VertexId> gf = dist::gather_at(
+        grid, f, targets, tuning, "extract_req_it" + std::to_string(iter));
+    // Vertices whose parent and grandparent differ are nonstars, and so are
+    // their grandparents (which may live on other ranks).
+    std::vector<VertexId> remote_nonstars;
+    for (const VertexId g : f.owned()) {
+      if (!is_active(g) || !gf.has(g)) continue;
+      if (f.at(g) != gf.at(g)) {
+        star.set(g, 0);
+        remote_nonstars.push_back(gf.at(g));
+      }
+    }
+    world.charge_compute(static_cast<double>(f.local_size()));
+    dist::scatter_set(grid, star, std::move(remote_nonstars), 0, tuning);
+    // star[v] &= star[f[v]] (conjunction — see lacc_serial.cpp).
+    const DistVec<std::uint8_t> starf =
+        dist::gather_at(grid, star, targets, tuning);
+    for (const VertexId g : f.owned())
+      if (is_active(g) && starf.has(g))
+        star.set(g, static_cast<std::uint8_t>(star.at(g) & starf.at(g)));
+    world.charge_compute(static_cast<double>(f.local_size()));
+  };
+
+  std::uint64_t converged_total = 0;
+  out.trace.clear();
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    IterationRecord rec;
+    rec.iteration = iter;
+    const double iter_start = world.state().sim_time;
+
+    // Input restricted to active vertices: this is the vector sparsity of
+    // Section IV-B (with sparse vectors disabled, pass full f instead).
+    DistVec<VertexId> f_act(grid, n, layout);
+    for (const VertexId g : f.owned())
+      if (is_active(g)) f_act.set(g, f.at(g));
+    const DistVec<VertexId>& mxv_input = options.use_sparse_vectors ? f_act : f;
+
+    // Min neighbor parent of every star vertex drives conditional hooking;
+    // with convergence tracking on, the max rides along in the same fused
+    // kernel to make the detection exact (see below).
+    DistVec<VertexId> fn(grid, n, layout);
+    DistVec<VertexId> fx(grid, n, layout);
+    {
+      sim::Region region(world, "cond-hook");
+      auto both = run_mxv(mxv_input, options.track_converged);
+      fn = std::move(both.first);
+      fx = std::move(both.second);
+    }
+
+    // --- Convergence detection (start of iteration) ---
+    // A star S is a converged component iff no member sees a neighbor
+    // parent different from S's root: trees are vertex-disjoint, so an
+    // outside neighbor can never have a parent inside S, and an inside
+    // neighbor always has parent == root.  Min and max neighbor parents
+    // together detect any difference exactly.  (This replaces the paper's
+    // Lemma-1 bookkeeping, which mis-marks a star whose adjacent star
+    // hooked to a third, smaller root in the same iteration — DESIGN.md
+    // documents the counterexample.)
+    if (options.track_converged) {
+      sim::Region region(world, "starcheck");
+      DistVec<std::uint8_t> tree_viol(grid, n, layout);
+      std::vector<VertexId> viol_roots;
+      DistVec<VertexId> targets(grid, n, layout);
+      for (const VertexId g : f.owned()) {
+        if (!is_active(g) || !star.has(g) || star.at(g) == 0) continue;
+        targets.set(g, f.at(g));
+        const bool viol = (fn.has(g) && fn.at(g) != f.at(g)) ||
+                          (fx.has(g) && fx.at(g) != f.at(g));
+        if (viol) viol_roots.push_back(f.at(g));
+      }
+      world.charge_compute(static_cast<double>(f.local_size()));
+      dist::scatter_set(grid, tree_viol, std::move(viol_roots), 1, tuning);
+      const DistVec<std::uint8_t> root_viol = dist::gather_at(
+          grid, tree_viol, targets, tuning,
+          "extract_req_it" + std::to_string(iter));
+      std::uint64_t newly_converged = 0;
+      for (const VertexId g : f.owned()) {
+        if (!targets.has(g)) continue;
+        if (root_viol.has(g) && root_viol.at(g) != 0) continue;
+        active.set(f.local_slot(g), false);
+        star.remove(g);
+        fn.remove(g);  // converged trees must not hook
+        ++newly_converged;
+      }
+      converged_total += world.allreduce(
+          newly_converged,
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    }
+    rec.active_vertices = n - converged_total;
+    rec.converged_vertices = converged_total;
+    if (options.track_converged && converged_total == n) {
+      rec.modeled_seconds = world.state().sim_time - iter_start;
+      out.trace.push_back(rec);
+      out.iterations = iter;
+      break;
+    }
+
+    // --- Conditional hooking (Algorithm 3) ---
+    std::uint64_t cond_hooks = 0;
+    {
+      sim::Region region(world, "cond-hook");
+      // fn = min(fn, f); hooks are (root = f[g], proposal = fn[g]).
+      std::vector<Tuple<VertexId>> pairs;
+      for (const VertexId g : fn.owned()) {
+        if (!fn.has(g)) continue;
+        const VertexId proposal = std::min(fn.at(g), f.at(g));
+        pairs.push_back({f.at(g), proposal});
+      }
+      world.charge_compute(static_cast<double>(pairs.size()) * 2);
+      cond_hooks = dist::scatter_assign_min(grid, f, std::move(pairs), tuning);
+    }
+    rec.cond_hooks = cond_hooks;
+
+    // Star flags only go stale when f changes; skipping the recomputation
+    // on hook-free rounds removes most of the starcheck cost in the late,
+    // sparse iterations ("identifying hot spots and optimizing them away").
+    if (cond_hooks > 0) starcheck(iter);
+
+    // --- Unconditional hooking (Algorithm 4) ---
+    std::uint64_t uncond_hooks = 0;
+    {
+      sim::Region region(world, "uncond-hook");
+      // fns = parents of nonstar vertices (Lemma 2 restricts hooks to
+      // star -> nonstar); with the optimization off, use the full parent
+      // vector and filter to cross-tree hooks afterwards.
+      DistVec<VertexId> fns(grid, n, layout);
+      for (const VertexId g : f.owned()) {
+        if (!is_active(g)) continue;
+        if (options.sparse_uncond_hooking) {
+          if (star.has(g) && star.at(g) == 0) fns.set(g, f.at(g));
+        } else {
+          fns.set(g, f.at(g));
+        }
+      }
+      const DistVec<VertexId> fnu = run_mxv(fns, false).first;
+      std::vector<Tuple<VertexId>> pairs;
+      for (const VertexId g : fnu.owned()) {
+        if (!fnu.has(g)) continue;
+        if (fnu.at(g) == f.at(g)) continue;  // same tree: not a hook
+        pairs.push_back({f.at(g), fnu.at(g)});
+      }
+      world.charge_compute(static_cast<double>(pairs.size()));
+      uncond_hooks = dist::scatter_assign_min(grid, f, std::move(pairs), tuning);
+    }
+    rec.uncond_hooks = uncond_hooks;
+
+    // --- Shortcut (Algorithm 5) ---
+    bool shortcut_changed = false;
+    {
+      sim::Region region(world, "shortcut");
+      DistVec<VertexId> targets(grid, n, layout);
+      for (const VertexId g : f.owned())
+        if (is_active(g)) targets.set(g, f.at(g));
+      const DistVec<VertexId> gf =
+          dist::gather_at(grid, f, targets, tuning,
+                          "extract_req_it" + std::to_string(iter));
+      for (const VertexId g : f.owned()) {
+        if (!is_active(g) || !gf.has(g)) continue;
+        if (gf.at(g) != f.at(g)) {
+          f.set(g, gf.at(g));
+          shortcut_changed = true;
+        }
+      }
+      world.charge_compute(static_cast<double>(f.local_size()));
+      shortcut_changed = dist::global_any(grid, shortcut_changed);
+    }
+
+    if (uncond_hooks > 0 || shortcut_changed) starcheck(iter);
+
+    {
+      std::uint64_t local_stars = 0;
+      for (const VertexId g : star.owned())
+        if (star.has(g) && star.at(g) != 0) ++local_stars;
+      rec.star_vertices =
+          world.allreduce(local_stars, [](std::uint64_t a, std::uint64_t b) {
+            return a + b;
+          }) +
+          converged_total;
+    }
+
+    // The clock is group-synchronized at collectives, so every rank records
+    // the same per-iteration modeled time.
+    rec.modeled_seconds = world.state().sim_time - iter_start;
+    // The clock is group-synchronized at collectives, so every rank records
+    // the same per-iteration modeled time.
+    rec.modeled_seconds = world.state().sim_time - iter_start;
+    out.trace.push_back(rec);
+    out.iterations = iter;
+
+    const bool no_hooks = cond_hooks == 0 && uncond_hooks == 0;
+    if (options.track_converged && converged_total == n) break;
+    if (no_hooks && !shortcut_changed) break;
+    LACC_CHECK_MSG(iter < options.max_iterations,
+                   "distributed LACC did not converge in "
+                       << options.max_iterations << " iterations");
+  }
+
+  const double modeled = world.state().sim_time - sim_start;
+  out.parent = dist::to_global(grid, f, kNoVertex);
+  for (const VertexId p : out.parent) LACC_CHECK(p != kNoVertex);
+  return modeled;
+}
+
+DistRunResult lacc_dist(const graph::EdgeList& el, int nranks,
+                        const sim::MachineModel& machine,
+                        const LaccOptions& options) {
+  DistRunResult result;
+  std::vector<double> modeled(static_cast<std::size_t>(nranks), 0);
+  std::mutex out_mutex;
+  result.spmd = sim::run_spmd(nranks, machine, [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistCsc A(grid, el);
+    CcResult cc;
+    const double seconds = lacc_dist_body(grid, A, options, cc);
+    modeled[static_cast<std::size_t>(world.rank())] = seconds;
+    if (world.rank() == 0) {
+      std::lock_guard<std::mutex> lock(out_mutex);
+      result.cc = std::move(cc);
+    }
+  });
+  result.modeled_seconds = *std::max_element(modeled.begin(), modeled.end());
+  return result;
+}
+
+}  // namespace lacc::core

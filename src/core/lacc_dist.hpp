@@ -1,0 +1,44 @@
+// Distributed-memory LACC: the paper's primary contribution.
+//
+// CombBLAS-style implementation of the Awerbuch–Shiloach algorithm over the
+// dist layer: conditional hooking, unconditional hooking, shortcutting, and
+// star checking, each expressed with the distributed mxv / extract / assign
+// kernels and instrumented as a named region (Figure 8's phases).  The
+// sparsity optimizations of Section IV-B and the communication
+// optimizations of Section V-B are controlled by LaccOptions so the
+// ablation benches can toggle them.
+#pragma once
+
+#include "core/options.hpp"
+#include "dist/dist_mat.hpp"
+#include "dist/grid.hpp"
+#include "graph/edge_list.hpp"
+#include "sim/runtime.hpp"
+
+namespace lacc::core {
+
+/// Result of a distributed run: the component labeling plus the cost and
+/// instrumentation data of the SPMD execution.
+struct DistRunResult {
+  CcResult cc;
+  sim::SpmdResult spmd;
+  /// Modeled seconds spent in the CC computation itself (critical path,
+  /// excluding graph ingestion).
+  double modeled_seconds = 0;
+};
+
+/// Run distributed LACC on `nranks` virtual ranks (must form a square grid)
+/// against `machine`'s cost model.  Collective entry point: spawns the SPMD
+/// region, builds the distributed matrix, runs the algorithm.
+DistRunResult lacc_dist(const graph::EdgeList& el, int nranks,
+                        const sim::MachineModel& machine,
+                        const LaccOptions& options = {});
+
+/// Collective: run LACC on an already-built distributed matrix from inside
+/// an SPMD region (lets benches amortize one graph build across several
+/// option variants).  `out` is filled on every rank with the gathered
+/// parent vector and trace.  Returns this rank's modeled seconds.
+double lacc_dist_body(dist::ProcGrid& grid, const dist::DistCsc& A,
+                      const LaccOptions& options, CcResult& out);
+
+}  // namespace lacc::core

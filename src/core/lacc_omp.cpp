@@ -1,0 +1,139 @@
+#include "core/lacc_omp.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lacc::core {
+
+namespace {
+
+/// Atomically lower `slot` to min(slot, value).
+void atomic_min(std::atomic<VertexId>& slot, VertexId value) {
+  VertexId current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+CcResult awerbuch_shiloach_omp(const graph::Csr& g,
+                               const LaccOptions& options) {
+  const VertexId n = g.num_vertices();
+  const auto ni = static_cast<std::int64_t>(n);
+  CcResult result;
+  result.parent.resize(n);
+  auto& f = result.parent;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < ni; ++v)
+    f[static_cast<VertexId>(v)] = static_cast<VertexId>(v);
+
+  std::vector<std::uint8_t> star(n, 1);
+  std::vector<std::atomic<VertexId>> proposal(n);
+
+  // Algorithm 2 with the same conjunction fix as starcheck_dense.
+  auto starcheck = [&]() {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < ni; ++v) star[static_cast<VertexId>(v)] = 1;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t vi = 0; vi < ni; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      const VertexId gf = f[f[v]];
+      if (f[v] != gf) {
+        star[v] = 0;
+        star[gf] = 0;  // benign write race: all writers store 0
+      }
+    }
+#pragma omp parallel for schedule(static)
+    for (std::int64_t vi = 0; vi < ni; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      star[v] = static_cast<std::uint8_t>(star[v] & star[f[v]]);
+    }
+  };
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    IterationRecord rec;
+    rec.iteration = iter;
+    rec.active_vertices = n;
+
+    // Conditional hooking: edge-parallel atomic-min proposals to roots.
+    starcheck();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < ni; ++v)
+      proposal[static_cast<VertexId>(v)].store(kNoVertex,
+                                               std::memory_order_relaxed);
+#pragma omp parallel for schedule(dynamic, 512)
+    for (std::int64_t ui = 0; ui < ni; ++ui) {
+      const auto u = static_cast<VertexId>(ui);
+      if (!star[u]) continue;
+      for (const VertexId v : g.neighbors(u))
+        if (f[v] < f[u]) atomic_min(proposal[f[u]], f[v]);
+    }
+    std::uint64_t cond_hooks = 0;
+#pragma omp parallel for schedule(static) reduction(+ : cond_hooks)
+    for (std::int64_t ri = 0; ri < ni; ++ri) {
+      const auto r = static_cast<VertexId>(ri);
+      const VertexId p = proposal[r].load(std::memory_order_relaxed);
+      if (p != kNoVertex && p < f[r]) {
+        f[r] = p;
+        ++cond_hooks;
+      }
+    }
+    rec.cond_hooks = cond_hooks;
+
+    // Unconditional hooking (any-tree sources, like the serial dense AS —
+    // provably sound with fresh star flags; see DESIGN.md).
+    starcheck();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < ni; ++v)
+      proposal[static_cast<VertexId>(v)].store(kNoVertex,
+                                               std::memory_order_relaxed);
+#pragma omp parallel for schedule(dynamic, 512)
+    for (std::int64_t ui = 0; ui < ni; ++ui) {
+      const auto u = static_cast<VertexId>(ui);
+      if (!star[u]) continue;
+      for (const VertexId v : g.neighbors(u))
+        if (f[v] != f[u]) atomic_min(proposal[f[u]], f[v]);
+    }
+    std::uint64_t uncond_hooks = 0;
+#pragma omp parallel for schedule(static) reduction(+ : uncond_hooks)
+    for (std::int64_t ri = 0; ri < ni; ++ri) {
+      const auto r = static_cast<VertexId>(ri);
+      const VertexId p = proposal[r].load(std::memory_order_relaxed);
+      if (p != kNoVertex && f[r] == r && p != r) {
+        f[r] = p;
+        ++uncond_hooks;
+      }
+    }
+    rec.uncond_hooks = uncond_hooks;
+
+    // Shortcut (Jacobi-style: read the old parents, write fresh ones).
+    std::uint64_t shortcut_changes = 0;
+    {
+      std::vector<VertexId> next(f);
+#pragma omp parallel for schedule(static) reduction(+ : shortcut_changes)
+      for (std::int64_t vi = 0; vi < ni; ++vi) {
+        const auto v = static_cast<VertexId>(vi);
+        const VertexId gf = f[f[v]];
+        if (gf != f[v]) {
+          next[v] = gf;
+          ++shortcut_changes;
+        }
+      }
+      f.swap(next);
+    }
+
+    result.trace.push_back(rec);
+    result.iterations = iter;
+    if (cond_hooks == 0 && uncond_hooks == 0 && shortcut_changes == 0) break;
+    LACC_CHECK_MSG(iter < options.max_iterations,
+                   "OpenMP AS did not converge in " << options.max_iterations
+                                                    << " iterations");
+  }
+  return result;
+}
+
+}  // namespace lacc::core

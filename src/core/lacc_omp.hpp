@@ -1,0 +1,22 @@
+// Shared-memory parallel Awerbuch–Shiloach with OpenMP.
+//
+// The paper notes that graphs under ~150 GB "can be stored on a
+// shared-memory server and connected components computed with an efficient
+// shared-memory algorithm"; this is that comparison point, built from the
+// same AS skeleton as the distributed code: edge-parallel hooking with
+// atomic min proposals, vertex-parallel shortcutting and star checking.
+// Deterministic: proposals reduce with min, exactly like the serial and
+// distributed implementations.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace lacc::core {
+
+/// OpenMP-parallel AS.  Semantics match awerbuch_shiloach(); the number of
+/// threads follows the OpenMP runtime (OMP_NUM_THREADS).
+CcResult awerbuch_shiloach_omp(const graph::Csr& g,
+                               const LaccOptions& options = {});
+
+}  // namespace lacc::core

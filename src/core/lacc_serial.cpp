@@ -1,0 +1,378 @@
+#include "core/lacc_serial.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "grb/ops.hpp"
+#include "grb/vector.hpp"
+#include "support/bitvector.hpp"
+#include "support/error.hpp"
+
+namespace lacc::core {
+
+namespace {
+
+/// Algorithm 2 (Starcheck) over dense arrays, restricted to `active`.
+/// A vertex outside the active set keeps its previous flag.
+void starcheck_dense(const std::vector<VertexId>& f, const BitVector& active,
+                     BitVector& star) {
+  const auto n = static_cast<VertexId>(f.size());
+  for (VertexId v = 0; v < n; ++v)
+    if (active.get(v)) star.set(v, true);
+  // Exclude every vertex with level > 2 and its grandparent.
+  for (VertexId v = 0; v < n; ++v) {
+    if (!active.get(v)) continue;
+    const VertexId gf = f[f[v]];
+    if (f[v] != gf) {
+      star.set(v, false);
+      star.set(gf, false);
+    }
+  }
+  // In nonstar trees, exclude vertices at level 2.  The paper's listing
+  // reads "star[v] <- star[f[v]]", but a literal overwrite would wrongly
+  // resurrect vertices at exactly level 3 (their level-2 parent is still
+  // unmarked at this point); the conjunction is what CombBLAS implements.
+  for (VertexId v = 0; v < n; ++v)
+    if (active.get(v)) star.set(v, star.get(v) && star.get(f[v]));
+}
+
+}  // namespace
+
+CcResult awerbuch_shiloach(const graph::Csr& g, const LaccOptions& options) {
+  const VertexId n = g.num_vertices();
+  CcResult result;
+  result.parent.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.parent[v] = v;
+  auto& f = result.parent;
+
+  BitVector active(n, true);
+  BitVector star(n, true);
+  std::uint64_t num_converged = 0;
+
+  std::vector<VertexId> proposal(n, kNoVertex);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    IterationRecord rec;
+    rec.iteration = iter;
+    rec.active_vertices = n - num_converged;
+
+    // Step 1: conditional star hooking.  PRAM concurrent writes to f[f[u]]
+    // are emulated by gathering proposals and reducing with min.
+    starcheck_dense(f, active, star);
+    std::fill(proposal.begin(), proposal.end(), kNoVertex);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active.get(u) || !star.get(u)) continue;
+      for (const VertexId v : g.neighbors(u))
+        if (f[v] < f[u] && f[v] < proposal[f[u]]) proposal[f[u]] = f[v];
+    }
+    for (VertexId r = 0; r < n; ++r)
+      if (proposal[r] != kNoVertex && proposal[r] < f[r]) {
+        f[r] = proposal[r];
+        ++rec.cond_hooks;
+      }
+
+    // Step 2: unconditional star hooking.  After a fresh starcheck, any
+    // neighbor in a different tree is in a nonstar (Lemma 2), so the hook
+    // can ignore parent order.
+    starcheck_dense(f, active, star);
+    std::fill(proposal.begin(), proposal.end(), kNoVertex);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active.get(u) || !star.get(u)) continue;
+      for (const VertexId v : g.neighbors(u))
+        if (f[v] != f[u] && f[v] < proposal[f[u]]) proposal[f[u]] = f[v];
+    }
+    std::unordered_set<VertexId> hooked_roots;
+    for (VertexId r = 0; r < n; ++r)
+      if (proposal[r] != kNoVertex && f[r] == r) {
+        f[r] = proposal[r];
+        hooked_roots.insert(r);
+        ++rec.uncond_hooks;
+      }
+
+    // Lemma 1: stars that survived both hookings are converged components
+    // (not applicable in the first iteration).
+    if (options.track_converged && iter > 1) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (!active.get(v) || !star.get(v)) continue;
+        // A hooked tree's members still point at the old root, but the old
+        // root itself now points outside — check both.
+        if (hooked_roots.count(f[v]) != 0 || hooked_roots.count(v) != 0)
+          continue;
+        active.set(v, false);
+        ++num_converged;
+      }
+    }
+    rec.converged_vertices = num_converged;
+
+    // Step 3: shortcutting (a no-op on stars, so no star filter needed).
+    bool shortcut_changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!active.get(v)) continue;
+      const VertexId gf = f[f[v]];
+      if (f[v] != gf) {
+        f[v] = gf;
+        shortcut_changed = true;
+      }
+    }
+
+    starcheck_dense(f, active, star);
+    for (VertexId v = 0; v < n; ++v)
+      if (star.get(v)) ++rec.star_vertices;
+
+    result.trace.push_back(rec);
+    result.iterations = iter;
+
+    const bool no_hooks = rec.cond_hooks == 0 && rec.uncond_hooks == 0;
+    if (options.track_converged && num_converged == n) break;
+    if (!options.track_converged && no_hooks && !shortcut_changed) break;
+    LACC_CHECK_MSG(iter < options.max_iterations,
+                   "AS did not converge in " << options.max_iterations
+                                             << " iterations");
+  }
+  return result;
+}
+
+CcResult lacc_grb(const graph::Csr& g, const LaccOptions& options) {
+  using grb::Vector;
+  const VertexId n = g.num_vertices();
+
+  // f starts dense (every vertex its own parent, n single-vertex stars).
+  Vector<VertexId> f(n);
+  for (VertexId v = 0; v < n; ++v) f.set(v, v);
+
+  // star holds stored entries only for *active* vertices, so masking by it
+  // automatically excludes converged components (Section IV-B).
+  Vector<bool> star = Vector<bool>::full(n, true);
+  BitVector active(n, true);
+  std::uint64_t num_converged = 0;
+
+  // Starcheck (Algorithm 6) on the active subset.
+  auto starcheck = [&]() {
+    std::vector<grb::Index> idx;
+    std::vector<VertexId> fv;
+    f.extract_tuples(idx, fv);
+    // Restrict to active vertices (converged entries of f remain stored so
+    // the final parent vector is complete).
+    std::vector<grb::Index> aidx;
+    std::vector<VertexId> afv;
+    aidx.reserve(idx.size());
+    afv.reserve(idx.size());
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      if (active.get(idx[k])) {
+        aidx.push_back(idx[k]);
+        afv.push_back(fv[k]);
+      }
+    // star <- true on active vertices.
+    grb::assign_scalar(star, aidx, true);
+    // gf[k] = f[f[v]] for active v.
+    Vector<VertexId> gf = grb::extract(f, afv);
+    // Vertices whose parent differs from their grandparent are nonstars, and
+    // so are their grandparents.
+    std::vector<grb::Index> nonstars;
+    std::vector<grb::Index> grandparents;
+    for (std::size_t k = 0; k < aidx.size(); ++k) {
+      const VertexId gfk = gf.at(static_cast<grb::Index>(k));
+      if (afv[k] != gfk) {
+        nonstars.push_back(aidx[k]);
+        grandparents.push_back(gfk);
+      }
+    }
+    grb::assign_scalar(star, nonstars, false);
+    grb::assign_scalar(star, grandparents, false);
+    // star[v] &= star[f[v]] — conjunction, not overwrite, so the rule-2
+    // marking of level-3 vertices survives (see starcheck_dense above).
+    Vector<bool> starf = grb::extract(star, afv);
+    for (std::size_t k = 0; k < aidx.size(); ++k)
+      if (starf.has(static_cast<grb::Index>(k)))
+        star.set(aidx[k], star.get_or(aidx[k], true) &&
+                              starf.at(static_cast<grb::Index>(k)));
+  };
+
+  CcResult result;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    IterationRecord rec;
+    rec.iteration = iter;
+
+    // fn[i] = min parent among neighbors of star vertex i — used by both
+    // convergence detection and conditional hooking.
+    Vector<VertexId> fn =
+        grb::mxv_select2nd(g, f, grb::MinOp{}, grb::mask_of(star));
+
+    // --- Convergence detection (start of iteration) ---
+    // A star is converged iff no member sees a neighbor parent different
+    // from its root; min and max over neighbor parents together detect any
+    // such difference exactly (trees are vertex-disjoint, so an outside
+    // neighbor's parent can never equal this root).  This replaces the
+    // paper's Lemma-1 bookkeeping, which can mis-mark a star whose
+    // adjacent star hooked to a third, smaller root in the same iteration
+    // (see DESIGN.md).
+    if (options.track_converged) {
+      const Vector<VertexId> fx =
+          grb::mxv_select2nd(g, f, grb::MaxOp{}, grb::mask_of(star));
+      std::unordered_set<VertexId> viol_roots;
+      std::vector<grb::Index> sidx;
+      std::vector<bool> sval;
+      star.extract_tuples(sidx, sval);
+      for (std::size_t k = 0; k < sidx.size(); ++k) {
+        if (!sval[k]) continue;
+        const grb::Index v = sidx[k];
+        const VertexId root = f.at(v);
+        if ((fn.has(v) && fn.at(v) != root) || (fx.has(v) && fx.at(v) != root))
+          viol_roots.insert(root);
+      }
+      for (std::size_t k = 0; k < sidx.size(); ++k) {
+        if (!sval[k]) continue;
+        const grb::Index v = sidx[k];
+        if (!active.get(v)) continue;
+        if (viol_roots.count(f.at(v)) != 0) continue;
+        active.set(v, false);
+        star.remove(v);
+        fn.remove(v);  // converged trees must not hook
+        ++num_converged;
+      }
+    }
+    rec.active_vertices = n - num_converged;
+    rec.converged_vertices = num_converged;
+    if (options.track_converged && num_converged == n) {
+      result.trace.push_back(rec);
+      result.iterations = iter;
+      break;
+    }
+
+    // --- Conditional hooking (Algorithm 3) ---
+    // fn = min(fn, f): a proposal never exceeds the tree's own root.
+    fn = grb::eWiseMult(fn, f, grb::MinOp{}, grb::no_mask());
+    // fh = parents (i.e. roots) of hooks.
+    Vector<VertexId> fh =
+        grb::eWiseMult(fn, f, grb::SecondOp{}, grb::no_mask());
+    {
+      std::vector<grb::Index> hook_idx;
+      std::vector<VertexId> hook_val, hook_root;
+      fn.extract_tuples(hook_idx, hook_val);
+      std::vector<grb::Index> tmp;
+      fh.extract_tuples(tmp, hook_root);
+      Vector<VertexId> values(static_cast<grb::Index>(hook_val.size()));
+      for (std::size_t k = 0; k < hook_val.size(); ++k)
+        values.set(static_cast<grb::Index>(k), hook_val[k]);
+      // Count roots that actually move before overwriting them.
+      std::unordered_set<VertexId> moved;
+      for (std::size_t k = 0; k < hook_val.size(); ++k)
+        if (hook_val[k] < f.at(hook_root[k])) moved.insert(hook_root[k]);
+      rec.cond_hooks = moved.size();
+      grb::assign(f, hook_root, values);
+    }
+
+    starcheck();
+
+    // --- Unconditional hooking (Algorithm 4) ---
+    // fns = parents of nonstar vertices (sparse); GrB_extract with the
+    // structural complement of star, composed from stored tuples.
+    Vector<VertexId> fns(n);
+    std::uint64_t nonstar_count = 0;
+    {
+      std::vector<grb::Index> indices;
+      std::vector<bool> values;
+      star.extract_tuples(indices, values);
+      for (std::size_t k = 0; k < indices.size(); ++k)
+        if (!values[k]) {
+          fns.set(indices[k], f.at(indices[k]));
+          ++nonstar_count;
+        }
+    }
+    std::unordered_set<VertexId> uncond_hooked;
+    if (!options.sparse_uncond_hooking) {
+      // Ablation: dense unconditional hooking — scan from the full parent
+      // vector instead of the nonstar-restricted sparse one.
+      fns = f;
+    }
+    if (nonstar_count > 0 || !options.sparse_uncond_hooking) {
+      Vector<VertexId> fn2 =
+          grb::mxv_select2nd(g, fns, grb::MinOp{}, grb::mask_of(star));
+      if (!options.sparse_uncond_hooking) {
+        // Keep only hooks that leave the tree (f[u] != f[v]).
+        Vector<VertexId> filtered(n);
+        std::vector<grb::Index> indices;
+        std::vector<VertexId> values;
+        fn2.extract_tuples(indices, values);
+        for (std::size_t k = 0; k < indices.size(); ++k)
+          if (values[k] != f.at(indices[k]))
+            filtered.set(indices[k], values[k]);
+        fn2 = filtered;
+      }
+      Vector<VertexId> fh2 =
+          grb::eWiseMult(fn2, f, grb::SecondOp{}, grb::no_mask());
+      std::vector<grb::Index> hook_idx;
+      std::vector<VertexId> hook_val, hook_root;
+      fn2.extract_tuples(hook_idx, hook_val);
+      std::vector<grb::Index> tmp;
+      fh2.extract_tuples(tmp, hook_root);
+      Vector<VertexId> values(static_cast<grb::Index>(hook_val.size()));
+      for (std::size_t k = 0; k < hook_val.size(); ++k)
+        values.set(static_cast<grb::Index>(k), hook_val[k]);
+      for (std::size_t k = 0; k < hook_root.size(); ++k)
+        if (hook_val[k] != f.at(hook_root[k])) uncond_hooked.insert(hook_root[k]);
+      rec.uncond_hooks = uncond_hooked.size();
+      grb::assign(f, hook_root, values);
+    }
+
+    // --- Shortcut (Algorithm 5) on the active subset ---
+    bool shortcut_changed = false;
+    {
+      std::vector<grb::Index> idx;
+      std::vector<VertexId> fv;
+      f.extract_tuples(idx, fv);
+      std::vector<grb::Index> aidx;
+      std::vector<VertexId> afv;
+      for (std::size_t k = 0; k < idx.size(); ++k)
+        if (active.get(idx[k])) {
+          aidx.push_back(idx[k]);
+          afv.push_back(fv[k]);
+        }
+      Vector<VertexId> gf = grb::extract(f, afv);
+      for (std::size_t k = 0; k < aidx.size(); ++k) {
+        const VertexId gfk = gf.at(static_cast<grb::Index>(k));
+        if (gfk != afv[k]) shortcut_changed = true;
+        f.set(aidx[k], gfk);
+      }
+    }
+
+    starcheck();
+    {
+      std::vector<grb::Index> indices;
+      std::vector<bool> values;
+      star.extract_tuples(indices, values);
+      for (const bool s : values)
+        if (s) ++rec.star_vertices;
+      rec.star_vertices += num_converged;  // converged stars remain stars
+    }
+
+    result.trace.push_back(rec);
+    result.iterations = iter;
+
+    // Set LACC_TRACE=1 to dump the per-iteration state to stderr.
+    static const bool trace_enabled = std::getenv("LACC_TRACE") != nullptr;
+    if (trace_enabled)
+      std::fprintf(stderr,
+                   "lacc_grb it=%d active=%llu conv=%llu ch=%llu uh=%llu "
+                   "stars=%llu sc=%d\n",
+                   iter, static_cast<unsigned long long>(rec.active_vertices),
+                   static_cast<unsigned long long>(rec.converged_vertices),
+                   static_cast<unsigned long long>(rec.cond_hooks),
+                   static_cast<unsigned long long>(rec.uncond_hooks),
+                   static_cast<unsigned long long>(rec.star_vertices),
+                   shortcut_changed ? 1 : 0);
+
+    const bool no_hooks = rec.cond_hooks == 0 && rec.uncond_hooks == 0;
+    if (options.track_converged && num_converged == n) break;
+    if (no_hooks && !shortcut_changed) break;
+    LACC_CHECK_MSG(iter < options.max_iterations,
+                   "LACC did not converge in " << options.max_iterations
+                                               << " iterations");
+  }
+
+  result.parent.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.parent[v] = f.at(v);
+  return result;
+}
+
+}  // namespace lacc::core

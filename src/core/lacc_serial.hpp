@@ -1,0 +1,30 @@
+// Serial connected-components algorithms from the paper.
+//
+// Two implementations with identical semantics but different machinery:
+//
+//  * awerbuch_shiloach: a direct transcription of the PRAM algorithm
+//    (paper Algorithms 1-2) over dense arrays.  Every iteration touches
+//    every edge and vertex — the "no sparsity" starting point the paper
+//    improves on.
+//
+//  * lacc_grb: the GraphBLAS formulation (paper Algorithms 3-6) over the
+//    grb layer, with the sparsity optimizations of Section IV-B (Lemma 1
+//    converged-component tracking, Lemma 2 star->nonstar unconditional
+//    hooking).  This mirrors the serial LAGraph implementation the authors
+//    published for educational purposes, plus the sparsity the paper adds.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace lacc::core {
+
+/// Direct PRAM Awerbuch–Shiloach (dense; CRCW arbitrary-write emulated with
+/// a min-reduction for determinism).
+CcResult awerbuch_shiloach(const graph::Csr& g,
+                           const LaccOptions& options = {});
+
+/// LACC over serial GraphBLAS primitives.
+CcResult lacc_grb(const graph::Csr& g, const LaccOptions& options = {});
+
+}  // namespace lacc::core

@@ -1,0 +1,90 @@
+// Options, per-iteration trace records, and results shared by every
+// connected-components implementation in the repository.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace lacc::core {
+
+/// Toggles for the paper's optimizations; all on by default.  Turning one
+/// off reproduces the corresponding ablation in bench_ablation_optimizations.
+struct LaccOptions {
+  /// Lemma 1: track converged components and drop them from the active set.
+  bool track_converged = true;
+
+  /// Lemma 2: restrict unconditional hooking to star->nonstar hooks using a
+  /// sparse vector of nonstar parents (off = dense scan like plain AS).
+  bool sparse_uncond_hooking = true;
+
+  /// Use sparse vectors (SpMSpV / sparse assign-extract) once the active
+  /// set shrinks; off forces dense operations every iteration.
+  bool use_sparse_vectors = true;
+
+  /// Distributed only — mitigate skewed all-to-alls by broadcasting from
+  /// overloaded ranks (Section V-B).
+  bool hotspot_broadcast = true;
+
+  /// Distributed only — requests-to-elements ratio above which a rank
+  /// switches from all-to-all participation to broadcast (the paper's
+  /// system-dependent tunable h).
+  double hotspot_threshold = 4.0;
+
+  /// Distributed only — use the hypercube all-to-all of Sundar et al.
+  /// instead of pairwise exchange.
+  bool hypercube_alltoall = true;
+
+  /// Distributed only — store vectors cyclically (element g on rank g mod
+  /// p) instead of block-aligned.  The paper's future-work proposal: it
+  /// spreads the low-vertex-id hotspots of extract/assign evenly across
+  /// ranks, at the cost of a realignment all-to-all around every mxv.
+  bool cyclic_vectors = false;
+
+  /// Safety valve for adversarial inputs; the algorithm provably needs
+  /// O(log n) iterations.
+  int max_iterations = 10000;
+};
+
+/// What happened in one LACC iteration (drives Figure 7 and Table I).
+struct IterationRecord {
+  int iteration = 0;
+  std::uint64_t active_vertices = 0;     ///< vertices processed this iteration
+  std::uint64_t converged_vertices = 0;  ///< total vertices in converged comps
+  std::uint64_t cond_hooks = 0;          ///< trees hooked conditionally
+  std::uint64_t uncond_hooks = 0;        ///< trees hooked unconditionally
+  std::uint64_t star_vertices = 0;       ///< star vertices after the iteration
+  double modeled_seconds = 0;            ///< distributed runs: this
+                                         ///< iteration's modeled time
+};
+
+/// Result of a connected-components run.
+struct CcResult {
+  std::vector<VertexId> parent;  ///< parent[v] = component root of v
+  int iterations = 0;
+  std::vector<IterationRecord> trace;
+};
+
+/// Number of distinct roots in a parent vector.
+std::uint64_t count_components(const std::vector<VertexId>& parent);
+
+/// Sizes of all components, largest first.
+std::vector<std::uint64_t> component_sizes(const std::vector<VertexId>& parent);
+
+/// Histogram of component sizes by power-of-two bucket: pairs of
+/// (bucket lower bound, number of components in [bound, 2*bound)).
+std::vector<std::pair<std::uint64_t, std::uint64_t>> component_size_histogram(
+    const std::vector<VertexId>& parent);
+
+/// Relabel each vertex's component id as the minimum vertex id in its
+/// component, making partitions from different algorithms comparable.
+std::vector<VertexId> normalize_labels(const std::vector<VertexId>& parent);
+
+/// True iff two parent vectors encode the same partition of vertices.
+bool same_partition(const std::vector<VertexId>& a,
+                    const std::vector<VertexId>& b);
+
+}  // namespace lacc::core

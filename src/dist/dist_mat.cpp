@@ -1,0 +1,88 @@
+#include "dist/dist_mat.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/error.hpp"
+
+namespace lacc::dist {
+
+namespace {
+
+/// A directed nonzero routed during ingestion.
+struct Entry {
+  VertexId row;
+  VertexId col;
+  friend bool operator==(const Entry&, const Entry&) = default;
+  friend auto operator<=>(const Entry& a, const Entry& b) {
+    // Column-major order: DCSC construction wants columns contiguous.
+    return std::tie(a.col, a.row) <=> std::tie(b.col, b.row);
+  }
+};
+
+}  // namespace
+
+DistCsc::DistCsc(ProcGrid& grid, const graph::EdgeList& el)
+    : n_(el.n),
+      q_(grid.q()),
+      part_(el.n, static_cast<std::uint64_t>(grid.size())) {
+  const auto q64 = static_cast<std::uint64_t>(q_);
+  row_begin_ = part_.begin(static_cast<std::uint64_t>(grid.my_row()) * q64);
+  row_end_ = part_.end(static_cast<std::uint64_t>(grid.my_row() + 1) * q64 - 1);
+  col_begin_ = part_.begin(static_cast<std::uint64_t>(grid.my_col()) * q64);
+  col_end_ = part_.end(static_cast<std::uint64_t>(grid.my_col() + 1) * q64 - 1);
+
+  auto& world = grid.world();
+
+  // Each rank symmetrizes its slice of the edge list and buckets the
+  // resulting directed entries by owning block.
+  const BlockPartition edge_slice(el.edges.size(),
+                                  static_cast<std::uint64_t>(world.size()));
+  const auto lo = edge_slice.begin(static_cast<std::uint64_t>(world.rank()));
+  const auto hi = edge_slice.end(static_cast<std::uint64_t>(world.rank()));
+
+  std::vector<std::vector<Entry>> bucket(static_cast<std::size_t>(world.size()));
+  auto route = [&](VertexId r, VertexId c) {
+    LACC_CHECK_MSG(r < n_ && c < n_, "edge endpoint out of range");
+    const int dest = grid.rank_of(grid_row_of(r), grid_col_of(c));
+    bucket[static_cast<std::size_t>(dest)].push_back({r, c});
+  };
+  for (auto e = lo; e < hi; ++e) {
+    const auto& edge = el.edges[e];
+    if (edge.u == edge.v) continue;
+    route(edge.u, edge.v);
+    route(edge.v, edge.u);
+  }
+  world.charge_compute(static_cast<double>(2 * (hi - lo)));
+
+  std::vector<Entry> send;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(world.size()));
+  for (std::size_t d = 0; d < bucket.size(); ++d) {
+    counts[d] = bucket[d].size();
+    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
+  }
+  std::vector<Entry> mine =
+      world.alltoallv(send, counts, sim::AllToAllAlgo::kPairwise);
+
+  std::sort(mine.begin(), mine.end());
+  mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+  world.charge_compute(static_cast<double>(mine.size()) * 4);  // sort passes
+
+  // DCSC build: one jc entry per nonempty column.
+  for (std::size_t k = 0; k < mine.size(); ++k) {
+    LACC_DCHECK(mine[k].row >= row_begin_ && mine[k].row < row_end_);
+    LACC_DCHECK(mine[k].col >= col_begin_ && mine[k].col < col_end_);
+    if (k == 0 || mine[k].col != mine[k - 1].col) {
+      jc_.push_back(mine[k].col);
+      cp_.push_back(ir_.size());
+    }
+    ir_.push_back(mine[k].row);
+  }
+  cp_.push_back(ir_.size());
+  if (jc_.empty()) cp_.assign(1, 0);
+
+  global_nnz_ = world.allreduce(static_cast<EdgeId>(ir_.size()),
+                                [](EdgeId a, EdgeId b) { return a + b; });
+}
+
+}  // namespace lacc::dist

@@ -1,0 +1,72 @@
+// 2D block-distributed pattern matrix in DCSC form.
+//
+// Block (i, j) of the q x q grid holds rows R_i x columns C_j, where R_i
+// and C_j are unions of q consecutive vector chunks — the alignment that
+// lets SpMV gather its input inside column communicators and reduce-scatter
+// its output inside row communicators (Section V-A).  LACC's semiring is
+// (Select2nd, min), so the matrix carries structure only: local blocks are
+// doubly-compressed sparse columns with no numerical values, exactly like
+// CombBLAS's DCSC for boolean adjacency matrices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/grid.hpp"
+#include "graph/edge_list.hpp"
+#include "support/partition.hpp"
+#include "support/types.hpp"
+
+namespace lacc::dist {
+
+/// One rank's block of the distributed adjacency matrix.
+class DistCsc {
+ public:
+  /// Collective over the grid's world communicator.  Every rank reads its
+  /// slice of `el` (the generator output is shared memory here; on a real
+  /// cluster each rank would generate or read its slice), symmetrizes it,
+  /// and routes entries to block owners with an all-to-all — the same
+  /// ingestion pattern as distributed Graph500 construction.
+  DistCsc(ProcGrid& grid, const graph::EdgeList& el);
+
+  VertexId n() const { return n_; }
+  EdgeId local_nnz() const { return ir_.size(); }
+  EdgeId global_nnz() const { return global_nnz_; }
+
+  /// Vector-chunk partition the matrix blocks are aligned to.
+  const BlockPartition& chunk_partition() const { return part_; }
+
+  VertexId row_begin() const { return row_begin_; }
+  VertexId row_end() const { return row_end_; }
+  VertexId col_begin() const { return col_begin_; }
+  VertexId col_end() const { return col_end_; }
+
+  /// Global ids of this block's nonempty columns, ascending.
+  const std::vector<VertexId>& col_ids() const { return jc_; }
+
+  /// Global row ids (ascending) of nonempty column index `ci` (an index
+  /// into col_ids(), not a global column id).
+  std::span<const VertexId> col_rows(std::size_t ci) const {
+    return {ir_.data() + cp_[ci], ir_.data() + cp_[ci + 1]};
+  }
+
+  /// Grid row that owns matrix row g / grid column that owns column g.
+  int grid_row_of(VertexId g) const {
+    return static_cast<int>(part_.owner(g) / static_cast<std::uint64_t>(q_));
+  }
+  int grid_col_of(VertexId g) const { return grid_row_of(g); }
+
+ private:
+  VertexId n_ = 0;
+  int q_ = 1;
+  BlockPartition part_;
+  VertexId row_begin_ = 0, row_end_ = 0;
+  VertexId col_begin_ = 0, col_end_ = 0;
+  EdgeId global_nnz_ = 0;
+
+  std::vector<VertexId> jc_;     // nonempty column ids (global)
+  std::vector<std::size_t> cp_;  // column pointers into ir_
+  std::vector<VertexId> ir_;     // row ids (global)
+};
+
+}  // namespace lacc::dist

@@ -1,0 +1,213 @@
+// Distributed GraphBLAS-style vector.
+//
+// Two layouts are supported:
+//
+//  * kBlockAligned (default, CombBLAS's layout): the global index space
+//    [0, n) is split into p near-equal chunks (BlockPartition); chunk
+//    c = j*q + i lives on grid rank (i, j) — the "column-major aligned"
+//    layout that makes the chunks needed by processor column j exactly the
+//    ones owned by the ranks of column j, so SpMV's first phase is a plain
+//    allgather within column communicators (Section V of the paper).
+//
+//  * kCyclic (the paper's future-work proposal): element g lives on world
+//    rank g mod p.  Hooking concentrates parents on small vertex ids, so a
+//    block layout funnels extract/assign traffic onto low-ranked processes
+//    (Figure 3); the cyclic layout spreads those ids evenly.  The price is
+//    that SpMV's alignment breaks: cyclic vectors must be realigned to the
+//    block layout (an all-to-all) before and after every mxv — exactly the
+//    trade-off the paper's conclusion sketches.
+//
+// Local storage is dense-with-presence-bitmap for simplicity; every
+// communication path extracts stored tuples first, so modeled costs follow
+// the *stored element counts*, exactly like CombBLAS's sparse vectors.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dist/grid.hpp"
+#include "support/bitvector.hpp"
+#include "support/error.hpp"
+#include "support/partition.hpp"
+#include "support/types.hpp"
+
+namespace lacc::dist {
+
+/// (global index, value) tuple of a stored element.
+template <typename T>
+struct Tuple {
+  VertexId index;
+  T value;
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+/// Vector data layout (see file comment).
+enum class Layout { kBlockAligned, kCyclic };
+
+/// One rank's share of a distributed vector of global size n.
+template <typename T>
+class DistVec {
+ public:
+  DistVec(const ProcGrid& grid, VertexId n, Layout layout = Layout::kBlockAligned)
+      : n_(n),
+        layout_(layout),
+        p_(static_cast<std::uint64_t>(grid.size())),
+        rank_(static_cast<std::uint64_t>(grid.rank())),
+        part_(n, static_cast<std::uint64_t>(grid.size())),
+        chunk_(static_cast<std::uint64_t>(grid.my_col()) *
+                   static_cast<std::uint64_t>(grid.q()) +
+               static_cast<std::uint64_t>(grid.my_row())),
+        begin_(part_.begin(chunk_)),
+        end_(part_.end(chunk_)) {
+    const VertexId count =
+        layout_ == Layout::kBlockAligned
+            ? end_ - begin_
+            : (n_ > rank_ ? (n_ - rank_ - 1) / p_ + 1 : 0);
+    values_.resize(count);
+    present_ = BitVector(count, false);
+  }
+
+  VertexId global_size() const { return n_; }
+  Layout layout() const { return layout_; }
+  /// First owned global index (block layout only).
+  VertexId begin() const {
+    LACC_DCHECK(layout_ == Layout::kBlockAligned);
+    return begin_;
+  }
+  /// One past the last owned global index (block layout only).
+  VertexId end() const {
+    LACC_DCHECK(layout_ == Layout::kBlockAligned);
+    return end_;
+  }
+  VertexId local_size() const { return static_cast<VertexId>(values_.size()); }
+  VertexId local_nvals() const { return nvals_; }
+  const BlockPartition& partition() const { return part_; }
+  std::uint64_t chunk() const { return chunk_; }
+
+  /// Global index of local slot k.
+  VertexId global_at(VertexId k) const {
+    return layout_ == Layout::kBlockAligned ? begin_ + k : rank_ + k * p_;
+  }
+
+  /// Local slot of an owned global index (inverse of global_at).
+  VertexId local_slot(VertexId g) const {
+    LACC_DCHECK(owns(g));
+    return slot(g);
+  }
+
+  bool owns(VertexId g) const {
+    return layout_ == Layout::kBlockAligned ? (g >= begin_ && g < end_)
+                                            : (g < n_ && g % p_ == rank_);
+  }
+
+  /// Grid-agnostic owner chunk of a global index (block layout).
+  std::uint64_t owner_chunk(VertexId g) const { return part_.owner(g); }
+
+  bool has(VertexId g) const {
+    LACC_DCHECK(owns(g));
+    return present_.get(slot(g));
+  }
+  T at(VertexId g) const {
+    LACC_CHECK_MSG(has(g), "reading unstored element " << g);
+    return values_[slot(g)];
+  }
+  T get_or(VertexId g, T fallback) const {
+    return has(g) ? values_[slot(g)] : fallback;
+  }
+  void set(VertexId g, T v) {
+    LACC_DCHECK(owns(g));
+    const auto k = slot(g);
+    if (!present_.get(k)) {
+      present_.set(k, true);
+      ++nvals_;
+    }
+    values_[k] = v;
+  }
+  void remove(VertexId g) {
+    LACC_DCHECK(owns(g));
+    const auto k = slot(g);
+    if (present_.get(k)) {
+      present_.set(k, false);
+      --nvals_;
+    }
+  }
+  void clear() {
+    present_.fill(false);
+    nvals_ = 0;
+  }
+  void fill(T v) {
+    for (auto& x : values_) x = v;
+    present_.fill(true);
+    nvals_ = local_size();
+  }
+
+  /// Stored tuples of the local share, in global-index order.
+  std::vector<Tuple<T>> tuples() const {
+    std::vector<Tuple<T>> out;
+    out.reserve(nvals_);
+    for (VertexId k = 0; k < local_size(); ++k)
+      if (present_.get(k)) out.push_back({global_at(k), values_[k]});
+    return out;
+  }
+
+  /// Iterate owned global indices: `for (VertexId g : v.owned())`.
+  class OwnedRange {
+   public:
+    class Iterator {
+     public:
+      Iterator(const DistVec* v, VertexId k) : v_(v), k_(k) {}
+      VertexId operator*() const { return v_->global_at(k_); }
+      Iterator& operator++() {
+        ++k_;
+        return *this;
+      }
+      bool operator!=(const Iterator& other) const { return k_ != other.k_; }
+
+     private:
+      const DistVec* v_;
+      VertexId k_;
+    };
+    explicit OwnedRange(const DistVec* v) : v_(v) {}
+    Iterator begin() const { return {v_, 0}; }
+    Iterator end() const { return {v_, v_->local_size()}; }
+
+   private:
+    const DistVec* v_;
+  };
+  OwnedRange owned() const { return OwnedRange(this); }
+
+ private:
+  VertexId slot(VertexId g) const {
+    return layout_ == Layout::kBlockAligned ? g - begin_ : g / p_;
+  }
+
+  VertexId n_;
+  Layout layout_;
+  std::uint64_t p_;
+  std::uint64_t rank_;
+  BlockPartition part_;
+  std::uint64_t chunk_;
+  VertexId begin_;
+  VertexId end_;
+  std::vector<T> values_;
+  BitVector present_;
+  VertexId nvals_ = 0;
+};
+
+/// World rank owning chunk c under the column-major-aligned layout.
+inline int chunk_owner_rank(const ProcGrid& grid, std::uint64_t c) {
+  const auto q = static_cast<std::uint64_t>(grid.q());
+  const int i = static_cast<int>(c % q);
+  const int j = static_cast<int>(c / q);
+  return grid.rank_of(i, j);
+}
+
+/// World rank owning global vector index g under the vector's layout.
+template <typename T>
+int owner_rank(const ProcGrid& grid, const DistVec<T>& v, VertexId g) {
+  if (v.layout() == Layout::kCyclic)
+    return static_cast<int>(g % static_cast<std::uint64_t>(grid.size()));
+  return chunk_owner_rank(grid, v.partition().owner(g));
+}
+
+}  // namespace lacc::dist

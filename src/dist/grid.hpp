@@ -1,0 +1,63 @@
+// Square 2D processor grid, mirroring CombBLAS's matrix distribution.
+//
+// World rank r sits at grid position (row = r / q, col = r % q) on a q x q
+// grid.  Row and column sub-communicators carry the two communication
+// phases of distributed SpMV (Section V-A): an allgather within processor
+// columns followed by a reduce-scatter within processor rows.
+#pragma once
+
+#include "sim/comm.hpp"
+#include "support/error.hpp"
+
+namespace lacc::dist {
+
+/// A rank's view of the process grid.
+class ProcGrid {
+ public:
+  /// Collective: every rank of `world` must call this.  The world size must
+  /// be a perfect square (the paper: "we only used square process grids
+  /// because rectangular grids are not supported in CombBLAS").
+  explicit ProcGrid(sim::Comm world)
+      : world_(world),
+        q_(isqrt(world.size())),
+        my_row_(world.rank() / q_),
+        my_col_(world.rank() % q_),
+        row_comm_(world.split(my_row_, my_col_)),
+        col_comm_(world.split(my_col_, my_row_)) {
+    LACC_CHECK_MSG(q_ * q_ == world.size(),
+                   "process count " << world.size() << " is not a square");
+  }
+
+  sim::Comm& world() { return world_; }
+  sim::Comm& row_comm() { return row_comm_; }  ///< ranks sharing my grid row
+  sim::Comm& col_comm() { return col_comm_; }  ///< ranks sharing my grid column
+
+  int q() const { return q_; }          ///< grid side length
+  int size() const { return q_ * q_; }
+  int my_row() const { return my_row_; }
+  int my_col() const { return my_col_; }
+  int rank() const { return world_.rank(); }
+
+  /// World rank of grid position (i, j).
+  int rank_of(int i, int j) const { return i * q_ + j; }
+
+  /// World rank of my transpose partner (j, i) — the realignment exchange
+  /// after the row-wise reduce-scatter of SpMV.
+  int transpose_rank() const { return rank_of(my_col_, my_row_); }
+
+ private:
+  static int isqrt(int p) {
+    int q = 0;
+    while ((q + 1) * (q + 1) <= p) ++q;
+    return q;
+  }
+
+  sim::Comm world_;
+  int q_;
+  int my_row_;
+  int my_col_;
+  sim::Comm row_comm_;
+  sim::Comm col_comm_;
+};
+
+}  // namespace lacc::dist

@@ -1,0 +1,416 @@
+#include "dist/ops.hpp"
+
+#include <algorithm>
+
+namespace lacc::dist {
+
+namespace {
+
+constexpr VertexId kAbsent = kNoVertex;  // "no contribution" marker
+
+}  // namespace
+
+DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
+                                const DistVec<VertexId>& x,
+                                const MaskSpec& mask, const CommTuning& tuning,
+                                SemiringAdd add) {
+  // Real values are < n, so kAbsent doubles as "slot untouched"; combining
+  // treats it as the identity of either semiring addition.
+  const auto combine = [add](VertexId a, VertexId b) {
+    if (a == kAbsent) return b;
+    if (b == kAbsent) return a;
+    return add == SemiringAdd::kMin ? std::min(a, b) : std::max(a, b);
+  };
+  LACC_CHECK(x.global_size() == A.n());
+  LACC_CHECK_MSG(x.layout() == Layout::kBlockAligned,
+                 "mxv requires block-aligned input; realign with to_layout");
+  auto& world = grid.world();
+  const auto q = static_cast<std::uint64_t>(grid.q());
+  const BlockPartition& part = A.chunk_partition();
+
+  const std::uint64_t stored = global_nvals(grid, x);
+  const bool dense_path =
+      tuning.force_dense ||
+      static_cast<double>(stored) >
+          tuning.dense_threshold * static_cast<double>(A.n());
+
+  // ---- Phase 1: gather the input fragment within the processor column.
+  // Column-comm rank k holds chunk j*q + k, so the concatenation is the
+  // contiguous column range C_j in ascending global order.
+  const std::vector<Tuple<VertexId>> gathered =
+      grid.col_comm().allgatherv(x.tuples());
+
+  // ---- Local multiply into a row-range accumulator.
+  const VertexId rb = A.row_begin(), re = A.row_end();
+  const VertexId cb = A.col_begin();
+  std::vector<VertexId> acc(re - rb, kAbsent);
+  std::vector<VertexId> touched;  // sparse path keeps the support explicit
+  double flops = 0;
+
+  auto accumulate = [&](VertexId row, VertexId value) {
+    auto& slot = acc[row - rb];
+    if (slot == kAbsent) touched.push_back(row);
+    slot = combine(slot, value);
+  };
+
+  if (dense_path) {
+    std::vector<VertexId> xd(A.col_end() - cb, kAbsent);
+    for (const auto& t : gathered) xd[t.index - cb] = t.value;
+    const auto& cols = A.col_ids();
+    for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+      const VertexId xv = xd[cols[ci] - cb];
+      if (xv == kAbsent) continue;
+      for (const VertexId r : A.col_rows(ci)) accumulate(r, xv);
+      flops += static_cast<double>(A.col_rows(ci).size());
+    }
+    flops += static_cast<double>(gathered.size());
+  } else {
+    // SpMSpV: merge-join stored input entries with the nonempty columns.
+    const auto& cols = A.col_ids();
+    std::size_t ci = 0;
+    for (const auto& t : gathered) {
+      while (ci < cols.size() && cols[ci] < t.index) ++ci;
+      if (ci == cols.size()) break;
+      if (cols[ci] != t.index) continue;
+      for (const VertexId r : A.col_rows(ci)) accumulate(r, t.value);
+      flops += static_cast<double>(A.col_rows(ci).size()) + 1;
+    }
+  }
+  world.charge_compute(flops);
+
+  // ---- Phase 2: combine partial results within the processor row.  The
+  // paper: SpMV uses a dense reduce-scatter; SpMSpV an irregular all-to-all
+  // with a local merge, falling back to dense when the unreduced output
+  // stops being sparse.
+  // The reduce strategy is a collective choice: every rank of the row must
+  // take the same branch, so the per-rank density votes are OR-reduced.
+  const std::uint8_t dense_vote =
+      (dense_path || touched.size() * 4 > acc.size()) ? 1 : 0;
+  const bool dense_reduce =
+      grid.row_comm().allreduce(dense_vote, [](std::uint8_t a, std::uint8_t b) {
+        return static_cast<std::uint8_t>(a | b);
+      }) != 0;
+  std::vector<Tuple<VertexId>> piece;  // my chunk of the reduced output
+  const auto my_piece_chunk =
+      static_cast<std::uint64_t>(grid.my_row()) * q +
+      static_cast<std::uint64_t>(grid.my_col());
+
+  if (dense_reduce) {
+    const BlockPartition row_split(acc.size(), q);
+    const std::vector<VertexId> reduced =
+        grid.row_comm().reduce_scatter_block(acc, combine, row_split);
+    const VertexId piece_begin = part.begin(my_piece_chunk);
+    for (std::size_t k = 0; k < reduced.size(); ++k)
+      if (reduced[k] != kAbsent)
+        piece.push_back({piece_begin + k, reduced[k]});
+  } else {
+    const auto my_row_first_chunk = static_cast<std::uint64_t>(grid.my_row()) * q;
+    std::vector<std::vector<Tuple<VertexId>>> bucket(q);
+    std::sort(touched.begin(), touched.end());
+    for (const VertexId r : touched) {
+      const auto k = part.owner(r) - my_row_first_chunk;
+      bucket[k].push_back({r, acc[r - rb]});
+    }
+    std::vector<Tuple<VertexId>> send;
+    std::vector<std::size_t> counts(q, 0);
+    for (std::uint64_t k = 0; k < q; ++k) {
+      counts[k] = bucket[k].size();
+      send.insert(send.end(), bucket[k].begin(), bucket[k].end());
+    }
+    const auto received =
+        grid.row_comm().alltoallv(send, counts, tuning.alltoall);
+    // Merge duplicates (same row from several column blocks) with min.
+    std::vector<Tuple<VertexId>> merged(received);
+    std::sort(merged.begin(), merged.end(),
+              [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
+                return a.index < b.index;
+              });
+    for (const auto& t : merged) {
+      if (!piece.empty() && piece.back().index == t.index)
+        piece.back().value = combine(piece.back().value, t.value);
+      else
+        piece.push_back(t);
+    }
+    world.charge_compute(static_cast<double>(received.size()) * 3);
+  }
+
+  // ---- Phase 3: transpose realignment.  Rank (i, j) holds chunk i*q + j,
+  // whose canonical home is rank (j, i).
+  const std::vector<Tuple<VertexId>> realigned =
+      world.sendrecv(piece, grid.transpose_rank(), grid.transpose_rank());
+
+  DistVec<VertexId> out(grid, A.n());
+  for (const auto& t : realigned) {
+    LACC_DCHECK(out.owns(t.index));
+    if (mask.allows(t.index)) out.set(t.index, t.value);
+  }
+  world.charge_compute(static_cast<double>(realigned.size()));
+  return out;
+}
+
+std::uint64_t scatter_assign_min(ProcGrid& grid, DistVec<VertexId>& w,
+                                 std::vector<Tuple<VertexId>> pairs,
+                                 const CommTuning& tuning, bool only_if_root) {
+  auto& world = grid.world();
+  const auto p = static_cast<std::size_t>(world.size());
+
+  // Sender-side combining: duplicate targets reduce to their min before
+  // anything is shipped (the receiver still reduces across senders).
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
+              return a.index < b.index || (a.index == b.index && a.value < b.value);
+            });
+  pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                          [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
+                            return a.index == b.index;
+                          }),
+              pairs.end());
+
+  std::vector<std::vector<Tuple<VertexId>>> bucket(p);
+  for (const auto& t : pairs)
+    bucket[static_cast<std::size_t>(owner_rank(grid, w, t.index))].push_back(t);
+  std::vector<Tuple<VertexId>> send;
+  std::vector<std::size_t> counts(p, 0);
+  for (std::size_t d = 0; d < p; ++d) {
+    counts[d] = bucket[d].size();
+    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
+  }
+  std::vector<Tuple<VertexId>> mine =
+      world.alltoallv(send, counts, tuning.alltoall);
+
+  // Deduplicate targets with min, then overwrite (GraphBLAS assign).
+  std::sort(mine.begin(), mine.end(),
+            [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
+              return a.index < b.index || (a.index == b.index && a.value < b.value);
+            });
+  std::uint64_t changed = 0;
+  for (std::size_t k = 0; k < mine.size(); ++k) {
+    if (k > 0 && mine[k].index == mine[k - 1].index) continue;
+    const VertexId t = mine[k].index;
+    LACC_CHECK_MSG(w.owns(t), "assign target " << t << " misrouted");
+    if (only_if_root && (!w.has(t) || w.at(t) != t)) continue;
+    if (!w.has(t) || w.at(t) != mine[k].value) ++changed;
+    w.set(t, mine[k].value);
+  }
+  world.charge_compute(static_cast<double>(mine.size()) * 3);
+  return world.allreduce(changed,
+                         [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+void scatter_set(ProcGrid& grid, DistVec<std::uint8_t>& w,
+                 std::vector<VertexId> targets, std::uint8_t value,
+                 const CommTuning& tuning) {
+  auto& world = grid.world();
+  const auto p = static_cast<std::size_t>(world.size());
+
+  // Duplicate targets (e.g. many children marking one root) ship once.
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+  std::vector<std::vector<VertexId>> bucket(p);
+  for (const VertexId t : targets)
+    bucket[static_cast<std::size_t>(owner_rank(grid, w, t))].push_back(t);
+  std::vector<VertexId> send;
+  std::vector<std::size_t> counts(p, 0);
+  for (std::size_t d = 0; d < p; ++d) {
+    counts[d] = bucket[d].size();
+    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
+  }
+  const std::vector<VertexId> mine =
+      world.alltoallv(send, counts, tuning.alltoall);
+  for (const VertexId t : mine) {
+    LACC_CHECK_MSG(w.owns(t), "scatter_set target " << t << " misrouted");
+    w.set(t, value);
+  }
+  world.charge_compute(static_cast<double>(mine.size()));
+}
+
+
+
+namespace {
+
+/// Fused accumulator for the min+max kernel; mn == kAbsent marks "empty".
+struct MinMax {
+  VertexId mn;
+  VertexId mx;
+};
+
+struct MmTuple {
+  VertexId index;
+  MinMax v;
+};
+
+MinMax mm_combine(MinMax a, MinMax b) {
+  if (a.mn == kAbsent) return b;
+  if (b.mn == kAbsent) return a;
+  return {std::min(a.mn, b.mn), std::max(a.mx, b.mx)};
+}
+
+}  // namespace
+
+std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
+    ProcGrid& grid, const DistCsc& A, const DistVec<VertexId>& x,
+    const MaskSpec& mask, const CommTuning& tuning) {
+  LACC_CHECK(x.global_size() == A.n());
+  LACC_CHECK_MSG(x.layout() == Layout::kBlockAligned,
+                 "mxv requires block-aligned input; realign with to_layout");
+  auto& world = grid.world();
+  const auto q = static_cast<std::uint64_t>(grid.q());
+  const BlockPartition& part = A.chunk_partition();
+
+  const std::uint64_t stored = global_nvals(grid, x);
+  const bool dense_path =
+      tuning.force_dense ||
+      static_cast<double>(stored) >
+          tuning.dense_threshold * static_cast<double>(A.n());
+
+  // Phase 1: one shared input gather within the processor column.
+  const std::vector<Tuple<VertexId>> gathered =
+      grid.col_comm().allgatherv(x.tuples());
+
+  const VertexId rb = A.row_begin(), re = A.row_end();
+  const VertexId cb = A.col_begin();
+  std::vector<MinMax> acc(re - rb, MinMax{kAbsent, kAbsent});
+  std::vector<VertexId> touched;
+  double flops = 0;
+
+  auto accumulate = [&](VertexId row, VertexId value) {
+    auto& slot = acc[row - rb];
+    if (slot.mn == kAbsent) touched.push_back(row);
+    slot = mm_combine(slot, MinMax{value, value});
+  };
+
+  if (dense_path) {
+    std::vector<VertexId> xd(A.col_end() - cb, kAbsent);
+    for (const auto& t : gathered) xd[t.index - cb] = t.value;
+    const auto& cols = A.col_ids();
+    for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+      const VertexId xv = xd[cols[ci] - cb];
+      if (xv == kAbsent) continue;
+      for (const VertexId r : A.col_rows(ci)) accumulate(r, xv);
+      flops += static_cast<double>(A.col_rows(ci).size());
+    }
+    flops += static_cast<double>(gathered.size());
+  } else {
+    const auto& cols = A.col_ids();
+    std::size_t ci = 0;
+    for (const auto& t : gathered) {
+      while (ci < cols.size() && cols[ci] < t.index) ++ci;
+      if (ci == cols.size()) break;
+      if (cols[ci] != t.index) continue;
+      for (const VertexId r : A.col_rows(ci)) accumulate(r, t.value);
+      flops += static_cast<double>(A.col_rows(ci).size()) + 1;
+    }
+  }
+  world.charge_compute(flops);
+
+  const std::uint8_t dense_vote =
+      (dense_path || touched.size() * 4 > acc.size()) ? 1 : 0;
+  const bool dense_reduce =
+      grid.row_comm().allreduce(dense_vote, [](std::uint8_t a, std::uint8_t b) {
+        return static_cast<std::uint8_t>(a | b);
+      }) != 0;
+  std::vector<MmTuple> piece;
+  const auto my_piece_chunk =
+      static_cast<std::uint64_t>(grid.my_row()) * q +
+      static_cast<std::uint64_t>(grid.my_col());
+
+  if (dense_reduce) {
+    const BlockPartition row_split(acc.size(), q);
+    const std::vector<MinMax> reduced =
+        grid.row_comm().reduce_scatter_block(acc, mm_combine, row_split);
+    const VertexId piece_begin = part.begin(my_piece_chunk);
+    for (std::size_t k = 0; k < reduced.size(); ++k)
+      if (reduced[k].mn != kAbsent)
+        piece.push_back({piece_begin + k, reduced[k]});
+  } else {
+    const auto my_row_first_chunk =
+        static_cast<std::uint64_t>(grid.my_row()) * q;
+    std::vector<std::vector<MmTuple>> bucket(q);
+    std::sort(touched.begin(), touched.end());
+    for (const VertexId r : touched) {
+      const auto k = part.owner(r) - my_row_first_chunk;
+      bucket[k].push_back({r, acc[r - rb]});
+    }
+    std::vector<MmTuple> send;
+    std::vector<std::size_t> counts(q, 0);
+    for (std::uint64_t k = 0; k < q; ++k) {
+      counts[k] = bucket[k].size();
+      send.insert(send.end(), bucket[k].begin(), bucket[k].end());
+    }
+    const auto received =
+        grid.row_comm().alltoallv(send, counts, tuning.alltoall);
+    std::vector<MmTuple> merged(received);
+    std::sort(merged.begin(), merged.end(),
+              [](const MmTuple& a, const MmTuple& b) { return a.index < b.index; });
+    for (const auto& t : merged) {
+      if (!piece.empty() && piece.back().index == t.index)
+        piece.back().v = mm_combine(piece.back().v, t.v);
+      else
+        piece.push_back(t);
+    }
+    world.charge_compute(static_cast<double>(received.size()) * 3);
+  }
+
+  const std::vector<MmTuple> realigned =
+      world.sendrecv(piece, grid.transpose_rank(), grid.transpose_rank());
+
+  std::pair<DistVec<VertexId>, DistVec<VertexId>> out{
+      DistVec<VertexId>(grid, A.n()), DistVec<VertexId>(grid, A.n())};
+  for (const auto& t : realigned) {
+    LACC_DCHECK(out.first.owns(t.index));
+    if (mask.allows(t.index)) {
+      out.first.set(t.index, t.v.mn);
+      out.second.set(t.index, t.v.mx);
+    }
+  }
+  world.charge_compute(static_cast<double>(realigned.size()));
+  return out;
+}
+
+
+std::uint64_t scatter_accumulate_min(ProcGrid& grid, DistVec<VertexId>& w,
+                                     std::vector<Tuple<VertexId>> pairs,
+                                     const CommTuning& tuning) {
+  auto& world = grid.world();
+  const auto p = static_cast<std::size_t>(world.size());
+
+  // Sender-side combining, identical to scatter_assign_min.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
+              return a.index < b.index ||
+                     (a.index == b.index && a.value < b.value);
+            });
+  pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                          [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
+                            return a.index == b.index;
+                          }),
+              pairs.end());
+
+  std::vector<std::vector<Tuple<VertexId>>> bucket(p);
+  for (const auto& t : pairs)
+    bucket[static_cast<std::size_t>(owner_rank(grid, w, t.index))].push_back(t);
+  std::vector<Tuple<VertexId>> send;
+  std::vector<std::size_t> counts(p, 0);
+  for (std::size_t d = 0; d < p; ++d) {
+    counts[d] = bucket[d].size();
+    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
+  }
+  const std::vector<Tuple<VertexId>> mine =
+      world.alltoallv(send, counts, tuning.alltoall);
+
+  std::uint64_t changed = 0;
+  for (const auto& t : mine) {
+    LACC_CHECK_MSG(w.owns(t.index), "accumulate target " << t.index
+                                                         << " misrouted");
+    if (!w.has(t.index) || t.value < w.at(t.index)) {
+      w.set(t.index, t.value);
+      ++changed;
+    }
+  }
+  world.charge_compute(static_cast<double>(mine.size()));
+  return world.allreduce(changed,
+                         [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+}  // namespace lacc::dist

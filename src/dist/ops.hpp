@@ -1,0 +1,319 @@
+// Distributed GraphBLAS-style vector operations.
+//
+// The four communication kernels of LACC (Section V):
+//   * mxv_select2nd_min — SpMV / SpMSpV over the (Select2nd, min) semiring,
+//     with the two-phase column-allgather / row-reduce pattern;
+//   * gather_at         — GrB_extract by an index vector (u[f[v]]), with the
+//     hotspot-broadcast mitigation and hypercube all-to-all of Section V-B;
+//   * scatter_assign_min / scatter_set — GrB_assign by an index vector;
+//   * global reductions.
+// Elementwise operations on identically-distributed vectors are local and
+// live on DistVec itself / as small helpers here.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "dist/dist_vec.hpp"
+#include "dist/grid.hpp"
+#include "sim/comm.hpp"
+#include "support/error.hpp"
+
+namespace lacc::dist {
+
+/// Output mask, GraphBLAS value semantics: position allowed iff the mask
+/// vector has a stored element there whose value is nonzero; `complement`
+/// flips the decision.  Mask vectors share the canonical distribution, so
+/// masking is purely local.
+struct MaskSpec {
+  const DistVec<std::uint8_t>* vector = nullptr;
+  bool complement = false;
+
+  bool allows(VertexId g) const {
+    if (vector == nullptr) return true;
+    const bool stored_true = vector->has(g) && vector->at(g) != 0;
+    return complement ? !stored_true : stored_true;
+  }
+};
+
+/// Knobs shared by the communication kernels (LaccOptions maps onto this).
+struct CommTuning {
+  sim::AllToAllAlgo alltoall = sim::AllToAllAlgo::kHypercube;
+  bool hotspot_broadcast = true;
+  double hotspot_threshold = 4.0;
+  /// Input density above which mxv uses the dense (SpMV) path.
+  double dense_threshold = 0.25;
+  bool force_dense = false;  ///< ablation: never use sparse vectors
+  /// Ask each unique element once per rank and fan out locally (LACC's
+  /// redundant-request elimination).  Baselines without the optimization
+  /// turn this off and ship every request.
+  bool request_dedup = true;
+};
+
+/// Semiring addition for mxv (multiply is always Select2nd on a pattern
+/// matrix).  LACC hooks with min; the converged-component detection also
+/// needs max (DESIGN.md, "soundness of convergence detection").
+enum class SemiringAdd { kMin, kMax };
+
+/// Distributed GrB_mxv on the (Select2nd, add) semiring over a pattern
+/// matrix: out[i] = add { x[j] : j in N(i), x[j] stored }, masked.
+/// Collective over the grid.
+DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
+                                const DistVec<VertexId>& x,
+                                const MaskSpec& mask, const CommTuning& tuning,
+                                SemiringAdd add = SemiringAdd::kMin);
+
+/// Backwards-convenient alias for the common (Select2nd, min) case.
+inline DistVec<VertexId> mxv_select2nd_min(ProcGrid& grid, const DistCsc& A,
+                                           const DistVec<VertexId>& x,
+                                           const MaskSpec& mask,
+                                           const CommTuning& tuning) {
+  return mxv_select2nd(grid, A, x, mask, tuning, SemiringAdd::kMin);
+}
+
+/// Fused (Select2nd, min) and (Select2nd, max) mxv sharing one input gather
+/// and one reduction round: conditional hooking needs the min while exact
+/// convergence detection needs min and max together (DESIGN.md), and the
+/// fusion makes the detection cost a fraction of a second mxv rather than a
+/// full one.  Returns {min result, max result}.
+std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
+    ProcGrid& grid, const DistCsc& A, const DistVec<VertexId>& x,
+    const MaskSpec& mask, const CommTuning& tuning);
+
+/// Sum of stored elements across all ranks (collective).
+template <typename T>
+std::uint64_t global_nvals(ProcGrid& grid, const DistVec<T>& v) {
+  return grid.world().allreduce(
+      static_cast<std::uint64_t>(v.local_nvals()),
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+/// Logical-or reduction over ranks (collective).
+inline bool global_any(ProcGrid& grid, bool local) {
+  return grid.world().allreduce(static_cast<std::uint8_t>(local),
+                                [](std::uint8_t a, std::uint8_t b) {
+                                  return static_cast<std::uint8_t>(a | b);
+                                }) != 0;
+}
+
+/// Distributed GrB_extract by an index vector: for every stored element
+/// (v, t) of `targets`, out[v] = u[t] (absent when u[t] is absent).
+///
+/// Requests are routed to chunk owners with an all-to-all; if a rank would
+/// receive more than `hotspot_threshold` times its stored-element count it
+/// broadcasts its chunk instead and drops out of the all-to-all — the
+/// mitigation of Section V-B, driven here exactly as in the paper by the
+/// skew that conditional hooking induces toward low vertex ids.  When
+/// `counter` is non-null, every rank records the number of requests it
+/// would have received (pre-mitigation) under that name — the measurement
+/// behind Figure 3.
+template <typename T>
+std::vector<std::pair<T, bool>> gather_values(ProcGrid& grid,
+                                              const DistVec<T>& u,
+                                              const std::vector<VertexId>& requests,
+                                              const CommTuning& tuning,
+                                              const std::string& counter = {}) {
+  auto& world = grid.world();
+  const auto p = static_cast<std::size_t>(world.size());
+
+  // Bucket requests by owning rank.  With request_dedup, duplicate targets
+  // are asked only once per rank and fanned out locally on reply — the
+  // paper observes that many requests hit the same element (children asking
+  // about a shared root) and that shipping them all is redundant.
+  std::vector<std::vector<VertexId>> ask(p);  // target ids shipped per owner
+  std::vector<std::vector<std::size_t>> origin(p);  // request positions
+  std::vector<std::vector<std::size_t>> slot(p);    // position -> ask index
+  {
+    std::vector<std::pair<VertexId, std::size_t>> sorted;
+    sorted.reserve(requests.size());
+    for (std::size_t k = 0; k < requests.size(); ++k)
+      sorted.emplace_back(requests[k], k);
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [target, pos] : sorted) {
+      const auto owner = static_cast<std::size_t>(owner_rank(grid, u, target));
+      if (!tuning.request_dedup || ask[owner].empty() ||
+          ask[owner].back() != target)
+        ask[owner].push_back(target);
+      origin[owner].push_back(pos);
+      slot[owner].push_back(ask[owner].size() - 1);
+    }
+  }
+  world.charge_compute(static_cast<double>(requests.size()) * 3);
+
+  // Pre-mitigation incoming load per rank: reduce-scatter of the *raw*
+  // request counts (before deduplication), matching the paper's Figure 3
+  // metric and its hotspot criterion.
+  std::vector<std::uint64_t> counts(p, 0);
+  for (std::size_t o = 0; o < p; ++o) counts[o] = origin[o].size();
+  const BlockPartition one_each(p, p);
+  const auto my_load_vec = world.reduce_scatter_block(
+      counts, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      one_each);
+  const std::uint64_t my_load = my_load_vec.empty() ? 0 : my_load_vec[0];
+  if (!counter.empty()) world.add_counter(counter, my_load);
+
+  // Hotspot decision: overloaded ranks broadcast their chunk instead.
+  const bool i_broadcast =
+      tuning.hotspot_broadcast &&
+      static_cast<double>(my_load) >
+          tuning.hotspot_threshold *
+              static_cast<double>(std::max<VertexId>(1, u.local_nvals()));
+  std::vector<std::uint8_t> flags =
+      world.allgatherv(std::vector<std::uint8_t>{i_broadcast ? std::uint8_t{1}
+                                                             : std::uint8_t{0}});
+
+  std::unordered_map<VertexId, T> broadcasted;
+  for (int r = 0; r < world.size(); ++r) {
+    if (!flags[static_cast<std::size_t>(r)]) continue;
+    std::vector<Tuple<T>> chunk;
+    if (r == world.rank()) chunk = u.tuples();
+    world.bcast(chunk, r);
+    broadcasted.reserve(broadcasted.size() + chunk.size());
+    for (const auto& t : chunk) broadcasted.emplace(t.index, t.value);
+  }
+
+  // Resolve broadcast-covered requests locally; ship the rest.
+  struct Reply {
+    T value;
+    std::uint8_t has;
+  };
+  std::vector<std::pair<T, bool>> out(requests.size(), {T{}, false});
+  std::vector<VertexId> send;
+  std::vector<std::size_t> sendcounts(p, 0);
+  for (std::size_t o = 0; o < p; ++o) {
+    if (flags[o]) {
+      for (std::size_t k = 0; k < origin[o].size(); ++k) {
+        const auto it = broadcasted.find(ask[o][slot[o][k]]);
+        if (it != broadcasted.end()) out[origin[o][k]] = {it->second, true};
+      }
+      world.charge_compute(static_cast<double>(origin[o].size()));
+    } else {
+      sendcounts[o] = ask[o].size();
+      send.insert(send.end(), ask[o].begin(), ask[o].end());
+    }
+  }
+
+  std::vector<std::size_t> recvcounts;
+  const std::vector<VertexId> incoming =
+      world.alltoallv(send, sendcounts, tuning.alltoall, &recvcounts);
+
+  // Owners answer every request in arrival order.
+  std::vector<Reply> replies;
+  replies.reserve(incoming.size());
+  for (const VertexId t : incoming) {
+    LACC_CHECK_MSG(u.owns(t), "gather request " << t << " misrouted");
+    if (u.has(t))
+      replies.push_back({u.at(t), 1});
+    else
+      replies.push_back({T{}, 0});
+  }
+  world.charge_compute(static_cast<double>(incoming.size()));
+
+  const std::vector<Reply> answers =
+      world.alltoallv(replies, recvcounts, tuning.alltoall);
+
+  // Answers arrive grouped by owner rank in the order we asked; fan each
+  // unique answer out to every originating request.
+  std::size_t at = 0;
+  for (std::size_t o = 0; o < p; ++o) {
+    if (flags[o]) continue;
+    for (std::size_t k = 0; k < origin[o].size(); ++k) {
+      const Reply& reply = answers[at + slot[o][k]];
+      if (reply.has) out[origin[o][k]] = {reply.value, true};
+    }
+    at += ask[o].size();
+  }
+  LACC_CHECK(at == answers.size());
+  return out;
+}
+
+/// Distributed GrB_extract by an index vector: for every stored element
+/// (v, t) of `targets`, out[v] = u[t] (absent when u[t] is absent).
+/// See gather_values for the communication strategy (hotspot broadcast,
+/// request dedup, Figure-3 counter).
+template <typename T>
+DistVec<T> gather_at(ProcGrid& grid, const DistVec<T>& u,
+                     const DistVec<VertexId>& targets,
+                     const CommTuning& tuning,
+                     const std::string& counter = {}) {
+  const auto request_tuples = targets.tuples();
+  std::vector<VertexId> requests;
+  requests.reserve(request_tuples.size());
+  for (const auto& t : request_tuples) requests.push_back(t.value);
+  const auto values = gather_values(grid, u, requests, tuning, counter);
+  DistVec<T> out(grid, targets.global_size(), targets.layout());
+  for (std::size_t k = 0; k < request_tuples.size(); ++k)
+    if (values[k].second) out.set(request_tuples[k].index, values[k].first);
+  return out;
+}
+
+/// Distributed GrB_assign: route (target, value) pairs to chunk owners and
+/// write w[target] = value, reducing duplicate targets with min (the
+/// deterministic arbitrary-CRCW choice; DESIGN.md).  Returns the global
+/// number of targets whose stored value actually changed.  Collective; every
+/// rank passes its local pairs.  With `only_if_root`, the owner applies a
+/// write only where w[target] == target (Shiloach–Vishkin's hook-to-root
+/// guard, checked owner-side so callers need no extra grandparent fetch).
+std::uint64_t scatter_assign_min(ProcGrid& grid, DistVec<VertexId>& w,
+                                 std::vector<Tuple<VertexId>> pairs,
+                                 const CommTuning& tuning,
+                                 bool only_if_root = false);
+
+/// Distributed min-accumulating assign: w[target] = min(w[target], value)
+/// for every routed pair — the GrB_assign-with-GrB_MIN-accumulator shape
+/// FastSV's hooking steps use.  Returns the global number of targets whose
+/// stored value decreased.  Collective.
+std::uint64_t scatter_accumulate_min(ProcGrid& grid, DistVec<VertexId>& w,
+                                     std::vector<Tuple<VertexId>> pairs,
+                                     const CommTuning& tuning);
+
+/// Distributed scalar GrB_assign: w[target] = value for every routed target.
+void scatter_set(ProcGrid& grid, DistVec<std::uint8_t>& w,
+                 std::vector<VertexId> targets, std::uint8_t value,
+                 const CommTuning& tuning);
+
+/// Re-distribute a vector into the requested layout (collective): every
+/// stored tuple is routed to its owner under the new layout.  This is the
+/// realignment exchange the cyclic layout pays before/after each mxv.
+template <typename T>
+DistVec<T> to_layout(ProcGrid& grid, const DistVec<T>& v, Layout layout,
+                     const CommTuning& tuning) {
+  DistVec<T> out(grid, v.global_size(), layout);
+  if (v.layout() == layout) {
+    for (const auto& t : v.tuples()) out.set(t.index, t.value);
+    return out;
+  }
+  auto& world = grid.world();
+  const auto p = static_cast<std::size_t>(world.size());
+  std::vector<std::vector<Tuple<T>>> bucket(p);
+  for (const auto& t : v.tuples())
+    bucket[static_cast<std::size_t>(owner_rank(grid, out, t.index))].push_back(t);
+  std::vector<Tuple<T>> send;
+  std::vector<std::size_t> counts(p, 0);
+  for (std::size_t d = 0; d < p; ++d) {
+    counts[d] = bucket[d].size();
+    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
+  }
+  const std::vector<Tuple<T>> mine =
+      world.alltoallv(send, counts, tuning.alltoall);
+  for (const auto& t : mine) out.set(t.index, t.value);
+  world.charge_compute(static_cast<double>(mine.size() + send.size()));
+  return out;
+}
+
+/// Gather the full vector on every rank as a flat std::vector (positions
+/// without stored elements get `fallback`).  Test/result extraction helper.
+template <typename T>
+std::vector<T> to_global(ProcGrid& grid, const DistVec<T>& v, T fallback) {
+  const auto mine = v.tuples();
+  const auto all = grid.world().allgatherv(mine);
+  std::vector<T> out(v.global_size(), fallback);
+  for (const auto& t : all) out[t.index] = t.value;
+  return out;
+}
+
+}  // namespace lacc::dist

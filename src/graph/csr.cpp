@@ -1,0 +1,18 @@
+#include "graph/csr.hpp"
+
+#include "support/error.hpp"
+
+namespace lacc::graph {
+
+Csr::Csr(const EdgeList& el) : n_(el.n), offsets_(el.n + 1, 0) {
+  const EdgeList sym = symmetrize(el);
+  adj_.resize(sym.edges.size());
+  for (const auto& e : sym.edges) ++offsets_[e.u + 1];
+  for (VertexId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  // sym.edges is sorted by (u, v), so a single pass fills rows in order.
+  EdgeId at = 0;
+  for (const auto& e : sym.edges) adj_[at++] = e.v;
+  LACC_CHECK(at == adj_.size());
+}
+
+}  // namespace lacc::graph

@@ -1,0 +1,43 @@
+// Compressed sparse row graph for the serial algorithms and baselines.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "support/types.hpp"
+
+namespace lacc::graph {
+
+/// Undirected graph in CSR form.  Construction symmetrizes, deduplicates,
+/// and removes self-loops, so `neighbors(v)` is a sorted, unique list and
+/// every edge appears in both directions.
+class Csr {
+ public:
+  Csr() = default;
+  explicit Csr(const EdgeList& el);
+
+  VertexId num_vertices() const { return n_; }
+  /// Directed-edge (nonzero) count; twice the undirected edge count.
+  EdgeId num_edges() const { return adj_.size(); }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  VertexId degree(VertexId v) const {
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  double average_degree() const {
+    return n_ == 0 ? 0.0
+                   : static_cast<double>(num_edges()) / static_cast<double>(n_);
+  }
+
+ private:
+  VertexId n_ = 0;
+  std::vector<EdgeId> offsets_;  // n_+1 entries
+  std::vector<VertexId> adj_;
+};
+
+}  // namespace lacc::graph

@@ -1,0 +1,53 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lacc::graph {
+
+void canonicalize(EdgeList& el) {
+  auto& edges = el.edges;
+  std::size_t keep = 0;
+  for (auto& e : edges) {
+    if (e.u == e.v) continue;
+    edges[keep++] = {std::min(e.u, e.v), std::max(e.u, e.v)};
+  }
+  edges.resize(keep);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (const auto& e : edges)
+    LACC_CHECK_MSG(e.v < el.n, "edge endpoint " << e.v << " out of range");
+}
+
+EdgeList symmetrize(const EdgeList& el) {
+  EdgeList canon = el;
+  canonicalize(canon);
+  EdgeList out(el.n);
+  out.edges.reserve(canon.edges.size() * 2);
+  for (const auto& e : canon.edges) {
+    out.edges.push_back({e.u, e.v});
+    out.edges.push_back({e.v, e.u});
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+EdgeList permute_vertices(const EdgeList& el, std::uint64_t seed) {
+  std::vector<VertexId> perm(el.n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  Xoshiro256 rng(seed);
+  for (VertexId i = el.n; i > 1; --i) {
+    const auto j = rng.below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  EdgeList out(el.n);
+  out.edges.reserve(el.edges.size());
+  for (const auto& e : el.edges) out.edges.push_back({perm[e.u], perm[e.v]});
+  return out;
+}
+
+}  // namespace lacc::graph

@@ -1,0 +1,45 @@
+// Edge-list representation and canonicalization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace lacc::graph {
+
+/// One undirected edge (stored as an ordered pair).
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A graph as a bag of edges plus a vertex count.  Generators emit these;
+/// CSR construction and distributed ingestion consume them.
+struct EdgeList {
+  VertexId n = 0;
+  std::vector<Edge> edges;
+
+  EdgeList() = default;
+  explicit EdgeList(VertexId n_) : n(n_) {}
+
+  void add(VertexId u, VertexId v) { edges.push_back({u, v}); }
+  EdgeId size() const { return edges.size(); }
+};
+
+/// Canonicalize in place for undirected use: drop self-loops, order each
+/// edge (min, max), sort, and deduplicate.
+void canonicalize(EdgeList& el);
+
+/// Symmetrize: emit both (u,v) and (v,u) for every canonical edge; the
+/// result is sorted and deduplicated with self-loops removed.  This is the
+/// "directed edges" count reported in the paper's Table III.
+EdgeList symmetrize(const EdgeList& el);
+
+/// Apply a random relabeling of vertex ids (CombBLAS randomly permutes rows
+/// and columns for load balance; Section V-B).  `seed` fixes the permutation.
+EdgeList permute_vertices(const EdgeList& el, std::uint64_t seed);
+
+}  // namespace lacc::graph

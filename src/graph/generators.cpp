@@ -1,0 +1,228 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lacc::graph {
+
+EdgeList path(VertexId n) {
+  EdgeList el(n);
+  for (VertexId v = 0; v + 1 < n; ++v) el.add(v, v + 1);
+  return el;
+}
+
+EdgeList cycle(VertexId n) {
+  EdgeList el = path(n);
+  if (n >= 3) el.add(n - 1, 0);
+  return el;
+}
+
+EdgeList star(VertexId n) {
+  EdgeList el(n);
+  for (VertexId v = 1; v < n; ++v) el.add(0, v);
+  return el;
+}
+
+EdgeList complete(VertexId n) {
+  EdgeList el(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) el.add(u, v);
+  return el;
+}
+
+EdgeList empty_graph(VertexId n) { return EdgeList(n); }
+
+EdgeList disjoint_union(const EdgeList& a, const EdgeList& b) {
+  EdgeList out(a.n + b.n);
+  out.edges = a.edges;
+  out.edges.reserve(a.edges.size() + b.edges.size());
+  for (const auto& e : b.edges) out.add(e.u + a.n, e.v + a.n);
+  return out;
+}
+
+EdgeList erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed) {
+  LACC_CHECK(n >= 2 || m == 0);
+  EdgeList el(n);
+  el.edges.reserve(m);
+  Xoshiro256 rng(seed);
+  for (EdgeId i = 0; i < m; ++i) {
+    const VertexId u = rng.below(n);
+    VertexId v = rng.below(n - 1);
+    if (v >= u) ++v;  // uniform over v != u
+    el.add(u, v);
+  }
+  return el;
+}
+
+EdgeList rmat(int scale, EdgeId edges, std::uint64_t seed, double a, double b,
+              double c) {
+  LACC_CHECK(scale >= 1 && scale <= 40);
+  LACC_CHECK(a + b + c <= 1.0 + 1e-9);
+  const VertexId n = VertexId{1} << scale;
+  EdgeList el(n);
+  el.edges.reserve(edges);
+  Xoshiro256 rng(seed);
+  for (EdgeId i = 0; i < edges; ++i) {
+    VertexId u = 0, v = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // upper-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) el.add(u, v);
+  }
+  return el;
+}
+
+EdgeList mesh3d(VertexId nx, VertexId ny, VertexId nz) {
+  const VertexId n = nx * ny * nz;
+  EdgeList el(n);
+  auto id = [&](VertexId x, VertexId y, VertexId z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (VertexId z = 0; z < nz; ++z)
+    for (VertexId y = 0; y < ny; ++y)
+      for (VertexId x = 0; x < nx; ++x)
+        for (int dz = -1; dz <= 1; ++dz)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const auto x2 = static_cast<std::int64_t>(x) + dx;
+              const auto y2 = static_cast<std::int64_t>(y) + dy;
+              const auto z2 = static_cast<std::int64_t>(z) + dz;
+              if (x2 < 0 || y2 < 0 || z2 < 0 ||
+                  x2 >= static_cast<std::int64_t>(nx) ||
+                  y2 >= static_cast<std::int64_t>(ny) ||
+                  z2 >= static_cast<std::int64_t>(nz))
+                continue;
+              const VertexId u = id(x, y, z);
+              const VertexId v = id(static_cast<VertexId>(x2),
+                                    static_cast<VertexId>(y2),
+                                    static_cast<VertexId>(z2));
+              if (u < v) el.add(u, v);  // emit each undirected edge once
+            }
+  return el;
+}
+
+EdgeList clustered_components(VertexId n, VertexId clusters, double avg_degree,
+                              std::uint64_t seed, double zipf_exp) {
+  LACC_CHECK(clusters >= 1 && clusters <= n);
+  // Zipf-like cluster sizes: weight of cluster k is (k+1)^(-zipf_exp),
+  // scaled so sizes sum to n and every cluster has at least one vertex.
+  std::vector<double> weight(clusters);
+  double total = 0;
+  for (VertexId k = 0; k < clusters; ++k) {
+    weight[k] = std::pow(static_cast<double>(k + 1), -zipf_exp);
+    total += weight[k];
+  }
+  std::vector<VertexId> size(clusters, 1);
+  VertexId assigned = clusters;
+  for (VertexId k = 0; k < clusters && assigned < n; ++k) {
+    const auto extra = static_cast<VertexId>(
+        std::min(static_cast<double>(n - assigned),
+                 std::floor(weight[k] / total * static_cast<double>(n - clusters))));
+    size[k] += extra;
+    assigned += extra;
+  }
+  for (VertexId k = 0; assigned < n; k = (k + 1) % clusters) {
+    ++size[k];
+    ++assigned;
+  }
+
+  EdgeList el(n);
+  Xoshiro256 rng(seed);
+  VertexId base = 0;
+  for (VertexId k = 0; k < clusters; ++k) {
+    const VertexId s = size[k];
+    if (s >= 2) {
+      // Spanning path keeps the cluster one component; extra random edges
+      // push average degree toward the target.
+      for (VertexId i = 0; i + 1 < s; ++i) el.add(base + i, base + i + 1);
+      const double target_edges = avg_degree * static_cast<double>(s) / 2.0;
+      const auto extra = static_cast<EdgeId>(
+          std::max(0.0, target_edges - static_cast<double>(s - 1)));
+      for (EdgeId i = 0; i < extra; ++i) {
+        const VertexId u = base + rng.below(s);
+        VertexId v = base + rng.below(s);
+        if (u != v) el.add(u, v);
+      }
+    }
+    base += s;
+  }
+  LACC_CHECK(base == n);
+  return el;
+}
+
+EdgeList path_forest(VertexId n, VertexId avg_component, std::uint64_t seed) {
+  LACC_CHECK(avg_component >= 1);
+  EdgeList el(n);
+  Xoshiro256 rng(seed);
+  VertexId v = 0;
+  while (v < n) {
+    // Component length ~ Uniform[1, 2*avg), so the mean is ~avg_component.
+    const VertexId len = static_cast<VertexId>(
+        1 + rng.below(std::max<VertexId>(1, 2 * avg_component - 1)));
+    const VertexId end = std::min<VertexId>(n, v + len);
+    // Mostly paths; occasionally a branch to make small trees.
+    for (VertexId i = v + 1; i < end; ++i) {
+      const bool branch = (end - v) > 3 && rng.below(8) == 0;
+      const VertexId parent = branch ? v + rng.below(i - v) : i - 1;
+      el.add(parent, i);
+    }
+    v = end;
+  }
+  return el;
+}
+
+EdgeList random_tree(VertexId n, std::uint64_t seed) {
+  EdgeList el(n);
+  Xoshiro256 rng(seed);
+  for (VertexId v = 1; v < n; ++v) el.add(rng.below(v), v);
+  return el;
+}
+
+EdgeList preferential_attachment(VertexId n, int out_degree,
+                                 std::uint64_t seed, double isolated_frac) {
+  LACC_CHECK(out_degree >= 1);
+  LACC_CHECK(isolated_frac >= 0.0 && isolated_frac < 1.0);
+  const auto attached =
+      std::max<VertexId>(2, static_cast<VertexId>(
+                                static_cast<double>(n) * (1.0 - isolated_frac)));
+  EdgeList el(n);
+  // Classic Barabási–Albert via the repeated-endpoints trick: sampling a
+  // uniform position in the endpoint log is degree-proportional sampling.
+  std::vector<VertexId> endpoint_log;
+  endpoint_log.reserve(attached * static_cast<VertexId>(out_degree) * 2);
+  Xoshiro256 rng(seed);
+  el.add(0, 1);
+  endpoint_log.push_back(0);
+  endpoint_log.push_back(1);
+  for (VertexId v = 2; v < attached; ++v) {
+    const int links = static_cast<int>(
+        std::min<VertexId>(v, static_cast<VertexId>(out_degree)));
+    for (int i = 0; i < links; ++i) {
+      const VertexId target = endpoint_log[rng.below(endpoint_log.size())];
+      if (target == v) continue;
+      el.add(v, target);
+      endpoint_log.push_back(target);
+      endpoint_log.push_back(v);
+    }
+  }
+  return el;
+}
+
+}  // namespace lacc::graph

@@ -1,0 +1,63 @@
+// Deterministic graph generators.
+//
+// Each generator targets one structural regime from the paper's Table III:
+// component count and average degree are the two knobs that Section VI shows
+// drive LACC's behaviour (vector sparsity wins with many components;
+// communication dominates on very sparse graphs).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace lacc::graph {
+
+/// Simple deterministic shapes (adversarial / unit-test cases).
+EdgeList path(VertexId n);
+EdgeList cycle(VertexId n);
+EdgeList star(VertexId n);          ///< vertex 0 connected to all others
+EdgeList complete(VertexId n);
+EdgeList empty_graph(VertexId n);   ///< n isolated vertices
+
+/// Disjoint union; vertex ids of `b` are shifted past `a`.
+EdgeList disjoint_union(const EdgeList& a, const EdgeList& b);
+
+/// Erdős–Rényi G(n, m): m undirected edges sampled uniformly.
+EdgeList erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// RMAT / Kronecker generator with Graph500 parameters by default
+/// (a=0.57, b=0.19, c=0.19).  Power-law degrees, one giant component plus
+/// isolated vertices — the twitter7 / sk-2005 regime.
+EdgeList rmat(int scale, EdgeId edges, std::uint64_t seed, double a = 0.57,
+              double b = 0.19, double c = 0.19);
+
+/// 3D grid with a 27-point (full Moore neighborhood) stencil — the
+/// queen_4147 regime: single component, average degree in the tens.
+EdgeList mesh3d(VertexId nx, VertexId ny, VertexId nz);
+
+/// Protein-similarity-like graph (archaea/eukarya/isolates regime):
+/// `clusters` dense-ish clusters with power-law sizes (Zipf exponent
+/// `zipf_exp`), each cluster an independent component.  Average intra-
+/// cluster degree ~ `avg_degree`.
+EdgeList clustered_components(VertexId n, VertexId clusters, double avg_degree,
+                              std::uint64_t seed, double zipf_exp = 1.5);
+
+/// Metagenome-contig-like graph (M3 regime): a soup of short paths and
+/// small trees with average component size `avg_component`, overall average
+/// degree ~2, and an enormous number of components.
+EdgeList path_forest(VertexId n, VertexId avg_component, std::uint64_t seed);
+
+/// Random recursive tree: vertex v > 0 attaches to a uniform random earlier
+/// vertex.  O(log n) diameter; unioned with RMAT to connect its isolated
+/// vertices without distorting the diameter (twitter7 / sk-2005 stand-ins).
+EdgeList random_tree(VertexId n, std::uint64_t seed);
+
+/// Preferential-attachment graph (web-crawl regime): each new vertex
+/// attaches `out_degree` edges to earlier vertices biased by degree; a
+/// fraction `isolated_frac` of trailing vertices stay isolated so the
+/// graph has a controllable component count (uk-2002 / MOLIERE regime).
+EdgeList preferential_attachment(VertexId n, int out_degree,
+                                 std::uint64_t seed,
+                                 double isolated_frac = 0.0);
+
+}  // namespace lacc::graph

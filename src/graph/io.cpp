@@ -1,0 +1,162 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace lacc::graph {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+EdgeList read_matrix_market(std::istream& in) {
+  std::string line;
+  LACC_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  LACC_CHECK_MSG(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  LACC_CHECK_MSG(lower(object) == "matrix" && lower(format) == "coordinate",
+                 "only coordinate matrices are supported");
+  const std::string f = lower(field);
+  LACC_CHECK_MSG(f == "pattern" || f == "real" || f == "integer",
+                 "unsupported field type: " << field);
+  const bool has_value = f != "pattern";
+  const std::string sym = lower(symmetry);
+  LACC_CHECK_MSG(sym == "general" || sym == "symmetric",
+                 "unsupported symmetry: " << symmetry);
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  size_line >> rows >> cols >> nnz;
+  LACC_CHECK_MSG(rows == cols, "adjacency matrix must be square");
+
+  EdgeList el(rows);
+  el.edges.reserve(nnz);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    LACC_CHECK_MSG(std::getline(in, line), "unexpected EOF at entry " << i);
+    std::istringstream entry(line);
+    std::uint64_t r = 0, c = 0;
+    entry >> r >> c;
+    LACC_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                   "entry out of range: " << r << " " << c);
+    if (has_value) {
+      double value = 0;
+      entry >> value;
+    }
+    el.add(r - 1, c - 1);
+  }
+  return el;
+}
+
+EdgeList read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  LACC_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const EdgeList& el) {
+  EdgeList canon = el;
+  canonicalize(canon);
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << el.n << " " << el.n << " " << canon.edges.size() << "\n";
+  // Symmetric MM stores the lower triangle: row >= column.
+  for (const auto& e : canon.edges) out << e.v + 1 << " " << e.u + 1 << "\n";
+}
+
+void write_matrix_market_file(const std::string& path, const EdgeList& el) {
+  std::ofstream out(path);
+  LACC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_matrix_market(out, el);
+}
+
+EdgeList read_edge_list(std::istream& in) {
+  std::uint64_t n = 0, m = 0;
+  LACC_CHECK_MSG(static_cast<bool>(in >> n >> m), "bad edge-list header");
+  EdgeList el(n);
+  el.edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0, v = 0;
+    LACC_CHECK_MSG(static_cast<bool>(in >> u >> v), "bad edge at line " << i);
+    LACC_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
+    el.add(u, v);
+  }
+  return el;
+}
+
+void write_edge_list(std::ostream& out, const EdgeList& el) {
+  out << el.n << " " << el.edges.size() << "\n";
+  for (const auto& e : el.edges) out << e.u << " " << e.v << "\n";
+}
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'L', 'A', 'C', 'C', 'G', 'R', 'P', 'H'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+}  // namespace
+
+EdgeList read_binary(std::istream& in) {
+  char magic[8] = {};
+  std::uint32_t version = 0, flags = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
+  LACC_CHECK_MSG(in.good() && std::equal(magic, magic + 8, kBinaryMagic),
+                 "not a LACC binary graph file");
+  LACC_CHECK_MSG(version == kBinaryVersion,
+                 "unsupported binary graph version " << version);
+  std::uint64_t n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  LACC_CHECK_MSG(in.good(), "truncated binary graph header");
+  EdgeList el(n);
+  el.edges.resize(m);
+  in.read(reinterpret_cast<char*>(el.edges.data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  LACC_CHECK_MSG(in.good(), "truncated binary graph payload");
+  for (const auto& e : el.edges)
+    LACC_CHECK_MSG(e.u < n && e.v < n, "binary edge endpoint out of range");
+  return el;
+}
+
+EdgeList read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LACC_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_binary(in);
+}
+
+void write_binary(std::ostream& out, const EdgeList& el) {
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const std::uint32_t version = kBinaryVersion, flags = 0;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+  const std::uint64_t n = el.n, m = el.edges.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(el.edges.data()),
+            static_cast<std::streamsize>(m * sizeof(Edge)));
+}
+
+void write_binary_file(const std::string& path, const EdgeList& el) {
+  std::ofstream out(path, std::ios::binary);
+  LACC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_binary(out, el);
+}
+
+}  // namespace lacc::graph

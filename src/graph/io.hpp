@@ -1,0 +1,39 @@
+// Graph I/O: Matrix Market exchange format and plain edge-list text.
+//
+// LACC's published datasets ship as Matrix Market files (SuiteSparse
+// collection); supporting the format lets users run this library on the
+// paper's actual graphs when they have them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace lacc::graph {
+
+/// Parse a Matrix Market coordinate-format file as an undirected graph
+/// pattern.  Accepts `pattern`, `real`, and `integer` fields (values are
+/// ignored — LACC only uses structure) and both `general` and `symmetric`
+/// symmetry.  Throws lacc::Error on malformed input.
+EdgeList read_matrix_market(std::istream& in);
+EdgeList read_matrix_market_file(const std::string& path);
+
+/// Write the graph as a symmetric pattern Matrix Market file, one
+/// undirected edge per line (lower-triangle convention).
+void write_matrix_market(std::ostream& out, const EdgeList& el);
+void write_matrix_market_file(const std::string& path, const EdgeList& el);
+
+/// Plain text: first line "n m", then m lines "u v" (0-based).
+EdgeList read_edge_list(std::istream& in);
+void write_edge_list(std::ostream& out, const EdgeList& el);
+
+/// Binary format for large graphs: a 16-byte header ("LACCGRPH", version,
+/// flags) followed by n, m and the raw little-endian u/v arrays.  Orders of
+/// magnitude faster than text parsing for multi-GB edge lists.
+EdgeList read_binary(std::istream& in);
+EdgeList read_binary_file(const std::string& path);
+void write_binary(std::ostream& out, const EdgeList& el);
+void write_binary_file(const std::string& path, const EdgeList& el);
+
+}  // namespace lacc::graph

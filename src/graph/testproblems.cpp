@@ -1,0 +1,147 @@
+#include "graph/testproblems.hpp"
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace lacc::graph {
+
+namespace {
+
+VertexId scaled(double scale, VertexId base) {
+  const double v = std::round(static_cast<double>(base) * scale);
+  return v < 2 ? 2 : static_cast<VertexId>(v);
+}
+
+}  // namespace
+
+// Note on Table III: the paper says "ten test problems" but the text copy we
+// reproduce from renders only nine rows; the tenth (Metaclust50, the second
+// >1TB graph used in Figure 6 alongside iso_m100) is restored here from the
+// published version of the paper.
+
+std::vector<TestProblem> make_test_problems(double scale, std::uint64_t seed) {
+  std::vector<TestProblem> out;
+  // CombBLAS randomly permutes rows and columns on ingestion for load
+  // balance (Section V-B); generators lay components out in contiguous id
+  // ranges, so the permutation is applied here to match what the paper's
+  // pipeline actually computes on.
+  const auto permuted = [&](EdgeList el) {
+    return permute_vertices(el, seed + 777);
+  };
+
+  // archaea: protein-similarity network, many dense clusters.
+  {
+    const VertexId n = scaled(scale, 16384);
+    out.push_back({"archaea", "archaea protein-similarity network",
+                   permuted(clustered_components(n, n / 28, 30.0, seed + 1)),
+                   1640000, 204790000, 59794, false});
+  }
+  // queen_4147: 3D structural problem, single component, degree ~80.
+  {
+    const auto side = static_cast<VertexId>(
+        std::max(4.0, std::round(16.0 * std::cbrt(scale))));
+    out.push_back({"queen_4147", "3D structural problem",
+                   permuted(mesh3d(side, side, side)), 4150000, 329500000, 1, false});
+  }
+  // eukarya: like archaea but bigger with more components.
+  {
+    const VertexId n = scaled(scale, 24576);
+    out.push_back({"eukarya", "eukarya protein-similarity network",
+                   permuted(clustered_components(n, n / 20, 22.0, seed + 2)),
+                   3230000, 359740000, 164156, false});
+  }
+  // uk-2002: web crawl, heavy-tailed degrees, ~2k components.
+  {
+    const VertexId n = scaled(scale, 32768);
+    out.push_back({"uk-2002", "2002 web crawl of .uk domain",
+                   permuted(preferential_attachment(n, 8, seed + 3, 0.05)),
+                   18480000, 529440000, 1990, false});
+  }
+  // M3: soil metagenome, avg degree ~2, millions of tiny components.
+  {
+    const VertexId n = scaled(scale, 65536);
+    out.push_back({"M3", "soil metagenomic data", permuted(path_forest(n, 70, seed + 4)),
+                   531000000, 1047000000, 7600000, false});
+  }
+  // twitter7: follower network, power-law, a single giant component.  RMAT
+  // leaves isolated vertices, so a low-diameter random tree is unioned in
+  // to match the paper's "1 component" (degree impact: +2).
+  {
+    const int sc = std::max(10, static_cast<int>(std::round(
+                                    14.0 + std::log2(std::max(scale, 1e-6)))));
+    const VertexId n = VertexId{1} << sc;
+    EdgeList g = rmat(sc, n * 12, seed + 5);
+    EdgeList spanning = random_tree(n, seed + 50);
+    g.edges.insert(g.edges.end(), spanning.edges.begin(), spanning.edges.end());
+    out.push_back({"twitter7", "twitter follower network", permuted(std::move(g)),
+                   41650000, 2405000000, 1, false});
+  }
+  // sk-2005: web crawl, 45 components: an RMAT core connected by a random
+  // tree, plus 44 small isolated path components.
+  {
+    const int sc = std::max(10, static_cast<int>(std::round(
+                                    14.0 + std::log2(std::max(scale, 1e-6)))));
+    const VertexId core_n = VertexId{1} << sc;
+    EdgeList core = rmat(sc, core_n * 14, seed + 6);
+    EdgeList spanning = random_tree(core_n, seed + 60);
+    core.edges.insert(core.edges.end(), spanning.edges.begin(),
+                      spanning.edges.end());
+    EdgeList g = core;
+    for (int c = 0; c < 44; ++c) g = disjoint_union(g, path(3));
+    out.push_back({"sk-2005", "2005 web crawl of .sk domain", permuted(std::move(g)),
+                   50640000, 3639000000, 45, false});
+  }
+  // MOLIERE_2016: dense hypothesis-generation network, few thousand comps.
+  {
+    const VertexId n = scaled(scale, 16384);
+    out.push_back({"MOLIERE_2016",
+                   "automatic biomedical hypothesis generation system",
+                   permuted(preferential_attachment(n, 16, seed + 7, 0.02)),
+                   30220000, 6677000000, 4457, false});
+  }
+  // Metaclust50: protein clusters (the row dropped from our text copy).
+  {
+    const VertexId n = scaled(scale, 32768);
+    out.push_back({"Metaclust50", "clusters of Metaclust50 proteins",
+                   permuted(clustered_components(n, n / 18, 28.0, seed + 8)),
+                   282200000, 42790000000ull, 15980000, true});
+  }
+  // iso_m100: IMG isolate-genome protein similarities, very dense clusters.
+  {
+    const VertexId n = scaled(scale, 32768);
+    out.push_back({"iso_m100", "similarities of proteins in IMG isolate genomes",
+                   permuted(clustered_components(n, n / 50, 40.0, seed + 9)),
+                   68480000, 67160000000ull, 1350000, true});
+  }
+  return out;
+}
+
+std::vector<std::string> figure4_names() {
+  return {"archaea", "queen_4147", "eukarya",  "uk-2002",
+          "M3",      "twitter7",   "sk-2005",  "MOLIERE_2016"};
+}
+
+std::vector<std::string> figure5_names() {
+  return {"archaea", "eukarya", "M3", "MOLIERE_2016"};
+}
+
+std::vector<std::string> figure6_names() { return {"Metaclust50", "iso_m100"}; }
+
+std::vector<std::string> figure7_names() {
+  return {"archaea", "eukarya", "uk-2002", "M3", "MOLIERE_2016"};
+}
+
+std::vector<std::string> figure8_names() {
+  return {"eukarya", "queen_4147", "M3"};
+}
+
+const TestProblem& find_problem(const std::vector<TestProblem>& problems,
+                                const std::string& name) {
+  for (const auto& p : problems)
+    if (p.name == name) return p;
+  throw Error("unknown test problem: " + name);
+}
+
+}  // namespace lacc::graph

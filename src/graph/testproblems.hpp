@@ -1,0 +1,46 @@
+// Scaled stand-ins for the paper's Table III test problems.
+//
+// The originals (IMG protein-similarity networks, the M3 soil metagenome,
+// SuiteSparse web crawls) are multi-GB datasets we cannot ship or hold in
+// memory here.  Each stand-in is generated with the same *structural*
+// parameters the paper's analysis turns on: component-count regime and
+// average degree (see DESIGN.md).  `scale` multiplies vertex counts;
+// scale = 1.0 targets sub-second generation on a laptop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace lacc::graph {
+
+/// One Table III row: the generated stand-in plus the paper's figures for
+/// the original so harnesses can print paper-vs-ours columns.
+struct TestProblem {
+  std::string name;              ///< paper's graph name
+  std::string description;      ///< paper's description column
+  EdgeList graph;               ///< the scaled stand-in
+  std::uint64_t paper_vertices; ///< Table III vertices
+  std::uint64_t paper_edges;    ///< Table III directed edges
+  std::uint64_t paper_components;
+  bool large = false;           ///< true for the two >1TB graphs (Fig. 6)
+};
+
+/// All ten Table III stand-ins, in paper order.
+std::vector<TestProblem> make_test_problems(double scale = 1.0,
+                                            std::uint64_t seed = 42);
+
+/// The eight "small" graphs (Figure 4) / the many-component four (Figure 5)
+/// are selected from the vector above by these helpers.
+std::vector<std::string> figure4_names();
+std::vector<std::string> figure5_names();
+std::vector<std::string> figure6_names();
+std::vector<std::string> figure7_names();
+std::vector<std::string> figure8_names();
+
+/// Look up a problem by name (throws if absent).
+const TestProblem& find_problem(const std::vector<TestProblem>& problems,
+                                const std::string& name);
+
+}  // namespace lacc::graph

@@ -1,0 +1,167 @@
+// Serial GraphBLAS operations used by LACC (Algorithms 3-6).
+//
+// Signatures follow the GraphBLAS C API argument order — output, mask,
+// (no accumulator; the paper always assigns), inputs — with C++ callables
+// in place of GrB_BinaryOp/GrB_Semiring handles.  The adjacency matrix is a
+// pattern matrix, and LACC's semiring multiply is always Select2nd, so mxv
+// takes only the semiring's *add* operator.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "grb/vector.hpp"
+#include "support/error.hpp"
+
+namespace lacc::grb {
+
+/// The (Select2nd, min) semiring addition used throughout LACC.
+struct MinOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? a : b;
+  }
+};
+
+/// (Select2nd, max): used by the exact converged-component detection.
+struct MaxOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? b : a;
+  }
+};
+
+/// GrB_SECOND: returns its second argument (used to copy through a pattern).
+struct SecondOp {
+  template <typename T>
+  T operator()(const T&, T b) const {
+    return b;
+  }
+};
+
+/// GrB_mxv over the (Select2nd, add) semiring on a pattern matrix:
+///   w[i] = add over { u[j] : j in N(i), u[j] stored },  masked by `mask`.
+/// Positions with no stored contribution are absent from w.  Internally
+/// dispatches on input density exactly as the paper describes: SpMV when u
+/// is mostly full, SpMSpV (column-driven) when u is sparse.
+template <typename T, typename Add, typename M>
+Vector<T> mxv_select2nd(const graph::Csr& A, const Vector<T>& u, Add add,
+                        Mask<M> mask) {
+  const Index n = A.num_vertices();
+  LACC_CHECK(u.size() == n);
+  Vector<T> w(n);
+
+  const bool sparse_input = u.nvals() * 4 < n;
+  if (!sparse_input) {
+    // SpMV: row-driven.
+    for (Index i = 0; i < n; ++i) {
+      if (!mask.allows(i)) continue;
+      bool any = false;
+      T acc{};
+      for (const Index j : A.neighbors(i)) {
+        if (!u.has(j)) continue;
+        const T contribution = u.at(j);  // Select2nd
+        acc = any ? add(acc, contribution) : contribution;
+        any = true;
+      }
+      if (any) w.set(i, acc);
+    }
+    return w;
+  }
+
+  // SpMSpV: column-driven over stored entries of u; the graph is symmetric
+  // so rows of column j are N(j).
+  std::vector<Index> uidx;
+  std::vector<T> uval;
+  u.extract_tuples(uidx, uval);
+  for (std::size_t k = 0; k < uidx.size(); ++k) {
+    const T contribution = uval[k];
+    for (const Index i : A.neighbors(uidx[k])) {
+      if (!mask.allows(i)) continue;
+      if (w.has(i))
+        w.set(i, add(w.at(i), contribution));
+      else
+        w.set(i, contribution);
+    }
+  }
+  return w;
+}
+
+/// GrB_eWiseMult: w[i] = op(u[i], v[i]) on the *intersection* of stored
+/// elements, masked.
+template <typename T, typename Op, typename M, typename U>
+Vector<T> eWiseMult(const Vector<T>& u, const Vector<U>& v, Op op, Mask<M> mask) {
+  LACC_CHECK(u.size() == v.size());
+  Vector<T> w(u.size());
+  for (Index i = 0; i < u.size(); ++i) {
+    if (!mask.allows(i)) continue;
+    if (u.has(i) && v.has(i)) w.set(i, op(u.at(i), static_cast<T>(v.at(i))));
+  }
+  return w;
+}
+
+/// Vector variant of GrB_extract with an index array:
+///   w[k] = u[indices[k]] for each k with u[indices[k]] stored.
+/// The output has size indices.size().
+template <typename T>
+Vector<T> extract(const Vector<T>& u, const std::vector<Index>& indices) {
+  Vector<T> w(static_cast<Index>(indices.size()));
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    LACC_CHECK(indices[k] < u.size());
+    if (u.has(indices[k])) w.set(static_cast<Index>(k), u.at(indices[k]));
+  }
+  return w;
+}
+
+/// GrB_extract with GrB_ALL: masked copy of u into a fresh vector.
+template <typename T, typename M>
+Vector<T> extract_all(const Vector<T>& u, Mask<M> mask) {
+  Vector<T> w(u.size());
+  for (Index i = 0; i < u.size(); ++i)
+    if (mask.allows(i) && u.has(i)) w.set(i, u.at(i));
+  return w;
+}
+
+/// Vector variant of GrB_assign with an index array:
+///   w[indices[k]] = u[k] for each stored u[k]  (overwrite, no accumulator).
+/// GraphBLAS leaves duplicate-index behaviour to the implementation; we
+/// reduce duplicate targets with min so runs are deterministic (DESIGN.md) —
+/// any winner is a valid PRAM arbitrary-CRCW outcome for the AS algorithm.
+template <typename T>
+void assign(Vector<T>& w, const std::vector<Index>& indices, const Vector<T>& u) {
+  LACC_CHECK(static_cast<Index>(indices.size()) == u.size());
+  std::vector<std::pair<Index, T>> writes;
+  writes.reserve(indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (!u.has(static_cast<Index>(k))) continue;
+    LACC_CHECK(indices[k] < w.size());
+    writes.emplace_back(indices[k], u.at(static_cast<Index>(k)));
+  }
+  // Sorted by (index, value), the first pair of each index run is the min.
+  std::sort(writes.begin(), writes.end());
+  for (std::size_t k = 0; k < writes.size(); ++k) {
+    if (k > 0 && writes[k].first == writes[k - 1].first) continue;
+    w.set(writes[k].first, writes[k].second);
+  }
+}
+
+/// Scalar variant of GrB_assign: w[indices[k]] = value for all k.
+template <typename T>
+void assign_scalar(Vector<T>& w, const std::vector<Index>& indices, T value) {
+  for (const Index i : indices) {
+    LACC_CHECK(i < w.size());
+    w.set(i, value);
+  }
+}
+
+/// GrB_assign over GrB_ALL with a mask: w[i] = value wherever allowed.
+template <typename T, typename M>
+void assign_all(Vector<T>& w, T value, Mask<M> mask) {
+  for (Index i = 0; i < w.size(); ++i)
+    if (mask.allows(i)) w.set(i, value);
+}
+
+}  // namespace lacc::grb

@@ -1,0 +1,102 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace lacc::sim {
+
+void Comm::charge_alltoall(double t0, AllToAllAlgo algo,
+                           std::uint64_t bytes_sent, std::uint64_t bytes_recv) {
+  const double alpha = machine().alpha_s;
+  const double beta = machine().beta_s_per_byte;
+  const auto volume = static_cast<double>(std::max(bytes_sent, bytes_recv));
+  double seconds = 0;
+  std::uint64_t msgs = 0;
+
+  switch (algo) {
+    case AllToAllAlgo::kPairwise: {
+      // Pairwise exchange: p-1 rounds, each a latency plus this rank's share.
+      msgs = static_cast<std::uint64_t>(size() > 1 ? size() - 1 : 0);
+      seconds = alpha * static_cast<double>(msgs) + beta * volume;
+      break;
+    }
+    case AllToAllAlgo::kHypercube: {
+      // Sundar et al.: log(p) rounds; data is forwarded, so total traffic per
+      // rank inflates by ~log(p)/2 (never below the direct volume).
+      const double steps = log2_ceil(size());
+      msgs = static_cast<std::uint64_t>(steps);
+      seconds = alpha * steps + beta * volume * std::max(1.0, steps / 2.0);
+      break;
+    }
+    case AllToAllAlgo::kSparseHypercube: {
+      // Only ranks that actually hold data participate in the exchange.
+      int active = 0;
+      for (int r = 0; r < size(); ++r)
+        if (ctx_->slots[r].aux > 0) ++active;  // aux carries bytes_sent
+      if (bytes_recv > 0 || bytes_sent > 0) active = std::max(active, 1);
+      const double steps = active > 1 ? log2_ceil(active) : (active == 1 ? 1.0 : 0.0);
+      msgs = static_cast<std::uint64_t>(steps);
+      seconds = alpha * steps + beta * volume * std::max(1.0, steps / 2.0);
+      break;
+    }
+  }
+  state().sim_time = t0;  // charge_comm advances the clock from here
+  state().charge_comm(msgs, bytes_sent, seconds);
+}
+
+Comm Comm::split(int color, int key) {
+  LACC_CHECK(color >= 0);
+  // Round 1: publish (color, key) via aux.
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(color)) << 32) |
+      static_cast<std::uint32_t>(key);
+  post(nullptr, 0, nullptr, nullptr, packed);
+
+  struct Member {
+    int key;
+    int rank;
+  };
+  std::vector<Member> group;
+  for (int r = 0; r < size(); ++r) {
+    const std::uint64_t other = ctx_->slots[r].aux;
+    const int other_color = static_cast<int>(other >> 32);
+    if (other_color == color)
+      group.push_back({static_cast<int>(static_cast<std::uint32_t>(other)), r});
+  }
+  std::sort(group.begin(), group.end(), [](const Member& a, const Member& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    if (group[i].rank == rank_) my_new_rank = static_cast<int>(i);
+  LACC_CHECK(my_new_rank >= 0);
+
+  const bool leader = group.front().rank == rank_;
+  if (leader) {
+    std::vector<RankState*> members;
+    members.reserve(group.size());
+    for (const auto& m : group) members.push_back(ctx_->states[m.rank]);
+    auto child =
+        std::make_shared<CommContext>(std::move(members), ctx_->poison_flag);
+    std::lock_guard<std::mutex> lock(ctx_->publish_mutex);
+    ctx_->published_children[color] = std::move(child);
+  }
+  ctx_->barrier.arrive_and_wait();
+
+  std::shared_ptr<CommContext> child;
+  {
+    std::lock_guard<std::mutex> lock(ctx_->publish_mutex);
+    child = ctx_->published_children.at(color);
+  }
+  ctx_->barrier.arrive_and_wait();
+
+  if (leader) {
+    std::lock_guard<std::mutex> lock(ctx_->publish_mutex);
+    ctx_->published_children.erase(color);
+  }
+  finish();
+  return Comm(std::move(child), my_new_rank);
+}
+
+}  // namespace lacc::sim

@@ -1,0 +1,418 @@
+// SPMD communicator over virtual ranks (threads) with MPI-style collectives.
+//
+// This is the repository's stand-in for MPI on a Cray (see DESIGN.md):
+// P virtual ranks execute the same SPMD code on P threads; collectives are
+// the only cross-rank channel.  Every collective
+//   (1) posts the caller's buffer into a per-rank slot,
+//   (2) barriers,
+//   (3) lets every rank read what it needs and charge modeled cost,
+//   (4) barriers again so source buffers can be reused.
+// Modeled time is advanced per rank and max-synchronized at every
+// collective (valid because the algorithms built on top are bulk
+// synchronous), so the simulated clock is deterministic regardless of
+// thread scheduling.
+//
+// Collective cost formulas follow the standard MPICH models cited in
+// Section V-A of the paper; all-to-all supports both the pairwise-exchange
+// algorithm (alpha*(p-1) latency) and the hypercube algorithm of Sundar et
+// al. (alpha*log p), which the paper swaps in to fix scaling beyond 1024
+// ranks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/stats.hpp"
+#include "support/error.hpp"
+#include "support/partition.hpp"
+#include "support/timer.hpp"
+
+namespace lacc::sim {
+
+/// Algorithm used by Comm::alltoallv (paper Section V-B).
+enum class AllToAllAlgo {
+  kPairwise,        ///< classic pairwise exchange: alpha*(p-1)
+  kHypercube,       ///< Sundar et al. hypercube: alpha*log(p)
+  kSparseHypercube  ///< hypercube restricted to ranks holding data
+};
+
+/// Thrown inside surviving ranks when a sibling rank failed; run_spmd
+/// rethrows the original error to the caller.
+struct Poisoned : std::exception {
+  const char* what() const noexcept override { return "sibling rank failed"; }
+};
+
+/// Per-rank mutable state: the modeled clock and the statistics sink.
+struct RankState {
+  const MachineModel* machine = nullptr;
+  double sim_time = 0;
+  RankStats stats;
+  std::string region;  ///< currently-open region name ("" = none)
+
+  void charge_comm(std::uint64_t msgs, std::uint64_t bytes, double seconds) {
+    sim_time += seconds;
+    auto apply = [&](OpCounters& c) {
+      c.messages += msgs;
+      c.bytes += bytes;
+      c.comm_seconds += seconds;
+    };
+    apply(stats.total);
+    if (!region.empty()) apply(stats.regions[region]);
+  }
+
+  void charge_compute(double elements) {
+    const double seconds = elements / machine->work_rate;
+    sim_time += seconds;
+    stats.total.compute_seconds += seconds;
+    if (!region.empty()) stats.regions[region].compute_seconds += seconds;
+  }
+
+  void add_counter(const std::string& name, std::uint64_t delta) {
+    stats.counters[name] += delta;
+  }
+};
+
+/// Reusable generation barrier with a shared poison flag so that a failing
+/// rank releases (rather than deadlocks) its siblings.
+class Barrier {
+ public:
+  Barrier(int n, std::shared_ptr<std::atomic<bool>> poison)
+      : n_(n), poison_(std::move(poison)) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+    const std::uint64_t gen = generation_;
+    if (++waiting_ == n_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    while (generation_ == gen) {
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+      if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+    }
+  }
+
+  void poison() {
+    poison_->store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const int n_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  std::shared_ptr<std::atomic<bool>> poison_;
+};
+
+/// Shared state of one communicator group.  Members index it by their group
+/// rank; RankState pointers alias the states owned by the world runtime.
+class CommContext {
+ public:
+  CommContext(std::vector<RankState*> members,
+              std::shared_ptr<std::atomic<bool>> poison)
+      : size(static_cast<int>(members.size())),
+        states(std::move(members)),
+        slots(states.size()),
+        barrier(size, poison),
+        poison_flag(std::move(poison)) {}
+
+  struct Slot {
+    const void* data = nullptr;
+    std::size_t count = 0;                ///< elements posted
+    const std::size_t* counts = nullptr;  ///< per-destination counts
+    const std::size_t* offsets = nullptr; ///< per-destination element offsets
+    std::uint64_t aux = 0;
+    double posted_time = 0;               ///< poster's sim clock at post
+  };
+
+  const int size;
+  std::vector<RankState*> states;
+  std::vector<Slot> slots;
+  Barrier barrier;
+  std::shared_ptr<std::atomic<bool>> poison_flag;
+
+  std::mutex publish_mutex;
+  std::map<int, std::shared_ptr<CommContext>> published_children;
+};
+
+/// A rank's handle on a communicator.  Cheap to copy.
+class Comm {
+ public:
+  Comm(std::shared_ptr<CommContext> ctx, int rank)
+      : ctx_(std::move(ctx)), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return ctx_->size; }
+  RankState& state() { return *ctx_->states[rank_]; }
+  const MachineModel& machine() const { return *ctx_->states[rank_]->machine; }
+
+  /// Charge `elements` of modeled local work to this rank.
+  void charge_compute(double elements) { state().charge_compute(elements); }
+
+  /// Record a custom instrumentation counter (e.g. extract request skew).
+  void add_counter(const std::string& name, std::uint64_t delta) {
+    state().add_counter(name, delta);
+  }
+
+  /// Barrier; synchronizes the modeled clock across the group.
+  void barrier() {
+    post(nullptr, 0, nullptr, nullptr, 0);
+    const double t0 = group_start_time();
+    state().sim_time = t0;
+    state().charge_comm(log2_ceil(size()), 0, machine().alpha_s * log2_ceil(size()));
+    finish();
+  }
+
+  /// Broadcast `data` from `root` to every rank (binomial-tree model).
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::size_t n = data.size();
+    if (rank_ == root)
+      post(data.data(), n, nullptr, nullptr, n);
+    else
+      post(nullptr, 0, nullptr, nullptr, 0);
+    const double t0 = group_start_time();
+    const auto& src = ctx_->slots[root];
+    if (rank_ != root) {
+      data.resize(src.aux);
+      std::memcpy(data.data(), src.data, src.aux * sizeof(T));
+    }
+    const std::uint64_t bytes = src.aux * sizeof(T);
+    state().sim_time = t0;
+    state().charge_comm(log2_ceil(size()), bytes,
+                        machine().alpha_s * log2_ceil(size()) +
+                            machine().beta_s_per_byte * static_cast<double>(bytes));
+    finish();
+  }
+
+  /// All-reduce of one scalar with a binary op (recursive-doubling model).
+  template <typename T, typename Op>
+  T allreduce(T value, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    post(&value, 1, nullptr, nullptr, 0);
+    const double t0 = group_start_time();
+    T result = *static_cast<const T*>(ctx_->slots[0].data);
+    for (int r = 1; r < size(); ++r)
+      result = op(result, *static_cast<const T*>(ctx_->slots[r].data));
+    const double steps = log2_ceil(size());
+    state().sim_time = t0;
+    state().charge_comm(static_cast<std::uint64_t>(steps), sizeof(T),
+                        (machine().alpha_s + machine().beta_s_per_byte * sizeof(T)) * steps);
+    finish();
+    return result;
+  }
+
+  /// Gather variable-size contributions from all ranks, in rank order.
+  /// If `counts_out` is non-null it receives each rank's contribution size.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& mine,
+                            std::vector<std::size_t>* counts_out = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    post(mine.data(), mine.size(), nullptr, nullptr, 0);
+    const double t0 = group_start_time();
+    std::size_t total = 0;
+    for (int r = 0; r < size(); ++r) total += ctx_->slots[r].count;
+    std::vector<T> out(total);
+    if (counts_out) counts_out->assign(static_cast<std::size_t>(size()), 0);
+    std::size_t at = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto& slot = ctx_->slots[r];
+      if (slot.count > 0)
+        std::memcpy(out.data() + at, slot.data, slot.count * sizeof(T));
+      if (counts_out) (*counts_out)[static_cast<std::size_t>(r)] = slot.count;
+      at += slot.count;
+    }
+    const std::uint64_t bytes = (total - mine.size()) * sizeof(T);
+    state().sim_time = t0;
+    state().charge_comm(log2_ceil(size()), bytes,
+                        machine().alpha_s * log2_ceil(size()) +
+                            machine().beta_s_per_byte * static_cast<double>(bytes));
+    charge_compute(static_cast<double>(total));
+    finish();
+    return out;
+  }
+
+  /// Personalized all-to-all: `sendcounts[d]` consecutive elements of `send`
+  /// go to destination d.  Returns received elements grouped by source rank;
+  /// `recvcounts_out` (optional) receives the per-source counts.
+  template <typename T>
+  std::vector<T> alltoallv(const std::vector<T>& send,
+                           const std::vector<std::size_t>& sendcounts,
+                           AllToAllAlgo algo = AllToAllAlgo::kPairwise,
+                           std::vector<std::size_t>* recvcounts_out = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LACC_CHECK(sendcounts.size() == static_cast<std::size_t>(size()));
+    std::vector<std::size_t> offsets(sendcounts.size() + 1, 0);
+    for (std::size_t d = 0; d < sendcounts.size(); ++d)
+      offsets[d + 1] = offsets[d] + sendcounts[d];
+    LACC_CHECK_MSG(offsets.back() == send.size(),
+                   "alltoallv send counts (" << offsets.back()
+                       << ") must cover the send buffer (" << send.size() << ")");
+    std::uint64_t bytes_sent = 0;
+    for (int d = 0; d < size(); ++d)
+      if (d != rank_) bytes_sent += sendcounts[static_cast<std::size_t>(d)] * sizeof(T);
+    post(send.data(), send.size(), sendcounts.data(), offsets.data(), bytes_sent);
+
+    const double t0 = group_start_time();
+    if (recvcounts_out) recvcounts_out->assign(static_cast<std::size_t>(size()), 0);
+    std::size_t recv_total = 0;
+    for (int s = 0; s < size(); ++s)
+      recv_total += ctx_->slots[s].counts[static_cast<std::size_t>(rank_)];
+    std::vector<T> out(recv_total);
+    std::size_t at = 0;
+    std::uint64_t bytes_recv = 0;
+    for (int s = 0; s < size(); ++s) {
+      const auto& slot = ctx_->slots[s];
+      const std::size_t cnt = slot.counts[static_cast<std::size_t>(rank_)];
+      if (cnt > 0) {
+        std::memcpy(out.data() + at,
+                    static_cast<const T*>(slot.data) +
+                        slot.offsets[static_cast<std::size_t>(rank_)],
+                    cnt * sizeof(T));
+        at += cnt;
+        if (s != rank_) bytes_recv += cnt * sizeof(T);
+      }
+      if (recvcounts_out) (*recvcounts_out)[static_cast<std::size_t>(s)] = cnt;
+    }
+    charge_alltoall(t0, algo, bytes_sent, bytes_recv);
+    charge_compute(static_cast<double>(recv_total));
+    finish();
+    return out;
+  }
+
+  /// Dense block reduce-scatter: every rank passes an array of identical
+  /// length; rank r returns the block `part.begin(r)..part.end(r)` reduced
+  /// elementwise with `op` across all ranks (recursive-halving model).
+  template <typename T, typename Op>
+  std::vector<T> reduce_scatter_block(const std::vector<T>& data, Op op,
+                                      const BlockPartition& part) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LACC_CHECK(part.parts == static_cast<std::uint64_t>(size()));
+    LACC_CHECK(part.n == data.size());
+    post(data.data(), data.size(), nullptr, nullptr, 0);
+    const double t0 = group_start_time();
+    const std::size_t b = part.begin(static_cast<std::uint64_t>(rank_));
+    const std::size_t e = part.end(static_cast<std::uint64_t>(rank_));
+    std::vector<T> out(static_cast<const T*>(ctx_->slots[0].data) + b,
+                       static_cast<const T*>(ctx_->slots[0].data) + e);
+    for (int r = 1; r < size(); ++r) {
+      const T* src = static_cast<const T*>(ctx_->slots[r].data);
+      for (std::size_t i = b; i < e; ++i) out[i - b] = op(out[i - b], src[i]);
+    }
+    const double frac = static_cast<double>(size() - 1) / size();
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(frac * static_cast<double>(data.size() * sizeof(T)));
+    state().sim_time = t0;
+    state().charge_comm(log2_ceil(size()), bytes,
+                        machine().alpha_s * log2_ceil(size()) +
+                            machine().beta_s_per_byte * static_cast<double>(bytes));
+    charge_compute(static_cast<double>(e - b) * (size() - 1));
+    finish();
+    return out;
+  }
+
+  /// Pairwise exchange along a permutation: every rank sends to `dest` and
+  /// receives from `src` (both may equal the caller's own rank).
+  template <typename T>
+  std::vector<T> sendrecv(const std::vector<T>& send, int dest, int src) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LACC_CHECK(dest >= 0 && dest < size() && src >= 0 && src < size());
+    post(send.data(), send.size(), nullptr, nullptr,
+         static_cast<std::uint64_t>(dest));
+    const double t0 = group_start_time();
+    const auto& slot = ctx_->slots[src];
+    LACC_CHECK_MSG(static_cast<int>(slot.aux) == rank_,
+                   "sendrecv permutation mismatch: rank " << src << " sent to "
+                       << slot.aux << ", not " << rank_);
+    std::vector<T> out(static_cast<const T*>(slot.data),
+                       static_cast<const T*>(slot.data) + slot.count);
+    const std::uint64_t bytes =
+        (src == rank_ ? 0 : out.size() * sizeof(T));
+    state().sim_time = t0;
+    state().charge_comm(src == rank_ ? 0 : 1, bytes,
+                        (src == rank_ ? 0.0 : machine().alpha_s) +
+                            machine().beta_s_per_byte * static_cast<double>(bytes));
+    finish();
+    return out;
+  }
+
+  /// Collective split into sub-communicators: ranks sharing `color` form a
+  /// group, ordered by (key, parent rank).  Every rank must participate.
+  Comm split(int color, int key);
+
+ private:
+  static double log2_ceil(int p) {
+    double steps = 0;
+    int v = 1;
+    while (v < p) {
+      v <<= 1;
+      ++steps;
+    }
+    return steps == 0 ? 1 : steps;
+  }
+
+  void post(const void* data, std::size_t count, const std::size_t* counts,
+            const std::size_t* offsets, std::uint64_t aux) {
+    auto& slot = ctx_->slots[rank_];
+    slot = {data, count, counts, offsets, aux, state().sim_time};
+    ctx_->barrier.arrive_and_wait();
+  }
+
+  /// Max posted clock across the group = superstep start time.
+  double group_start_time() const {
+    double t = 0;
+    for (int r = 0; r < ctx_->size; ++r)
+      t = std::max(t, ctx_->slots[r].posted_time);
+    return t;
+  }
+
+  void finish() { ctx_->barrier.arrive_and_wait(); }
+
+  void charge_alltoall(double t0, AllToAllAlgo algo, std::uint64_t bytes_sent,
+                       std::uint64_t bytes_recv);
+
+  std::shared_ptr<CommContext> ctx_;
+  int rank_;
+};
+
+/// RAII named region: modeled charges issued while the region is open are
+/// attributed to it; wall time is recorded on close.  Regions follow the
+/// phases of the algorithm (e.g. "cond-hook") and must be opened/closed
+/// collectively so collective charges land in the same region on all ranks.
+class Region {
+ public:
+  Region(Comm& comm, std::string name)
+      : state_(comm.state()), name_(std::move(name)), prev_(state_.region) {
+    state_.region = name_;
+  }
+  ~Region() {
+    state_.stats.regions[name_].wall_seconds += timer_.seconds();
+    state_.region = prev_;
+  }
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+ private:
+  RankState& state_;
+  std::string name_;
+  std::string prev_;
+  Timer timer_;
+};
+
+}  // namespace lacc::sim

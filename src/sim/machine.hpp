@@ -1,0 +1,85 @@
+// Machine models for the simulated-time cost accounting.
+//
+// The paper evaluates on NERSC Edison (Cray XC30, Ivy Bridge) and Cori
+// (Cray XC40, KNL); Table II gives the node specs.  We encode each platform
+// as an alpha-beta-work model:
+//
+//   T = F / work_rate  +  alpha * S  +  beta * W
+//
+// where F is local work in "graph elements" touched (memory-bound irregular
+// ops), S is messages sent and W is bytes moved, matching the cost model in
+// Section V-A of the paper.  Absolute constants are approximations of the
+// real hardware; the reproduction targets the *shape* of the scaling curves,
+// which depends on the relative magnitude of the three terms, not their
+// absolute values.
+#pragma once
+
+#include <string>
+
+namespace lacc::sim {
+
+/// Per-rank machine parameters used by the cost model.
+struct MachineModel {
+  std::string name;
+
+  /// Point-to-point message latency in seconds (per message).
+  double alpha_s = 1.0e-6;
+
+  /// Inverse bandwidth in seconds per byte (per-rank injection).
+  double beta_s_per_byte = 5.0e-10;
+
+  /// Irregular graph-element processing rate per rank (elements/second).
+  /// Derived from STREAM bandwidth per rank with an irregular-access
+  /// efficiency factor; one "element" is one index+value touched.
+  double work_rate = 4.0e8;
+
+  /// MPI processes per node (the paper runs LACC with 4 per node).
+  int procs_per_node = 4;
+
+  /// OpenMP threads per process.
+  int threads_per_proc = 6;
+
+  /// Physical cores per node (Table II).
+  int cores_per_node = 24;
+
+  /// Number of nodes corresponding to `ranks` simulated processes.
+  double nodes_for_ranks(int ranks) const {
+    return static_cast<double>(ranks) / procs_per_node;
+  }
+  /// Number of physical cores corresponding to `ranks` simulated processes.
+  double cores_for_ranks(int ranks) const {
+    return nodes_for_ranks(ranks) * cores_per_node;
+  }
+
+  /// Flat-MPI variant of this machine: one single-threaded rank per core
+  /// (the paper runs ParConnect this way — 24 ranks/node on Edison, 64+ on
+  /// Cori).  Same node-level compute and bandwidth, but each rank gets one
+  /// core's work rate and a per-core slice of the injection bandwidth, and
+  /// collectives span many more ranks — the alpha*(p-1) blowup the paper
+  /// blames for ParConnect's scaling wall.
+  MachineModel flat_mpi_variant() const {
+    MachineModel flat = *this;
+    const double ranks_scale =
+        static_cast<double>(cores_per_node) / procs_per_node;
+    flat.name = name + " (flat MPI)";
+    flat.beta_s_per_byte = beta_s_per_byte * ranks_scale;
+    flat.work_rate = work_rate / ranks_scale;
+    flat.procs_per_node = cores_per_node;
+    flat.threads_per_proc = 1;
+    return flat;
+  }
+
+  /// NERSC Edison: Cray XC30, 2x12-core Ivy Bridge @ 2.4 GHz, 89 GB/s
+  /// STREAM, Aries interconnect.  Paper config: 4 MPI ranks x 6 threads.
+  static const MachineModel& edison();
+
+  /// NERSC Cori: Cray XC40, 68-core KNL @ 1.4 GHz, 102 GB/s STREAM
+  /// (MCDRAM), Aries.  Paper config: 4 MPI ranks x 16 threads.
+  static const MachineModel& cori_knl();
+
+  /// This machine (no modeling of a supercomputer): tiny latency, high
+  /// bandwidth.  Used by unit tests where modeled time is irrelevant.
+  static const MachineModel& local();
+};
+
+}  // namespace lacc::sim

@@ -1,0 +1,68 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace lacc::sim {
+
+SpmdResult run_spmd(int nranks, const MachineModel& machine,
+                    const std::function<void(Comm&)>& body) {
+  LACC_CHECK_MSG(nranks >= 1 && nranks <= 4096,
+                 "rank count " << nranks << " out of supported range");
+
+  std::vector<std::unique_ptr<RankState>> states;
+  states.reserve(static_cast<std::size_t>(nranks));
+  std::vector<RankState*> members;
+  members.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    states.push_back(std::make_unique<RankState>());
+    states.back()->machine = &machine;
+    members.push_back(states.back().get());
+  }
+  auto poison = std::make_shared<std::atomic<bool>>(false);
+  auto world = std::make_shared<CommContext>(members, poison);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  Timer timer;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        body(comm);
+      } catch (const Poisoned&) {
+        // A sibling failed first; its error is already recorded.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world->barrier.poison();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  SpmdResult result;
+  result.wall_seconds = timer.seconds();
+  result.stats.reserve(states.size());
+  result.rank_sim_seconds.reserve(states.size());
+  for (const auto& s : states) {
+    result.stats.push_back(s->stats);
+    result.rank_sim_seconds.push_back(s->sim_time);
+    result.sim_seconds = std::max(result.sim_seconds, s->sim_time);
+  }
+  return result;
+}
+
+}  // namespace lacc::sim

@@ -1,0 +1,28 @@
+// Entry point for running SPMD bodies on virtual ranks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "sim/stats.hpp"
+
+namespace lacc::sim {
+
+/// Outcome of one SPMD run: per-rank statistics plus the modeled and
+/// measured elapsed times.
+struct SpmdResult {
+  std::vector<RankStats> stats;          ///< indexed by rank
+  std::vector<double> rank_sim_seconds;  ///< final modeled clock per rank
+  double sim_seconds = 0;                ///< max over ranks (critical path)
+  double wall_seconds = 0;               ///< measured wall time of the run
+};
+
+/// Run `body` on `nranks` virtual ranks (one thread each) against the given
+/// machine model.  The first exception thrown by any rank is rethrown here
+/// after all threads have been released and joined.
+SpmdResult run_spmd(int nranks, const MachineModel& machine,
+                    const std::function<void(Comm&)>& body);
+
+}  // namespace lacc::sim

@@ -1,0 +1,42 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+
+namespace lacc::sim {
+
+namespace {
+
+void max_into(OpCounters& into, const OpCounters& from) {
+  into.messages = std::max(into.messages, from.messages);
+  into.bytes = std::max(into.bytes, from.bytes);
+  into.comm_seconds = std::max(into.comm_seconds, from.comm_seconds);
+  into.compute_seconds = std::max(into.compute_seconds, from.compute_seconds);
+  into.wall_seconds = std::max(into.wall_seconds, from.wall_seconds);
+}
+
+}  // namespace
+
+RankStats max_over_ranks(const std::vector<RankStats>& per_rank) {
+  RankStats out;
+  for (const auto& rs : per_rank) {
+    max_into(out.total, rs.total);
+    for (const auto& [name, ops] : rs.regions) max_into(out.regions[name], ops);
+    for (const auto& [name, v] : rs.counters) {
+      auto& slot = out.counters[name];
+      slot = std::max(slot, v);
+    }
+  }
+  return out;
+}
+
+RankStats sum_over_ranks(const std::vector<RankStats>& per_rank) {
+  RankStats out;
+  for (const auto& rs : per_rank) {
+    out.total.add(rs.total);
+    for (const auto& [name, ops] : rs.regions) out.regions[name].add(ops);
+    for (const auto& [name, v] : rs.counters) out.counters[name] += v;
+  }
+  return out;
+}
+
+}  // namespace lacc::sim

@@ -1,0 +1,65 @@
+// Compact bit vector used for vertex flags (star membership, visited sets).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lacc {
+
+/// Fixed-size bit vector with word-level population count.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t n, bool value = false)
+      : size_(n),
+        words_((n + 63) / 64, value ? ~std::uint64_t{0} : std::uint64_t{0}) {
+    trim();
+  }
+
+  std::size_t size() const { return size_; }
+
+  bool get(std::size_t i) const {
+    LACC_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    LACC_DCHECK(i < size_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void fill(bool value) {
+    for (auto& w : words_) w = value ? ~std::uint64_t{0} : std::uint64_t{0};
+    trim();
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  void trim() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lacc

@@ -1,0 +1,30 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace lacc {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return end == value ? fallback : static_cast<std::int64_t>(parsed);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return (value == nullptr || *value == '\0') ? fallback : std::string(value);
+}
+
+double bench_scale() { return env_double("LACC_SCALE", 1.0); }
+
+}  // namespace lacc

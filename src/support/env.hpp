@@ -1,0 +1,23 @@
+// Environment-variable configuration shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lacc {
+
+/// Read an environment variable as a double, with a default.
+double env_double(const char* name, double fallback);
+
+/// Read an environment variable as a 64-bit integer, with a default.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read an environment variable as a string, with a default.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Global size multiplier for benchmark workloads (LACC_SCALE, default 1.0).
+/// Benches multiply their vertex/edge counts by this so larger machines can
+/// run paper-scale experiments without editing code.
+double bench_scale();
+
+}  // namespace lacc

@@ -1,0 +1,51 @@
+// Lightweight invariant checking used across the library.
+//
+// LACC_CHECK is always on (graph algorithms are cheap to guard relative to
+// the kernels they protect); LACC_DCHECK compiles out in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lacc {
+
+/// Thrown when a runtime invariant is violated.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LACC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace lacc
+
+#define LACC_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::lacc::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define LACC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream lacc_os_;                                    \
+      lacc_os_ << msg;                                                \
+      ::lacc::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   lacc_os_.str());                   \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define LACC_DCHECK(expr) ((void)0)
+#else
+#define LACC_DCHECK(expr) LACC_CHECK(expr)
+#endif

@@ -1,0 +1,49 @@
+// Block partitioning of index ranges over P owners.
+//
+// CombBLAS and our distributed layer both split [0, n) into P contiguous
+// blocks as evenly as possible: the first (n mod P) blocks get one extra
+// element.  These helpers are the single source of truth for that mapping so
+// that matrix, vector, and request routing never disagree about ownership.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace lacc {
+
+/// Even block partition of [0, n) into `parts` contiguous blocks.
+struct BlockPartition {
+  std::uint64_t n = 0;
+  std::uint64_t parts = 1;
+
+  BlockPartition() = default;
+  BlockPartition(std::uint64_t n_, std::uint64_t parts_) : n(n_), parts(parts_) {
+    LACC_CHECK(parts >= 1);
+  }
+
+  /// First global index of block `b`.
+  std::uint64_t begin(std::uint64_t b) const {
+    LACC_DCHECK(b <= parts);
+    const std::uint64_t base = n / parts, extra = n % parts;
+    return b * base + (b < extra ? b : extra);
+  }
+
+  /// One past the last global index of block `b`.
+  std::uint64_t end(std::uint64_t b) const { return begin(b + 1); }
+
+  /// Number of elements in block `b`.
+  std::uint64_t size(std::uint64_t b) const { return end(b) - begin(b); }
+
+  /// Block that owns global index `i`.
+  std::uint64_t owner(std::uint64_t i) const {
+    LACC_DCHECK(i < n);
+    const std::uint64_t base = n / parts, extra = n % parts;
+    const std::uint64_t boundary = extra * (base + 1);
+    if (i < boundary) return base == 0 ? i : i / (base + 1);
+    return extra + (i - boundary) / base;
+  }
+};
+
+}  // namespace lacc

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the repository flows through these generators so that
+// graph generation, permutation, and workloads are reproducible bit-for-bit
+// across runs and across virtual-rank counts.  SplitMix64 seeds
+// Xoshiro256**, the recommended pairing from Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace lacc {
+
+/// SplitMix64: tiny, passes BigCrush, ideal for seeding and for
+/// counter-based ("hash the index") random streams.
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Stateless mix of a (seed, counter) pair; used where independent streams
+/// must be derivable in parallel without shared state (e.g. every rank
+/// generating its slice of an edge list).
+constexpr std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t counter) {
+  SplitMix64 sm(seed ^ (counter * 0xD1B54A32D192ED03ull + 0x8CB92BA72F3D8DD7ull));
+  return sm.next();
+}
+
+/// Xoshiro256**: general-purpose engine for sequential generation.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (~bound + 1) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lacc

@@ -1,0 +1,83 @@
+#include "support/table.hpp"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace lacc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LACC_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  LACC_CHECK_MSG(cells.size() == header_.size(),
+                 "row arity " << cells.size() << " != header arity "
+                              << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << (c == 0 ? std::left : std::right) << row[c];
+      os << std::right;
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = static_cast<std::size_t>(header_.size() - 1) * 2;
+  for (auto w : width) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_double(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (seconds >= 1.0)
+    os << std::setprecision(3) << seconds << " s";
+  else if (seconds >= 1e-3)
+    os << std::setprecision(3) << seconds * 1e3 << " ms";
+  else
+    os << std::setprecision(1) << seconds * 1e6 << " us";
+  return os.str();
+}
+
+std::string fmt_ratio(double r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << r << "x";
+  return os.str();
+}
+
+}  // namespace lacc

@@ -1,0 +1,35 @@
+// Plain-text table printer used by the benchmark harnesses to emit
+// paper-style rows (one table/figure per binary).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lacc {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string fmt_count(std::uint64_t v);        // 12,345,678
+std::string fmt_double(double v, int digits);  // fixed-precision
+std::string fmt_seconds(double seconds);       // adaptive s/ms/us
+std::string fmt_ratio(double r);               // "5.1x"
+
+}  // namespace lacc

@@ -1,0 +1,25 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace lacc {
+
+/// Monotonic wall-clock stopwatch measured in seconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lacc

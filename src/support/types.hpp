@@ -1,0 +1,19 @@
+// Fundamental scalar types shared across the LACC libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lacc {
+
+/// Global vertex identifier. The paper's largest graph has 68.48M vertices
+/// and 67B edges; 64 bits keep index arithmetic safe everywhere.
+using VertexId = std::uint64_t;
+
+/// Global edge count / nonzero count.
+using EdgeId = std::uint64_t;
+
+/// Sentinel for "no vertex / no parent".
+inline constexpr VertexId kNoVertex = ~VertexId{0};
+
+}  // namespace lacc

@@ -1,0 +1,86 @@
+#include "apps/mcl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "baselines/union_find.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::apps {
+namespace {
+
+TEST(StochasticMatrix, InitialMatrixIsColumnStochasticWithSelfLoops) {
+  const graph::Csr g(graph::erdos_renyi(100, 300, 3));
+  const StochasticMatrix m(g);
+  EXPECT_TRUE(m.is_column_stochastic());
+  for (VertexId j = 0; j < 100; ++j) {
+    bool self = false;
+    for (const auto& [i, w] : m.column(j))
+      if (i == j) self = true;
+    EXPECT_TRUE(self) << j;
+  }
+}
+
+TEST(StochasticMatrix, ExpansionPreservesStochasticity) {
+  const graph::Csr g(graph::clustered_components(200, 10, 4.0, 5));
+  const StochasticMatrix m(g);
+  const auto squared = m.expand();
+  EXPECT_TRUE(squared.is_column_stochastic(1e-6));
+  EXPECT_EQ(squared.n(), m.n());
+}
+
+TEST(StochasticMatrix, InflationPrunesAndRenormalizes) {
+  const graph::Csr g(graph::erdos_renyi(150, 600, 7));
+  StochasticMatrix m(g);
+  const auto before = m.nnz();
+  m.inflate(2.0, 0.05);
+  EXPECT_TRUE(m.is_column_stochastic(1e-9));
+  EXPECT_LE(m.nnz(), before);
+}
+
+TEST(StochasticMatrix, MaxColumnChangeIsZeroAgainstItself) {
+  const graph::Csr g(graph::cycle(40));
+  const StochasticMatrix m(g);
+  EXPECT_DOUBLE_EQ(m.max_column_change(m), 0.0);
+}
+
+TEST(MarkovCluster, RecoversPlantedCommunities) {
+  const VertexId planted = 25;
+  const auto el = graph::clustered_components(800, planted, 10.0, 9);
+  const graph::Csr g(el);
+  const auto result = markov_cluster(g, MclOptions{}, 4);
+  // MCL may split weak communities but must never merge disconnected ones,
+  // and every cluster must be confined to one planted community.
+  EXPECT_GE(result.num_clusters, planted);
+  const auto planted_labels =
+      core::normalize_labels(baselines::union_find_cc(el).parent);
+  std::unordered_map<VertexId, VertexId> home;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto [it, fresh] =
+        home.try_emplace(result.cluster[v], planted_labels[v]);
+    EXPECT_EQ(it->second, planted_labels[v]) << "cluster spans communities";
+  }
+}
+
+TEST(MarkovCluster, DeterministicAndConverges) {
+  const graph::Csr g(graph::clustered_components(300, 12, 8.0, 11));
+  const auto a = markov_cluster(g, MclOptions{}, 4);
+  const auto b = markov_cluster(g, MclOptions{}, 4);
+  EXPECT_EQ(a.cluster, b.cluster);
+  EXPECT_GT(a.sweeps, 0);
+  EXPECT_LT(a.sweeps, 50);
+}
+
+TEST(MarkovCluster, HigherInflationGivesFinerClusters) {
+  const graph::Csr g(graph::clustered_components(400, 8, 8.0, 13));
+  MclOptions coarse, fine;
+  coarse.inflation = 1.5;
+  fine.inflation = 3.0;
+  const auto a = markov_cluster(g, coarse, 4);
+  const auto b = markov_cluster(g, fine, 4);
+  EXPECT_LE(a.num_clusters, b.num_clusters);
+}
+
+}  // namespace
+}  // namespace lacc::apps

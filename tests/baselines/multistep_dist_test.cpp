@@ -1,0 +1,51 @@
+#include "baselines/multistep_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::baselines {
+namespace {
+
+void expect_correct(const graph::EdgeList& el, int ranks) {
+  const auto result = multistep_dist(el, ranks, sim::MachineModel::local());
+  const auto truth = union_find_cc(el);
+  EXPECT_TRUE(core::same_partition(result.cc.parent, truth.parent))
+      << "ranks=" << ranks;
+}
+
+TEST(MultistepDist, SimpleShapes) {
+  for (const int ranks : {1, 4, 9}) {
+    expect_correct(graph::star(60), ranks);
+    expect_correct(graph::cycle(40), ranks);
+    expect_correct(graph::empty_graph(15), ranks);
+  }
+}
+
+TEST(MultistepDist, GiantPlusDust) {
+  auto el = graph::preferential_attachment(1200, 4, 3, 0.1);
+  expect_correct(el, 4);
+  expect_correct(el, 16);
+}
+
+TEST(MultistepDist, ManyComponents) {
+  expect_correct(graph::clustered_components(900, 30, 5.0, 5), 9);
+  expect_correct(graph::path_forest(1200, 10, 7), 4);
+}
+
+TEST(MultistepDist, RandomAndRegression) {
+  expect_correct(graph::erdos_renyi(600, 1200, 9), 4);
+  expect_correct(graph::erdos_renyi(1000, 500, 501), 4);
+}
+
+TEST(MultistepDist, BfsPeelRegionRecorded) {
+  const auto el = graph::random_tree(500, 11);
+  const auto result = multistep_dist(el, 4, sim::MachineModel::edison());
+  ASSERT_TRUE(result.spmd.stats[0].regions.count("bfs-peel"));
+  // Vertex 0's component is the whole tree: label propagation ends fast.
+  EXPECT_LE(result.cc.iterations, 3);
+}
+
+}  // namespace
+}  // namespace lacc::baselines

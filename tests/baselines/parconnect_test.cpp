@@ -1,0 +1,59 @@
+#include "baselines/parconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "core/lacc_dist.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::baselines {
+namespace {
+
+void expect_correct(const graph::EdgeList& el, int ranks) {
+  const auto result = parconnect_dist(el, ranks, sim::MachineModel::local());
+  const auto truth = union_find_cc(el);
+  EXPECT_TRUE(core::same_partition(result.cc.parent, truth.parent))
+      << "ranks=" << ranks;
+}
+
+TEST(ParConnect, SimpleShapes) {
+  for (const int ranks : {1, 4, 9}) {
+    expect_correct(graph::path(30), ranks);
+    expect_correct(graph::cycle(25), ranks);
+    expect_correct(graph::empty_graph(10), ranks);
+  }
+}
+
+TEST(ParConnect, RandomGraphs) {
+  expect_correct(graph::erdos_renyi(500, 900, 41), 4);
+  expect_correct(graph::erdos_renyi(500, 150, 42), 9);
+  expect_correct(graph::erdos_renyi(1000, 500, 501), 4);
+}
+
+TEST(ParConnect, ManyComponentsAndPowerLaw) {
+  expect_correct(graph::clustered_components(900, 30, 5.0, 43), 4);
+  expect_correct(graph::path_forest(1500, 10, 44), 9);
+  expect_correct(graph::rmat(9, 2048, 45), 4);
+}
+
+TEST(ParConnect, BfsPeelsSeedComponent) {
+  // A giant star at vertex 0 plus dust: BFS should do nearly all the work.
+  auto el = graph::star(200);
+  el = graph::disjoint_union(el, graph::path(5));
+  const auto result = parconnect_dist(el, 4, sim::MachineModel::local());
+  EXPECT_EQ(core::count_components(result.cc.parent), 2u);
+  ASSERT_TRUE(result.spmd.stats[0].regions.count("bfs-peel"));
+}
+
+TEST(ParConnect, SlowerThanLaccOnManyComponentGraphs) {
+  // The paper's headline comparison: many components -> LACC's sparse
+  // vectors win by a wide margin in modeled time.
+  const auto el = graph::clustered_components(4000, 130, 6.0, 47);
+  const auto lacc = core::lacc_dist(el, 16, sim::MachineModel::edison());
+  const auto pc = parconnect_dist(el, 16, sim::MachineModel::edison());
+  EXPECT_TRUE(core::same_partition(lacc.cc.parent, pc.cc.parent));
+  EXPECT_LT(lacc.modeled_seconds, pc.modeled_seconds);
+}
+
+}  // namespace
+}  // namespace lacc::baselines

@@ -1,0 +1,64 @@
+#include "baselines/serial_cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::baselines {
+namespace {
+
+using graph::Csr;
+
+void expect_all_baselines_agree(const graph::EdgeList& el) {
+  const Csr g(el);
+  const auto truth = union_find_cc(g);
+  EXPECT_TRUE(core::same_partition(bfs_cc(g).parent, truth.parent));
+  EXPECT_TRUE(core::same_partition(shiloach_vishkin(g).parent, truth.parent));
+  EXPECT_TRUE(core::same_partition(label_propagation(g).parent, truth.parent));
+  EXPECT_TRUE(core::same_partition(multistep(g).parent, truth.parent));
+}
+
+TEST(SerialBaselines, SimpleShapes) {
+  expect_all_baselines_agree(graph::path(40));
+  expect_all_baselines_agree(graph::cycle(25));
+  expect_all_baselines_agree(graph::star(30));
+  expect_all_baselines_agree(graph::empty_graph(9));
+}
+
+TEST(SerialBaselines, RandomGraphs) {
+  expect_all_baselines_agree(graph::erdos_renyi(800, 1500, 31));
+  expect_all_baselines_agree(graph::erdos_renyi(800, 200, 32));
+}
+
+TEST(SerialBaselines, ManyComponents) {
+  expect_all_baselines_agree(graph::clustered_components(2000, 60, 5.0, 33));
+  expect_all_baselines_agree(graph::path_forest(3000, 10, 34));
+}
+
+TEST(SerialBaselines, PowerLaw) {
+  expect_all_baselines_agree(graph::rmat(10, 4096, 35));
+  expect_all_baselines_agree(graph::preferential_attachment(1500, 3, 36, 0.2));
+}
+
+TEST(ShiloachVishkin, ConvergesLogarithmically) {
+  EXPECT_LE(shiloach_vishkin(Csr(graph::path(4096))).iterations, 40);
+}
+
+TEST(LabelPropagation, NeedsDiameterSweepsOnAPath) {
+  // Label propagation's weakness vs LACC: a path of length L needs ~L
+  // sweeps, not log L.
+  const auto result = label_propagation(Csr(graph::path(128)));
+  EXPECT_GE(result.iterations, 100);
+}
+
+TEST(Multistep, PeelsGiantComponentFirst) {
+  // A giant clique plus dust: the BFS step should label the giant part.
+  auto el = graph::complete(50);
+  el = graph::disjoint_union(el, graph::empty_graph(20));
+  const auto result = multistep(Csr(el));
+  EXPECT_EQ(core::count_components(result.parent), 21u);
+}
+
+}  // namespace
+}  // namespace lacc::baselines

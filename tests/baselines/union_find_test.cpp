@@ -1,0 +1,49 @@
+#include "baselines/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lacc::baselines {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already joined
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(3));
+}
+
+TEST(UnionFind, SelfUnionIsNoop) {
+  UnionFind uf(3);
+  EXPECT_FALSE(uf.unite(1, 1));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFindCc, EdgeListAndCsrAgree) {
+  const auto el = graph::erdos_renyi(500, 800, 21);
+  const auto a = union_find_cc(el);
+  const auto b = union_find_cc(graph::Csr(el));
+  EXPECT_TRUE(core::same_partition(a.parent, b.parent));
+}
+
+TEST(UnionFindCc, KnownComponentCounts) {
+  EXPECT_EQ(core::count_components(union_find_cc(graph::path(10)).parent), 1u);
+  EXPECT_EQ(core::count_components(union_find_cc(graph::empty_graph(7)).parent),
+            7u);
+  const auto g = graph::disjoint_union(graph::cycle(5), graph::cycle(5));
+  EXPECT_EQ(core::count_components(union_find_cc(g).parent), 2u);
+}
+
+TEST(UnionFindCc, DeepChainStaysNearFlat) {
+  // Path compression must keep find() cheap on a long chain.
+  const auto result = union_find_cc(graph::path(100000));
+  EXPECT_EQ(core::count_components(result.parent), 1u);
+}
+
+}  // namespace
+}  // namespace lacc::baselines

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "core/lacc_omp.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::core {
+namespace {
+
+using graph::Csr;
+
+void expect_matches_union_find(const graph::EdgeList& el,
+                               const LaccOptions& options = {}) {
+  const Csr g(el);
+  const auto as = awerbuch_shiloach(g, options);
+  const auto truth = baselines::union_find_cc(g);
+  EXPECT_TRUE(same_partition(as.parent, truth.parent));
+  // At convergence every tree is a star: parents are roots.
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(as.parent[as.parent[v]], as.parent[v]);
+}
+
+TEST(AwerbuchShiloach, SimpleShapes) {
+  expect_matches_union_find(graph::path(50));
+  expect_matches_union_find(graph::cycle(33));
+  expect_matches_union_find(graph::star(40));
+  expect_matches_union_find(graph::complete(16));
+}
+
+TEST(AwerbuchShiloach, EmptyAndSingletonGraphs) {
+  expect_matches_union_find(graph::empty_graph(10));
+  expect_matches_union_find(graph::empty_graph(1));
+  const Csr empty{graph::EdgeList(0)};
+  const auto result = awerbuch_shiloach(empty);
+  EXPECT_TRUE(result.parent.empty());
+}
+
+TEST(AwerbuchShiloach, DisjointMix) {
+  auto g = graph::disjoint_union(graph::cycle(10), graph::path(7));
+  g = graph::disjoint_union(g, graph::empty_graph(5));
+  g = graph::disjoint_union(g, graph::complete(6));
+  expect_matches_union_find(g);
+}
+
+TEST(AwerbuchShiloach, RandomGraphsAcrossDensities) {
+  for (const EdgeId m : {100u, 500u, 2000u, 8000u})
+    expect_matches_union_find(graph::erdos_renyi(1000, m, m));
+}
+
+TEST(AwerbuchShiloach, ManyComponentGraphs) {
+  expect_matches_union_find(graph::clustered_components(3000, 80, 6.0, 7));
+  expect_matches_union_find(graph::path_forest(5000, 12, 9));
+}
+
+TEST(AwerbuchShiloach, LogarithmicIterationCount) {
+  // A path is the worst case for hooking; iterations must stay O(log n).
+  const Csr g(graph::path(4096));
+  const auto result = awerbuch_shiloach(g);
+  EXPECT_LE(result.iterations, 30);
+}
+
+TEST(AwerbuchShiloach, WithoutConvergedTrackingSameAnswer) {
+  LaccOptions options;
+  options.track_converged = false;
+  expect_matches_union_find(graph::clustered_components(2000, 50, 5.0, 3),
+                            options);
+  expect_matches_union_find(graph::path_forest(3000, 9, 4), options);
+}
+
+TEST(AwerbuchShiloach, ConvergedTrackingShrinksActiveSet) {
+  const Csr g(graph::clustered_components(4000, 100, 6.0, 11));
+  const auto result = awerbuch_shiloach(g);
+  ASSERT_GE(result.trace.size(), 2u);
+  // Monotone convergence, and eventually a large converged fraction.
+  std::uint64_t prev = 0;
+  for (const auto& rec : result.trace) {
+    EXPECT_GE(rec.converged_vertices, prev);
+    prev = rec.converged_vertices;
+  }
+  EXPECT_EQ(result.trace.back().converged_vertices, 4000u);
+}
+
+TEST(AwerbuchShiloach, TraceRecordsHooks) {
+  const Csr g(graph::path(100));
+  const auto result = awerbuch_shiloach(g);
+  EXPECT_GT(result.trace.front().cond_hooks, 0u);
+}
+
+TEST(AwerbuchShiloachOmp, MatchesSerialAcrossGraphFamilies) {
+  for (const auto& el :
+       {graph::path(300), graph::cycle(128), graph::erdos_renyi(1500, 3000, 5),
+        graph::erdos_renyi(1000, 500, 501),  // the Lemma-1 regression graph
+        graph::clustered_components(2000, 50, 5.0, 7),
+        graph::path_forest(2500, 11, 9), graph::rmat(10, 4096, 11),
+        graph::empty_graph(64)}) {
+    const Csr g(el);
+    const auto omp = awerbuch_shiloach_omp(g);
+    const auto truth = baselines::union_find_cc(g);
+    EXPECT_TRUE(same_partition(omp.parent, truth.parent));
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(omp.parent[omp.parent[v]], omp.parent[v]);
+  }
+}
+
+TEST(AwerbuchShiloachOmp, LogarithmicIterations) {
+  EXPECT_LE(awerbuch_shiloach_omp(Csr(graph::path(4096))).iterations, 40);
+}
+
+TEST(AwerbuchShiloachOmp, DeterministicAcrossRuns) {
+  const Csr g(graph::erdos_renyi(2000, 5000, 13));
+  const auto a = awerbuch_shiloach_omp(g);
+  const auto b = awerbuch_shiloach_omp(g);
+  EXPECT_EQ(a.parent, b.parent);  // min-reduction makes races benign
+}
+
+}  // namespace
+}  // namespace lacc::core

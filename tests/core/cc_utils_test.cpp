@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/options.hpp"
+#include "support/error.hpp"
+
+namespace lacc::core {
+namespace {
+
+TEST(CountComponents, FlatParentVector) {
+  EXPECT_EQ(count_components({0, 0, 2, 2, 2}), 2u);
+  EXPECT_EQ(count_components({0, 1, 2}), 3u);
+  EXPECT_EQ(count_components({}), 0u);
+}
+
+TEST(CountComponents, FollowsNonFlatForests) {
+  // 0 <- 1 <- 2 (a chain) plus 3 alone: 2 components.
+  EXPECT_EQ(count_components({0, 0, 1, 3}), 2u);
+}
+
+TEST(CountComponents, DetectsCycles) {
+  EXPECT_THROW(count_components({1, 0}), Error);
+}
+
+TEST(NormalizeLabels, PicksMinimumVertexAsLabel) {
+  // Components {0,1} rooted at 1 and {2,3} rooted at 3.
+  const auto norm = normalize_labels({1, 1, 3, 3});
+  EXPECT_EQ(norm, (std::vector<VertexId>{0, 0, 2, 2}));
+}
+
+TEST(NormalizeLabels, AgreesAcrossDifferentRootChoices) {
+  EXPECT_EQ(normalize_labels({1, 1, 3, 3}), normalize_labels({0, 0, 2, 2}));
+}
+
+TEST(SamePartition, ComparesStructureNotLabels) {
+  EXPECT_TRUE(same_partition({5, 5, 2, 2, 2, 5}, {0, 0, 2, 2, 2, 0}));
+  EXPECT_FALSE(same_partition({0, 0, 2, 2}, {0, 1, 2, 2}));
+  EXPECT_FALSE(same_partition({0, 0}, {0, 0, 2}));
+}
+
+TEST(SamePartition, NonFlatInputs) {
+  // chain 0<-1<-2 vs flat labeling of the same component.
+  EXPECT_TRUE(same_partition({0, 0, 1}, {0, 0, 0}));
+}
+
+TEST(ComponentSizes, SortedDescending) {
+  // Components: {0,1,2}, {3}, {4,5}.
+  const auto sizes = component_sizes({0, 0, 0, 3, 4, 4});
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{3, 2, 1}));
+}
+
+TEST(ComponentSizes, FollowsChains) {
+  const auto sizes = component_sizes({0, 0, 1, 2});  // one chain of 4
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{4}));
+}
+
+TEST(ComponentSizeHistogram, PowerOfTwoBuckets) {
+  // Sizes 3, 2, 1 -> buckets 2:[2,3], 1:[1].
+  const auto hist = component_size_histogram({0, 0, 0, 3, 4, 4});
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], (std::pair<std::uint64_t, std::uint64_t>{1, 1}));
+  EXPECT_EQ(hist[1], (std::pair<std::uint64_t, std::uint64_t>{2, 2}));
+}
+
+}  // namespace
+}  // namespace lacc::core

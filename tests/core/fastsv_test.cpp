@@ -1,0 +1,82 @@
+#include "core/fastsv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::core {
+namespace {
+
+using graph::Csr;
+
+void expect_correct_serial(const graph::EdgeList& el) {
+  const Csr g(el);
+  const auto result = fastsv(g);
+  const auto truth = baselines::union_find_cc(g);
+  EXPECT_TRUE(same_partition(result.parent, truth.parent));
+  // FastSV converges to the minimum vertex id of each component.
+  const auto norm = normalize_labels(truth.parent);
+  EXPECT_EQ(result.parent, norm);
+}
+
+void expect_correct_dist(const graph::EdgeList& el, int ranks) {
+  const auto result = fastsv_dist(el, ranks, sim::MachineModel::local());
+  const auto truth = baselines::union_find_cc(el);
+  EXPECT_TRUE(same_partition(result.cc.parent, truth.parent)) << ranks;
+  EXPECT_EQ(result.cc.parent, normalize_labels(truth.parent));
+}
+
+TEST(FastSv, SerialSimpleShapes) {
+  expect_correct_serial(graph::path(50));
+  expect_correct_serial(graph::cycle(33));
+  expect_correct_serial(graph::star(40));
+  expect_correct_serial(graph::complete(16));
+  expect_correct_serial(graph::empty_graph(12));
+}
+
+TEST(FastSv, SerialRandomGraphs) {
+  for (const EdgeId m : {100u, 500u, 2000u})
+    expect_correct_serial(graph::erdos_renyi(800, m, m + 1));
+  expect_correct_serial(graph::erdos_renyi(1000, 500, 501));  // regression
+}
+
+TEST(FastSv, SerialManyComponentsAndPowerLaw) {
+  expect_correct_serial(graph::clustered_components(2000, 60, 5.0, 7));
+  expect_correct_serial(graph::path_forest(3000, 10, 9));
+  expect_correct_serial(graph::rmat(10, 4096, 11));
+}
+
+TEST(FastSv, SerialLogarithmicIterations) {
+  EXPECT_LE(fastsv(Csr(graph::path(4096))).iterations, 30);
+}
+
+TEST(FastSv, DistributedMatchesAcrossGrids) {
+  const auto el = graph::erdos_renyi(600, 1200, 13);
+  for (const int ranks : {1, 4, 9, 16}) expect_correct_dist(el, ranks);
+}
+
+TEST(FastSv, DistributedVariedGraphs) {
+  expect_correct_dist(graph::clustered_components(900, 30, 5.0, 17), 9);
+  expect_correct_dist(graph::path_forest(1200, 12, 19), 4);
+  expect_correct_dist(graph::mesh3d(6, 5, 4), 4);
+  expect_correct_dist(graph::empty_graph(40), 4);
+}
+
+TEST(FastSv, AgreesWithLacc) {
+  const auto el = graph::preferential_attachment(1500, 4, 21, 0.1);
+  const auto fsv = fastsv_dist(el, 4, sim::MachineModel::local());
+  const auto lacc = lacc_dist(el, 4, sim::MachineModel::local());
+  EXPECT_TRUE(same_partition(fsv.cc.parent, lacc.cc.parent));
+}
+
+TEST(FastSv, DeterministicModeledTime) {
+  const auto el = graph::erdos_renyi(400, 900, 23);
+  const auto a = fastsv_dist(el, 4, sim::MachineModel::edison());
+  const auto b = fastsv_dist(el, 4, sim::MachineModel::edison());
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, b.modeled_seconds);
+}
+
+}  // namespace
+}  // namespace lacc::core

@@ -1,0 +1,144 @@
+#include "core/lacc_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::core {
+namespace {
+
+void expect_correct(const graph::EdgeList& el, int ranks,
+                    const LaccOptions& options = {}) {
+  const auto result =
+      lacc_dist(el, ranks, sim::MachineModel::local(), options);
+  const auto truth = baselines::union_find_cc(el);
+  EXPECT_TRUE(same_partition(result.cc.parent, truth.parent))
+      << "ranks=" << ranks;
+  for (VertexId v = 0; v < el.n; ++v)
+    EXPECT_EQ(result.cc.parent[result.cc.parent[v]], result.cc.parent[v]);
+}
+
+TEST(LaccDist, SimpleShapesAcrossGrids) {
+  for (const int ranks : {1, 4, 9}) {
+    expect_correct(graph::path(40), ranks);
+    expect_correct(graph::cycle(33), ranks);
+    expect_correct(graph::star(30), ranks);
+    expect_correct(graph::empty_graph(12), ranks);
+  }
+}
+
+TEST(LaccDist, RandomGraphsAcrossDensities) {
+  for (const EdgeId m : {150u, 600u, 2500u})
+    expect_correct(graph::erdos_renyi(500, m, m + 3), 4);
+}
+
+TEST(LaccDist, TheDebuggedRegressionGraph) {
+  // The exact graph that exposed the Lemma-1 marking bug in the serial
+  // implementation (a hooked root not recognized as hooked).
+  expect_correct(graph::erdos_renyi(1000, 500, 501), 4);
+  expect_correct(graph::erdos_renyi(1000, 500, 501), 9);
+}
+
+TEST(LaccDist, ManyComponentGraphs) {
+  expect_correct(graph::clustered_components(1200, 40, 5.0, 7), 9);
+  expect_correct(graph::path_forest(2000, 12, 9), 16);
+}
+
+TEST(LaccDist, PowerLawAndMesh) {
+  expect_correct(graph::rmat(9, 2048, 3), 4);
+  expect_correct(graph::mesh3d(6, 6, 4), 9);
+  expect_correct(graph::preferential_attachment(800, 4, 5, 0.1), 4);
+}
+
+TEST(LaccDist, LargeGridSmallGraph) {
+  // More ranks than is sensible for the size: empty local chunks must work.
+  expect_correct(graph::path(20), 25);
+  expect_correct(graph::erdos_renyi(30, 60, 1), 36);
+}
+
+TEST(LaccDist, AgreesWithSerialLacc) {
+  const auto el = graph::clustered_components(900, 30, 6.0, 17);
+  const auto serial = lacc_grb(graph::Csr(el));
+  const auto distributed = lacc_dist(el, 9, sim::MachineModel::local());
+  EXPECT_TRUE(same_partition(serial.parent, distributed.cc.parent));
+}
+
+TEST(LaccDist, AblationsAllCorrect) {
+  const auto el = graph::erdos_renyi(600, 900, 23);
+  for (const bool track : {true, false})
+    for (const bool sparse_vec : {true, false})
+      for (const bool hypercube : {true, false})
+        for (const bool hotspot : {true, false}) {
+          LaccOptions options;
+          options.track_converged = track;
+          options.use_sparse_vectors = sparse_vec;
+          options.hypercube_alltoall = hypercube;
+          options.hotspot_broadcast = hotspot;
+          options.sparse_uncond_hooking = sparse_vec;
+          expect_correct(el, 4, options);
+        }
+}
+
+TEST(LaccDist, TraceMatchesConvergenceBehaviour) {
+  const auto el = graph::clustered_components(2000, 60, 5.0, 11);
+  const auto result = lacc_dist(el, 4, sim::MachineModel::local());
+  ASSERT_FALSE(result.cc.trace.empty());
+  // Two clean iterations are needed before the first retirement.
+  EXPECT_EQ(result.cc.trace.front().converged_vertices, 0u);
+  std::uint64_t prev = 0;
+  for (const auto& rec : result.cc.trace) {
+    EXPECT_GE(rec.converged_vertices, prev);
+    prev = rec.converged_vertices;
+  }
+  // Termination can precede the formal retirement of the last stars, but
+  // most of the graph must have been retired along the way.
+  EXPECT_GT(prev, 1000u);
+}
+
+TEST(LaccDist, PhaseRegionsAreRecorded) {
+  const auto el = graph::erdos_renyi(400, 900, 29);
+  const auto result = lacc_dist(el, 4, sim::MachineModel::edison());
+  for (const char* phase :
+       {"cond-hook", "uncond-hook", "shortcut", "starcheck"}) {
+    ASSERT_TRUE(result.spmd.stats[0].regions.count(phase)) << phase;
+    EXPECT_GT(result.spmd.stats[0].regions.at(phase).modeled_seconds(), 0.0)
+        << phase;
+  }
+  EXPECT_GT(result.modeled_seconds, 0.0);
+}
+
+TEST(LaccDist, ModeledTimeIsDeterministic) {
+  const auto el = graph::erdos_renyi(300, 700, 31);
+  const auto a = lacc_dist(el, 4, sim::MachineModel::edison());
+  const auto b = lacc_dist(el, 4, sim::MachineModel::edison());
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, b.modeled_seconds);
+  EXPECT_TRUE(same_partition(a.cc.parent, b.cc.parent));
+}
+
+TEST(LaccDist, ExtractRequestCountersExist) {
+  const auto el = graph::erdos_renyi(400, 1200, 37);
+  const auto result = lacc_dist(el, 4, sim::MachineModel::local());
+  bool found = false;
+  for (const auto& [name, value] : result.spmd.stats[0].counters)
+    if (name.rfind("extract_req_it", 0) == 0) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(LaccDist, PerIterationModeledTimesSumToTotal) {
+  const auto el = graph::clustered_components(1500, 50, 5.0, 43);
+  const auto result = lacc_dist(el, 4, sim::MachineModel::edison());
+  double sum = 0;
+  for (const auto& rec : result.cc.trace) {
+    EXPECT_GT(rec.modeled_seconds, 0.0);
+    sum += rec.modeled_seconds;
+  }
+  // The iterations account for (almost) all the modeled time; only the
+  // final gather of the parent vector falls outside them.
+  EXPECT_LE(sum, result.modeled_seconds);
+  EXPECT_GT(sum, result.modeled_seconds * 0.8);
+}
+
+}  // namespace
+}  // namespace lacc::core

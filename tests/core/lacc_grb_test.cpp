@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::core {
+namespace {
+
+using graph::Csr;
+
+void expect_correct(const graph::EdgeList& el, const LaccOptions& options = {}) {
+  const Csr g(el);
+  const auto lacc = lacc_grb(g, options);
+  const auto truth = baselines::union_find_cc(g);
+  EXPECT_TRUE(same_partition(lacc.parent, truth.parent));
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(lacc.parent[lacc.parent[v]], lacc.parent[v]);
+}
+
+TEST(LaccGrb, SimpleShapes) {
+  expect_correct(graph::path(50));
+  expect_correct(graph::cycle(33));
+  expect_correct(graph::star(40));
+  expect_correct(graph::complete(16));
+  expect_correct(graph::empty_graph(12));
+}
+
+TEST(LaccGrb, TwoVertexAndTinyCases) {
+  graph::EdgeList pair(2);
+  pair.add(0, 1);
+  expect_correct(pair);
+  expect_correct(graph::path(3));
+  expect_correct(graph::empty_graph(1));
+}
+
+TEST(LaccGrb, RandomGraphsAcrossDensities) {
+  for (const EdgeId m : {100u, 500u, 2000u, 8000u})
+    expect_correct(graph::erdos_renyi(1000, m, m + 1));
+}
+
+TEST(LaccGrb, ManyComponentGraphs) {
+  expect_correct(graph::clustered_components(3000, 80, 6.0, 7));
+  expect_correct(graph::path_forest(5000, 12, 9));
+}
+
+TEST(LaccGrb, PowerLawGraphs) {
+  expect_correct(graph::rmat(11, 8192, 3));
+  expect_correct(graph::preferential_attachment(2000, 4, 5, 0.1));
+}
+
+TEST(LaccGrb, MeshGraph) { expect_correct(graph::mesh3d(8, 8, 4)); }
+
+TEST(LaccGrb, AgreesWithDenseASIterationForIteration) {
+  // Not required in general (hook winners may differ), but both must land
+  // on the same partition.
+  const Csr g(graph::erdos_renyi(500, 1200, 77));
+  const auto a = awerbuch_shiloach(g);
+  const auto b = lacc_grb(g);
+  EXPECT_TRUE(same_partition(a.parent, b.parent));
+}
+
+TEST(LaccGrb, AblationsAllProduceCorrectPartitions) {
+  const auto el = graph::clustered_components(2500, 60, 5.0, 13);
+  for (const bool track : {true, false})
+    for (const bool sparse_uncond : {true, false}) {
+      LaccOptions options;
+      options.track_converged = track;
+      options.sparse_uncond_hooking = sparse_uncond;
+      expect_correct(el, options);
+    }
+}
+
+TEST(LaccGrb, ConvergedVerticesGrowMonotonically) {
+  const Csr g(graph::clustered_components(4000, 100, 6.0, 11));
+  const auto result = lacc_grb(g);
+  std::uint64_t prev = 0;
+  for (const auto& rec : result.trace) {
+    EXPECT_GE(rec.converged_vertices, prev);
+    prev = rec.converged_vertices;
+  }
+  // Termination can precede the formal retirement of the last few stars,
+  // but on a many-component graph the bulk must have been retired (that is
+  // the sparsity win of Section IV-B).
+  EXPECT_GT(prev, 2000u);
+}
+
+TEST(LaccGrb, Lemma1DoesNotFireInIterationOne) {
+  const Csr g(graph::clustered_components(1000, 30, 5.0, 3));
+  const auto result = lacc_grb(g);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_EQ(result.trace.front().converged_vertices, 0u);
+}
+
+TEST(LaccGrb, LogarithmicIterations) {
+  const auto result = lacc_grb(Csr(graph::path(4096)));
+  EXPECT_LE(result.iterations, 30);
+}
+
+TEST(LaccGrb, IsolatedVerticesConvergeByIterationTwo) {
+  const auto result = lacc_grb(Csr(graph::empty_graph(100)));
+  EXPECT_LE(result.iterations, 2);
+}
+
+}  // namespace
+}  // namespace lacc::core

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "core/lacc_dist.hpp"
+#include "dist/ops.hpp"
+#include "graph/generators.hpp"
+#include "sim/runtime.hpp"
+
+namespace lacc::dist {
+namespace {
+
+TEST(CyclicLayout, OwnershipAndSlots) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> v(grid, 23, Layout::kCyclic);
+    std::uint64_t owned = 0;
+    for (VertexId g = 0; g < 23; ++g) {
+      const bool mine = g % 4 == static_cast<VertexId>(world.rank());
+      EXPECT_EQ(v.owns(g), mine) << g;
+      EXPECT_EQ(owner_rank(grid, v, g), static_cast<int>(g % 4));
+      if (mine) ++owned;
+    }
+    EXPECT_EQ(v.local_size(), owned);
+    for (VertexId k = 0; k < v.local_size(); ++k) {
+      const VertexId g = v.global_at(k);
+      EXPECT_TRUE(v.owns(g));
+      EXPECT_EQ(v.local_slot(g), k);
+    }
+  });
+}
+
+TEST(CyclicLayout, StoredSemanticsAndOwnedIteration) {
+  sim::run_spmd(9, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> v(grid, 50, Layout::kCyclic);
+    for (const VertexId g : v.owned())
+      if (g % 2 == 0) v.set(g, g * 3);
+    for (const VertexId g : v.owned()) {
+      EXPECT_EQ(v.has(g), g % 2 == 0);
+      if (g % 2 == 0) {
+        EXPECT_EQ(v.at(g), g * 3);
+      }
+    }
+    const auto flat = to_global(grid, v, kNoVertex);
+    if (world.rank() == 0) {
+      for (VertexId g = 0; g < 50; ++g)
+        EXPECT_EQ(flat[g], g % 2 == 0 ? g * 3 : kNoVertex);
+    }
+  });
+}
+
+TEST(CyclicLayout, ToLayoutRoundTrips) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> block(grid, 37);
+    for (const VertexId g : block.owned())
+      if (g % 3 != 0) block.set(g, g + 100);
+    const auto cyclic =
+        to_layout(grid, block, Layout::kCyclic, CommTuning{});
+    EXPECT_EQ(cyclic.layout(), Layout::kCyclic);
+    EXPECT_EQ(global_nvals(grid, cyclic), global_nvals(grid, block));
+    const auto back =
+        to_layout(grid, cyclic, Layout::kBlockAligned, CommTuning{});
+    for (const VertexId g : back.owned()) {
+      EXPECT_EQ(back.has(g), g % 3 != 0);
+      if (back.has(g)) {
+        EXPECT_EQ(back.at(g), g + 100);
+      }
+    }
+  });
+}
+
+TEST(CyclicLayout, GatherAndScatterWork) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    const VertexId n = 40;
+    DistVec<VertexId> u(grid, n, Layout::kCyclic);
+    DistVec<VertexId> targets(grid, n, Layout::kCyclic);
+    for (const VertexId g : u.owned()) {
+      u.set(g, g * 10);
+      targets.set(g, (g * 13) % n);
+    }
+    const auto out = gather_at(grid, u, targets, CommTuning{});
+    EXPECT_EQ(out.layout(), Layout::kCyclic);
+    for (const VertexId g : out.owned()) {
+      ASSERT_TRUE(out.has(g));
+      EXPECT_EQ(out.at(g), ((g * 13) % n) * 10);
+    }
+
+    DistVec<VertexId> w(grid, n, Layout::kCyclic);
+    std::vector<Tuple<VertexId>> pairs;
+    if (world.rank() == 0)
+      for (VertexId g = 0; g < n; ++g) pairs.push_back({g, g + 7});
+    scatter_assign_min(grid, w, pairs, CommTuning{});
+    for (const VertexId g : w.owned()) EXPECT_EQ(w.at(g), g + 7);
+  });
+}
+
+TEST(CyclicLayout, LaccCyclicMatchesGroundTruth) {
+  for (const auto& el :
+       {graph::erdos_renyi(500, 900, 71), graph::path_forest(800, 9, 73),
+        graph::clustered_components(700, 25, 5.0, 79)}) {
+    const auto truth = baselines::union_find_cc(el);
+    core::LaccOptions options;
+    options.cyclic_vectors = true;
+    for (const int ranks : {4, 9}) {
+      const auto result =
+          core::lacc_dist(el, ranks, sim::MachineModel::local(), options);
+      EXPECT_TRUE(core::same_partition(result.cc.parent, truth.parent))
+          << ranks;
+    }
+  }
+}
+
+TEST(CyclicLayout, SpreadsHotspotLoad) {
+  // Everyone requests low ids: the block layout funnels them to rank 0,
+  // the cyclic layout spreads them round-robin.
+  for (const auto layout : {Layout::kBlockAligned, Layout::kCyclic}) {
+    const auto result = sim::run_spmd(
+        16, sim::MachineModel::edison(), [&](sim::Comm& world) {
+          ProcGrid grid(world);
+          const VertexId n = 160;
+          DistVec<VertexId> u(grid, n, layout);
+          DistVec<VertexId> targets(grid, n, layout);
+          for (const VertexId g : u.owned()) {
+            u.set(g, g);
+            targets.set(g, g % 10);  // requests hit ids 0..9 only
+          }
+          CommTuning tuning;
+          tuning.hotspot_broadcast = false;
+          (void)gather_at(grid, u, targets, tuning, "req");
+        });
+    std::uint64_t max_rank = 0, total = 0;
+    for (const auto& stats : result.stats) {
+      const auto found = stats.counters.find("req");
+      const std::uint64_t v = found == stats.counters.end() ? 0 : found->second;
+      max_rank = std::max(max_rank, v);
+      total += v;
+    }
+    if (layout == Layout::kBlockAligned) {
+      EXPECT_EQ(max_rank, total);  // ids 0..9 all live in chunk 0
+    } else {
+      // ten distinct targets over 16 ranks: no rank above ~1/10th.
+      EXPECT_LE(max_rank * 10, total * 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lacc::dist

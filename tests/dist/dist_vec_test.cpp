@@ -1,0 +1,100 @@
+#include "dist/dist_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/ops.hpp"
+#include "sim/runtime.hpp"
+
+namespace lacc::dist {
+namespace {
+
+TEST(DistVec, ChunksTileTheGlobalRange) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> v(grid, 103);
+    EXPECT_LE(v.begin(), v.end());
+    const std::uint64_t total = world.allreduce(
+        static_cast<std::uint64_t>(v.local_size()),
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(total, 103u);
+  });
+}
+
+TEST(DistVec, ColumnMajorAlignment) {
+  // Chunk j*q + i must live on rank (i, j): the chunks needed by grid
+  // column j are exactly those owned by column-j ranks.
+  sim::run_spmd(9, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> v(grid, 90);
+    const auto expected_chunk =
+        static_cast<std::uint64_t>(grid.my_col()) * 3 +
+        static_cast<std::uint64_t>(grid.my_row());
+    EXPECT_EQ(v.chunk(), expected_chunk);
+    EXPECT_EQ(chunk_owner_rank(grid, v.chunk()), world.rank());
+  });
+}
+
+TEST(DistVec, StoredSemanticsMatchGrbVector) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> v(grid, 40);
+    EXPECT_EQ(v.local_nvals(), 0u);
+    if (v.local_size() > 0) {
+      const VertexId g = v.begin();
+      v.set(g, 7);
+      EXPECT_TRUE(v.has(g));
+      EXPECT_EQ(v.at(g), 7u);
+      EXPECT_EQ(v.local_nvals(), 1u);
+      v.remove(g);
+      EXPECT_FALSE(v.has(g));
+      EXPECT_EQ(v.get_or(g, 9), 9u);
+    }
+    v.fill(3);
+    EXPECT_EQ(v.local_nvals(), v.local_size());
+    EXPECT_EQ(global_nvals(grid, v), 40u);
+    v.clear();
+    EXPECT_EQ(global_nvals(grid, v), 0u);
+  });
+}
+
+TEST(DistVec, TuplesAreGloballyOrderedByRankChunks) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> v(grid, 50);
+    for (VertexId g = v.begin(); g < v.end(); ++g) v.set(g, g * 2);
+    const auto t = v.tuples();
+    for (std::size_t k = 1; k < t.size(); ++k)
+      EXPECT_LT(t[k - 1].index, t[k].index);
+  });
+}
+
+TEST(DistVec, ToGlobalReconstructsTheVector) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> v(grid, 30);
+    for (VertexId g = v.begin(); g < v.end(); ++g)
+      if (g % 3 == 0) v.set(g, g + 100);
+    const auto flat = to_global(grid, v, kNoVertex);
+    for (VertexId g = 0; g < 30; ++g) {
+      if (g % 3 == 0)
+        EXPECT_EQ(flat[g], g + 100);
+      else
+        EXPECT_EQ(flat[g], kNoVertex);
+    }
+  });
+}
+
+TEST(DistVec, OwnerRankAgreesWithOwnership) {
+  sim::run_spmd(9, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> v(grid, 77);
+    for (VertexId g = 0; g < 77; ++g) {
+      const int owner = owner_rank(grid, v, g);
+      const bool mine = owner == world.rank();
+      EXPECT_EQ(mine, v.owns(g)) << "g=" << g;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lacc::dist

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "dist/ops.hpp"
+#include "sim/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace lacc::dist {
+namespace {
+
+TEST(GatherAt, FetchesValuesAtIndirectIndices) {
+  // u[g] = g * 10; targets[v] = (v * 7) % n; expect out[v] = targets*10.
+  for (const int ranks : {1, 4, 9}) {
+    sim::run_spmd(ranks, sim::MachineModel::local(), [](sim::Comm& world) {
+      ProcGrid grid(world);
+      const VertexId n = 57;
+      DistVec<VertexId> u(grid, n), targets(grid, n);
+      for (VertexId g = u.begin(); g < u.end(); ++g) {
+        u.set(g, g * 10);
+        targets.set(g, (g * 7) % n);
+      }
+      const auto out = gather_at(grid, u, targets, CommTuning{});
+      for (VertexId g = out.begin(); g < out.end(); ++g) {
+        ASSERT_TRUE(out.has(g));
+        EXPECT_EQ(out.at(g), ((g * 7) % n) * 10);
+      }
+    });
+  }
+}
+
+TEST(GatherAt, SparseTargetsAndAbsentSources) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    const VertexId n = 40;
+    DistVec<VertexId> u(grid, n), targets(grid, n);
+    // u stored only at even indices; request only from every 3rd position.
+    for (VertexId g = u.begin(); g < u.end(); ++g) {
+      if (g % 2 == 0) u.set(g, g + 1000);
+      if (g % 3 == 0) targets.set(g, (g + 10) % n);
+    }
+    const auto out = gather_at(grid, u, targets, CommTuning{});
+    for (VertexId g = out.begin(); g < out.end(); ++g) {
+      if (g % 3 != 0) {
+        EXPECT_FALSE(out.has(g));
+        continue;
+      }
+      const VertexId t = (g + 10) % n;
+      if (t % 2 == 0) {
+        ASSERT_TRUE(out.has(g));
+        EXPECT_EQ(out.at(g), t + 1000);
+      } else {
+        EXPECT_FALSE(out.has(g));
+      }
+    }
+  });
+}
+
+TEST(GatherAt, HotspotBroadcastGivesSameAnswer) {
+  // Every rank requests index 0 for all its positions: rank 0 is the
+  // hotspot.  With and without mitigation the values must match; the
+  // mitigated run must record the skew counter.
+  for (const bool mitigate : {false, true}) {
+    const auto result = sim::run_spmd(
+        9, sim::MachineModel::edison(), [&](sim::Comm& world) {
+          ProcGrid grid(world);
+          const VertexId n = 90;
+          DistVec<VertexId> u(grid, n), targets(grid, n);
+          for (VertexId g = u.begin(); g < u.end(); ++g) {
+            u.set(g, g + 5);
+            targets.set(g, 0);  // everyone asks for element 0
+          }
+          CommTuning tuning;
+          tuning.hotspot_broadcast = mitigate;
+          const auto out = gather_at(grid, u, targets, tuning, "req");
+          for (VertexId g = out.begin(); g < out.end(); ++g) {
+            ASSERT_TRUE(out.has(g));
+            EXPECT_EQ(out.at(g), 5u);
+          }
+        });
+    // Rank 0 owns chunk 0 and sees all 90 requests in the counter.
+    EXPECT_EQ(result.stats[0].counters.at("req"), 90u);
+    std::uint64_t others = 0;
+    for (std::size_t r = 1; r < result.stats.size(); ++r)
+      others += result.stats[r].counters.at("req");
+    EXPECT_EQ(others, 0u);
+  }
+}
+
+TEST(GatherAt, MixedHotAndColdOwners) {
+  sim::run_spmd(9, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    const VertexId n = 900;
+    DistVec<VertexId> u(grid, n), targets(grid, n);
+    Xoshiro256 rng(1234 + world.rank());
+    for (VertexId g = u.begin(); g < u.end(); ++g) u.set(g, g * 3);
+    std::vector<VertexId> expect_at(u.local_size());
+    for (VertexId g = targets.begin(); g < targets.end(); ++g) {
+      // 80% of requests hit the low indices (hooking skew), 20% uniform.
+      const VertexId t = rng.below(5) == 0 ? rng.below(n) : rng.below(16);
+      targets.set(g, t);
+      expect_at[g - targets.begin()] = t * 3;
+    }
+    CommTuning tuning;
+    tuning.hotspot_threshold = 1.5;
+    const auto out = gather_at(grid, u, targets, tuning);
+    for (VertexId g = out.begin(); g < out.end(); ++g) {
+      ASSERT_TRUE(out.has(g));
+      EXPECT_EQ(out.at(g), expect_at[g - out.begin()]);
+    }
+  });
+}
+
+TEST(ScatterAssignMin, RoutesAndOverwrites) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    const VertexId n = 40;
+    DistVec<VertexId> w(grid, n);
+    for (VertexId g = w.begin(); g < w.end(); ++g) w.set(g, 1000);
+    // Every rank writes value 100+rank to target (rank*10)..(rank*10+3).
+    std::vector<Tuple<VertexId>> pairs;
+    for (VertexId k = 0; k < 4; ++k)
+      pairs.push_back({static_cast<VertexId>(world.rank()) * 10 + k,
+                       static_cast<VertexId>(100 + world.rank())});
+    const auto changed = scatter_assign_min(grid, w, pairs, CommTuning{});
+    EXPECT_EQ(changed, 16u);
+    const auto flat = to_global(grid, w, kNoVertex);
+    if (world.rank() == 0) {
+      for (int r = 0; r < 4; ++r)
+        for (VertexId k = 0; k < 4; ++k)
+          EXPECT_EQ(flat[static_cast<VertexId>(r) * 10 + k],
+                    static_cast<VertexId>(100 + r));
+    }
+  });
+}
+
+TEST(ScatterAssignMin, DuplicateTargetsReduceWithMin) {
+  sim::run_spmd(9, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> w(grid, 10);
+    // All ranks target index 3 with value 50+rank: min wins (50).
+    std::vector<Tuple<VertexId>> pairs{
+        {3, static_cast<VertexId>(50 + world.rank())}};
+    const auto changed = scatter_assign_min(grid, w, pairs, CommTuning{});
+    EXPECT_EQ(changed, 1u);
+    const auto flat = to_global(grid, w, kNoVertex);
+    EXPECT_EQ(flat[3], 50u);
+  });
+}
+
+TEST(ScatterAssignMin, CountsOnlyRealChanges) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> w(grid, 8);
+    for (VertexId g = w.begin(); g < w.end(); ++g) w.set(g, g);
+    // Writing the existing value is not a change.
+    std::vector<Tuple<VertexId>> pairs;
+    if (world.rank() == 0) pairs = {{2, 2}, {3, 99}};
+    const auto changed = scatter_assign_min(grid, w, pairs, CommTuning{});
+    EXPECT_EQ(changed, 1u);
+  });
+}
+
+TEST(ScatterSet, WritesFlagsAtTargets) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<std::uint8_t> star(grid, 20);
+    for (VertexId g = star.begin(); g < star.end(); ++g) star.set(g, 1);
+    std::vector<VertexId> targets;
+    if (world.rank() % 2 == 0)
+      targets = {static_cast<VertexId>(world.rank()),
+                 static_cast<VertexId>(world.rank() + 10)};
+    scatter_set(grid, star, targets, 0, CommTuning{});
+    const auto flat = to_global(grid, star, std::uint8_t{255});
+    if (world.rank() == 0) {
+      for (VertexId g = 0; g < 20; ++g) {
+        const bool cleared = (g == 0 || g == 10 || g == 2 || g == 12);
+        EXPECT_EQ(flat[g], cleared ? 0 : 1) << g;
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lacc::dist

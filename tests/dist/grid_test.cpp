@@ -1,0 +1,49 @@
+#include "dist/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/runtime.hpp"
+
+namespace lacc::dist {
+namespace {
+
+TEST(ProcGrid, FourRanksFormTwoByTwo) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    EXPECT_EQ(grid.q(), 2);
+    EXPECT_EQ(grid.my_row(), world.rank() / 2);
+    EXPECT_EQ(grid.my_col(), world.rank() % 2);
+    EXPECT_EQ(grid.row_comm().size(), 2);
+    EXPECT_EQ(grid.col_comm().size(), 2);
+    EXPECT_EQ(grid.row_comm().rank(), grid.my_col());
+    EXPECT_EQ(grid.col_comm().rank(), grid.my_row());
+    EXPECT_EQ(grid.rank_of(grid.my_row(), grid.my_col()), world.rank());
+  });
+}
+
+TEST(ProcGrid, SingleRankGrid) {
+  sim::run_spmd(1, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    EXPECT_EQ(grid.q(), 1);
+    EXPECT_EQ(grid.transpose_rank(), 0);
+  });
+}
+
+TEST(ProcGrid, RejectsNonSquareWorlds) {
+  EXPECT_THROW(sim::run_spmd(6, sim::MachineModel::local(),
+                             [](sim::Comm& world) { ProcGrid grid(world); }),
+               Error);
+}
+
+TEST(ProcGrid, TransposeIsAnInvolution) {
+  sim::run_spmd(9, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    const int t = grid.transpose_rank();
+    const int ti = t / 3, tj = t % 3;
+    EXPECT_EQ(ti, grid.my_col());
+    EXPECT_EQ(tj, grid.my_row());
+  });
+}
+
+}  // namespace
+}  // namespace lacc::dist

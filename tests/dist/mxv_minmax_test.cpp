@@ -1,0 +1,77 @@
+// The fused min+max mxv must agree with two independent single-op calls in
+// every configuration (both code paths, masks, rank counts).
+#include <gtest/gtest.h>
+
+#include "dist/dist_mat.hpp"
+#include "dist/ops.hpp"
+#include "graph/generators.hpp"
+#include "sim/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace lacc::dist {
+namespace {
+
+void check_fused(int ranks, const graph::EdgeList& el, double density,
+                 bool with_mask, bool force_dense, std::uint64_t seed) {
+  sim::run_spmd(ranks, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistCsc A(grid, el);
+    DistVec<VertexId> x(grid, el.n);
+    DistVec<std::uint8_t> star(grid, el.n);
+    for (VertexId g = x.begin(); g < x.end(); ++g) {
+      if (hash_mix(seed, g) % 1000 <
+          static_cast<std::uint64_t>(density * 1000))
+        x.set(g, hash_mix(seed + 1, g) % el.n);
+      star.set(g, hash_mix(seed + 2, g) % 3 != 0 ? 1 : 0);
+    }
+    MaskSpec mask;
+    if (with_mask) mask = {&star, false};
+    CommTuning tuning;
+    tuning.force_dense = force_dense;
+
+    const auto fused = mxv_select2nd_minmax(grid, A, x, mask, tuning);
+    const auto mn = mxv_select2nd(grid, A, x, mask, tuning, SemiringAdd::kMin);
+    const auto mx = mxv_select2nd(grid, A, x, mask, tuning, SemiringAdd::kMax);
+    for (VertexId g = mn.begin(); g < mn.end(); ++g) {
+      ASSERT_EQ(fused.first.has(g), mn.has(g)) << g;
+      ASSERT_EQ(fused.second.has(g), mx.has(g)) << g;
+      if (mn.has(g)) {
+        EXPECT_EQ(fused.first.at(g), mn.at(g)) << g;
+        EXPECT_EQ(fused.second.at(g), mx.at(g)) << g;
+        EXPECT_LE(fused.first.at(g), fused.second.at(g)) << g;
+      }
+    }
+  });
+}
+
+TEST(DistMxvMinMax, DenseInputAllRankCounts) {
+  const auto el = graph::erdos_renyi(180, 560, 51);
+  for (const int ranks : {1, 4, 9}) check_fused(ranks, el, 1.0, false, false, 3);
+}
+
+TEST(DistMxvMinMax, SparseInput) {
+  const auto el = graph::erdos_renyi(240, 720, 53);
+  check_fused(4, el, 0.05, false, false, 5);
+  check_fused(9, el, 0.05, false, false, 5);
+}
+
+TEST(DistMxvMinMax, MaskedAndForcedDense) {
+  const auto el = graph::erdos_renyi(200, 650, 57);
+  check_fused(4, el, 0.5, true, false, 7);
+  check_fused(4, el, 0.5, true, true, 7);
+  check_fused(9, el, 0.04, true, false, 9);
+}
+
+TEST(DistMxvMinMax, ClusteredAndMeshGraphs) {
+  check_fused(9, graph::clustered_components(300, 15, 5.0, 59), 0.9, true,
+              false, 11);
+  check_fused(4, graph::mesh3d(5, 5, 3), 1.0, false, false, 13);
+}
+
+TEST(DistMxvMinMax, UnevenChunks) {
+  const auto el = graph::erdos_renyi(101, 300, 61);
+  check_fused(16, el, 1.0, false, false, 15);
+}
+
+}  // namespace
+}  // namespace lacc::dist

@@ -1,0 +1,188 @@
+// Edge cases of the distributed kernels that the algorithm-level tests
+// reach only indirectly.
+#include <gtest/gtest.h>
+
+#include "dist/dist_mat.hpp"
+#include "dist/ops.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "sim/runtime.hpp"
+
+namespace lacc::dist {
+namespace {
+
+TEST(ScatterAccumulateMin, OnlyDecreasesStoredValues) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> w(grid, 12);
+    for (const VertexId g : w.owned()) w.set(g, 50);
+    // Two waves: the second tries to raise values and must be ignored.
+    std::vector<Tuple<VertexId>> lower{{3, 10}, {7, 20}};
+    std::vector<Tuple<VertexId>> raise{{3, 40}, {7, 60}, {9, 45}};
+    const auto first = scatter_accumulate_min(
+        grid, w, world.rank() == 0 ? lower : std::vector<Tuple<VertexId>>{},
+        CommTuning{});
+    EXPECT_EQ(first, 2u);
+    const auto second = scatter_accumulate_min(
+        grid, w, world.rank() == 1 ? raise : std::vector<Tuple<VertexId>>{},
+        CommTuning{});
+    EXPECT_EQ(second, 1u);  // only target 9 decreased (45 < 50)
+    const auto flat = to_global(grid, w, kNoVertex);
+    EXPECT_EQ(flat[3], 10u);
+    EXPECT_EQ(flat[7], 20u);
+    EXPECT_EQ(flat[9], 45u);
+  });
+}
+
+TEST(ScatterAccumulateMin, ConcurrentWritersReduceGlobally) {
+  sim::run_spmd(9, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> w(grid, 5);
+    for (const VertexId g : w.owned()) w.set(g, 100);
+    std::vector<Tuple<VertexId>> pairs{
+        {2, static_cast<VertexId>(60 + world.rank())}};
+    scatter_accumulate_min(grid, w, pairs, CommTuning{});
+    const auto flat = to_global(grid, w, kNoVertex);
+    EXPECT_EQ(flat[2], 60u);  // min over all ranks' values
+  });
+}
+
+TEST(GatherValues, RawListWithoutDedupMatchesDedup) {
+  sim::run_spmd(4, sim::MachineModel::edison(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> u(grid, 30);
+    for (const VertexId g : u.owned()) u.set(g, g + 500);
+    std::vector<VertexId> requests;
+    for (int k = 0; k < 20; ++k)
+      requests.push_back(static_cast<VertexId>((k * 3) % 30));
+    CommTuning dedup, raw;
+    raw.request_dedup = false;
+    const auto a = gather_values(grid, u, requests, dedup);
+    const auto b = gather_values(grid, u, requests, raw);
+    ASSERT_EQ(a.size(), requests.size());
+    for (std::size_t k = 0; k < requests.size(); ++k) {
+      EXPECT_TRUE(a[k].second);
+      EXPECT_EQ(a[k].first, b[k].first);
+      EXPECT_EQ(a[k].first, requests[k] + 500);
+    }
+  });
+}
+
+TEST(GatherValues, DedupShipsFewerBytes) {
+  auto run = [](bool dedup) {
+    return sim::run_spmd(4, sim::MachineModel::edison(), [&](sim::Comm& world) {
+      ProcGrid grid(world);
+      DistVec<VertexId> u(grid, 40);
+      for (const VertexId g : u.owned()) u.set(g, g);
+      const std::vector<VertexId> requests(500, 1);  // same target 500 times
+      CommTuning tuning;
+      tuning.request_dedup = dedup;
+      tuning.hotspot_broadcast = false;
+      (void)gather_values(grid, u, requests, tuning);
+    });
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_LT(with.stats[1].total.bytes, without.stats[1].total.bytes);
+}
+
+TEST(GatherAt, AllAlltoallAlgorithmsAgree) {
+  for (const auto algo : {sim::AllToAllAlgo::kPairwise,
+                          sim::AllToAllAlgo::kHypercube,
+                          sim::AllToAllAlgo::kSparseHypercube}) {
+    sim::run_spmd(9, sim::MachineModel::local(), [algo](sim::Comm& world) {
+      ProcGrid grid(world);
+      DistVec<VertexId> u(grid, 45), targets(grid, 45);
+      for (const VertexId g : u.owned()) {
+        u.set(g, g * 2);
+        targets.set(g, 44 - g);
+      }
+      CommTuning tuning;
+      tuning.alltoall = algo;
+      const auto out = gather_at(grid, u, targets, tuning);
+      for (const VertexId g : out.owned()) {
+        ASSERT_TRUE(out.has(g));
+        EXPECT_EQ(out.at(g), (44 - g) * 2);
+      }
+    });
+  }
+}
+
+TEST(DistCsc, StructureInvariants) {
+  const auto el = graph::erdos_renyi(120, 400, 91);
+  const graph::Csr reference(el);
+  sim::run_spmd(9, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistCsc A(grid, el);
+    // Columns strictly ascending and within this block's column range.
+    const auto& cols = A.col_ids();
+    for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+      if (ci > 0) {
+        EXPECT_LT(cols[ci - 1], cols[ci]);
+      }
+      EXPECT_GE(cols[ci], A.col_begin());
+      EXPECT_LT(cols[ci], A.col_end());
+      // Rows ascending, unique, within the row range.
+      const auto rows = A.col_rows(ci);
+      for (std::size_t k = 0; k < rows.size(); ++k) {
+        if (k > 0) {
+          EXPECT_LT(rows[k - 1], rows[k]);
+        }
+        EXPECT_GE(rows[k], A.row_begin());
+        EXPECT_LT(rows[k], A.row_end());
+      }
+    }
+    // Local nonzeros sum to the symmetrized edge count.
+    const auto total = world.allreduce(
+        A.local_nnz(), [](EdgeId a, EdgeId b) { return a + b; });
+    EXPECT_EQ(total, reference.num_edges());
+  });
+}
+
+TEST(DistCsc, EmptyGraphAndIsolatedVertices) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistCsc empty(grid, graph::EdgeList(10));
+    EXPECT_EQ(empty.global_nnz(), 0u);
+    DistVec<VertexId> x(grid, 10);
+    x.fill(1);
+    const auto y = mxv_select2nd_min(grid, empty, x, MaskSpec{}, CommTuning{});
+    EXPECT_EQ(global_nvals(grid, y), 0u);
+  });
+}
+
+TEST(ToLayout, EmptyAndFullVectors) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> empty(grid, 20);
+    const auto cyclic_empty =
+        to_layout(grid, empty, Layout::kCyclic, CommTuning{});
+    EXPECT_EQ(global_nvals(grid, cyclic_empty), 0u);
+
+    DistVec<VertexId> full(grid, 20);
+    full.fill(9);
+    const auto cyclic_full =
+        to_layout(grid, full, Layout::kCyclic, CommTuning{});
+    EXPECT_EQ(global_nvals(grid, cyclic_full), 20u);
+    for (const VertexId g : cyclic_full.owned())
+      EXPECT_EQ(cyclic_full.at(g), 9u);
+  });
+}
+
+TEST(ScatterAssignMin, OnlyIfRootGuard) {
+  sim::run_spmd(4, sim::MachineModel::local(), [](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistVec<VertexId> w(grid, 10);
+    // w[3] = 3 (a root); w[4] = 2 (not a root).
+    for (const VertexId g : w.owned()) w.set(g, g == 4 ? 2 : g);
+    std::vector<Tuple<VertexId>> pairs;
+    if (world.rank() == 0) pairs = {{3, 1}, {4, 0}};
+    scatter_assign_min(grid, w, pairs, CommTuning{}, /*only_if_root=*/true);
+    const auto flat = to_global(grid, w, kNoVertex);
+    EXPECT_EQ(flat[3], 1u);  // root: applied
+    EXPECT_EQ(flat[4], 2u);  // non-root: skipped
+  });
+}
+
+}  // namespace
+}  // namespace lacc::dist

@@ -1,0 +1,69 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lacc::graph {
+namespace {
+
+TEST(Csr, TriangleAdjacency) {
+  EdgeList el(3);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  const Csr g(el);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6u);  // directed
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  const auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(Csr, SymmetrizesDirectedInput) {
+  EdgeList el(3);
+  el.add(2, 0);  // only one direction given
+  const Csr g(el);
+  const auto n0 = g.neighbors(0);
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n0.size(), 1u);
+  ASSERT_EQ(n2.size(), 1u);
+  EXPECT_EQ(n0[0], 2u);
+  EXPECT_EQ(n2[0], 0u);
+}
+
+TEST(Csr, DropsSelfLoopsAndDuplicates) {
+  EdgeList el(2);
+  el.add(0, 0);
+  el.add(0, 1);
+  el.add(1, 0);
+  el.add(0, 1);
+  const Csr g(el);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Csr, IsolatedVerticesHaveEmptyNeighborhoods) {
+  EdgeList el(5);
+  el.add(1, 3);
+  const Csr g(el);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+TEST(Csr, AverageDegreeOfStencil) {
+  const Csr g(mesh3d(4, 4, 4));
+  // Interior vertices of a 27-point stencil have 26 neighbors; boundaries
+  // fewer — the mean must land strictly between 7 and 26.
+  EXPECT_GT(g.average_degree(), 7.0);
+  EXPECT_LT(g.average_degree(), 26.0);
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g(EdgeList(0));
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace lacc::graph

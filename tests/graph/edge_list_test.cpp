@@ -1,0 +1,77 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lacc::graph {
+namespace {
+
+TEST(Canonicalize, DropsSelfLoopsOrdersAndDedupes) {
+  EdgeList el(5);
+  el.add(3, 1);
+  el.add(1, 3);
+  el.add(2, 2);  // self loop
+  el.add(0, 4);
+  el.add(3, 1);  // duplicate
+  canonicalize(el);
+  ASSERT_EQ(el.edges.size(), 2u);
+  EXPECT_EQ(el.edges[0], (Edge{0, 4}));
+  EXPECT_EQ(el.edges[1], (Edge{1, 3}));
+}
+
+TEST(Canonicalize, RejectsOutOfRangeEndpoints) {
+  EdgeList el(3);
+  el.add(0, 5);
+  EXPECT_THROW(canonicalize(el), Error);
+}
+
+TEST(Symmetrize, EmitsBothDirections) {
+  EdgeList el(4);
+  el.add(0, 1);
+  el.add(2, 1);
+  const EdgeList sym = symmetrize(el);
+  ASSERT_EQ(sym.edges.size(), 4u);
+  EXPECT_EQ(sym.edges[0], (Edge{0, 1}));
+  EXPECT_EQ(sym.edges[1], (Edge{1, 0}));
+  EXPECT_EQ(sym.edges[2], (Edge{1, 2}));
+  EXPECT_EQ(sym.edges[3], (Edge{2, 1}));
+}
+
+TEST(PermuteVertices, IsABijectionPreservingStructure) {
+  EdgeList el(10);
+  for (VertexId v = 0; v + 1 < 10; ++v) el.add(v, v + 1);  // a path
+  const EdgeList perm = permute_vertices(el, 99);
+  EXPECT_EQ(perm.n, el.n);
+  EXPECT_EQ(perm.edges.size(), el.edges.size());
+  // Degree multiset of a path: two vertices of degree 1, rest degree 2.
+  std::vector<int> degree(10, 0);
+  for (const auto& e : perm.edges) {
+    ASSERT_NE(e.u, e.v);
+    ASSERT_LT(e.u, 10u);
+    ASSERT_LT(e.v, 10u);
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  int ones = 0, twos = 0;
+  for (const int d : degree) {
+    if (d == 1) ++ones;
+    if (d == 2) ++twos;
+  }
+  EXPECT_EQ(ones, 2);
+  EXPECT_EQ(twos, 8);
+}
+
+TEST(PermuteVertices, DeterministicPerSeed) {
+  EdgeList el(20);
+  el.add(0, 1);
+  el.add(5, 7);
+  const auto a = permute_vertices(el, 1);
+  const auto b = permute_vertices(el, 1);
+  const auto c = permute_vertices(el, 2);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+}  // namespace
+}  // namespace lacc::graph

@@ -1,0 +1,107 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+
+namespace lacc::graph {
+namespace {
+
+std::uint64_t components_of(const EdgeList& el) {
+  return core::count_components(baselines::union_find_cc(el).parent);
+}
+
+TEST(Generators, PathHasOneComponent) {
+  const auto el = path(100);
+  EXPECT_EQ(el.edges.size(), 99u);
+  EXPECT_EQ(components_of(el), 1u);
+}
+
+TEST(Generators, CycleAndStarAndComplete) {
+  EXPECT_EQ(components_of(cycle(50)), 1u);
+  EXPECT_EQ(components_of(star(50)), 1u);
+  EXPECT_EQ(components_of(complete(20)), 1u);
+  EXPECT_EQ(complete(20).edges.size(), 190u);
+}
+
+TEST(Generators, EmptyGraphAllIsolated) {
+  EXPECT_EQ(components_of(empty_graph(42)), 42u);
+}
+
+TEST(Generators, DisjointUnionAddsComponents) {
+  const auto g = disjoint_union(cycle(10), path(5));
+  EXPECT_EQ(g.n, 15u);
+  EXPECT_EQ(components_of(g), 2u);
+}
+
+TEST(Generators, ErdosRenyiDeterministicAndInRange) {
+  const auto a = erdos_renyi(1000, 3000, 7);
+  const auto b = erdos_renyi(1000, 3000, 7);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.edges.size(), 3000u);
+  for (const auto& e : a.edges) {
+    EXPECT_LT(e.u, 1000u);
+    EXPECT_LT(e.v, 1000u);
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  const auto el = rmat(10, 8192, 3);
+  const Csr g(el);
+  // Power-law: the max degree should far exceed the average.
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * g.average_degree());
+}
+
+TEST(Generators, Mesh3dSingleComponentAndDegreeBounds) {
+  const auto el = mesh3d(5, 4, 3);
+  EXPECT_EQ(el.n, 60u);
+  EXPECT_EQ(components_of(el), 1u);
+  const Csr g(el);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), 7u);   // corner of the 27-point stencil
+    EXPECT_LE(g.degree(v), 26u);  // interior
+  }
+}
+
+TEST(Generators, ClusteredComponentsMatchesClusterCount) {
+  const auto el = clustered_components(2000, 37, 8.0, 11);
+  EXPECT_EQ(el.n, 2000u);
+  EXPECT_EQ(components_of(el), 37u);
+}
+
+TEST(Generators, ClusteredComponentsHitsDegreeTarget) {
+  const auto el = clustered_components(5000, 50, 12.0, 13);
+  const Csr g(el);
+  EXPECT_GT(g.average_degree(), 6.0);
+  EXPECT_LT(g.average_degree(), 16.0);
+}
+
+TEST(Generators, PathForestIsSparseWithManyComponents) {
+  const auto el = path_forest(10000, 20, 17);
+  const Csr g(el);
+  EXPECT_LT(g.average_degree(), 2.5);  // M3 regime
+  const auto comps = components_of(el);
+  EXPECT_GT(comps, 300u);
+  EXPECT_LT(comps, 1200u);  // ~ n / avg_component
+}
+
+TEST(Generators, PreferentialAttachmentConnectedCore) {
+  const auto el = preferential_attachment(2000, 4, 23, 0.1);
+  // 10% isolated vertices -> ~201 components (1 giant + ~200 singletons).
+  const auto comps = components_of(el);
+  EXPECT_GT(comps, 150u);
+  EXPECT_LT(comps, 250u);
+}
+
+TEST(Generators, PreferentialAttachmentFullyAttachedIsOneComponent) {
+  EXPECT_EQ(components_of(preferential_attachment(500, 3, 29)), 1u);
+}
+
+}  // namespace
+}  // namespace lacc::graph

@@ -1,0 +1,106 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace lacc::graph {
+namespace {
+
+TEST(MatrixMarket, RoundTripPreservesCanonicalEdges) {
+  EdgeList el = erdos_renyi(50, 120, 3);
+  std::stringstream buffer;
+  write_matrix_market(buffer, el);
+  const EdgeList back = read_matrix_market(buffer);
+  EXPECT_EQ(back.n, el.n);
+  canonicalize(el);
+  EdgeList canon_back = back;
+  canonicalize(canon_back);
+  EXPECT_EQ(canon_back.edges, el.edges);
+}
+
+TEST(MatrixMarket, ParsesRealFieldAndSymmetricHeader) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "3 3 2\n"
+      "2 1 0.5\n"
+      "3 2 1.5\n");
+  const EdgeList el = read_matrix_market(in);
+  EXPECT_EQ(el.n, 3u);
+  ASSERT_EQ(el.edges.size(), 2u);
+  EXPECT_EQ(el.edges[0], (Edge{1, 0}));
+  EXPECT_EQ(el.edges[1], (Edge{2, 1}));
+}
+
+TEST(MatrixMarket, RejectsBadBannerAndShape) {
+  std::stringstream bad1("not a banner\n");
+  EXPECT_THROW(read_matrix_market(bad1), Error);
+  std::stringstream bad2(
+      "%%MatrixMarket matrix coordinate pattern general\n2 3 0\n");
+  EXPECT_THROW(read_matrix_market(bad2), Error);
+  std::stringstream bad3(
+      "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n9 1\n");
+  EXPECT_THROW(read_matrix_market(bad3), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  EdgeList el(7);
+  el.add(0, 6);
+  el.add(3, 2);
+  std::stringstream buffer;
+  write_edge_list(buffer, el);
+  const EdgeList back = read_edge_list(buffer);
+  EXPECT_EQ(back.n, 7u);
+  EXPECT_EQ(back.edges, el.edges);
+}
+
+TEST(EdgeListIo, RejectsOutOfRange) {
+  std::stringstream in("3 1\n0 7\n");
+  EXPECT_THROW(read_edge_list(in), Error);
+}
+
+TEST(BinaryIo, RoundTripPreservesEverything) {
+  const EdgeList el = erdos_renyi(300, 900, 77);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, el);
+  const EdgeList back = read_binary(buffer);
+  EXPECT_EQ(back.n, el.n);
+  EXPECT_EQ(back.edges, el.edges);  // exact, including order and duplicates
+}
+
+TEST(BinaryIo, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("definitely not a graph", std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary(bad), Error);
+
+  const EdgeList el = path(10);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, el);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);  // chop the payload
+  std::stringstream truncated(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary(truncated), Error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const EdgeList el = rmat(8, 600, 79);
+  const std::string path = "/tmp/lacc_binary_test.bin";
+  write_binary_file(path, el);
+  const EdgeList back = read_binary_file(path);
+  EXPECT_EQ(back.edges, el.edges);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_binary_file(path), Error);
+}
+
+}  // namespace
+}  // namespace lacc::graph

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "baselines/union_find.hpp"
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/error.hpp"
+
+namespace lacc::graph {
+namespace {
+
+TEST(RandomTree, ConnectedWithLogDiameterShape) {
+  const auto el = random_tree(4000, 5);
+  EXPECT_EQ(el.edges.size(), 3999u);
+  EXPECT_EQ(core::count_components(baselines::union_find_cc(el).parent), 1u);
+  // BFS depth from vertex 0 should be logarithmic-ish, far below n.
+  const Csr g(el);
+  std::vector<int> depth(4000, -1);
+  depth[0] = 0;
+  std::vector<VertexId> frontier{0};
+  int max_depth = 0;
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    for (const VertexId u : frontier)
+      for (const VertexId v : g.neighbors(u))
+        if (depth[v] < 0) {
+          depth[v] = depth[u] + 1;
+          max_depth = std::max(max_depth, depth[v]);
+          next.push_back(v);
+        }
+    frontier.swap(next);
+  }
+  EXPECT_LT(max_depth, 60);  // ~2 ln(n) expected; 60 is generous
+}
+
+TEST(RandomTree, Deterministic) {
+  EXPECT_EQ(random_tree(100, 3).edges, random_tree(100, 3).edges);
+  EXPECT_NE(random_tree(100, 3).edges, random_tree(100, 4).edges);
+}
+
+TEST(MatrixMarketFiles, RoundTripThroughDisk) {
+  const auto el = clustered_components(200, 10, 4.0, 3);
+  const std::string path = "/tmp/lacc_io_test.mtx";
+  write_matrix_market_file(path, el);
+  const auto back = read_matrix_market_file(path);
+  EXPECT_EQ(back.n, el.n);
+  EXPECT_TRUE(core::same_partition(baselines::union_find_cc(el).parent,
+                                   baselines::union_find_cc(back).parent));
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarketFiles, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/tmp/does-not-exist-lacc.mtx"), lacc::Error);
+}
+
+TEST(Csr, NeighborListsAreSortedAndUnique) {
+  const Csr g(rmat(9, 2000, 17));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t k = 1; k < nbrs.size(); ++k)
+      ASSERT_LT(nbrs[k - 1], nbrs[k]);
+  }
+}
+
+TEST(Generators, ZipfClusterSizesAreSkewed) {
+  // The first (largest) cluster should far exceed the average size.
+  const auto el = clustered_components(10000, 100, 5.0, 21);
+  const auto labels =
+      core::normalize_labels(baselines::union_find_cc(el).parent);
+  std::vector<std::uint64_t> size(10000, 0);
+  for (const auto label : labels) ++size[label];
+  std::uint64_t largest = 0;
+  for (const auto s : size) largest = std::max(largest, s);
+  EXPECT_GT(largest, 10000u / 100u * 3u);
+}
+
+TEST(Generators, DegreeTargetsAcrossFamilies) {
+  EXPECT_NEAR(Csr(path_forest(20000, 30, 31)).average_degree(), 2.0, 0.5);
+  EXPECT_NEAR(Csr(erdos_renyi(5000, 20000, 33)).average_degree(), 8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace lacc::graph

@@ -1,0 +1,84 @@
+#include "graph/testproblems.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/union_find.hpp"
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "support/error.hpp"
+
+namespace lacc::graph {
+namespace {
+
+class TestProblems : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    problems_ = new std::vector<TestProblem>(make_test_problems(0.25));
+  }
+  static void TearDownTestSuite() {
+    delete problems_;
+    problems_ = nullptr;
+  }
+  static std::vector<TestProblem>* problems_;
+};
+
+std::vector<TestProblem>* TestProblems::problems_ = nullptr;
+
+TEST_F(TestProblems, AllTenTableIIIGraphsPresent) {
+  ASSERT_EQ(problems_->size(), 10u);
+  EXPECT_EQ((*problems_)[0].name, "archaea");
+  EXPECT_EQ(problems_->back().name, "iso_m100");
+}
+
+TEST_F(TestProblems, FigureSelectionsResolve) {
+  for (const auto& name : figure4_names()) find_problem(*problems_, name);
+  for (const auto& name : figure5_names()) find_problem(*problems_, name);
+  for (const auto& name : figure6_names()) find_problem(*problems_, name);
+  for (const auto& name : figure7_names()) find_problem(*problems_, name);
+  for (const auto& name : figure8_names()) find_problem(*problems_, name);
+  EXPECT_EQ(figure4_names().size(), 8u);
+  EXPECT_EQ(figure6_names().size(), 2u);
+  EXPECT_THROW(find_problem(*problems_, "no-such-graph"), Error);
+}
+
+TEST_F(TestProblems, ComponentRegimesMatchThePaper) {
+  // The structural property Section VI's analysis turns on: protein-like
+  // graphs have many components, meshes and twitter-like graphs one.
+  const auto comps = [&](const std::string& name) {
+    return core::count_components(
+        baselines::union_find_cc(find_problem(*problems_, name).graph).parent);
+  };
+  EXPECT_EQ(comps("queen_4147"), 1u);
+  EXPECT_EQ(comps("twitter7"), 1u);
+  EXPECT_EQ(comps("sk-2005"), 45u);
+  EXPECT_GT(comps("archaea"), 100u);
+  EXPECT_GT(comps("eukarya"), 200u);
+  EXPECT_GT(comps("M3"), 100u);
+}
+
+TEST_F(TestProblems, M3IsTheSparsestGraph) {
+  double m3_degree = 0, min_other = 1e18;
+  for (const auto& p : *problems_) {
+    const Csr g(p.graph);
+    if (p.name == "M3")
+      m3_degree = g.average_degree();
+    else
+      min_other = std::min(min_other, g.average_degree());
+  }
+  EXPECT_LT(m3_degree, 3.0);
+  EXPECT_LT(m3_degree, min_other);
+}
+
+TEST_F(TestProblems, LargeFlagMarksFigure6Graphs) {
+  for (const auto& p : *problems_)
+    EXPECT_EQ(p.large, p.name == "Metaclust50" || p.name == "iso_m100")
+        << p.name;
+}
+
+TEST_F(TestProblems, ScaleChangesSizes) {
+  const auto small = make_test_problems(0.1);
+  EXPECT_LT(small[0].graph.n, (*problems_)[0].graph.n);
+}
+
+}  // namespace
+}  // namespace lacc::graph

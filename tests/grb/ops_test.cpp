@@ -1,0 +1,200 @@
+#include "grb/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace lacc::grb {
+namespace {
+
+graph::Csr triangle_plus_isolated() {
+  graph::EdgeList el(4);
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  return graph::Csr(el);  // vertex 3 isolated
+}
+
+TEST(Mxv, Select2ndMinTakesMinNeighborValue) {
+  const auto g = triangle_plus_isolated();
+  auto u = Vector<VertexId>::full(4, 0);
+  for (Index i = 0; i < 4; ++i) u.set(i, i * 10);
+  const auto w = mxv_select2nd(g, u, MinOp{}, no_mask());
+  EXPECT_EQ(w.at(0), 10u);  // min(u[1], u[2])
+  EXPECT_EQ(w.at(1), 0u);   // min(u[0], u[2])
+  EXPECT_EQ(w.at(2), 0u);
+  EXPECT_FALSE(w.has(3));  // no neighbors -> no stored result
+}
+
+TEST(Mxv, SparseInputTakesSpMSpVPath) {
+  const auto g = triangle_plus_isolated();
+  Vector<VertexId> u(4);
+  u.set(2, 99);  // only one stored input element
+  const auto w = mxv_select2nd(g, u, MinOp{}, no_mask());
+  EXPECT_EQ(w.at(0), 99u);
+  EXPECT_EQ(w.at(1), 99u);
+  EXPECT_FALSE(w.has(2));  // vertex 2's neighbors hold no stored values
+  EXPECT_FALSE(w.has(3));
+}
+
+TEST(Mxv, MaskFiltersOutput) {
+  const auto g = triangle_plus_isolated();
+  auto u = Vector<VertexId>::full(4, 5);
+  Vector<bool> m(4);
+  m.set(1, true);
+  const auto w = mxv_select2nd(g, u, MinOp{}, mask_of(m));
+  EXPECT_FALSE(w.has(0));
+  EXPECT_TRUE(w.has(1));
+  EXPECT_FALSE(w.has(2));
+}
+
+TEST(Mxv, DenseAndSparsePathsAgree) {
+  const auto el = graph::erdos_renyi(200, 600, 5);
+  const graph::Csr g(el);
+  // Stored on ~half the positions: run both paths and compare.
+  Vector<VertexId> u(200);
+  for (Index i = 0; i < 200; i += 2) u.set(i, 1000 - i);
+  const auto sparse = mxv_select2nd(g, u, MinOp{}, no_mask());
+  // Force the dense path by filling the remaining positions with huge
+  // values stored at odd indices of a copy... instead compare against a
+  // straightforward reference computation.
+  for (Index i = 0; i < 200; ++i) {
+    VertexId best = kNoVertex;
+    for (const VertexId j : g.neighbors(i))
+      if (u.has(j)) best = std::min(best, u.at(j));
+    if (best == kNoVertex)
+      EXPECT_FALSE(sparse.has(i)) << i;
+    else
+      EXPECT_EQ(sparse.at(i), best) << i;
+  }
+}
+
+TEST(EWiseMult, IntersectsStoredElements) {
+  Vector<int> u(4), v(4);
+  u.set(0, 3);
+  u.set(1, 5);
+  v.set(1, 2);
+  v.set(2, 9);
+  const auto w = eWiseMult(u, v, MinOp{}, no_mask());
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.at(1), 2);
+}
+
+TEST(EWiseMult, SecondOpCopiesRightOperand) {
+  Vector<int> u(3), v(3);
+  u.set(0, 1);
+  v.set(0, 42);
+  const auto w = eWiseMult(u, v, SecondOp{}, no_mask());
+  EXPECT_EQ(w.at(0), 42);
+}
+
+TEST(Extract, GathersByIndexArray) {
+  auto u = Vector<int>::full(5, 0);
+  for (Index i = 0; i < 5; ++i) u.set(i, static_cast<int>(i) * 100);
+  const std::vector<Index> indices = {4, 0, 4, 2};
+  const auto w = extract(u, indices);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.at(0), 400);
+  EXPECT_EQ(w.at(1), 0);
+  EXPECT_EQ(w.at(2), 400);
+  EXPECT_EQ(w.at(3), 200);
+}
+
+TEST(Extract, AbsentSourceLeavesOutputUnstored) {
+  Vector<int> u(3);
+  u.set(1, 7);
+  const auto w = extract(u, {0, 1});
+  EXPECT_FALSE(w.has(0));
+  EXPECT_EQ(w.at(1), 7);
+}
+
+TEST(ExtractAll, MaskedCopy) {
+  auto u = Vector<int>::full(4, 9);
+  Vector<bool> m(4);
+  m.set(2, true);
+  const auto masked = extract_all(u, mask_of(m));
+  EXPECT_EQ(masked.nvals(), 1u);
+  EXPECT_EQ(masked.at(2), 9);
+  const auto complemented = extract_all(u, scmp_of(m));
+  EXPECT_EQ(complemented.nvals(), 3u);
+  EXPECT_FALSE(complemented.has(2));
+}
+
+TEST(Assign, OverwritesTargets) {
+  auto w = Vector<int>::full(5, 100);
+  Vector<int> u(2);
+  u.set(0, 1);
+  u.set(1, 2);
+  assign(w, {3, 0}, u);
+  EXPECT_EQ(w.at(3), 1);
+  EXPECT_EQ(w.at(0), 2);
+  EXPECT_EQ(w.at(1), 100);
+}
+
+TEST(Assign, DuplicateTargetsReduceWithMin) {
+  auto w = Vector<int>::full(3, 100);
+  Vector<int> u(3);
+  u.set(0, 7);
+  u.set(1, 3);
+  u.set(2, 9);
+  assign(w, {1, 1, 1}, u);
+  EXPECT_EQ(w.at(1), 3);
+}
+
+TEST(Assign, UnstoredInputElementsAreSkipped) {
+  auto w = Vector<int>::full(3, 0);
+  Vector<int> u(2);
+  u.set(1, 5);  // u[0] unstored
+  assign(w, {0, 2}, u);
+  EXPECT_EQ(w.at(0), 0);
+  EXPECT_EQ(w.at(2), 5);
+}
+
+TEST(AssignScalar, WritesEverywhereListed) {
+  Vector<bool> w(4);
+  assign_scalar(w, {0, 3}, true);
+  EXPECT_TRUE(w.at(0));
+  EXPECT_TRUE(w.at(3));
+  EXPECT_FALSE(w.has(1));
+}
+
+TEST(AssignAll, MaskedFill) {
+  Vector<int> w(4);
+  Vector<bool> m(4);
+  m.set(1, true);
+  m.set(2, true);
+  assign_all(w, 8, mask_of(m));
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.at(1), 8);
+}
+
+TEST(Extract, OutOfRangeIndexThrows) {
+  const auto u = Vector<int>::full(3, 1);
+  EXPECT_THROW(extract(u, {0, 5}), Error);
+}
+
+TEST(Assign, OutOfRangeTargetThrows) {
+  auto w = Vector<int>::full(3, 1);
+  Vector<int> u(1);
+  u.set(0, 9);
+  EXPECT_THROW(assign(w, {7}, u), Error);
+  EXPECT_THROW(assign_scalar(w, {4}, 5), Error);
+}
+
+TEST(Assign, ArityMismatchThrows) {
+  auto w = Vector<int>::full(3, 1);
+  Vector<int> u(2);
+  EXPECT_THROW(assign(w, {0}, u), Error);  // indices shorter than u
+}
+
+TEST(Mxv, SizeMismatchThrows) {
+  graph::EdgeList el(3);
+  el.add(0, 1);
+  const graph::Csr g(el);
+  const auto wrong = Vector<VertexId>::full(5, 0);
+  EXPECT_THROW(mxv_select2nd(g, wrong, MinOp{}, no_mask()), Error);
+}
+
+}  // namespace
+}  // namespace lacc::grb

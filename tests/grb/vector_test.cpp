@@ -1,0 +1,87 @@
+#include "grb/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lacc::grb {
+namespace {
+
+TEST(GrbVector, StartsEmpty) {
+  Vector<int> v(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.nvals(), 0u);
+  EXPECT_FALSE(v.has(3));
+}
+
+TEST(GrbVector, FullConstructorStoresEverything) {
+  const auto v = Vector<int>::full(5, 7);
+  EXPECT_EQ(v.nvals(), 5u);
+  for (Index i = 0; i < 5; ++i) EXPECT_EQ(v.at(i), 7);
+}
+
+TEST(GrbVector, SetRemoveTracksNvals) {
+  Vector<int> v(4);
+  v.set(1, 10);
+  v.set(1, 11);  // overwrite is not a new element
+  v.set(3, 30);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_EQ(v.at(1), 11);
+  v.remove(1);
+  v.remove(1);  // idempotent
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_FALSE(v.has(1));
+}
+
+TEST(GrbVector, ReadingUnstoredThrows) {
+  Vector<int> v(3);
+  EXPECT_THROW(v.at(0), Error);
+  EXPECT_EQ(v.get_or(0, -1), -1);
+}
+
+TEST(GrbVector, ExtractTuplesInIndexOrder) {
+  Vector<int> v(6);
+  v.set(4, 40);
+  v.set(0, 0);
+  v.set(2, 20);
+  std::vector<Index> idx;
+  std::vector<int> val;
+  v.extract_tuples(idx, val);
+  EXPECT_EQ(idx, (std::vector<Index>{0, 2, 4}));
+  EXPECT_EQ(val, (std::vector<int>{0, 20, 40}));
+}
+
+TEST(GrbVector, ClearRemovesAll) {
+  auto v = Vector<int>::full(8, 1);
+  v.clear();
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TEST(GrbMask, ValueSemanticsWithComplement) {
+  Vector<bool> m(4);
+  m.set(0, true);
+  m.set(1, false);  // stored false
+  // position 2, 3: unstored
+  const auto plain = mask_of(m);
+  EXPECT_TRUE(plain.allows(0));
+  EXPECT_FALSE(plain.allows(1));  // stored false is not allowed
+  EXPECT_FALSE(plain.allows(2));  // unstored is not allowed
+  const auto comp = scmp_of(m);
+  EXPECT_FALSE(comp.allows(0));
+  EXPECT_TRUE(comp.allows(1));
+  EXPECT_TRUE(comp.allows(2));
+  EXPECT_TRUE(no_mask().allows(3));
+}
+
+TEST(GrbVector, EqualityChecksStoredPattern) {
+  Vector<int> a(3), b(3);
+  a.set(1, 5);
+  EXPECT_FALSE(a == b);
+  b.set(1, 5);
+  EXPECT_TRUE(a == b);
+  b.set(2, 0);
+  EXPECT_FALSE(a == b);  // same values where stored, different pattern
+}
+
+}  // namespace
+}  // namespace lacc::grb

@@ -1,0 +1,151 @@
+// Integration tests spanning module boundaries: file I/O feeding the
+// distributed pipeline, rank-count invariance of results, determinism of
+// the modeled clock, and agreement between every layer of the stack on the
+// paper's own test-problem stand-ins.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/parconnect.hpp"
+#include "baselines/union_find.hpp"
+#include "core/lacc_dist.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/testproblems.hpp"
+
+namespace lacc {
+namespace {
+
+TEST(EndToEnd, MatrixMarketFileThroughDistributedLacc) {
+  // Write a graph out, read it back, run the full distributed pipeline.
+  const auto original = graph::clustered_components(800, 25, 6.0, 3);
+  std::stringstream file;
+  graph::write_matrix_market(file, original);
+  const auto loaded = graph::read_matrix_market(file);
+
+  const auto result = core::lacc_dist(loaded, 9, sim::MachineModel::edison());
+  const auto truth = baselines::union_find_cc(original);
+  EXPECT_TRUE(core::same_partition(result.cc.parent, truth.parent));
+  EXPECT_EQ(core::count_components(result.cc.parent), 25u);
+}
+
+TEST(EndToEnd, PartitionInvariantAcrossRankCounts) {
+  const auto el = graph::permute_vertices(
+      graph::clustered_components(700, 30, 5.0, 7), 11);
+  const auto reference = core::lacc_dist(el, 1, sim::MachineModel::local());
+  for (const int ranks : {4, 16, 25}) {
+    const auto run = core::lacc_dist(el, ranks, sim::MachineModel::local());
+    EXPECT_TRUE(core::same_partition(run.cc.parent, reference.cc.parent))
+        << ranks;
+  }
+}
+
+TEST(EndToEnd, DeterministicAcrossRepeats) {
+  const auto el = graph::rmat(9, 1500, 5);
+  const auto a = core::lacc_dist(el, 4, sim::MachineModel::cori_knl());
+  const auto b = core::lacc_dist(el, 4, sim::MachineModel::cori_knl());
+  EXPECT_EQ(a.cc.parent, b.cc.parent);  // bitwise, not just same partition
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, b.modeled_seconds);
+  EXPECT_EQ(a.cc.iterations, b.cc.iterations);
+}
+
+TEST(EndToEnd, AllTestProblemsAllAlgorithms) {
+  // Every Table III stand-in, solved by the whole stack, small scale.
+  const auto problems = graph::make_test_problems(0.1);
+  for (const auto& p : problems) {
+    const auto truth = baselines::union_find_cc(p.graph);
+    const graph::Csr g(p.graph);
+    EXPECT_TRUE(core::same_partition(core::lacc_grb(g).parent, truth.parent))
+        << p.name;
+    const auto dist = core::lacc_dist(p.graph, 4, sim::MachineModel::local());
+    EXPECT_TRUE(core::same_partition(dist.cc.parent, truth.parent)) << p.name;
+    const auto pc =
+        baselines::parconnect_dist(p.graph, 4, sim::MachineModel::local());
+    EXPECT_TRUE(core::same_partition(pc.cc.parent, truth.parent)) << p.name;
+  }
+}
+
+TEST(EndToEnd, VertexPermutationPreservesComponentStructure) {
+  const auto el = graph::clustered_components(900, 40, 5.0, 13);
+  const auto permuted = graph::permute_vertices(el, 17);
+  EXPECT_EQ(
+      core::count_components(baselines::union_find_cc(el).parent),
+      core::count_components(core::lacc_dist(permuted, 4,
+                                             sim::MachineModel::local())
+                                 .cc.parent));
+}
+
+TEST(EndToEnd, ModeledTimeRespondsToMachineModel) {
+  // Same algorithm, same graph: the slower machine must cost more modeled
+  // time — the property every cross-platform figure relies on.
+  const auto el = graph::erdos_renyi(2000, 6000, 19);
+  const auto edison = core::lacc_dist(el, 16, sim::MachineModel::edison());
+  const auto cori = core::lacc_dist(el, 16, sim::MachineModel::cori_knl());
+  EXPECT_LT(edison.modeled_seconds, cori.modeled_seconds);
+  EXPECT_TRUE(core::same_partition(edison.cc.parent, cori.cc.parent));
+}
+
+TEST(EndToEnd, EdgeListIngestionMatchesCsr) {
+  // The distributed matrix build (alltoall routing, symmetrize, dedup) must
+  // count exactly the nonzeros the serial CSR sees.
+  const auto el = graph::rmat(8, 800, 23);
+  const graph::Csr g(el);
+  sim::run_spmd(9, sim::MachineModel::local(), [&](sim::Comm& world) {
+    dist::ProcGrid grid(world);
+    dist::DistCsc A(grid, el);
+    EXPECT_EQ(A.global_nnz(), g.num_edges());
+  });
+}
+
+TEST(FailureInjection, RankFailureMidAlgorithmPropagatesCleanly) {
+  // A rank dying in the middle of a collective-heavy algorithm must
+  // release its siblings (poisoned barriers) and surface the error.
+  const auto el = graph::erdos_renyi(300, 900, 41);
+  EXPECT_THROW(
+      sim::run_spmd(9, sim::MachineModel::local(),
+                    [&](sim::Comm& world) {
+                      dist::ProcGrid grid(world);
+                      dist::DistCsc A(grid, el);
+                      if (world.rank() == 4) throw Error("injected failure");
+                      core::CcResult cc;
+                      core::lacc_dist_body(grid, A, {}, cc);
+                    }),
+      Error);
+}
+
+TEST(FailureInjection, FailureAfterWorkStillReportsFirstError) {
+  EXPECT_THROW(sim::run_spmd(4, sim::MachineModel::local(),
+                             [](sim::Comm& world) {
+                               dist::ProcGrid grid(world);
+                               grid.world().barrier();
+                               if (world.rank() == 0)
+                                 throw Error("rank 0 failed");
+                               grid.world().barrier();
+                               grid.row_comm().barrier();
+                             }),
+               Error);
+}
+
+TEST(DirtyInput, SelfLoopsAndDuplicatesAreHandledEverywhere) {
+  // Raw generator output with self-loops and duplicate/parallel edges.
+  graph::EdgeList el(50);
+  for (VertexId v = 0; v < 50; ++v) {
+    el.add(v, v);                    // self loop
+    el.add(v, (v + 1) % 50);         // cycle edge
+    el.add((v + 1) % 50, v);         // reverse duplicate
+    el.add(v, (v + 1) % 50);         // exact duplicate
+  }
+  const auto truth = baselines::union_find_cc(el);
+  EXPECT_EQ(core::count_components(truth.parent), 1u);
+  const auto dist = core::lacc_dist(el, 4, sim::MachineModel::local());
+  EXPECT_TRUE(core::same_partition(dist.cc.parent, truth.parent));
+  const auto serial = core::lacc_grb(graph::Csr(el));
+  EXPECT_TRUE(core::same_partition(serial.parent, truth.parent));
+}
+
+}  // namespace
+}  // namespace lacc

@@ -1,0 +1,115 @@
+// Property-based cross-validation: every connected-components implementation
+// in the repository must produce the same partition as union-find on a
+// randomized sweep of graph families, sizes, and seeds, and the AS-family
+// algorithms must additionally return flat (star-shaped) parent vectors and
+// converge in O(log n) iterations.
+#include <gtest/gtest.h>
+
+#include "baselines/multistep_dist.hpp"
+#include "baselines/parconnect.hpp"
+#include "baselines/serial_cc.hpp"
+#include "baselines/union_find.hpp"
+#include "core/fastsv.hpp"
+#include "core/lacc_dist.hpp"
+#include "core/lacc_serial.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace lacc::core {
+namespace {
+
+struct Workload {
+  std::string family;
+  std::uint64_t seed;
+
+  graph::EdgeList build() const {
+    const VertexId n = 600 + 37 * (seed % 11);
+    if (family == "er-sparse") return graph::erdos_renyi(n, n / 2, seed);
+    if (family == "er-medium") return graph::erdos_renyi(n, 2 * n, seed);
+    if (family == "er-dense") return graph::erdos_renyi(n, 8 * n, seed);
+    if (family == "clustered")
+      return graph::clustered_components(n, 20 + seed % 17, 5.0, seed);
+    if (family == "forest") return graph::path_forest(n, 8 + seed % 9, seed);
+    if (family == "rmat") return graph::rmat(9, 3 * n, seed);
+    if (family == "prefattach")
+      return graph::preferential_attachment(n, 3, seed, 0.15);
+    if (family == "permuted-clustered")
+      return graph::permute_vertices(
+          graph::clustered_components(n, 25, 6.0, seed), seed + 1);
+    throw Error("unknown family " + family);
+  }
+};
+
+class CcProperty : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(CcProperty, AllSerialAlgorithmsAgreeWithUnionFind) {
+  const auto el = GetParam().build();
+  const graph::Csr g(el);
+  const auto truth = baselines::union_find_cc(g);
+  EXPECT_TRUE(same_partition(lacc_grb(g).parent, truth.parent));
+  EXPECT_TRUE(same_partition(awerbuch_shiloach(g).parent, truth.parent));
+  EXPECT_TRUE(same_partition(baselines::bfs_cc(g).parent, truth.parent));
+  EXPECT_TRUE(
+      same_partition(baselines::shiloach_vishkin(g).parent, truth.parent));
+  EXPECT_TRUE(
+      same_partition(baselines::label_propagation(g).parent, truth.parent));
+  EXPECT_TRUE(same_partition(baselines::multistep(g).parent, truth.parent));
+}
+
+TEST_P(CcProperty, DistributedAlgorithmsAgreeWithUnionFind) {
+  const auto el = GetParam().build();
+  const auto truth = baselines::union_find_cc(el);
+  const auto lacc = lacc_dist(el, 9, sim::MachineModel::local());
+  EXPECT_TRUE(same_partition(lacc.cc.parent, truth.parent));
+  LaccOptions cyclic;
+  cyclic.cyclic_vectors = true;
+  const auto lacc_cyc = lacc_dist(el, 4, sim::MachineModel::local(), cyclic);
+  EXPECT_TRUE(same_partition(lacc_cyc.cc.parent, truth.parent));
+  const auto fsv = fastsv_dist(el, 4, sim::MachineModel::local());
+  EXPECT_TRUE(same_partition(fsv.cc.parent, truth.parent));
+  const auto pc = baselines::parconnect_dist(el, 4, sim::MachineModel::local());
+  EXPECT_TRUE(same_partition(pc.cc.parent, truth.parent));
+  const auto ms = baselines::multistep_dist(el, 4, sim::MachineModel::local());
+  EXPECT_TRUE(same_partition(ms.cc.parent, truth.parent));
+}
+
+TEST_P(CcProperty, AsFamilyReturnsFlatForestsInLogIterations) {
+  const auto el = GetParam().build();
+  const graph::Csr g(el);
+  for (const auto& result :
+       {lacc_grb(g), awerbuch_shiloach(g), fastsv(g)}) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      ASSERT_EQ(result.parent[result.parent[v]], result.parent[v]);
+    EXPECT_LE(result.iterations, 40);  // O(log n) with generous headroom
+    // Trace invariants: converged counts are monotone and never exceed n.
+    std::uint64_t prev = 0;
+    for (const auto& rec : result.trace) {
+      EXPECT_GE(rec.converged_vertices, prev);
+      EXPECT_LE(rec.converged_vertices, g.num_vertices());
+      EXPECT_LE(rec.active_vertices, g.num_vertices());
+      prev = rec.converged_vertices;
+    }
+  }
+}
+
+std::vector<Workload> sweep() {
+  std::vector<Workload> out;
+  for (const char* family :
+       {"er-sparse", "er-medium", "er-dense", "clustered", "forest", "rmat",
+        "prefattach", "permuted-clustered"})
+    for (std::uint64_t seed : {1ull, 2ull, 3ull})
+      out.push_back({family, seed});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CcProperty, ::testing::ValuesIn(sweep()),
+                         [](const auto& info) {
+                           std::string name = info.param.family + "_s" +
+                                              std::to_string(info.param.seed);
+                           for (auto& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lacc::core

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/runtime.hpp"
+#include "support/partition.hpp"
+
+namespace lacc::sim {
+namespace {
+
+constexpr int kRanks = 6;
+
+TEST(Collectives, BroadcastDeliversRootData) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 2) data = {10, 20, 30};
+    comm.bcast(data, 2);
+    EXPECT_EQ(data, (std::vector<int>{10, 20, 30}));
+  });
+}
+
+TEST(Collectives, BroadcastEmptyVector) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 0) data.clear();
+    comm.bcast(data, 0);
+    EXPECT_TRUE(data.empty());
+  });
+}
+
+TEST(Collectives, AllreduceSum) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    const int total =
+        comm.allreduce(comm.rank() + 1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(total, 21);  // 1+2+...+6
+  });
+}
+
+TEST(Collectives, AllreduceMaxAndMin) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    const int mx =
+        comm.allreduce(comm.rank(), [](int a, int b) { return std::max(a, b); });
+    const int mn =
+        comm.allreduce(comm.rank(), [](int a, int b) { return std::min(a, b); });
+    EXPECT_EQ(mx, kRanks - 1);
+    EXPECT_EQ(mn, 0);
+  });
+}
+
+TEST(Collectives, AllgathervConcatenatesInRankOrder) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    // Rank r contributes r copies of r (rank 0 contributes nothing).
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()), comm.rank());
+    std::vector<std::size_t> counts;
+    const auto all = comm.allgatherv(mine, &counts);
+    std::vector<int> expected;
+    for (int r = 0; r < kRanks; ++r)
+      for (int i = 0; i < r; ++i) expected.push_back(r);
+    EXPECT_EQ(all, expected);
+    for (int r = 0; r < kRanks; ++r)
+      EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                static_cast<std::size_t>(r));
+  });
+}
+
+TEST(Collectives, AlltoallvRoutesPersonalizedData) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    // Rank r sends the value 100*r + d to destination d.
+    std::vector<int> send;
+    std::vector<std::size_t> counts(kRanks, 1);
+    for (int d = 0; d < kRanks; ++d) send.push_back(100 * comm.rank() + d);
+    std::vector<std::size_t> recvcounts;
+    const auto recv =
+        comm.alltoallv(send, counts, AllToAllAlgo::kPairwise, &recvcounts);
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(kRanks));
+    for (int s = 0; s < kRanks; ++s) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)], 100 * s + comm.rank());
+      EXPECT_EQ(recvcounts[static_cast<std::size_t>(s)], 1u);
+    }
+  });
+}
+
+TEST(Collectives, AlltoallvVariableCounts) {
+  for (const auto algo : {AllToAllAlgo::kPairwise, AllToAllAlgo::kHypercube,
+                          AllToAllAlgo::kSparseHypercube}) {
+    run_spmd(kRanks, MachineModel::local(), [algo](Comm& comm) {
+      // Rank r sends d copies of r to destination d (0 copies to rank 0).
+      std::vector<int> send;
+      std::vector<std::size_t> counts(kRanks);
+      for (int d = 0; d < kRanks; ++d) {
+        counts[static_cast<std::size_t>(d)] = static_cast<std::size_t>(d);
+        for (int i = 0; i < d; ++i) send.push_back(comm.rank());
+      }
+      const auto recv = comm.alltoallv(send, counts, algo);
+      // Every source sends `my rank` copies; grouped by source.
+      ASSERT_EQ(recv.size(),
+                static_cast<std::size_t>(comm.rank()) * kRanks);
+      for (int s = 0; s < kRanks; ++s)
+        for (int i = 0; i < comm.rank(); ++i)
+          EXPECT_EQ(recv[static_cast<std::size_t>(s * comm.rank() + i)], s);
+    });
+  }
+}
+
+TEST(Collectives, ReduceScatterBlockMin) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    const BlockPartition part(60, kRanks);
+    // data[i] = i + rank, so the min over ranks at position i is i.
+    std::vector<std::uint64_t> data(60);
+    for (std::size_t i = 0; i < 60; ++i)
+      data[i] = i + static_cast<std::size_t>(comm.rank());
+    const auto mine = comm.reduce_scatter_block(
+        data, [](std::uint64_t a, std::uint64_t b) { return std::min(a, b); },
+        part);
+    const auto b = part.begin(static_cast<std::uint64_t>(comm.rank()));
+    ASSERT_EQ(mine.size(), part.size(static_cast<std::uint64_t>(comm.rank())));
+    for (std::size_t i = 0; i < mine.size(); ++i) EXPECT_EQ(mine[i], b + i);
+  });
+}
+
+TEST(Collectives, SendrecvAlongPermutation) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    // Cyclic shift: send to rank+1, receive from rank-1.
+    const int dest = (comm.rank() + 1) % kRanks;
+    const int src = (comm.rank() + kRanks - 1) % kRanks;
+    std::vector<int> send = {comm.rank() * 7};
+    const auto recv = comm.sendrecv(send, dest, src);
+    ASSERT_EQ(recv.size(), 1u);
+    EXPECT_EQ(recv[0], src * 7);
+  });
+}
+
+TEST(Collectives, SendrecvSelfExchange) {
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    std::vector<int> send = {comm.rank()};
+    const auto recv = comm.sendrecv(send, comm.rank(), comm.rank());
+    EXPECT_EQ(recv, send);
+  });
+}
+
+TEST(Collectives, SplitFormsRowGroups) {
+  // 6 ranks -> 2 colors of 3 ranks each, ordered by key.
+  run_spmd(kRanks, MachineModel::local(), [](Comm& comm) {
+    const int color = comm.rank() / 3;
+    const int key = comm.rank() % 3;
+    Comm sub = comm.split(color, key);
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), key);
+    // Sub-communicator collectives only involve the group.
+    const int group_sum =
+        sub.allreduce(comm.rank(), [](int a, int b) { return a + b; });
+    EXPECT_EQ(group_sum, color == 0 ? 0 + 1 + 2 : 3 + 4 + 5);
+  });
+}
+
+TEST(Collectives, SplitReverseKeyOrdersRanks) {
+  run_spmd(4, MachineModel::local(), [](Comm& comm) {
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(Collectives, NestedSplitsAndCollectivesInterleave) {
+  // Exercise the 2D-grid pattern: row and column groups both alive, with
+  // collectives on each.
+  run_spmd(4, MachineModel::local(), [](Comm& comm) {
+    const int row = comm.rank() / 2, col = comm.rank() % 2;
+    Comm row_comm = comm.split(row, col);
+    Comm col_comm = comm.split(2 + col, row);
+    const int row_sum =
+        row_comm.allreduce(comm.rank(), [](int a, int b) { return a + b; });
+    const int col_sum =
+        col_comm.allreduce(comm.rank(), [](int a, int b) { return a + b; });
+    EXPECT_EQ(row_sum, row == 0 ? 1 : 5);
+    EXPECT_EQ(col_sum, col == 0 ? 2 : 4);
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace lacc::sim

@@ -1,0 +1,169 @@
+// Edge cases and accounting details of the SPMD communicator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/runtime.hpp"
+#include "support/partition.hpp"
+
+namespace lacc::sim {
+namespace {
+
+TEST(CommEdgeCases, BroadcastFromEveryRoot) {
+  run_spmd(5, MachineModel::local(), [](Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<int> data;
+      if (comm.rank() == root) data = {root, root * 2, root * 3};
+      comm.bcast(data, root);
+      ASSERT_EQ(data.size(), 3u);
+      EXPECT_EQ(data[1], root * 2);
+    }
+  });
+}
+
+TEST(CommEdgeCases, LargePayloadBroadcast) {
+  run_spmd(4, MachineModel::local(), [](Comm& comm) {
+    std::vector<std::uint64_t> data;
+    if (comm.rank() == 1) {
+      data.resize(100000);
+      std::iota(data.begin(), data.end(), 0ull);
+    }
+    comm.bcast(data, 1);
+    ASSERT_EQ(data.size(), 100000u);
+    EXPECT_EQ(data[99999], 99999u);
+  });
+}
+
+TEST(CommEdgeCases, AllgathervWithAllEmptyContributions) {
+  run_spmd(4, MachineModel::local(), [](Comm& comm) {
+    const std::vector<int> empty;
+    const auto all = comm.allgatherv(empty);
+    EXPECT_TRUE(all.empty());
+  });
+}
+
+TEST(CommEdgeCases, AlltoallvAllToSelf) {
+  run_spmd(4, MachineModel::local(), [](Comm& comm) {
+    std::vector<int> send = {comm.rank() * 11};
+    std::vector<std::size_t> counts(4, 0);
+    counts[static_cast<std::size_t>(comm.rank())] = 1;
+    const auto recv = comm.alltoallv(send, counts);
+    ASSERT_EQ(recv.size(), 1u);
+    EXPECT_EQ(recv[0], comm.rank() * 11);
+  });
+}
+
+TEST(CommEdgeCases, AlltoallvTotallyEmpty) {
+  for (const auto algo : {AllToAllAlgo::kPairwise, AllToAllAlgo::kHypercube,
+                          AllToAllAlgo::kSparseHypercube}) {
+    run_spmd(4, MachineModel::local(), [algo](Comm& comm) {
+      const std::vector<int> send;
+      const std::vector<std::size_t> counts(4, 0);
+      const auto recv = comm.alltoallv(send, counts, algo);
+      EXPECT_TRUE(recv.empty());
+    });
+  }
+}
+
+TEST(CommEdgeCases, AlltoallvRejectsBadCounts) {
+  EXPECT_THROW(run_spmd(2, MachineModel::local(),
+                        [](Comm& comm) {
+                          std::vector<int> send = {1, 2, 3};
+                          std::vector<std::size_t> counts = {1, 1};  // covers 2
+                          (void)comm.alltoallv(send, counts);
+                        }),
+               Error);
+}
+
+TEST(CommEdgeCases, ReduceScatterUnevenLength) {
+  run_spmd(3, MachineModel::local(), [](Comm& comm) {
+    const BlockPartition part(10, 3);  // blocks of 4, 3, 3
+    std::vector<std::uint64_t> data(10, static_cast<std::uint64_t>(comm.rank()));
+    const auto mine = comm.reduce_scatter_block(
+        data, [](std::uint64_t a, std::uint64_t b) { return a + b; }, part);
+    ASSERT_EQ(mine.size(), part.size(static_cast<std::uint64_t>(comm.rank())));
+    for (const auto v : mine) EXPECT_EQ(v, 0u + 1u + 2u);
+  });
+}
+
+TEST(CommEdgeCases, SendrecvRejectsMismatchedPermutation) {
+  EXPECT_THROW(run_spmd(2, MachineModel::local(),
+                        [](Comm& comm) {
+                          // Both ranks claim to send to rank 0: rank 1 never
+                          // receives, and rank 0's source check must fire.
+                          std::vector<int> send = {1};
+                          (void)comm.sendrecv(send, 0, 1);
+                        }),
+               Error);
+}
+
+TEST(CommEdgeCases, RepeatedSplitsAreIndependent) {
+  run_spmd(4, MachineModel::local(), [](Comm& comm) {
+    for (int round = 0; round < 3; ++round) {
+      Comm sub = comm.split(comm.rank() % 2, comm.rank());
+      EXPECT_EQ(sub.size(), 2);
+      const int sum =
+          sub.allreduce(1, [](int a, int b) { return a + b; });
+      EXPECT_EQ(sum, 2);
+    }
+  });
+}
+
+TEST(CommEdgeCases, SplitSingletonGroups) {
+  run_spmd(3, MachineModel::local(), [](Comm& comm) {
+    Comm solo = comm.split(comm.rank(), 0);
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    solo.barrier();  // must not deadlock
+  });
+}
+
+TEST(CommEdgeCases, MessageAndByteCountersAccumulate) {
+  const auto result = run_spmd(4, MachineModel::edison(), [](Comm& comm) {
+    std::vector<std::uint64_t> data(100, 7);
+    (void)comm.allgatherv(data);
+    (void)comm.allgatherv(data);
+  });
+  const auto& total = result.stats[0].total;
+  EXPECT_GT(total.messages, 0u);
+  // Each allgather receives 3 ranks' worth of 800 bytes.
+  EXPECT_EQ(total.bytes, 2u * 3u * 100u * sizeof(std::uint64_t));
+}
+
+TEST(StatsReductions, MaxAndSumOverRanks) {
+  std::vector<RankStats> per_rank(2);
+  per_rank[0].total.bytes = 10;
+  per_rank[0].regions["a"].comm_seconds = 1.0;
+  per_rank[0].counters["x"] = 5;
+  per_rank[1].total.bytes = 30;
+  per_rank[1].regions["a"].comm_seconds = 0.5;
+  per_rank[1].counters["x"] = 2;
+
+  const auto mx = max_over_ranks(per_rank);
+  EXPECT_EQ(mx.total.bytes, 30u);
+  EXPECT_DOUBLE_EQ(mx.regions.at("a").comm_seconds, 1.0);
+  EXPECT_EQ(mx.counters.at("x"), 5u);
+
+  const auto sum = sum_over_ranks(per_rank);
+  EXPECT_EQ(sum.total.bytes, 40u);
+  EXPECT_DOUBLE_EQ(sum.regions.at("a").comm_seconds, 1.5);
+  EXPECT_EQ(sum.counters.at("x"), 7u);
+}
+
+TEST(CommEdgeCases, NestedRegionsAttributeToInnermost) {
+  const auto result = run_spmd(1, MachineModel::local(), [](Comm& comm) {
+    Region outer(comm, "outer");
+    comm.charge_compute(1e9);
+    {
+      Region inner(comm, "inner");
+      comm.charge_compute(2e9);
+    }
+    comm.charge_compute(3e9);
+  });
+  const auto& regions = result.stats[0].regions;
+  EXPECT_NEAR(regions.at("outer").compute_seconds, 4.0, 1e-9);
+  EXPECT_NEAR(regions.at("inner").compute_seconds, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lacc::sim

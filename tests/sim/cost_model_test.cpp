@@ -1,0 +1,104 @@
+// Tests for the alpha-beta cost accounting: the properties the scaling
+// figures rely on, not absolute constants.
+#include <gtest/gtest.h>
+
+#include "sim/runtime.hpp"
+
+namespace lacc::sim {
+namespace {
+
+TEST(MachineModels, PaperPlatformsAreDistinct) {
+  const auto& edison = MachineModel::edison();
+  const auto& cori = MachineModel::cori_knl();
+  // The paper observes Edison is faster per node than Cori for these
+  // irregular workloads: lower latency and higher per-rank work rate.
+  EXPECT_LT(edison.alpha_s, cori.alpha_s);
+  EXPECT_GT(edison.work_rate, cori.work_rate);
+  EXPECT_EQ(edison.procs_per_node, 4);
+  EXPECT_EQ(cori.procs_per_node, 4);
+  EXPECT_EQ(edison.cores_per_node, 24);
+  EXPECT_EQ(cori.cores_per_node, 68);
+}
+
+TEST(MachineModels, NodeAndCoreMapping) {
+  const auto& edison = MachineModel::edison();
+  EXPECT_DOUBLE_EQ(edison.nodes_for_ranks(1024), 256.0);
+  EXPECT_DOUBLE_EQ(edison.cores_for_ranks(1024), 6144.0);  // paper Fig. 4
+}
+
+TEST(CostModel, CommChargesScaleWithVolume) {
+  // Doubling the payload should increase comm time but not message count.
+  auto run = [](std::size_t elems) {
+    return run_spmd(4, MachineModel::edison(), [elems](Comm& comm) {
+      std::vector<std::uint64_t> data(elems, 1);
+      (void)comm.allgatherv(data);
+    });
+  };
+  const auto small = run(1000);
+  const auto big = run(2000);
+  EXPECT_GT(big.stats[0].total.comm_seconds, small.stats[0].total.comm_seconds);
+  EXPECT_EQ(big.stats[0].total.messages, small.stats[0].total.messages);
+  EXPECT_GT(big.stats[0].total.bytes, small.stats[0].total.bytes);
+}
+
+TEST(CostModel, PairwiseLatencyGrowsLinearlyHypercubeLogarithmically) {
+  // With tiny payloads the all-to-all cost is latency-dominated; pairwise
+  // pays alpha*(p-1), the hypercube alpha*log(p).  This is the optimization
+  // that fixed LACC's scaling past 1024 ranks (Section V-B).
+  auto run = [](int ranks, AllToAllAlgo algo) {
+    return run_spmd(ranks, MachineModel::edison(), [algo, ranks](Comm& comm) {
+      std::vector<std::uint64_t> send(static_cast<std::size_t>(ranks), 7);
+      std::vector<std::size_t> counts(static_cast<std::size_t>(ranks), 1);
+      (void)comm.alltoallv(send, counts, algo);
+    });
+  };
+  const auto pw16 = run(16, AllToAllAlgo::kPairwise);
+  const auto hc16 = run(16, AllToAllAlgo::kHypercube);
+  EXPECT_EQ(pw16.stats[0].total.messages, 15u);
+  EXPECT_EQ(hc16.stats[0].total.messages, 4u);  // log2(16)
+  EXPECT_LT(hc16.stats[0].total.comm_seconds,
+            pw16.stats[0].total.comm_seconds);
+}
+
+TEST(CostModel, SparseHypercubeOnlyCountsActiveRanks) {
+  // Only 2 of 16 ranks exchange data: the sparse variant pays ~log(2)
+  // rounds rather than log(16).
+  auto run = [](AllToAllAlgo algo) {
+    return run_spmd(16, MachineModel::edison(), [algo](Comm& comm) {
+      std::vector<std::uint64_t> send;
+      std::vector<std::size_t> counts(16, 0);
+      if (comm.rank() < 2) {
+        send.assign(8, 3);
+        counts[static_cast<std::size_t>(1 - comm.rank())] = 8;
+      }
+      (void)comm.alltoallv(send, counts, algo);
+    });
+  };
+  const auto dense = run(AllToAllAlgo::kHypercube);
+  const auto sparse = run(AllToAllAlgo::kSparseHypercube);
+  EXPECT_LT(sparse.stats[0].total.comm_seconds,
+            dense.stats[0].total.comm_seconds);
+}
+
+TEST(CostModel, BulkSynchronousClockTakesGroupMax) {
+  // One slow rank drags the synchronized clock for everyone.
+  const auto result = run_spmd(4, MachineModel::local(), [](Comm& comm) {
+    if (comm.rank() == 3) comm.charge_compute(5e9);  // 5 s of local work
+    comm.barrier();
+  });
+  for (const auto t : result.rank_sim_seconds) EXPECT_GE(t, 5.0);
+}
+
+TEST(CostModel, EdisonBeatsCoriPerNodeOnIdenticalWork) {
+  auto body = [](Comm& comm) {
+    std::vector<std::uint64_t> data(10000, 1);
+    comm.charge_compute(1e6);
+    (void)comm.allgatherv(data);
+  };
+  const auto edison = run_spmd(4, MachineModel::edison(), body);
+  const auto cori = run_spmd(4, MachineModel::cori_knl(), body);
+  EXPECT_LT(edison.sim_seconds, cori.sim_seconds);
+}
+
+}  // namespace
+}  // namespace lacc::sim

@@ -1,0 +1,36 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lacc::sim {
+namespace {
+
+TEST(MachineModel, FlatMpiVariantConservesNodeResources) {
+  const auto& edison = MachineModel::edison();
+  const auto flat = edison.flat_mpi_variant();
+  EXPECT_EQ(flat.procs_per_node, edison.cores_per_node);
+  EXPECT_EQ(flat.threads_per_proc, 1);
+  // Node-level compute rate and bandwidth are unchanged: per-rank rate and
+  // bandwidth shrink by exactly the rank-count growth.
+  EXPECT_DOUBLE_EQ(flat.work_rate * flat.procs_per_node,
+                   edison.work_rate * edison.procs_per_node);
+  EXPECT_DOUBLE_EQ(flat.procs_per_node / flat.beta_s_per_byte,
+                   edison.procs_per_node / edison.beta_s_per_byte);
+  EXPECT_DOUBLE_EQ(flat.alpha_s, edison.alpha_s);
+}
+
+TEST(MachineModel, FlatMpiVariantRankMapping) {
+  const auto flat = MachineModel::edison().flat_mpi_variant();
+  // One rank per core: 24 ranks = 1 Edison node.
+  EXPECT_DOUBLE_EQ(flat.nodes_for_ranks(24), 1.0);
+  EXPECT_DOUBLE_EQ(flat.cores_for_ranks(24), 24.0);
+}
+
+TEST(MachineModel, LocalModelIsFastAndSingleCore) {
+  const auto& local = MachineModel::local();
+  EXPECT_EQ(local.procs_per_node, 1);
+  EXPECT_LT(local.alpha_s, MachineModel::edison().alpha_s);
+}
+
+}  // namespace
+}  // namespace lacc::sim

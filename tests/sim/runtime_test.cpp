@@ -1,0 +1,100 @@
+#include "sim/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace lacc::sim {
+namespace {
+
+TEST(Runtime, RunsEveryRankExactlyOnce) {
+  std::atomic<int> visits{0};
+  std::vector<std::atomic<int>> per_rank(8);
+  run_spmd(8, MachineModel::local(), [&](Comm& comm) {
+    ++visits;
+    ++per_rank[static_cast<std::size_t>(comm.rank())];
+    EXPECT_EQ(comm.size(), 8);
+  });
+  EXPECT_EQ(visits.load(), 8);
+  for (auto& v : per_rank) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Runtime, SingleRankWorks) {
+  const auto result = run_spmd(1, MachineModel::local(), [](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+  });
+  EXPECT_EQ(result.stats.size(), 1u);
+}
+
+TEST(Runtime, PropagatesFirstException) {
+  EXPECT_THROW(run_spmd(4, MachineModel::local(),
+                        [](Comm& comm) {
+                          comm.barrier();
+                          if (comm.rank() == 2) throw Error("rank 2 failed");
+                          // Other ranks block here; the poison flag must
+                          // release them instead of deadlocking the test.
+                          comm.barrier();
+                        }),
+               Error);
+}
+
+TEST(Runtime, SimulatedTimeIsDeterministic) {
+  auto body = [](Comm& comm) {
+    std::vector<int> data(100, comm.rank());
+    for (int i = 0; i < 5; ++i) {
+      comm.charge_compute(1000.0 * (comm.rank() + 1));
+      data = comm.allgatherv(data);
+      data.resize(100);
+    }
+  };
+  const auto a = run_spmd(6, MachineModel::edison(), body);
+  const auto b = run_spmd(6, MachineModel::edison(), body);
+  EXPECT_GT(a.sim_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  ASSERT_EQ(a.rank_sim_seconds.size(), b.rank_sim_seconds.size());
+  for (std::size_t r = 0; r < a.rank_sim_seconds.size(); ++r)
+    EXPECT_DOUBLE_EQ(a.rank_sim_seconds[r], b.rank_sim_seconds[r]);
+}
+
+TEST(Runtime, ComputeChargesAccumulate) {
+  const auto result = run_spmd(2, MachineModel::local(), [](Comm& comm) {
+    comm.charge_compute(1e9);  // exactly one second at local work_rate
+  });
+  EXPECT_NEAR(result.stats[0].total.compute_seconds, 1.0, 1e-12);
+  EXPECT_NEAR(result.sim_seconds, 1.0, 1e-12);
+}
+
+TEST(Runtime, RegionsCaptureCharges) {
+  const auto result = run_spmd(2, MachineModel::local(), [](Comm& comm) {
+    {
+      Region region(comm, "phase-a");
+      comm.charge_compute(1e9);
+      comm.barrier();
+    }
+    comm.charge_compute(2e9);  // outside any region
+  });
+  const auto& stats = result.stats[0];
+  ASSERT_TRUE(stats.regions.count("phase-a"));
+  EXPECT_NEAR(stats.regions.at("phase-a").compute_seconds, 1.0, 1e-12);
+  EXPECT_NEAR(stats.total.compute_seconds, 3.0, 1e-12);
+  EXPECT_GT(stats.regions.at("phase-a").wall_seconds, 0.0);
+}
+
+TEST(Runtime, CustomCountersAreRecorded) {
+  const auto result = run_spmd(3, MachineModel::local(), [](Comm& comm) {
+    comm.add_counter("requests", static_cast<std::uint64_t>(comm.rank()) * 10);
+  });
+  EXPECT_EQ(result.stats[2].counters.at("requests"), 20u);
+}
+
+TEST(Runtime, RejectsAbsurdRankCounts) {
+  EXPECT_THROW(run_spmd(0, MachineModel::local(), [](Comm&) {}), Error);
+  EXPECT_THROW(run_spmd(5000, MachineModel::local(), [](Comm&) {}), Error);
+}
+
+}  // namespace
+}  // namespace lacc::sim

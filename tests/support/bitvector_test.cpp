@@ -1,0 +1,67 @@
+#include "support/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lacc {
+namespace {
+
+TEST(BitVector, StartsCleared) {
+  BitVector bv(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_EQ(bv.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bv.get(i));
+}
+
+TEST(BitVector, StartsFilled) {
+  BitVector bv(100, true);
+  EXPECT_EQ(bv.count(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_TRUE(bv.get(i));
+}
+
+TEST(BitVector, SetAndClearBits) {
+  BitVector bv(130);
+  bv.set(0);
+  bv.set(63);
+  bv.set(64);
+  bv.set(129);
+  EXPECT_EQ(bv.count(), 4u);
+  EXPECT_TRUE(bv.get(63));
+  EXPECT_TRUE(bv.get(64));
+  bv.set(64, false);
+  EXPECT_FALSE(bv.get(64));
+  EXPECT_EQ(bv.count(), 3u);
+}
+
+TEST(BitVector, FillTogglesEverything) {
+  BitVector bv(70);
+  bv.fill(true);
+  EXPECT_EQ(bv.count(), 70u);
+  bv.fill(false);
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, TailBitsDoNotLeakIntoCount) {
+  // 65 bits: the second word is only one bit wide; fill must not set the
+  // unused 63 tail bits.
+  BitVector bv(65, true);
+  EXPECT_EQ(bv.count(), 65u);
+}
+
+TEST(BitVector, EqualityComparesSizeAndBits) {
+  BitVector a(10), b(10);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_FALSE(a == b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == BitVector(11));
+}
+
+TEST(BitVector, EmptyVector) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+}  // namespace
+}  // namespace lacc

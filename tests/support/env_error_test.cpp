@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace lacc {
+namespace {
+
+TEST(Env, ParsesDoublesIntsAndStrings) {
+  ::setenv("LACC_TEST_D", "2.5", 1);
+  ::setenv("LACC_TEST_I", "-42", 1);
+  ::setenv("LACC_TEST_S", "hello", 1);
+  EXPECT_DOUBLE_EQ(env_double("LACC_TEST_D", 1.0), 2.5);
+  EXPECT_EQ(env_int("LACC_TEST_I", 7), -42);
+  EXPECT_EQ(env_string("LACC_TEST_S", "x"), "hello");
+  ::unsetenv("LACC_TEST_D");
+  ::unsetenv("LACC_TEST_I");
+  ::unsetenv("LACC_TEST_S");
+}
+
+TEST(Env, FallsBackOnMissingOrMalformed) {
+  ::unsetenv("LACC_TEST_MISSING");
+  EXPECT_DOUBLE_EQ(env_double("LACC_TEST_MISSING", 3.5), 3.5);
+  EXPECT_EQ(env_int("LACC_TEST_MISSING", 11), 11);
+  EXPECT_EQ(env_string("LACC_TEST_MISSING", "fb"), "fb");
+  ::setenv("LACC_TEST_BAD", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(env_double("LACC_TEST_BAD", 1.5), 1.5);
+  EXPECT_EQ(env_int("LACC_TEST_BAD", 9), 9);
+  ::setenv("LACC_TEST_EMPTY", "", 1);
+  EXPECT_EQ(env_int("LACC_TEST_EMPTY", 4), 4);
+  ::unsetenv("LACC_TEST_BAD");
+  ::unsetenv("LACC_TEST_EMPTY");
+}
+
+TEST(ErrorMacros, CheckThrowsWithContext) {
+  try {
+    LACC_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+  EXPECT_NO_THROW(LACC_CHECK(1 + 1 == 2));
+}
+
+TEST(Timer, MeasuresElapsedAndResets) {
+  Timer timer;
+  const double a = timer.seconds();
+  EXPECT_GE(a, 0.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);  // just reset; generous bound
+}
+
+}  // namespace
+}  // namespace lacc

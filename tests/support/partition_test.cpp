@@ -1,0 +1,61 @@
+#include "support/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lacc {
+namespace {
+
+TEST(BlockPartition, EvenSplit) {
+  BlockPartition part(100, 4);
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(part.size(b), 25u);
+    EXPECT_EQ(part.begin(b), b * 25);
+  }
+  EXPECT_EQ(part.end(3), 100u);
+}
+
+TEST(BlockPartition, UnevenSplitFrontLoadsExtras) {
+  BlockPartition part(10, 3);  // sizes 4, 3, 3
+  EXPECT_EQ(part.size(0), 4u);
+  EXPECT_EQ(part.size(1), 3u);
+  EXPECT_EQ(part.size(2), 3u);
+  EXPECT_EQ(part.begin(0), 0u);
+  EXPECT_EQ(part.begin(1), 4u);
+  EXPECT_EQ(part.begin(2), 7u);
+  EXPECT_EQ(part.end(2), 10u);
+}
+
+TEST(BlockPartition, OwnerMatchesRanges) {
+  for (std::uint64_t n : {1u, 7u, 64u, 100u, 1000u}) {
+    for (std::uint64_t p : {1u, 2u, 3u, 7u, 16u, 100u}) {
+      BlockPartition part(n, p);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t b = part.owner(i);
+        EXPECT_GE(i, part.begin(b)) << "n=" << n << " p=" << p << " i=" << i;
+        EXPECT_LT(i, part.end(b)) << "n=" << n << " p=" << p << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BlockPartition, MorePartsThanElements) {
+  BlockPartition part(3, 8);
+  std::uint64_t covered = 0;
+  for (std::uint64_t b = 0; b < 8; ++b) covered += part.size(b);
+  EXPECT_EQ(covered, 3u);
+  EXPECT_EQ(part.owner(0), 0u);
+  EXPECT_EQ(part.owner(2), 2u);
+}
+
+TEST(BlockPartition, BlocksTileTheRange) {
+  BlockPartition part(97, 13);
+  std::uint64_t expected_begin = 0;
+  for (std::uint64_t b = 0; b < 13; ++b) {
+    EXPECT_EQ(part.begin(b), expected_begin);
+    expected_begin = part.end(b);
+  }
+  EXPECT_EQ(expected_begin, 97u);
+}
+
+}  // namespace
+}  // namespace lacc

@@ -1,0 +1,87 @@
+#include "support/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace lacc {
+namespace {
+
+TEST(RadixSortPairs, SortsKeysAndCarriesValues) {
+  std::vector<std::uint64_t> keys = {5, 1, 4, 1, 3};
+  std::vector<int> values = {50, 10, 40, 11, 30};
+  radix_sort_pairs(keys, values);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 1, 3, 4, 5}));
+  EXPECT_EQ(values, (std::vector<int>{10, 11, 30, 40, 50}));
+}
+
+TEST(RadixSortPairs, IsStable) {
+  // Equal keys must keep insertion order (values encode original position).
+  std::vector<std::uint64_t> keys(500);
+  std::vector<std::uint64_t> values(500);
+  Xoshiro256 rng(3);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.below(10);
+    values[i] = i;
+  }
+  radix_sort_pairs(keys, values);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LE(keys[i - 1], keys[i]);
+    if (keys[i - 1] == keys[i]) {
+      ASSERT_LT(values[i - 1], values[i]);
+    }
+  }
+}
+
+TEST(RadixSortPairs, LargeRandomMatchesStdSort) {
+  std::vector<std::uint64_t> keys(20000);
+  std::vector<std::uint64_t> values(20000);
+  Xoshiro256 rng(17);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng();
+    values[i] = keys[i] ^ 0xABCDull;
+  }
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_pairs(keys, values);
+  EXPECT_EQ(keys, expected);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    EXPECT_EQ(values[i], keys[i] ^ 0xABCDull);
+}
+
+TEST(RadixSortPairs, MaxKeyHintLimitsPasses) {
+  std::vector<std::uint64_t> keys(1000);
+  std::vector<std::uint32_t> values(1000);
+  Xoshiro256 rng(8);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.below(256);  // single byte of key material
+    values[i] = static_cast<std::uint32_t>(i);
+  }
+  radix_sort_pairs(keys, values, 255);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(RadixSortPairs, EmptyAndSingleton) {
+  std::vector<std::uint64_t> keys;
+  std::vector<int> values;
+  radix_sort_pairs(keys, values);
+  EXPECT_TRUE(keys.empty());
+
+  keys = {42};
+  values = {1};
+  radix_sort_pairs(keys, values);
+  EXPECT_EQ(keys[0], 42u);
+  EXPECT_EQ(values[0], 1);
+}
+
+TEST(ExclusivePrefixSum, ComputesOffsetsAndTotal) {
+  std::vector<std::uint64_t> v = {3, 0, 2, 5};
+  const auto total = exclusive_prefix_sum(v);
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 3, 3, 5}));
+}
+
+}  // namespace
+}  // namespace lacc

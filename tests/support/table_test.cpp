@@ -1,0 +1,46 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace lacc {
+namespace {
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(FmtCount, InsertsThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(68480000), "68,480,000");
+}
+
+TEST(FmtSeconds, PicksAdaptiveUnits) {
+  EXPECT_EQ(fmt_seconds(2.5), "2.500 s");
+  EXPECT_EQ(fmt_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(fmt_seconds(2.5e-6), "2.5 us");
+}
+
+TEST(FmtRatio, OneDecimal) { EXPECT_EQ(fmt_ratio(5.06), "5.1x"); }
+
+}  // namespace
+}  // namespace lacc
