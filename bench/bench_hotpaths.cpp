@@ -1,0 +1,161 @@
+// Hot-path microbenchmarks: wall-clock time of the distributed mxv and
+// scatter kernels in the regime that dominates late LACC iterations — a
+// small active set (< 5 % of vertices) on a p = 16 virtual-rank grid.
+//
+// Modeled time is what the figure benches report; this bench guards the
+// *implementation* cost of the kernels themselves (allocation churn, full
+// O(n/p) scans over mostly-converged vertices), which the modeled clock by
+// design does not see.  Run it before and after touching ops.cpp or the
+// lacc_dist iteration loop.
+//
+// Environment:
+//   LACC_SCALE          problem-size multiplier (default 0.25, as elsewhere)
+//   LACC_HOTPATH_ITERS  repetitions per kernel (default 40)
+//   LACC_HOTPATH_SMOKE  set to 1 for a one-tiny-graph CI smoke run
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/lacc_dist.hpp"
+#include "dist/dist_mat.hpp"
+#include "dist/ops.hpp"
+#include "graph/generators.hpp"
+#include "sim/runtime.hpp"
+#include "support/env.hpp"
+#include "support/timer.hpp"
+
+using namespace lacc;
+
+namespace {
+
+constexpr int kRanks = 16;
+
+struct Workload {
+  graph::EdgeList el;
+  int iters;
+  double active_fraction;
+};
+
+/// LACC_SCALE clamped so degenerate values (0, negative) still yield a
+/// valid, if tiny, workload instead of tripping generator preconditions.
+double hotpath_scale() {
+  return std::max(env_double("LACC_SCALE", 0.25), 0.01);
+}
+
+Workload make_workload() {
+  Workload w;
+  if (env_int("LACC_HOTPATH_SMOKE", 0) != 0) {
+    w.el = graph::erdos_renyi(2000, 6000, 7);
+    w.iters = 2;
+  } else {
+    const double scale = hotpath_scale();
+    const auto n = static_cast<VertexId>(240000 * scale);
+    w.el = graph::erdos_renyi(n, 4 * static_cast<EdgeId>(n), 7);
+    w.iters = static_cast<int>(env_int("LACC_HOTPATH_ITERS", 40));
+  }
+  w.active_fraction = 0.04;  // the late-iteration survivor share
+  return w;
+}
+
+/// Time `body` (already inside the SPMD region) over `iters` repetitions,
+/// bracketed by barriers so every rank is measured over the same span.
+template <typename Body>
+double timed(sim::Comm& world, int iters, Body&& body) {
+  world.barrier();
+  Timer timer;
+  for (int it = 0; it < iters; ++it) body(it);
+  world.barrier();
+  return timer.seconds();
+}
+
+void report(const std::string& name, double seconds, int iters) {
+  std::cout << "  " << name << ": " << seconds * 1e3 / iters
+            << " ms/call (" << seconds << " s total, " << iters
+            << " calls)\n";
+}
+
+}  // namespace
+
+int main() {
+  const Workload w = make_workload();
+  const VertexId n = w.el.n;
+  const auto active =
+      static_cast<VertexId>(static_cast<double>(n) * w.active_fraction);
+  std::cout << "=== Hot-path kernels, sparse regime ===\n"
+            << "n=" << n << " m=" << w.el.edges.size() << " ranks=" << kRanks
+            << " active=" << active << " (" << w.active_fraction * 100
+            << "%) iters=" << w.iters << "\n";
+
+  sim::run_spmd(kRanks, sim::MachineModel::local(), [&](sim::Comm& world) {
+    dist::ProcGrid grid(world);
+    dist::DistCsc A(grid, w.el);
+    const dist::CommTuning tuning;
+
+    // Sparse input vector: `active` surviving vertices, spread across the
+    // id space the way late iterations leave them (strided, not clustered).
+    dist::DistVec<VertexId> x(grid, n);
+    for (const VertexId g : x.owned())
+      if (g % (n / std::max<VertexId>(active, 1) + 1) == 0) x.set(g, g);
+
+    const double mxv_s = timed(world, w.iters, [&](int) {
+      auto y = dist::mxv_select2nd_min(grid, A, x, dist::MaskSpec{}, tuning);
+    });
+    const double mxvmm_s = timed(world, w.iters, [&](int) {
+      auto y = dist::mxv_select2nd_minmax(grid, A, x, dist::MaskSpec{}, tuning);
+    });
+
+    // Scatter kernels: one (root, proposal) pair per active vertex, target
+    // ids skewed low the way conditional hooking skews them.
+    dist::DistVec<VertexId> f(grid, n);
+    for (const VertexId g : f.owned()) f.set(g, g);
+    std::vector<dist::Tuple<VertexId>> pair_template;
+    for (const VertexId g : x.owned())
+      if (x.has(g)) pair_template.push_back({g % (n / 4 + 1), g});
+
+    const double assign_s = timed(world, w.iters, [&](int) {
+      auto pairs = pair_template;
+      dist::scatter_assign_min(grid, f, std::move(pairs), tuning);
+    });
+    const double accum_s = timed(world, w.iters, [&](int) {
+      auto pairs = pair_template;
+      dist::scatter_accumulate_min(grid, f, std::move(pairs), tuning);
+    });
+
+    dist::DistVec<std::uint8_t> star(grid, n);
+    star.fill(1);
+    std::vector<VertexId> target_template;
+    for (const auto& t : pair_template) target_template.push_back(t.index);
+    const double set_s = timed(world, w.iters, [&](int) {
+      auto targets = target_template;
+      dist::scatter_set(grid, star, std::move(targets), 0, tuning);
+    });
+
+    if (world.rank() == 0) {
+      std::cout << "\nper-kernel wall time (rank 0 view, all ranks on the "
+                   "same span):\n";
+      report("mxv_select2nd (sparse)", mxv_s, w.iters);
+      report("mxv_select2nd_minmax (sparse)", mxvmm_s, w.iters);
+      report("scatter_assign_min", assign_s, w.iters);
+      report("scatter_accumulate_min", accum_s, w.iters);
+      report("scatter_set", set_s, w.iters);
+    }
+  });
+
+  // End-to-end: a many-component graph whose tail iterations are sparse —
+  // the Fig. 7 regime where active-set iteration should pay off.
+  {
+    const auto el = env_int("LACC_HOTPATH_SMOKE", 0) != 0
+                        ? graph::clustered_components(2000, 80, 5.0, 11)
+                        : graph::clustered_components(
+                              static_cast<VertexId>(120000 * hotpath_scale()),
+                              static_cast<VertexId>(4000 * hotpath_scale()),
+                              6.0, 11);
+    Timer timer;
+    const auto result = core::lacc_dist(el, kRanks, sim::MachineModel::local());
+    std::cout << "  lacc_dist end-to-end: " << timer.seconds() << " s wall, "
+              << result.cc.iterations << " iterations, modeled "
+              << result.modeled_seconds << " s\n";
+  }
+  return 0;
+}

@@ -6,7 +6,6 @@
 
 #include "dist/dist_vec.hpp"
 #include "dist/ops.hpp"
-#include "support/bitvector.hpp"
 #include "support/error.hpp"
 
 namespace lacc::core {
@@ -45,14 +44,37 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
                                   ? dist::Layout::kCyclic
                                   : dist::Layout::kBlockAligned;
 
-  // f: every vertex its own parent (dense).  star: all true.  active: local
-  // flags over my share; converged vertices leave both active and star.
+  // f: every vertex its own parent (dense).  star: all true.
   DistVec<VertexId> f(grid, n, layout);
-  for (const VertexId g : f.owned()) f.set(g, g);
   DistVec<std::uint8_t> star(grid, n, layout);
   star.fill(1);
-  BitVector active(f.local_size(), true);
-  auto is_active = [&](VertexId g) { return active.get(f.local_slot(g)); };
+
+  // Compacted active-vertex list: the not-yet-converged vertices of my
+  // share, swap-removed on convergence so every per-iteration loop costs
+  // O(active), not O(n/p) — Fig. 7 shows most vertices converge within 2-3
+  // iterations, so the late iterations walk a short list of survivors.
+  // The list is order-UNSTABLE (swap-remove); everything fed from it goes
+  // through commutative reductions or owner-side sorts, so results and
+  // modeled costs are unchanged (see docs/ARCHITECTURE.md, "Hot-path
+  // design", and the golden-determinism test).
+  std::vector<VertexId> active_list;
+  std::vector<VertexId> active_pos(f.local_size());  // slot -> list position
+  active_list.reserve(f.local_size());
+  for (const VertexId g : f.owned()) {
+    f.set(g, g);
+    active_pos[f.local_slot(g)] = static_cast<VertexId>(active_list.size());
+    active_list.push_back(g);
+  }
+  auto deactivate = [&](VertexId g) {
+    const VertexId slot = f.local_slot(g);
+    const VertexId pos = active_pos[slot];
+    LACC_DCHECK(pos != kNoVertex);
+    const VertexId last = active_list.back();
+    active_list[pos] = last;
+    active_pos[f.local_slot(last)] = pos;
+    active_list.pop_back();
+    active_pos[slot] = kNoVertex;
+  };
 
   // mxv requires block-aligned vectors; in cyclic mode the input is
   // realigned, the semiring runs unmasked, and the output comes back to the
@@ -62,8 +84,9 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
                      bool fused) -> std::pair<DistVec<VertexId>,
                                               DistVec<VertexId>> {
     auto filter_by_star = [&](DistVec<VertexId>& y) {
-      for (const VertexId g : y.owned())
-        if (y.has(g) && !(star.has(g) && star.at(g) != 0)) y.remove(g);
+      y.for_each_stored([&](VertexId g, VertexId) {
+        if (!(star.has(g) && star.at(g) != 0)) y.remove(g);
+      });
     };
     if (!options.cyclic_vectors) {
       if (fused)
@@ -95,20 +118,19 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
   // measurement of request skew in GrB_extract.
   auto starcheck = [&](int iter) {
     sim::Region region(world, "starcheck");
-    // star <- true on active vertices.
-    for (const VertexId g : f.owned())
-      if (is_active(g)) star.set(g, 1);
-    // Grandparents of active vertices.
+    // star <- true on active vertices; grandparents of active vertices.
     DistVec<VertexId> targets(grid, n, layout);
-    for (const VertexId g : f.owned())
-      if (is_active(g)) targets.set(g, f.at(g));
+    for (const VertexId g : active_list) {
+      star.set(g, 1);
+      targets.set(g, f.at(g));
+    }
     const DistVec<VertexId> gf = dist::gather_at(
         grid, f, targets, tuning, "extract_req_it" + std::to_string(iter));
     // Vertices whose parent and grandparent differ are nonstars, and so are
     // their grandparents (which may live on other ranks).
     std::vector<VertexId> remote_nonstars;
-    for (const VertexId g : f.owned()) {
-      if (!is_active(g) || !gf.has(g)) continue;
+    for (const VertexId g : active_list) {
+      if (!gf.has(g)) continue;
       if (f.at(g) != gf.at(g)) {
         star.set(g, 0);
         remote_nonstars.push_back(gf.at(g));
@@ -119,8 +141,8 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
     // star[v] &= star[f[v]] (conjunction — see lacc_serial.cpp).
     const DistVec<std::uint8_t> starf =
         dist::gather_at(grid, star, targets, tuning);
-    for (const VertexId g : f.owned())
-      if (is_active(g) && starf.has(g))
+    for (const VertexId g : active_list)
+      if (starf.has(g))
         star.set(g, static_cast<std::uint8_t>(star.at(g) & starf.at(g)));
     world.charge_compute(static_cast<double>(f.local_size()));
   };
@@ -136,8 +158,7 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
     // Input restricted to active vertices: this is the vector sparsity of
     // Section IV-B (with sparse vectors disabled, pass full f instead).
     DistVec<VertexId> f_act(grid, n, layout);
-    for (const VertexId g : f.owned())
-      if (is_active(g)) f_act.set(g, f.at(g));
+    for (const VertexId g : active_list) f_act.set(g, f.at(g));
     const DistVec<VertexId>& mxv_input = options.use_sparse_vectors ? f_act : f;
 
     // Min neighbor parent of every star vertex drives conditional hooking;
@@ -166,8 +187,8 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
       DistVec<std::uint8_t> tree_viol(grid, n, layout);
       std::vector<VertexId> viol_roots;
       DistVec<VertexId> targets(grid, n, layout);
-      for (const VertexId g : f.owned()) {
-        if (!is_active(g) || !star.has(g) || star.at(g) == 0) continue;
+      for (const VertexId g : active_list) {
+        if (!star.has(g) || star.at(g) == 0) continue;
         targets.set(g, f.at(g));
         const bool viol = (fn.has(g) && fn.at(g) != f.at(g)) ||
                           (fx.has(g) && fx.at(g) != f.at(g));
@@ -179,10 +200,16 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
           grid, tree_viol, targets, tuning,
           "extract_req_it" + std::to_string(iter));
       std::uint64_t newly_converged = 0;
-      for (const VertexId g : f.owned()) {
-        if (!targets.has(g)) continue;
-        if (root_viol.has(g) && root_viol.at(g) != 0) continue;
-        active.set(f.local_slot(g), false);
+      // Swap-remove compaction while walking the list: on removal the
+      // back element fills the hole, so the index is revisited.
+      for (std::size_t i = 0; i < active_list.size();) {
+        const VertexId g = active_list[i];
+        if (!targets.has(g) ||
+            (root_viol.has(g) && root_viol.at(g) != 0)) {
+          ++i;
+          continue;
+        }
+        deactivate(g);
         star.remove(g);
         fn.remove(g);  // converged trees must not hook
         ++newly_converged;
@@ -204,9 +231,11 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
     std::uint64_t cond_hooks = 0;
     {
       sim::Region region(world, "cond-hook");
-      // fn = min(fn, f); hooks are (root = f[g], proposal = fn[g]).
+      // fn = min(fn, f); hooks are (root = f[g], proposal = fn[g]).  fn's
+      // stored entries are a subset of the active list (the mxv output is
+      // star-masked and converged entries were just removed).
       std::vector<Tuple<VertexId>> pairs;
-      for (const VertexId g : fn.owned()) {
+      for (const VertexId g : active_list) {
         if (!fn.has(g)) continue;
         const VertexId proposal = std::min(fn.at(g), f.at(g));
         pairs.push_back({f.at(g), proposal});
@@ -229,8 +258,7 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
       // star -> nonstar); with the optimization off, use the full parent
       // vector and filter to cross-tree hooks afterwards.
       DistVec<VertexId> fns(grid, n, layout);
-      for (const VertexId g : f.owned()) {
-        if (!is_active(g)) continue;
+      for (const VertexId g : active_list) {
         if (options.sparse_uncond_hooking) {
           if (star.has(g) && star.at(g) == 0) fns.set(g, f.at(g));
         } else {
@@ -239,7 +267,7 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
       }
       const DistVec<VertexId> fnu = run_mxv(fns, false).first;
       std::vector<Tuple<VertexId>> pairs;
-      for (const VertexId g : fnu.owned()) {
+      for (const VertexId g : active_list) {
         if (!fnu.has(g)) continue;
         if (fnu.at(g) == f.at(g)) continue;  // same tree: not a hook
         pairs.push_back({f.at(g), fnu.at(g)});
@@ -254,13 +282,12 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
     {
       sim::Region region(world, "shortcut");
       DistVec<VertexId> targets(grid, n, layout);
-      for (const VertexId g : f.owned())
-        if (is_active(g)) targets.set(g, f.at(g));
+      for (const VertexId g : active_list) targets.set(g, f.at(g));
       const DistVec<VertexId> gf =
           dist::gather_at(grid, f, targets, tuning,
                           "extract_req_it" + std::to_string(iter));
-      for (const VertexId g : f.owned()) {
-        if (!is_active(g) || !gf.has(g)) continue;
+      for (const VertexId g : active_list) {
+        if (!gf.has(g)) continue;
         if (gf.at(g) != f.at(g)) {
           f.set(g, gf.at(g));
           shortcut_changed = true;
@@ -273,8 +300,11 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
     if (uncond_hooks > 0 || shortcut_changed) starcheck(iter);
 
     {
+      // Stored star entries outside the active list can only carry value 0
+      // (scatter_set writes 0 at remote nonstar roots), so counting over
+      // the active list matches the old full scan.
       std::uint64_t local_stars = 0;
-      for (const VertexId g : star.owned())
+      for (const VertexId g : active_list)
         if (star.has(g) && star.at(g) != 0) ++local_stars;
       rec.star_vertices =
           world.allreduce(local_stars, [](std::uint64_t a, std::uint64_t b) {
@@ -283,9 +313,6 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
           converged_total;
     }
 
-    // The clock is group-synchronized at collectives, so every rank records
-    // the same per-iteration modeled time.
-    rec.modeled_seconds = world.state().sim_time - iter_start;
     // The clock is group-synchronized at collectives, so every rank records
     // the same per-iteration modeled time.
     rec.modeled_seconds = world.state().sim_time - iter_start;

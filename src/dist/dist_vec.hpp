@@ -144,10 +144,35 @@ class DistVec {
   /// Stored tuples of the local share, in global-index order.
   std::vector<Tuple<T>> tuples() const {
     std::vector<Tuple<T>> out;
-    out.reserve(nvals_);
-    for (VertexId k = 0; k < local_size(); ++k)
-      if (present_.get(k)) out.push_back({global_at(k), values_[k]});
+    tuples_into(out);
     return out;
+  }
+
+  /// tuples() appending into a caller-owned (recycled) buffer, which is
+  /// cleared first; capacity is reused across calls.
+  void tuples_into(std::vector<Tuple<T>>& out) const {
+    out.clear();
+    out.reserve(nvals_);
+    for_each_stored([&](VertexId g, const T& v) { out.push_back({g, v}); });
+  }
+
+  /// Visit stored elements in ascending index order without materializing
+  /// tuples: fn(global index, value).  Cost is O(local words + stored), so
+  /// a nearly-empty vector is walked in ~local_size/64 word tests rather
+  /// than local_size presence probes.  fn may remove the element it is
+  /// visiting (each word's bits are snapshot before its elements are
+  /// dispatched), but must not add elements.
+  template <typename Fn>
+  void for_each_stored(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < present_.word_count(); ++wi) {
+      std::uint64_t word = present_.word(wi);
+      while (word != 0) {
+        const auto bit = static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        const auto k = static_cast<VertexId>((wi << 6) + bit);
+        fn(global_at(k), values_[k]);
+      }
+    }
   }
 
   /// Iterate owned global indices: `for (VertexId g : v.owned())`.

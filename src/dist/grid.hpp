@@ -7,6 +7,7 @@
 #pragma once
 
 #include "sim/comm.hpp"
+#include "support/arena.hpp"
 #include "support/error.hpp"
 
 namespace lacc::dist {
@@ -45,6 +46,12 @@ class ProcGrid {
   /// after the row-wise reduce-scatter of SpMV.
   int transpose_rank() const { return rank_of(my_col_, my_row_); }
 
+  /// This rank's workspace arena: recycled scratch for the communication
+  /// kernels.  Lives as long as the grid, so buffers amortize across every
+  /// mxv/scatter of an algorithm run (see support/arena.hpp for the
+  /// ownership rules).
+  support::WorkspaceArena& arena() { return arena_; }
+
  private:
   static int isqrt(int p) {
     int q = 0;
@@ -58,6 +65,7 @@ class ProcGrid {
   int my_col_;
   sim::Comm row_comm_;
   sim::Comm col_comm_;
+  support::WorkspaceArena arena_;
 };
 
 }  // namespace lacc::dist

@@ -8,6 +8,47 @@ namespace {
 
 constexpr VertexId kAbsent = kNoVertex;  // "no contribution" marker
 
+/// Two-pass counting sort of `items` into a single flat send buffer grouped
+/// by destination: `counts[d]` many elements for destination d, in input
+/// order within each group (exactly the layout the old vector-of-vector
+/// buckets produced, without the p per-call allocations).  `counts` and
+/// `send` come from the caller's arena; `cursor` is scratch.
+template <typename T, typename OwnerFn>
+void bucket_by_owner(const std::vector<T>& items, std::size_t p,
+                     OwnerFn&& owner, std::vector<std::size_t>& counts,
+                     std::vector<std::size_t>& cursor, std::vector<T>& send) {
+  counts.assign(p, 0);
+  for (const auto& t : items) ++counts[owner(t)];
+  cursor.assign(p, 0);
+  for (std::size_t d = 1; d < p; ++d) cursor[d] = cursor[d - 1] + counts[d - 1];
+  send.resize(items.size());
+  for (const auto& t : items) send[cursor[owner(t)]++] = t;
+}
+
+/// Advance to the first position of sorted `cols` holding a value >= key,
+/// starting from `ci`: exponential probing brackets the target, a binary
+/// search pins it.  O(log gap) per query where the plain linear advance of
+/// a two-pointer merge is O(gap) — with a sparse input vector nearly every
+/// nonempty column is skipped, and walking them one by one dominated the
+/// kernel's wall time.  Queries are monotone, so a full pass stays O(cols)
+/// even when the input is dense-ish.
+std::size_t gallop_to(const std::vector<VertexId>& cols, std::size_t ci,
+                      VertexId key) {
+  std::size_t step = 1;
+  std::size_t hi = ci;
+  while (hi < cols.size() && cols[hi] < key) {
+    ci = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  return static_cast<std::size_t>(
+      std::lower_bound(cols.begin() + static_cast<std::ptrdiff_t>(ci),
+                       cols.begin() +
+                           static_cast<std::ptrdiff_t>(std::min(hi, cols.size())),
+                       key) -
+      cols.begin());
+}
+
 }  // namespace
 
 DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
@@ -25,6 +66,7 @@ DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
   LACC_CHECK_MSG(x.layout() == Layout::kBlockAligned,
                  "mxv requires block-aligned input; realign with to_layout");
   auto& world = grid.world();
+  auto& arena = grid.arena();
   const auto q = static_cast<std::uint64_t>(grid.q());
   const BlockPartition& part = A.chunk_partition();
 
@@ -37,24 +79,44 @@ DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
   // ---- Phase 1: gather the input fragment within the processor column.
   // Column-comm rank k holds chunk j*q + k, so the concatenation is the
   // contiguous column range C_j in ascending global order.
-  const std::vector<Tuple<VertexId>> gathered =
-      grid.col_comm().allgatherv(x.tuples());
+  auto& x_tuples = arena.buffer<Tuple<VertexId>>("mxv.x_tuples");
+  x.tuples_into(x_tuples);
+  auto& gathered = arena.buffer<Tuple<VertexId>>("mxv.gathered");
+  grid.col_comm().allgatherv_into(x_tuples, gathered);
 
-  // ---- Local multiply into a row-range accumulator.
+  // ---- Local multiply into a row-range accumulator.  `acc` is arena-
+  // persistent with the invariant "all slots kAbsent between calls",
+  // restored sparsely through `touched` below, so reacquiring it costs
+  // nothing even when the active set is tiny.
   const VertexId rb = A.row_begin(), re = A.row_end();
   const VertexId cb = A.col_begin();
-  std::vector<VertexId> acc(re - rb, kAbsent);
-  std::vector<VertexId> touched;  // sparse path keeps the support explicit
+  auto& acc = arena.persistent<VertexId>("mxv.acc");
+  if (acc.size() != static_cast<std::size_t>(re - rb))
+    acc.assign(re - rb, kAbsent);
+  // Presence bitmap over acc, all-zero between calls.  Walking its set bits
+  // yields touched rows in ascending order for O(range/64 + stored) — the
+  // order the downstream merge needs, without sorting the touched list.
+  auto& bits = arena.persistent<std::uint64_t>("mxv.touch_bits");
+  const std::size_t words = (acc.size() + 63) / 64;
+  if (bits.size() != words) bits.assign(words, 0);
+  std::size_t ntouched = 0;
   double flops = 0;
 
   auto accumulate = [&](VertexId row, VertexId value) {
     auto& slot = acc[row - rb];
-    if (slot == kAbsent) touched.push_back(row);
+    if (slot == kAbsent) {
+      bits[(row - rb) >> 6] |= std::uint64_t{1} << ((row - rb) & 63);
+      ++ntouched;
+    }
     slot = combine(slot, value);
   };
 
   if (dense_path) {
-    std::vector<VertexId> xd(A.col_end() - cb, kAbsent);
+    // `xd` shares the persistence trick: only the gathered positions are
+    // written, and the same positions are wiped after the multiply.
+    auto& xd = arena.persistent<VertexId>("mxv.xd");
+    if (xd.size() != static_cast<std::size_t>(A.col_end() - cb))
+      xd.assign(A.col_end() - cb, kAbsent);
     for (const auto& t : gathered) xd[t.index - cb] = t.value;
     const auto& cols = A.col_ids();
     for (std::size_t ci = 0; ci < cols.size(); ++ci) {
@@ -64,12 +126,13 @@ DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
       flops += static_cast<double>(A.col_rows(ci).size());
     }
     flops += static_cast<double>(gathered.size());
+    for (const auto& t : gathered) xd[t.index - cb] = kAbsent;
   } else {
     // SpMSpV: merge-join stored input entries with the nonempty columns.
     const auto& cols = A.col_ids();
     std::size_t ci = 0;
     for (const auto& t : gathered) {
-      while (ci < cols.size() && cols[ci] < t.index) ++ci;
+      ci = gallop_to(cols, ci, t.index);
       if (ci == cols.size()) break;
       if (cols[ci] != t.index) continue;
       for (const VertexId r : A.col_rows(ci)) accumulate(r, t.value);
@@ -85,59 +148,70 @@ DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
   // The reduce strategy is a collective choice: every rank of the row must
   // take the same branch, so the per-rank density votes are OR-reduced.
   const std::uint8_t dense_vote =
-      (dense_path || touched.size() * 4 > acc.size()) ? 1 : 0;
+      (dense_path || ntouched * 4 > acc.size()) ? 1 : 0;
   const bool dense_reduce =
       grid.row_comm().allreduce(dense_vote, [](std::uint8_t a, std::uint8_t b) {
         return static_cast<std::uint8_t>(a | b);
       }) != 0;
-  std::vector<Tuple<VertexId>> piece;  // my chunk of the reduced output
+  auto& piece = arena.buffer<Tuple<VertexId>>("mxv.piece");
   const auto my_piece_chunk =
       static_cast<std::uint64_t>(grid.my_row()) * q +
       static_cast<std::uint64_t>(grid.my_col());
+
+  // Restore the all-kAbsent / all-zero invariant of acc and bits by walking
+  // the set bits; `fn` sees the touched rows in ascending order.
+  auto drain_touched = [&](auto&& fn) {
+    for (std::size_t wi = 0; wi < words; ++wi) {
+      std::uint64_t word = bits[wi];
+      if (word == 0) continue;
+      bits[wi] = 0;
+      while (word != 0) {
+        const auto bit = static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        const auto r = static_cast<VertexId>(rb + (wi << 6) + bit);
+        fn(r);
+        acc[r - rb] = kAbsent;
+      }
+    }
+  };
 
   if (dense_reduce) {
     const BlockPartition row_split(acc.size(), q);
     const std::vector<VertexId> reduced =
         grid.row_comm().reduce_scatter_block(acc, combine, row_split);
+    drain_touched([](VertexId) {});
     const VertexId piece_begin = part.begin(my_piece_chunk);
     for (std::size_t k = 0; k < reduced.size(); ++k)
       if (reduced[k] != kAbsent)
         piece.push_back({piece_begin + k, reduced[k]});
   } else {
     const auto my_row_first_chunk = static_cast<std::uint64_t>(grid.my_row()) * q;
-    std::vector<std::vector<Tuple<VertexId>>> bucket(q);
-    std::sort(touched.begin(), touched.end());
-    for (const VertexId r : touched) {
-      const auto k = part.owner(r) - my_row_first_chunk;
-      bucket[k].push_back({r, acc[r - rb]});
-    }
-    std::vector<Tuple<VertexId>> send;
-    std::vector<std::size_t> counts(q, 0);
-    for (std::uint64_t k = 0; k < q; ++k) {
-      counts[k] = bucket[k].size();
-      send.insert(send.end(), bucket[k].begin(), bucket[k].end());
-    }
-    const auto received =
-        grid.row_comm().alltoallv(send, counts, tuning.alltoall);
-    // Merge duplicates (same row from several column blocks) with min.
-    std::vector<Tuple<VertexId>> merged(received);
-    std::sort(merged.begin(), merged.end(),
-              [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
-                return a.index < b.index;
-              });
-    for (const auto& t : merged) {
-      if (!piece.empty() && piece.back().index == t.index)
-        piece.back().value = combine(piece.back().value, t.value);
-      else
-        piece.push_back(t);
-    }
+    auto& send = arena.buffer<Tuple<VertexId>>("mxv.send");
+    send.reserve(ntouched);
+    auto& counts = arena.buffer<std::size_t>("mxv.counts");
+    counts.assign(q, 0);
+    // Ascending rows mean monotone owners, so appending in bitmap order
+    // produces the send buffer already grouped by destination.
+    drain_touched([&](VertexId r) {
+      ++counts[part.owner(r) - my_row_first_chunk];
+      send.push_back({r, acc[r - rb]});
+    });
+    auto& received = arena.buffer<Tuple<VertexId>>("mxv.recv");
+    grid.row_comm().alltoallv_into(send, counts, received, tuning.alltoall);
+    // Merge duplicates (same row from several column blocks) with the
+    // combine op.  acc and bits are clean again at this point and the
+    // received rows land in my piece chunk (a subrange of [rb, re)), so
+    // the same accumulator merges and re-sorts in linear time.
+    for (const auto& t : received) accumulate(t.index, t.value);
+    drain_touched([&](VertexId r) { piece.push_back({r, acc[r - rb]}); });
     world.charge_compute(static_cast<double>(received.size()) * 3);
   }
 
   // ---- Phase 3: transpose realignment.  Rank (i, j) holds chunk i*q + j,
   // whose canonical home is rank (j, i).
-  const std::vector<Tuple<VertexId>> realigned =
-      world.sendrecv(piece, grid.transpose_rank(), grid.transpose_rank());
+  auto& realigned = arena.buffer<Tuple<VertexId>>("mxv.realigned");
+  world.sendrecv_into(piece, grid.transpose_rank(), grid.transpose_rank(),
+                      realigned);
 
   DistVec<VertexId> out(grid, A.n());
   for (const auto& t : realigned) {
@@ -152,6 +226,7 @@ std::uint64_t scatter_assign_min(ProcGrid& grid, DistVec<VertexId>& w,
                                  std::vector<Tuple<VertexId>> pairs,
                                  const CommTuning& tuning, bool only_if_root) {
   auto& world = grid.world();
+  auto& arena = grid.arena();
   const auto p = static_cast<std::size_t>(world.size());
 
   // Sender-side combining: duplicate targets reduce to their min before
@@ -166,17 +241,17 @@ std::uint64_t scatter_assign_min(ProcGrid& grid, DistVec<VertexId>& w,
                           }),
               pairs.end());
 
-  std::vector<std::vector<Tuple<VertexId>>> bucket(p);
-  for (const auto& t : pairs)
-    bucket[static_cast<std::size_t>(owner_rank(grid, w, t.index))].push_back(t);
-  std::vector<Tuple<VertexId>> send;
-  std::vector<std::size_t> counts(p, 0);
-  for (std::size_t d = 0; d < p; ++d) {
-    counts[d] = bucket[d].size();
-    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
-  }
-  std::vector<Tuple<VertexId>> mine =
-      world.alltoallv(send, counts, tuning.alltoall);
+  auto& counts = arena.buffer<std::size_t>("scatter_assign.counts");
+  auto& cursor = arena.buffer<std::size_t>("scatter_assign.cursor");
+  auto& send = arena.buffer<Tuple<VertexId>>("scatter_assign.send");
+  bucket_by_owner(
+      pairs, p,
+      [&](const Tuple<VertexId>& t) {
+        return static_cast<std::size_t>(owner_rank(grid, w, t.index));
+      },
+      counts, cursor, send);
+  auto& mine = arena.buffer<Tuple<VertexId>>("scatter_assign.recv");
+  world.alltoallv_into(send, counts, mine, tuning.alltoall);
 
   // Deduplicate targets with min, then overwrite (GraphBLAS assign).
   std::sort(mine.begin(), mine.end(),
@@ -201,23 +276,22 @@ void scatter_set(ProcGrid& grid, DistVec<std::uint8_t>& w,
                  std::vector<VertexId> targets, std::uint8_t value,
                  const CommTuning& tuning) {
   auto& world = grid.world();
+  auto& arena = grid.arena();
   const auto p = static_cast<std::size_t>(world.size());
 
   // Duplicate targets (e.g. many children marking one root) ship once.
   std::sort(targets.begin(), targets.end());
   targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
 
-  std::vector<std::vector<VertexId>> bucket(p);
-  for (const VertexId t : targets)
-    bucket[static_cast<std::size_t>(owner_rank(grid, w, t))].push_back(t);
-  std::vector<VertexId> send;
-  std::vector<std::size_t> counts(p, 0);
-  for (std::size_t d = 0; d < p; ++d) {
-    counts[d] = bucket[d].size();
-    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
-  }
-  const std::vector<VertexId> mine =
-      world.alltoallv(send, counts, tuning.alltoall);
+  auto& counts = arena.buffer<std::size_t>("scatter_set.counts");
+  auto& cursor = arena.buffer<std::size_t>("scatter_set.cursor");
+  auto& send = arena.buffer<VertexId>("scatter_set.send");
+  bucket_by_owner(
+      targets, p,
+      [&](VertexId t) { return static_cast<std::size_t>(owner_rank(grid, w, t)); },
+      counts, cursor, send);
+  auto& mine = arena.buffer<VertexId>("scatter_set.recv");
+  world.alltoallv_into(send, counts, mine, tuning.alltoall);
   for (const VertexId t : mine) {
     LACC_CHECK_MSG(w.owns(t), "scatter_set target " << t << " misrouted");
     w.set(t, value);
@@ -255,6 +329,7 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
   LACC_CHECK_MSG(x.layout() == Layout::kBlockAligned,
                  "mxv requires block-aligned input; realign with to_layout");
   auto& world = grid.world();
+  auto& arena = grid.arena();
   const auto q = static_cast<std::uint64_t>(grid.q());
   const BlockPartition& part = A.chunk_partition();
 
@@ -265,23 +340,37 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
           tuning.dense_threshold * static_cast<double>(A.n());
 
   // Phase 1: one shared input gather within the processor column.
-  const std::vector<Tuple<VertexId>> gathered =
-      grid.col_comm().allgatherv(x.tuples());
+  auto& x_tuples = arena.buffer<Tuple<VertexId>>("mxvmm.x_tuples");
+  x.tuples_into(x_tuples);
+  auto& gathered = arena.buffer<Tuple<VertexId>>("mxvmm.gathered");
+  grid.col_comm().allgatherv_into(x_tuples, gathered);
 
+  // All-kAbsent-between-calls accumulator, as in mxv_select2nd.
   const VertexId rb = A.row_begin(), re = A.row_end();
   const VertexId cb = A.col_begin();
-  std::vector<MinMax> acc(re - rb, MinMax{kAbsent, kAbsent});
-  std::vector<VertexId> touched;
+  auto& acc = arena.persistent<MinMax>("mxvmm.acc");
+  if (acc.size() != static_cast<std::size_t>(re - rb))
+    acc.assign(re - rb, MinMax{kAbsent, kAbsent});
+  // Presence bitmap over acc, as in mxv_select2nd.
+  auto& bits = arena.persistent<std::uint64_t>("mxvmm.touch_bits");
+  const std::size_t words = (acc.size() + 63) / 64;
+  if (bits.size() != words) bits.assign(words, 0);
+  std::size_t ntouched = 0;
   double flops = 0;
 
   auto accumulate = [&](VertexId row, VertexId value) {
     auto& slot = acc[row - rb];
-    if (slot.mn == kAbsent) touched.push_back(row);
+    if (slot.mn == kAbsent) {
+      bits[(row - rb) >> 6] |= std::uint64_t{1} << ((row - rb) & 63);
+      ++ntouched;
+    }
     slot = mm_combine(slot, MinMax{value, value});
   };
 
   if (dense_path) {
-    std::vector<VertexId> xd(A.col_end() - cb, kAbsent);
+    auto& xd = arena.persistent<VertexId>("mxvmm.xd");
+    if (xd.size() != static_cast<std::size_t>(A.col_end() - cb))
+      xd.assign(A.col_end() - cb, kAbsent);
     for (const auto& t : gathered) xd[t.index - cb] = t.value;
     const auto& cols = A.col_ids();
     for (std::size_t ci = 0; ci < cols.size(); ++ci) {
@@ -291,11 +380,12 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
       flops += static_cast<double>(A.col_rows(ci).size());
     }
     flops += static_cast<double>(gathered.size());
+    for (const auto& t : gathered) xd[t.index - cb] = kAbsent;
   } else {
     const auto& cols = A.col_ids();
     std::size_t ci = 0;
     for (const auto& t : gathered) {
-      while (ci < cols.size() && cols[ci] < t.index) ++ci;
+      ci = gallop_to(cols, ci, t.index);
       if (ci == cols.size()) break;
       if (cols[ci] != t.index) continue;
       for (const VertexId r : A.col_rows(ci)) accumulate(r, t.value);
@@ -305,20 +395,36 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
   world.charge_compute(flops);
 
   const std::uint8_t dense_vote =
-      (dense_path || touched.size() * 4 > acc.size()) ? 1 : 0;
+      (dense_path || ntouched * 4 > acc.size()) ? 1 : 0;
   const bool dense_reduce =
       grid.row_comm().allreduce(dense_vote, [](std::uint8_t a, std::uint8_t b) {
         return static_cast<std::uint8_t>(a | b);
       }) != 0;
-  std::vector<MmTuple> piece;
+  auto& piece = arena.buffer<MmTuple>("mxvmm.piece");
   const auto my_piece_chunk =
       static_cast<std::uint64_t>(grid.my_row()) * q +
       static_cast<std::uint64_t>(grid.my_col());
+
+  auto drain_touched = [&](auto&& fn) {
+    for (std::size_t wi = 0; wi < words; ++wi) {
+      std::uint64_t word = bits[wi];
+      if (word == 0) continue;
+      bits[wi] = 0;
+      while (word != 0) {
+        const auto bit = static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        const auto r = static_cast<VertexId>(rb + (wi << 6) + bit);
+        fn(r);
+        acc[r - rb] = MinMax{kAbsent, kAbsent};
+      }
+    }
+  };
 
   if (dense_reduce) {
     const BlockPartition row_split(acc.size(), q);
     const std::vector<MinMax> reduced =
         grid.row_comm().reduce_scatter_block(acc, mm_combine, row_split);
+    drain_touched([](VertexId) {});
     const VertexId piece_begin = part.begin(my_piece_chunk);
     for (std::size_t k = 0; k < reduced.size(); ++k)
       if (reduced[k].mn != kAbsent)
@@ -326,34 +432,31 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
   } else {
     const auto my_row_first_chunk =
         static_cast<std::uint64_t>(grid.my_row()) * q;
-    std::vector<std::vector<MmTuple>> bucket(q);
-    std::sort(touched.begin(), touched.end());
-    for (const VertexId r : touched) {
-      const auto k = part.owner(r) - my_row_first_chunk;
-      bucket[k].push_back({r, acc[r - rb]});
+    auto& send = arena.buffer<MmTuple>("mxvmm.send");
+    send.reserve(ntouched);
+    auto& counts = arena.buffer<std::size_t>("mxvmm.counts");
+    counts.assign(q, 0);
+    drain_touched([&](VertexId r) {
+      ++counts[part.owner(r) - my_row_first_chunk];
+      send.push_back({r, acc[r - rb]});
+    });
+    auto& received = arena.buffer<MmTuple>("mxvmm.recv");
+    grid.row_comm().alltoallv_into(send, counts, received, tuning.alltoall);
+    // Cross-block merge through the (clean again) accumulator, as in
+    // mxv_select2nd.
+    for (const auto& t : received) {
+      auto& slot = acc[t.index - rb];
+      if (slot.mn == kAbsent)
+        bits[(t.index - rb) >> 6] |= std::uint64_t{1} << ((t.index - rb) & 63);
+      slot = mm_combine(slot, t.v);
     }
-    std::vector<MmTuple> send;
-    std::vector<std::size_t> counts(q, 0);
-    for (std::uint64_t k = 0; k < q; ++k) {
-      counts[k] = bucket[k].size();
-      send.insert(send.end(), bucket[k].begin(), bucket[k].end());
-    }
-    const auto received =
-        grid.row_comm().alltoallv(send, counts, tuning.alltoall);
-    std::vector<MmTuple> merged(received);
-    std::sort(merged.begin(), merged.end(),
-              [](const MmTuple& a, const MmTuple& b) { return a.index < b.index; });
-    for (const auto& t : merged) {
-      if (!piece.empty() && piece.back().index == t.index)
-        piece.back().v = mm_combine(piece.back().v, t.v);
-      else
-        piece.push_back(t);
-    }
+    drain_touched([&](VertexId r) { piece.push_back({r, acc[r - rb]}); });
     world.charge_compute(static_cast<double>(received.size()) * 3);
   }
 
-  const std::vector<MmTuple> realigned =
-      world.sendrecv(piece, grid.transpose_rank(), grid.transpose_rank());
+  auto& realigned = arena.buffer<MmTuple>("mxvmm.realigned");
+  world.sendrecv_into(piece, grid.transpose_rank(), grid.transpose_rank(),
+                      realigned);
 
   std::pair<DistVec<VertexId>, DistVec<VertexId>> out{
       DistVec<VertexId>(grid, A.n()), DistVec<VertexId>(grid, A.n())};
@@ -373,6 +476,7 @@ std::uint64_t scatter_accumulate_min(ProcGrid& grid, DistVec<VertexId>& w,
                                      std::vector<Tuple<VertexId>> pairs,
                                      const CommTuning& tuning) {
   auto& world = grid.world();
+  auto& arena = grid.arena();
   const auto p = static_cast<std::size_t>(world.size());
 
   // Sender-side combining, identical to scatter_assign_min.
@@ -387,17 +491,17 @@ std::uint64_t scatter_accumulate_min(ProcGrid& grid, DistVec<VertexId>& w,
                           }),
               pairs.end());
 
-  std::vector<std::vector<Tuple<VertexId>>> bucket(p);
-  for (const auto& t : pairs)
-    bucket[static_cast<std::size_t>(owner_rank(grid, w, t.index))].push_back(t);
-  std::vector<Tuple<VertexId>> send;
-  std::vector<std::size_t> counts(p, 0);
-  for (std::size_t d = 0; d < p; ++d) {
-    counts[d] = bucket[d].size();
-    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
-  }
-  const std::vector<Tuple<VertexId>> mine =
-      world.alltoallv(send, counts, tuning.alltoall);
+  auto& counts = arena.buffer<std::size_t>("scatter_accum.counts");
+  auto& cursor = arena.buffer<std::size_t>("scatter_accum.cursor");
+  auto& send = arena.buffer<Tuple<VertexId>>("scatter_accum.send");
+  bucket_by_owner(
+      pairs, p,
+      [&](const Tuple<VertexId>& t) {
+        return static_cast<std::size_t>(owner_rank(grid, w, t.index));
+      },
+      counts, cursor, send);
+  auto& mine = arena.buffer<Tuple<VertexId>>("scatter_accum.recv");
+  world.alltoallv_into(send, counts, mine, tuning.alltoall);
 
   std::uint64_t changed = 0;
   for (const auto& t : mine) {

@@ -283,25 +283,32 @@ template <typename T>
 DistVec<T> to_layout(ProcGrid& grid, const DistVec<T>& v, Layout layout,
                      const CommTuning& tuning) {
   DistVec<T> out(grid, v.global_size(), layout);
+  auto& arena = grid.arena();
+  auto& mine = arena.buffer<Tuple<T>>("to_layout.tuples");
+  v.tuples_into(mine);
   if (v.layout() == layout) {
-    for (const auto& t : v.tuples()) out.set(t.index, t.value);
+    for (const auto& t : mine) out.set(t.index, t.value);
     return out;
   }
   auto& world = grid.world();
   const auto p = static_cast<std::size_t>(world.size());
-  std::vector<std::vector<Tuple<T>>> bucket(p);
-  for (const auto& t : v.tuples())
-    bucket[static_cast<std::size_t>(owner_rank(grid, out, t.index))].push_back(t);
-  std::vector<Tuple<T>> send;
-  std::vector<std::size_t> counts(p, 0);
-  for (std::size_t d = 0; d < p; ++d) {
-    counts[d] = bucket[d].size();
-    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
-  }
-  const std::vector<Tuple<T>> mine =
-      world.alltoallv(send, counts, tuning.alltoall);
-  for (const auto& t : mine) out.set(t.index, t.value);
-  world.charge_compute(static_cast<double>(mine.size() + send.size()));
+  // Two-pass counting sort into one flat send buffer (input order within
+  // each destination group), instead of p per-call bucket vectors.
+  auto& counts = arena.buffer<std::size_t>("to_layout.counts");
+  counts.assign(p, 0);
+  for (const auto& t : mine)
+    ++counts[static_cast<std::size_t>(owner_rank(grid, out, t.index))];
+  auto& cursor = arena.buffer<std::size_t>("to_layout.cursor");
+  cursor.assign(p, 0);
+  for (std::size_t d = 1; d < p; ++d) cursor[d] = cursor[d - 1] + counts[d - 1];
+  auto& send = arena.buffer<Tuple<T>>("to_layout.send");
+  send.resize(mine.size());
+  for (const auto& t : mine)
+    send[cursor[static_cast<std::size_t>(owner_rank(grid, out, t.index))]++] = t;
+  auto& received = arena.buffer<Tuple<T>>("to_layout.recv");
+  world.alltoallv_into(send, counts, received, tuning.alltoall);
+  for (const auto& t : received) out.set(t.index, t.value);
+  world.charge_compute(static_cast<double>(received.size() + send.size()));
   return out;
 }
 

@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -84,38 +85,67 @@ struct RankState {
 
 /// Reusable generation barrier with a shared poison flag so that a failing
 /// rank releases (rather than deadlocks) its siblings.
+///
+/// Two-phase wait: arrivals spin on the generation counter with
+/// sched_yield for a bounded number of rounds before falling back to a
+/// condition-variable sleep.  Every collective crosses this barrier twice,
+/// and with P virtual ranks oversubscribing few cores the futex
+/// sleep/wake chain of a pure mutex+cv barrier costs milliseconds per
+/// superstep — yielding hands the core straight to the next runnable rank
+/// instead.  The bounded spin keeps a long-running sibling from being
+/// starved by a yield storm.
 class Barrier {
  public:
   Barrier(int n, std::shared_ptr<std::atomic<bool>> poison)
       : n_(n), poison_(std::move(poison)) {}
 
   void arrive_and_wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
     if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
-    const std::uint64_t gen = generation_;
-    if (++waiting_ == n_) {
-      waiting_ = 0;
-      ++generation_;
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    // The RMW chain on waiting_ orders every arrival's slot writes before
+    // the releaser's generation bump, so readers of the posted slots
+    // synchronize through the acquire load below.
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      {
+        // The lock orders the bump against the sleep path's re-check:
+        // without it a sibling could test the generation, then block after
+        // the notify and sleep forever (previously masked by a 50 ms poll).
+        std::lock_guard<std::mutex> lock(mutex_);
+        generation_.store(gen + 1, std::memory_order_release);
+      }
       cv_.notify_all();
       return;
     }
-    while (generation_ == gen) {
-      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    for (int spin = 0; spin < kSpinYields; ++spin) {
+      if (generation_.load(std::memory_order_acquire) != gen) return;
       if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+      cv_.wait(lock);
     }
   }
 
   void poison() {
-    poison_->store(true, std::memory_order_relaxed);
+    {
+      // Same lock-ordered store as the release path, for the same reason.
+      std::lock_guard<std::mutex> lock(mutex_);
+      poison_->store(true, std::memory_order_relaxed);
+    }
     cv_.notify_all();
   }
 
  private:
+  static constexpr int kSpinYields = 256;
+
   std::mutex mutex_;
   std::condition_variable cv_;
   const int n_;
-  int waiting_ = 0;
-  std::uint64_t generation_ = 0;
+  std::atomic<int> waiting_{0};
+  std::atomic<std::uint64_t> generation_{0};
   std::shared_ptr<std::atomic<bool>> poison_;
 };
 
@@ -223,12 +253,24 @@ class Comm {
   template <typename T>
   std::vector<T> allgatherv(const std::vector<T>& mine,
                             std::vector<std::size_t>* counts_out = nullptr) {
+    std::vector<T> out;
+    allgatherv_into(mine, out, counts_out);
+    return out;
+  }
+
+  /// allgatherv receiving into a caller-owned buffer (resized to fit) so a
+  /// recycled workspace can absorb the result without a fresh allocation.
+  /// `out` must not alias `mine`.
+  template <typename T>
+  void allgatherv_into(const std::vector<T>& mine, std::vector<T>& out,
+                       std::vector<std::size_t>* counts_out = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
+    LACC_CHECK(&out != &mine);
     post(mine.data(), mine.size(), nullptr, nullptr, 0);
     const double t0 = group_start_time();
     std::size_t total = 0;
     for (int r = 0; r < size(); ++r) total += ctx_->slots[r].count;
-    std::vector<T> out(total);
+    out.resize(total);
     if (counts_out) counts_out->assign(static_cast<std::size_t>(size()), 0);
     std::size_t at = 0;
     for (int r = 0; r < size(); ++r) {
@@ -245,7 +287,6 @@ class Comm {
                             machine().beta_s_per_byte * static_cast<double>(bytes));
     charge_compute(static_cast<double>(total));
     finish();
-    return out;
   }
 
   /// Personalized all-to-all: `sendcounts[d]` consecutive elements of `send`
@@ -256,7 +297,22 @@ class Comm {
                            const std::vector<std::size_t>& sendcounts,
                            AllToAllAlgo algo = AllToAllAlgo::kPairwise,
                            std::vector<std::size_t>* recvcounts_out = nullptr) {
+    std::vector<T> out;
+    alltoallv_into(send, sendcounts, out, algo, recvcounts_out);
+    return out;
+  }
+
+  /// alltoallv receiving into a caller-owned buffer (resized to fit) so a
+  /// recycled workspace can absorb the result without a fresh allocation.
+  /// `out` must not alias `send`.
+  template <typename T>
+  void alltoallv_into(const std::vector<T>& send,
+                      const std::vector<std::size_t>& sendcounts,
+                      std::vector<T>& out,
+                      AllToAllAlgo algo = AllToAllAlgo::kPairwise,
+                      std::vector<std::size_t>* recvcounts_out = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
+    LACC_CHECK(&out != &send);
     LACC_CHECK(sendcounts.size() == static_cast<std::size_t>(size()));
     std::vector<std::size_t> offsets(sendcounts.size() + 1, 0);
     for (std::size_t d = 0; d < sendcounts.size(); ++d)
@@ -274,7 +330,7 @@ class Comm {
     std::size_t recv_total = 0;
     for (int s = 0; s < size(); ++s)
       recv_total += ctx_->slots[s].counts[static_cast<std::size_t>(rank_)];
-    std::vector<T> out(recv_total);
+    out.resize(recv_total);
     std::size_t at = 0;
     std::uint64_t bytes_recv = 0;
     for (int s = 0; s < size(); ++s) {
@@ -293,7 +349,6 @@ class Comm {
     charge_alltoall(t0, algo, bytes_sent, bytes_recv);
     charge_compute(static_cast<double>(recv_total));
     finish();
-    return out;
   }
 
   /// Dense block reduce-scatter: every rank passes an array of identical
@@ -331,7 +386,19 @@ class Comm {
   /// receives from `src` (both may equal the caller's own rank).
   template <typename T>
   std::vector<T> sendrecv(const std::vector<T>& send, int dest, int src) {
+    std::vector<T> out;
+    sendrecv_into(send, dest, src, out);
+    return out;
+  }
+
+  /// sendrecv receiving into a caller-owned buffer (resized to fit) so a
+  /// recycled workspace can absorb the result without a fresh allocation.
+  /// `out` must not alias `send`.
+  template <typename T>
+  void sendrecv_into(const std::vector<T>& send, int dest, int src,
+                     std::vector<T>& out) {
     static_assert(std::is_trivially_copyable_v<T>);
+    LACC_CHECK(&out != &send);
     LACC_CHECK(dest >= 0 && dest < size() && src >= 0 && src < size());
     post(send.data(), send.size(), nullptr, nullptr,
          static_cast<std::uint64_t>(dest));
@@ -340,8 +407,9 @@ class Comm {
     LACC_CHECK_MSG(static_cast<int>(slot.aux) == rank_,
                    "sendrecv permutation mismatch: rank " << src << " sent to "
                        << slot.aux << ", not " << rank_);
-    std::vector<T> out(static_cast<const T*>(slot.data),
-                       static_cast<const T*>(slot.data) + slot.count);
+    out.resize(slot.count);
+    if (slot.count > 0)
+      std::memcpy(out.data(), slot.data, slot.count * sizeof(T));
     const std::uint64_t bytes =
         (src == rank_ ? 0 : out.size() * sizeof(T));
     state().sim_time = t0;
@@ -349,7 +417,6 @@ class Comm {
                         (src == rank_ ? 0.0 : machine().alpha_s) +
                             machine().beta_s_per_byte * static_cast<double>(bytes));
     finish();
-    return out;
   }
 
   /// Collective split into sub-communicators: ranks sharing `color` form a

@@ -1,0 +1,76 @@
+// Per-rank workspace arena for the communication hot paths.
+//
+// Every distributed kernel (mxv, scatter_*, to_layout) needs the same
+// scratch shapes on every call: an accumulator over the local row range,
+// per-destination bucket counts, a flat send buffer, a receive buffer.
+// Allocating them per call dominates the late, sparse LACC iterations where
+// the useful work is tiny; the arena keeps one buffer per (kernel, role)
+// key alive for the lifetime of the rank and hands it back with its
+// capacity intact, so steady-state kernel calls perform no heap allocation
+// at all.
+//
+// Ownership rules (see docs/ARCHITECTURE.md, "Hot-path design"):
+//   * A buffer is valid from `buffer<T>(key)` until the next call with the
+//     same key; kernels must use distinct keys for scratch that overlaps in
+//     time, and nested kernels must not share keys with their callers.
+//   * The arena is per rank and single-threaded by construction (each
+//     virtual rank owns its ProcGrid); no locking.
+//   * `buffer` clears the vector (size 0, capacity kept); `persistent`
+//     returns it untouched, for accumulators that maintain their own
+//     "clean between calls" invariant (e.g. mxv's acc stays all-kAbsent,
+//     restored sparsely via its touched list).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+namespace lacc::support {
+
+class WorkspaceArena {
+ public:
+  /// The reusable buffer registered under `key`, cleared (capacity kept).
+  /// Creates it on first use, or when the element type changed — which in
+  /// practice means a key collision: keep keys per kernel and per role.
+  template <typename T>
+  std::vector<T>& buffer(const char* key) {
+    auto& v = persistent<T>(key);
+    v.clear();
+    return v;
+  }
+
+  /// Like `buffer`, but the contents survive between acquisitions (see the
+  /// ownership rules in the file comment).
+  template <typename T>
+  std::vector<T>& persistent(const char* key) {
+    ++acquisitions_;
+    Entry& e = entries_[key];
+    if (!e.ptr || e.type != std::type_index(typeid(T))) {
+      e.ptr = std::shared_ptr<void>(new std::vector<T>(), [](void* p) {
+        delete static_cast<std::vector<T>*>(p);
+      });
+      e.type = std::type_index(typeid(T));
+      ++creations_;
+    }
+    return *static_cast<std::vector<T>*>(e.ptr.get());
+  }
+
+  /// Allocation-counting hooks for tests: steady-state kernel calls must
+  /// not grow `creations()` (every acquisition hits an existing buffer).
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  std::uint64_t creations() const { return creations_; }
+
+ private:
+  struct Entry {
+    std::type_index type = std::type_index(typeid(void));
+    std::shared_ptr<void> ptr;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t creations_ = 0;
+};
+
+}  // namespace lacc::support

@@ -40,6 +40,11 @@ class BitVector {
     trim();
   }
 
+  /// Word-level view for callers that iterate set bits without testing
+  /// every position (64-way skip over empty regions).
+  std::size_t word_count() const { return words_.size(); }
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+
   /// Number of set bits.
   std::size_t count() const {
     std::size_t total = 0;

@@ -1,0 +1,145 @@
+// Golden-determinism regression test for the distributed LACC hot paths.
+//
+// The active-set iteration and zero-allocation communication refactor is a
+// pure wall-clock optimization: it must not change the modeled cost, the
+// per-iteration trace, or the computed labeling in any way.  This test pins
+// `modeled_seconds`, every iteration's trace record, and the parent vector
+// (as an order-sensitive FNV-1a digest) against values recorded from the
+// pre-refactor implementation, across the option axes the refactor touches:
+// sparse/dense vectors, pairwise/hypercube all-to-all, and cyclic vs
+// block-aligned layouts, on three structurally distinct Table-III stand-ins.
+//
+// To regenerate the golden table after an *intentional* cost-model change,
+// run with LACC_GOLDEN_PRINT=1:
+//
+//   LACC_GOLDEN_PRINT=1 ./core_dist_test --gtest_filter='LaccGolden.*'
+//
+// and paste the printed lines over kGolden below.  Never regenerate to make
+// a perf-only refactor pass — that is the regression this test exists for.
+#include "core/lacc_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/testproblems.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc::core {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (x >> (8 * b)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 1469598103934665603ull;
+
+std::string hexdouble(double v) {
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+/// One run of lacc_dist, serialized into a single comparable line: the
+/// option axes, iteration count, total and per-iteration modeled seconds
+/// (exact hexfloat), a digest of all integer trace fields, and a digest of
+/// the parent labeling.
+std::string golden_line(const graph::EdgeList& el, const std::string& name,
+                        bool sparse, bool hypercube, bool cyclic, int ranks) {
+  LaccOptions options;
+  options.use_sparse_vectors = sparse;
+  options.sparse_uncond_hooking = sparse;
+  options.hypercube_alltoall = hypercube;
+  options.cyclic_vectors = cyclic;
+  const auto result =
+      lacc_dist(el, ranks, sim::MachineModel::edison(), options);
+
+  std::uint64_t trace_hash = kFnvSeed;
+  std::ostringstream iter_ms;
+  for (const auto& rec : result.cc.trace) {
+    trace_hash = fnv1a(trace_hash, static_cast<std::uint64_t>(rec.iteration));
+    trace_hash = fnv1a(trace_hash, rec.active_vertices);
+    trace_hash = fnv1a(trace_hash, rec.converged_vertices);
+    trace_hash = fnv1a(trace_hash, rec.cond_hooks);
+    trace_hash = fnv1a(trace_hash, rec.uncond_hooks);
+    trace_hash = fnv1a(trace_hash, rec.star_vertices);
+    iter_ms << ' ' << hexdouble(rec.modeled_seconds);
+  }
+  std::uint64_t parent_hash = kFnvSeed;
+  for (const VertexId p : result.cc.parent)
+    parent_hash = fnv1a(parent_hash, static_cast<std::uint64_t>(p));
+
+  std::ostringstream os;
+  os << name << " s=" << sparse << " h=" << hypercube << " c=" << cyclic
+     << " it=" << result.cc.iterations
+     << " ms=" << hexdouble(result.modeled_seconds) << std::hex
+     << " trace=" << trace_hash << " parents=" << parent_hash
+     << " iter_ms=[" << iter_ms.str() << " ]";
+  return os.str();
+}
+
+// Recorded from the pre-refactor implementation (seed commit); see the file
+// comment for the regeneration procedure.
+const char* const kGolden[] = {
+    "archaea s=1 h=1 c=1 it=4 ms=0x1.b5d87bf63f743p-12 trace=e89600a75b32c04 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.1111bb3aab92bp-13 0x1.197a1fa0b6947p-13 0x1.fb354c433d22p-14 0x1.0e29dbbdf8c1p-15 ]",
+    "archaea s=1 h=1 c=0 it=4 ms=0x1.5ffd1aa8707bdp-12 trace=e89600a75b32c04 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.cfec20fea5c7ap-14 0x1.b56a8a6d7a5b2p-14 0x1.99cbcc2463eb4p-14 0x1.8347cc44f785p-16 ]",
+    "archaea s=1 h=0 c=1 it=4 ms=0x1.1cfbad03ec10fp-11 trace=e89600a75b32c04 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.5f15544c5ff04p-13 0x1.64f979f3e941ap-13 0x1.4e227df1d49dcp-13 0x1.86f59f7649d1p-15 ]",
+    "archaea s=1 h=0 c=0 it=4 ms=0x1.eba8b4f58e3afp-12 trace=e89600a75b32c04 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.35f9a99107415p-13 0x1.32c9d942784c5p-13 0x1.277eb8dc6ec48p-13 0x1.1c3cb8ecb88fp-15 ]",
+    "archaea s=0 h=1 c=1 it=4 ms=0x1.bef47f81ec8c7p-12 trace=e89600a75b32c04 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.12cbce63ea79fp-13 0x1.197a1fa0b6947p-13 0x1.03bbd88ee56cep-13 0x1.379ce1c14a768p-15 ]",
+    "archaea s=0 h=1 c=0 it=4 ms=0x1.662cb84d6c78p-12 trace=e89600a75b32c04 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.d2771f8af9874p-14 0x1.b56a8a6d7a5bp-14 0x1.a200a666b679p-14 0x1.bb42435a1e13p-16 ]",
+    "archaea s=0 h=0 c=1 it=4 ms=0x1.2189aec9c29cep-11 trace=e89600a75b32c04 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.60cf67759ed77p-13 0x1.64f979f3e941bp-13 0x1.5443b05f1b798p-13 0x1.b068a5799b84p-15 ]",
+    "archaea s=0 h=0 c=0 it=4 ms=0x1.f1d8529a8a36fp-12 trace=e89600a75b32c04 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.373f28d731212p-13 0x1.32c9d942784c4p-13 0x1.2b9925fd980b4p-13 0x1.3839f4774bd5p-15 ]",
+    "queen_4147 s=1 h=1 c=1 it=4 ms=0x1.648eb73c344fcp-12 trace=d23bd022742c08ef parents=218035740d3f1b83 iter_ms=[ 0x1.b2d43206ff824p-14 0x1.bfd67b7d676acp-14 0x1.b08e88bd025e8p-14 0x1.bc069abd9fcep-16 ]",
+    "queen_4147 s=1 h=1 c=0 it=4 ms=0x1.258db1d763017p-12 trace=d23bd022742c08ef parents=218035740d3f1b83 iter_ms=[ 0x1.6669145e1d409p-14 0x1.7191b167a8f9fp-14 0x1.705c4d4ca8bfp-14 0x1.377ed12c7431p-16 ]",
+    "queen_4147 s=1 h=0 c=1 it=4 ms=0x1.eef8322a11377p-12 trace=d23bd022742c08ef parents=218035740d3f1b83 iter_ms=[ 0x1.276db215341e3p-13 0x1.3073158ee9c33p-13 0x1.305bd86a3c4eap-13 0x1.56cf111720fb8p-15 ]",
+    "queen_4147 s=1 h=0 c=0 it=4 ms=0x1.a361f30cb776ap-12 trace=d23bd022742c08ef parents=218035740d3f1b83 iter_ms=[ 0x1.01382340c2fd9p-13 0x1.04483307072a1p-13 0x1.03ad80f9870bcp-13 0x1.ecb076c0edcfp-16 ]",
+    "queen_4147 s=0 h=1 c=1 it=4 ms=0x1.64a31dea57fdfp-12 trace=d23bd022742c08ef parents=218035740d3f1b83 iter_ms=[ 0x1.b325ccbf8e3aep-14 0x1.bfd67b7d676acp-14 0x1.b08e88bd025eap-14 0x1.bc069abd9fcep-16 ]",
+    "queen_4147 s=0 h=1 c=0 it=4 ms=0x1.259da5bddf258p-12 trace=d23bd022742c08ef parents=218035740d3f1b83 iter_ms=[ 0x1.66a8e3f80dd0dp-14 0x1.7191b167a8f9fp-14 0x1.705c4d4ca8bfp-14 0x1.377ed12c7431p-16 ]",
+    "queen_4147 s=0 h=0 c=1 it=4 ms=0x1.ef0c98d834e59p-12 trace=d23bd022742c08ef parents=218035740d3f1b83 iter_ms=[ 0x1.27967f717b7a8p-13 0x1.3073158ee9c32p-13 0x1.305bd86a3c4eap-13 0x1.56cf111720fb8p-15 ]",
+    "queen_4147 s=0 h=0 c=0 it=4 ms=0x1.a371e6f3339abp-12 trace=d23bd022742c08ef parents=218035740d3f1b83 iter_ms=[ 0x1.01580b0dbb45cp-13 0x1.04483307072ap-13 0x1.03ad80f9870bcp-13 0x1.ecb076c0edcfp-16 ]",
+    "uk-2002 s=1 h=1 c=1 it=4 ms=0x1.1516829faf785p-11 trace=4e2610e22fb42e1 parents=f8420ade2d9e8c44 iter_ms=[ 0x1.4dee08320b289p-13 0x1.535aeac4a32c4p-13 0x1.4eae00703c1aep-13 0x1.918c5c5f4dc6p-15 ]",
+    "uk-2002 s=1 h=1 c=0 it=4 ms=0x1.c7e27e92473b8p-12 trace=4e2610e22fb42e1 parents=f8420ade2d9e8c44 iter_ms=[ 0x1.2a06e0f238be3p-13 0x1.12e9692ab83c6p-13 0x1.0c0c143431f74p-13 0x1.1b227b4dae148p-15 ]",
+    "uk-2002 s=1 h=0 c=1 it=4 ms=0x1.5684e1f8db63cp-11 trace=4e2610e22fb42e1 parents=f8420ade2d9e8c44 iter_ms=[ 0x1.996d62853dd5bp-13 0x1.9eda4517d5d94p-13 0x1.9f35d84072294p-13 0x1.052c100bcf6d8p-14 ]",
+    "uk-2002 s=1 h=0 c=0 it=4 ms=0x1.223a50342d6c9p-11 trace=4e2610e22fb42e1 parents=f8420ade2d9e8c44 iter_ms=[ 0x1.75863b456b6b3p-13 0x1.5e68c37deae94p-13 0x1.578b6e8764a4cp-13 0x1.75bb4e17eae4p-15 ]",
+    "uk-2002 s=0 h=1 c=1 it=4 ms=0x1.1670a86396f6ep-11 trace=e164769734801698 parents=faec9fb6507402bc iter_ms=[ 0x1.51874d708c4b2p-13 0x1.53ba3fffda43bp-13 0x1.4f93528174a16p-13 0x1.93b7067202adp-15 ]",
+    "uk-2002 s=0 h=1 c=0 it=4 ms=0x1.ca4b5bedceeep-12 trace=e164769734801698 parents=faec9fb6507402bc iter_ms=[ 0x1.2d25d1be3a8c7p-13 0x1.13ecb82e70468p-13 0x1.0c63d1a7dcbd8p-13 0x1.1c81711c592ep-15 ]",
+    "uk-2002 s=0 h=0 c=1 it=4 ms=0x1.59c236cba4266p-11 trace=e164769734801698 parents=faec9fb6507402bc iter_ms=[ 0x1.9d06a7c3bef85p-13 0x1.9f399a530cf0ep-13 0x1.a7a7e68d2fcp-13 0x1.0641651529e08p-14 ]",
+    "uk-2002 s=0 h=0 c=0 it=4 ms=0x1.236ebee1f145fp-11 trace=e164769734801698 parents=faec9fb6507402bc iter_ms=[ 0x1.78a52c116d399p-13 0x1.5f6c1281a2f38p-13 0x1.57e32bfb0f6b6p-13 0x1.771a43e695fdp-15 ]",
+};
+
+TEST(LaccGolden, ModeledCostTraceAndLabelsArePinned) {
+  const bool print_mode = std::getenv("LACC_GOLDEN_PRINT") != nullptr;
+  const auto problems = graph::make_test_problems(0.02, 42);
+  const std::vector<std::string> names = {"archaea", "queen_4147", "uk-2002"};
+
+  std::vector<std::string> actual;
+  for (const auto& name : names) {
+    const auto& problem = graph::find_problem(problems, name);
+    for (const bool sparse : {true, false})
+      for (const bool hypercube : {true, false})
+        for (const bool cyclic : {true, false})
+          actual.push_back(golden_line(problem.graph, name, sparse, hypercube,
+                                       cyclic, /*ranks=*/4));
+  }
+
+  if (print_mode) {
+    for (const auto& line : actual) std::cout << "    \"" << line << "\",\n";
+    GTEST_SKIP() << "golden print mode: comparison skipped";
+  }
+
+  ASSERT_EQ(actual.size(), std::size(kGolden));
+  for (std::size_t k = 0; k < actual.size(); ++k)
+    EXPECT_EQ(actual[k], kGolden[k]) << "config " << k;
+}
+
+}  // namespace
+}  // namespace lacc::core

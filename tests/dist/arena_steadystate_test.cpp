@@ -1,0 +1,74 @@
+// Steady-state allocation check for the communication hot paths: after one
+// warm-up round, repeated kernel calls must not create any new arena
+// buffers — every scratch acquisition hits a recycled vector (the
+// "zero-allocation hot path" property; support/arena.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "dist/ops.hpp"
+#include "graph/generators.hpp"
+#include "sim/runtime.hpp"
+
+namespace lacc::dist {
+namespace {
+
+TEST(ArenaSteadyState, WarmKernelCallsCreateNoBuffers) {
+  const auto el = graph::erdos_renyi(600, 1800, 33);
+  const VertexId n = el.n;
+
+  sim::run_spmd(4, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistCsc A(grid, el);
+
+    // Sparse and dense inputs so one round exercises both mxv branches.
+    DistVec<VertexId> x_sparse(grid, n), x_dense(grid, n);
+    DistVec<std::uint8_t> star(grid, n);
+    for (const VertexId g : x_dense.owned()) {
+      x_dense.set(g, g);
+      if (g % 97 == 0) x_sparse.set(g, g);
+      star.set(g, g % 2);
+    }
+    std::vector<Tuple<VertexId>> pairs;
+    std::vector<VertexId> targets;
+    for (const VertexId g : x_dense.owned()) {
+      if (g % 7 == 0) pairs.push_back({(g + 3) % n, g});
+      if (g % 5 == 0) targets.push_back((g + 1) % n);
+    }
+    const MaskSpec mask{&star, false};
+    CommTuning sparse_tuning;   // votes sparse for x_sparse
+    CommTuning dense_tuning;
+    dense_tuning.force_dense = true;
+
+    auto round = [&] {
+      DistVec<VertexId> w(grid, n);
+      for (const VertexId g : w.owned()) w.set(g, n + g);
+      (void)mxv_select2nd_min(grid, A, x_sparse, mask, sparse_tuning);
+      (void)mxv_select2nd_min(grid, A, x_dense, MaskSpec{}, dense_tuning);
+      (void)mxv_select2nd_minmax(grid, A, x_sparse, MaskSpec{}, sparse_tuning);
+      (void)mxv_select2nd_minmax(grid, A, x_dense, MaskSpec{}, dense_tuning);
+      (void)scatter_assign_min(grid, w, pairs, sparse_tuning);
+      (void)scatter_accumulate_min(grid, w, pairs, sparse_tuning);
+      scatter_set(grid, star, targets, 1, sparse_tuning);
+      (void)to_layout(grid, x_sparse, Layout::kCyclic, sparse_tuning);
+    };
+
+    round();  // warm-up: buffers are created here
+    const std::uint64_t warm_creations = grid.arena().creations();
+    const std::uint64_t warm_acquisitions = grid.arena().acquisitions();
+    EXPECT_GT(warm_creations, 0u);
+
+    for (int i = 0; i < 3; ++i) round();
+
+    // Scratch was acquired again on every call, but nothing new was
+    // allocated: the creation counter is flat after warm-up.
+    EXPECT_GT(grid.arena().acquisitions(), warm_acquisitions);
+    EXPECT_EQ(grid.arena().creations(), warm_creations)
+        << "a kernel allocated a fresh arena buffer after warm-up";
+  });
+}
+
+}  // namespace
+}  // namespace lacc::dist

@@ -1,0 +1,69 @@
+// WorkspaceArena semantics: buffer clears but keeps capacity, persistent
+// keeps contents, and the creation counter only moves on first use (the
+// property the steady-state kernel test in tests/dist relies on).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/arena.hpp"
+
+namespace lacc::support {
+namespace {
+
+TEST(WorkspaceArena, BufferClearsButKeepsCapacity) {
+  WorkspaceArena arena;
+  auto& v = arena.buffer<int>("k");
+  EXPECT_TRUE(v.empty());
+  v.resize(100, 7);
+  const int* data = v.data();
+  const std::size_t cap = v.capacity();
+
+  auto& again = arena.buffer<int>("k");
+  EXPECT_EQ(&again, &v);
+  EXPECT_TRUE(again.empty());
+  EXPECT_EQ(again.capacity(), cap);
+  again.resize(100);
+  EXPECT_EQ(again.data(), data);  // capacity reuse: no reallocation
+}
+
+TEST(WorkspaceArena, PersistentKeepsContents) {
+  WorkspaceArena arena;
+  auto& v = arena.persistent<std::uint64_t>("acc");
+  v.assign(10, 42);
+  auto& again = arena.persistent<std::uint64_t>("acc");
+  EXPECT_EQ(&again, &v);
+  ASSERT_EQ(again.size(), 10u);
+  EXPECT_EQ(again[9], 42u);
+}
+
+TEST(WorkspaceArena, DistinctKeysAreDistinctBuffers) {
+  WorkspaceArena arena;
+  auto& a = arena.buffer<int>("a");
+  auto& b = arena.buffer<int>("b");
+  EXPECT_NE(&a, &b);
+}
+
+TEST(WorkspaceArena, CountersTrackCreationsAndAcquisitions) {
+  WorkspaceArena arena;
+  EXPECT_EQ(arena.creations(), 0u);
+  EXPECT_EQ(arena.acquisitions(), 0u);
+
+  arena.buffer<int>("x");
+  EXPECT_EQ(arena.creations(), 1u);
+  EXPECT_EQ(arena.acquisitions(), 1u);
+
+  // Warm reacquisition: no new creation.
+  arena.buffer<int>("x");
+  arena.persistent<int>("x");
+  EXPECT_EQ(arena.creations(), 1u);
+  EXPECT_EQ(arena.acquisitions(), 3u);
+
+  // A type change under the same key is a key collision; the arena
+  // recreates rather than hands back a reinterpreted vector.
+  arena.buffer<double>("x");
+  EXPECT_EQ(arena.creations(), 2u);
+}
+
+}  // namespace
+}  // namespace lacc::support
