@@ -6,6 +6,7 @@
 
 #include "dist/dist_vec.hpp"
 #include "dist/ops.hpp"
+#include "support/checking.hpp"
 #include "support/error.hpp"
 
 namespace lacc::core {
@@ -298,6 +299,27 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
     }
 
     if (uncond_hooks > 0 || shortcut_changed) starcheck(iter);
+
+    // Conformance (LACC_CHECK=2): purely local invariant sweep over this
+    // rank's share — every active vertex still carries a parent in [0, n)
+    // and star flags are boolean.  No collectives and no modeled charges,
+    // so the sweep can neither perturb the cost model nor desynchronize
+    // ranks; a violation surfaces as a ConformanceError on the owning rank.
+    if (check::full()) {
+      for (const VertexId g : active_list) {
+        const VertexId parent = f.at(g);
+        if (parent >= n)
+          throw check::ConformanceError(
+              "LACC invariant violation: vertex " + std::to_string(g) +
+              " carries out-of-range parent " + std::to_string(parent) +
+              " after iteration " + std::to_string(iter));
+        if (star.has(g) && star.at(g) > 1)
+          throw check::ConformanceError(
+              "LACC invariant violation: vertex " + std::to_string(g) +
+              " carries non-boolean star flag after iteration " +
+              std::to_string(iter));
+      }
+    }
 
     {
       // Stored star entries outside the active list can only carry value 0

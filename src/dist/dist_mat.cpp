@@ -25,6 +25,7 @@ struct Entry {
 DistCsc::DistCsc(ProcGrid& grid, const graph::EdgeList& el)
     : n_(el.n),
       q_(grid.q()),
+      owner_rank_(grid.rank()),
       part_(el.n, static_cast<std::uint64_t>(grid.size())) {
   const auto q64 = static_cast<std::uint64_t>(q_);
   row_begin_ = part_.begin(static_cast<std::uint64_t>(grid.my_row()) * q64);

@@ -14,6 +14,7 @@
 
 #include "dist/grid.hpp"
 #include "graph/edge_list.hpp"
+#include "support/checking.hpp"
 #include "support/partition.hpp"
 #include "support/types.hpp"
 
@@ -42,11 +43,15 @@ class DistCsc {
   VertexId col_end() const { return col_end_; }
 
   /// Global ids of this block's nonempty columns, ascending.
-  const std::vector<VertexId>& col_ids() const { return jc_; }
+  const std::vector<VertexId>& col_ids() const {
+    check::fence_block_access(owner_rank_, "DistCsc");
+    return jc_;
+  }
 
   /// Global row ids (ascending) of nonempty column index `ci` (an index
   /// into col_ids(), not a global column id).
   std::span<const VertexId> col_rows(std::size_t ci) const {
+    check::fence_block_access(owner_rank_, "DistCsc");
     return {ir_.data() + cp_[ci], ir_.data() + cp_[ci + 1]};
   }
 
@@ -59,6 +64,7 @@ class DistCsc {
  private:
   VertexId n_ = 0;
   int q_ = 1;
+  int owner_rank_ = -1;  ///< world rank owning this block (fencing)
   BlockPartition part_;
   VertexId row_begin_ = 0, row_end_ = 0;
   VertexId col_begin_ = 0, col_end_ = 0;

@@ -27,6 +27,7 @@
 
 #include "dist/grid.hpp"
 #include "support/bitvector.hpp"
+#include "support/checking.hpp"
 #include "support/error.hpp"
 #include "support/partition.hpp"
 #include "support/types.hpp"
@@ -104,6 +105,7 @@ class DistVec {
   std::uint64_t owner_chunk(VertexId g) const { return part_.owner(g); }
 
   bool has(VertexId g) const {
+    fence();
     LACC_DCHECK(owns(g));
     return present_.get(slot(g));
   }
@@ -115,6 +117,7 @@ class DistVec {
     return has(g) ? values_[slot(g)] : fallback;
   }
   void set(VertexId g, T v) {
+    fence();
     LACC_DCHECK(owns(g));
     const auto k = slot(g);
     if (!present_.get(k)) {
@@ -124,6 +127,7 @@ class DistVec {
     values_[k] = v;
   }
   void remove(VertexId g) {
+    fence();
     LACC_DCHECK(owns(g));
     const auto k = slot(g);
     if (present_.get(k)) {
@@ -132,10 +136,12 @@ class DistVec {
     }
   }
   void clear() {
+    fence();
     present_.fill(false);
     nvals_ = 0;
   }
   void fill(T v) {
+    fence();
     for (auto& x : values_) x = v;
     present_.fill(true);
     nvals_ = local_size();
@@ -164,6 +170,7 @@ class DistVec {
   /// dispatched), but must not add elements.
   template <typename Fn>
   void for_each_stored(Fn&& fn) const {
+    fence();
     for (std::size_t wi = 0; wi < present_.word_count(); ++wi) {
       std::uint64_t word = present_.word(wi);
       while (word != 0) {
@@ -204,6 +211,12 @@ class DistVec {
  private:
   VertexId slot(VertexId g) const {
     return layout_ == Layout::kBlockAligned ? g - begin_ : g / p_;
+  }
+
+  /// Block fence (LACC_CHECK=2): only the owning virtual rank may touch this
+  /// local share outside a collective.  No-op outside run_spmd.
+  void fence() const {
+    check::fence_block_access(static_cast<int>(rank_), "DistVec");
   }
 
   VertexId n_;

@@ -2,11 +2,24 @@
 
 #include <algorithm>
 
+#include "support/sort.hpp"
+
 namespace lacc::dist {
 
 namespace {
 
 constexpr VertexId kAbsent = kNoVertex;  // "no contribution" marker
+
+/// Sort tuples by (index, value) without allocating: two stable radix
+/// passes (secondary key first) over an arena scratch buffer, equivalent to
+/// one comparator sort on the pair.  Ids are < n, bounding the key bytes.
+void sort_by_index_value(std::vector<Tuple<VertexId>>& items,
+                         std::vector<Tuple<VertexId>>& scratch, VertexId n) {
+  radix_sort_by(items, scratch, [](const Tuple<VertexId>& t) { return t.value; },
+                n);
+  radix_sort_by(items, scratch, [](const Tuple<VertexId>& t) { return t.index; },
+                n);
+}
 
 /// Two-pass counting sort of `items` into a single flat send buffer grouped
 /// by destination: `counts[d]` many elements for destination d, in input
@@ -177,8 +190,8 @@ DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
 
   if (dense_reduce) {
     const BlockPartition row_split(acc.size(), q);
-    const std::vector<VertexId> reduced =
-        grid.row_comm().reduce_scatter_block(acc, combine, row_split);
+    auto& reduced = arena.buffer<VertexId>("mxv.reduced");
+    grid.row_comm().reduce_scatter_block_into(acc, combine, row_split, reduced);
     drain_touched([](VertexId) {});
     const VertexId piece_begin = part.begin(my_piece_chunk);
     for (std::size_t k = 0; k < reduced.size(); ++k)
@@ -231,10 +244,8 @@ std::uint64_t scatter_assign_min(ProcGrid& grid, DistVec<VertexId>& w,
 
   // Sender-side combining: duplicate targets reduce to their min before
   // anything is shipped (the receiver still reduces across senders).
-  std::sort(pairs.begin(), pairs.end(),
-            [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
-              return a.index < b.index || (a.index == b.index && a.value < b.value);
-            });
+  auto& sort_scratch = arena.buffer<Tuple<VertexId>>("scatter_assign.sort");
+  sort_by_index_value(pairs, sort_scratch, w.global_size());
   pairs.erase(std::unique(pairs.begin(), pairs.end(),
                           [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
                             return a.index == b.index;
@@ -254,10 +265,7 @@ std::uint64_t scatter_assign_min(ProcGrid& grid, DistVec<VertexId>& w,
   world.alltoallv_into(send, counts, mine, tuning.alltoall);
 
   // Deduplicate targets with min, then overwrite (GraphBLAS assign).
-  std::sort(mine.begin(), mine.end(),
-            [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
-              return a.index < b.index || (a.index == b.index && a.value < b.value);
-            });
+  sort_by_index_value(mine, sort_scratch, w.global_size());
   std::uint64_t changed = 0;
   for (std::size_t k = 0; k < mine.size(); ++k) {
     if (k > 0 && mine[k].index == mine[k - 1].index) continue;
@@ -280,7 +288,9 @@ void scatter_set(ProcGrid& grid, DistVec<std::uint8_t>& w,
   const auto p = static_cast<std::size_t>(world.size());
 
   // Duplicate targets (e.g. many children marking one root) ship once.
-  std::sort(targets.begin(), targets.end());
+  auto& sort_scratch = arena.buffer<VertexId>("scatter_set.sort");
+  radix_sort_by(targets, sort_scratch, [](VertexId t) { return t; },
+                w.global_size());
   targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
 
   auto& counts = arena.buffer<std::size_t>("scatter_set.counts");
@@ -422,8 +432,9 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
 
   if (dense_reduce) {
     const BlockPartition row_split(acc.size(), q);
-    const std::vector<MinMax> reduced =
-        grid.row_comm().reduce_scatter_block(acc, mm_combine, row_split);
+    auto& reduced = arena.buffer<MinMax>("mxvmm.reduced");
+    grid.row_comm().reduce_scatter_block_into(acc, mm_combine, row_split,
+                                              reduced);
     drain_touched([](VertexId) {});
     const VertexId piece_begin = part.begin(my_piece_chunk);
     for (std::size_t k = 0; k < reduced.size(); ++k)
@@ -480,11 +491,8 @@ std::uint64_t scatter_accumulate_min(ProcGrid& grid, DistVec<VertexId>& w,
   const auto p = static_cast<std::size_t>(world.size());
 
   // Sender-side combining, identical to scatter_assign_min.
-  std::sort(pairs.begin(), pairs.end(),
-            [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
-              return a.index < b.index ||
-                     (a.index == b.index && a.value < b.value);
-            });
+  auto& sort_scratch = arena.buffer<Tuple<VertexId>>("scatter_accum.sort");
+  sort_by_index_value(pairs, sort_scratch, w.global_size());
   pairs.erase(std::unique(pairs.begin(), pairs.end(),
                           [](const Tuple<VertexId>& a, const Tuple<VertexId>& b) {
                             return a.index == b.index;

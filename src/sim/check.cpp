@@ -1,0 +1,137 @@
+#include "sim/check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace lacc::check {
+
+const char* op_name(CollOp op) {
+  switch (op) {
+    case CollOp::kBarrier: return "barrier";
+    case CollOp::kBcast: return "bcast";
+    case CollOp::kAllreduce: return "allreduce";
+    case CollOp::kAllgatherv: return "allgatherv";
+    case CollOp::kAlltoallv: return "alltoallv";
+    case CollOp::kReduceScatter: return "reduce_scatter";
+    case CollOp::kSendrecv: return "sendrecv";
+    case CollOp::kSplit: return "split";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Fields that must agree across every rank of a collective.  Root only
+/// binds for bcast (sendrecv dest and split color are per-rank by design);
+/// count only binds for ops whose buffers must be congruent.
+struct UniformKey {
+  CollOp op;
+  std::uint64_t seq;
+  std::size_t elem_size;
+  std::int64_t root;
+  std::size_t count;
+
+  friend bool operator<(const UniformKey& a, const UniformKey& b) {
+    return std::tie(a.op, a.seq, a.elem_size, a.root, a.count) <
+           std::tie(b.op, b.seq, b.elem_size, b.root, b.count);
+  }
+  friend bool operator==(const UniformKey& a, const UniformKey& b) {
+    return std::tie(a.op, a.seq, a.elem_size, a.root, a.count) ==
+           std::tie(b.op, b.seq, b.elem_size, b.root, b.count);
+  }
+};
+
+UniformKey key_of(const CollRecord& r) {
+  const bool root_bound = r.op == CollOp::kBcast;
+  const bool count_bound =
+      r.op == CollOp::kAllreduce || r.op == CollOp::kReduceScatter;
+  return {r.op, r.seq, r.elem_size, root_bound ? r.root : -1,
+          count_bound ? r.count : 0};
+}
+
+void describe(std::ostream& os, const CollRecord& r) {
+  os << op_name(r.op) << " #" << r.seq;
+  if (r.op == CollOp::kBcast) os << " root=" << r.root;
+  if (r.op == CollOp::kSendrecv) os << " dest=" << r.root << " src=" << r.peer;
+  if (r.op == CollOp::kSplit) os << " color=" << r.root << " key=" << r.peer;
+  if (r.elem_size != 0)
+    os << " " << r.count << "x" << r.elem_size << "B";
+  os << "  at " << r.file << ":" << r.line;
+}
+
+}  // namespace
+
+void CommLedger::fail(const std::string& headline) const {
+  // The report is built purely from the ledger, so every rank that detects
+  // the mismatch produces the same text and the surfaced error message is
+  // deterministic regardless of which rank's exception wins.
+  const std::size_t p = records_.size();
+  std::map<UniformKey, std::size_t> votes;
+  for (const auto& r : records_) ++votes[key_of(r)];
+  const auto majority = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::ostringstream os;
+  os << "SPMD conformance violation on comm \"" << name_ << "\": " << headline
+     << "\n  per-rank collective signatures:";
+  for (std::size_t r = 0; r < p; ++r) {
+    os << "\n    rank " << r << ": ";
+    describe(os, records_[r]);
+    if (votes.size() > 1 && !(key_of(records_[r]) == majority->first))
+      os << "   <-- diverges";
+  }
+  throw ConformanceError(os.str());
+}
+
+void CommLedger::verify() const {
+  const std::size_t p = records_.size();
+  if (p <= 1) return;
+  const CollRecord& first = records_[0];
+  const UniformKey k0 = key_of(first);
+  for (std::size_t r = 1; r < p; ++r) {
+    const CollRecord& rec = records_[r];
+    if (rec.op != first.op)
+      fail("ranks issued different collectives at the same sync point "
+           "(skipped or reordered collective)");
+    if (rec.seq != first.seq)
+      fail("collective sequence numbers diverged (a rank skipped or "
+           "double-issued a collective)");
+    if (rec.elem_size != first.elem_size)
+      fail("element sizes differ (ranks passed different element types)");
+    if (!(key_of(rec) == k0)) {
+      if (first.op == CollOp::kBcast)
+        fail("broadcast roots differ across ranks");
+      fail("buffer lengths differ where the op requires congruent buffers");
+    }
+  }
+
+  if (level() == Level::kFull && first.op == CollOp::kSendrecv) {
+    // dest must be a permutation of the group and src its inverse: rank r
+    // reads from src[r], which is only safe if dest[src[r]] == r.
+    std::vector<std::size_t> senders_to(p, 0);
+    for (const auto& rec : records_) {
+      if (rec.root < 0 || rec.root >= static_cast<std::int64_t>(p) ||
+          rec.peer < 0 || rec.peer >= static_cast<std::int64_t>(p))
+        fail("sendrecv dest/src out of communicator range");
+      ++senders_to[static_cast<std::size_t>(rec.root)];
+    }
+    for (std::size_t r = 0; r < p; ++r)
+      if (senders_to[r] != 1)
+        fail("sendrecv dests do not form a permutation (rank " +
+             std::to_string(r) + " has " + std::to_string(senders_to[r]) +
+             " senders)");
+    for (std::size_t r = 0; r < p; ++r) {
+      const auto src = static_cast<std::size_t>(records_[r].peer);
+      if (records_[src].root != static_cast<std::int64_t>(r))
+        fail("sendrecv src is not conjugate to dest (rank " +
+             std::to_string(r) + " expects rank " + std::to_string(src) +
+             ", which sends to rank " + std::to_string(records_[src].root) +
+             ")");
+    }
+  }
+}
+
+}  // namespace lacc::check

@@ -1,0 +1,90 @@
+// Collective-matching ledger for the SPMD conformance checker.
+//
+// Every communicator (CommContext) owns one CommLedger.  Each collective
+// call writes a per-rank signature — op kind, per-communicator sequence
+// number, root, element size, posted count, call site — into its slot
+// *before* arriving at the collective's entry barrier, and every rank
+// verifies the whole ledger immediately *after* that barrier, before any
+// peer data is read.  Slot writes and ledger reads synchronize through the
+// barrier exactly like the data slots themselves, so the ledger needs no
+// locking of its own.
+//
+// A mismatch (different op, diverging root, inconsistent element size,
+// a rank that skipped or reordered a collective) is reported as a
+// ConformanceError carrying a cross-rank diff table instead of the
+// deadlock or buffer corruption the raw runtime would produce.  The
+// checker charges no modeled time: verdicts cannot perturb the cost model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/checking.hpp"
+
+namespace lacc::check {
+
+enum class CollOp : std::uint8_t {
+  kBarrier,
+  kBcast,
+  kAllreduce,
+  kAllgatherv,
+  kAlltoallv,
+  kReduceScatter,
+  kSendrecv,
+  kSplit,
+};
+
+const char* op_name(CollOp op);
+
+/// One rank's signature of one collective call.
+struct CollRecord {
+  CollOp op = CollOp::kBarrier;
+  std::uint64_t seq = 0;       ///< per-communicator call number (ledger-filled)
+  std::int64_t root = -1;      ///< bcast root / sendrecv dest / split color
+  std::int64_t peer = -1;      ///< sendrecv src / split key
+  std::size_t elem_size = 0;   ///< sizeof(element), 0 for barrier/split
+  std::size_t count = 0;       ///< elements posted by this rank
+  const std::size_t* peer_counts = nullptr;  ///< alltoallv per-dest counts
+  const char* file = "";       ///< caller source file
+  std::uint32_t line = 0;      ///< caller source line
+};
+
+/// Per-communicator collective ledger; one slot per member rank.
+class CommLedger {
+ public:
+  CommLedger(int size, std::string comm_name)
+      : name_(std::move(comm_name)),
+        records_(static_cast<std::size_t>(size)),
+        seqs_(static_cast<std::size_t>(size), 0) {}
+
+  const std::string& comm_name() const { return name_; }
+
+  /// Record `rec` as rank `rank`'s signature for its next collective.
+  /// Called before the entry barrier; returns the sequence number assigned.
+  std::uint64_t record(int rank, CollRecord rec) {
+    const auto r = static_cast<std::size_t>(rank);
+    rec.seq = seqs_[r]++;
+    records_[r] = rec;
+    return rec.seq;
+  }
+
+  /// Verify all slots agree; called by every rank right after the entry
+  /// barrier, before any peer data is read.  Throws ConformanceError with a
+  /// cross-rank diff on mismatch.  At Level::kFull, sendrecv additionally
+  /// verifies that the dest mapping is a permutation conjugate to src.
+  void verify() const;
+
+  /// Read-only view for report building / tests.
+  const std::vector<CollRecord>& records() const { return records_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& headline) const;
+
+  std::string name_;
+  std::vector<CollRecord> records_;
+  std::vector<std::uint64_t> seqs_;
+};
+
+}  // namespace lacc::check

@@ -44,13 +44,15 @@ void Comm::charge_alltoall(double t0, AllToAllAlgo algo,
   state().charge_comm(msgs, bytes_sent, seconds);
 }
 
-Comm Comm::split(int color, int key) {
+Comm Comm::split(int color, int key, std::source_location loc) {
   LACC_CHECK(color >= 0);
+  SyncWindow window(ctx_.get());
   // Round 1: publish (color, key) via aux.
   const std::uint64_t packed =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(color)) << 32) |
       static_cast<std::uint32_t>(key);
-  post(nullptr, 0, nullptr, nullptr, packed);
+  post(nullptr, 0, nullptr, nullptr, packed,
+       make_record(check::CollOp::kSplit, loc, 0, color, key));
 
   struct Member {
     int key;
@@ -77,8 +79,15 @@ Comm Comm::split(int color, int key) {
     std::vector<RankState*> members;
     members.reserve(group.size());
     for (const auto& m : group) members.push_back(ctx_->states[m.rank]);
-    auto child =
-        std::make_shared<CommContext>(std::move(members), ctx_->poison_flag);
+    // Deterministic child name: parent name + this split's per-communicator
+    // sequence number + color.  Every member computes the same string, and
+    // no global counter is involved, so ledger reports stay reproducible
+    // even when sibling groups split concurrently.
+    const std::uint64_t seq = ctx_->ledger.records()[static_cast<std::size_t>(rank_)].seq;
+    std::string name = ctx_->ledger.comm_name() + "/split" +
+                       std::to_string(seq) + ".c" + std::to_string(color);
+    auto child = std::make_shared<CommContext>(
+        std::move(members), ctx_->poison_flag, std::move(name));
     std::lock_guard<std::mutex> lock(ctx_->publish_mutex);
     ctx_->published_children[color] = std::move(child);
   }
@@ -96,6 +105,9 @@ Comm Comm::split(int color, int key) {
     ctx_->published_children.erase(color);
   }
   finish();
+  // Register this rank's membership (own-thread write to own RankState) so
+  // run_spmd can flag the child's barrier if this rank retires early.
+  state().memberships.push_back(child);
   return Comm(std::move(child), my_new_rank);
 }
 

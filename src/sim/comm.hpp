@@ -12,6 +12,14 @@
 // synchronous), so the simulated clock is deterministic regardless of
 // thread scheduling.
 //
+// Conformance checking (docs/CHECKING.md): with LACC_CHECK >= 1 every
+// collective also posts a call-site signature into the communicator's
+// ledger and verifies, right after the entry barrier and before any peer
+// data is read, that all ranks issued the same op in the same order with
+// consistent roots and congruent buffers — failing fast with a cross-rank
+// diff instead of deadlocking or corrupting buffers.  The checker charges
+// no modeled time, so verdicts cannot perturb the cost model.
+//
 // Collective cost formulas follow the standard MPICH models cited in
 // Section V-A of the paper; all-to-all supports both the pairwise-exchange
 // algorithm (alpha*(p-1) latency) and the hypercube algorithm of Sundar et
@@ -24,21 +32,28 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <source_location>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "sim/check.hpp"
 #include "sim/machine.hpp"
 #include "sim/stats.hpp"
+#include "support/checking.hpp"
 #include "support/error.hpp"
 #include "support/partition.hpp"
 #include "support/timer.hpp"
 
 namespace lacc::sim {
+
+class CommContext;
 
 /// Algorithm used by Comm::alltoallv (paper Section V-B).
 enum class AllToAllAlgo {
@@ -54,11 +69,20 @@ struct Poisoned : std::exception {
 };
 
 /// Per-rank mutable state: the modeled clock and the statistics sink.
+///
+/// Thread-ownership contract (audited for TSan, see docs/CHECKING.md):
+/// every field is written exclusively by the owning rank's thread while the
+/// run is live; run_spmd reads them only after joining all rank threads, so
+/// no field needs atomics.  Cross-rank visibility of posted slot data flows
+/// through the Barrier's acquire/release chain, never through RankState.
 struct RankState {
   const MachineModel* machine = nullptr;
   double sim_time = 0;
   RankStats stats;
   std::string region;  ///< currently-open region name ("" = none)
+  /// Communicators this rank belongs to, registered by the owning thread
+  /// only; used to flag ranks that retire while siblings still wait.
+  std::vector<std::shared_ptr<CommContext>> memberships;
 
   void charge_comm(std::uint64_t msgs, std::uint64_t bytes, double seconds) {
     sim_time += seconds;
@@ -101,6 +125,7 @@ class Barrier {
 
   void arrive_and_wait() {
     if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+    throw_if_retired();
     const std::uint64_t gen = generation_.load(std::memory_order_acquire);
     // The RMW chain on waiting_ orders every arrival's slot writes before
     // the releaser's generation bump, so readers of the posted slots
@@ -120,11 +145,13 @@ class Barrier {
     for (int spin = 0; spin < kSpinYields; ++spin) {
       if (generation_.load(std::memory_order_acquire) != gen) return;
       if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+      throw_if_retired();
       std::this_thread::yield();
     }
     std::unique_lock<std::mutex> lock(mutex_);
     while (generation_.load(std::memory_order_acquire) == gen) {
       if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+      throw_if_retired();
       cv_.wait(lock);
     }
   }
@@ -138,7 +165,29 @@ class Barrier {
     cv_.notify_all();
   }
 
+  /// A member rank finished its SPMD body without failing.  Any sibling
+  /// that arrives (or is waiting) at this barrier afterwards can never be
+  /// released — the conformance checker turns that guaranteed deadlock into
+  /// an error.  Only called when checking is enabled.
+  void note_retired() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      retired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+
  private:
+  void throw_if_retired() const {
+    const int gone = retired_.load(std::memory_order_relaxed);
+    if (gone > 0)
+      throw check::ConformanceError(
+          "SPMD conformance violation: collective can never complete — " +
+          std::to_string(gone) +
+          " member rank(s) already finished their SPMD body (a rank skipped "
+          "a collective or returned early)");
+  }
+
   static constexpr int kSpinYields = 256;
 
   std::mutex mutex_;
@@ -146,6 +195,7 @@ class Barrier {
   const int n_;
   std::atomic<int> waiting_{0};
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> retired_{0};
   std::shared_ptr<std::atomic<bool>> poison_;
 };
 
@@ -154,12 +204,13 @@ class Barrier {
 class CommContext {
  public:
   CommContext(std::vector<RankState*> members,
-              std::shared_ptr<std::atomic<bool>> poison)
+              std::shared_ptr<std::atomic<bool>> poison, std::string name)
       : size(static_cast<int>(members.size())),
         states(std::move(members)),
         slots(states.size()),
         barrier(size, poison),
-        poison_flag(std::move(poison)) {}
+        poison_flag(std::move(poison)),
+        ledger(size, std::move(name)) {}
 
   struct Slot {
     const void* data = nullptr;
@@ -175,9 +226,55 @@ class CommContext {
   std::vector<Slot> slots;
   Barrier barrier;
   std::shared_ptr<std::atomic<bool>> poison_flag;
+  check::CommLedger ledger;
+  /// Ranks currently inside this communicator's exchange window (between a
+  /// collective's entry barrier and its exit): while nonzero, posted slot
+  /// buffers may be read by any member, so a failing rank must not unwind
+  /// (and free its buffers) until the window drains.  See SyncWindow.
+  std::atomic<int> window{0};
 
   std::mutex publish_mutex;
   std::map<int, std::shared_ptr<CommContext>> published_children;
+};
+
+/// RAII occupancy of a communicator's exchange window, held by each rank
+/// for the full duration of a collective call.
+///
+/// On the normal path this is bookkeeping only.  When an exception unwinds
+/// a collective (a conformance verdict, an invariant check between the two
+/// barriers, or an injected failure), the destructor first poisons the
+/// barrier so every sibling is released, then blocks until all siblings
+/// have left the window — i.e. until nobody can still be copying out of
+/// this rank's posted buffers — before letting the unwind continue and
+/// destroy them.  This is what makes Barrier poisoning exception-safe:
+/// peers never observe dangling CommContext::Slot pointers.
+class SyncWindow {
+ public:
+  explicit SyncWindow(CommContext* ctx)
+      : ctx_(ctx), uncaught_(std::uncaught_exceptions()) {
+    ctx_->window.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  ~SyncWindow() {
+    const bool dying = std::uncaught_exceptions() > uncaught_;
+    if (dying) ctx_->barrier.poison();
+    ctx_->window.fetch_sub(1, std::memory_order_acq_rel);
+    if (dying) {
+      // Siblings mid-copy finish their reads, hit the next barrier, observe
+      // the poison, and leave the window while unwinding; siblings parked
+      // at a barrier are woken by the poison directly.  Each departure is
+      // finite, so this drain terminates.
+      while (ctx_->window.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
+    }
+  }
+
+  SyncWindow(const SyncWindow&) = delete;
+  SyncWindow& operator=(const SyncWindow&) = delete;
+
+ private:
+  CommContext* ctx_;
+  int uncaught_;
 };
 
 /// A rank's handle on a communicator.  Cheap to copy.
@@ -200,8 +297,10 @@ class Comm {
   }
 
   /// Barrier; synchronizes the modeled clock across the group.
-  void barrier() {
-    post(nullptr, 0, nullptr, nullptr, 0);
+  void barrier(std::source_location loc = std::source_location::current()) {
+    SyncWindow window(ctx_.get());
+    post(nullptr, 0, nullptr, nullptr, 0,
+         make_record(check::CollOp::kBarrier, loc, 0));
     const double t0 = group_start_time();
     state().sim_time = t0;
     state().charge_comm(log2_ceil(size()), 0, machine().alpha_s * log2_ceil(size()));
@@ -210,13 +309,18 @@ class Comm {
 
   /// Broadcast `data` from `root` to every rank (binomial-tree model).
   template <typename T>
-  void bcast(std::vector<T>& data, int root) {
+  void bcast(std::vector<T>& data, int root,
+             std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
+    LACC_CHECK(root >= 0 && root < size());
+    SyncWindow window(ctx_.get());
     std::size_t n = data.size();
     if (rank_ == root)
-      post(data.data(), n, nullptr, nullptr, n);
+      post(data.data(), n, nullptr, nullptr, n,
+           make_record(check::CollOp::kBcast, loc, sizeof(T), root));
     else
-      post(nullptr, 0, nullptr, nullptr, 0);
+      post(nullptr, 0, nullptr, nullptr, 0,
+           make_record(check::CollOp::kBcast, loc, sizeof(T), root));
     const double t0 = group_start_time();
     const auto& src = ctx_->slots[root];
     if (rank_ != root) {
@@ -233,9 +337,12 @@ class Comm {
 
   /// All-reduce of one scalar with a binary op (recursive-doubling model).
   template <typename T, typename Op>
-  T allreduce(T value, Op op) {
+  T allreduce(T value, Op op,
+              std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
-    post(&value, 1, nullptr, nullptr, 0);
+    SyncWindow window(ctx_.get());
+    post(&value, 1, nullptr, nullptr, 0,
+         make_record(check::CollOp::kAllreduce, loc, sizeof(T)));
     const double t0 = group_start_time();
     T result = *static_cast<const T*>(ctx_->slots[0].data);
     for (int r = 1; r < size(); ++r)
@@ -252,9 +359,10 @@ class Comm {
   /// If `counts_out` is non-null it receives each rank's contribution size.
   template <typename T>
   std::vector<T> allgatherv(const std::vector<T>& mine,
-                            std::vector<std::size_t>* counts_out = nullptr) {
+                            std::vector<std::size_t>* counts_out = nullptr,
+                            std::source_location loc = std::source_location::current()) {
     std::vector<T> out;
-    allgatherv_into(mine, out, counts_out);
+    allgatherv_into(mine, out, counts_out, loc);
     return out;
   }
 
@@ -263,14 +371,19 @@ class Comm {
   /// `out` must not alias `mine`.
   template <typename T>
   void allgatherv_into(const std::vector<T>& mine, std::vector<T>& out,
-                       std::vector<std::size_t>* counts_out = nullptr) {
+                       std::vector<std::size_t>* counts_out = nullptr,
+                       std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
-    LACC_CHECK(&out != &mine);
-    post(mine.data(), mine.size(), nullptr, nullptr, 0);
+    require_distinct(&mine, &out, "allgatherv_into", loc);
+    SyncWindow window(ctx_.get());
+    post(mine.data(), mine.size(), nullptr, nullptr, 0,
+         make_record(check::CollOp::kAllgatherv, loc, sizeof(T)));
     const double t0 = group_start_time();
     std::size_t total = 0;
     for (int r = 0; r < size(); ++r) total += ctx_->slots[r].count;
     out.resize(total);
+    check_recv_overlap(out.data(), total * sizeof(T), sizeof(T),
+                       "allgatherv_into", loc);
     if (counts_out) counts_out->assign(static_cast<std::size_t>(size()), 0);
     std::size_t at = 0;
     for (int r = 0; r < size(); ++r) {
@@ -296,9 +409,10 @@ class Comm {
   std::vector<T> alltoallv(const std::vector<T>& send,
                            const std::vector<std::size_t>& sendcounts,
                            AllToAllAlgo algo = AllToAllAlgo::kPairwise,
-                           std::vector<std::size_t>* recvcounts_out = nullptr) {
+                           std::vector<std::size_t>* recvcounts_out = nullptr,
+                           std::source_location loc = std::source_location::current()) {
     std::vector<T> out;
-    alltoallv_into(send, sendcounts, out, algo, recvcounts_out);
+    alltoallv_into(send, sendcounts, out, algo, recvcounts_out, loc);
     return out;
   }
 
@@ -310,9 +424,10 @@ class Comm {
                       const std::vector<std::size_t>& sendcounts,
                       std::vector<T>& out,
                       AllToAllAlgo algo = AllToAllAlgo::kPairwise,
-                      std::vector<std::size_t>* recvcounts_out = nullptr) {
+                      std::vector<std::size_t>* recvcounts_out = nullptr,
+                      std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
-    LACC_CHECK(&out != &send);
+    require_distinct(&send, &out, "alltoallv_into", loc);
     LACC_CHECK(sendcounts.size() == static_cast<std::size_t>(size()));
     std::vector<std::size_t> offsets(sendcounts.size() + 1, 0);
     for (std::size_t d = 0; d < sendcounts.size(); ++d)
@@ -323,7 +438,11 @@ class Comm {
     std::uint64_t bytes_sent = 0;
     for (int d = 0; d < size(); ++d)
       if (d != rank_) bytes_sent += sendcounts[static_cast<std::size_t>(d)] * sizeof(T);
-    post(send.data(), send.size(), sendcounts.data(), offsets.data(), bytes_sent);
+    SyncWindow window(ctx_.get());
+    post(send.data(), send.size(), sendcounts.data(), offsets.data(), bytes_sent,
+         make_record(check::CollOp::kAlltoallv, loc, sizeof(T), -1, -1,
+                     sendcounts.data()));
+    check::maybe_fail("alltoallv_into.window", rank_);
 
     const double t0 = group_start_time();
     if (recvcounts_out) recvcounts_out->assign(static_cast<std::size_t>(size()), 0);
@@ -331,6 +450,8 @@ class Comm {
     for (int s = 0; s < size(); ++s)
       recv_total += ctx_->slots[s].counts[static_cast<std::size_t>(rank_)];
     out.resize(recv_total);
+    check_recv_overlap(out.data(), recv_total * sizeof(T), sizeof(T),
+                       "alltoallv_into", loc);
     std::size_t at = 0;
     std::uint64_t bytes_recv = 0;
     for (int s = 0; s < size(); ++s) {
@@ -356,16 +477,37 @@ class Comm {
   /// elementwise with `op` across all ranks (recursive-halving model).
   template <typename T, typename Op>
   std::vector<T> reduce_scatter_block(const std::vector<T>& data, Op op,
-                                      const BlockPartition& part) {
+                                      const BlockPartition& part,
+                                      std::source_location loc =
+                                          std::source_location::current()) {
+    std::vector<T> out;
+    reduce_scatter_block_into(data, op, part, out, loc);
+    return out;
+  }
+
+  /// reduce_scatter_block receiving into a caller-owned buffer (resized to
+  /// fit) so a recycled workspace can absorb the result without a fresh
+  /// allocation.  `out` must not alias `data`.
+  template <typename T, typename Op>
+  void reduce_scatter_block_into(const std::vector<T>& data, Op op,
+                                 const BlockPartition& part, std::vector<T>& out,
+                                 std::source_location loc =
+                                     std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
+    require_distinct(&data, &out, "reduce_scatter_block_into", loc);
     LACC_CHECK(part.parts == static_cast<std::uint64_t>(size()));
     LACC_CHECK(part.n == data.size());
-    post(data.data(), data.size(), nullptr, nullptr, 0);
+    SyncWindow window(ctx_.get());
+    post(data.data(), data.size(), nullptr, nullptr, 0,
+         make_record(check::CollOp::kReduceScatter, loc, sizeof(T)));
     const double t0 = group_start_time();
     const std::size_t b = part.begin(static_cast<std::uint64_t>(rank_));
     const std::size_t e = part.end(static_cast<std::uint64_t>(rank_));
-    std::vector<T> out(static_cast<const T*>(ctx_->slots[0].data) + b,
-                       static_cast<const T*>(ctx_->slots[0].data) + e);
+    out.resize(e - b);
+    check_recv_overlap(out.data(), (e - b) * sizeof(T), sizeof(T),
+                       "reduce_scatter_block_into", loc);
+    const T* first = static_cast<const T*>(ctx_->slots[0].data);
+    for (std::size_t i = b; i < e; ++i) out[i - b] = first[i];
     for (int r = 1; r < size(); ++r) {
       const T* src = static_cast<const T*>(ctx_->slots[r].data);
       for (std::size_t i = b; i < e; ++i) out[i - b] = op(out[i - b], src[i]);
@@ -379,15 +521,15 @@ class Comm {
                             machine().beta_s_per_byte * static_cast<double>(bytes));
     charge_compute(static_cast<double>(e - b) * (size() - 1));
     finish();
-    return out;
   }
 
   /// Pairwise exchange along a permutation: every rank sends to `dest` and
   /// receives from `src` (both may equal the caller's own rank).
   template <typename T>
-  std::vector<T> sendrecv(const std::vector<T>& send, int dest, int src) {
+  std::vector<T> sendrecv(const std::vector<T>& send, int dest, int src,
+                          std::source_location loc = std::source_location::current()) {
     std::vector<T> out;
-    sendrecv_into(send, dest, src, out);
+    sendrecv_into(send, dest, src, out, loc);
     return out;
   }
 
@@ -396,18 +538,23 @@ class Comm {
   /// `out` must not alias `send`.
   template <typename T>
   void sendrecv_into(const std::vector<T>& send, int dest, int src,
-                     std::vector<T>& out) {
+                     std::vector<T>& out,
+                     std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
-    LACC_CHECK(&out != &send);
+    require_distinct(&send, &out, "sendrecv_into", loc);
     LACC_CHECK(dest >= 0 && dest < size() && src >= 0 && src < size());
+    SyncWindow window(ctx_.get());
     post(send.data(), send.size(), nullptr, nullptr,
-         static_cast<std::uint64_t>(dest));
+         static_cast<std::uint64_t>(dest),
+         make_record(check::CollOp::kSendrecv, loc, sizeof(T), dest, src));
     const double t0 = group_start_time();
     const auto& slot = ctx_->slots[src];
     LACC_CHECK_MSG(static_cast<int>(slot.aux) == rank_,
                    "sendrecv permutation mismatch: rank " << src << " sent to "
                        << slot.aux << ", not " << rank_);
     out.resize(slot.count);
+    check_recv_overlap(out.data(), slot.count * sizeof(T), sizeof(T),
+                       "sendrecv_into", loc);
     if (slot.count > 0)
       std::memcpy(out.data(), slot.data, slot.count * sizeof(T));
     const std::uint64_t bytes =
@@ -421,7 +568,8 @@ class Comm {
 
   /// Collective split into sub-communicators: ranks sharing `color` form a
   /// group, ordered by (key, parent rank).  Every rank must participate.
-  Comm split(int color, int key);
+  Comm split(int color, int key,
+             std::source_location loc = std::source_location::current());
 
  private:
   static double log2_ceil(int p) {
@@ -434,11 +582,77 @@ class Comm {
     return steps == 0 ? 1 : steps;
   }
 
+  static check::CollRecord make_record(check::CollOp op,
+                                       const std::source_location& loc,
+                                       std::size_t elem_size,
+                                       std::int64_t root = -1,
+                                       std::int64_t peer = -1,
+                                       const std::size_t* peer_counts = nullptr) {
+    check::CollRecord rec;
+    rec.op = op;
+    rec.root = root;
+    rec.peer = peer;
+    rec.elem_size = elem_size;
+    rec.peer_counts = peer_counts;
+    rec.file = loc.file_name();
+    rec.line = loc.line();
+    return rec;
+  }
+
+  /// Rejects a send buffer doubling as the receive buffer of the same
+  /// `_into` collective.  Cheap (one pointer compare), so always on.
+  void require_distinct(const void* send, const void* recv, const char* op,
+                        const std::source_location& loc) const {
+    if (send != recv) return;
+    std::ostringstream os;
+    os << "SPMD buffer aliasing violation on comm \""
+       << ctx_->ledger.comm_name() << "\": rank " << rank_
+       << " passed the same vector as send and receive buffer to " << op
+       << " at " << loc.file_name() << ":" << loc.line();
+    throw check::ConformanceError(os.str());
+  }
+
+  /// Full-level check that the (resized) receive range does not overlap any
+  /// rank's posted send buffer — writing into it would corrupt a source
+  /// buffer mid-exchange.  Element sizes are uniform here (ledger-verified
+  /// before any read), so slot extents are exact.
+  void check_recv_overlap(const void* out_data, std::size_t out_bytes,
+                          std::size_t elem_size, const char* op,
+                          const std::source_location& loc) const {
+    if (!check::full() || out_bytes == 0) return;
+    const std::less<const char*> lt;
+    const char* ob = static_cast<const char*>(out_data);
+    const char* oe = ob + out_bytes;
+    for (int r = 0; r < ctx_->size; ++r) {
+      const auto& slot = ctx_->slots[r];
+      if (slot.data == nullptr || slot.count == 0) continue;
+      const char* sb = static_cast<const char*>(slot.data);
+      const char* se = sb + slot.count * elem_size;
+      if (lt(sb, oe) && lt(ob, se)) {
+        std::ostringstream os;
+        os << "SPMD buffer aliasing violation on comm \""
+           << ctx_->ledger.comm_name() << "\": rank " << rank_
+           << "'s receive buffer for " << op << " overlaps the send buffer "
+           << "posted by rank " << r << " at " << loc.file_name() << ":"
+           << loc.line();
+        throw check::ConformanceError(os.str());
+      }
+    }
+  }
+
   void post(const void* data, std::size_t count, const std::size_t* counts,
-            const std::size_t* offsets, std::uint64_t aux) {
+            const std::size_t* offsets, std::uint64_t aux,
+            check::CollRecord rec) {
     auto& slot = ctx_->slots[rank_];
     slot = {data, count, counts, offsets, aux, state().sim_time};
+    if (check::enabled()) {
+      rec.count = count;
+      ctx_->ledger.record(rank_, rec);
+    }
     ctx_->barrier.arrive_and_wait();
+    // All signatures are visible now (the barrier's acquire/release chain
+    // publishes them with the slots); verify before any peer data is read.
+    if (check::enabled()) ctx_->ledger.verify();
   }
 
   /// Max posted clock across the group = superstep start time.

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "support/checking.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
@@ -26,7 +27,7 @@ SpmdResult run_spmd(int nranks, const MachineModel& machine,
     members.push_back(states.back().get());
   }
   auto poison = std::make_shared<std::atomic<bool>>(false);
-  auto world = std::make_shared<CommContext>(members, poison);
+  auto world = std::make_shared<CommContext>(members, poison, "world");
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -36,9 +37,19 @@ SpmdResult run_spmd(int nranks, const MachineModel& machine,
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      check::ScopedRank scoped_rank(r);
       Comm comm(world, r);
+      comm.state().memberships.push_back(world);
       try {
         body(comm);
+        // This rank retired cleanly.  Any communicator it belonged to can
+        // never complete another collective; with checking on, flag each
+        // barrier so stragglers report a missing collective instead of
+        // deadlocking.  Membership-scoped: barriers of communicators this
+        // rank never joined are unaffected.
+        if (check::enabled())
+          for (const auto& ctx : comm.state().memberships)
+            ctx->barrier.note_retired();
       } catch (const Poisoned&) {
         // A sibling failed first; its error is already recorded.
       } catch (...) {

@@ -24,9 +24,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <typeindex>
 #include <unordered_map>
 #include <vector>
+
+#include "support/checking.hpp"
 
 namespace lacc::support {
 
@@ -46,6 +49,7 @@ class WorkspaceArena {
   /// ownership rules in the file comment).
   template <typename T>
   std::vector<T>& persistent(const char* key) {
+    fence_owner_thread();
     ++acquisitions_;
     Entry& e = entries_[key];
     if (!e.ptr || e.type != std::type_index(typeid(T))) {
@@ -64,6 +68,22 @@ class WorkspaceArena {
   std::uint64_t creations() const { return creations_; }
 
  private:
+  /// Thread-ownership fence (LACC_CHECK=2): the arena is single-threaded by
+  /// construction, so the first acquiring thread claims it and any foreign
+  /// acquisition is a cross-rank sharing bug the simulator would otherwise
+  /// surface only as a TSan report or silent corruption.
+  void fence_owner_thread() {
+    if (!check::full()) return;
+    const auto self = std::this_thread::get_id();
+    if (owner_ == std::thread::id{}) {
+      owner_ = self;
+    } else if (owner_ != self) {
+      throw check::ConformanceError(
+          "SPMD workspace violation: per-rank arena acquired from a foreign "
+          "thread (arena or grid shared across virtual ranks?)");
+    }
+  }
+
   struct Entry {
     std::type_index type = std::type_index(typeid(void));
     std::shared_ptr<void> ptr;
@@ -71,6 +91,7 @@ class WorkspaceArena {
   std::unordered_map<std::string, Entry> entries_;
   std::uint64_t acquisitions_ = 0;
   std::uint64_t creations_ = 0;
+  std::thread::id owner_;
 };
 
 }  // namespace lacc::support

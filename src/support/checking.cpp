@@ -1,0 +1,75 @@
+#include "support/checking.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lacc::check {
+
+namespace detail {
+
+int init_level_from_env() {
+#ifdef NDEBUG
+  int v = static_cast<int>(Level::kOff);
+#else
+  int v = static_cast<int>(Level::kFull);
+#endif
+  if (const char* env = std::getenv("LACC_CHECK"); env != nullptr && *env) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 0 && parsed <= 2) v = static_cast<int>(parsed);
+  }
+  // Racing first calls compute the same value; the store is idempotent.
+  g_level.store(v, std::memory_order_relaxed);
+  return v;
+}
+
+}  // namespace detail
+
+void block_fence_failed(int owner, int toucher, const char* what) {
+  std::ostringstream os;
+  os << "SPMD block fence violation: rank " << toucher << " touched the "
+     << what << " block owned by rank " << owner
+     << " outside a collective (shared object captured across ranks?)";
+  throw ConformanceError(os.str());
+}
+
+namespace {
+
+struct FailPoint {
+  std::string point;
+  int rank;
+};
+
+std::mutex g_fail_mutex;
+std::vector<FailPoint>& fail_points() {
+  static std::vector<FailPoint> points;
+  return points;
+}
+
+}  // namespace
+
+void arm_fail_point(const char* point, int rank) {
+  std::lock_guard<std::mutex> lock(g_fail_mutex);
+  fail_points().push_back({point, rank});
+  detail::g_any_fail_point.store(true, std::memory_order_relaxed);
+}
+
+void disarm_fail_points() {
+  std::lock_guard<std::mutex> lock(g_fail_mutex);
+  fail_points().clear();
+  detail::g_any_fail_point.store(false, std::memory_order_relaxed);
+}
+
+void maybe_fail_slow(const char* point, int rank) {
+  std::lock_guard<std::mutex> lock(g_fail_mutex);
+  for (const auto& fp : fail_points())
+    if (fp.rank == rank && fp.point == point)
+      throw Error(std::string("injected failure at ") + point + " on rank " +
+                  std::to_string(rank));
+}
+
+}  // namespace lacc::check

@@ -1,0 +1,116 @@
+// Configuration and primitives for the SPMD conformance checker.
+//
+// The checker (see docs/CHECKING.md) verifies that the SPMD programs built
+// on lacc::sim are well-formed: every rank issues the same collectives in
+// the same order with consistent signatures, no rank touches another rank's
+// distributed-vector block outside a collective, and recycled workspaces
+// stay on the thread that owns them.  This header holds the pieces that the
+// support layer itself consumes (WorkspaceArena, DistVec fencing); the
+// collective ledger lives in sim/check.hpp on top of it.
+//
+// Levels (env LACC_CHECK=0|1|2, default: full in debug builds, off when
+// NDEBUG is defined):
+//   0 (off)   — no recording, no verification; release behavior.
+//   1 (cheap) — collective signature matching (op, order, root, element
+//               size, required count uniformity) at every sync point.
+//   2 (full)  — level 1 plus buffer-aliasing range checks, sendrecv
+//               permutation conjugacy, DistVec/DCSC block fencing, and
+//               workspace-arena thread-ownership checks.
+//
+// Checker verdicts never touch the modeled clock or statistics: enabling
+// any level leaves modeled_seconds, traces, and labelings bit-identical.
+#pragma once
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace lacc::check {
+
+enum class Level : int {
+  kOff = 0,
+  kCheap = 1,
+  kFull = 2,
+};
+
+/// Thrown when the checker proves the SPMD program malformed (as opposed to
+/// lacc::Error, which flags bad arguments on a single rank).  The message
+/// carries a cross-rank diff of the offending collective where applicable.
+class ConformanceError : public Error {
+ public:
+  explicit ConformanceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+// -1 = not yet initialized from the environment.
+inline std::atomic<int> g_level{-1};
+// Thread's world rank inside run_spmd, -1 outside any SPMD body.
+inline thread_local int t_current_rank = -1;
+int init_level_from_env();  // reads LACC_CHECK once; defined in checking.cpp
+}  // namespace detail
+
+/// Active checking level (cached; first call reads LACC_CHECK).
+inline Level level() {
+  int v = detail::g_level.load(std::memory_order_relaxed);
+  if (v < 0) v = detail::init_level_from_env();
+  return static_cast<Level>(v);
+}
+
+inline bool enabled() { return level() != Level::kOff; }
+inline bool full() { return level() == Level::kFull; }
+
+/// Override the level at runtime (tests sweep 0/1/2 in one process).
+inline void set_level(Level l) {
+  detail::g_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+/// World rank of the calling thread inside run_spmd, -1 outside.
+inline int current_rank() { return detail::t_current_rank; }
+
+/// RAII binding of the calling thread to a virtual world rank; installed by
+/// run_spmd around each rank body.  Block fencing compares against it.
+class ScopedRank {
+ public:
+  explicit ScopedRank(int rank) : prev_(detail::t_current_rank) {
+    detail::t_current_rank = rank;
+  }
+  ~ScopedRank() { detail::t_current_rank = prev_; }
+  ScopedRank(const ScopedRank&) = delete;
+  ScopedRank& operator=(const ScopedRank&) = delete;
+
+ private:
+  int prev_;
+};
+
+[[noreturn]] void block_fence_failed(int owner, int toucher, const char* what);
+
+/// Block fencing (level 2): asserts the calling thread is the virtual rank
+/// that owns the touched block.  Outside run_spmd (current_rank() == -1)
+/// everything is permitted — single-threaded tests poke freely.
+inline void fence_block_access(int owner_rank, const char* what) {
+  if (level() < Level::kFull) return;
+  const int cur = current_rank();
+  if (cur >= 0 && cur != owner_rank) block_fence_failed(owner_rank, cur, what);
+}
+
+// --- Test-only failure injection -----------------------------------------
+// Conformance tests kill one rank at a named point inside a collective to
+// prove that a mid-collective death neither deadlocks nor lets peers read
+// freed buffers.  Zero overhead when nothing is armed (one relaxed load).
+
+namespace detail {
+inline std::atomic<bool> g_any_fail_point{false};
+}
+
+/// Arm `point` so that `maybe_fail(point, rank)` throws on `rank`.
+void arm_fail_point(const char* point, int rank);
+/// Disarm all fail points (call from test teardown).
+void disarm_fail_points();
+void maybe_fail_slow(const char* point, int rank);
+
+inline void maybe_fail(const char* point, int rank) {
+  if (detail::g_any_fail_point.load(std::memory_order_relaxed))
+    maybe_fail_slow(point, rank);
+}
+
+}  // namespace lacc::check

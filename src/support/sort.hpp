@@ -72,6 +72,46 @@ void radix_sort_pairs(std::vector<std::uint64_t>& keys, std::vector<V>& values,
   }
 }
 
+/// Stable LSD radix sort of `items` by `key(item)` (a 64-bit extractor),
+/// using caller-provided `scratch` for the ping-pong buffer so arena-managed
+/// hot paths sort without allocating.  Only the key bytes needed to cover
+/// `max_key` are processed.  Stability makes multi-key orders composable:
+/// sorting by a secondary key and then by the primary key yields the same
+/// order as one comparator sort on (primary, secondary).
+template <typename T, typename KeyFn>
+void radix_sort_by(std::vector<T>& items, std::vector<T>& scratch, KeyFn&& key,
+                   std::uint64_t max_key = ~std::uint64_t{0}) {
+  const std::size_t n = items.size();
+  if (n < 64) {  // small inputs: counting passes cost more than std::sort
+    std::stable_sort(items.begin(), items.end(),
+                     [&](const T& a, const T& b) { return key(a) < key(b); });
+    return;
+  }
+
+  int passes = 0;
+  while (passes < 8 && (max_key >> (8 * passes)) != 0) ++passes;
+  if (passes == 0) passes = 1;
+
+  scratch.resize(n);
+  T* in = items.data();
+  T* out = scratch.data();
+  for (int pass = 0; pass < passes; ++pass) {
+    std::array<std::size_t, 256> count{};
+    const int shift = 8 * pass;
+    for (std::size_t i = 0; i < n; ++i) ++count[(key(in[i]) >> shift) & 0xFF];
+    std::size_t sum = 0;
+    for (auto& c : count) {
+      const std::size_t next = sum + c;
+      c = sum;
+      sum = next;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      out[count[(key(in[i]) >> shift) & 0xFF]++] = in[i];
+    std::swap(in, out);
+  }
+  if (in != items.data()) std::copy(in, in + n, items.data());
+}
+
 /// Exclusive prefix sum; returns the total.
 template <typename T>
 T exclusive_prefix_sum(std::vector<T>& v) {

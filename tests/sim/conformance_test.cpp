@@ -1,0 +1,298 @@
+// Negative-test suite for the SPMD conformance checker: seed each mismatch
+// class the checker promises to catch and assert the report names the
+// offending collective, rank, and call site — instead of the deadlock or
+// silent corruption the unchecked runtime would produce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/lacc_dist.hpp"
+#include "dist/dist_vec.hpp"
+#include "graph/generators.hpp"
+#include "sim/runtime.hpp"
+#include "support/arena.hpp"
+#include "support/checking.hpp"
+#include "support/partition.hpp"
+
+namespace lacc::sim {
+namespace {
+
+/// Pin the checker level for one test and restore it afterwards (the suite
+/// must pass under any ambient LACC_CHECK setting).
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(check::Level l) : prev_(check::level()) {
+    check::set_level(l);
+  }
+  ~ScopedLevel() { check::set_level(prev_); }
+
+ private:
+  check::Level prev_;
+};
+
+/// Run `body` and return the ConformanceError message it must produce.
+std::string conformance_message(int ranks,
+                                const std::function<void(Comm&)>& body) {
+  try {
+    run_spmd(ranks, MachineModel::local(), body);
+  } catch (const check::ConformanceError& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected ConformanceError, got: " << e.what();
+    return "";
+  }
+  ADD_FAILURE() << "expected ConformanceError, got clean run";
+  return "";
+}
+
+TEST(Conformance, WrongBroadcastRootReportsDivergingRank) {
+  ScopedLevel level(check::Level::kCheap);
+  const std::string msg = conformance_message(4, [](Comm& comm) {
+    std::vector<int> data{comm.rank()};
+    // Rank 2 disagrees about who broadcasts.
+    comm.bcast(data, comm.rank() == 2 ? 1 : 0);
+  });
+  EXPECT_NE(msg.find("broadcast roots differ"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("diverges"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("conformance_test.cpp"), std::string::npos) << msg;
+}
+
+TEST(Conformance, SkippedBarrierReportsOpMismatch) {
+  ScopedLevel level(check::Level::kCheap);
+  const std::string msg = conformance_message(4, [](Comm& comm) {
+    // Rank 0 skips the barrier and goes straight to the allreduce that every
+    // other rank issues one sync point later.
+    if (comm.rank() != 0) comm.barrier();
+    comm.allreduce(1, [](int a, int b) { return a + b; });
+    if (comm.rank() == 0) comm.barrier();
+  });
+  EXPECT_NE(msg.find("skipped or reordered collective"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("allreduce"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("barrier"), std::string::npos) << msg;
+}
+
+TEST(Conformance, ReorderedCollectivesReportOpMismatch) {
+  ScopedLevel level(check::Level::kCheap);
+  const std::string msg = conformance_message(3, [](Comm& comm) {
+    std::vector<int> data{1, 2, 3};
+    if (comm.rank() == 1) {
+      comm.allreduce(1, [](int a, int b) { return a + b; });
+      comm.bcast(data, 0);
+    } else {
+      comm.bcast(data, 0);
+      comm.allreduce(1, [](int a, int b) { return a + b; });
+    }
+  });
+  EXPECT_NE(msg.find("skipped or reordered collective"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+}
+
+TEST(Conformance, ElementSizeMismatchIsDetected) {
+  ScopedLevel level(check::Level::kCheap);
+  const std::string msg = conformance_message(4, [](Comm& comm) {
+    if (comm.rank() == 3) {
+      comm.allreduce(std::uint32_t{1},
+                     [](std::uint32_t a, std::uint32_t b) { return a + b; });
+    } else {
+      comm.allreduce(std::uint64_t{1},
+                     [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    }
+  });
+  EXPECT_NE(msg.find("element sizes differ"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 3"), std::string::npos) << msg;
+}
+
+TEST(Conformance, ReduceScatterCountMismatchIsDetected) {
+  ScopedLevel level(check::Level::kCheap);
+  const std::string msg = conformance_message(4, [](Comm& comm) {
+    // Rank 1 brings a 9-element array to a reduce-scatter everyone else
+    // sized at 8: the buffers are not congruent.
+    const std::size_t n = comm.rank() == 1 ? 9 : 8;
+    const std::vector<std::uint64_t> data(n, 1);
+    const BlockPartition part(n, static_cast<std::uint64_t>(comm.size()));
+    comm.reduce_scatter_block(
+        data, [](std::uint64_t a, std::uint64_t b) { return a + b; }, part);
+  });
+  EXPECT_NE(msg.find("buffer lengths differ"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+}
+
+TEST(Conformance, EarlyReturnReportsMissingCollective) {
+  ScopedLevel level(check::Level::kCheap);
+  const std::string msg = conformance_message(4, [](Comm& comm) {
+    if (comm.rank() == 3) return;  // retires without the barrier below
+    comm.barrier();
+  });
+  EXPECT_NE(msg.find("finished their SPMD body"), std::string::npos) << msg;
+}
+
+TEST(Conformance, AliasedIntoBufferNamesRankAndCallSite) {
+  ScopedLevel level(check::Level::kCheap);
+  const std::string msg = conformance_message(3, [](Comm& comm) {
+    std::vector<int> buf{comm.rank()};
+    if (comm.rank() == 1) {
+      comm.allgatherv_into(buf, buf);  // aliased send/recv
+    } else {
+      std::vector<int> out;
+      comm.allgatherv_into(buf, out);
+    }
+  });
+  EXPECT_NE(msg.find("aliasing violation"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("allgatherv_into"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("conformance_test.cpp"), std::string::npos) << msg;
+}
+
+TEST(Conformance, SendrecvNonPermutationIsDetectedAtFullLevel) {
+  ScopedLevel level(check::Level::kFull);
+  const std::string msg = conformance_message(4, [](Comm& comm) {
+    // Everyone sends to rank 0: dests are not a permutation, so three ranks
+    // would read buffers nobody addressed to them.
+    const std::vector<int> payload{comm.rank()};
+    comm.sendrecv(payload, 0, 0);
+  });
+  EXPECT_NE(msg.find("permutation"), std::string::npos) << msg;
+}
+
+TEST(Conformance, SendrecvNonConjugateSrcIsDetectedAtFullLevel) {
+  ScopedLevel level(check::Level::kFull);
+  const std::string msg = conformance_message(4, [](Comm& comm) {
+    // dest is the identity permutation, but rank 2 expects to receive from
+    // rank 1, which is sending to itself.
+    const std::vector<int> payload{comm.rank()};
+    comm.sendrecv(payload, comm.rank(), comm.rank() == 2 ? 1 : comm.rank());
+  });
+  EXPECT_NE(msg.find("conjugate"), std::string::npos) << msg;
+}
+
+TEST(Conformance, SplitOnSubsetOfRanksIsDetected) {
+  ScopedLevel level(check::Level::kCheap);
+  const std::string msg = conformance_message(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();  // rank 0 sits out the split everyone else issues
+    } else {
+      comm.split(0, comm.rank());
+    }
+  });
+  EXPECT_NE(msg.find("skipped or reordered collective"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("split"), std::string::npos) << msg;
+}
+
+TEST(Conformance, InjectedFailureInsideAlltoallvUnwindsSafely) {
+  // Kill rank 2 inside alltoallv_into's exchange window while its siblings
+  // are copying out of posted buffers.  The SyncWindow drain must keep the
+  // dying rank's buffers alive until every reader has left, so this runs
+  // clean under ASan/TSan, and the injected error (not a crash or a
+  // Poisoned) must reach the caller.
+  ScopedLevel level(check::Level::kCheap);
+  check::arm_fail_point("alltoallv_into.window", 2);
+  const int ranks = 4;
+  try {
+    run_spmd(ranks, MachineModel::local(), [&](Comm& comm) {
+      // Big per-destination payloads so sibling copies are in flight when
+      // rank 2 dies.
+      const std::size_t chunk = 1 << 15;
+      const std::vector<std::uint64_t> send(
+          chunk * static_cast<std::size_t>(comm.size()),
+          static_cast<std::uint64_t>(comm.rank()));
+      const std::vector<std::size_t> counts(
+          static_cast<std::size_t>(comm.size()), chunk);
+      for (int round = 0; round < 4; ++round) {
+        std::vector<std::uint64_t> out;
+        comm.alltoallv_into(send, counts, out);
+        EXPECT_EQ(out.size(), send.size());
+      }
+    });
+    ADD_FAILURE() << "expected the injected failure to propagate";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected failure"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos)
+        << e.what();
+  }
+  check::disarm_fail_points();
+}
+
+TEST(Conformance, DistVecBlockFenceTripsOnForeignRank) {
+  ScopedLevel level(check::Level::kFull);
+  std::atomic<dist::DistVec<std::uint64_t>*> shared{nullptr};
+  const std::string msg = conformance_message(4, [&](Comm& comm) {
+    dist::ProcGrid grid(comm);
+    dist::DistVec<std::uint64_t> vec(grid, 64);
+    if (comm.rank() == 0) shared.store(&vec, std::memory_order_release);
+    comm.barrier();
+    if (comm.rank() == 1) {
+      // Touch rank 0's block outside any collective.
+      auto* foreign = shared.load(std::memory_order_acquire);
+      foreign->set(foreign->begin(), 7);
+    }
+    comm.barrier();
+    comm.barrier();  // keep rank 0 (and vec) alive while rank 1 touches
+  });
+  EXPECT_NE(msg.find("block fence violation"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("DistVec"), std::string::npos) << msg;
+}
+
+TEST(Conformance, ArenaRejectsForeignThreadAtFullLevel) {
+  ScopedLevel level(check::Level::kFull);
+  support::WorkspaceArena arena;
+  arena.buffer<int>("owned");  // main thread claims the arena
+  std::string msg;
+  std::thread intruder([&] {
+    try {
+      arena.buffer<int>("owned");
+    } catch (const check::ConformanceError& e) {
+      msg = e.what();
+    }
+  });
+  intruder.join();
+  EXPECT_NE(msg.find("foreign thread"), std::string::npos) << msg;
+}
+
+TEST(Conformance, CheckerLevelsLeaveResultsBitIdentical) {
+  // The checker must not perturb the cost model: modeled time, labeling,
+  // and the per-iteration trace are bit-identical at every level.
+  const auto el = graph::clustered_components(600, 25, 4.0, 11);
+  core::LaccOptions options;
+  std::vector<core::DistRunResult> runs;
+  for (const auto lvl :
+       {check::Level::kOff, check::Level::kCheap, check::Level::kFull}) {
+    ScopedLevel level(lvl);
+    runs.push_back(core::lacc_dist(el, 9, MachineModel::local(), options));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].modeled_seconds, runs[0].modeled_seconds);
+    EXPECT_EQ(runs[i].cc.parent, runs[0].cc.parent);
+    EXPECT_EQ(runs[i].cc.iterations, runs[0].cc.iterations);
+    ASSERT_EQ(runs[i].cc.trace.size(), runs[0].cc.trace.size());
+    for (std::size_t k = 0; k < runs[0].cc.trace.size(); ++k)
+      EXPECT_EQ(runs[i].cc.trace[k].modeled_seconds,
+                runs[0].cc.trace[k].modeled_seconds);
+  }
+}
+
+TEST(Conformance, CleanProgramsPassAtFullLevel) {
+  ScopedLevel level(check::Level::kFull);
+  run_spmd(4, MachineModel::local(), [](Comm& comm) {
+    std::vector<int> data{comm.rank()};
+    comm.bcast(data, 0);
+    const auto gathered = comm.allgatherv(data);
+    EXPECT_EQ(gathered.size(), 4u);
+    auto sub = comm.split(comm.rank() % 2, comm.rank());
+    sub.barrier();
+    const int sum = sub.allreduce(1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(sum, 2);
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace lacc::sim

@@ -1,0 +1,321 @@
+#!/usr/bin/env python3
+"""SPMD lint pass for the lacc::sim virtual-rank runtime (CI-enforced).
+
+Static rules that complement the runtime conformance checker
+(docs/CHECKING.md) by catching malformed SPMD code before it runs:
+
+  rank-conditional-collective
+      A collective issued inside an `if`/`while` whose condition depends on
+      the caller's rank (rank(), my_row(), my_col(), leader, ...).  Every
+      rank must issue every collective; a rank-dependent guard is the static
+      signature of the skipped/mismatched collectives the runtime checker
+      reports at sync points.  Scope: src/ and examples/.
+
+  raw-sort
+      std::sort / std::stable_sort in the arena-managed kernel hot paths.
+      The kernels sort with the allocation-free stable radix helpers in
+      support/sort.hpp; a comparator sort allocates (introsort spills) and
+      is not stable.  Scope: src/dist/ops.cpp.
+
+  heap-alloc-hot-path
+      A local std::vector declaration in the arena-managed kernel hot
+      paths.  Scratch must come from the per-rank WorkspaceArena so
+      steady-state kernel calls allocate nothing.  Scope: src/dist/ops.cpp.
+
+  non-into-collective
+      An allocating collective (allgatherv, alltoallv, reduce_scatter_block,
+      sendrecv without the _into suffix) in the kernel hot paths, which
+      returns a fresh vector per call instead of filling a recycled buffer.
+      Scope: src/dist/ops.cpp.
+
+A finding can be suppressed with a pragma on the offending line or the line
+above:  // lint-spmd: allow(<rule>)
+
+Usage:
+  tools/lint_spmd.py [--root REPO_ROOT]     lint the tree (exit 1 on findings)
+  tools/lint_spmd.py --self-test            run the linter's own test suite
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+COLLECTIVE_RE = re.compile(
+    r"[.>]\s*(barrier|bcast|allreduce|allgatherv(?:_into)?|"
+    r"alltoallv(?:_into)?|reduce_scatter_block(?:_into)?|"
+    r"sendrecv(?:_into)?|split)\s*\("
+)
+RANK_TOKEN_RE = re.compile(
+    r"\b(rank|rank_|my_rank|my_row|my_col|leader|is_leader|is_root|"
+    r"transpose_rank|grid_row|grid_col)\b"
+)
+COND_RE = re.compile(r"\b(?:if|while)\s*\(")
+ALLOW_RE = re.compile(r"lint-spmd:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+NON_INTO_RE = re.compile(
+    r"[.>]\s*(allgatherv|alltoallv|reduce_scatter_block|sendrecv)\s*\("
+)
+RAW_SORT_RE = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
+VEC_DECL_RE = re.compile(r"^\s*(?:const\s+)?std::vector\s*<[^;&]*>\s+\w[^;(]*[;(]")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving line
+    structure so offsets still map to line numbers."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+            elif c in "\"'":
+                mode = c
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # inside a string/char literal
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+            elif c == mode:
+                mode = None
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def allowed(lines, lineno, rule):
+    """True if an allow-pragma for `rule` sits on `lineno` or the line above."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(lines):
+            m = ALLOW_RE.search(lines[ln - 1])
+            if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                return True
+    return False
+
+
+def matching(code, start, open_ch, close_ch):
+    """Offset one past the delimiter matching code[start] (== open_ch)."""
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def body_extent(code, pos):
+    """Extent [begin, end) of the statement or block starting at/after pos."""
+    while pos < len(code) and code[pos] in " \t\n":
+        pos += 1
+    if pos >= len(code):
+        return pos, pos
+    if code[pos] == "{":
+        return pos, matching(code, pos, "{", "}")
+    end = code.find(";", pos)
+    return pos, (len(code) if end < 0 else end + 1)
+
+
+def check_rank_conditional(path, text, findings):
+    rule = "rank-conditional-collective"
+    code = strip_comments_and_strings(text)
+    lines = text.splitlines()
+    for m in COND_RE.finditer(code):
+        open_paren = code.index("(", m.start())
+        cond_end = matching(code, open_paren, "(", ")")
+        condition = code[open_paren:cond_end]
+        if not RANK_TOKEN_RE.search(condition):
+            continue
+        bodies = [body_extent(code, cond_end)]
+        # The else branch of a rank-dependent if is equally rank-dependent.
+        tail = code[bodies[0][1]:]
+        else_m = re.match(r"\s*else\b(?!\s+if\b)", tail)
+        if else_m:
+            bodies.append(body_extent(code, bodies[0][1] + else_m.end()))
+        for begin, end in bodies:
+            for cm in COLLECTIVE_RE.finditer(code, begin, end):
+                lineno = line_of(code, cm.start())
+                if allowed(lines, lineno, rule) or allowed(
+                    lines, line_of(code, m.start()), rule
+                ):
+                    continue
+                findings.append(
+                    (path, lineno, rule,
+                     f"collective '{cm.group(1)}' under a rank-dependent "
+                     f"condition ({condition.strip()[:60]}); every rank must "
+                     "issue every collective")
+                )
+
+
+def check_line_rules(path, text, findings, rules):
+    code = strip_comments_and_strings(text)
+    lines = text.splitlines()
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        for rule, regex, message in rules:
+            m = regex.search(line)
+            if m and not allowed(lines, lineno, rule):
+                findings.append((path, lineno, rule, message))
+
+
+HOT_PATH_RULES = [
+    ("raw-sort", RAW_SORT_RE,
+     "comparator sort in an arena-managed hot path; use the stable radix "
+     "helpers in support/sort.hpp"),
+    ("heap-alloc-hot-path", VEC_DECL_RE,
+     "local std::vector in an arena-managed hot path; acquire scratch from "
+     "the WorkspaceArena"),
+    ("non-into-collective", NON_INTO_RE,
+     "allocating collective in a hot path; use the _into variant with a "
+     "recycled buffer"),
+]
+
+
+def lint_tree(root):
+    findings = []
+    spmd_dirs = [root / "src", root / "examples"]
+    for d in spmd_dirs:
+        if not d.is_dir():
+            continue
+        for path in sorted(d.rglob("*.[ch]pp")):
+            text = path.read_text(encoding="utf-8", errors="replace")
+            check_rank_conditional(str(path.relative_to(root)), text, findings)
+    hot = root / "src" / "dist" / "ops.cpp"
+    if hot.is_file():
+        check_line_rules(str(hot.relative_to(root)),
+                         hot.read_text(encoding="utf-8"), findings,
+                         HOT_PATH_RULES)
+    return findings
+
+
+# --- self test -------------------------------------------------------------
+
+SELF_TESTS = [
+    # (name, snippet, rule-or-None expected from rank-conditional checks)
+    ("braceless if", "if (comm.rank() == 0) comm.barrier();",
+     "rank-conditional-collective"),
+    ("braced if", "if (rank == 0) {\n  setup();\n  comm.bcast(v, 0);\n}",
+     "rank-conditional-collective"),
+    ("while loop", "while (my_row() != 0) { grid.row_comm().barrier(); }",
+     "rank-conditional-collective"),
+    ("else branch", "if (leader) {\n  x();\n} else {\n  comm.split(0, 1);\n}",
+     "rank-conditional-collective"),
+    ("uniform condition", "if (flags[o]) { comm.bcast(v, r); }", None),
+    ("rank cond without collective", "if (comm.rank() == 0) chunk = u.tuples();",
+     None),
+    ("collective after the branch",
+     "if (rank == 0) local();\ncomm.barrier();", None),
+    ("allow pragma",
+     "// lint-spmd: allow(rank-conditional-collective)\n"
+     "if (rank == 0) comm.barrier();", None),
+    ("comment mention", "// if (rank == 0) comm.barrier();", None),
+    ("else if chain rank cond",
+     "if (n == 0) a();\nelse if (rank_ == 0) comm.barrier();",
+     "rank-conditional-collective"),
+]
+
+SELF_TESTS_HOT = [
+    ("raw sort", "std::sort(v.begin(), v.end());", "raw-sort"),
+    ("stable sort", "std::stable_sort(v.begin(), v.end());", "raw-sort"),
+    ("radix is fine", "radix_sort_by(items, scratch, key, n);", None),
+    ("vector decl", "  std::vector<int> tmp;", "heap-alloc-hot-path"),
+    ("sized vector decl", "  std::vector<std::size_t> offsets(n + 1, 0);",
+     "heap-alloc-hot-path"),
+    ("reference binding", "  const std::vector<int>& ref = arena.thing();",
+     None),
+    ("by-value parameter line", "    std::vector<Tuple<VertexId>> pairs,",
+     None),
+    ("non-into alltoallv", "auto out = world.alltoallv(send, counts);",
+     "non-into-collective"),
+    ("into variant", "world.alltoallv_into(send, counts, out);", None),
+    ("non-into reduce_scatter",
+     "auto r = comm.reduce_scatter_block(data, op, part);",
+     "non-into-collective"),
+    ("allowed non-into",
+     "auto out = world.alltoallv(send, counts);  "
+     "// lint-spmd: allow(non-into-collective)", None),
+]
+
+
+def self_test():
+    failures = 0
+    for name, snippet, expected in SELF_TESTS:
+        findings = []
+        check_rank_conditional("<snippet>", snippet, findings)
+        got = findings[0][2] if findings else None
+        if got != expected:
+            print(f"self-test FAILED: {name}: expected {expected}, got "
+                  f"{[f[2] for f in findings]}")
+            failures += 1
+    for name, snippet, expected in SELF_TESTS_HOT:
+        findings = []
+        check_line_rules("<snippet>", snippet, findings, HOT_PATH_RULES)
+        rules = {f[2] for f in findings}
+        ok = (expected in rules) if expected else not rules
+        if not ok:
+            print(f"self-test FAILED: {name}: expected {expected}, got "
+                  f"{sorted(rules)}")
+            failures += 1
+    total = len(SELF_TESTS) + len(SELF_TESTS_HOT)
+    print(f"self-test: {total - failures}/{total} passed")
+    return failures == 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own test suite and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(0 if self_test() else 1)
+
+    findings = lint_tree(args.root.resolve())
+    for path, lineno, rule, message in findings:
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"lint_spmd: {len(findings)} finding(s)")
+        sys.exit(1)
+    print("lint_spmd: clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
