@@ -50,6 +50,7 @@ std::vector<Variant> variants() {
 int main() {
   bench::print_banner("Ablation — LACC's optimizations, one at a time",
                       "Azad & Buluc, IPDPS 2019, Sections IV-B and V-B");
+  bench::Metrics metrics("ablation_optimizations");
 
   const auto& machine = sim::MachineModel::edison();
   const int ranks = bench::rank_sweep().back();
@@ -65,6 +66,10 @@ int main() {
       const auto result =
           core::lacc_dist(p.graph, ranks, machine, variant.options);
       bench::check_against_truth(p.graph, result.cc.parent);
+      metrics.add_run(
+          name + " / " + variant.name, ranks, result.spmd,
+          result.modeled_seconds,
+          {{"iterations", static_cast<double>(result.cc.iterations)}});
       if (full_seconds == 0) full_seconds = result.modeled_seconds;
       t.add_row({variant.name, fmt_seconds(result.modeled_seconds),
                  fmt_ratio(result.modeled_seconds / full_seconds),

@@ -16,6 +16,7 @@
 #include "core/lacc_serial.hpp"
 #include "graph/csr.hpp"
 #include "graph/testproblems.hpp"
+#include "obs/metrics.hpp"
 #include "sim/machine.hpp"
 #include "support/env.hpp"
 #include "support/table.hpp"
@@ -55,5 +56,52 @@ inline void check_against_truth(const graph::EdgeList& el,
   if (!core::same_partition(parent, truth.parent))
     throw Error("bench result does not match union-find ground truth");
 }
+
+/// Machine-readable metrics collector, one per bench main.  Runs recorded
+/// while the instance is alive are written to
+/// $LACC_METRICS_OUT/BENCH_<tool>.json on destruction (lacc-metrics-v1,
+/// docs/OBSERVABILITY.md); with LACC_METRICS_OUT unset this is a no-op, so
+/// tables printed to stdout never change.
+class Metrics {
+ public:
+  explicit Metrics(std::string tool) : tool_(std::move(tool)) {
+    config_ = {{"scale", problem_scale()},
+               {"max_ranks",
+                static_cast<double>(env_int("LACC_MAX_RANKS", 64))}};
+    global_ = this;
+  }
+  ~Metrics() {
+    global_ = nullptr;
+    const std::string path = obs::write_metrics_file(tool_, config_, runs_);
+    if (!path.empty()) std::cerr << "metrics written to " << path << "\n";
+  }
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// The live collector of this bench process, or nullptr (for helpers
+  /// like strong_scaling that record into whatever bench is running).
+  static Metrics* global() { return global_; }
+
+  /// Record one SPMD run with its per-rank stats.
+  void add_run(const std::string& name, int ranks,
+               const sim::SpmdResult& spmd, double modeled_seconds,
+               obs::Scalars scalars = {}) {
+    runs_.push_back(obs::make_run_record(name, ranks, spmd.stats,
+                                         modeled_seconds, spmd.wall_seconds,
+                                         std::move(scalars)));
+  }
+
+  /// Record a serial / scalar-only measurement (no per-rank stats).
+  void add_simple(const std::string& name, obs::Scalars scalars) {
+    runs_.push_back(
+        obs::make_run_record(name, 0, {}, 0.0, 0.0, std::move(scalars)));
+  }
+
+ private:
+  static inline Metrics* global_ = nullptr;
+  std::string tool_;
+  obs::Scalars config_;
+  std::vector<obs::RunRecord> runs_;
+};
 
 }  // namespace lacc::bench

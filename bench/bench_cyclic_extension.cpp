@@ -35,6 +35,7 @@ int main() {
   bench::print_banner(
       "Extension — cyclic vector distribution (the paper's future work)",
       "conclusion of Azad & Buluc, IPDPS 2019");
+  bench::Metrics metrics("cyclic_extension");
 
   const auto& machine = sim::MachineModel::edison();
   const int ranks = bench::rank_sweep().back();
@@ -50,6 +51,10 @@ int main() {
     bench::check_against_truth(p.graph, block.cc.parent);
     const auto cyclic = core::lacc_dist(p.graph, ranks, machine, cyclic_opt);
     bench::check_against_truth(p.graph, cyclic.cc.parent);
+    metrics.add_run(name + " / block", ranks, block.spmd,
+                    block.modeled_seconds);
+    metrics.add_run(name + " / cyclic", ranks, cyclic.spmd,
+                    cyclic.modeled_seconds);
 
     // Skew = busiest rank's share of extract requests relative to even.
     const auto bs = request_skew(block.spmd);

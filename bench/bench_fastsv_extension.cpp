@@ -14,6 +14,7 @@ using namespace lacc;
 int main() {
   bench::print_banner("Extension — FastSV vs LACC vs Multistep vs ParConnect",
                       "future-work direction of Azad & Buluc, IPDPS 2019");
+  bench::Metrics metrics("fastsv_extension");
 
   const auto& machine = sim::MachineModel::edison();
   const int ranks = bench::rank_sweep().back();
@@ -31,6 +32,14 @@ int main() {
     bench::check_against_truth(p.graph, ms.cc.parent);
     const auto pc = baselines::parconnect_dist(p.graph, ranks, machine);
     bench::check_against_truth(p.graph, pc.cc.parent);
+    metrics.add_run(
+        name + " / lacc", ranks, lacc.spmd, lacc.modeled_seconds,
+        {{"iterations", static_cast<double>(lacc.cc.iterations)}});
+    metrics.add_run(
+        name + " / fastsv", ranks, fsv.spmd, fsv.modeled_seconds,
+        {{"iterations", static_cast<double>(fsv.cc.iterations)},
+         {"multistep_modeled_seconds", ms.modeled_seconds},
+         {"parconnect_modeled_seconds", pc.modeled_seconds}});
     t.add_row({name, fmt_seconds(lacc.modeled_seconds),
                fmt_seconds(fsv.modeled_seconds),
                fmt_seconds(ms.modeled_seconds),

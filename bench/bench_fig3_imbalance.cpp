@@ -15,6 +15,9 @@ void run_and_print(const graph::EdgeList& el, int ranks, bool mitigate) {
   const auto result =
       core::lacc_dist(el, ranks, sim::MachineModel::edison(), options);
   bench::check_against_truth(el, result.cc.parent);
+  if (auto* m = bench::Metrics::global())
+    m->add_run(mitigate ? "eukarya.mitigated" : "eukarya.unmitigated", ranks,
+               result.spmd, result.modeled_seconds);
 
   // Pick two iterations with interesting skew: the middle and the last
   // (the paper shows iterations 4 and 7 of a long run).
@@ -49,6 +52,7 @@ void run_and_print(const graph::EdgeList& el, int ranks, bool mitigate) {
 int main() {
   bench::print_banner("Figure 3 — per-process GrB_extract request skew",
                       "Azad & Buluc, IPDPS 2019, Figure 3");
+  bench::Metrics metrics("fig3_imbalance");
 
   // eukarya: Zipf-sized components laid out by ascending id, so hooked
   // parents concentrate on the low-id ranks with a decreasing gradient —

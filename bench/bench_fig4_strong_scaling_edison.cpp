@@ -10,6 +10,7 @@ using namespace lacc;
 int main() {
   bench::print_banner("Figure 4 — strong scaling on Edison (8 small graphs)",
                       "Azad & Buluc, IPDPS 2019, Figure 4");
+  bench::Metrics metrics("fig4_strong_scaling_edison");
 
   const auto& machine = sim::MachineModel::edison();
   const auto sweep = bench::node_sweep(machine);
@@ -19,7 +20,7 @@ int main() {
   int count = 0;
   for (const auto& name : graph::figure4_names()) {
     const auto& p = graph::find_problem(problems, name);
-    const auto points = bench::strong_scaling(p.graph, machine, sweep);
+    const auto points = bench::strong_scaling(name, p.graph, machine, sweep);
     bench::print_scaling(name, machine, points, std::cout);
     const auto& last = points.back();
     const double speedup = last.parconnect_seconds / last.lacc_seconds;

@@ -9,6 +9,7 @@ int main() {
   bench::print_banner(
       "Figure 5 — strong scaling on Cori KNL (many-component graphs)",
       "Azad & Buluc, IPDPS 2019, Figure 5");
+  bench::Metrics metrics("fig5_strong_scaling_cori");
 
   const auto& cori = sim::MachineModel::cori_knl();
   const auto& edison = sim::MachineModel::edison();
@@ -17,7 +18,7 @@ int main() {
 
   for (const auto& name : graph::figure5_names()) {
     const auto& p = graph::find_problem(problems, name);
-    const auto points = bench::strong_scaling(p.graph, cori, sweep);
+    const auto points = bench::strong_scaling(name, p.graph, cori, sweep);
     bench::print_scaling(name, cori, points, std::cout);
   }
 

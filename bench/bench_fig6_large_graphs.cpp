@@ -10,6 +10,7 @@ using namespace lacc;
 int main() {
   bench::print_banner("Figure 6 — large graphs at extreme scale",
                       "Azad & Buluc, IPDPS 2019, Figure 6");
+  bench::Metrics metrics("fig6_large_graphs");
 
   const auto& machine = sim::MachineModel::cori_knl();
   // The large-graph sweep extends past the small-graph one (the paper's
@@ -27,7 +28,7 @@ int main() {
 
   for (const auto& name : graph::figure6_names()) {
     const auto& p = graph::find_problem(problems, name);
-    const auto points = bench::strong_scaling(p.graph, machine, sweep);
+    const auto points = bench::strong_scaling(name, p.graph, machine, sweep);
     bench::print_scaling(name, machine, points, std::cout);
 
     // Scaling-shape summary: does each algorithm still improve from the

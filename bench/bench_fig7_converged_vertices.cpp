@@ -10,6 +10,7 @@ using namespace lacc;
 int main() {
   bench::print_banner("Figure 7 — % vertices in converged components",
                       "Azad & Buluc, IPDPS 2019, Figure 7");
+  bench::Metrics metrics("fig7_converged_vertices");
 
   const auto problems = graph::make_test_problems(bench::problem_scale());
   const auto names = graph::figure7_names();
@@ -22,6 +23,16 @@ int main() {
     results.push_back(core::lacc_grb(g));
     bench::check_against_truth(p.graph, results.back().parent);
     max_iters = std::max(max_iters, results.back().iterations);
+    const auto& trace = results.back().trace;
+    metrics.add_simple(
+        name,
+        {{"iterations", static_cast<double>(results.back().iterations)},
+         {"final_converged_pct",
+          trace.empty() ? 0.0
+                        : 100.0 *
+                              static_cast<double>(
+                                  trace.back().converged_vertices) /
+                              static_cast<double>(p.graph.n)}});
   }
 
   std::vector<std::string> header{"iteration"};

@@ -11,6 +11,7 @@ using namespace lacc;
 int main() {
   bench::print_banner("Figure 8 — per-phase scaling breakdown",
                       "Azad & Buluc, IPDPS 2019, Figure 8");
+  bench::Metrics metrics("fig8_phase_breakdown");
 
   const auto& machine = sim::MachineModel::edison();
   const auto sweep = bench::rank_sweep();
@@ -26,6 +27,8 @@ int main() {
     for (const int ranks : sweep) {
       const auto result = core::lacc_dist(p.graph, ranks, machine);
       bench::check_against_truth(p.graph, result.cc.parent);
+      metrics.add_run(name, ranks, result.spmd, result.modeled_seconds,
+                      {{"nodes", machine.nodes_for_ranks(ranks)}});
       const auto agg = sim::max_over_ranks(result.spmd.stats);
       std::vector<std::string> row{
           fmt_double(machine.nodes_for_ranks(ranks), 0)};

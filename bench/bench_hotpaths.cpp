@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/lacc_dist.hpp"
 #include "dist/dist_mat.hpp"
 #include "dist/ops.hpp"
@@ -78,6 +79,7 @@ void report(const std::string& name, double seconds, int iters) {
 }  // namespace
 
 int main() {
+  bench::Metrics metrics("hotpaths");
   const Workload w = make_workload();
   const VertexId n = w.el.n;
   const auto active =
@@ -139,6 +141,14 @@ int main() {
       report("scatter_assign_min", assign_s, w.iters);
       report("scatter_accumulate_min", accum_s, w.iters);
       report("scatter_set", set_s, w.iters);
+      // Only rank 0 records, so this is race-free inside the SPMD region.
+      metrics.add_simple(
+          "kernels", {{"iters", static_cast<double>(w.iters)},
+                      {"mxv_select2nd_seconds", mxv_s},
+                      {"mxv_select2nd_minmax_seconds", mxvmm_s},
+                      {"scatter_assign_min_seconds", assign_s},
+                      {"scatter_accumulate_min_seconds", accum_s},
+                      {"scatter_set_seconds", set_s}});
     }
   });
 
@@ -156,6 +166,9 @@ int main() {
     std::cout << "  lacc_dist end-to-end: " << timer.seconds() << " s wall, "
               << result.cc.iterations << " iterations, modeled "
               << result.modeled_seconds << " s\n";
+    metrics.add_run("lacc_dist_end_to_end", kRanks, result.spmd,
+                    result.modeled_seconds,
+                    {{"iterations", static_cast<double>(result.cc.iterations)}});
   }
   return 0;
 }

@@ -29,12 +29,15 @@ int main() {
                    baselines::union_find_cc(g).parent))
             << " clusters\n\n";
 
+  bench::Metrics metrics("mcl_pipeline");
+
   // Original MCL: single-threaded label propagation (measured wall time,
   // converted to modeled time at one Edison rank's work rate).
   Timer timer;
   const auto lp = baselines::label_propagation(g);
   const double lp_wall = timer.seconds();
   bench::check_against_truth(p.graph, lp.parent);
+  metrics.add_simple("mcl_label_propagation", {{"wall_seconds", lp_wall}});
 
   TextTable t({"algorithm", "nodes", "time", "kind"});
   t.add_row({"MCL's CC (label propagation, 1 thread)", "1",
@@ -46,6 +49,9 @@ int main() {
     bench::check_against_truth(p.graph, result.cc.parent);
     t.add_row({"LACC", fmt_double(machine.nodes_for_ranks(ranks), 0),
                fmt_seconds(result.modeled_seconds), "modeled"});
+    metrics.add_run("lacc_extraction", ranks, result.spmd,
+                    result.modeled_seconds,
+                    {{"lp_wall_seconds", lp_wall}});
     best = std::min(best, result.modeled_seconds);
   }
   t.print(std::cout);

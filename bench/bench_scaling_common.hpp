@@ -38,10 +38,12 @@ inline std::vector<int> node_sweep(const sim::MachineModel& machine) {
 }
 
 /// Run LACC and the ParConnect-like baseline across a node sweep on one
-/// graph, verifying both against ground truth.
+/// graph, verifying both against ground truth.  When the bench has a live
+/// Metrics collector, each LACC point is recorded under `name` with the
+/// ParConnect comparison attached as scalars.
 inline std::vector<ScalingPoint> strong_scaling(
-    const graph::EdgeList& el, const sim::MachineModel& machine,
-    const std::vector<int>& nodes_sweep) {
+    const std::string& name, const graph::EdgeList& el,
+    const sim::MachineModel& machine, const std::vector<int>& nodes_sweep) {
   const sim::MachineModel flat = machine.flat_mpi_variant();
   std::vector<ScalingPoint> points;
   for (const int nodes : nodes_sweep) {
@@ -56,6 +58,12 @@ inline std::vector<ScalingPoint> strong_scaling(
         baselines::parconnect_dist(el, point.parconnect_ranks, flat);
     check_against_truth(el, pc.cc.parent);
     point.parconnect_seconds = pc.modeled_seconds;
+    if (Metrics* m = Metrics::global())
+      m->add_run(name, point.lacc_ranks, lacc.spmd, point.lacc_seconds,
+                 {{"nodes", static_cast<double>(point.nodes)},
+                  {"parconnect_ranks",
+                   static_cast<double>(point.parconnect_ranks)},
+                  {"parconnect_modeled_seconds", point.parconnect_seconds}});
     points.push_back(point);
   }
   return points;

@@ -9,6 +9,7 @@ using namespace lacc;
 int main() {
   bench::print_banner("Table I — sparse-vector scope per LACC step",
                       "Azad & Buluc, IPDPS 2019, Table I + Section IV-B");
+  bench::Metrics metrics("table1_sparsity");
 
   std::cout << "Operation            Operates on the subset of vertices in\n"
                "---------            --------------------------------------\n"
@@ -22,6 +23,9 @@ int main() {
   const graph::Csr g(p.graph);
   const auto result = core::lacc_grb(g);
   bench::check_against_truth(p.graph, result.parent);
+  metrics.add_simple(
+      p.name, {{"iterations", static_cast<double>(result.iterations)},
+               {"vertices", static_cast<double>(g.num_vertices())}});
 
   std::cout << "Measured on the " << p.name << " stand-in ("
             << fmt_count(g.num_vertices()) << " vertices):\n\n";

@@ -7,6 +7,7 @@ using namespace lacc;
 int main() {
   bench::print_banner("Table II — evaluation platforms",
                       "Azad & Buluc, IPDPS 2019, Table II");
+  bench::Metrics metrics("table2_platforms");
 
   const auto& edison = sim::MachineModel::edison();
   const auto& cori = sim::MachineModel::cori_knl();
@@ -27,6 +28,13 @@ int main() {
     model.add_row({m->name, fmt_double(m->alpha_s * 1e6, 2),
                    fmt_double(m->beta_s_per_byte * 1e9, 3),
                    fmt_double(m->work_rate / 1e6, 0)});
+    metrics.add_simple(
+        m->name,
+        {{"alpha_s", m->alpha_s},
+         {"beta_s_per_byte", m->beta_s_per_byte},
+         {"work_rate", m->work_rate},
+         {"cores_per_node", static_cast<double>(m->cores_per_node)},
+         {"procs_per_node", static_cast<double>(m->procs_per_node)}});
   }
   model.print(std::cout);
 

@@ -9,6 +9,7 @@ int main() {
   bench::print_banner("Table III — test problems (scaled stand-ins)",
                       "Azad & Buluc, IPDPS 2019, Table III");
 
+  bench::Metrics metrics("table3_testproblems");
   const auto problems = graph::make_test_problems(bench::problem_scale());
   TextTable t({"Graph", "Vertices", "Directed edges", "Avg deg", "Components",
                "Paper vertices", "Paper edges", "Paper comps"});
@@ -20,6 +21,10 @@ int main() {
                fmt_double(g.average_degree(), 1), fmt_count(comps),
                fmt_count(p.paper_vertices), fmt_count(p.paper_edges),
                fmt_count(p.paper_components)});
+    metrics.add_simple(
+        p.name, {{"vertices", static_cast<double>(g.num_vertices())},
+                 {"edges", static_cast<double>(g.num_edges())},
+                 {"components", static_cast<double>(comps)}});
   }
   t.print(std::cout);
   std::cout << "\nStand-ins match the papers' structural regimes (component\n"

@@ -9,11 +9,16 @@
 //   --scale S                             stand-in scale for gen: inputs
 //   --out labels.txt                      write "vertex component" lines
 //   --trace                               print the per-iteration trace
+//   --trace-out FILE                      write a Chrome trace-event JSON
+//                                         timeline (lacc/fastsv only)
+//   --json FILE                           write lacc-metrics-v1 JSON
 //
 // Inputs: Matrix Market coordinate files (pattern/real/integer, general or
 // symmetric), the LACC binary format (*.bin), or "gen:NAME" for any of the
 // paper's Table III stand-ins (gen:archaea, gen:M3, ...).  Prints the
-// component census and optionally writes labels.
+// component census and optionally writes labels.  The observability outputs
+// (--trace-out, --json) go to files only, so stdout is identical with and
+// without them (docs/OBSERVABILITY.md).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,6 +33,9 @@
 #include "graph/csr.hpp"
 #include "graph/io.hpp"
 #include "graph/testproblems.hpp"
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
@@ -39,7 +47,7 @@ int usage() {
   std::cerr << "usage: lacc_cli <graph.mtx|graph.bin|gen:NAME> "
                "[--algo lacc|fastsv|as|unionfind|bfs] [--ranks N] "
                "[--machine edison|cori|local] [--scale S] [--out FILE] "
-               "[--trace]\n";
+               "[--trace] [--trace-out FILE] [--json FILE]\n";
   return 2;
 }
 
@@ -50,12 +58,39 @@ const sim::MachineModel& machine_by_name(const std::string& name) {
   throw Error("unknown machine: " + name);
 }
 
+/// Parse a flag's value as an int; on garbage, report and exit with usage
+/// instead of dying on an uncaught std::invalid_argument.
+int parse_int(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects an integer, got \"" << text
+            << "\"\n";
+  std::exit(usage());
+}
+
+double parse_double(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects a number, got \"" << text
+            << "\"\n";
+  std::exit(usage());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string path = argv[1];
-  std::string algo = "lacc", machine = "edison", out_path;
+  std::string algo = "lacc", machine = "edison", out_path, trace_out_path,
+              json_path;
   int ranks = 16;
   double scale = 0.25;
   bool trace = false;
@@ -71,18 +106,45 @@ int main(int argc, char** argv) {
     if (arg == "--algo")
       algo = next();
     else if (arg == "--ranks")
-      ranks = std::stoi(next());
+      ranks = parse_int("--ranks", next());
     else if (arg == "--machine")
       machine = next();
     else if (arg == "--scale")
-      scale = std::stod(next());
+      scale = parse_double("--scale", next());
     else if (arg == "--out")
       out_path = next();
     else if (arg == "--trace")
       trace = true;
+    else if (arg == "--trace-out")
+      trace_out_path = next();
+    else if (arg == "--json")
+      json_path = next();
     else
       return usage();
   }
+
+  // Validate the grid shape up front: the help text promises a square.
+  if (algo == "lacc" || algo == "fastsv") {
+    int q = 0;
+    while (q * q < ranks) ++q;
+    if (ranks < 1 || q * q != ranks) {
+      std::cerr << "error: --ranks must be a positive perfect square for "
+                   "--algo "
+                << algo << " (got " << ranks << ")\n";
+      return usage();
+    }
+  } else if (!trace_out_path.empty()) {
+    std::cerr << "error: --trace-out requires --algo lacc|fastsv\n";
+    return usage();
+  }
+  if (scale <= 0) {
+    std::cerr << "error: --scale must be positive (got " << scale << ")\n";
+    return usage();
+  }
+
+  // Record collective/kernel spans when a trace file was requested.  This
+  // never changes modeled results or stdout — only what lands in the file.
+  if (!trace_out_path.empty()) obs::set_trace_enabled(true);
 
   try {
     graph::EdgeList el;
@@ -99,13 +161,17 @@ int main(int argc, char** argv) {
 
     Timer timer;
     core::CcResult result;
+    sim::SpmdResult spmd;
+    bool have_spmd = false;
     double modeled = -1;
     if (algo == "lacc" || algo == "fastsv") {
       const auto& m = machine_by_name(machine);
-      const auto run = algo == "lacc" ? core::lacc_dist(el, ranks, m)
-                                      : core::fastsv_dist(el, ranks, m);
-      result = run.cc;
+      auto run = algo == "lacc" ? core::lacc_dist(el, ranks, m)
+                                : core::fastsv_dist(el, ranks, m);
+      result = std::move(run.cc);
       modeled = run.modeled_seconds;
+      spmd = std::move(run.spmd);
+      have_spmd = true;
       std::cout << "Algorithm: " << algo << " on " << ranks
                 << " virtual ranks (" << m.name << " model)\n";
     } else {
@@ -150,6 +216,34 @@ int main(int argc, char** argv) {
       for (VertexId v = 0; v < el.n; ++v)
         out << v << " " << labels[v] << "\n";
       std::cout << "Labels written to " << out_path << "\n";
+    }
+
+    if (!trace_out_path.empty()) {
+      std::ofstream out(trace_out_path);
+      LACC_CHECK_MSG(out.good(), "cannot write " << trace_out_path);
+      obs::TraceMeta meta;
+      meta.process_name = "lacc_cli " + algo + " " + path;
+      obs::write_chrome_trace(out, spmd.stats, meta);
+    }
+
+    if (!json_path.empty()) {
+      obs::Scalars scalars{
+          {"vertices", static_cast<double>(el.n)},
+          {"edges", static_cast<double>(el.edges.size())},
+          {"components", static_cast<double>(size_of.size())},
+          {"largest_component", static_cast<double>(largest)},
+          {"iterations", static_cast<double>(result.iterations)}};
+      auto rec = have_spmd
+                     ? obs::make_run_record(path, ranks, spmd.stats, modeled,
+                                            wall, std::move(scalars))
+                     : obs::make_run_record(path, 0, {}, 0.0, wall,
+                                            std::move(scalars));
+      std::ofstream out(json_path);
+      LACC_CHECK_MSG(out.good(), "cannot write " << json_path);
+      obs::write_metrics_json(out, "lacc_cli",
+                              {{"scale", scale},
+                               {"ranks", static_cast<double>(ranks)}},
+                              {std::move(rec)});
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -152,6 +152,9 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
   out.trace.clear();
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Spans the whole iteration; the four phase regions nest inside it, so
+    // trace timelines group by iteration (tag = iteration number).
+    sim::Region iter_region(world, "iter", iter);
     IterationRecord rec;
     rec.iteration = iter;
     const double iter_start = world.state().sim_time;

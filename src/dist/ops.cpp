@@ -79,6 +79,7 @@ DistVec<VertexId> mxv_select2nd(ProcGrid& grid, const DistCsc& A,
   LACC_CHECK_MSG(x.layout() == Layout::kBlockAligned,
                  "mxv requires block-aligned input; realign with to_layout");
   auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:mxv");
   auto& arena = grid.arena();
   const auto q = static_cast<std::uint64_t>(grid.q());
   const BlockPartition& part = A.chunk_partition();
@@ -239,6 +240,7 @@ std::uint64_t scatter_assign_min(ProcGrid& grid, DistVec<VertexId>& w,
                                  std::vector<Tuple<VertexId>> pairs,
                                  const CommTuning& tuning, bool only_if_root) {
   auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:assign");
   auto& arena = grid.arena();
   const auto p = static_cast<std::size_t>(world.size());
 
@@ -284,6 +286,7 @@ void scatter_set(ProcGrid& grid, DistVec<std::uint8_t>& w,
                  std::vector<VertexId> targets, std::uint8_t value,
                  const CommTuning& tuning) {
   auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:scatter_set");
   auto& arena = grid.arena();
   const auto p = static_cast<std::size_t>(world.size());
 
@@ -339,6 +342,7 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
   LACC_CHECK_MSG(x.layout() == Layout::kBlockAligned,
                  "mxv requires block-aligned input; realign with to_layout");
   auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:mxv_minmax");
   auto& arena = grid.arena();
   const auto q = static_cast<std::uint64_t>(grid.q());
   const BlockPartition& part = A.chunk_partition();
@@ -487,6 +491,7 @@ std::uint64_t scatter_accumulate_min(ProcGrid& grid, DistVec<VertexId>& w,
                                      std::vector<Tuple<VertexId>> pairs,
                                      const CommTuning& tuning) {
   auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:accumulate");
   auto& arena = grid.arena();
   const auto p = static_cast<std::size_t>(world.size());
 

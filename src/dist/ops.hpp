@@ -118,6 +118,7 @@ std::vector<std::pair<T, bool>> gather_values(ProcGrid& grid,
                                               const CommTuning& tuning,
                                               const std::string& counter = {}) {
   auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:extract");
   const auto p = static_cast<std::size_t>(world.size());
 
   // Bucket requests by owning rank.  With request_dedup, duplicate targets
@@ -291,6 +292,7 @@ DistVec<T> to_layout(ProcGrid& grid, const DistVec<T>& v, Layout layout,
     return out;
   }
   auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:to_layout");
   const auto p = static_cast<std::size_t>(world.size());
   // Two-pass counting sort into one flat send buffer (input order within
   // each destination group), instead of p per-call bucket vectors.

@@ -37,13 +37,21 @@ EdgeList read_matrix_market(std::istream& in) {
   LACC_CHECK_MSG(sym == "general" || sym == "symmetric",
                  "unsupported symmetry: " << symmetry);
 
-  // Skip comments, read the size line.
+  // Skip comments, read the size line.  The stream may end inside the
+  // comment block (comments-only file): that must be an error, not a
+  // silently empty graph.
+  bool found_size = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    if (!line.empty() && line[0] != '%') {
+      found_size = true;
+      break;
+    }
   }
+  LACC_CHECK_MSG(found_size, "Matrix Market stream ends before the size line");
   std::istringstream size_line(line);
   std::uint64_t rows = 0, cols = 0, nnz = 0;
-  size_line >> rows >> cols >> nnz;
+  LACC_CHECK_MSG(static_cast<bool>(size_line >> rows >> cols >> nnz),
+                 "malformed Matrix Market size line: \"" << line << "\"");
   LACC_CHECK_MSG(rows == cols, "adjacency matrix must be square");
 
   EdgeList el(rows);
@@ -52,12 +60,16 @@ EdgeList read_matrix_market(std::istream& in) {
     LACC_CHECK_MSG(std::getline(in, line), "unexpected EOF at entry " << i);
     std::istringstream entry(line);
     std::uint64_t r = 0, c = 0;
-    entry >> r >> c;
+    LACC_CHECK_MSG(static_cast<bool>(entry >> r >> c),
+                   "malformed entry at line " << i + 1 << ": \"" << line
+                                              << "\"");
     LACC_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
                    "entry out of range: " << r << " " << c);
     if (has_value) {
       double value = 0;
-      entry >> value;
+      LACC_CHECK_MSG(static_cast<bool>(entry >> value),
+                     "malformed entry value at line " << i + 1 << ": \""
+                                                      << line << "\"");
     }
     el.add(r - 1, c - 1);
   }
@@ -125,6 +137,21 @@ EdgeList read_binary(std::istream& in) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
   LACC_CHECK_MSG(in.good(), "truncated binary graph header");
+  // `m` comes from an untrusted header: validate it against the remaining
+  // stream length (when the stream is seekable) before sizing the edge
+  // buffer, so a corrupt count fails cleanly instead of attempting a
+  // multi-gigabyte allocation.
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(here);
+    LACC_CHECK_MSG(in.good(), "cannot measure binary graph stream");
+    const auto remaining = static_cast<std::uint64_t>(end - here);
+    LACC_CHECK_MSG(m <= remaining / sizeof(Edge),
+                   "binary graph header claims " << m << " edges but only "
+                       << remaining / sizeof(Edge) << " fit in the stream");
+  }
   EdgeList el(n);
   el.edges.resize(m);
   in.read(reinterpret_cast<char*>(el.edges.data()),

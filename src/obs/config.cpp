@@ -1,0 +1,28 @@
+#include "obs/config.hpp"
+
+#include <atomic>
+
+#include "support/env.hpp"
+
+namespace lacc::obs {
+
+namespace {
+// -1 = not yet read from the environment, else 0/1.  Racing first reads
+// both compute the same value, so relaxed ordering is fine.
+std::atomic<int> g_trace{-1};
+}  // namespace
+
+bool trace_enabled() {
+  int v = g_trace.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = env_int("LACC_TRACE", 0) != 0 ? 1 : 0;
+    g_trace.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_trace_enabled(bool on) {
+  g_trace.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace lacc::obs

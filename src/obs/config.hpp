@@ -1,0 +1,17 @@
+// Process-wide observability switches.
+#pragma once
+
+namespace lacc::obs {
+
+/// True when collective/kernel-level trace spans should be recorded.
+/// Lazily initialized from the LACC_TRACE environment variable (0/absent =
+/// off); flip explicitly with set_trace_enabled (e.g. lacc_cli --trace-out).
+/// Phase-level regions are always recorded — this gates only the
+/// fine-grained spans, so the cost model and per-phase aggregates are
+/// bit-identical either way (docs/OBSERVABILITY.md).
+bool trace_enabled();
+
+/// Override the LACC_TRACE setting for the rest of the process.
+void set_trace_enabled(bool on);
+
+}  // namespace lacc::obs

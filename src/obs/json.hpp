@@ -1,0 +1,131 @@
+// Minimal streaming JSON writer for the trace and metrics exporters.
+//
+// Deliberately tiny (no external dependency, no DOM): callers drive the
+// structure with begin/end calls and the writer tracks comma placement.
+// Doubles are printed with enough digits to round-trip; non-finite values
+// are emitted as null so the output is always standard JSON.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lacc::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object() {
+    element_prefix();
+    out_ << '{';
+    stack_.push_back(true);
+  }
+  void end_object() {
+    pop();
+    out_ << '}';
+  }
+  void begin_array() {
+    element_prefix();
+    out_ << '[';
+    stack_.push_back(true);
+  }
+  void end_array() {
+    pop();
+    out_ << ']';
+  }
+
+  void key(std::string_view k) {
+    element_prefix();
+    write_string(k);
+    out_ << ':';
+    pending_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    element_prefix();
+    write_string(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    element_prefix();
+    out_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    element_prefix();
+    if (!std::isfinite(v)) {
+      out_ << "null";
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+  }
+  void value(std::int64_t v) {
+    element_prefix();
+    out_ << v;
+  }
+  void value(std::uint64_t v) {
+    element_prefix();
+    out_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void element_prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back())
+      stack_.back() = false;
+    else
+      out_ << ',';
+  }
+
+  void pop() {
+    LACC_DCHECK(!stack_.empty() && !pending_key_);
+    stack_.pop_back();
+  }
+
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\r': out_ << "\\r"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> stack_;  ///< per open container: "next element is first"
+  bool pending_key_ = false;
+};
+
+}  // namespace lacc::obs

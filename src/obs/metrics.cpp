@@ -1,0 +1,121 @@
+#include "obs/metrics.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace lacc::obs {
+
+namespace {
+
+/// A "word" is one vector element on the modeled machine.
+constexpr double kWordBytes = static_cast<double>(sizeof(VertexId));
+
+void write_phase_entry(JsonWriter& w, const OpCounters& mx,
+                       const OpCounters& sm) {
+  w.begin_object();
+  w.kv("modeled_max", mx.modeled_seconds());
+  w.kv("modeled_sum", sm.modeled_seconds());
+  w.kv("comm_max", mx.comm_seconds);
+  w.kv("compute_max", mx.compute_seconds);
+  w.kv("wall_max", mx.wall_seconds);
+  w.kv("messages_max", mx.messages);
+  w.kv("messages_sum", sm.messages);
+  w.kv("bytes_max", mx.bytes);
+  w.kv("bytes_sum", sm.bytes);
+  w.kv("words_max", static_cast<double>(mx.bytes) / kWordBytes);
+  w.kv("words_sum", static_cast<double>(sm.bytes) / kWordBytes);
+  w.end_object();
+}
+
+void write_scalars(JsonWriter& w, const Scalars& scalars) {
+  w.begin_object();
+  for (const auto& [name, value] : scalars) w.kv(name, value);
+  w.end_object();
+}
+
+}  // namespace
+
+RunRecord make_run_record(std::string name, int ranks,
+                          const std::vector<RankStats>& per_rank,
+                          double modeled_seconds, double wall_seconds,
+                          Scalars scalars) {
+  RunRecord rec;
+  rec.name = std::move(name);
+  rec.ranks = ranks;
+  rec.modeled_seconds = modeled_seconds;
+  rec.wall_seconds = wall_seconds;
+  rec.scalars = std::move(scalars);
+  rec.max = max_over_ranks(per_rank);
+  rec.sum = sum_over_ranks(per_rank);
+  return rec;
+}
+
+void write_metrics_json(std::ostream& out, const std::string& tool,
+                        const Scalars& config,
+                        const std::vector<RunRecord>& runs) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "lacc-metrics-v1");
+  w.kv("tool", tool);
+  w.kv("word_bytes", kWordBytes);
+  w.key("config");
+  write_scalars(w, config);
+  w.key("runs");
+  w.begin_array();
+  for (const RunRecord& run : runs) {
+    w.begin_object();
+    w.kv("name", run.name);
+    w.kv("ranks", run.ranks);
+    w.kv("modeled_seconds", run.modeled_seconds);
+    w.kv("wall_seconds", run.wall_seconds);
+    w.key("scalars");
+    write_scalars(w, run.scalars);
+    w.key("total");
+    write_phase_entry(w, run.max.total, run.sum.total);
+    w.key("phases");
+    w.begin_object();
+    for (const auto& [name, mx] : run.max.regions) {
+      w.key(name);
+      const auto it = run.sum.regions.find(name);
+      write_phase_entry(w, mx,
+                        it == run.sum.regions.end() ? OpCounters{} : it->second);
+    }
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, mx] : run.max.counters) {
+      w.key(name);
+      w.begin_object();
+      w.kv("max", mx);
+      const auto it = run.sum.counters.find(name);
+      w.kv("sum", it == run.sum.counters.end() ? std::uint64_t{0} : it->second);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+std::string metrics_out_dir() { return env_string("LACC_METRICS_OUT", ""); }
+
+std::string write_metrics_file(const std::string& tool, const Scalars& config,
+                               const std::vector<RunRecord>& runs) {
+  const std::string dir = metrics_out_dir();
+  if (dir.empty()) return "";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/BENCH_" + tool + ".json";
+  std::ofstream out(path);
+  LACC_CHECK_MSG(static_cast<bool>(out), "cannot open metrics file " << path);
+  write_metrics_json(out, tool, config, runs);
+  return path;
+}
+
+}  // namespace lacc::obs

@@ -1,0 +1,52 @@
+// Machine-readable metrics emitter: the `lacc-metrics-v1` JSON schema.
+//
+// Benches and the CLI reduce an SPMD run to one RunRecord (per-phase
+// modeled/wall seconds, words, messages, per-rank max and sum) and write a
+// BENCH_<tool>.json file that tools/check_obs_json.py validates and the
+// perf trajectory consumes.  See docs/OBSERVABILITY.md for the schema.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace lacc::obs {
+
+/// Named scalar attached to a run or to the whole file's config block.
+using Scalars = std::vector<std::pair<std::string, double>>;
+
+/// One experiment (one SPMD run, or one serial measurement with ranks = 0).
+struct RunRecord {
+  std::string name;
+  int ranks = 0;              ///< 0 = serial / no SPMD stats
+  double modeled_seconds = 0;
+  double wall_seconds = 0;
+  Scalars scalars;            ///< experiment-specific values
+  StatsSummary max;           ///< max over ranks (critical path)
+  StatsSummary sum;           ///< sum over ranks (aggregate volume)
+};
+
+/// Reduce per-rank stats into a RunRecord.  Pass an empty `per_rank` for
+/// serial measurements.
+RunRecord make_run_record(std::string name, int ranks,
+                          const std::vector<RankStats>& per_rank,
+                          double modeled_seconds, double wall_seconds,
+                          Scalars scalars = {});
+
+/// Write the lacc-metrics-v1 document for one tool's runs.
+void write_metrics_json(std::ostream& out, const std::string& tool,
+                        const Scalars& config,
+                        const std::vector<RunRecord>& runs);
+
+/// Directory named by LACC_METRICS_OUT, or "" when metrics are disabled.
+std::string metrics_out_dir();
+
+/// If LACC_METRICS_OUT is set, create the directory and write
+/// <dir>/BENCH_<tool>.json; returns the path written, or "" when disabled.
+std::string write_metrics_file(const std::string& tool, const Scalars& config,
+                               const std::vector<RunRecord>& runs);
+
+}  // namespace lacc::obs

@@ -1,8 +1,8 @@
-#include "sim/stats.hpp"
+#include "obs/stats.hpp"
 
 #include <algorithm>
 
-namespace lacc::sim {
+namespace lacc::obs {
 
 namespace {
 
@@ -16,11 +16,18 @@ void max_into(OpCounters& into, const OpCounters& from) {
 
 }  // namespace
 
-RankStats max_over_ranks(const std::vector<RankStats>& per_rank) {
-  RankStats out;
+std::map<std::string, OpCounters> RankStats::region_totals() const {
+  std::map<std::string, OpCounters> out;
+  for (const Span& span : spans.spans()) out[span.name].add(span.total);
+  return out;
+}
+
+StatsSummary max_over_ranks(const std::vector<RankStats>& per_rank) {
+  StatsSummary out;
   for (const auto& rs : per_rank) {
     max_into(out.total, rs.total);
-    for (const auto& [name, ops] : rs.regions) max_into(out.regions[name], ops);
+    for (const auto& [name, ops] : rs.region_totals())
+      max_into(out.regions[name], ops);
     for (const auto& [name, v] : rs.counters) {
       auto& slot = out.counters[name];
       slot = std::max(slot, v);
@@ -29,14 +36,15 @@ RankStats max_over_ranks(const std::vector<RankStats>& per_rank) {
   return out;
 }
 
-RankStats sum_over_ranks(const std::vector<RankStats>& per_rank) {
-  RankStats out;
+StatsSummary sum_over_ranks(const std::vector<RankStats>& per_rank) {
+  StatsSummary out;
   for (const auto& rs : per_rank) {
     out.total.add(rs.total);
-    for (const auto& [name, ops] : rs.regions) out.regions[name].add(ops);
+    for (const auto& [name, ops] : rs.region_totals())
+      out.regions[name].add(ops);
     for (const auto& [name, v] : rs.counters) out.counters[name] += v;
   }
   return out;
 }
 
-}  // namespace lacc::sim
+}  // namespace lacc::obs

@@ -1,0 +1,145 @@
+// Per-rank statistics for the SPMD runtime: hierarchical region spans.
+//
+// Every collective charges modeled communication cost and every kernel
+// charges modeled compute cost; charges accumulate into a grand total and
+// into the innermost open span of a per-rank span log.  Spans nest
+// (iteration -> phase -> collective) and record both the modeled interval
+// and the measured wall interval, so one SPMD run can be exported as a
+// Chrome trace-event timeline (trace.hpp) or reduced to the per-phase
+// aggregates the benchmark harnesses use to regenerate the paper's
+// Figure 8 (per-phase scaling) and Figure 3 (per-rank request skew).
+// See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lacc::obs {
+
+/// Accumulated cost attributed to one span (or the total).
+struct OpCounters {
+  std::uint64_t messages = 0;   ///< modeled messages sent
+  std::uint64_t bytes = 0;      ///< modeled bytes moved
+  double comm_seconds = 0;      ///< modeled communication time
+  double compute_seconds = 0;   ///< modeled local-work time
+  double wall_seconds = 0;      ///< measured wall time (spans only)
+
+  void add(const OpCounters& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+    comm_seconds += other.comm_seconds;
+    compute_seconds += other.compute_seconds;
+    wall_seconds += other.wall_seconds;
+  }
+  double modeled_seconds() const { return comm_seconds + compute_seconds; }
+};
+
+/// One timed interval on one rank.  Spans form a forest: `parent` indexes
+/// the enclosing span in the owning SpanLog (-1 = top level).
+struct Span {
+  std::string name;
+  std::int32_t parent = -1;  ///< index of enclosing span, -1 if top level
+  std::int32_t depth = 0;    ///< nesting depth (top level = 0)
+  std::int64_t tag = -1;     ///< optional instance id (e.g. iteration number)
+  double modeled_begin = 0;  ///< rank's modeled clock at open
+  double modeled_end = 0;    ///< rank's modeled clock at close
+  double wall_begin = 0;     ///< run-epoch wall clock at open
+  double wall_end = 0;       ///< run-epoch wall clock at close
+  /// Charges issued while this span was innermost (exclusive).
+  OpCounters self;
+  /// Inclusive rollup, filled at close: self plus all children's totals,
+  /// with wall_seconds set to this span's own wall duration (children's
+  /// wall intervals are contained in the parent's, so they don't add).
+  OpCounters total;
+};
+
+/// Append-only log of (possibly nested) spans recorded by one rank.
+/// Single-threaded: only the owning rank's thread touches it while a run
+/// is live (same contract as the rest of RankState).
+class SpanLog {
+ public:
+  /// Open a span; returns its id.  Charges issued before the matching
+  /// close() are attributed to this span (unless a deeper span opens).
+  std::uint32_t open(std::string name, double modeled_now, double wall_now,
+                     std::int64_t tag = -1) {
+    Span span;
+    span.name = std::move(name);
+    span.parent = open_.empty() ? -1 : static_cast<std::int32_t>(open_.back());
+    span.depth = static_cast<std::int32_t>(open_.size());
+    span.tag = tag;
+    span.modeled_begin = modeled_now;
+    span.wall_begin = wall_now;
+    const auto id = static_cast<std::uint32_t>(spans_.size());
+    spans_.push_back(std::move(span));
+    open_.push_back(id);
+    return id;
+  }
+
+  /// Close the innermost open span (must be `id`): stamps the end times and
+  /// rolls the inclusive total up into the parent.
+  void close(std::uint32_t id, double modeled_now, double wall_now) {
+    LACC_CHECK_MSG(!open_.empty() && open_.back() == id,
+                   "span close out of order: closing id " << id);
+    open_.pop_back();
+    Span& span = spans_[id];
+    span.modeled_end = modeled_now;
+    span.wall_end = wall_now;
+    span.total = span.self;  // children already rolled up on their close
+    span.total.add(children_total_[id]);
+    span.total.wall_seconds = wall_now - span.wall_begin;
+    children_total_.erase(id);
+    if (span.parent >= 0) {
+      OpCounters contribution = span.total;
+      contribution.wall_seconds = 0;  // contained in the parent's interval
+      children_total_[static_cast<std::uint32_t>(span.parent)].add(
+          contribution);
+    }
+  }
+
+  /// Charge sink of the innermost open span, or nullptr if none is open.
+  OpCounters* current() {
+    return open_.empty() ? nullptr : &spans_[open_.back()].self;
+  }
+
+  bool any_open() const { return !open_.empty(); }
+  const std::vector<Span>& spans() const { return spans_; }
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<std::uint32_t> open_;  ///< stack of open span ids
+  /// Inclusive totals of already-closed children, keyed by open parent id.
+  std::map<std::uint32_t, OpCounters> children_total_;
+};
+
+/// All statistics recorded by one rank during an SPMD run.
+struct RankStats {
+  OpCounters total;
+  SpanLog spans;
+  std::map<std::string, std::uint64_t> counters;  ///< custom instrumentation
+
+  /// Inclusive per-name aggregates over all closed spans: the flat view
+  /// the benches consume ("cond-hook" -> summed inclusive cost across
+  /// iterations).  Identical whether or not collective-level tracing was
+  /// enabled, because child spans merely subdivide their parent's total.
+  std::map<std::string, OpCounters> region_totals() const;
+};
+
+/// Cross-rank reduction of per-rank stats into the flat per-region view.
+struct StatsSummary {
+  OpCounters total;
+  std::map<std::string, OpCounters> regions;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+/// Reduce a per-rank stats vector into "max over ranks" per region/total —
+/// the bulk-synchronous critical path.
+StatsSummary max_over_ranks(const std::vector<RankStats>& per_rank);
+
+/// Reduce a per-rank stats vector by summing (aggregate volume).
+StatsSummary sum_over_ranks(const std::vector<RankStats>& per_rank);
+
+}  // namespace lacc::obs

@@ -1,0 +1,75 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace lacc::obs {
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<RankStats>& per_rank,
+                        const TraceMeta& meta) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("schema", "lacc-trace-v1");
+  w.kv("clock", "modeled seconds x 1e6 (microseconds)");
+  w.kv("ranks", static_cast<std::int64_t>(per_rank.size()));
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", meta.process_name);
+  w.end_object();
+  w.end_object();
+
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::int64_t>(r));
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "rank " + std::to_string(r));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    for (const Span& span : per_rank[r].spans.spans()) {
+      w.begin_object();
+      w.kv("name", span.name);
+      w.kv("cat", span.depth == 0 ? "region" : "span");
+      w.kv("ph", "X");
+      w.kv("pid", 0);
+      w.kv("tid", static_cast<std::int64_t>(r));
+      w.kv("ts", span.modeled_begin * 1e6);
+      w.kv("dur", std::max(0.0, span.modeled_end - span.modeled_begin) * 1e6);
+      w.key("args");
+      w.begin_object();
+      if (span.tag >= 0) w.kv("tag", span.tag);
+      w.kv("messages", span.total.messages);
+      w.kv("bytes", span.total.bytes);
+      w.kv("comm_seconds", span.total.comm_seconds);
+      w.kv("compute_seconds", span.total.compute_seconds);
+      w.kv("wall_seconds", span.total.wall_seconds);
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace lacc::obs

@@ -1,0 +1,27 @@
+// Chrome trace-event (Perfetto-loadable) export of one SPMD run.
+//
+// Each rank becomes one timeline row (tid = rank) of "X" complete events;
+// timestamps come from the *modeled* clock (seconds scaled to microseconds)
+// so the timeline shows the simulated machine, not host scheduling noise.
+// Open the file at https://ui.perfetto.dev or chrome://tracing.  See
+// docs/OBSERVABILITY.md for the span model and args.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hpp"
+
+namespace lacc::obs {
+
+struct TraceMeta {
+  std::string process_name = "lacc";  ///< label of the single process row
+};
+
+/// Write all spans of all ranks as a Chrome trace-event JSON document.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<RankStats>& per_rank,
+                        const TraceMeta& meta = {});
+
+}  // namespace lacc::obs

@@ -46,6 +46,7 @@ void Comm::charge_alltoall(double t0, AllToAllAlgo algo,
 
 Comm Comm::split(int color, int key, std::source_location loc) {
   LACC_CHECK(color >= 0);
+  TraceSpan span(state(), "coll:split");
   SyncWindow window(ctx_.get());
   // Round 1: publish (color, key) via aux.
   const std::uint64_t packed =

@@ -43,6 +43,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/config.hpp"
 #include "sim/check.hpp"
 #include "sim/machine.hpp"
 #include "sim/stats.hpp"
@@ -77,12 +78,16 @@ struct Poisoned : std::exception {
 /// through the Barrier's acquire/release chain, never through RankState.
 struct RankState {
   const MachineModel* machine = nullptr;
+  /// Shared run-epoch stopwatch (owned by run_spmd) so span wall intervals
+  /// from all ranks live on one axis; null outside a run.
+  const Timer* run_clock = nullptr;
   double sim_time = 0;
   RankStats stats;
-  std::string region;  ///< currently-open region name ("" = none)
   /// Communicators this rank belongs to, registered by the owning thread
   /// only; used to flag ranks that retire while siblings still wait.
   std::vector<std::shared_ptr<CommContext>> memberships;
+
+  double wall_now() const { return run_clock ? run_clock->seconds() : 0.0; }
 
   void charge_comm(std::uint64_t msgs, std::uint64_t bytes, double seconds) {
     sim_time += seconds;
@@ -92,19 +97,44 @@ struct RankState {
       c.comm_seconds += seconds;
     };
     apply(stats.total);
-    if (!region.empty()) apply(stats.regions[region]);
+    if (OpCounters* span = stats.spans.current()) apply(*span);
   }
 
   void charge_compute(double elements) {
     const double seconds = elements / machine->work_rate;
     sim_time += seconds;
     stats.total.compute_seconds += seconds;
-    if (!region.empty()) stats.regions[region].compute_seconds += seconds;
+    if (OpCounters* span = stats.spans.current())
+      span->compute_seconds += seconds;
   }
 
   void add_counter(const std::string& name, std::uint64_t delta) {
     stats.counters[name] += delta;
   }
+};
+
+/// Fine-grained span for collectives and kernels, recorded only when
+/// tracing is on (LACC_TRACE / obs::set_trace_enabled).  Charges no modeled
+/// time of its own and merely subdivides the enclosing Region's total, so
+/// the cost model and per-phase aggregates are identical either way.
+class TraceSpan {
+ public:
+  TraceSpan(RankState& state, const char* name, std::int64_t tag = -1)
+      : state_(state), on_(obs::trace_enabled()) {
+    if (on_)
+      id_ = state_.stats.spans.open(name, state_.sim_time, state_.wall_now(),
+                                    tag);
+  }
+  ~TraceSpan() {
+    if (on_) state_.stats.spans.close(id_, state_.sim_time, state_.wall_now());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  RankState& state_;
+  bool on_;
+  std::uint32_t id_ = 0;
 };
 
 /// Reusable generation barrier with a shared poison flag so that a failing
@@ -298,6 +328,7 @@ class Comm {
 
   /// Barrier; synchronizes the modeled clock across the group.
   void barrier(std::source_location loc = std::source_location::current()) {
+    TraceSpan span(state(), "coll:barrier");
     SyncWindow window(ctx_.get());
     post(nullptr, 0, nullptr, nullptr, 0,
          make_record(check::CollOp::kBarrier, loc, 0));
@@ -313,6 +344,7 @@ class Comm {
              std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     LACC_CHECK(root >= 0 && root < size());
+    TraceSpan span(state(), "coll:bcast");
     SyncWindow window(ctx_.get());
     std::size_t n = data.size();
     if (rank_ == root)
@@ -340,6 +372,7 @@ class Comm {
   T allreduce(T value, Op op,
               std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
+    TraceSpan span(state(), "coll:allreduce");
     SyncWindow window(ctx_.get());
     post(&value, 1, nullptr, nullptr, 0,
          make_record(check::CollOp::kAllreduce, loc, sizeof(T)));
@@ -375,6 +408,7 @@ class Comm {
                        std::source_location loc = std::source_location::current()) {
     static_assert(std::is_trivially_copyable_v<T>);
     require_distinct(&mine, &out, "allgatherv_into", loc);
+    TraceSpan span(state(), "coll:allgatherv");
     SyncWindow window(ctx_.get());
     post(mine.data(), mine.size(), nullptr, nullptr, 0,
          make_record(check::CollOp::kAllgatherv, loc, sizeof(T)));
@@ -438,6 +472,7 @@ class Comm {
     std::uint64_t bytes_sent = 0;
     for (int d = 0; d < size(); ++d)
       if (d != rank_) bytes_sent += sendcounts[static_cast<std::size_t>(d)] * sizeof(T);
+    TraceSpan span(state(), "coll:alltoallv");
     SyncWindow window(ctx_.get());
     post(send.data(), send.size(), sendcounts.data(), offsets.data(), bytes_sent,
          make_record(check::CollOp::kAlltoallv, loc, sizeof(T), -1, -1,
@@ -497,6 +532,7 @@ class Comm {
     require_distinct(&data, &out, "reduce_scatter_block_into", loc);
     LACC_CHECK(part.parts == static_cast<std::uint64_t>(size()));
     LACC_CHECK(part.n == data.size());
+    TraceSpan span(state(), "coll:reduce_scatter");
     SyncWindow window(ctx_.get());
     post(data.data(), data.size(), nullptr, nullptr, 0,
          make_record(check::CollOp::kReduceScatter, loc, sizeof(T)));
@@ -543,6 +579,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     require_distinct(&send, &out, "sendrecv_into", loc);
     LACC_CHECK(dest >= 0 && dest < size() && src >= 0 && src < size());
+    TraceSpan span(state(), "coll:sendrecv");
     SyncWindow window(ctx_.get());
     post(send.data(), send.size(), nullptr, nullptr,
          static_cast<std::uint64_t>(dest),
@@ -672,28 +709,28 @@ class Comm {
   int rank_;
 };
 
-/// RAII named region: modeled charges issued while the region is open are
-/// attributed to it; wall time is recorded on close.  Regions follow the
-/// phases of the algorithm (e.g. "cond-hook") and must be opened/closed
-/// collectively so collective charges land in the same region on all ranks.
+/// RAII named region span: modeled charges issued while the region is
+/// innermost are attributed to it, and on close its inclusive total (self +
+/// nested spans) rolls up into the enclosing span.  Regions follow the
+/// phases of the algorithm (e.g. "cond-hook"), nest (iteration -> phase),
+/// and must be opened/closed collectively so collective charges land in the
+/// same region on all ranks.  `tag` marks instances (e.g. the iteration
+/// number) in trace exports.
 class Region {
  public:
-  Region(Comm& comm, std::string name)
-      : state_(comm.state()), name_(std::move(name)), prev_(state_.region) {
-    state_.region = name_;
-  }
+  Region(Comm& comm, std::string name, std::int64_t tag = -1)
+      : state_(comm.state()),
+        id_(state_.stats.spans.open(std::move(name), state_.sim_time,
+                                    state_.wall_now(), tag)) {}
   ~Region() {
-    state_.stats.regions[name_].wall_seconds += timer_.seconds();
-    state_.region = prev_;
+    state_.stats.spans.close(id_, state_.sim_time, state_.wall_now());
   }
   Region(const Region&) = delete;
   Region& operator=(const Region&) = delete;
 
  private:
   RankState& state_;
-  std::string name_;
-  std::string prev_;
-  Timer timer_;
+  std::uint32_t id_;
 };
 
 }  // namespace lacc::sim

@@ -17,6 +17,9 @@ SpmdResult run_spmd(int nranks, const MachineModel& machine,
   LACC_CHECK_MSG(nranks >= 1 && nranks <= 4096,
                  "rank count " << nranks << " out of supported range");
 
+  // One run-epoch stopwatch shared by all ranks: span wall intervals from
+  // every rank live on this common axis (obs/trace.hpp).
+  Timer timer;
   std::vector<std::unique_ptr<RankState>> states;
   states.reserve(static_cast<std::size_t>(nranks));
   std::vector<RankState*> members;
@@ -24,6 +27,7 @@ SpmdResult run_spmd(int nranks, const MachineModel& machine,
   for (int r = 0; r < nranks; ++r) {
     states.push_back(std::make_unique<RankState>());
     states.back()->machine = &machine;
+    states.back()->run_clock = &timer;
     members.push_back(states.back().get());
   }
   auto poison = std::make_shared<std::atomic<bool>>(false);
@@ -31,7 +35,6 @@ SpmdResult run_spmd(int nranks, const MachineModel& machine,
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
-  Timer timer;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));

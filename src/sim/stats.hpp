@@ -1,50 +1,21 @@
 // Per-rank statistics for the SPMD runtime.
 //
-// Every collective charges modeled communication cost and every kernel
-// charges modeled compute cost; charges accumulate both into a grand total
-// and into the currently-open named region.  The benchmark harnesses use
-// the region breakdown to regenerate the paper's Figure 8 (per-phase
-// scaling) and the custom counters to regenerate Figure 3 (per-rank
-// request skew in GrB_extract).
+// The statistics model lives in lacc::obs (src/obs/stats.hpp): hierarchical
+// region spans with modeled + wall intervals, plus the flat cross-rank
+// reductions the benches consume.  This header keeps the historical
+// lacc::sim spellings working for the runtime and its callers.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
+#include "obs/stats.hpp"
 
 namespace lacc::sim {
 
-/// Accumulated cost attributed to one region (or the total).
-struct OpCounters {
-  std::uint64_t messages = 0;   ///< modeled messages sent
-  std::uint64_t bytes = 0;      ///< modeled bytes moved
-  double comm_seconds = 0;      ///< modeled communication time
-  double compute_seconds = 0;   ///< modeled local-work time
-  double wall_seconds = 0;      ///< measured wall time (regions only)
-
-  void add(const OpCounters& other) {
-    messages += other.messages;
-    bytes += other.bytes;
-    comm_seconds += other.comm_seconds;
-    compute_seconds += other.compute_seconds;
-    wall_seconds += other.wall_seconds;
-  }
-  double modeled_seconds() const { return comm_seconds + compute_seconds; }
-};
-
-/// All statistics recorded by one rank during an SPMD run.
-struct RankStats {
-  OpCounters total;
-  std::map<std::string, OpCounters> regions;
-  std::map<std::string, std::uint64_t> counters;  ///< custom instrumentation
-};
-
-/// Reduce a per-rank stats vector into "max over ranks" per region/total —
-/// the bulk-synchronous critical path.
-RankStats max_over_ranks(const std::vector<RankStats>& per_rank);
-
-/// Reduce a per-rank stats vector by summing (aggregate volume).
-RankStats sum_over_ranks(const std::vector<RankStats>& per_rank);
+using obs::OpCounters;
+using obs::RankStats;
+using obs::Span;
+using obs::SpanLog;
+using obs::StatsSummary;
+using obs::max_over_ranks;
+using obs::sum_over_ranks;
 
 }  // namespace lacc::sim

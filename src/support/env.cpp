@@ -1,23 +1,69 @@
 #include "support/env.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
 
 namespace lacc {
+
+namespace {
+
+/// True iff everything from `end` to the terminator is whitespace — i.e.
+/// the numeric parse consumed the whole setting.
+bool only_trailing_whitespace(const char* end) {
+  for (; *end != '\0'; ++end)
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+  return true;
+}
+
+/// One-line warning, once per (variable, value) pair so repeated reads of
+/// the same bad setting don't spam stderr.
+void warn_rejected(const char* name, const char* value, const char* why) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.insert(std::string(name) + "=" + value).second) return;
+  std::cerr << "warning: ignoring " << name << "=\"" << value << "\" (" << why
+            << "); using the default\n";
+}
+
+}  // namespace
 
 double env_double(const char* name, double fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
+  errno = 0;
   char* end = nullptr;
   const double parsed = std::strtod(value, &end);
-  return end == value ? fallback : parsed;
+  if (end == value || !only_trailing_whitespace(end)) {
+    warn_rejected(name, value, "not a number");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn_rejected(name, value, "out of range");
+    return fallback;
+  }
+  return parsed;
 }
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
+  errno = 0;
   char* end = nullptr;
   const long long parsed = std::strtoll(value, &end, 10);
-  return end == value ? fallback : static_cast<std::int64_t>(parsed);
+  if (end == value || !only_trailing_whitespace(end)) {
+    warn_rejected(name, value, "not an integer");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn_rejected(name, value, "out of range");
+    return fallback;
+  }
+  return static_cast<std::int64_t>(parsed);
 }
 
 std::string env_string(const char* name, const std::string& fallback) {

@@ -42,7 +42,7 @@ TEST(MultistepDist, RandomAndRegression) {
 TEST(MultistepDist, BfsPeelRegionRecorded) {
   const auto el = graph::random_tree(500, 11);
   const auto result = multistep_dist(el, 4, sim::MachineModel::edison());
-  ASSERT_TRUE(result.spmd.stats[0].regions.count("bfs-peel"));
+  ASSERT_TRUE(result.spmd.stats[0].region_totals().count("bfs-peel"));
   // Vertex 0's component is the whole tree: label propagation ends fast.
   EXPECT_LE(result.cc.iterations, 3);
 }

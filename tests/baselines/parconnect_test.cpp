@@ -42,7 +42,7 @@ TEST(ParConnect, BfsPeelsSeedComponent) {
   el = graph::disjoint_union(el, graph::path(5));
   const auto result = parconnect_dist(el, 4, sim::MachineModel::local());
   EXPECT_EQ(core::count_components(result.cc.parent), 2u);
-  ASSERT_TRUE(result.spmd.stats[0].regions.count("bfs-peel"));
+  ASSERT_TRUE(result.spmd.stats[0].region_totals().count("bfs-peel"));
 }
 
 TEST(ParConnect, SlowerThanLaccOnManyComponentGraphs) {

@@ -100,12 +100,16 @@ TEST(LaccDist, TraceMatchesConvergenceBehaviour) {
 TEST(LaccDist, PhaseRegionsAreRecorded) {
   const auto el = graph::erdos_renyi(400, 900, 29);
   const auto result = lacc_dist(el, 4, sim::MachineModel::edison());
+  const auto regions = result.spmd.stats[0].region_totals();
   for (const char* phase :
        {"cond-hook", "uncond-hook", "shortcut", "starcheck"}) {
-    ASSERT_TRUE(result.spmd.stats[0].regions.count(phase)) << phase;
-    EXPECT_GT(result.spmd.stats[0].regions.at(phase).modeled_seconds(), 0.0)
-        << phase;
+    ASSERT_TRUE(regions.count(phase)) << phase;
+    EXPECT_GT(regions.at(phase).modeled_seconds(), 0.0) << phase;
   }
+  // Every iteration is wrapped in an "iter" span covering the phases.
+  ASSERT_TRUE(regions.count("iter"));
+  EXPECT_GE(regions.at("iter").modeled_seconds(),
+            regions.at("cond-hook").modeled_seconds());
   EXPECT_GT(result.modeled_seconds, 0.0);
 }
 

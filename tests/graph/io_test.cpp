@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include "graph/generators.hpp"
 #include "support/error.hpp"
@@ -54,6 +56,70 @@ TEST(MatrixMarket, RejectsTruncatedEntries) {
   EXPECT_THROW(read_matrix_market(in), Error);
 }
 
+TEST(MatrixMarket, RejectsCommentsOnlyStream) {
+  // Stream ends inside the comment block: must be an error, not a silently
+  // empty graph.
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "% another comment\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("ends before the size line"),
+              std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, RejectsMalformedSizeLine) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "three by three\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed Matrix Market size line"),
+              std::string::npos);
+  }
+}
+
+TEST(MatrixMarket, RejectsMalformedEntryLine) {
+  std::stringstream bad_index(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n"
+      "oops nope\n");
+  try {
+    read_matrix_market(bad_index);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed entry at line 2"),
+              std::string::npos);
+  }
+  // A real-field entry whose value column is garbage is also malformed.
+  std::stringstream bad_value(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "1 2 pi\n");
+  EXPECT_THROW(read_matrix_market(bad_value), Error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const EdgeList el = erdos_renyi(40, 100, 9);
+  const std::string file = "/tmp/lacc_mm_test.mtx";
+  write_matrix_market_file(file, el);
+  const EdgeList back = read_matrix_market_file(file);
+  EXPECT_EQ(back.n, el.n);
+  EdgeList canon = el, canon_back = back;
+  canonicalize(canon);
+  canonicalize(canon_back);
+  EXPECT_EQ(canon_back.edges, canon.edges);
+  std::remove(file.c_str());
+  EXPECT_THROW(read_matrix_market_file(file), Error);
+}
+
 TEST(EdgeListIo, RoundTrip) {
   EdgeList el(7);
   el.add(0, 6);
@@ -90,6 +156,26 @@ TEST(BinaryIo, RejectsBadMagicAndTruncation) {
   bytes.resize(bytes.size() / 2);  // chop the payload
   std::stringstream truncated(bytes, std::ios::in | std::ios::binary);
   EXPECT_THROW(read_binary(truncated), Error);
+}
+
+TEST(BinaryIo, RejectsHugeEdgeCountHeader) {
+  // A corrupt/hostile header claiming ~2^61 edges must fail on the header
+  // check (stream length), never by attempting the allocation itself.
+  const EdgeList el = path(4);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, el);
+  std::string bytes = buffer.str();
+  const std::uint64_t huge = std::uint64_t(1) << 61;
+  // Header layout: magic[8], version u32, flags u32, n u64, m u64.
+  std::memcpy(&bytes[8 + 4 + 4 + 8], &huge, sizeof(huge));
+  std::stringstream corrupt(bytes, std::ios::in | std::ios::binary);
+  try {
+    read_binary(corrupt);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fit in the stream"),
+              std::string::npos);
+  }
 }
 
 TEST(BinaryIo, FileRoundTrip) {

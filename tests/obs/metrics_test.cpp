@@ -1,0 +1,88 @@
+// lacc-metrics-v1 emitter: the document structure consumed by
+// tools/check_obs_json.py and the perf trajectory.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "core/lacc_dist.hpp"
+#include "graph/generators.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc {
+namespace {
+
+std::string emit(const std::vector<obs::RunRecord>& runs,
+                 const obs::Scalars& config = {{"scale", 0.25}}) {
+  std::ostringstream out;
+  obs::write_metrics_json(out, "metrics_test", config, runs);
+  return out.str();
+}
+
+TEST(Metrics, SerialRunRecord) {
+  auto rec = obs::make_run_record("serial", 0, {}, 0.0, 1.5,
+                                  {{"edges", 42.0}});
+  const std::string json = emit({std::move(rec)});
+  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"metrics_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"word_bytes\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"serial\""), std::string::npos);
+  EXPECT_NE(json.find("\"ranks\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"edges\":42"), std::string::npos);
+  // Serial runs still carry the (all-zero) total block, so consumers can
+  // treat every run uniformly.
+  EXPECT_NE(json.find("\"total\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"phases\":{}"), std::string::npos);
+}
+
+TEST(Metrics, SpmdRunCarriesPhaseAggregates) {
+  const auto el = graph::erdos_renyi(300, 900, 5);
+  const auto run = core::lacc_dist(el, 4, sim::MachineModel::edison());
+  auto rec = obs::make_run_record("spmd", 4, run.spmd.stats,
+                                  run.modeled_seconds, run.spmd.wall_seconds);
+  EXPECT_GT(rec.max.regions.count("cond-hook"), 0u);
+  EXPECT_GT(rec.sum.total.messages, rec.max.total.messages);
+  const std::string json = emit({std::move(rec)});
+  for (const char* phase : {"\"cond-hook\"", "\"uncond-hook\"",
+                            "\"shortcut\"", "\"starcheck\"", "\"iter\""})
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  for (const char* key :
+       {"\"modeled_max\"", "\"modeled_sum\"", "\"comm_max\"",
+        "\"compute_max\"", "\"wall_max\"", "\"messages_max\"",
+        "\"messages_sum\"", "\"bytes_max\"", "\"bytes_sum\"",
+        "\"words_max\"", "\"words_sum\""})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(Metrics, NonFiniteScalarsBecomeNull) {
+  auto rec = obs::make_run_record(
+      "bad", 0, {}, 0.0, 0.0,
+      {{"nan_value", std::nan("")},
+       {"inf_value", std::numeric_limits<double>::infinity()}});
+  const std::string json = emit({std::move(rec)});
+  EXPECT_NE(json.find("\"nan_value\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf_value\":null"), std::string::npos);
+  EXPECT_EQ(json.find("nan,"), std::string::npos);
+  EXPECT_EQ(json.find("inf,"), std::string::npos);
+}
+
+TEST(Metrics, StringsAreEscaped) {
+  auto rec = obs::make_run_record("quote\"backslash\\tab\t", 0, {}, 0.0, 0.0);
+  const std::string json = emit({std::move(rec)});
+  EXPECT_NE(json.find("quote\\\"backslash\\\\tab\\t"), std::string::npos);
+}
+
+TEST(Metrics, WriteFileIsNoOpWithoutEnv) {
+  // LACC_METRICS_OUT is unset in the test environment, so this must write
+  // nothing and return the empty path.
+  ASSERT_EQ(std::getenv("LACC_METRICS_OUT"), nullptr);
+  EXPECT_EQ(obs::write_metrics_file("metrics_test", {}, {}), "");
+}
+
+}  // namespace
+}  // namespace lacc

@@ -1,0 +1,131 @@
+// SpanLog: nesting, attribution, and the inclusive rollup contract that
+// keeps per-phase aggregates identical with and without collective tracing.
+#include "obs/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lacc::obs {
+namespace {
+
+OpCounters comm(double seconds, std::uint64_t messages, std::uint64_t bytes) {
+  OpCounters c;
+  c.comm_seconds = seconds;
+  c.messages = messages;
+  c.bytes = bytes;
+  return c;
+}
+
+TEST(SpanLog, SingleSpanRecordsIntervalAndCharges) {
+  SpanLog log;
+  const auto id = log.open("phase", 1.0, 10.0, 3);
+  log.current()->compute_seconds += 0.5;
+  log.close(id, 2.5, 10.2);
+
+  ASSERT_EQ(log.spans().size(), 1u);
+  const Span& span = log.spans()[0];
+  EXPECT_EQ(span.name, "phase");
+  EXPECT_EQ(span.parent, -1);
+  EXPECT_EQ(span.depth, 0);
+  EXPECT_EQ(span.tag, 3);
+  EXPECT_DOUBLE_EQ(span.modeled_begin, 1.0);
+  EXPECT_DOUBLE_EQ(span.modeled_end, 2.5);
+  EXPECT_DOUBLE_EQ(span.total.compute_seconds, 0.5);
+  EXPECT_NEAR(span.total.wall_seconds, 0.2, 1e-12);
+  EXPECT_FALSE(log.any_open());
+}
+
+TEST(SpanLog, ChargesGoToInnermostOpenSpan) {
+  SpanLog log;
+  const auto outer = log.open("outer", 0.0, 0.0);
+  log.current()->add(comm(1.0, 1, 8));
+  const auto inner = log.open("inner", 1.0, 0.0);
+  log.current()->add(comm(2.0, 2, 16));
+  log.close(inner, 3.0, 0.0);
+  log.current()->add(comm(3.0, 4, 32));
+  log.close(outer, 6.0, 0.0);
+
+  const Span& o = log.spans()[outer];
+  const Span& i = log.spans()[inner];
+  EXPECT_DOUBLE_EQ(i.self.comm_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(i.total.comm_seconds, 2.0);
+  // Outer's self excludes the inner charge; its total includes it.
+  EXPECT_DOUBLE_EQ(o.self.comm_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(o.total.comm_seconds, 6.0);
+  EXPECT_EQ(o.total.messages, 7u);
+  EXPECT_EQ(o.total.bytes, 56u);
+  EXPECT_EQ(i.parent, static_cast<std::int32_t>(outer));
+  EXPECT_EQ(i.depth, 1);
+}
+
+TEST(SpanLog, RegionTotalsAreInvariantToSubdivision) {
+  // The same charges, recorded flat vs. subdivided into child spans, must
+  // produce the same per-name inclusive aggregate for the parent.
+  RankStats flat;
+  {
+    auto& log = flat.spans;
+    const auto id = log.open("phase", 0.0, 0.0);
+    log.current()->add(comm(5.0, 10, 80));
+    log.close(id, 5.0, 0.0);
+  }
+  RankStats split;
+  {
+    auto& log = split.spans;
+    const auto id = log.open("phase", 0.0, 0.0);
+    log.current()->add(comm(1.0, 2, 16));
+    const auto a = log.open("coll:a", 1.0, 0.0);
+    log.current()->add(comm(3.0, 6, 48));
+    log.close(a, 4.0, 0.0);
+    const auto b = log.open("coll:b", 4.0, 0.0);
+    log.current()->add(comm(1.0, 2, 16));
+    log.close(b, 5.0, 0.0);
+    log.close(id, 5.0, 0.0);
+  }
+  const auto lhs = flat.region_totals().at("phase");
+  const auto rhs = split.region_totals().at("phase");
+  EXPECT_DOUBLE_EQ(lhs.comm_seconds, rhs.comm_seconds);
+  EXPECT_EQ(lhs.messages, rhs.messages);
+  EXPECT_EQ(lhs.bytes, rhs.bytes);
+}
+
+TEST(SpanLog, RegionTotalsSumRepeatedNames) {
+  RankStats stats;
+  auto& log = stats.spans;
+  for (int iter = 0; iter < 3; ++iter) {
+    const auto id = log.open("iter", iter, 0.0, iter);
+    log.current()->add(comm(1.0, 1, 8));
+    log.close(id, iter + 1.0, 0.0);
+  }
+  const auto totals = stats.region_totals();
+  EXPECT_DOUBLE_EQ(totals.at("iter").comm_seconds, 3.0);
+  EXPECT_EQ(totals.at("iter").messages, 3u);
+}
+
+TEST(SpanLog, ReductionsAcrossRanks) {
+  std::vector<RankStats> per_rank(2);
+  for (int r = 0; r < 2; ++r) {
+    auto& stats = per_rank[static_cast<std::size_t>(r)];
+    const auto id = stats.spans.open("phase", 0.0, 0.0);
+    stats.spans.current()->add(comm(r + 1.0, 1, 8));
+    stats.spans.close(id, r + 1.0, 0.0);
+    stats.total.add(comm(r + 1.0, 1, 8));
+    stats.counters["hooks"] = static_cast<std::uint64_t>(r + 1);
+  }
+  const auto mx = max_over_ranks(per_rank);
+  const auto sm = sum_over_ranks(per_rank);
+  EXPECT_DOUBLE_EQ(mx.regions.at("phase").comm_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(sm.regions.at("phase").comm_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(mx.total.comm_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(sm.total.comm_seconds, 3.0);
+  EXPECT_EQ(mx.counters.at("hooks"), 2u);
+  EXPECT_EQ(sm.counters.at("hooks"), 3u);
+}
+
+TEST(SpanLog, OutOfOrderCloseIsAnError) {
+  SpanLog log;
+  const auto outer = log.open("outer", 0.0, 0.0);
+  log.open("inner", 0.0, 0.0);
+  EXPECT_THROW(log.close(outer, 1.0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace lacc::obs

@@ -1,0 +1,100 @@
+// Chrome trace export: structure of the emitted JSON and the guarantee
+// that enabling tracing never perturbs modeled results.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/lacc_dist.hpp"
+#include "graph/generators.hpp"
+#include "obs/config.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc {
+namespace {
+
+/// Restore the process-wide trace flag on scope exit so test order and the
+/// LACC_TRACE environment don't leak between tests.
+class TraceGuard {
+ public:
+  explicit TraceGuard(bool enabled) : saved_(obs::trace_enabled()) {
+    obs::set_trace_enabled(enabled);
+  }
+  ~TraceGuard() { obs::set_trace_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+graph::EdgeList test_graph() { return graph::erdos_renyi(300, 900, 5); }
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(ChromeTrace, CoversAllPhasesOnEveryRank) {
+  TraceGuard guard(true);
+  const auto result = core::lacc_dist(test_graph(), 4,
+                                      sim::MachineModel::edison());
+  std::ostringstream out;
+  obs::write_chrome_trace(out, result.spmd.stats);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"lacc-trace-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ranks\":4"), std::string::npos);
+  for (const char* phase :
+       {"\"iter\"", "\"cond-hook\"", "\"uncond-hook\"", "\"shortcut\"",
+        "\"starcheck\"", "\"coll:allreduce\"", "\"op:mxv\""})
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  // One thread_name metadata event per rank.
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""), 4u);
+  // Balanced JSON (cheap structural check; the Python validator in
+  // tools/check_obs_json.py does the full schema pass in CI).
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  EXPECT_EQ(count_occurrences(json, "["), count_occurrences(json, "]"));
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ChromeTrace, DisabledTracingStillRecordsRegions) {
+  TraceGuard guard(false);
+  const auto result = core::lacc_dist(test_graph(), 4,
+                                      sim::MachineModel::edison());
+  std::ostringstream out;
+  obs::write_chrome_trace(out, result.spmd.stats);
+  const std::string json = out.str();
+  // Phase regions are always on (the benches need them); only the
+  // collective/kernel subdivision is gated on the trace flag.
+  EXPECT_NE(json.find("\"cond-hook\""), std::string::npos);
+  EXPECT_EQ(json.find("\"coll:"), std::string::npos);
+  EXPECT_EQ(json.find("\"op:"), std::string::npos);
+}
+
+TEST(ChromeTrace, TracingDoesNotChangeModeledResults) {
+  double modeled_off = 0, modeled_on = 0;
+  std::vector<VertexId> parent_off, parent_on;
+  {
+    TraceGuard guard(false);
+    auto run = core::lacc_dist(test_graph(), 4, sim::MachineModel::edison());
+    modeled_off = run.modeled_seconds;
+    parent_off = run.cc.parent;
+  }
+  {
+    TraceGuard guard(true);
+    auto run = core::lacc_dist(test_graph(), 4, sim::MachineModel::edison());
+    modeled_on = run.modeled_seconds;
+    parent_on = run.cc.parent;
+  }
+  EXPECT_EQ(modeled_off, modeled_on);  // bit-identical, not just close
+  EXPECT_EQ(parent_off, parent_on);
+}
+
+}  // namespace
+}  // namespace lacc

@@ -132,11 +132,16 @@ TEST(CommEdgeCases, MessageAndByteCountersAccumulate) {
 
 TEST(StatsReductions, MaxAndSumOverRanks) {
   std::vector<RankStats> per_rank(2);
+  auto record = [](RankStats& rs, double comm_s) {
+    const auto id = rs.spans.open("a", 0.0, 0.0);
+    rs.spans.current()->comm_seconds = comm_s;
+    rs.spans.close(id, comm_s, 0.0);
+  };
   per_rank[0].total.bytes = 10;
-  per_rank[0].regions["a"].comm_seconds = 1.0;
+  record(per_rank[0], 1.0);
   per_rank[0].counters["x"] = 5;
   per_rank[1].total.bytes = 30;
-  per_rank[1].regions["a"].comm_seconds = 0.5;
+  record(per_rank[1], 0.5);
   per_rank[1].counters["x"] = 2;
 
   const auto mx = max_over_ranks(per_rank);
@@ -150,7 +155,7 @@ TEST(StatsReductions, MaxAndSumOverRanks) {
   EXPECT_EQ(sum.counters.at("x"), 7u);
 }
 
-TEST(CommEdgeCases, NestedRegionsAttributeToInnermost) {
+TEST(CommEdgeCases, NestedRegionsRollUpInclusively) {
   const auto result = run_spmd(1, MachineModel::local(), [](Comm& comm) {
     Region outer(comm, "outer");
     comm.charge_compute(1e9);
@@ -160,9 +165,20 @@ TEST(CommEdgeCases, NestedRegionsAttributeToInnermost) {
     }
     comm.charge_compute(3e9);
   });
-  const auto& regions = result.stats[0].regions;
-  EXPECT_NEAR(regions.at("outer").compute_seconds, 4.0, 1e-9);
+  // Flat per-name totals are inclusive: "outer" covers its nested span.
+  const auto regions = result.stats[0].region_totals();
+  EXPECT_NEAR(regions.at("outer").compute_seconds, 6.0, 1e-9);
   EXPECT_NEAR(regions.at("inner").compute_seconds, 2.0, 1e-9);
+  // The raw spans keep the exclusive attribution and the nesting.
+  const auto& spans = result.stats[0].spans.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_NEAR(spans[0].self.compute_seconds, 4.0, 1e-9);
+  EXPECT_NEAR(spans[0].total.compute_seconds, 6.0, 1e-9);
+  EXPECT_NEAR(spans[1].self.compute_seconds, 2.0, 1e-9);
 }
 
 }  // namespace

@@ -35,6 +35,38 @@ TEST(Env, FallsBackOnMissingOrMalformed) {
   ::unsetenv("LACC_TEST_EMPTY");
 }
 
+TEST(Env, RejectsTrailingGarbage) {
+  // "2x" parses a prefix with strtod/strtoll; the setting as a whole is
+  // still malformed and must fall back, not silently become 2.
+  ::setenv("LACC_TEST_TRAIL", "2x", 1);
+  EXPECT_DOUBLE_EQ(env_double("LACC_TEST_TRAIL", 1.5), 1.5);
+  EXPECT_EQ(env_int("LACC_TEST_TRAIL", 9), 9);
+  ::setenv("LACC_TEST_TRAIL", "3 ranks", 1);
+  EXPECT_EQ(env_int("LACC_TEST_TRAIL", 9), 9);
+  // env_int does not accept a float spelling.
+  ::setenv("LACC_TEST_TRAIL", "2.5", 1);
+  EXPECT_EQ(env_int("LACC_TEST_TRAIL", 9), 9);
+  ::unsetenv("LACC_TEST_TRAIL");
+}
+
+TEST(Env, AcceptsTrailingWhitespace) {
+  ::setenv("LACC_TEST_WS", " 2.5 \t", 1);
+  EXPECT_DOUBLE_EQ(env_double("LACC_TEST_WS", 1.0), 2.5);
+  ::setenv("LACC_TEST_WS", "42 \n", 1);
+  EXPECT_EQ(env_int("LACC_TEST_WS", 7), 42);
+  ::unsetenv("LACC_TEST_WS");
+}
+
+TEST(Env, RejectsOutOfRangeValues) {
+  ::setenv("LACC_TEST_RANGE", "1e999", 1);
+  EXPECT_DOUBLE_EQ(env_double("LACC_TEST_RANGE", 2.5), 2.5);
+  ::setenv("LACC_TEST_RANGE", "99999999999999999999999999", 1);
+  EXPECT_EQ(env_int("LACC_TEST_RANGE", 13), 13);
+  ::setenv("LACC_TEST_RANGE", "-99999999999999999999999999", 1);
+  EXPECT_EQ(env_int("LACC_TEST_RANGE", 13), 13);
+  ::unsetenv("LACC_TEST_RANGE");
+}
+
 TEST(ErrorMacros, CheckThrowsWithContext) {
   try {
     LACC_CHECK_MSG(1 == 2, "context " << 42);

@@ -1,0 +1,321 @@
+#!/usr/bin/env python3
+"""Validate the observability JSON files lacc emits.
+
+Two file formats (docs/OBSERVABILITY.md):
+
+  metrics  lacc-metrics-v1, written by `lacc_cli --json` and by the bench
+           binaries as $LACC_METRICS_OUT/BENCH_<tool>.json.
+  trace    Chrome trace-event JSON, written by `lacc_cli --trace-out`
+           (schema tag lacc-trace-v1 in otherData).
+
+Usage:
+  check_obs_json.py FILE...                      validate metrics files
+  check_obs_json.py --trace FILE...              validate trace files
+  check_obs_json.py --trace --require-phases cond-hook,shortcut FILE
+                                                 also require span names
+  check_obs_json.py --self-test                  run the built-in tests
+
+Exit status 0 when every file validates, 1 otherwise.  CI runs this against
+the artifacts of a bench smoke run, so a schema drift (renamed key, NaN
+leaking into the output, unbalanced span) fails the build rather than the
+first consumer of the files.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+METRICS_SCHEMA = "lacc-metrics-v1"
+TRACE_SCHEMA = "lacc-trace-v1"
+
+# Every per-phase aggregate entry carries exactly these keys.
+PHASE_ENTRY_KEYS = {
+    "modeled_max", "modeled_sum", "comm_max", "compute_max", "wall_max",
+    "messages_max", "messages_sum", "bytes_max", "bytes_sum",
+    "words_max", "words_sum",
+}
+RUN_KEYS = {
+    "name", "ranks", "modeled_seconds", "wall_seconds", "scalars",
+    "total", "phases", "counters",
+}
+
+
+class Invalid(Exception):
+    """One validation failure, with a path-like context string."""
+
+
+def _fail(path: str, why: str) -> None:
+    raise Invalid(f"{path}: {why}")
+
+
+def _check_number(path: str, value: object) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(path, f"expected a number, got {type(value).__name__}")
+    if isinstance(value, float) and not math.isfinite(value):
+        _fail(path, f"non-finite number {value!r}")
+
+
+def _check_scalars(path: str, scalars: object) -> None:
+    if not isinstance(scalars, dict):
+        _fail(path, "scalars must be an object")
+    for key, value in scalars.items():
+        _check_number(f"{path}.{key}", value)
+
+
+def _check_phase_entry(path: str, entry: object) -> None:
+    if not isinstance(entry, dict):
+        _fail(path, "phase entry must be an object")
+    missing = PHASE_ENTRY_KEYS - entry.keys()
+    extra = entry.keys() - PHASE_ENTRY_KEYS
+    if missing:
+        _fail(path, f"missing keys {sorted(missing)}")
+    if extra:
+        _fail(path, f"unknown keys {sorted(extra)}")
+    for key, value in entry.items():
+        _check_number(f"{path}.{key}", value)
+        if value < 0:
+            _fail(f"{path}.{key}", f"negative value {value}")
+    if entry["modeled_max"] > entry["modeled_sum"] * (1 + 1e-9):
+        _fail(path, "modeled_max exceeds modeled_sum")
+
+
+def check_metrics(doc: object, path: str = "metrics") -> None:
+    """Validate one parsed lacc-metrics-v1 document."""
+    if not isinstance(doc, dict):
+        _fail(path, "top level must be an object")
+    if doc.get("schema") != METRICS_SCHEMA:
+        _fail(f"{path}.schema", f"expected {METRICS_SCHEMA!r}, got "
+              f"{doc.get('schema')!r}")
+    if not isinstance(doc.get("tool"), str) or not doc["tool"]:
+        _fail(f"{path}.tool", "must be a non-empty string")
+    _check_number(f"{path}.word_bytes", doc.get("word_bytes"))
+    _check_scalars(f"{path}.config", doc.get("config"))
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        _fail(f"{path}.runs", "must be an array")
+    for i, run in enumerate(runs):
+        rpath = f"{path}.runs[{i}]"
+        if not isinstance(run, dict):
+            _fail(rpath, "run must be an object")
+        missing = RUN_KEYS - run.keys()
+        if missing:
+            _fail(rpath, f"missing keys {sorted(missing)}")
+        if not isinstance(run["name"], str) or not run["name"]:
+            _fail(f"{rpath}.name", "must be a non-empty string")
+        _check_number(f"{rpath}.ranks", run["ranks"])
+        _check_number(f"{rpath}.modeled_seconds", run["modeled_seconds"])
+        _check_number(f"{rpath}.wall_seconds", run["wall_seconds"])
+        _check_scalars(f"{rpath}.scalars", run["scalars"])
+        _check_phase_entry(f"{rpath}.total", run["total"])
+        if not isinstance(run["phases"], dict):
+            _fail(f"{rpath}.phases", "must be an object")
+        for name, entry in run["phases"].items():
+            _check_phase_entry(f"{rpath}.phases[{name}]", entry)
+        if not isinstance(run["counters"], dict):
+            _fail(f"{rpath}.counters", "must be an object")
+        for name, entry in run["counters"].items():
+            cpath = f"{rpath}.counters[{name}]"
+            if not isinstance(entry, dict) or entry.keys() != {"max", "sum"}:
+                _fail(cpath, "counter entry must be {max, sum}")
+            for key, value in entry.items():
+                _check_number(f"{cpath}.{key}", value)
+
+
+def check_trace(doc: object, require_phases: list[str] | None = None,
+                path: str = "trace") -> None:
+    """Validate one parsed Chrome trace-event document from lacc."""
+    if not isinstance(doc, dict):
+        _fail(path, "top level must be an object")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != TRACE_SCHEMA:
+        _fail(f"{path}.otherData.schema", f"expected {TRACE_SCHEMA!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        _fail(f"{path}.traceEvents", "must be a non-empty array")
+    ranks = other.get("ranks")
+    _check_number(f"{path}.otherData.ranks", ranks)
+    names_by_tid: dict[int, set[str]] = {}
+    for i, event in enumerate(events):
+        epath = f"{path}.traceEvents[{i}]"
+        if not isinstance(event, dict):
+            _fail(epath, "event must be an object")
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            _fail(f"{epath}.ph", f"unexpected phase {ph!r}")
+        if ph == "M":
+            continue
+        for key in ("name", "ts", "dur", "pid", "tid", "cat"):
+            if key not in event:
+                _fail(epath, f"missing key {key!r}")
+        _check_number(f"{epath}.ts", event["ts"])
+        _check_number(f"{epath}.dur", event["dur"])
+        if event["ts"] < 0 or event["dur"] < 0:
+            _fail(epath, "negative timestamp or duration")
+        tid = event["tid"]
+        if not isinstance(tid, int) or not 0 <= tid < int(ranks):
+            _fail(f"{epath}.tid", f"tid {tid!r} outside [0, {ranks})")
+        names_by_tid.setdefault(tid, set()).add(event["name"])
+    if len(names_by_tid) != int(ranks):
+        _fail(f"{path}.traceEvents",
+              f"events cover {len(names_by_tid)} ranks, expected {ranks}")
+    for name in require_phases or []:
+        for tid, names in sorted(names_by_tid.items()):
+            if name not in names:
+                _fail(f"{path}.traceEvents",
+                      f"required span {name!r} missing on rank {tid}")
+
+
+def _validate_file(filename: str, trace: bool,
+                   require_phases: list[str] | None) -> str | None:
+    try:
+        with open(filename, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return f"{filename}: {err}"
+    try:
+        if trace:
+            check_trace(doc, require_phases)
+        else:
+            check_metrics(doc)
+    except Invalid as err:
+        return f"{filename}: {err}"
+    return None
+
+
+# --- self-test -------------------------------------------------------------
+
+def _phase_entry(**overrides: float) -> dict:
+    entry = {key: 1.0 for key in PHASE_ENTRY_KEYS}
+    entry.update(overrides)
+    return entry
+
+
+def _metrics_doc() -> dict:
+    return {
+        "schema": METRICS_SCHEMA,
+        "tool": "selftest",
+        "word_bytes": 8,
+        "config": {"scale": 0.25},
+        "runs": [{
+            "name": "run",
+            "ranks": 4,
+            "modeled_seconds": 1.5,
+            "wall_seconds": 0.1,
+            "scalars": {"edges": 10.0},
+            "total": _phase_entry(modeled_sum=4.0),
+            "phases": {"cond-hook": _phase_entry(modeled_sum=4.0)},
+            "counters": {"hooks": {"max": 2, "sum": 5}},
+        }],
+    }
+
+
+def _trace_doc() -> dict:
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, "clock": "modeled", "ranks": 2},
+        "traceEvents": [
+            {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
+             "args": {"name": "rank 0"}},
+            {"ph": "X", "name": "iter", "cat": "region", "ts": 0.0,
+             "dur": 2.0, "pid": 0, "tid": 0, "args": {}},
+            {"ph": "X", "name": "iter", "cat": "region", "ts": 0.0,
+             "dur": 2.0, "pid": 0, "tid": 1, "args": {}},
+        ],
+    }
+
+
+def _expect_ok(doc: object, trace: bool = False, **kwargs) -> None:
+    if trace:
+        check_trace(doc, **kwargs)
+    else:
+        check_metrics(doc)
+
+
+def _expect_invalid(doc: object, trace: bool = False, **kwargs) -> None:
+    try:
+        _expect_ok(doc, trace, **kwargs)
+    except Invalid:
+        return
+    raise AssertionError(f"validation unexpectedly passed: {doc!r}")
+
+
+def self_test() -> int:
+    _expect_ok(_metrics_doc())
+
+    bad = _metrics_doc()
+    bad["schema"] = "lacc-metrics-v0"
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["total"]["modeled_max"] = float("nan")
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    del bad["runs"][0]["phases"]["cond-hook"]["bytes_sum"]
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["counters"]["hooks"] = {"max": 2}
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["total"]["modeled_max"] = 100.0  # max > sum
+    _expect_invalid(bad)
+
+    _expect_ok(_trace_doc(), trace=True)
+    _expect_ok(_trace_doc(), trace=True, require_phases=["iter"])
+    _expect_invalid(_trace_doc(), trace=True, require_phases=["cond-hook"])
+
+    bad = _trace_doc()
+    bad["otherData"]["schema"] = "something-else"
+    _expect_invalid(bad, trace=True)
+
+    bad = _trace_doc()
+    bad["traceEvents"][1]["tid"] = 7  # outside [0, ranks)
+    _expect_invalid(bad, trace=True)
+
+    bad = _trace_doc()
+    del bad["traceEvents"][2]  # rank 1 has no events
+    _expect_invalid(bad, trace=True)
+
+    print("check_obs_json self-test: ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="JSON files to validate")
+    parser.add_argument("--trace", action="store_true",
+                        help="validate Chrome trace files instead of metrics")
+    parser.add_argument("--require-phases", default="",
+                        help="comma-separated span names every rank must "
+                             "have (trace mode)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("no files given (or use --self-test)")
+    require = [p for p in args.require_phases.split(",") if p]
+    if require and not args.trace:
+        parser.error("--require-phases only applies with --trace")
+
+    failures = []
+    for filename in args.files:
+        error = _validate_file(filename, args.trace, require)
+        if error:
+            failures.append(error)
+        else:
+            kind = "trace" if args.trace else "metrics"
+            print(f"{filename}: valid {kind} file")
+    for error in failures:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
