@@ -1,0 +1,144 @@
+// bench_stream — incremental vs from-scratch cost per streaming epoch.
+//
+// The streaming extension's core claim: when a batch touches little of the
+// graph, warm-starting from the previous epoch's labels and iterating only
+// the induced active set beats recomputing connected components from
+// scratch.  This bench quantifies that and finds the crossover.
+//
+// Setup: warm-load half of a path-forest graph (so nearly every streamed
+// edge still merges components — the worst case for the filter, the
+// honest case for the incremental kernels), then stream the rest in
+// batches of increasing size through two engines:
+//
+//   incremental   rebuild_threshold = 1 (never falls back)
+//   from-scratch  rebuild_threshold = 0 (full lacc_dist on every epoch
+//                 with at least one cross-component edge)
+//
+// and compare the mean modeled seconds per epoch.  The crossover batch
+// size — where a batch dirties enough of the graph that recomputing is
+// cheaper — is the tuning target for StreamOptions::rebuild_threshold.
+#include "bench_common.hpp"
+
+#include "graph/generators.hpp"
+#include "stream/engine.hpp"
+
+namespace lacc::bench {
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kEpochsPerSize = 5;
+
+struct ArmResult {
+  double mean_epoch_modeled = 0;  ///< mean modeled seconds per epoch
+  std::uint64_t rebuilds = 0;
+};
+
+/// Stream `kEpochsPerSize` batches of `batch_edges` edges (starting at
+/// `warm` edges already loaded) through one engine and average the
+/// per-epoch modeled cost.
+ArmResult run_arm(const graph::EdgeList& full, std::size_t warm,
+                  std::size_t batch_edges, double rebuild_threshold) {
+  stream::StreamOptions options;
+  options.rebuild_threshold = rebuild_threshold;
+  stream::StreamEngine engine(full.n, kRanks, sim::MachineModel::edison(),
+                              options);
+
+  graph::EdgeList accumulated(full.n);
+  auto feed = [&](std::size_t lo, std::size_t hi) {
+    graph::EdgeList slice(full.n);
+    slice.edges.assign(full.edges.begin() + static_cast<std::ptrdiff_t>(lo),
+                       full.edges.begin() + static_cast<std::ptrdiff_t>(hi));
+    accumulated.edges.insert(accumulated.edges.end(), slice.edges.begin(),
+                             slice.edges.end());
+    engine.ingest(slice);
+    return engine.advance_epoch();
+  };
+
+  feed(0, warm);  // warm epoch: both arms pay the same initial build
+
+  ArmResult result;
+  double total = 0;
+  int epochs = 0;
+  std::size_t at = warm;
+  for (int e = 0; e < kEpochsPerSize && at < full.edges.size(); ++e) {
+    const std::size_t hi = std::min(at + batch_edges, full.edges.size());
+    const auto st = feed(at, hi);
+    total += st.modeled_seconds();
+    result.rebuilds += st.full_rebuild ? 1 : 0;
+    ++epochs;
+    at = hi;
+  }
+  result.mean_epoch_modeled = epochs ? total / epochs : 0;
+
+  check_against_truth(accumulated, engine.labels());
+  return result;
+}
+
+}  // namespace
+}  // namespace lacc::bench
+
+int main() {
+  using namespace lacc;
+  using namespace lacc::bench;
+
+  print_banner("bench_stream — incremental vs from-scratch epochs",
+               "streaming extension (Section IV-B sparsity argument taken "
+               "to incremental updates)");
+  Metrics metrics("bench_stream");
+
+  const double scale = problem_scale();
+  const auto n = static_cast<VertexId>(8000 * scale);
+  const auto full =
+      graph::path_forest(std::max<VertexId>(n, 500), 40, /*seed=*/11);
+  const std::size_t warm = full.edges.size() / 2;
+  std::cout << "Workload: path forest, " << fmt_count(full.n)
+            << " vertices, " << fmt_count(full.edges.size())
+            << " edges (warm-loading " << fmt_count(warm) << ", streaming "
+            << fmt_count(full.edges.size() - warm) << ") on " << kRanks
+            << " ranks\n\n";
+
+  TextTable table({"batch", "inc/epoch", "scratch/epoch", "speedup",
+                   "winner"});
+  std::size_t crossover = 0;
+  std::size_t prev = 0;
+  for (std::size_t batch : {std::size_t{8}, std::size_t{32},
+                            std::size_t{128}, std::size_t{512},
+                            std::size_t{2048}, std::size_t{8192}}) {
+    // Clamp the last step to "everything remaining in one epoch" — the
+    // regime where recomputing from scratch must win.
+    batch = std::min(batch, full.edges.size() - warm);
+    if (batch == prev) break;
+    prev = batch;
+    const auto inc = run_arm(full, warm, batch, /*rebuild_threshold=*/1.0);
+    const auto scratch =
+        run_arm(full, warm, batch, /*rebuild_threshold=*/0.0);
+    const double speedup =
+        inc.mean_epoch_modeled > 0
+            ? scratch.mean_epoch_modeled / inc.mean_epoch_modeled
+            : 0;
+    const bool inc_wins = inc.mean_epoch_modeled < scratch.mean_epoch_modeled;
+    if (!inc_wins && crossover == 0) crossover = batch;
+    table.add_row({fmt_count(batch), fmt_seconds(inc.mean_epoch_modeled),
+                   fmt_seconds(scratch.mean_epoch_modeled),
+                   fmt_ratio(speedup),
+                   inc_wins ? "incremental" : "from-scratch"});
+    metrics.add_simple(
+        "batch_" + std::to_string(batch),
+        {{"batch_edges", static_cast<double>(batch)},
+         {"inc_epoch_modeled", inc.mean_epoch_modeled},
+         {"scratch_epoch_modeled", scratch.mean_epoch_modeled},
+         {"scratch_rebuilds", static_cast<double>(scratch.rebuilds)},
+         {"speedup", speedup}});
+  }
+  table.print(std::cout);
+
+  if (crossover == 0)
+    std::cout << "\nCrossover: none up to the largest tested batch — "
+                 "incremental wins throughout\n";
+  else
+    std::cout << "\nCrossover batch size: " << fmt_count(crossover)
+              << " edges (from-scratch becomes cheaper)\n";
+  metrics.add_simple("crossover",
+                     {{"batch_edges", static_cast<double>(crossover)}});
+  return 0;
+}

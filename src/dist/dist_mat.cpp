@@ -7,20 +7,9 @@
 
 namespace lacc::dist {
 
-namespace {
-
-/// A directed nonzero routed during ingestion.
-struct Entry {
-  VertexId row;
-  VertexId col;
-  friend bool operator==(const Entry&, const Entry&) = default;
-  friend auto operator<=>(const Entry& a, const Entry& b) {
-    // Column-major order: DCSC construction wants columns contiguous.
-    return std::tie(a.col, a.row) <=> std::tie(b.col, b.row);
-  }
-};
-
-}  // namespace
+// Routed nonzeros travel as CscCoord (declared in the header so the
+// streaming delta store shares the representation and ordering).
+using Entry = CscCoord;
 
 DistCsc::DistCsc(ProcGrid& grid, const graph::EdgeList& el)
     : n_(el.n),
@@ -82,6 +71,69 @@ DistCsc::DistCsc(ProcGrid& grid, const graph::EdgeList& el)
   cp_.push_back(ir_.size());
   if (jc_.empty()) cp_.assign(1, 0);
 
+  global_nnz_ = world.allreduce(static_cast<EdgeId>(ir_.size()),
+                                [](EdgeId a, EdgeId b) { return a + b; });
+}
+
+void DistCsc::merge_delta(ProcGrid& grid, const std::vector<CscCoord>& delta) {
+  check::fence_block_access(owner_rank_, "DistCsc");
+  auto& world = grid.world();
+#ifndef NDEBUG
+  for (std::size_t k = 0; k < delta.size(); ++k) {
+    LACC_DCHECK(delta[k].row >= row_begin_ && delta[k].row < row_end_);
+    LACC_DCHECK(delta[k].col >= col_begin_ && delta[k].col < col_end_);
+    LACC_DCHECK(k == 0 || delta[k - 1] < delta[k]);
+  }
+#endif
+
+  std::vector<VertexId> jc;
+  std::vector<std::size_t> cp;
+  std::vector<VertexId> ir;
+  jc.reserve(jc_.size());
+  cp.reserve(cp_.size());
+  ir.reserve(ir_.size() + delta.size());
+  const auto push = [&](const CscCoord& e) {
+    if (jc.empty() || jc.back() != e.col) {
+      jc.push_back(e.col);
+      cp.push_back(ir.size());
+    }
+    ir.push_back(e.row);
+  };
+
+  // Linear merge of the existing entries (walked in place through jc_/cp_/
+  // ir_) with the sorted delta; duplicates keep the existing entry.
+  std::size_t a_col = 0;  // index into jc_ of the column holding ir_[a_pos]
+  std::size_t a_pos = 0;  // index into ir_
+  const auto a_cur = [&]() -> CscCoord {
+    while (a_pos >= cp_[a_col + 1]) ++a_col;
+    return {ir_[a_pos], jc_[a_col]};
+  };
+  std::size_t d = 0;
+  while (a_pos < ir_.size() || d < delta.size()) {
+    if (a_pos >= ir_.size()) {
+      push(delta[d++]);
+    } else if (d >= delta.size()) {
+      push(a_cur());
+      ++a_pos;
+    } else {
+      const CscCoord a = a_cur();
+      const auto cmp = a <=> delta[d];
+      if (cmp == 0) ++d;  // already present
+      if (cmp <= 0) {
+        push(a);
+        ++a_pos;
+      } else {
+        push(delta[d++]);
+      }
+    }
+  }
+  cp.push_back(ir.size());
+  if (jc.empty()) cp.assign(1, 0);
+  world.charge_compute(static_cast<double>(ir_.size() + delta.size()));
+
+  jc_ = std::move(jc);
+  cp_ = std::move(cp);
+  ir_ = std::move(ir);
   global_nnz_ = world.allreduce(static_cast<EdgeId>(ir_.size()),
                                 [](EdgeId a, EdgeId b) { return a + b; });
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "dist/grid.hpp"
@@ -19,6 +20,19 @@
 #include "support/types.hpp"
 
 namespace lacc::dist {
+
+/// One directed nonzero of the pattern matrix, in the column-major order
+/// DCSC construction wants (columns contiguous).  Ingestion routes these to
+/// block owners; the streaming delta store (src/stream) accumulates them as
+/// sorted runs between compactions.
+struct CscCoord {
+  VertexId row = 0;
+  VertexId col = 0;
+  friend bool operator==(const CscCoord&, const CscCoord&) = default;
+  friend auto operator<=>(const CscCoord& a, const CscCoord& b) {
+    return std::tie(a.col, a.row) <=> std::tie(b.col, b.row);
+  }
+};
 
 /// One rank's block of the distributed adjacency matrix.
 class DistCsc {
@@ -60,6 +74,15 @@ class DistCsc {
     return static_cast<int>(part_.owner(g) / static_cast<std::uint64_t>(q_));
   }
   int grid_col_of(VertexId g) const { return grid_row_of(g); }
+
+  /// Collective: merge a batch of new nonzeros into the DCSC arrays without
+  /// rebuilding the matrix (the streaming append path).  `delta` is this
+  /// rank's share — coordinates inside this block, column-major sorted and
+  /// unique, as produced by stream::DeltaStore::drain_merged().  Entries
+  /// already present are dropped (the matrix is a pattern, so re-insertion
+  /// is a no-op); global_nnz() is re-reduced across ranks.  Cost is one
+  /// linear merge over old + new entries.
+  void merge_delta(ProcGrid& grid, const std::vector<CscCoord>& delta);
 
  private:
   VertexId n_ = 0;

@@ -9,18 +9,26 @@
 
 namespace lacc::graph {
 
-void canonicalize(EdgeList& el) {
+void canonicalize(EdgeList& el) { canonicalize_counted(el); }
+
+CanonicalizeStats canonicalize_counted(EdgeList& el) {
+  CanonicalizeStats stats;
   auto& edges = el.edges;
+  stats.input_edges = edges.size();
   std::size_t keep = 0;
   for (auto& e : edges) {
     if (e.u == e.v) continue;
     edges[keep++] = {std::min(e.u, e.v), std::max(e.u, e.v)};
   }
+  stats.self_loops = stats.input_edges - keep;
   edges.resize(keep);
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  stats.kept = edges.size();
+  stats.duplicates = keep - edges.size();
   for (const auto& e : edges)
     LACC_CHECK_MSG(e.v < el.n, "edge endpoint " << e.v << " out of range");
+  return stats;
 }
 
 EdgeList symmetrize(const EdgeList& el) {

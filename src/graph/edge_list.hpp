@@ -29,9 +29,20 @@ struct EdgeList {
   EdgeId size() const { return edges.size(); }
 };
 
+/// What canonicalize removed; streaming ingestion reports these per batch.
+struct CanonicalizeStats {
+  EdgeId input_edges = 0;  ///< edges before canonicalization
+  EdgeId self_loops = 0;   ///< dropped (u, u) entries
+  EdgeId duplicates = 0;   ///< dropped repeats (after (min, max) ordering)
+  EdgeId kept = 0;         ///< canonical undirected edges remaining
+};
+
 /// Canonicalize in place for undirected use: drop self-loops, order each
 /// edge (min, max), sort, and deduplicate.
 void canonicalize(EdgeList& el);
+
+/// canonicalize, additionally reporting what was dropped.
+CanonicalizeStats canonicalize_counted(EdgeList& el);
 
 /// Symmetrize: emit both (u,v) and (v,u) for every canonical edge; the
 /// result is sorted and deduplicated with self-loops removed.  This is the

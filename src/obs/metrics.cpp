@@ -60,7 +60,7 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
                         const std::vector<RunRecord>& runs) {
   JsonWriter w(out);
   w.begin_object();
-  w.kv("schema", "lacc-metrics-v1");
+  w.kv("schema", "lacc-metrics-v2");
   w.kv("tool", tool);
   w.kv("word_bytes", kWordBytes);
   w.key("config");
@@ -75,6 +75,12 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
     w.kv("wall_seconds", run.wall_seconds);
     w.key("scalars");
     write_scalars(w, run.scalars);
+    if (!run.epochs.empty()) {
+      w.key("epochs");
+      w.begin_array();
+      for (const Scalars& epoch : run.epochs) write_scalars(w, epoch);
+      w.end_array();
+    }
     w.key("total");
     write_phase_entry(w, run.max.total, run.sum.total);
     w.key("phases");

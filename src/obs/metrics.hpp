@@ -1,9 +1,11 @@
-// Machine-readable metrics emitter: the `lacc-metrics-v1` JSON schema.
+// Machine-readable metrics emitter: the `lacc-metrics-v2` JSON schema.
 //
 // Benches and the CLI reduce an SPMD run to one RunRecord (per-phase
 // modeled/wall seconds, words, messages, per-rank max and sum) and write a
 // BENCH_<tool>.json file that tools/check_obs_json.py validates and the
-// perf trajectory consumes.  See docs/OBSERVABILITY.md for the schema.
+// perf trajectory consumes.  v2 adds an optional per-run "epochs" array for
+// streaming runs (one scalar block per advance_epoch); files without it are
+// exactly the v1 shape.  See docs/OBSERVABILITY.md for the schema.
 #pragma once
 
 #include <ostream>
@@ -27,6 +29,10 @@ struct RunRecord {
   Scalars scalars;            ///< experiment-specific values
   StatsSummary max;           ///< max over ranks (critical path)
   StatsSummary sum;           ///< sum over ranks (aggregate volume)
+  /// Streaming runs: one scalar block per epoch (must carry an "epoch" key,
+  /// strictly increasing).  Empty for static runs — the key is then omitted
+  /// from the JSON entirely.
+  std::vector<Scalars> epochs;
 };
 
 /// Reduce per-rank stats into a RunRecord.  Pass an empty `per_rank` for
@@ -36,7 +42,7 @@ RunRecord make_run_record(std::string name, int ranks,
                           double modeled_seconds, double wall_seconds,
                           Scalars scalars = {});
 
-/// Write the lacc-metrics-v1 document for one tool's runs.
+/// Write the lacc-metrics-v2 document for one tool's runs.
 void write_metrics_json(std::ostream& out, const std::string& tool,
                         const Scalars& config,
                         const std::vector<RunRecord>& runs);

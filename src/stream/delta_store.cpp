@@ -1,0 +1,97 @@
+#include "stream/delta_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/sort.hpp"
+
+namespace lacc::stream {
+
+using dist::CscCoord;
+
+namespace {
+
+/// Column-major (col, row) sort via two stable radix passes; lint-clean and
+/// allocation-predictable, unlike a comparator sort.
+void sort_column_major(std::vector<CscCoord>& entries,
+                       std::vector<CscCoord>& scratch, VertexId n) {
+  radix_sort_by(entries, scratch, [](const CscCoord& e) { return e.row; }, n);
+  radix_sort_by(entries, scratch, [](const CscCoord& e) { return e.col; }, n);
+}
+
+}  // namespace
+
+EdgeId DeltaStore::ingest(dist::ProcGrid& grid, const graph::EdgeList& batch) {
+  fence();
+  auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:delta_ingest");
+
+  // Route my slice's directed entries to block owners, exactly like DistCsc
+  // construction.
+  const BlockPartition edge_slice(batch.edges.size(),
+                                  static_cast<std::uint64_t>(world.size()));
+  const auto lo = edge_slice.begin(static_cast<std::uint64_t>(world.rank()));
+  const auto hi = edge_slice.end(static_cast<std::uint64_t>(world.rank()));
+  const auto q64 = static_cast<std::uint64_t>(q_);
+  std::vector<std::vector<CscCoord>> bucket(
+      static_cast<std::size_t>(world.size()));
+  const auto route = [&](VertexId r, VertexId c) {
+    LACC_CHECK_MSG(r < n_ && c < n_, "delta edge endpoint out of range");
+    const int grid_row = static_cast<int>(part_.owner(r) / q64);
+    const int grid_col = static_cast<int>(part_.owner(c) / q64);
+    bucket[static_cast<std::size_t>(grid.rank_of(grid_row, grid_col))]
+        .push_back({r, c});
+  };
+  for (auto e = lo; e < hi; ++e) {
+    const auto& edge = batch.edges[e];
+    if (edge.u == edge.v) continue;
+    route(edge.u, edge.v);
+    route(edge.v, edge.u);
+  }
+  world.charge_compute(static_cast<double>(2 * (hi - lo)));
+
+  std::vector<CscCoord> send;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(world.size()));
+  for (std::size_t d = 0; d < bucket.size(); ++d) {
+    counts[d] = bucket[d].size();
+    send.insert(send.end(), bucket[d].begin(), bucket[d].end());
+  }
+  std::vector<CscCoord> run =
+      world.alltoallv(send, counts, sim::AllToAllAlgo::kPairwise);
+
+  std::vector<CscCoord> scratch;
+  sort_column_major(run, scratch, n_);
+  run.erase(std::unique(run.begin(), run.end()), run.end());
+  world.charge_compute(static_cast<double>(run.size()) * 4);  // sort passes
+
+  local_nnz_ += run.size();
+  const EdgeId appended = world.allreduce(
+      static_cast<EdgeId>(run.size()), [](EdgeId a, EdgeId b) { return a + b; });
+  runs_.push_back(std::move(run));
+  return appended;
+}
+
+EdgeId DeltaStore::global_nnz(dist::ProcGrid& grid) const {
+  fence();
+  return grid.world().allreduce(local_nnz_,
+                                [](EdgeId a, EdgeId b) { return a + b; });
+}
+
+std::vector<CscCoord> DeltaStore::drain_merged(dist::ProcGrid& grid) {
+  fence();
+  std::vector<CscCoord> merged;
+  merged.reserve(static_cast<std::size_t>(local_nnz_));
+  for (const auto& run : runs_)
+    merged.insert(merged.end(), run.begin(), run.end());
+  std::vector<CscCoord> scratch;
+  sort_column_major(merged, scratch, n_);
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  grid.world().charge_compute(static_cast<double>(merged.size()) * 4);
+  runs_.clear();
+  pending_from_ = 0;
+  local_nnz_ = 0;
+  return merged;
+}
+
+}  // namespace lacc::stream

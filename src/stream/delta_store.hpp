@@ -1,0 +1,110 @@
+// LSM-style per-rank delta storage for a distributed pattern matrix.
+//
+// Streaming ingestion cannot afford to rebuild the DCSC blocks per batch:
+// construction sorts every nonzero.  Instead each batch is routed to block
+// owners exactly like DistCsc construction and appended as one *sorted run*
+// of CscCoord — the memtable-flush shape of LSM-tree storage engines
+// (LSMGraph / LiveGraph keep per-partition edge deltas the same way).  Runs
+// accumulate until the engine's compaction policy fires, at which point
+// drain_merged() produces one sorted unique sequence that
+// DistCsc::merge_delta() folds into the base arrays with a linear merge.
+//
+// A watermark separates runs the incremental algorithm has already folded
+// into its labels ("processed") from runs a future advance_epoch() still
+// needs to look at ("pending").  Processed runs stay resident — their edges
+// are reflected in the labels but not yet in the DCSC base — until the next
+// compaction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "dist/grid.hpp"
+#include "graph/edge_list.hpp"
+#include "support/checking.hpp"
+#include "support/partition.hpp"
+#include "support/types.hpp"
+
+namespace lacc::stream {
+
+/// One rank's share of the delta edges not yet compacted into the base
+/// matrix.  Plain data (no communicator references), so a slot survives
+/// across run_spmd sessions like DistVec does.
+class DeltaStore {
+ public:
+  /// Collective only in the sense that every rank builds its share against
+  /// the same grid shape; no communication happens here.
+  DeltaStore(const dist::ProcGrid& grid, VertexId n)
+      : n_(n),
+        q_(grid.q()),
+        owner_rank_(grid.rank()),
+        part_(n, static_cast<std::uint64_t>(grid.size())) {}
+
+  /// Collective: every rank reads its slice of `batch` (canonical
+  /// undirected edges; see graph::canonicalize), symmetrizes it, and routes
+  /// the directed entries to block owners with an all-to-all — the same
+  /// ingestion pattern as DistCsc construction.  The received entries
+  /// become one new sorted, deduplicated run.  Returns the global number of
+  /// directed entries appended across all ranks.
+  EdgeId ingest(dist::ProcGrid& grid, const graph::EdgeList& batch);
+
+  /// Directed entries resident in this rank's runs (duplicates across runs
+  /// counted per run; drain_merged() removes them).
+  EdgeId local_nnz() const {
+    fence();
+    return local_nnz_;
+  }
+  std::size_t run_count() const {
+    fence();
+    return runs_.size();
+  }
+
+  /// Collective: sum of local_nnz over ranks.
+  EdgeId global_nnz(dist::ProcGrid& grid) const;
+
+  /// Visit every pending (not yet label-processed) coordinate, run by run.
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    fence();
+    for (std::size_t r = pending_from_; r < runs_.size(); ++r)
+      for (const dist::CscCoord& e : runs_[r]) fn(e);
+  }
+
+  /// Directed entries in pending runs.
+  EdgeId pending_nnz() const {
+    fence();
+    EdgeId total = 0;
+    for (std::size_t r = pending_from_; r < runs_.size(); ++r)
+      total += runs_[r].size();
+    return total;
+  }
+
+  /// Advance the watermark: everything ingested so far has been folded into
+  /// the labels.
+  void mark_pending_processed() {
+    fence();
+    pending_from_ = runs_.size();
+  }
+
+  /// Compaction: merge all runs into one column-major sorted, unique
+  /// sequence (ready for DistCsc::merge_delta) and clear the store.  Any
+  /// still-pending runs stay pending conceptually — callers must extract
+  /// pending coordinates before draining.
+  std::vector<dist::CscCoord> drain_merged(dist::ProcGrid& grid);
+
+ private:
+  /// Block fence (LACC_CHECK=2): only the owning virtual rank may touch
+  /// this share outside a collective.  No-op outside run_spmd.
+  void fence() const { check::fence_block_access(owner_rank_, "DeltaStore"); }
+
+  VertexId n_;
+  int q_;
+  int owner_rank_;
+  BlockPartition part_;
+  std::vector<std::vector<dist::CscCoord>> runs_;
+  std::size_t pending_from_ = 0;  ///< first run not yet label-processed
+  EdgeId local_nnz_ = 0;
+};
+
+}  // namespace lacc::stream

@@ -1,0 +1,397 @@
+#include "stream/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "core/lacc_dist.hpp"
+#include "dist/dist_mat.hpp"
+#include "dist/dist_vec.hpp"
+#include "dist/grid.hpp"
+#include "dist/ops.hpp"
+#include "stream/delta_store.hpp"
+#include "support/error.hpp"
+
+namespace lacc::stream {
+
+using dist::CommTuning;
+using dist::CscCoord;
+using dist::DistCsc;
+using dist::DistVec;
+using dist::ProcGrid;
+using dist::Tuple;
+
+namespace {
+
+/// Same option -> tuning mapping as lacc_dist, so the incremental kernels
+/// share the static path's communication behavior (hotspot broadcast,
+/// hypercube all-to-all).
+CommTuning tuning_from(const core::LaccOptions& options) {
+  CommTuning tuning;
+  tuning.alltoall = options.hypercube_alltoall
+                        ? sim::AllToAllAlgo::kSparseHypercube
+                        : sim::AllToAllAlgo::kPairwise;
+  tuning.hotspot_broadcast = options.hotspot_broadcast;
+  tuning.hotspot_threshold = options.hotspot_threshold;
+  tuning.force_dense = !options.use_sparse_vectors;
+  return tuning;
+}
+
+constexpr auto kSum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+
+}  // namespace
+
+/// Persistent distributed state of one virtual rank, reused across SPMD
+/// sessions (all members are plain data; the conformance layer's block
+/// fences verify only the owning rank ever touches them).
+struct StreamEngine::RankSlot {
+  std::optional<DistCsc> base;          ///< compacted DCSC adjacency
+  std::optional<DeltaStore> delta;      ///< uncompacted edge runs
+  std::optional<DistVec<VertexId>> labels;  ///< canonical min-id labels, dense
+  /// Component size stored exactly at current roots (drives the dirty
+  /// fraction without a global scan).
+  std::optional<DistVec<std::uint64_t>> comp_size;
+};
+
+StreamEngine::StreamEngine(VertexId n, int nranks,
+                           const sim::MachineModel& machine,
+                           StreamOptions options)
+    : n_(n), nranks_(nranks), machine_(machine), options_(std::move(options)) {
+  int q = 0;
+  while (q * q < nranks_) ++q;
+  LACC_CHECK_MSG(nranks_ >= 1 && q * q == nranks_,
+                 "stream engine rank count " << nranks_
+                                             << " is not a perfect square");
+  slots_.resize(static_cast<std::size_t>(nranks_));
+  for (auto& slot : slots_) slot = std::make_unique<RankSlot>();
+
+  const graph::EdgeList empty(n_);
+  sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    RankSlot& slot = *slots_[static_cast<std::size_t>(world.rank())];
+    slot.base.emplace(grid, empty);
+    slot.delta.emplace(grid, n_);
+    slot.labels.emplace(grid, n_);
+    slot.comp_size.emplace(grid, n_);
+    for (const VertexId g : slot.labels->owned()) {
+      slot.labels->set(g, g);
+      slot.comp_size->set(g, 1);
+    }
+  });
+
+  components_ = n_;
+  current_labels_.resize(n_);
+  for (VertexId v = 0; v < n_; ++v) current_labels_[v] = v;
+}
+
+StreamEngine::~StreamEngine() = default;
+
+graph::CanonicalizeStats StreamEngine::ingest(graph::EdgeList batch) {
+  LACC_CHECK_MSG(batch.n == n_, "batch vertex count " << batch.n
+                                                      << " != engine's " << n_);
+  const graph::CanonicalizeStats stats = graph::canonicalize_counted(batch);
+  pending_batch_edges_ += stats.kept;
+
+  const auto spmd = sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    sim::Region region(world, "stream-ingest",
+                       static_cast<std::int64_t>(epoch_ + 1));
+    RankSlot& slot = *slots_[static_cast<std::size_t>(world.rank())];
+    slot.delta->ingest(grid, batch);
+  });
+  pending_ingest_modeled_ += spmd.sim_seconds;
+  return stats;
+}
+
+EpochStats StreamEngine::advance_epoch() {
+  EpochStats st;
+  st.epoch = ++epoch_;
+  st.batch_edges = pending_batch_edges_;
+  st.ingest_modeled_seconds = pending_ingest_modeled_;
+  pending_batch_edges_ = 0;
+  pending_ingest_modeled_ = 0;
+
+  const CommTuning tuning = tuning_from(options_.lacc);
+  const VertexId n = n_;
+
+  // Written by the matching rank / by rank 0 only; read after the join.
+  std::vector<double> modeled(static_cast<std::size_t>(nranks_), 0.0);
+  std::vector<VertexId> flat_labels;
+  std::uint64_t sh_cross = 0, sh_dirty = 0;
+  EdgeId sh_delta_nnz = 0;
+  bool sh_full = false, sh_compact = false;
+  int sh_iterations = 0;
+
+  auto spmd = sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    RankSlot& slot = *slots_[static_cast<std::size_t>(world.rank())];
+    DistCsc& base = *slot.base;
+    DeltaStore& delta = *slot.delta;
+    DistVec<VertexId>& labels = *slot.labels;
+    DistVec<std::uint64_t>& comp_size = *slot.comp_size;
+    sim::Region epoch_region(world, "epoch",
+                             static_cast<std::int64_t>(st.epoch));
+
+    // --- Filter pending edges down to cross-component edges: one batched
+    // label lookup over both endpoints of every pending undirected edge.
+    // `cross` holds (lo, hi) pairs of the endpoints' current labels.
+    std::vector<std::pair<VertexId, VertexId>> cross;
+    std::uint64_t cross_total = 0;
+    {
+      sim::Region region(world, "stream-filter");
+      std::vector<VertexId> req;
+      delta.for_each_pending([&](const CscCoord& e) {
+        if (e.row < e.col) {  // each undirected edge exactly once globally
+          req.push_back(e.row);
+          req.push_back(e.col);
+        }
+      });
+      const auto got =
+          dist::gather_values(grid, labels, req, tuning, "stream_filter");
+      for (std::size_t k = 0; k + 1 < got.size(); k += 2) {
+        LACC_CHECK(got[k].second && got[k + 1].second);
+        const VertexId lu = got[k].first, lv = got[k + 1].first;
+        if (lu != lv)
+          cross.emplace_back(std::min(lu, lv), std::max(lu, lv));
+      }
+      world.charge_compute(static_cast<double>(got.size()));
+      cross_total = world.allreduce(
+          static_cast<std::uint64_t>(cross.size()), kSum);
+    }
+    delta.mark_pending_processed();
+
+    // --- Dirty fraction: mark the touched roots, sum their component
+    // sizes.  This is what decides incremental vs full recompute.
+    std::uint64_t dirty = 0;
+    if (cross_total != 0) {
+      sim::Region region(world, "stream-dirty");
+      DistVec<std::uint8_t> touched(grid, n);
+      std::vector<VertexId> roots;
+      roots.reserve(cross.size() * 2);
+      for (const auto& [lo, hi] : cross) {
+        roots.push_back(lo);
+        roots.push_back(hi);
+      }
+      dist::scatter_set(grid, touched, std::move(roots), 1, tuning);
+      std::uint64_t local = 0;
+      touched.for_each_stored([&](VertexId g, std::uint8_t) {
+        LACC_DCHECK(comp_size.has(g));
+        local += comp_size.get_or(g, 0);
+      });
+      world.charge_compute(static_cast<double>(touched.local_nvals()));
+      dirty = world.allreduce(local, kSum);
+    }
+
+    // --- Policy (uniform across ranks: all inputs are global reductions).
+    const double dirty_frac =
+        n == 0 ? 0.0 : static_cast<double>(dirty) / static_cast<double>(n);
+    const bool full =
+        cross_total != 0 && dirty_frac > options_.rebuild_threshold;
+    const EdgeId delta_nnz = delta.global_nnz(grid);
+    const bool compact =
+        full || static_cast<double>(delta_nnz) >
+                    options_.compaction_factor *
+                        static_cast<double>(std::max<EdgeId>(
+                            base.global_nnz(), 1));
+    if (compact && delta_nnz != 0) {
+      sim::Region region(world, "stream-compact");
+      base.merge_delta(grid, delta.drain_merged(grid));
+    }
+
+    int iterations = 0;
+    if (full) {
+      // --- Fallback: the whole graph is in the base now; run the static
+      // algorithm and re-canonicalize.  Every rank computes the same
+      // normalized vector from the gathered parents.
+      sim::Region region(world, "stream-rebuild");
+      core::CcResult cc;
+      core::lacc_dist_body(grid, base, options_.lacc, cc);
+      const auto canon = core::normalize_labels(cc.parent);
+      for (const VertexId g : labels.owned()) labels.set(g, canon[g]);
+      comp_size.clear();
+      for (VertexId v = 0; v < n; ++v) {
+        const VertexId r = canon[v];
+        if (comp_size.owns(r)) comp_size.set(r, comp_size.get_or(r, 0) + 1);
+      }
+      world.charge_compute(static_cast<double>(n) +
+                           static_cast<double>(labels.local_size()));
+      iterations = cc.iterations;
+    } else if (cross_total != 0) {
+      // --- Incremental path: Shiloach–Vishkin on the contracted multigraph
+      // whose vertices are current roots and whose edges are the cross
+      // pairs.  Each round hooks larger roots onto smaller ones (the
+      // hook-to-root guard keeps the forest flat-ish) and pointer-jumps
+      // every remaining pair one level; a pair retires when its endpoints'
+      // labels agree.
+      sim::Region region(world, "stream-inc");
+      while (true) {
+        ++iterations;
+        LACC_CHECK_MSG(iterations <= options_.lacc.max_iterations,
+                       "incremental hooking failed to converge");
+        std::vector<Tuple<VertexId>> hooks;
+        hooks.reserve(cross.size());
+        for (const auto& [lo, hi] : cross) hooks.push_back({hi, lo});
+        dist::scatter_assign_min(grid, labels, std::move(hooks), tuning,
+                                 /*only_if_root=*/true);
+
+        std::vector<VertexId> req;
+        req.reserve(cross.size() * 2);
+        for (const auto& [lo, hi] : cross) {
+          req.push_back(lo);
+          req.push_back(hi);
+        }
+        const auto got =
+            dist::gather_values(grid, labels, req, tuning, "stream_inc");
+        std::size_t keep = 0;
+        for (std::size_t k = 0; k < cross.size(); ++k) {
+          const VertexId lu = got[2 * k].first, lv = got[2 * k + 1].first;
+          if (lu != lv) cross[keep++] = {std::min(lu, lv), std::max(lu, lv)};
+        }
+        cross.resize(keep);
+        world.charge_compute(static_cast<double>(got.size()));
+        if (!dist::global_any(grid, !cross.empty())) break;
+      }
+
+      // Shortcut: flatten the hook chains left on old roots, halving path
+      // lengths per round until every old root points at its final root.
+      {
+        sim::Region shortcut(world, "stream-shortcut");
+        while (true) {
+          std::vector<VertexId> targets;
+          std::vector<VertexId> req;
+          comp_size.for_each_stored([&](VertexId g, std::uint64_t) {
+            const VertexId l = labels.at(g);
+            if (l != g) {
+              targets.push_back(g);
+              req.push_back(l);
+            }
+          });
+          const auto got = dist::gather_values(grid, labels, req, tuning,
+                                               "stream_shortcut");
+          bool changed = false;
+          for (std::size_t k = 0; k < targets.size(); ++k) {
+            LACC_CHECK(got[k].second);
+            if (got[k].first != labels.at(targets[k])) {
+              labels.set(targets[k], got[k].first);
+              changed = true;
+            }
+          }
+          world.charge_compute(static_cast<double>(targets.size()) * 2);
+          if (!dist::global_any(grid, changed)) break;
+        }
+      }
+
+      // Relabel: broadcast the (old root -> final root, size) moves, then
+      // each rank rewrites its owned labels with one local hash lookup per
+      // element and transfers component sizes to the surviving roots.
+      {
+        sim::Region relabel(world, "stream-relabel");
+        struct Moved {
+          VertexId old_root;
+          VertexId new_root;
+          std::uint64_t size;
+        };
+        std::vector<Moved> moved;
+        comp_size.for_each_stored([&](VertexId g, std::uint64_t s) {
+          const VertexId l = labels.at(g);
+          if (l != g) moved.push_back({g, l, s});
+        });
+        const std::vector<Moved> all_moved = world.allgatherv(moved);
+        std::unordered_map<VertexId, VertexId> remap;
+        remap.reserve(all_moved.size());
+        for (const Moved& m : all_moved) remap.emplace(m.old_root, m.new_root);
+        for (const VertexId g : labels.owned()) {
+          const auto it = remap.find(labels.at(g));
+          if (it != remap.end()) labels.set(g, it->second);
+        }
+        for (const Moved& m : all_moved) {
+          if (comp_size.owns(m.new_root))
+            comp_size.set(m.new_root,
+                          comp_size.get_or(m.new_root, 0) + m.size);
+          if (comp_size.owns(m.old_root)) comp_size.remove(m.old_root);
+        }
+        world.charge_compute(static_cast<double>(labels.local_size()) +
+                             static_cast<double>(all_moved.size()) * 2);
+      }
+    }
+
+    // Modeled epoch time stops here; the label gather below is result
+    // extraction (same convention as lacc_dist_body).
+    modeled[static_cast<std::size_t>(world.rank())] = world.state().sim_time;
+    auto flat = dist::to_global(grid, labels, kNoVertex);
+    if (world.rank() == 0) {
+      flat_labels = std::move(flat);
+      sh_cross = cross_total;
+      sh_dirty = dirty;
+      sh_delta_nnz = compact ? 0 : delta_nnz;
+      sh_full = full;
+      sh_compact = compact;
+      sh_iterations = iterations;
+    }
+  });
+
+  st.cross_edges = sh_cross;
+  st.dirty_vertices = sh_dirty;
+  st.delta_nnz = sh_delta_nnz;
+  st.full_rebuild = sh_full;
+  st.compacted = sh_compact;
+  st.iterations = sh_iterations;
+  st.advance_modeled_seconds = *std::max_element(modeled.begin(), modeled.end());
+  total_modeled_ += st.modeled_seconds();
+
+  // Host-side epoch bookkeeping: diff against the previous snapshot to
+  // extend the version chains, then count surviving roots.
+  LACC_CHECK(flat_labels.size() == current_labels_.size());
+  std::uint64_t components = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (flat_labels[v] == v) ++components;
+    if (flat_labels[v] != current_labels_[v]) {
+      versions_[v].emplace_back(st.epoch, flat_labels[v]);
+      ++st.relabeled_vertices;
+    }
+  }
+  st.merges = components_ - components;
+  st.components = components;
+  components_ = components;
+  current_labels_ = std::move(flat_labels);
+  last_spmd_ = std::move(spmd);
+  history_.push_back(st);
+  return st;
+}
+
+VertexId StreamEngine::component_of(VertexId v) const {
+  LACC_CHECK_MSG(v < n_, "vertex " << v << " out of range");
+  return current_labels_[v];
+}
+
+std::vector<VertexId> StreamEngine::query(
+    std::span<const VertexId> vertices) const {
+  std::vector<VertexId> out;
+  out.reserve(vertices.size());
+  for (const VertexId v : vertices) out.push_back(component_of(v));
+  return out;
+}
+
+std::vector<VertexId> StreamEngine::query_at(
+    std::uint64_t at, std::span<const VertexId> vertices) const {
+  LACC_CHECK_MSG(at <= epoch_,
+                 "query_at epoch " << at << " is in the future (current "
+                                   << epoch_ << ")");
+  std::vector<VertexId> out;
+  out.reserve(vertices.size());
+  for (const VertexId v : vertices) {
+    LACC_CHECK_MSG(v < n_, "vertex " << v << " out of range");
+    VertexId label = v;  // initial state: every vertex its own component
+    const auto chain = versions_.find(v);
+    if (chain != versions_.end()) {
+      for (const auto& [e, l] : chain->second) {
+        if (e > at) break;
+        label = l;
+      }
+    }
+    out.push_back(label);
+  }
+  return out;
+}
+
+}  // namespace lacc::stream

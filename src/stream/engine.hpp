@@ -1,0 +1,177 @@
+// lacc::stream — incremental connected components over batched edge
+// updates, with an epoch-versioned query API.
+//
+// The paper computes CC once over a static graph; its sparsity optimization
+// (Section IV-B: process only non-converged vertices) is really an
+// incremental-computation argument.  StreamEngine takes it to its logical
+// end: between epochs the graph only grows by edge batches, so instead of
+// recomputing from scratch it
+//
+//   1. filters each batch down to *cross-component* edges with one batched
+//      distributed label lookup (almost all edges of a mature graph land
+//      inside an existing component and cost nothing further);
+//   2. runs hook/shortcut iterations — the same Shiloach–Vishkin machinery
+//      as LACC, warm-started from the previous epoch's labels — on just the
+//      induced active set of component roots;
+//   3. falls back to a full lacc_dist recompute when the touched component
+//      mass ("dirty fraction") exceeds a threshold, where the incremental
+//      pass would degenerate into the full algorithm anyway.
+//
+// New edges live in the dist layer's LSM-style DeltaStore until a
+// compaction threshold folds them into the DCSC base (DistCsc::merge_delta)
+// — the full-rebuild path always compacts first so lacc_dist_body sees the
+// whole accumulated graph.
+//
+// Labels are *canonical*: label[v] is the minimum vertex id of v's
+// component (normalize_labels form), at every epoch.  This is the
+// determinism contract — an engine label vector is bit-identical to
+// normalize_labels(lacc_dist(accumulated graph).parent) regardless of rank
+// count, option flags, or the batch schedule that produced the epoch (see
+// docs/STREAMING.md for the invariant argument).
+//
+// Modeled-time accounting follows lacc_dist's convention: per-epoch modeled
+// seconds cover ingestion routing and the epoch's collectives, but not the
+// final host-side label gather (result extraction).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+#include "sim/machine.hpp"
+#include "sim/runtime.hpp"
+#include "support/types.hpp"
+
+namespace lacc::stream {
+
+/// Streaming policy knobs on top of the static algorithm's LaccOptions.
+struct StreamOptions {
+  /// Options for the full-recompute path and the comm tuning (hotspot
+  /// broadcast, hypercube all-to-all, ...) shared by the incremental
+  /// kernels.
+  core::LaccOptions lacc;
+
+  /// Fall back to a full lacc_dist recompute when the vertex mass of
+  /// components touched by cross-component edges exceeds this fraction of
+  /// n.  0 forces a rebuild on every epoch with cross edges (the
+  /// from-scratch baseline bench_stream compares against); 1 disables the
+  /// fallback.
+  double rebuild_threshold = 0.15;
+
+  /// Compact delta runs into the DCSC base once their global entry count
+  /// exceeds this fraction of the base's nnz — the LSM write-amplification
+  /// trade-off.  Rebuild epochs always compact first.
+  double compaction_factor = 0.25;
+};
+
+/// What one advance_epoch() did (the streaming analogue of
+/// core::IterationRecord; drives the CLI table and the per-epoch metrics).
+struct EpochStats {
+  std::uint64_t epoch = 0;        ///< 1-based; epoch 0 is the empty graph
+  EdgeId batch_edges = 0;         ///< canonical edges ingested since last epoch
+  EdgeId delta_nnz = 0;           ///< global delta entries resident after epoch
+  std::uint64_t cross_edges = 0;  ///< batch edges joining distinct components
+  std::uint64_t dirty_vertices = 0;  ///< vertex mass of touched components
+  std::uint64_t merges = 0;          ///< components merged away this epoch
+  std::uint64_t components = 0;      ///< components after the epoch
+  std::uint64_t relabeled_vertices = 0;  ///< labels that changed
+  bool full_rebuild = false;  ///< took the lacc_dist fallback path
+  bool compacted = false;     ///< delta runs merged into the DCSC base
+  int iterations = 0;  ///< hook/shortcut rounds (or lacc_dist iterations)
+  double ingest_modeled_seconds = 0;   ///< routing cost of this epoch's batches
+  double advance_modeled_seconds = 0;  ///< epoch collectives (critical path)
+
+  double modeled_seconds() const {
+    return ingest_modeled_seconds + advance_modeled_seconds;
+  }
+};
+
+/// Incremental distributed connected components.  One instance owns the
+/// persistent per-rank state (DCSC base + delta runs + label and
+/// component-size vectors); each public operation spawns one SPMD session
+/// over the same virtual ranks, so the modeled costs compose exactly like
+/// repeated lacc_dist runs on one allocation.
+///
+/// Not thread-safe; collective state is owned by the engine, queries are
+/// host-side reads of the epoch snapshot.
+class StreamEngine {
+ public:
+  /// `nranks` must be a positive perfect square (the grid constraint).
+  StreamEngine(VertexId n, int nranks, const sim::MachineModel& machine,
+               StreamOptions options = {});
+  ~StreamEngine();
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  VertexId num_vertices() const { return n_; }
+  int ranks() const { return nranks_; }
+  const StreamOptions& options() const { return options_; }
+
+  /// Epochs advanced so far; epoch 0 is the initial empty graph.
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t num_components() const { return components_; }
+
+  /// Queue a batch of edges (collective ingestion into the delta store).
+  /// The batch is canonicalized first; labels do not change until the next
+  /// advance_epoch().  Returns what canonicalization dropped.
+  graph::CanonicalizeStats ingest(graph::EdgeList batch);
+
+  /// Close the current batch window: fold every pending edge into the
+  /// labels (incrementally or via full recompute per StreamOptions) and
+  /// start a new epoch.  Valid with no pending edges (an empty epoch).
+  EpochStats advance_epoch();
+
+  /// Component label of v at the current epoch (canonical min-vertex-id).
+  VertexId component_of(VertexId v) const;
+
+  /// Batched lookup at the current epoch.
+  std::vector<VertexId> query(std::span<const VertexId> vertices) const;
+
+  /// Time-travel lookup: labels as of the end of epoch `at` (0 = initial
+  /// empty graph, where every vertex is its own component).
+  std::vector<VertexId> query_at(std::uint64_t at,
+                                 std::span<const VertexId> vertices) const;
+
+  /// Full canonical label vector at the current epoch.
+  const std::vector<VertexId>& labels() const { return current_labels_; }
+
+  /// Per-epoch records, oldest first (history()[e - 1] is epoch e).
+  const std::vector<EpochStats>& history() const { return history_; }
+
+  /// Sum of per-epoch modeled seconds (ingest + advance) so far.
+  double total_modeled_seconds() const { return total_modeled_; }
+
+  /// SPMD stats of the most recent advance_epoch (for metrics/trace
+  /// export); empty before the first advance.
+  const sim::SpmdResult& last_epoch_spmd() const { return last_spmd_; }
+
+ private:
+  struct RankSlot;  // per-rank persistent distributed state
+
+  VertexId n_;
+  int nranks_;
+  sim::MachineModel machine_;
+  StreamOptions options_;
+
+  std::vector<std::unique_ptr<RankSlot>> slots_;
+
+  std::uint64_t epoch_ = 0;
+  std::uint64_t components_ = 0;
+  std::vector<VertexId> current_labels_;
+  /// Sparse version chains for query_at: label changes as (epoch, label),
+  /// ascending; a vertex with no chain has kept its initial label v.
+  std::unordered_map<VertexId, std::vector<std::pair<std::uint64_t, VertexId>>>
+      versions_;
+  std::vector<EpochStats> history_;
+
+  EdgeId pending_batch_edges_ = 0;
+  double pending_ingest_modeled_ = 0;
+  double total_modeled_ = 0;
+  sim::SpmdResult last_spmd_;
+};
+
+}  // namespace lacc::stream

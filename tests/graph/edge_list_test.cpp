@@ -26,6 +26,54 @@ TEST(Canonicalize, RejectsOutOfRangeEndpoints) {
   EXPECT_THROW(canonicalize(el), Error);
 }
 
+TEST(CanonicalizeCounted, AccountsForEveryInputEdge) {
+  EdgeList el(5);
+  el.add(3, 1);
+  el.add(1, 3);  // duplicate after ordering
+  el.add(2, 2);  // self loop
+  el.add(0, 4);
+  el.add(3, 1);  // duplicate
+  const CanonicalizeStats stats = canonicalize_counted(el);
+  EXPECT_EQ(stats.input_edges, 5u);
+  EXPECT_EQ(stats.self_loops, 1u);
+  EXPECT_EQ(stats.duplicates, 2u);
+  EXPECT_EQ(stats.kept, 2u);
+  EXPECT_EQ(stats.self_loops + stats.duplicates + stats.kept,
+            stats.input_edges);
+  EXPECT_EQ(el.edges.size(), stats.kept);
+}
+
+TEST(CanonicalizeCounted, EmptyAndCleanInputs) {
+  EdgeList empty(4);
+  const auto zero = canonicalize_counted(empty);
+  EXPECT_EQ(zero.input_edges, 0u);
+  EXPECT_EQ(zero.kept, 0u);
+
+  EdgeList clean(4);
+  clean.add(0, 1);
+  clean.add(2, 3);
+  const auto kept_all = canonicalize_counted(clean);
+  EXPECT_EQ(kept_all.input_edges, 2u);
+  EXPECT_EQ(kept_all.self_loops, 0u);
+  EXPECT_EQ(kept_all.duplicates, 0u);
+  EXPECT_EQ(kept_all.kept, 2u);
+}
+
+TEST(CanonicalizeCounted, MatchesPlainCanonicalize) {
+  EdgeList a(6), b(6);
+  for (const auto& [u, v] : {std::pair<VertexId, VertexId>{5, 0},
+                             {0, 5},
+                             {1, 1},
+                             {4, 2},
+                             {2, 4}}) {
+    a.add(u, v);
+    b.add(u, v);
+  }
+  canonicalize(a);
+  canonicalize_counted(b);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
 TEST(Symmetrize, EmitsBothDirections) {
   EdgeList el(4);
   el.add(0, 1);

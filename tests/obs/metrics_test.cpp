@@ -1,4 +1,4 @@
-// lacc-metrics-v1 emitter: the document structure consumed by
+// lacc-metrics-v2 emitter: the document structure consumed by
 // tools/check_obs_json.py and the perf trajectory.
 #include "obs/metrics.hpp"
 
@@ -27,8 +27,10 @@ TEST(Metrics, SerialRunRecord) {
   auto rec = obs::make_run_record("serial", 0, {}, 0.0, 1.5,
                                   {{"edges", 42.0}});
   const std::string json = emit({std::move(rec)});
-  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"metrics_test\""), std::string::npos);
+  // Static runs never carry the streaming-only epochs array.
+  EXPECT_EQ(json.find("\"epochs\""), std::string::npos);
   EXPECT_NE(json.find("\"word_bytes\":8"), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"serial\""), std::string::npos);
   EXPECT_NE(json.find("\"ranks\":0"), std::string::npos);
@@ -57,6 +59,16 @@ TEST(Metrics, SpmdRunCarriesPhaseAggregates) {
         "\"messages_sum\"", "\"bytes_max\"", "\"bytes_sum\"",
         "\"words_max\"", "\"words_sum\""})
     EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(Metrics, StreamingRunEmitsEpochsArray) {
+  auto rec = obs::make_run_record("stream", 4, {}, 2.0, 0.5);
+  rec.epochs.push_back({{"epoch", 1.0}, {"merges", 3.0}});
+  rec.epochs.push_back({{"epoch", 2.0}, {"merges", 0.0}});
+  const std::string json = emit({std::move(rec)});
+  EXPECT_NE(json.find("\"epochs\":[{\"epoch\":1,\"merges\":3},"
+                      "{\"epoch\":2,\"merges\":0}]"),
+            std::string::npos);
 }
 
 TEST(Metrics, NonFiniteScalarsBecomeNull) {

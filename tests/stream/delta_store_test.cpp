@@ -1,0 +1,142 @@
+// DeltaStore + DistCsc::merge_delta: the streaming append path must be
+// indistinguishable from from-scratch construction on the accumulated edge
+// set, for any batch split and rank count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "graph/generators.hpp"
+#include "sim/runtime.hpp"
+#include "stream/delta_store.hpp"
+
+namespace lacc::stream {
+namespace {
+
+using dist::CscCoord;
+using dist::DistCsc;
+using dist::ProcGrid;
+
+/// Flatten a block's DCSC arrays into (col, row) pairs for comparison.
+std::vector<CscCoord> block_entries(const DistCsc& a) {
+  std::vector<CscCoord> out;
+  for (std::size_t ci = 0; ci < a.col_ids().size(); ++ci)
+    for (const VertexId r : a.col_rows(ci)) out.push_back({r, a.col_ids()[ci]});
+  return out;
+}
+
+/// Split an edge list into `parts` contiguous batches.
+std::vector<graph::EdgeList> split_batches(const graph::EdgeList& el,
+                                           std::size_t parts) {
+  std::vector<graph::EdgeList> out(parts, graph::EdgeList(el.n));
+  for (std::size_t k = 0; k < el.edges.size(); ++k)
+    out[k % parts].edges.push_back(el.edges[k]);
+  return out;
+}
+
+TEST(DeltaStore, IngestMergeMatchesFromScratchConstruction) {
+  for (const int ranks : {1, 4, 9}) {
+    const auto el = graph::erdos_renyi(97, 300, /*seed=*/7);
+    const auto batches = split_batches(el, 3);
+    sim::run_spmd(ranks, sim::MachineModel::local(), [&](sim::Comm& world) {
+      ProcGrid grid(world);
+      DistCsc streamed(grid, graph::EdgeList(el.n));
+      DeltaStore delta(grid, el.n);
+      for (const auto& batch : batches) delta.ingest(grid, batch);
+      streamed.merge_delta(grid, delta.drain_merged(grid));
+      EXPECT_EQ(delta.local_nnz(), 0u);
+      EXPECT_EQ(delta.run_count(), 0u);
+
+      const DistCsc scratch(grid, el);
+      EXPECT_EQ(streamed.global_nnz(), scratch.global_nnz());
+      EXPECT_EQ(block_entries(streamed), block_entries(scratch));
+    });
+  }
+}
+
+TEST(DeltaStore, MergeIntoNonEmptyBaseDropsDuplicates) {
+  const auto el = graph::clustered_components(80, 6, 4.0, /*seed=*/3);
+  sim::run_spmd(4, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    // Base holds the first half; the delta re-inserts everything (so half
+    // the delta duplicates the base).
+    graph::EdgeList half(el.n);
+    half.edges.assign(el.edges.begin(),
+                      el.edges.begin() + el.edges.size() / 2);
+    DistCsc streamed(grid, half);
+    DeltaStore delta(grid, el.n);
+    delta.ingest(grid, el);
+    streamed.merge_delta(grid, delta.drain_merged(grid));
+
+    const DistCsc scratch(grid, el);
+    EXPECT_EQ(streamed.global_nnz(), scratch.global_nnz());
+    EXPECT_EQ(block_entries(streamed), block_entries(scratch));
+  });
+}
+
+TEST(DeltaStore, MergeEmptyDeltaIsANoOp) {
+  const auto el = graph::erdos_renyi(50, 120, /*seed=*/11);
+  sim::run_spmd(4, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DistCsc a(grid, el);
+    const auto before = block_entries(a);
+    const auto nnz = a.global_nnz();
+    a.merge_delta(grid, {});
+    EXPECT_EQ(a.global_nnz(), nnz);
+    EXPECT_EQ(block_entries(a), before);
+  });
+}
+
+TEST(DeltaStore, PendingWatermarkTracksUnprocessedRuns) {
+  const auto el = graph::erdos_renyi(60, 150, /*seed=*/5);
+  const auto batches = split_batches(el, 3);
+  sim::run_spmd(4, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DeltaStore delta(grid, el.n);
+    delta.ingest(grid, batches[0]);
+    delta.ingest(grid, batches[1]);
+    EXPECT_EQ(delta.run_count(), 2u);
+    EXPECT_EQ(delta.pending_nnz(), delta.local_nnz());
+
+    delta.mark_pending_processed();
+    EXPECT_EQ(delta.pending_nnz(), 0u);
+
+    delta.ingest(grid, batches[2]);
+    std::size_t pending = 0;
+    delta.for_each_pending([&](const CscCoord&) { ++pending; });
+    EXPECT_EQ(pending, static_cast<std::size_t>(delta.pending_nnz()));
+    EXPECT_LT(delta.pending_nnz(), delta.local_nnz() + 1);
+
+    // Draining resets the watermark with the runs.
+    const auto merged = delta.drain_merged(grid);
+    EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
+    EXPECT_EQ(delta.pending_nnz(), 0u);
+    EXPECT_EQ(delta.run_count(), 0u);
+  });
+}
+
+TEST(DeltaStore, RunsAreSortedColumnMajorAndUnique) {
+  graph::EdgeList batch(30);
+  // Duplicates and a self-loop; ingestion must drop/dedup them.
+  batch.add(3, 7);
+  batch.add(7, 3);
+  batch.add(3, 7);
+  batch.add(5, 5);
+  batch.add(1, 2);
+  sim::run_spmd(1, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DeltaStore delta(grid, batch.n);
+    const EdgeId appended = delta.ingest(grid, batch);
+    // (3,7) symmetrized once, (1,2) symmetrized: 4 directed entries.
+    EXPECT_EQ(appended, 4u);
+    std::vector<CscCoord> seen;
+    delta.for_each_pending([&](const CscCoord& e) { seen.push_back(e); });
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+    EXPECT_EQ(seen.size(), 4u);
+  });
+}
+
+}  // namespace
+}  // namespace lacc::stream

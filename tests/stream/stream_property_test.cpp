@@ -1,0 +1,128 @@
+// Property-based validation of the streaming engine: after every randomized
+// batch, the incremental labels must match serial_cc and union-find on the
+// accumulated graph — across 1/4/9 ranks — and must be bit-identical to
+// normalize_labels of a from-scratch lacc_dist run for every LaccOptions
+// flag combination (the same 8-combo sweep as the golden determinism test).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/serial_cc.hpp"
+#include "baselines/union_find.hpp"
+#include "core/lacc_dist.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "stream/engine.hpp"
+#include "support/rng.hpp"
+
+namespace lacc::stream {
+namespace {
+
+struct Workload {
+  std::string family;
+  std::uint64_t seed;
+  int ranks;
+
+  graph::EdgeList build() const {
+    const VertexId n = 300 + 41 * (seed % 7);
+    if (family == "er") return graph::erdos_renyi(n, 2 * n, seed);
+    if (family == "clustered")
+      return graph::clustered_components(n, 12 + seed % 5, 4.0, seed);
+    if (family == "forest") return graph::path_forest(n, 7 + seed % 5, seed);
+    throw Error("unknown family " + family);
+  }
+};
+
+/// Split an edge list into randomized batches (deterministic shuffle).
+std::vector<graph::EdgeList> random_batches(const graph::EdgeList& el,
+                                            std::size_t parts,
+                                            std::uint64_t seed) {
+  auto edges = el.edges;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = edges.size(); i > 1; --i)
+    std::swap(edges[i - 1], edges[rng.below(i)]);
+  std::vector<graph::EdgeList> out(parts, graph::EdgeList(el.n));
+  for (std::size_t k = 0; k < edges.size(); ++k)
+    out[k % parts].edges.push_back(edges[k]);
+  return out;
+}
+
+class StreamProperty : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(StreamProperty, EveryEpochMatchesSerialCcAndUnionFind) {
+  const Workload& w = GetParam();
+  const auto full = w.build();
+  const auto batches = random_batches(full, 5, w.seed + 99);
+
+  StreamEngine engine(full.n, w.ranks, sim::MachineModel::local());
+  graph::EdgeList accumulated(full.n);
+  for (const auto& batch : batches) {
+    accumulated.edges.insert(accumulated.edges.end(), batch.edges.begin(),
+                             batch.edges.end());
+    engine.ingest(batch);
+    engine.advance_epoch();
+
+    const auto truth = baselines::union_find_cc(accumulated);
+    ASSERT_EQ(engine.labels(), core::normalize_labels(truth.parent));
+    const auto serial = baselines::bfs_cc(graph::Csr(accumulated));
+    ASSERT_TRUE(core::same_partition(engine.labels(), serial.parent));
+    ASSERT_EQ(engine.num_components(),
+              core::count_components(truth.parent));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndFamilies, StreamProperty,
+    ::testing::Values(Workload{"er", 1, 1}, Workload{"er", 2, 4},
+                      Workload{"er", 3, 9}, Workload{"clustered", 4, 1},
+                      Workload{"clustered", 5, 4}, Workload{"clustered", 6, 9},
+                      Workload{"forest", 7, 4}, Workload{"forest", 8, 9}),
+    [](const ::testing::TestParamInfo<Workload>& info) {
+      return info.param.family + "_s" + std::to_string(info.param.seed) +
+             "_r" + std::to_string(info.param.ranks);
+    });
+
+/// All 8 LaccOptions flag combos of the golden determinism sweep: the
+/// engine's labels must be bit-identical to a from-scratch lacc_dist run on
+/// the accumulated graph at every epoch, under every combo.
+TEST(StreamOptionSweep, AllFlagCombosBitIdenticalToFromScratchLacc) {
+  const auto full = graph::clustered_components(260, 10, 4.0, /*seed=*/17);
+  const auto batches = random_batches(full, 4, /*seed=*/23);
+  for (const bool sparse : {false, true}) {
+    for (const bool hypercube : {false, true}) {
+      for (const bool cyclic : {false, true}) {
+        StreamOptions options;
+        options.lacc.use_sparse_vectors = sparse;
+        options.lacc.sparse_uncond_hooking = sparse;
+        options.lacc.hypercube_alltoall = hypercube;
+        options.lacc.cyclic_vectors = cyclic;
+        // Middle threshold: this workload exercises both the incremental
+        // and the full-rebuild path across the batch sequence.
+        options.rebuild_threshold = 0.3;
+
+        StreamEngine engine(full.n, 4, sim::MachineModel::local(), options);
+        graph::EdgeList accumulated(full.n);
+        bool saw_incremental = false, saw_rebuild = false;
+        for (const auto& batch : batches) {
+          accumulated.edges.insert(accumulated.edges.end(),
+                                   batch.edges.begin(), batch.edges.end());
+          engine.ingest(batch);
+          const auto st = engine.advance_epoch();
+          (st.full_rebuild ? saw_rebuild : saw_incremental) = true;
+          const auto scratch = core::lacc_dist(
+              accumulated, 4, sim::MachineModel::local(), options.lacc);
+          ASSERT_EQ(engine.labels(),
+                    core::normalize_labels(scratch.cc.parent))
+              << "sparse=" << sparse << " hypercube=" << hypercube
+              << " cyclic=" << cyclic << " epoch=" << engine.epoch();
+        }
+        EXPECT_TRUE(saw_incremental);
+        EXPECT_TRUE(saw_rebuild);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lacc::stream

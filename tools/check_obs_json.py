@@ -3,8 +3,10 @@
 
 Two file formats (docs/OBSERVABILITY.md):
 
-  metrics  lacc-metrics-v1, written by `lacc_cli --json` and by the bench
-           binaries as $LACC_METRICS_OUT/BENCH_<tool>.json.
+  metrics  lacc-metrics-v1 or -v2, written by `lacc_cli --json`,
+           `lacc_stream_cli --json`, and by the bench binaries as
+           $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds an optional
+           per-run "epochs" array (streaming runs); v1 files stay valid.
   trace    Chrome trace-event JSON, written by `lacc_cli --trace-out`
            (schema tag lacc-trace-v1 in otherData).
 
@@ -27,7 +29,10 @@ import json
 import math
 import sys
 
-METRICS_SCHEMA = "lacc-metrics-v1"
+METRICS_SCHEMA = "lacc-metrics-v2"
+# v1 files (no "epochs" array anywhere) remain valid; v2 readers must accept
+# both tags so old artifacts keep validating.
+METRICS_SCHEMAS = {"lacc-metrics-v1", "lacc-metrics-v2"}
 TRACE_SCHEMA = "lacc-trace-v1"
 
 # Every per-phase aggregate entry carries exactly these keys.
@@ -81,13 +86,30 @@ def _check_phase_entry(path: str, entry: object) -> None:
         _fail(path, "modeled_max exceeds modeled_sum")
 
 
+def _check_epochs(path: str, epochs: object) -> None:
+    if not isinstance(epochs, list) or not epochs:
+        _fail(path, "epochs must be a non-empty array")
+    last_epoch = None
+    for i, entry in enumerate(epochs):
+        epath = f"{path}[{i}]"
+        _check_scalars(epath, entry)
+        if "epoch" not in entry:
+            _fail(epath, "missing 'epoch' key")
+        if last_epoch is not None and entry["epoch"] <= last_epoch:
+            _fail(f"{epath}.epoch",
+                  f"not strictly increasing ({entry['epoch']} after "
+                  f"{last_epoch})")
+        last_epoch = entry["epoch"]
+
+
 def check_metrics(doc: object, path: str = "metrics") -> None:
-    """Validate one parsed lacc-metrics-v1 document."""
+    """Validate one parsed lacc-metrics-v1/v2 document."""
     if not isinstance(doc, dict):
         _fail(path, "top level must be an object")
-    if doc.get("schema") != METRICS_SCHEMA:
-        _fail(f"{path}.schema", f"expected {METRICS_SCHEMA!r}, got "
-              f"{doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema not in METRICS_SCHEMAS:
+        _fail(f"{path}.schema", f"expected one of {sorted(METRICS_SCHEMAS)}, "
+              f"got {schema!r}")
     if not isinstance(doc.get("tool"), str) or not doc["tool"]:
         _fail(f"{path}.tool", "must be a non-empty string")
     _check_number(f"{path}.word_bytes", doc.get("word_bytes"))
@@ -108,6 +130,11 @@ def check_metrics(doc: object, path: str = "metrics") -> None:
         _check_number(f"{rpath}.modeled_seconds", run["modeled_seconds"])
         _check_number(f"{rpath}.wall_seconds", run["wall_seconds"])
         _check_scalars(f"{rpath}.scalars", run["scalars"])
+        if "epochs" in run:
+            if schema != METRICS_SCHEMA:
+                _fail(f"{rpath}.epochs", f"only allowed under "
+                      f"{METRICS_SCHEMA!r}, file is {schema!r}")
+            _check_epochs(f"{rpath}.epochs", run["epochs"])
         _check_phase_entry(f"{rpath}.total", run["total"])
         if not isinstance(run["phases"], dict):
             _fail(f"{rpath}.phases", "must be an object")
@@ -244,8 +271,39 @@ def _expect_invalid(doc: object, trace: bool = False, **kwargs) -> None:
 def self_test() -> int:
     _expect_ok(_metrics_doc())
 
+    # v1 files (older artifacts) stay valid as long as they omit "epochs".
+    v1 = _metrics_doc()
+    v1["schema"] = "lacc-metrics-v1"
+    _expect_ok(v1)
+
     bad = _metrics_doc()
     bad["schema"] = "lacc-metrics-v0"
+    _expect_invalid(bad)
+
+    ok = _metrics_doc()
+    ok["runs"][0]["epochs"] = [{"epoch": 1, "merges": 3.0},
+                               {"epoch": 2, "merges": 0.0}]
+    _expect_ok(ok)
+
+    bad = _metrics_doc()
+    bad["schema"] = "lacc-metrics-v1"
+    bad["runs"][0]["epochs"] = [{"epoch": 1}]  # epochs are v2-only
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["epochs"] = []  # must be non-empty when present
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["epochs"] = [{"merges": 3.0}]  # missing "epoch"
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["epochs"] = [{"epoch": 2}, {"epoch": 2}]  # not increasing
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["epochs"] = [{"epoch": 1, "note": "text"}]  # non-number
     _expect_invalid(bad)
 
     bad = _metrics_doc()

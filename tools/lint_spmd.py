@@ -12,10 +12,13 @@ Static rules that complement the runtime conformance checker
       reports at sync points.  Scope: src/ and examples/.
 
   raw-sort
-      std::sort / std::stable_sort in the arena-managed kernel hot paths.
-      The kernels sort with the allocation-free stable radix helpers in
-      support/sort.hpp; a comparator sort allocates (introsort spills) and
-      is not stable.  Scope: src/dist/ops.cpp.
+      std::sort / std::stable_sort in the arena-managed kernel hot paths
+      and in the streaming delta path.  The kernels sort with the
+      allocation-free stable radix helpers in support/sort.hpp; a
+      comparator sort allocates (introsort spills) and is not stable —
+      and in the delta store an unstable sort would break the sorted-run
+      invariant the merge path relies on.  Scope: src/dist/ops.cpp and
+      src/stream/*.cpp.
 
   heap-alloc-hot-path
       A local std::vector declaration in the arena-managed kernel hot
@@ -205,6 +208,16 @@ HOT_PATH_RULES = [
      "recycled buffer"),
 ]
 
+# The streaming delta path sorts per-epoch runs; the LSM merge relies on
+# every run being stably column-major sorted, so a comparator sort (unstable,
+# allocating) is banned there too.  The arena/vector rules do not apply:
+# stream structures are long-lived per-engine state, not per-call scratch.
+STREAM_RULES = [
+    ("raw-sort", RAW_SORT_RE,
+     "comparator sort in the streaming delta path; runs must be sorted with "
+     "the stable radix helpers in support/sort.hpp"),
+]
+
 
 def lint_tree(root):
     findings = []
@@ -220,6 +233,12 @@ def lint_tree(root):
         check_line_rules(str(hot.relative_to(root)),
                          hot.read_text(encoding="utf-8"), findings,
                          HOT_PATH_RULES)
+    stream = root / "src" / "stream"
+    if stream.is_dir():
+        for path in sorted(stream.glob("*.cpp")):
+            check_line_rules(str(path.relative_to(root)),
+                             path.read_text(encoding="utf-8"), findings,
+                             STREAM_RULES)
     return findings
 
 
@@ -271,6 +290,15 @@ SELF_TESTS_HOT = [
      "// lint-spmd: allow(non-into-collective)", None),
 ]
 
+SELF_TESTS_STREAM = [
+    ("raw sort in delta path", "std::sort(run.begin(), run.end());",
+     "raw-sort"),
+    ("radix is fine", "radix_sort_by(run, scratch, row_key, n);", None),
+    ("vector state is fine", "  std::vector<CscCoord> merged;", None),
+    ("non-into collective is fine",
+     "auto recv = world.alltoallv(send, counts);", None),
+]
+
 
 def self_test():
     failures = 0
@@ -282,16 +310,18 @@ def self_test():
             print(f"self-test FAILED: {name}: expected {expected}, got "
                   f"{[f[2] for f in findings]}")
             failures += 1
-    for name, snippet, expected in SELF_TESTS_HOT:
-        findings = []
-        check_line_rules("<snippet>", snippet, findings, HOT_PATH_RULES)
-        rules = {f[2] for f in findings}
-        ok = (expected in rules) if expected else not rules
-        if not ok:
-            print(f"self-test FAILED: {name}: expected {expected}, got "
-                  f"{sorted(rules)}")
-            failures += 1
-    total = len(SELF_TESTS) + len(SELF_TESTS_HOT)
+    for rules_list, cases in ((HOT_PATH_RULES, SELF_TESTS_HOT),
+                              (STREAM_RULES, SELF_TESTS_STREAM)):
+        for name, snippet, expected in cases:
+            findings = []
+            check_line_rules("<snippet>", snippet, findings, rules_list)
+            rules = {f[2] for f in findings}
+            ok = (expected in rules) if expected else not rules
+            if not ok:
+                print(f"self-test FAILED: {name}: expected {expected}, got "
+                      f"{sorted(rules)}")
+                failures += 1
+    total = len(SELF_TESTS) + len(SELF_TESTS_HOT) + len(SELF_TESTS_STREAM)
     print(f"self-test: {total - failures}/{total} passed")
     return failures == 0
 
