@@ -97,6 +97,9 @@ class Metrics {
         obs::make_run_record(name, 0, {}, 0.0, 0.0, std::move(scalars)));
   }
 
+  /// Record a pre-built run (serving benches attach the v3 serve block).
+  void add_record(obs::RunRecord rec) { runs_.push_back(std::move(rec)); }
+
  private:
   static inline Metrics* global_ = nullptr;
   std::string tool_;

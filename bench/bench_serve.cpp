@@ -1,0 +1,124 @@
+// bench_serve — serving-layer SLO sweep: micro-batch window vs read/commit
+// latency and throughput.
+//
+// Not a paper figure: the paper computes CC once, offline.  This bench
+// characterizes the serving extension (docs/SERVING.md) the same way the
+// streaming bench characterizes incrementality — one table, one trade-off.
+// Small batch windows publish epochs eagerly (fresh reads, low commit
+// latency, more SPMD epochs); large windows amortize epoch cost but writes
+// sit in the queue longer.  Read p99 stays flat throughout: reads never
+// block on the engine, which is the whole point of the snapshot design.
+//
+// Columns: window(ms) | epochs | req/s | read p50/p99 | commit p50/p99 |
+// shed.  With LACC_METRICS_OUT set, emits BENCH_serve.json carrying the
+// lacc-metrics-v3 serve block per sweep point.
+//
+// Session (read-your-writes) reads pace the writers to the engine's drain
+// rate, so a sweep point's wall time is roughly epochs × epoch cost —
+// LACC_HOTPATH_SMOKE=1 switches to a truncated edge stream and a
+// two-point sweep for CI.
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "support/timer.hpp"
+
+using namespace lacc;
+
+namespace {
+
+struct SweepPoint {
+  double window_ms;
+  std::size_t batch_max;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "bench_serve: micro-batch window vs serving SLOs",
+      "serving extension (no paper figure; see docs/SERVING.md)");
+  bench::Metrics metrics("serve");
+
+  const bool smoke = env_int("LACC_HOTPATH_SMOKE", 0) != 0;
+  const double scale = bench::problem_scale();
+  const auto problems = graph::make_test_problems(scale);
+  graph::EdgeList el =
+      graph::find_problem(problems, smoke ? "archaea" : "eukarya").graph;
+  if (smoke && el.edges.size() > 2000) el.edges.resize(2000);
+  const int ranks = 4;
+  const auto& machine = sim::MachineModel::edison();
+
+  std::cout << "Workload: " << fmt_count(el.n) << " vertices, "
+            << fmt_count(el.edges.size()) << " edge inserts, 4 readers / 2 "
+               "writers, "
+            << ranks << " virtual ranks\n\n";
+
+  const std::vector<SweepPoint> sweep =
+      smoke ? std::vector<SweepPoint>{{1.0, 256}, {16.0, 4096}}
+            : std::vector<SweepPoint>{
+                  {0.25, 64}, {1.0, 256}, {4.0, 1024}, {16.0, 4096}};
+
+  TextTable table({"window ms", "epochs", "req/s", "read p50 ms",
+                   "read p99 ms", "commit p50 ms", "commit p99 ms", "shed"});
+  for (const SweepPoint& point : sweep) {
+    serve::ServeOptions options;
+    options.batch_window_ms = point.window_ms;
+    options.batch_max_edges = point.batch_max;
+    options.queue_capacity = 1 << 15;
+    options.admission = serve::Admission::kBlock;
+
+    serve::Server server(el.n, ranks, machine, options);
+    serve::WorkloadOptions workload;
+    workload.readers = 4;
+    workload.writers = 2;
+    workload.seed = 42;
+    const serve::WorkloadReport report =
+        run_mixed_workload(server, el, workload);
+    const serve::ServeStats stats = server.stats();
+    server.stop();
+
+    if (report.session_violations != 0)
+      throw Error("bench_serve: read-your-writes violation");
+
+    const double rps =
+        report.wall_seconds > 0
+            ? static_cast<double>(report.reads + report.writes_attempted) /
+                  report.wall_seconds
+            : 0;
+    table.add_row({fmt_double(point.window_ms, 2),
+                   fmt_count(stats.current_epoch), fmt_double(rps, 0),
+                   fmt_double(stats.read_p50 * 1e3, 4),
+                   fmt_double(stats.read_p99 * 1e3, 4),
+                   fmt_double(stats.commit_p50 * 1e3, 3),
+                   fmt_double(stats.commit_p99 * 1e3, 3),
+                   fmt_count(report.writes_shed)});
+
+    obs::RunRecord rec = obs::make_run_record(
+        "window=" + fmt_double(point.window_ms, 2) + "ms", ranks, {},
+        server.engine_modeled_seconds(), report.wall_seconds);
+    rec.serve = {{"throughput_rps", rps},
+                 {"reads", static_cast<double>(report.reads)},
+                 {"writes_accepted",
+                  static_cast<double>(report.writes_accepted)},
+                 {"shed", static_cast<double>(report.writes_shed)},
+                 {"epochs", static_cast<double>(stats.current_epoch)},
+                 {"epochs_per_sec", stats.epochs_per_sec},
+                 {"batch_window_ms", point.window_ms},
+                 {"batch_max_edges", static_cast<double>(point.batch_max)},
+                 {"read_p50_ms", stats.read_p50 * 1e3},
+                 {"read_p95_ms", stats.read_p95 * 1e3},
+                 {"read_p99_ms", stats.read_p99 * 1e3},
+                 {"commit_p50_ms", stats.commit_p50 * 1e3},
+                 {"commit_p95_ms", stats.commit_p95 * 1e3},
+                 {"commit_p99_ms", stats.commit_p99 * 1e3}};
+    metrics.add_record(std::move(rec));
+  }
+  table.print(std::cout);
+  std::cout << "\nReads answer from immutable snapshots, so read p99 is "
+               "independent of the\nbatch window; commit latency scales with "
+               "it — pick the window from the\nwrite-visibility SLO.\n";
+  return 0;
+}

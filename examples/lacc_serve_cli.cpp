@@ -1,0 +1,344 @@
+// lacc_serve_cli — drive a lacc::serve::Server with a concurrent mixed
+// read/write workload and report serving SLOs.
+//
+//   lacc_serve_cli <graph.mtx|graph.bin|gen:NAME> [options]
+//
+//   --ranks N             virtual ranks of the engine (default 4; square)
+//   --machine edison|cori|local   cost model (default edison)
+//   --scale S             stand-in scale for gen: inputs
+//   --readers N           concurrent reader threads (default 4)
+//   --writers M           concurrent writer threads (default 2)
+//   --duration SEC        wall-clock cap; 0 replays the whole stream
+//   --batch-max-edges K   micro-batch size trigger (default 1024)
+//   --batch-window-ms X   micro-batch deadline trigger (default 2.0)
+//   --queue-capacity K    ingest queue bound (default 65536)
+//   --admission block|shed   full-queue policy (default block)
+//   --retain K            pinnable epochs kept (default 8)
+//   --cache-bits B        log2 slots of the per-epoch pair cache (default 12)
+//   --seed S              workload RNG seed (default 1)
+//   --verify              recompute every retained epoch from scratch and
+//                         compare labels bit-for-bit (keeps all batches)
+//   --json FILE           write lacc-metrics-v3 JSON with the serve block
+//   --trace-out FILE      Chrome trace of per-request spans (wall clock)
+//
+// The workload partitions the input edge list round-robin across writers
+// while readers issue random point/pair/pinned-epoch queries; every k-th
+// write performs a ticketed read-your-writes check online.  Inputs are the
+// same as lacc_cli (Matrix Market, LACC binary, gen:NAME).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/lacc_dist.hpp"
+#include "core/options.hpp"
+#include "graph/io.hpp"
+#include "graph/testproblems.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+#include "serve/workload.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace lacc;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: lacc_serve_cli <graph.mtx|graph.bin|gen:NAME> "
+         "[--ranks N] [--machine edison|cori|local] [--scale S] "
+         "[--readers N] [--writers M] [--duration SEC] "
+         "[--batch-max-edges K] [--batch-window-ms X] [--queue-capacity K] "
+         "[--admission block|shed] [--retain K] [--cache-bits B] [--seed S] "
+         "[--verify] [--json FILE] [--trace-out FILE]\n";
+  return 2;
+}
+
+const sim::MachineModel& machine_by_name(const std::string& name) {
+  if (name == "edison") return sim::MachineModel::edison();
+  if (name == "cori") return sim::MachineModel::cori_knl();
+  if (name == "local") return sim::MachineModel::local();
+  throw Error("unknown machine: " + name);
+}
+
+int parse_int(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects an integer, got \"" << text
+            << "\"\n";
+  std::exit(usage());
+}
+
+double parse_double(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects a number, got \"" << text
+            << "\"\n";
+  std::exit(usage());
+}
+
+std::vector<VertexId> reference_labels(const graph::EdgeList& el, int nranks,
+                                       const sim::MachineModel& machine) {
+  return core::normalize_labels(
+      core::lacc_dist(el, nranks, machine).cc.parent);
+}
+
+double to_ms(double seconds) { return seconds * 1e3; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string path = argv[1];
+  std::string machine = "edison", admission = "block", json_path,
+              trace_out_path;
+  int ranks = 4;
+  double scale = 0.25, duration = 0;
+  bool verify = false;
+  serve::ServeOptions options;
+  serve::WorkloadOptions workload;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--ranks")
+      ranks = parse_int("--ranks", next());
+    else if (arg == "--machine")
+      machine = next();
+    else if (arg == "--scale")
+      scale = parse_double("--scale", next());
+    else if (arg == "--readers")
+      workload.readers = parse_int("--readers", next());
+    else if (arg == "--writers")
+      workload.writers = parse_int("--writers", next());
+    else if (arg == "--duration")
+      duration = parse_double("--duration", next());
+    else if (arg == "--batch-max-edges")
+      options.batch_max_edges = static_cast<std::size_t>(
+          parse_int("--batch-max-edges", next()));
+    else if (arg == "--batch-window-ms")
+      options.batch_window_ms = parse_double("--batch-window-ms", next());
+    else if (arg == "--queue-capacity")
+      options.queue_capacity =
+          static_cast<std::size_t>(parse_int("--queue-capacity", next()));
+    else if (arg == "--admission")
+      admission = next();
+    else if (arg == "--retain")
+      options.retain_epochs = static_cast<std::size_t>(
+          parse_int("--retain", next()));
+    else if (arg == "--cache-bits")
+      options.pair_cache_bits = static_cast<std::uint32_t>(
+          parse_int("--cache-bits", next()));
+    else if (arg == "--seed")
+      workload.seed = static_cast<std::uint64_t>(parse_int("--seed", next()));
+    else if (arg == "--verify")
+      verify = true;
+    else if (arg == "--json")
+      json_path = next();
+    else if (arg == "--trace-out")
+      trace_out_path = next();
+    else
+      return usage();
+  }
+
+  {
+    int q = 0;
+    while (q * q < ranks) ++q;
+    if (ranks < 1 || q * q != ranks) {
+      std::cerr << "error: --ranks must be a positive perfect square (got "
+                << ranks << ")\n";
+      return usage();
+    }
+  }
+  if (workload.readers < 0 || workload.writers < 0) {
+    std::cerr << "error: --readers/--writers must be non-negative\n";
+    return usage();
+  }
+  if (options.batch_max_edges < 1) {
+    std::cerr << "error: --batch-max-edges must be at least 1\n";
+    return usage();
+  }
+  if (options.batch_window_ms < 0) {
+    std::cerr << "error: --batch-window-ms must be non-negative\n";
+    return usage();
+  }
+  if (options.queue_capacity < 1) {
+    std::cerr << "error: --queue-capacity must be at least 1\n";
+    return usage();
+  }
+  if (options.retain_epochs < 1) {
+    std::cerr << "error: --retain must be at least 1\n";
+    return usage();
+  }
+  if (admission == "block")
+    options.admission = serve::Admission::kBlock;
+  else if (admission == "shed")
+    options.admission = serve::Admission::kShed;
+  else {
+    std::cerr << "error: --admission must be block or shed (got " << admission
+              << ")\n";
+    return usage();
+  }
+  workload.duration_s = duration;
+  options.record_applied = verify;
+  options.record_requests = !trace_out_path.empty();
+
+  try {
+    graph::EdgeList el;
+    if (path.rfind("gen:", 0) == 0) {
+      const auto problems = graph::make_test_problems(scale);
+      el = graph::find_problem(problems, path.substr(4)).graph;
+    } else if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+      el = graph::read_binary_file(path);
+    } else {
+      el = graph::read_matrix_market_file(path);
+    }
+
+    const auto& m = machine_by_name(machine);
+    std::cout << "Graph: " << fmt_count(el.n) << " vertices, "
+              << fmt_count(el.edges.size()) << " entries\n"
+              << "Server: " << ranks << " virtual ranks (" << m.name
+              << " model), batch " << options.batch_max_edges << " edges / "
+              << options.batch_window_ms << " ms, queue "
+              << options.queue_capacity << " (" << admission << "), retain "
+              << options.retain_epochs << ", cache 2^"
+              << options.pair_cache_bits << "\n"
+              << "Workload: " << workload.readers << " reader(s), "
+              << workload.writers << " writer(s)"
+              << (duration > 0 ? ", duration " + std::to_string(duration) + " s"
+                               : ", full replay")
+              << ", seed " << workload.seed << "\n";
+
+    serve::Server server(el.n, ranks, m, options);
+    const serve::WorkloadReport report =
+        run_mixed_workload(server, el, workload);
+    const serve::ServeStats stats = server.stats();
+    server.stop();
+
+    TextTable table({"metric", "value"});
+    table.add_row({"reads", fmt_count(report.reads)});
+    table.add_row({"writes accepted", fmt_count(report.writes_accepted)});
+    table.add_row({"writes shed", fmt_count(report.writes_shed)});
+    table.add_row({"epochs", fmt_count(stats.current_epoch)});
+    table.add_row({"components", fmt_count(stats.components)});
+    table.add_row({"max queue depth", fmt_count(stats.max_queue_depth)});
+    table.add_row({"cache hits", fmt_count(stats.cache_hits)});
+    table.add_row({"read p50/p95/p99 ms",
+                   fmt_double(to_ms(stats.read_p50), 4) + " / " +
+                       fmt_double(to_ms(stats.read_p95), 4) + " / " +
+                       fmt_double(to_ms(stats.read_p99), 4)});
+    table.add_row({"commit p50/p99 ms",
+                   fmt_double(to_ms(stats.commit_p50), 4) + " / " +
+                       fmt_double(to_ms(stats.commit_p99), 4)});
+    table.add_row({"epochs/sec", fmt_double(stats.epochs_per_sec, 1)});
+    table.print(std::cout);
+    const double rps =
+        report.wall_seconds > 0
+            ? static_cast<double>(report.reads + report.writes_attempted) /
+                  report.wall_seconds
+            : 0;
+    std::cout << "Throughput: " << fmt_double(rps, 0) << " req/s over "
+              << fmt_seconds(report.wall_seconds) << " wall ("
+              << fmt_count(report.session_reads) << " session read(s), "
+              << fmt_count(report.pinned_reads) << " pinned)\n";
+
+    if (report.session_violations != 0 || report.read_errors != 0) {
+      std::cerr << "error: VERIFY FAILED — " << report.session_violations
+                << " read-your-writes violation(s), " << report.read_errors
+                << " unexpected read error(s)\n";
+      return 1;
+    }
+
+    if (verify) {
+      // Rebuild every retained epoch's graph prefix from the recorded
+      // batches and compare labels bit-for-bit against the from-scratch
+      // algorithm at the same rank count.
+      const auto& batches = server.applied_batches();
+      graph::EdgeList prefix(el.n);
+      std::size_t checked = 0;
+      for (std::size_t i = 0; i < batches.size(); ++i) {
+        for (const graph::Edge& e : batches[i].edges) prefix.add(e.u, e.v);
+        std::shared_ptr<const serve::Snapshot> snap;
+        if (server.snapshot_at(i + 1, snap) !=
+            serve::SnapshotStore::Lookup::kOk)
+          continue;  // retired
+        if (snap->labels() != reference_labels(prefix, ranks, m)) {
+          std::cerr << "error: VERIFY FAILED — epoch " << i + 1
+                    << " labels disagree with from-scratch lacc_dist\n";
+          return 1;
+        }
+        ++checked;
+      }
+      std::cout << "Verify: " << checked
+                << " epoch snapshot(s) match from-scratch recompute\n";
+    }
+
+    if (!trace_out_path.empty()) {
+      std::ofstream out(trace_out_path);
+      LACC_CHECK_MSG(out.good(), "cannot write " << trace_out_path);
+      serve::write_request_trace(out, server.request_log().spans(),
+                                 "lacc_serve_cli " + path);
+      std::cout << "Request trace written to " << trace_out_path << "\n";
+    }
+
+    if (!json_path.empty()) {
+      obs::RunRecord rec =
+          obs::make_run_record(path, ranks, {}, server.engine_modeled_seconds(),
+                               report.wall_seconds);
+      rec.scalars = {
+          {"vertices", static_cast<double>(el.n)},
+          {"edges", static_cast<double>(el.edges.size())},
+          {"components", static_cast<double>(stats.components)}};
+      rec.serve = {
+          {"throughput_rps", rps},
+          {"reads", static_cast<double>(report.reads)},
+          {"writes_accepted", static_cast<double>(report.writes_accepted)},
+          {"shed", static_cast<double>(report.writes_shed)},
+          {"epochs", static_cast<double>(stats.current_epoch)},
+          {"epochs_per_sec", stats.epochs_per_sec},
+          {"max_queue_depth", static_cast<double>(stats.max_queue_depth)},
+          {"cache_hits", static_cast<double>(stats.cache_hits)},
+          {"cache_misses", static_cast<double>(stats.cache_misses)},
+          {"read_p50_ms", to_ms(stats.read_p50)},
+          {"read_p95_ms", to_ms(stats.read_p95)},
+          {"read_p99_ms", to_ms(stats.read_p99)},
+          {"commit_p50_ms", to_ms(stats.commit_p50)},
+          {"commit_p95_ms", to_ms(stats.commit_p95)},
+          {"commit_p99_ms", to_ms(stats.commit_p99)}};
+      std::ofstream out(json_path);
+      LACC_CHECK_MSG(out.good(), "cannot write " << json_path);
+      obs::write_metrics_json(
+          out, "lacc_serve_cli",
+          {{"scale", scale},
+           {"ranks", static_cast<double>(ranks)},
+           {"readers", static_cast<double>(workload.readers)},
+           {"writers", static_cast<double>(workload.writers)},
+           {"batch_max_edges", static_cast<double>(options.batch_max_edges)},
+           {"batch_window_ms", options.batch_window_ms},
+           {"queue_capacity", static_cast<double>(options.queue_capacity)},
+           {"admission",
+            options.admission == serve::Admission::kShed ? 1.0 : 0.0}},
+          {std::move(rec)});
+      std::cout << "Metrics written to " << json_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

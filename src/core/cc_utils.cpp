@@ -56,6 +56,29 @@ std::vector<std::uint64_t> component_sizes(const std::vector<VertexId>& parent) 
   return sizes;
 }
 
+std::vector<std::pair<VertexId, std::uint64_t>> component_sizes_by_label(
+    const std::vector<VertexId>& parent) {
+  return top_k_components(parent, parent.size());
+}
+
+std::vector<std::pair<VertexId, std::uint64_t>> top_k_components(
+    const std::vector<VertexId>& parent, std::size_t k) {
+  const std::vector<VertexId> canon = normalize_labels(parent);
+  std::unordered_map<VertexId, std::uint64_t> size_of;
+  size_of.reserve(canon.size() / 4 + 1);
+  for (const VertexId label : canon) ++size_of[label];
+  std::vector<std::pair<VertexId, std::uint64_t>> out(size_of.begin(),
+                                                      size_of.end());
+  const auto bigger_first = [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  };
+  k = std::min(k, out.size());
+  std::partial_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(k),
+                    out.end(), bigger_first);
+  out.resize(k);
+  return out;
+}
+
 std::vector<std::pair<std::uint64_t, std::uint64_t>> component_size_histogram(
     const std::vector<VertexId>& parent) {
   std::map<std::uint64_t, std::uint64_t> buckets;

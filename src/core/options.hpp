@@ -74,6 +74,18 @@ std::uint64_t count_components(const std::vector<VertexId>& parent);
 /// Sizes of all components, largest first.
 std::vector<std::uint64_t> component_sizes(const std::vector<VertexId>& parent);
 
+/// (canonical label, size) of every component, largest first; ties broken
+/// by smaller label.  The label is the component's minimum vertex id
+/// (normalize_labels form), so results are comparable across algorithms.
+std::vector<std::pair<VertexId, std::uint64_t>> component_sizes_by_label(
+    const std::vector<VertexId>& parent);
+
+/// The k largest components as (canonical label, size) pairs, largest
+/// first with ties broken by smaller label — the first k entries of
+/// component_sizes_by_label without materializing the full sort.
+std::vector<std::pair<VertexId, std::uint64_t>> top_k_components(
+    const std::vector<VertexId>& parent, std::size_t k);
+
 /// Histogram of component sizes by power-of-two bucket: pairs of
 /// (bucket lower bound, number of components in [bound, 2*bound)).
 std::vector<std::pair<std::uint64_t, std::uint64_t>> component_size_histogram(

@@ -60,7 +60,7 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
                         const std::vector<RunRecord>& runs) {
   JsonWriter w(out);
   w.begin_object();
-  w.kv("schema", "lacc-metrics-v2");
+  w.kv("schema", "lacc-metrics-v3");
   w.kv("tool", tool);
   w.kv("word_bytes", kWordBytes);
   w.key("config");
@@ -80,6 +80,10 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
       w.begin_array();
       for (const Scalars& epoch : run.epochs) write_scalars(w, epoch);
       w.end_array();
+    }
+    if (!run.serve.empty()) {
+      w.key("serve");
+      write_scalars(w, run.serve);
     }
     w.key("total");
     write_phase_entry(w, run.max.total, run.sum.total);

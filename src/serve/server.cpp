@@ -1,0 +1,347 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace lacc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void bump_max(std::atomic<std::uint64_t>& target, std::uint64_t candidate) {
+  std::uint64_t prev = target.load(std::memory_order_relaxed);
+  while (prev < candidate &&
+         !target.compare_exchange_weak(prev, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kShed:
+      return "shed";
+    case ServeStatus::kUnknownVertex:
+      return "unknown-vertex";
+    case ServeStatus::kRetiredEpoch:
+      return "retired-epoch";
+    case ServeStatus::kFutureEpoch:
+      return "future-epoch";
+    case ServeStatus::kInvalidTicket:
+      return "invalid-ticket";
+    case ServeStatus::kStopped:
+      return "stopped";
+  }
+  return "unknown-status";
+}
+
+Server::Server(VertexId n, int nranks, const sim::MachineModel& machine,
+               ServeOptions options)
+    : n_(n),
+      nranks_(nranks),
+      options_(options),
+      store_(options.retain_epochs),
+      log_(options.record_requests),
+      engine_(n, nranks, machine, options.stream),
+      started_(Clock::now()) {
+  // Epoch 0: the empty graph, every vertex its own component.  Published
+  // before the engine thread exists, so reads are valid immediately.
+  std::vector<VertexId> identity(static_cast<std::size_t>(n));
+  std::iota(identity.begin(), identity.end(), VertexId{0});
+  store_.publish(std::make_shared<const Snapshot>(
+      0, std::move(identity), options_.top_k, options_.pair_cache_bits));
+  engine_thread_ = std::thread([this] { engine_main(); });
+}
+
+Server::~Server() { stop(); }
+
+WriteResult Server::insert_edge(VertexId u, VertexId v) {
+  RequestTimer span(log_, "write.insert");
+  if (u >= n_ || v >= n_) {
+    span.set_ok(false);
+    return {ServeStatus::kUnknownVertex, 0};
+  }
+  std::uint64_t seq = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      span.set_ok(false);
+      return {ServeStatus::kStopped, 0};
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      if (options_.admission == Admission::kShed) {
+        writes_shed_.fetch_add(1, std::memory_order_relaxed);
+        span.set_ok(false);
+        return {ServeStatus::kShed, 0};
+      }
+      cv_space_.wait(lock, [&] {
+        return stopping_ || queue_.size() < options_.queue_capacity;
+      });
+      if (stopping_) {
+        span.set_ok(false);
+        return {ServeStatus::kStopped, 0};
+      }
+    }
+    seq = ++accepted_seq_;
+    queue_.push_back({u, v, seq, Clock::now()});
+    bump_max(max_queue_depth_, queue_.size());
+  }
+  writes_accepted_.fetch_add(1, std::memory_order_relaxed);
+  cv_work_.notify_one();
+  return {ServeStatus::kOk, seq};
+}
+
+ReadResult Server::component_of(VertexId v, std::uint64_t ticket) const {
+  return read_latest("read.component_of", v, v, /*pair=*/false, ticket);
+}
+
+ReadResult Server::same_component(VertexId u, VertexId v,
+                                  std::uint64_t ticket) const {
+  return read_latest("read.same_component", u, v, /*pair=*/true, ticket);
+}
+
+ReadResult Server::component_at(std::uint64_t epoch, VertexId v) const {
+  return read_pinned("read.component_at", epoch, v, v, /*pair=*/false);
+}
+
+ReadResult Server::same_component_at(std::uint64_t epoch, VertexId u,
+                                     VertexId v) const {
+  return read_pinned("read.same_component_at", epoch, u, v, /*pair=*/true);
+}
+
+std::shared_ptr<const Snapshot> Server::snapshot() const {
+  return store_.current();
+}
+
+SnapshotStore::Lookup Server::snapshot_at(
+    std::uint64_t epoch, std::shared_ptr<const Snapshot>& out) const {
+  return store_.at(epoch, out);
+}
+
+ReadResult Server::read_latest(const char* what, VertexId u, VertexId v,
+                               bool pair, std::uint64_t ticket) const {
+  RequestTimer span(log_, what);
+  const auto t0 = Clock::now();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+
+  ReadResult r;
+  if (ticket != 0) r.status = wait_for_ticket(ticket);
+  if (r.status == ServeStatus::kOk) {
+    if (u >= n_ || (pair && v >= n_)) {
+      r.status = ServeStatus::kUnknownVertex;
+    } else {
+      const auto snap = store_.current();
+      r.epoch = snap->epoch();
+      if (pair)
+        r.same = snap->same_component(u, v);
+      else
+        r.label = snap->label_of(u);
+    }
+  }
+  if (r.status != ServeStatus::kOk) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    span.set_ok(false);
+  }
+  read_latency_.record_seconds(seconds_between(t0, Clock::now()));
+  return r;
+}
+
+ReadResult Server::read_pinned(const char* what, std::uint64_t epoch,
+                               VertexId u, VertexId v, bool pair) const {
+  RequestTimer span(log_, what);
+  const auto t0 = Clock::now();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+
+  ReadResult r;
+  r.epoch = epoch;
+  std::shared_ptr<const Snapshot> snap;
+  switch (store_.at(epoch, snap)) {
+    case SnapshotStore::Lookup::kRetired:
+      r.status = ServeStatus::kRetiredEpoch;
+      break;
+    case SnapshotStore::Lookup::kFuture:
+      r.status = ServeStatus::kFutureEpoch;
+      break;
+    case SnapshotStore::Lookup::kOk:
+      if (u >= n_ || (pair && v >= n_)) {
+        r.status = ServeStatus::kUnknownVertex;
+      } else if (pair) {
+        r.same = snap->same_component(u, v);
+      } else {
+        r.label = snap->label_of(u);
+      }
+      break;
+  }
+  if (r.status != ServeStatus::kOk) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    span.set_ok(false);
+  }
+  read_latency_.record_seconds(seconds_between(t0, Clock::now()));
+  return r;
+}
+
+ServeStatus Server::wait_for_ticket(std::uint64_t ticket) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (ticket > accepted_seq_) return ServeStatus::kInvalidTicket;
+  // Accepted writes are always drained (stop() finishes the queue before
+  // joining), so this wait terminates even during shutdown.
+  cv_watermark_.wait(lock, [&] { return applied_seq_ >= ticket; });
+  return ServeStatus::kOk;
+}
+
+void Server::engine_main() {
+  for (;;) {
+    std::vector<PendingWrite> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Size-or-deadline batch close: wait until the batch fills or the
+      // oldest pending write's window expires.  stop() and flush() force
+      // an immediate close.
+      const auto deadline =
+          queue_.front().enqueued +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  options_.batch_window_ms));
+      while (!stopping_ && flush_waiters_ == 0 &&
+             queue_.size() < options_.batch_max_edges) {
+        if (cv_work_.wait_until(lock, deadline) == std::cv_status::timeout)
+          break;
+      }
+      const auto take = static_cast<std::ptrdiff_t>(
+          std::min(queue_.size(), options_.batch_max_edges));
+      batch.assign(queue_.begin(), queue_.begin() + take);
+      queue_.erase(queue_.begin(), queue_.begin() + take);
+    }
+    cv_space_.notify_all();
+    apply_batch(std::move(batch));
+  }
+}
+
+void Server::apply_batch(std::vector<PendingWrite> batch) {
+  RequestTimer span(log_, "engine.commit");
+
+  graph::EdgeList el(n_);
+  el.edges.reserve(batch.size());
+  for (const PendingWrite& w : batch) el.add(w.u, w.v);
+  if (options_.record_applied) applied_batches_.push_back(el);
+
+  engine_.ingest(std::move(el));
+  const stream::EpochStats st = engine_.advance_epoch();
+
+  store_.publish(std::make_shared<const Snapshot>(
+      st.epoch, engine_.labels(), options_.top_k, options_.pair_cache_bits));
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_edges_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const auto now = Clock::now();
+  // Commit latency = write-visibility latency: enqueue to publication.
+  for (const PendingWrite& w : batch)
+    commit_latency_.record_seconds(seconds_between(w.enqueued, now));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    applied_seq_ = batch.back().seq;
+  }
+  cv_watermark_.notify_all();
+}
+
+void Server::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t target = accepted_seq_;
+  ++flush_waiters_;
+  cv_work_.notify_one();
+  cv_watermark_.wait(lock, [&] { return applied_seq_ >= target; });
+  --flush_waiters_;
+}
+
+void Server::stop() {
+  std::call_once(stop_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+    // The engine thread drains every accepted write before exiting, so
+    // session reads waiting on tickets still complete.
+    if (engine_thread_.joinable()) engine_thread_.join();
+    stopped_.store(true, std::memory_order_release);
+  });
+}
+
+bool Server::stopped() const {
+  return stopped_.load(std::memory_order_acquire);
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.read_errors = read_errors_.load(std::memory_order_relaxed);
+  s.writes_accepted = writes_accepted_.load(std::memory_order_relaxed);
+  s.writes_shed = writes_shed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_edges = batched_edges_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+  }
+  const auto snap = store_.current();
+  s.current_epoch = snap->epoch();
+  s.components = snap->num_components();
+  for (std::uint64_t e = store_.oldest_retained();; ++e) {
+    std::shared_ptr<const Snapshot> pin;
+    if (store_.at(e, pin) != SnapshotStore::Lookup::kOk) break;
+    s.cache_hits += pin->cache().hits();
+    s.cache_misses += pin->cache().misses();
+  }
+  s.run_seconds = seconds_between(started_, Clock::now());
+  if (s.run_seconds > 0)
+    s.epochs_per_sec = static_cast<double>(s.batches) / s.run_seconds;
+  s.read_p50 = read_latency_.quantile(0.50);
+  s.read_p95 = read_latency_.quantile(0.95);
+  s.read_p99 = read_latency_.quantile(0.99);
+  s.commit_p50 = commit_latency_.quantile(0.50);
+  s.commit_p95 = commit_latency_.quantile(0.95);
+  s.commit_p99 = commit_latency_.quantile(0.99);
+  return s;
+}
+
+const std::vector<stream::EpochStats>& Server::engine_history() const {
+  LACC_CHECK_MSG(stopped(),
+                 "engine_history() is only safe after stop() has joined the "
+                 "engine thread");
+  return engine_.history();
+}
+
+const std::vector<graph::EdgeList>& Server::applied_batches() const {
+  LACC_CHECK_MSG(stopped(),
+                 "applied_batches() is only safe after stop() has joined the "
+                 "engine thread");
+  return applied_batches_;
+}
+
+double Server::engine_modeled_seconds() const {
+  LACC_CHECK_MSG(stopped(),
+                 "engine_modeled_seconds() is only safe after stop() has "
+                 "joined the engine thread");
+  return engine_.total_modeled_seconds();
+}
+
+}  // namespace lacc::serve

@@ -1,0 +1,116 @@
+#include "serve/snapshot.hpp"
+
+#include "core/options.hpp"
+#include "support/error.hpp"
+
+namespace lacc::serve {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed slot hash for packed pairs.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+constexpr std::uint64_t kSameBit = std::uint64_t{1} << 62;
+
+}  // namespace
+
+PairCache::PairCache(std::uint32_t bits, VertexId n) {
+  // Vertex ids must fit 31 bits each so (valid, same, u, v) packs into one
+  // atomic word; otherwise stay disabled and let every lookup miss.
+  if (bits == 0 || bits > 28 || n >= (VertexId{1} << 31)) return;
+  slots_ = std::vector<std::atomic<std::uint64_t>>(std::size_t{1} << bits);
+}
+
+std::uint64_t PairCache::pack(VertexId u, VertexId v, bool same) {
+  return kValidBit | (same ? kSameBit : 0) | (std::uint64_t{u} << 31) |
+         std::uint64_t{v};
+}
+
+std::size_t PairCache::slot_of(VertexId u, VertexId v) const {
+  return static_cast<std::size_t>(mix64((std::uint64_t{u} << 32) | v)) &
+         (slots_.size() - 1);
+}
+
+std::optional<bool> PairCache::lookup(VertexId u, VertexId v) const {
+  if (!enabled()) return std::nullopt;
+  const std::uint64_t entry =
+      slots_[slot_of(u, v)].load(std::memory_order_relaxed);
+  if ((entry | kSameBit) == (pack(u, v, true))) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return (entry & kSameBit) != 0;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void PairCache::insert(VertexId u, VertexId v, bool same) const {
+  if (!enabled()) return;
+  slots_[slot_of(u, v)].store(pack(u, v, same), std::memory_order_relaxed);
+}
+
+Snapshot::Snapshot(std::uint64_t epoch, std::vector<VertexId> labels,
+                   std::size_t top_k, std::uint32_t cache_bits)
+    : epoch_(epoch),
+      labels_(std::move(labels)),
+      cache_(cache_bits, static_cast<VertexId>(labels_.size())) {
+  const auto n = static_cast<VertexId>(labels_.size());
+  for (VertexId v = 0; v < n; ++v) {
+    LACC_CHECK_MSG(labels_[v] <= v && labels_[labels_[v]] == labels_[v],
+                   "snapshot labels are not canonical at vertex " << v);
+    if (labels_[v] == v) ++num_components_;
+  }
+  if (top_k != 0 && n != 0)
+    top_components_ = core::top_k_components(labels_, top_k);
+}
+
+bool Snapshot::same_component(VertexId u, VertexId v) const {
+  if (u == v) return true;
+  const VertexId lo = std::min(u, v), hi = std::max(u, v);
+  if (const auto cached = cache_.lookup(lo, hi)) return *cached;
+  const bool same = labels_[lo] == labels_[hi];
+  cache_.insert(lo, hi, same);
+  return same;
+}
+
+SnapshotStore::SnapshotStore(std::size_t retain)
+    : retain_(retain < 1 ? 1 : retain) {}
+
+void SnapshotStore::publish(std::shared_ptr<const Snapshot> snap) {
+  LACC_CHECK(snap != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Consecutive epochs let at() index the ring directly.
+  LACC_CHECK_MSG(ring_.empty() || snap->epoch() == ring_.back()->epoch() + 1,
+                 "snapshot epochs must advance by exactly one");
+  ring_.push_back(std::move(snap));
+  while (ring_.size() > retain_) ring_.pop_front();
+}
+
+SnapshotStore::Lookup SnapshotStore::at(
+    std::uint64_t epoch, std::shared_ptr<const Snapshot>& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty() || epoch > ring_.back()->epoch()) return Lookup::kFuture;
+  if (epoch < ring_.front()->epoch()) return Lookup::kRetired;
+  // Published epochs are consecutive within the ring, so index directly.
+  const std::size_t idx =
+      static_cast<std::size_t>(epoch - ring_.front()->epoch());
+  out = ring_[idx];
+  return Lookup::kOk;
+}
+
+std::uint64_t SnapshotStore::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? 0 : ring_.back()->epoch();
+}
+
+std::uint64_t SnapshotStore::oldest_retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? 0 : ring_.front()->epoch();
+}
+
+}  // namespace lacc::serve

@@ -1,0 +1,145 @@
+// lacc::serve snapshot layer: immutable, epoch-versioned views of the
+// streaming engine's labels that concurrent readers share without ever
+// blocking the SPMD runtime.
+//
+// The engine thread builds one Snapshot per advance_epoch (canonical label
+// vector plus derived read structures: component count, top-k components,
+// a per-epoch pair-query cache) and publishes it into the SnapshotStore
+// with one pointer-sized critical section.  Readers grab the current (or a
+// pinned) snapshot and answer queries against plain immutable arrays; the only
+// mutable state a reader touches is the lock-free pair cache, whose entries
+// embed their full key so a racy overwrite can stale a cached answer's
+// slot but never corrupt one.  See docs/SERVING.md for the consistency
+// model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace lacc::serve {
+
+/// Lock-free fixed-size cache of same_component(u, v) answers for one
+/// epoch.  Each slot is a single atomic word packing (valid, answer, u, v),
+/// so lookups validate the *entire* key — a collision or torn publication
+/// can only miss, never return a wrong answer.  Requires vertex ids below
+/// 2^31; for larger graphs the cache disables itself and every lookup
+/// misses (callers fall through to the O(1) label comparison).
+class PairCache {
+ public:
+  /// `bits` = log2 of the slot count (0 disables); `n` = vertex count.
+  PairCache(std::uint32_t bits, VertexId n);
+
+  bool enabled() const { return !slots_.empty(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Cached answer for the *ordered* pair (u < v), if present.
+  std::optional<bool> lookup(VertexId u, VertexId v) const;
+
+  /// Publish an answer for the ordered pair (u < v).  Callable on a const
+  /// snapshot: the cache is the snapshot's one mutable (atomic) member.
+  void insert(VertexId u, VertexId v, bool same) const;
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t pack(VertexId u, VertexId v, bool same);
+  std::size_t slot_of(VertexId u, VertexId v) const;
+
+  mutable std::vector<std::atomic<std::uint64_t>> slots_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+/// One immutable epoch view.  Everything except the pair cache is set at
+/// construction and never mutated, so any number of threads may read it.
+class Snapshot {
+ public:
+  /// Derive the read structures from a canonical label vector (label[v] =
+  /// minimum vertex id of v's component, normalize_labels form).
+  Snapshot(std::uint64_t epoch, std::vector<VertexId> labels,
+           std::size_t top_k, std::uint32_t cache_bits);
+
+  std::uint64_t epoch() const { return epoch_; }
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(labels_.size());
+  }
+  std::uint64_t num_components() const { return num_components_; }
+  const std::vector<VertexId>& labels() const { return labels_; }
+
+  /// The k largest components as (canonical label, size), largest first.
+  const std::vector<std::pair<VertexId, std::uint64_t>>& top_components()
+      const {
+    return top_components_;
+  }
+
+  /// Canonical label of `v`; caller has already range-checked v.
+  VertexId label_of(VertexId v) const { return labels_[v]; }
+
+  /// Are u and v in the same component at this epoch?  Consults the pair
+  /// cache first; a miss costs two array loads and refills the cache.
+  bool same_component(VertexId u, VertexId v) const;
+
+  const PairCache& cache() const { return cache_; }
+
+ private:
+  std::uint64_t epoch_;
+  std::vector<VertexId> labels_;
+  std::uint64_t num_components_ = 0;
+  std::vector<std::pair<VertexId, std::uint64_t>> top_components_;
+  PairCache cache_;
+};
+
+/// Epoch-indexed snapshot publication point: one writer publishes strictly
+/// increasing epochs, any number of readers fetch the current or a pinned
+/// epoch.  All paths copy a shared_ptr under a briefly-held mutex whose
+/// critical sections are pointer-sized — a reader can be delayed by another
+/// pointer copy, never by epoch computation.  (GCC 12's
+/// std::atomic<std::shared_ptr> would make current() lock-free, but its
+/// embedded lock-bit protocol unlocks with a relaxed store on the reader
+/// side, which TSan — lacking the happens-before edge — reports as a race;
+/// the mutex keeps the hammer suites sanitizer-clean.)
+class SnapshotStore {
+ public:
+  /// Outcome of a pinned-epoch lookup.
+  enum class Lookup { kOk, kRetired, kFuture };
+
+  /// Keep the most recent `retain` epochs pinnable (>= 1; older snapshots
+  /// are dropped and report kRetired).
+  explicit SnapshotStore(std::size_t retain);
+
+  /// Publish the next epoch.  Single-writer; epochs must be strictly
+  /// increasing.
+  void publish(std::shared_ptr<const Snapshot> snap);
+
+  /// The latest published snapshot (never null once one is published).
+  std::shared_ptr<const Snapshot> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.empty() ? nullptr : ring_.back();
+  }
+
+  /// Fetch the snapshot pinned at `epoch` into `out` (untouched on
+  /// failure).
+  Lookup at(std::uint64_t epoch, std::shared_ptr<const Snapshot>& out) const;
+
+  std::uint64_t current_epoch() const;
+  /// Oldest epoch still pinnable.
+  std::uint64_t oldest_retained() const;
+
+ private:
+  const std::size_t retain_;
+  mutable std::mutex mu_;                              // guards ring_
+  std::deque<std::shared_ptr<const Snapshot>> ring_;   // ascending epochs
+};
+
+}  // namespace lacc::serve

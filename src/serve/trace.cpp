@@ -1,0 +1,97 @@
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace lacc::serve {
+
+void RequestLog::record(std::string name, double start_us, double end_us,
+                        bool ok) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= cap_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back({std::move(name), std::this_thread::get_id(), start_us,
+                    std::max(0.0, end_us - start_us), ok});
+}
+
+std::vector<RequestSpan> RequestLog::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::uint64_t RequestLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void write_request_trace(std::ostream& out,
+                         const std::vector<RequestSpan>& spans,
+                         const std::string& process_name) {
+  // Densify thread ids in first-appearance order so the trace schema's
+  // "tids cover [0, ranks)" invariant holds whatever threads recorded.
+  std::map<std::thread::id, int> tid_of;
+  for (const RequestSpan& span : spans)
+    tid_of.emplace(span.thread, static_cast<int>(tid_of.size()));
+
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("schema", "lacc-trace-v1");
+  w.kv("clock", "wall microseconds");
+  w.kv("ranks", static_cast<std::int64_t>(tid_of.size()));
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", process_name);
+  w.end_object();
+  w.end_object();
+
+  for (const auto& [thread, tid] : tid_of) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::int64_t>(tid));
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "serve thread " + std::to_string(tid));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const RequestSpan& span : spans) {
+    w.begin_object();
+    w.kv("name", span.name);
+    w.kv("cat", "serve");
+    w.kv("ph", "X");
+    w.kv("pid", 0);
+    w.kv("tid", static_cast<std::int64_t>(tid_of.at(span.thread)));
+    w.kv("ts", span.start_us);
+    w.kv("dur", span.dur_us);
+    w.key("args");
+    w.begin_object();
+    w.kv("ok", span.ok);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace lacc::serve

@@ -1,0 +1,85 @@
+// Per-request span log for the serving layer, exportable as a Chrome
+// trace-event timeline (schema lacc-trace-v1, same as the SPMD traces —
+// but on the *wall* clock, since serve requests are real concurrent
+// threads, not modeled ranks).  Each thread that ever records becomes one
+// timeline row; rows are densely renumbered at export so the validator's
+// "events cover [0, ranks)" invariant holds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lacc::serve {
+
+/// One completed request (or engine-thread phase) span.
+struct RequestSpan {
+  std::string name;            ///< e.g. "read.same_component", "serve-advance"
+  std::thread::id thread;      ///< recording thread (densified at export)
+  double start_us = 0;         ///< wall microseconds since log creation
+  double dur_us = 0;
+  bool ok = true;              ///< false when the request errored/shed
+};
+
+/// Thread-safe bounded append log.  Recording is one mutex-guarded
+/// push_back; when the cap is reached further spans are counted but
+/// dropped, so a long soak can't grow without bound.
+class RequestLog {
+ public:
+  explicit RequestLog(bool enabled, std::size_t cap = std::size_t{1} << 17)
+      : enabled_(enabled), cap_(cap), origin_(Clock::now()) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Wall microseconds since the log was created.
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - origin_)
+        .count();
+  }
+
+  void record(std::string name, double start_us, double end_us, bool ok);
+
+  /// Snapshot of the spans recorded so far plus the drop count.
+  std::vector<RequestSpan> spans() const;
+  std::uint64_t dropped() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const bool enabled_;
+  const std::size_t cap_;
+  const Clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<RequestSpan> spans_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Scoped helper: records one span on destruction (no-op when disabled).
+class RequestTimer {
+ public:
+  RequestTimer(RequestLog& log, const char* name)
+      : log_(log), name_(name), start_us_(log.enabled() ? log.now_us() : 0) {}
+  ~RequestTimer() {
+    if (log_.enabled()) log_.record(name_, start_us_, log_.now_us(), ok_);
+  }
+  RequestTimer(const RequestTimer&) = delete;
+  RequestTimer& operator=(const RequestTimer&) = delete;
+  void set_ok(bool ok) { ok_ = ok; }
+
+ private:
+  RequestLog& log_;
+  const char* name_;
+  double start_us_;
+  bool ok_ = true;
+};
+
+/// Write the recorded spans as a Chrome trace-event JSON document
+/// (lacc-trace-v1; otherData.clock = "wall").
+void write_request_trace(std::ostream& out,
+                         const std::vector<RequestSpan>& spans,
+                         const std::string& process_name);
+
+}  // namespace lacc::serve

@@ -1,0 +1,143 @@
+#include "serve/workload.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lacc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// splitmix64: per-thread deterministic request stream.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t x = state;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+void merge_into(WorkloadReport& total, const WorkloadReport& part) {
+  total.writes_attempted += part.writes_attempted;
+  total.writes_accepted += part.writes_accepted;
+  total.writes_shed += part.writes_shed;
+  total.reads += part.reads;
+  total.read_errors += part.read_errors;
+  total.session_reads += part.session_reads;
+  total.session_violations += part.session_violations;
+  total.pinned_reads += part.pinned_reads;
+  total.pinned_misses += part.pinned_misses;
+}
+
+}  // namespace
+
+WorkloadReport run_mixed_workload(Server& server,
+                                  const graph::EdgeList& stream,
+                                  const WorkloadOptions& options) {
+  const int writers = options.writers < 0 ? 0 : options.writers;
+  const int readers = options.readers < 0 ? 0 : options.readers;
+  const auto start = Clock::now();
+  const auto deadline =
+      options.duration_s > 0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(options.duration_s))
+          : Clock::time_point::max();
+
+  std::atomic<bool> done{false};
+  std::mutex report_mu;
+  WorkloadReport total;
+
+  auto writer_main = [&](int id) {
+    WorkloadReport r;
+    // Round-robin partition: writer id replays edges id, id+W, id+2W, ...
+    for (std::size_t i = static_cast<std::size_t>(id);
+         i < stream.edges.size(); i += static_cast<std::size_t>(writers)) {
+      if (Clock::now() >= deadline) break;
+      const graph::Edge e = stream.edges[i];
+      ++r.writes_attempted;
+      const WriteResult w = server.insert_edge(e.u, e.v);
+      if (w.status == ServeStatus::kShed) {
+        ++r.writes_shed;
+        continue;
+      }
+      if (w.status != ServeStatus::kOk) {
+        ++r.read_errors;
+        continue;
+      }
+      ++r.writes_accepted;
+      if (options.session_every != 0 &&
+          r.writes_accepted % options.session_every == 0) {
+        // Read-your-writes: with the ticket, this session must observe its
+        // own edge, i.e. the endpoints are now connected.
+        ++r.session_reads;
+        const ReadResult q = server.same_component(e.u, e.v, w.ticket);
+        if (q.status != ServeStatus::kOk || !q.same) ++r.session_violations;
+      }
+    }
+    std::lock_guard<std::mutex> lock(report_mu);
+    merge_into(total, r);
+  };
+
+  auto reader_main = [&](int id) {
+    WorkloadReport r;
+    Rng rng{options.seed * 0x2545f4914f6cdd1dull + 0x1234ull + id};
+    const VertexId n = server.num_vertices();
+    while (!done.load(std::memory_order_acquire)) {
+      ++r.reads;
+      const auto u = static_cast<VertexId>(rng.below(n));
+      const auto v = static_cast<VertexId>(rng.below(n));
+      if (options.pinned_every != 0 && r.reads % options.pinned_every == 0) {
+        // Pin an epoch near the current one; deliberately overshoot
+        // sometimes to exercise the retired/future error paths.
+        const std::uint64_t cur = server.snapshot()->epoch();
+        const std::uint64_t pin = rng.below(cur + 3);
+        ++r.pinned_reads;
+        const ReadResult q = server.same_component_at(pin, u, v);
+        if (q.status == ServeStatus::kRetiredEpoch ||
+            q.status == ServeStatus::kFutureEpoch)
+          ++r.pinned_misses;
+        else if (q.status != ServeStatus::kOk)
+          ++r.read_errors;
+      } else if (rng.below(4) == 0) {
+        if (server.component_of(u).status != ServeStatus::kOk)
+          ++r.read_errors;
+      } else {
+        if (server.same_component(u, v).status != ServeStatus::kOk)
+          ++r.read_errors;
+      }
+    }
+    std::lock_guard<std::mutex> lock(report_mu);
+    merge_into(total, r);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(writers + readers));
+  for (int i = 0; i < readers; ++i) threads.emplace_back(reader_main, i);
+  for (int i = 0; i < writers; ++i) threads.emplace_back(writer_main, i);
+
+  // Writers are the tail of `threads`; join them first, then flush so the
+  // readers' last observations cover every accepted write, then release
+  // the readers.
+  for (int i = 0; i < writers; ++i) {
+    threads[static_cast<std::size_t>(readers + i)].join();
+  }
+  if (writers == 0 && options.duration_s > 0)
+    std::this_thread::sleep_until(deadline);
+  server.flush();
+  done.store(true, std::memory_order_release);
+  for (int i = 0; i < readers; ++i) threads[static_cast<std::size_t>(i)].join();
+
+  total.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return total;
+}
+
+}  // namespace lacc::serve

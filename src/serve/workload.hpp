@@ -1,0 +1,56 @@
+// Mixed read/write workload replay against a lacc::serve::Server —
+// the shared driver behind examples/lacc_serve_cli and bench/bench_serve.
+//
+// M writer threads replay a fixed edge stream (round-robin partitioned so
+// the interleaving stresses batching) while N reader threads issue random
+// point and pair queries against the snapshot store.  A fraction of writes
+// are *session* writes: the writer immediately re-reads its own edge with
+// the returned ticket and checks that both endpoints are connected — the
+// read-your-writes guarantee, verified online.  Everything is seeded, so a
+// run's request sequence (though not its thread interleaving) is
+// reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "serve/server.hpp"
+
+namespace lacc::serve {
+
+struct WorkloadOptions {
+  int readers = 4;
+  int writers = 2;
+  /// Wall-clock cap; 0 replays the whole edge stream.  Readers always run
+  /// until the writers are done and the queue is flushed.
+  double duration_s = 0;
+  std::uint64_t seed = 1;
+  /// Every k-th accepted write performs a ticketed read-your-writes check
+  /// (0 disables).
+  std::uint32_t session_every = 16;
+  /// Every k-th read pins a (possibly retired or future) epoch instead of
+  /// reading latest (0 disables).
+  std::uint32_t pinned_every = 32;
+};
+
+struct WorkloadReport {
+  std::uint64_t writes_attempted = 0;
+  std::uint64_t writes_accepted = 0;
+  std::uint64_t writes_shed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t read_errors = 0;  ///< unexpected statuses (not pinned misses)
+  std::uint64_t session_reads = 0;
+  /// Ticketed reads that did NOT observe the session's own write — must be
+  /// zero; anything else is a consistency bug.
+  std::uint64_t session_violations = 0;
+  std::uint64_t pinned_reads = 0;
+  std::uint64_t pinned_misses = 0;  ///< kRetiredEpoch / kFutureEpoch answers
+  double wall_seconds = 0;
+};
+
+/// Run the workload to completion (all threads joined before returning).
+WorkloadReport run_mixed_workload(Server& server,
+                                  const graph::EdgeList& stream,
+                                  const WorkloadOptions& options);
+
+}  // namespace lacc::serve

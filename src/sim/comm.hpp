@@ -357,7 +357,9 @@ class Comm {
     const auto& src = ctx_->slots[root];
     if (rank_ != root) {
       data.resize(src.aux);
-      std::memcpy(data.data(), src.data, src.aux * sizeof(T));
+      // Zero-length broadcasts carry null buffers; memcpy's nonnull
+      // contract forbids them even with size 0.
+      if (src.aux != 0) std::memcpy(data.data(), src.data, src.aux * sizeof(T));
     }
     const std::uint64_t bytes = src.aux * sizeof(T);
     state().sim_time = t0;

@@ -360,7 +360,11 @@ EpochStats StreamEngine::advance_epoch() {
 }
 
 VertexId StreamEngine::component_of(VertexId v) const {
-  LACC_CHECK_MSG(v < n_, "vertex " << v << " out of range");
+  // Query errors are user input errors, not internal invariants: throw a
+  // clean message (no LACC_CHECK preamble) the CLI can print verbatim.
+  if (v >= n_)
+    throw Error("stream query: vertex " + std::to_string(v) +
+                " out of range [0, " + std::to_string(n_) + ")");
   return current_labels_[v];
 }
 
@@ -374,13 +378,16 @@ std::vector<VertexId> StreamEngine::query(
 
 std::vector<VertexId> StreamEngine::query_at(
     std::uint64_t at, std::span<const VertexId> vertices) const {
-  LACC_CHECK_MSG(at <= epoch_,
-                 "query_at epoch " << at << " is in the future (current "
-                                   << epoch_ << ")");
+  if (at > epoch_)
+    throw Error("stream query: epoch " + std::to_string(at) +
+                " has not happened yet (current epoch " +
+                std::to_string(epoch_) + ")");
   std::vector<VertexId> out;
   out.reserve(vertices.size());
   for (const VertexId v : vertices) {
-    LACC_CHECK_MSG(v < n_, "vertex " << v << " out of range");
+    if (v >= n_)
+      throw Error("stream query: vertex " + std::to_string(v) +
+                  " out of range [0, " + std::to_string(n_) + ")");
     VertexId label = v;  // initial state: every vertex its own component
     const auto chain = versions_.find(v);
     if (chain != versions_.end()) {

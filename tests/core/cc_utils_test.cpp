@@ -53,6 +53,40 @@ TEST(ComponentSizes, FollowsChains) {
   EXPECT_EQ(sizes, (std::vector<std::uint64_t>{4}));
 }
 
+TEST(ComponentSizesByLabel, PairsLabelsWithSizesLargestFirst) {
+  // Components: {0,1,2}, {3}, {4,5} — labels are the minimum vertex ids.
+  using P = std::pair<VertexId, std::uint64_t>;
+  const auto sized = component_sizes_by_label({0, 0, 0, 3, 4, 4});
+  EXPECT_EQ(sized, (std::vector<P>{{0, 3}, {4, 2}, {3, 1}}));
+}
+
+TEST(ComponentSizesByLabel, CanonicalizesNonFlatForests) {
+  using P = std::pair<VertexId, std::uint64_t>;
+  // Chain 0<-1<-2 rooted arbitrarily plus singleton: labels collapse to
+  // the component minimum regardless of root choice.
+  const auto sized = component_sizes_by_label({2, 2, 2, 3});
+  EXPECT_EQ(sized, (std::vector<P>{{0, 3}, {3, 1}}));
+}
+
+TEST(ComponentSizesByLabel, TiesBreakOnSmallerLabel) {
+  using P = std::pair<VertexId, std::uint64_t>;
+  const auto sized = component_sizes_by_label({0, 0, 2, 2});
+  EXPECT_EQ(sized, (std::vector<P>{{0, 2}, {2, 2}}));
+}
+
+TEST(TopKComponents, ReturnsLargestKAndClampsK) {
+  using P = std::pair<VertexId, std::uint64_t>;
+  const std::vector<VertexId> parent = {0, 0, 0, 3, 4, 4};
+  EXPECT_EQ(top_k_components(parent, 2), (std::vector<P>{{0, 3}, {4, 2}}));
+  EXPECT_EQ(top_k_components(parent, 0), (std::vector<P>{}));
+  // k beyond the component count returns everything.
+  EXPECT_EQ(top_k_components(parent, 99), component_sizes_by_label(parent));
+}
+
+TEST(TopKComponents, EmptyGraph) {
+  EXPECT_TRUE(top_k_components({}, 5).empty());
+}
+
 TEST(ComponentSizeHistogram, PowerOfTwoBuckets) {
   // Sizes 3, 2, 1 -> buckets 2:[2,3], 1:[1].
   const auto hist = component_size_histogram({0, 0, 0, 3, 4, 4});

@@ -1,0 +1,91 @@
+// LatencyHistogram: bucket geometry, quantile estimates, concurrency.
+#include "obs/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace lacc::obs {
+namespace {
+
+TEST(LatencyHistogram, EmptyQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Buckets 0..15 hold their nanosecond value exactly.
+  for (std::uint64_t ns = 0; ns < 16; ++ns) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(ns), ns);
+    EXPECT_EQ(LatencyHistogram::bucket_mid_ns(ns), ns);
+  }
+}
+
+TEST(LatencyHistogram, BucketMidIsWithinItsOwnBucket) {
+  for (std::uint64_t ns : {16ull, 17ull, 1000ull, 123456ull, 1ull << 30,
+                           1ull << 40, 1ull << 62}) {
+    const std::size_t b = LatencyHistogram::bucket_of(ns);
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_mid_ns(b)),
+              b)
+        << ns;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesTrackRecordedDistribution) {
+  LatencyHistogram h;
+  // 90 samples near 1us, 10 near 1ms: p50 ~ 1e-6, p99 ~ 1e-3.
+  for (int i = 0; i < 90; ++i) h.record_seconds(1e-6);
+  for (int i = 0; i < 10; ++i) h.record_seconds(1e-3);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 1e-6, 1e-7);
+  EXPECT_NEAR(h.quantile(0.99), 1e-3, 1e-4);
+  EXPECT_GE(h.quantile(0.99), h.quantile(0.95));
+  EXPECT_GE(h.quantile(0.95), h.quantile(0.5));
+}
+
+TEST(LatencyHistogram, RelativeErrorStaysBounded) {
+  // One sample per magnitude: the bucket midpoint must stay within ~6%.
+  for (const double s : {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
+    LatencyHistogram h;
+    h.record_seconds(s);
+    EXPECT_NEAR(h.quantile(1.0), s, s * 0.0625) << s;
+  }
+}
+
+TEST(LatencyHistogram, ClampsGarbageToZeroBucket) {
+  LatencyHistogram h;
+  h.record_seconds(-1.0);
+  h.record_seconds(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeAddsSamples) {
+  LatencyHistogram a, b;
+  a.record_seconds(1e-6);
+  b.record_seconds(1e-3);
+  b.record_seconds(1e-3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.quantile(1.0), 1e-3, 1e-4);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8, kPerThread = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record_ns(static_cast<std::uint64_t>(t) * 1000 + 50);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace lacc::obs

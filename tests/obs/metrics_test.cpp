@@ -1,4 +1,4 @@
-// lacc-metrics-v2 emitter: the document structure consumed by
+// lacc-metrics-v3 emitter: the document structure consumed by
 // tools/check_obs_json.py and the perf trajectory.
 #include "obs/metrics.hpp"
 
@@ -27,10 +27,12 @@ TEST(Metrics, SerialRunRecord) {
   auto rec = obs::make_run_record("serial", 0, {}, 0.0, 1.5,
                                   {{"edges", 42.0}});
   const std::string json = emit({std::move(rec)});
-  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"metrics_test\""), std::string::npos);
-  // Static runs never carry the streaming-only epochs array.
+  // Static runs never carry the streaming-only epochs array or the
+  // serving-only serve block.
   EXPECT_EQ(json.find("\"epochs\""), std::string::npos);
+  EXPECT_EQ(json.find("\"serve\""), std::string::npos);
   EXPECT_NE(json.find("\"word_bytes\":8"), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"serial\""), std::string::npos);
   EXPECT_NE(json.find("\"ranks\":0"), std::string::npos);
@@ -68,6 +70,17 @@ TEST(Metrics, StreamingRunEmitsEpochsArray) {
   const std::string json = emit({std::move(rec)});
   EXPECT_NE(json.find("\"epochs\":[{\"epoch\":1,\"merges\":3},"
                       "{\"epoch\":2,\"merges\":0}]"),
+            std::string::npos);
+}
+
+TEST(Metrics, ServingRunEmitsServeBlock) {
+  auto rec = obs::make_run_record("serve", 4, {}, 0.0, 0.5);
+  rec.serve = {{"throughput_rps", 1000.0},
+               {"read_p50_ms", 0.125},
+               {"read_p99_ms", 2.5}};
+  const std::string json = emit({std::move(rec)});
+  EXPECT_NE(json.find("\"serve\":{\"throughput_rps\":1000,"
+                      "\"read_p50_ms\":0.125,\"read_p99_ms\":2.5}"),
             std::string::npos);
 }
 

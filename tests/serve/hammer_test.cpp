@@ -1,0 +1,150 @@
+// Concurrency hammer tests for the serving layer.  These are the tests the
+// TSan CI job exists for: many reader threads race snapshot publication,
+// cache overwrites, and server shutdown, and every observed value is
+// checked against an invariant that racy code would break.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/workload.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc::serve {
+namespace {
+
+constexpr int kReaderThreads = 4;
+
+// Labels for epoch e over n vertices: vertices 0..min(e, n-1) merged into
+// component 0, the rest singletons.  Canonical by construction, and epoch
+// is recoverable from the labels so readers can detect torn snapshots.
+std::vector<VertexId> epoch_labels(std::uint64_t epoch, VertexId n) {
+  std::vector<VertexId> labels(static_cast<std::size_t>(n));
+  std::iota(labels.begin(), labels.end(), VertexId{0});
+  for (VertexId v = 1; v < n && v <= epoch; ++v) labels[v] = 0;
+  return labels;
+}
+
+TEST(ServeHammer, ReadersRaceSnapshotPublication) {
+  constexpr std::uint64_t kEpochs = 200;
+  constexpr VertexId kN = 256;
+  SnapshotStore store(/*retain=*/4);
+  store.publish(std::make_shared<const Snapshot>(0, epoch_labels(0, kN),
+                                                 /*top_k=*/2,
+                                                 /*cache_bits=*/6));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&store, &stop, &violations] {
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snap = store.current();
+        // Monotonic epochs, and the labels must be exactly the vector the
+        // publisher built for that epoch — a torn or stale mix fails here.
+        if (snap->epoch() < last_epoch) violations.fetch_add(1);
+        last_epoch = snap->epoch();
+        if (snap->labels() != epoch_labels(snap->epoch(), kN))
+          violations.fetch_add(1);
+        // Exercise the racy-but-safe pair cache.
+        const bool same = snap->same_component(0, 1);
+        if (same != (snap->epoch() >= 1)) violations.fetch_add(1);
+        // Pinned lookups race retirement; whatever comes back must match
+        // its own epoch.
+        std::shared_ptr<const Snapshot> pin;
+        if (store.at(snap->epoch(), pin) == SnapshotStore::Lookup::kOk &&
+            pin->labels() != epoch_labels(pin->epoch(), kN))
+          violations.fetch_add(1);
+      }
+    });
+  }
+
+  for (std::uint64_t e = 1; e <= kEpochs; ++e) {
+    store.publish(
+        std::make_shared<const Snapshot>(e, epoch_labels(e, kN), 2, 6));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(store.current_epoch(), kEpochs);
+}
+
+TEST(ServeHammer, PairCacheRacyOverwritesNeverLie) {
+  // Ground truth: same iff u + v is even.  Writers insert truthful entries
+  // for random colliding pairs while readers look up; any *hit* must match
+  // the truth (misses are always allowed).
+  const PairCache cache(4, 10000);  // 16 slots: constant collisions
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lies{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&cache, &stop, &lies, t] {
+      std::uint64_t x = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (int i = 0; i < 20000 && !stop.load(std::memory_order_relaxed);
+           ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const VertexId u = x % 100;
+        const VertexId v = u + 1 + (x >> 32) % 100;
+        if (i % 2 == 0) {
+          cache.insert(u, v, (u + v) % 2 == 0);
+        } else if (const auto got = cache.lookup(u, v)) {
+          if (*got != ((u + v) % 2 == 0)) lies.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(lies.load(), 0u);
+}
+
+TEST(ServeHammer, ConcurrentClientsAgainstLiveServer) {
+  ServeOptions options;
+  options.batch_max_edges = 32;
+  options.batch_window_ms = 0.25;
+  options.retain_epochs = 4;
+  options.pair_cache_bits = 8;
+  options.record_applied = true;
+  Server server(96, 1, sim::MachineModel{}, options);
+
+  const graph::EdgeList stream = graph::erdos_renyi(96, 300, /*seed=*/21);
+  WorkloadOptions wl;
+  wl.readers = kReaderThreads;
+  wl.writers = 3;
+  wl.session_every = 8;
+  wl.pinned_every = 16;
+  const WorkloadReport report = run_mixed_workload(server, stream, wl);
+
+  EXPECT_EQ(report.session_violations, 0u);
+  EXPECT_EQ(report.read_errors, 0u);
+  EXPECT_EQ(report.writes_accepted, stream.edges.size());
+
+  // Readers racing stop(): shutdown must be clean while reads continue.
+  std::atomic<bool> stop_flag{false};
+  std::thread late_reader([&server, &stop_flag] {
+    while (!stop_flag.load(std::memory_order_acquire)) {
+      const ReadResult r = server.component_of(1);
+      ASSERT_EQ(r.status, ServeStatus::kOk);
+    }
+  });
+  server.stop();
+  stop_flag.store(true, std::memory_order_release);
+  late_reader.join();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.writes_accepted, stream.edges.size());
+}
+
+}  // namespace
+}  // namespace lacc::serve

@@ -1,0 +1,222 @@
+// Functional tests for lacc::serve::Server: admission control, session
+// (read-your-writes) semantics, pinned-epoch reads, error paths, and the
+// bit-identical consistency contract against the from-scratch algorithm.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/lacc_dist.hpp"
+#include "core/options.hpp"
+#include "graph/generators.hpp"
+#include "serve/trace.hpp"
+#include "serve/workload.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc::serve {
+namespace {
+
+ServeOptions fast_options() {
+  ServeOptions o;
+  o.batch_max_edges = 64;
+  o.batch_window_ms = 0.5;
+  o.record_applied = true;
+  return o;
+}
+
+/// Canonical labels of the accumulated graph, computed from scratch.
+std::vector<VertexId> reference_labels(const graph::EdgeList& el, int nranks) {
+  return core::normalize_labels(
+      core::lacc_dist(el, nranks, sim::MachineModel{}).cc.parent);
+}
+
+TEST(Server, ServesEpochZeroImmediately) {
+  Server server(16, 1, sim::MachineModel{});
+  const ReadResult r = server.component_of(5);
+  EXPECT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_EQ(r.epoch, 0u);
+  EXPECT_EQ(r.label, 5u);
+  const ReadResult pair = server.same_component(3, 4);
+  EXPECT_EQ(pair.status, ServeStatus::kOk);
+  EXPECT_FALSE(pair.same);
+  EXPECT_EQ(server.snapshot()->num_components(), 16u);
+}
+
+TEST(Server, ReadYourWritesObservesOwnEdge) {
+  Server server(32, 1, sim::MachineModel{}, fast_options());
+  const WriteResult w = server.insert_edge(3, 17);
+  ASSERT_EQ(w.status, ServeStatus::kOk);
+  ASSERT_GT(w.ticket, 0u);
+  // Without the ticket this read could see epoch 0; with it, it must wait
+  // for the covering epoch and observe the edge.
+  const ReadResult r = server.same_component(3, 17, w.ticket);
+  EXPECT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_TRUE(r.same);
+  EXPECT_GE(r.epoch, 1u);
+}
+
+TEST(Server, FinalLabelsMatchFromScratchRecompute) {
+  const graph::EdgeList stream = graph::erdos_renyi(64, 120, /*seed=*/7);
+  for (const int nranks : {1, 4}) {
+    Server server(64, nranks, sim::MachineModel{}, fast_options());
+    for (const graph::Edge& e : stream.edges) {
+      ASSERT_EQ(server.insert_edge(e.u, e.v).status, ServeStatus::kOk);
+    }
+    server.flush();
+    graph::EdgeList accumulated(64);
+    server.stop();
+    for (const graph::EdgeList& batch : server.applied_batches())
+      for (const graph::Edge& e : batch.edges) accumulated.add(e.u, e.v);
+    EXPECT_EQ(server.snapshot()->labels(),
+              reference_labels(accumulated, nranks))
+        << "nranks=" << nranks;
+  }
+}
+
+TEST(Server, EveryRetainedEpochIsAConsistentPrefix) {
+  ServeOptions options = fast_options();
+  options.batch_max_edges = 4;  // many small epochs
+  options.retain_epochs = 64;
+  Server server(24, 1, sim::MachineModel{}, options);
+  const graph::EdgeList stream = graph::erdos_renyi(24, 40, /*seed=*/3);
+  for (const graph::Edge& e : stream.edges) server.insert_edge(e.u, e.v);
+  server.flush();
+  server.stop();
+
+  const auto& batches = server.applied_batches();
+  ASSERT_GT(batches.size(), 1u);
+  graph::EdgeList prefix(24);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    for (const graph::Edge& e : batches[i].edges) prefix.add(e.u, e.v);
+    std::shared_ptr<const Snapshot> snap;
+    ASSERT_EQ(server.snapshot_at(i + 1, snap), SnapshotStore::Lookup::kOk);
+    EXPECT_EQ(snap->labels(), reference_labels(prefix, 1)) << "epoch " << i + 1;
+  }
+}
+
+TEST(Server, ShedAdmissionRejectsWhenQueueIsFull) {
+  ServeOptions options;
+  options.admission = Admission::kShed;
+  options.queue_capacity = 4;
+  options.batch_max_edges = 1 << 20;   // size trigger never fires
+  options.batch_window_ms = 5000;      // deadline far away: queue backs up
+  Server server(64, 1, sim::MachineModel{}, options);
+
+  int accepted = 0, shed = 0;
+  for (VertexId i = 0; i < 10; ++i) {
+    const WriteResult w = server.insert_edge(i, i + 1);
+    (w.status == ServeStatus::kOk ? accepted : shed)++;
+    if (w.status != ServeStatus::kOk) {
+      EXPECT_EQ(w.status, ServeStatus::kShed);
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(shed, 6);
+  server.flush();  // forces the batch closed despite the long window
+  EXPECT_EQ(server.stats().writes_shed, 6u);
+  EXPECT_EQ(server.stats().writes_accepted, 4u);
+  EXPECT_TRUE(server.same_component(0, 4).same);
+}
+
+TEST(Server, BlockAdmissionAcceptsEverythingUnderPressure) {
+  ServeOptions options;
+  options.admission = Admission::kBlock;
+  options.queue_capacity = 2;
+  options.batch_max_edges = 2;
+  options.batch_window_ms = 0.1;
+  Server server(128, 1, sim::MachineModel{}, options);
+  for (VertexId i = 0; i + 1 < 128; ++i) {
+    ASSERT_EQ(server.insert_edge(i, i + 1).status, ServeStatus::kOk);
+  }
+  server.flush();
+  EXPECT_EQ(server.stats().writes_shed, 0u);
+  EXPECT_EQ(server.snapshot()->num_components(), 1u);
+}
+
+TEST(Server, ErrorPathsReportCleanStatuses) {
+  ServeOptions options = fast_options();
+  options.retain_epochs = 1;
+  options.batch_max_edges = 1;
+  Server server(8, 1, sim::MachineModel{}, options);
+
+  EXPECT_EQ(server.insert_edge(0, 99).status, ServeStatus::kUnknownVertex);
+  EXPECT_EQ(server.component_of(8).status, ServeStatus::kUnknownVertex);
+  EXPECT_EQ(server.same_component(0, 8).status, ServeStatus::kUnknownVertex);
+  EXPECT_EQ(server.component_of(0, /*ticket=*/42).status,
+            ServeStatus::kInvalidTicket);
+
+  // Advance two epochs so epoch 0 retires (retain=1 keeps only latest).
+  server.insert_edge(0, 1);
+  server.flush();
+  server.insert_edge(2, 3);
+  server.flush();
+  EXPECT_EQ(server.component_at(0, 1).status, ServeStatus::kRetiredEpoch);
+  EXPECT_EQ(server.component_at(99, 1).status, ServeStatus::kFutureEpoch);
+  const ReadResult now = server.component_at(server.snapshot()->epoch(), 1);
+  EXPECT_EQ(now.status, ServeStatus::kOk);
+  EXPECT_EQ(now.label, 0u);
+
+  server.stop();
+  EXPECT_EQ(server.insert_edge(0, 1).status, ServeStatus::kStopped);
+  EXPECT_STREQ(to_string(ServeStatus::kShed), "shed");
+  EXPECT_STREQ(to_string(ServeStatus::kRetiredEpoch), "retired-epoch");
+}
+
+TEST(Server, StatsAndRequestTraceCoverTheRun) {
+  ServeOptions options = fast_options();
+  options.record_requests = true;
+  Server server(16, 1, sim::MachineModel{}, options);
+  server.insert_edge(1, 2);
+  const WriteResult w = server.insert_edge(2, 3);
+  server.same_component(1, 3, w.ticket);
+  server.component_of(5);
+  server.flush();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.writes_accepted, 2u);
+  EXPECT_GE(stats.reads, 2u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GT(stats.epochs_per_sec, 0.0);
+  EXPECT_GE(stats.read_p99, stats.read_p50);
+  EXPECT_GT(stats.commit_p50, 0.0);
+
+  server.stop();
+  const auto spans = server.request_log().spans();
+  ASSERT_FALSE(spans.empty());
+  std::ostringstream trace;
+  write_request_trace(trace, spans, "server_test");
+  EXPECT_NE(trace.str().find("\"lacc-trace-v1\""), std::string::npos);
+  EXPECT_NE(trace.str().find("engine.commit"), std::string::npos);
+  EXPECT_NE(trace.str().find("read.same_component"), std::string::npos);
+
+  EXPECT_FALSE(server.engine_history().empty());
+  EXPECT_GT(server.engine_modeled_seconds(), 0.0);
+}
+
+TEST(Server, MixedWorkloadKeepsSessionsConsistent) {
+  ServeOptions options = fast_options();
+  options.batch_max_edges = 16;
+  Server server(48, 1, sim::MachineModel{}, options);
+  const graph::EdgeList stream = graph::erdos_renyi(48, 100, /*seed=*/11);
+  WorkloadOptions wl;
+  wl.readers = 2;
+  wl.writers = 2;
+  wl.session_every = 4;
+  const WorkloadReport report = run_mixed_workload(server, stream, wl);
+
+  EXPECT_EQ(report.session_violations, 0u);
+  EXPECT_EQ(report.read_errors, 0u);
+  EXPECT_EQ(report.writes_accepted, stream.edges.size());
+  EXPECT_GT(report.session_reads, 0u);
+
+  server.stop();
+  graph::EdgeList accumulated(48);
+  for (const graph::EdgeList& batch : server.applied_batches())
+    for (const graph::Edge& e : batch.edges) accumulated.add(e.u, e.v);
+  EXPECT_EQ(server.snapshot()->labels(), reference_labels(accumulated, 1));
+}
+
+}  // namespace
+}  // namespace lacc::serve

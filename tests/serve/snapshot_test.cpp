@@ -1,0 +1,129 @@
+// Unit tests for the serve snapshot layer: pair cache, immutable epoch
+// snapshots, and the epoch-indexed snapshot store.
+#include "serve/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lacc::serve {
+namespace {
+
+std::vector<VertexId> identity_labels(VertexId n) {
+  std::vector<VertexId> labels(static_cast<std::size_t>(n));
+  std::iota(labels.begin(), labels.end(), VertexId{0});
+  return labels;
+}
+
+TEST(PairCache, DisabledConfigurationsAlwaysMiss) {
+  const PairCache zero_bits(0, 100);
+  EXPECT_FALSE(zero_bits.enabled());
+  EXPECT_EQ(zero_bits.lookup(1, 2), std::nullopt);
+  zero_bits.insert(1, 2, true);  // no-op, not a crash
+  EXPECT_EQ(zero_bits.lookup(1, 2), std::nullopt);
+
+  // Vertex ids must fit 31 bits for the packed-word scheme.
+  const PairCache huge_graph(10, VertexId{1} << 31);
+  EXPECT_FALSE(huge_graph.enabled());
+
+  const PairCache too_many_bits(29, 100);
+  EXPECT_FALSE(too_many_bits.enabled());
+}
+
+TEST(PairCache, HitsAfterInsertAndCountsStats) {
+  const PairCache cache(8, 1000);
+  ASSERT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.capacity(), 256u);
+
+  EXPECT_EQ(cache.lookup(3, 7), std::nullopt);
+  cache.insert(3, 7, true);
+  cache.insert(4, 9, false);
+  EXPECT_EQ(cache.lookup(3, 7), std::optional<bool>(true));
+  EXPECT_EQ(cache.lookup(4, 9), std::optional<bool>(false));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PairCache, CollidingPairsNeverLie) {
+  // 2 bits = 4 slots: plenty of collisions among 100 pairs.  A colliding
+  // lookup must miss (full-key validation), never return the other pair's
+  // answer.
+  const PairCache cache(2, 1000);
+  for (VertexId u = 0; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v)
+      cache.insert(u, v, (u + v) % 2 == 0);
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = u + 1; v < 10; ++v) {
+      const auto got = cache.lookup(u, v);
+      if (got.has_value()) {
+        EXPECT_EQ(*got, (u + v) % 2 == 0);
+      }
+    }
+  }
+}
+
+TEST(Snapshot, DerivesComponentViewsFromCanonicalLabels) {
+  // Components {0,1,2}, {3,4}, {5}.
+  const std::vector<VertexId> labels = {0, 0, 0, 3, 3, 5};
+  const Snapshot snap(7, labels, /*top_k=*/2, /*cache_bits=*/4);
+
+  EXPECT_EQ(snap.epoch(), 7u);
+  EXPECT_EQ(snap.num_vertices(), 6u);
+  EXPECT_EQ(snap.num_components(), 3u);
+  EXPECT_EQ(snap.label_of(4), 3u);
+
+  ASSERT_EQ(snap.top_components().size(), 2u);
+  EXPECT_EQ(snap.top_components()[0], (std::pair<VertexId, std::uint64_t>{0, 3}));
+  EXPECT_EQ(snap.top_components()[1], (std::pair<VertexId, std::uint64_t>{3, 2}));
+
+  EXPECT_TRUE(snap.same_component(0, 2));
+  EXPECT_TRUE(snap.same_component(4, 3));
+  EXPECT_FALSE(snap.same_component(2, 5));
+  EXPECT_TRUE(snap.same_component(5, 5));
+  // Second identical query hits the cache and agrees.
+  EXPECT_TRUE(snap.same_component(2, 0));
+  EXPECT_GT(snap.cache().hits(), 0u);
+}
+
+TEST(Snapshot, RejectsNonCanonicalLabels) {
+  // label 5 for vertex 1 violates label[v] <= v.
+  EXPECT_THROW(Snapshot(1, {0, 5, 0, 0, 0, 5}, 2, 0), Error);
+  // label chain 2 -> 1 -> 0 violates label[label[v]] == label[v].
+  EXPECT_THROW(Snapshot(1, {0, 0, 1}, 2, 0), Error);
+}
+
+TEST(SnapshotStore, PublishesConsecutiveEpochsAndRetires) {
+  SnapshotStore store(/*retain=*/2);
+  store.publish(std::make_shared<const Snapshot>(0, identity_labels(4), 1, 0));
+  store.publish(std::make_shared<const Snapshot>(
+      1, std::vector<VertexId>{0, 0, 2, 3}, 1, 0));
+  store.publish(std::make_shared<const Snapshot>(
+      2, std::vector<VertexId>{0, 0, 0, 3}, 1, 0));
+
+  EXPECT_EQ(store.current_epoch(), 2u);
+  EXPECT_EQ(store.current()->num_components(), 2u);
+  EXPECT_EQ(store.oldest_retained(), 1u);
+
+  std::shared_ptr<const Snapshot> pin;
+  EXPECT_EQ(store.at(0, pin), SnapshotStore::Lookup::kRetired);
+  EXPECT_EQ(pin, nullptr);
+  EXPECT_EQ(store.at(3, pin), SnapshotStore::Lookup::kFuture);
+  ASSERT_EQ(store.at(1, pin), SnapshotStore::Lookup::kOk);
+  EXPECT_EQ(pin->epoch(), 1u);
+  EXPECT_EQ(pin->num_components(), 3u);
+}
+
+TEST(SnapshotStore, RejectsEpochGaps) {
+  SnapshotStore store(4);
+  store.publish(std::make_shared<const Snapshot>(0, identity_labels(2), 1, 0));
+  EXPECT_THROW(store.publish(std::make_shared<const Snapshot>(
+                   2, identity_labels(2), 1, 0)),
+               Error);
+}
+
+}  // namespace
+}  // namespace lacc::serve

@@ -165,5 +165,43 @@ TEST(StreamEngine, RejectsBadArguments) {
   EXPECT_THROW(engine.component_of(10), Error);
 }
 
+TEST(StreamEngine, QueriesBeforeFirstAdvanceSeeTheEmptyGraph) {
+  // Regression: querying epoch 0 before any advance_epoch must answer (every
+  // vertex its own component), not assert.
+  StreamEngine engine(5, 1, sim::MachineModel::local());
+  const std::array<VertexId, 3> vs = {0, 2, 4};
+  EXPECT_EQ(engine.query(vs), (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(engine.query_at(0, vs), (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(engine.component_of(4), 4u);
+}
+
+TEST(StreamEngine, QueryErrorsAreCleanUserMessages) {
+  // Regression: query errors must read as input diagnostics the CLI can
+  // print verbatim, not as LACC_CHECK invariant failures.
+  StreamEngine engine(10, 1, sim::MachineModel::local());
+  const std::array<VertexId, 1> vs = {0};
+  try {
+    engine.query_at(3, vs);
+    FAIL() << "future epoch accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("epoch 3 has not happened yet"), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find("LACC_CHECK"), std::string::npos) << what;
+  }
+  try {
+    engine.component_of(10);
+    FAIL() << "out-of-range vertex accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("vertex 10 out of range [0, 10)"), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find("LACC_CHECK"), std::string::npos) << what;
+  }
+  const std::array<VertexId, 1> bad = {10};
+  EXPECT_THROW(engine.query_at(0, bad), Error);
+  EXPECT_THROW(engine.query(bad), Error);
+}
+
 }  // namespace
 }  // namespace lacc::stream

@@ -3,12 +3,15 @@
 
 Two file formats (docs/OBSERVABILITY.md):
 
-  metrics  lacc-metrics-v1 or -v2, written by `lacc_cli --json`,
-           `lacc_stream_cli --json`, and by the bench binaries as
-           $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds an optional
-           per-run "epochs" array (streaming runs); v1 files stay valid.
-  trace    Chrome trace-event JSON, written by `lacc_cli --trace-out`
-           (schema tag lacc-trace-v1 in otherData).
+  metrics  lacc-metrics-v1/-v2/-v3, written by `lacc_cli --json`,
+           `lacc_stream_cli --json`, `lacc_serve_cli --json`, and by the
+           bench binaries as $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds
+           an optional per-run "epochs" array (streaming runs); v3 adds an
+           optional per-run "serve" scalar block (serving runs, with
+           ordered latency quantiles).  Older files stay valid.
+  trace    Chrome trace-event JSON, written by `lacc_cli --trace-out` and
+           `lacc_serve_cli --trace-out` (schema tag lacc-trace-v1 in
+           otherData).
 
 Usage:
   check_obs_json.py FILE...                      validate metrics files
@@ -29,10 +32,12 @@ import json
 import math
 import sys
 
-METRICS_SCHEMA = "lacc-metrics-v2"
-# v1 files (no "epochs" array anywhere) remain valid; v2 readers must accept
-# both tags so old artifacts keep validating.
-METRICS_SCHEMAS = {"lacc-metrics-v1", "lacc-metrics-v2"}
+METRICS_SCHEMA = "lacc-metrics-v3"
+# Older files remain valid as long as they omit the newer optional blocks:
+# "epochs" needs v2+, "serve" needs v3.
+METRICS_SCHEMAS = {"lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3"}
+EPOCHS_SCHEMAS = {"lacc-metrics-v2", "lacc-metrics-v3"}
+SERVE_SCHEMAS = {"lacc-metrics-v3"}
 TRACE_SCHEMA = "lacc-trace-v1"
 
 # Every per-phase aggregate entry carries exactly these keys.
@@ -102,6 +107,22 @@ def _check_epochs(path: str, epochs: object) -> None:
         last_epoch = entry["epoch"]
 
 
+def _check_serve(path: str, serve: object) -> None:
+    if not isinstance(serve, dict) or not serve:
+        _fail(path, "serve must be a non-empty object")
+    _check_scalars(path, serve)
+    # Latency quantiles, when present, must be correctly ordered.
+    for prefix in ("read", "commit"):
+        quantiles = [serve.get(f"{prefix}_p{q}_ms") for q in (50, 95, 99)]
+        present = [q for q in quantiles if q is not None]
+        if present != sorted(present):
+            _fail(path, f"{prefix} latency quantiles not ordered: "
+                  f"{quantiles}")
+    for key in ("throughput_rps", "shed"):
+        if key in serve and serve[key] < 0:
+            _fail(f"{path}.{key}", f"negative value {serve[key]}")
+
+
 def check_metrics(doc: object, path: str = "metrics") -> None:
     """Validate one parsed lacc-metrics-v1/v2 document."""
     if not isinstance(doc, dict):
@@ -131,10 +152,15 @@ def check_metrics(doc: object, path: str = "metrics") -> None:
         _check_number(f"{rpath}.wall_seconds", run["wall_seconds"])
         _check_scalars(f"{rpath}.scalars", run["scalars"])
         if "epochs" in run:
-            if schema != METRICS_SCHEMA:
+            if schema not in EPOCHS_SCHEMAS:
                 _fail(f"{rpath}.epochs", f"only allowed under "
-                      f"{METRICS_SCHEMA!r}, file is {schema!r}")
+                      f"{sorted(EPOCHS_SCHEMAS)}, file is {schema!r}")
             _check_epochs(f"{rpath}.epochs", run["epochs"])
+        if "serve" in run:
+            if schema not in SERVE_SCHEMAS:
+                _fail(f"{rpath}.serve", f"only allowed under "
+                      f"{sorted(SERVE_SCHEMAS)}, file is {schema!r}")
+            _check_serve(f"{rpath}.serve", run["serve"])
         _check_phase_entry(f"{rpath}.total", run["total"])
         if not isinstance(run["phases"], dict):
             _fail(f"{rpath}.phases", "must be an object")
@@ -271,10 +297,17 @@ def _expect_invalid(doc: object, trace: bool = False, **kwargs) -> None:
 def self_test() -> int:
     _expect_ok(_metrics_doc())
 
-    # v1 files (older artifacts) stay valid as long as they omit "epochs".
-    v1 = _metrics_doc()
-    v1["schema"] = "lacc-metrics-v1"
-    _expect_ok(v1)
+    # Older files stay valid as long as they omit the newer blocks.
+    for old in ("lacc-metrics-v1", "lacc-metrics-v2"):
+        doc = _metrics_doc()
+        doc["schema"] = old
+        _expect_ok(doc)
+
+    # epochs arrays are v2+; still fine under v3.
+    v2 = _metrics_doc()
+    v2["schema"] = "lacc-metrics-v2"
+    v2["runs"][0]["epochs"] = [{"epoch": 1}]
+    _expect_ok(v2)
 
     bad = _metrics_doc()
     bad["schema"] = "lacc-metrics-v0"
@@ -304,6 +337,35 @@ def self_test() -> int:
 
     bad = _metrics_doc()
     bad["runs"][0]["epochs"] = [{"epoch": 1, "note": "text"}]  # non-number
+    _expect_invalid(bad)
+
+    # The v3 serve block: numeric scalars with ordered latency quantiles.
+    ok = _metrics_doc()
+    ok["runs"][0]["serve"] = {"throughput_rps": 1000.0, "shed": 0,
+                              "read_p50_ms": 0.1, "read_p95_ms": 0.5,
+                              "read_p99_ms": 2.0, "commit_p50_ms": 5.0,
+                              "commit_p99_ms": 40.0}
+    _expect_ok(ok)
+
+    bad = _metrics_doc()
+    bad["schema"] = "lacc-metrics-v2"
+    bad["runs"][0]["serve"] = {"throughput_rps": 1.0}  # serve is v3-only
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["serve"] = {}  # must be non-empty when present
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["serve"] = {"read_p50_ms": 2.0, "read_p99_ms": 0.1}
+    _expect_invalid(bad)  # quantiles out of order
+
+    bad = _metrics_doc()
+    bad["runs"][0]["serve"] = {"throughput_rps": -5.0}
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["serve"] = {"note": "text"}  # non-number
     _expect_invalid(bad)
 
     bad = _metrics_doc()

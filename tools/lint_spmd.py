@@ -31,6 +31,13 @@ Static rules that complement the runtime conformance checker
       returns a fresh vector per call instead of filling a recycled buffer.
       Scope: src/dist/ops.cpp.
 
+  no-detached-threads
+      A `.detach()` call on a thread.  The serving layer introduced real
+      concurrency (threads that outlive a scope unless joined); every
+      thread in this tree must be joined so shutdown is deterministic and
+      TSan observes the complete happens-before graph.  Scope: src/,
+      examples/, tests/, bench/.
+
 A finding can be suppressed with a pragma on the offending line or the line
 above:  // lint-spmd: allow(<rule>)
 
@@ -59,6 +66,7 @@ NON_INTO_RE = re.compile(
     r"[.>]\s*(allgatherv|alltoallv|reduce_scatter_block|sendrecv)\s*\("
 )
 RAW_SORT_RE = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
 VEC_DECL_RE = re.compile(r"^\s*(?:const\s+)?std::vector\s*<[^;&]*>\s+\w[^;(]*[;(]")
 
 
@@ -218,6 +226,15 @@ STREAM_RULES = [
      "the stable radix helpers in support/sort.hpp"),
 ]
 
+# Tree-wide: a detached thread can never be joined, so shutdown order is
+# nondeterministic and TSan loses the happens-before edge at thread exit.
+THREAD_RULES = [
+    ("no-detached-threads", DETACH_RE,
+     "detached thread; join every thread (see src/serve/server.hpp for the "
+     "owning-thread pattern) so shutdown is deterministic and TSan sees the "
+     "full happens-before graph"),
+]
+
 
 def lint_tree(root):
     findings = []
@@ -228,6 +245,14 @@ def lint_tree(root):
         for path in sorted(d.rglob("*.[ch]pp")):
             text = path.read_text(encoding="utf-8", errors="replace")
             check_rank_conditional(str(path.relative_to(root)), text, findings)
+    for d in (root / "src", root / "examples", root / "tests", root / "bench"):
+        if not d.is_dir():
+            continue
+        for path in sorted(d.rglob("*.[ch]pp")):
+            check_line_rules(str(path.relative_to(root)),
+                             path.read_text(encoding="utf-8",
+                                            errors="replace"),
+                             findings, THREAD_RULES)
     hot = root / "src" / "dist" / "ops.cpp"
     if hot.is_file():
         check_line_rules(str(hot.relative_to(root)),
@@ -290,6 +315,17 @@ SELF_TESTS_HOT = [
      "// lint-spmd: allow(non-into-collective)", None),
 ]
 
+SELF_TESTS_THREADS = [
+    ("detached temporary", "std::thread([] { work(); }).detach();",
+     "no-detached-threads"),
+    ("detach via variable", "worker.detach();", "no-detached-threads"),
+    ("join is fine", "worker.join();", None),
+    ("joinable check is fine", "if (worker.joinable()) worker.join();", None),
+    ("comment mention", "// never call worker.detach();", None),
+    ("allowed detach",
+     "watchdog.detach();  // lint-spmd: allow(no-detached-threads)", None),
+]
+
 SELF_TESTS_STREAM = [
     ("raw sort in delta path", "std::sort(run.begin(), run.end());",
      "raw-sort"),
@@ -311,7 +347,8 @@ def self_test():
                   f"{[f[2] for f in findings]}")
             failures += 1
     for rules_list, cases in ((HOT_PATH_RULES, SELF_TESTS_HOT),
-                              (STREAM_RULES, SELF_TESTS_STREAM)):
+                              (STREAM_RULES, SELF_TESTS_STREAM),
+                              (THREAD_RULES, SELF_TESTS_THREADS)):
         for name, snippet, expected in cases:
             findings = []
             check_line_rules("<snippet>", snippet, findings, rules_list)
@@ -321,7 +358,8 @@ def self_test():
                 print(f"self-test FAILED: {name}: expected {expected}, got "
                       f"{sorted(rules)}")
                 failures += 1
-    total = len(SELF_TESTS) + len(SELF_TESTS_HOT) + len(SELF_TESTS_STREAM)
+    total = (len(SELF_TESTS) + len(SELF_TESTS_HOT) + len(SELF_TESTS_STREAM) +
+             len(SELF_TESTS_THREADS))
     print(f"self-test: {total - failures}/{total} passed")
     return failures == 0
 
