@@ -42,6 +42,17 @@ std::vector<Variant> variants() {
     o.hypercube_alltoall = false;
     out.push_back({"pairwise all-to-all (no hypercube)", o});
   }
+  {
+    core::LaccOptions o;
+    o.sampling_prepass = true;
+    out.push_back({"sampling prepass (Afforest pre-pass)", o});
+  }
+  {
+    core::LaccOptions o;
+    o.sampling_prepass = true;
+    o.frequent_skip = false;
+    out.push_back({"sampling prepass, no frequent skip", o});
+  }
   return out;
 }
 
@@ -66,9 +77,9 @@ int main() {
       const auto result =
           core::lacc_dist(p.graph, ranks, machine, variant.options);
       bench::check_against_truth(p.graph, result.cc.parent);
-      metrics.add_run(
+      metrics.add_run_prepass(
           name + " / " + variant.name, ranks, result.spmd,
-          result.modeled_seconds,
+          result.modeled_seconds, result.cc.prepass,
           {{"iterations", static_cast<double>(result.cc.iterations)}});
       if (full_seconds == 0) full_seconds = result.modeled_seconds;
       t.add_row({variant.name, fmt_seconds(result.modeled_seconds),
@@ -80,6 +91,8 @@ int main() {
   }
   std::cout << "Expected shape: sparsity ablations hurt most on eukarya\n"
                "(many components to exploit) and least on M3 (few vertices\n"
-               "converge early — Figure 7), mirroring Section VI-E.\n";
+               "converge early — Figure 7), mirroring Section VI-E.  The two\n"
+               "prepass rows toggle ON the off-by-default Afforest pre-pass:\n"
+               "ratios below 1x mean the pre-pass pays for itself.\n";
   return 0;
 }

@@ -91,6 +91,18 @@ class Metrics {
                                          std::move(scalars)));
   }
 
+  /// Record one SPMD run carrying the v4 prepass attribution block (omitted
+  /// from the JSON when the pre-pass did not run).
+  void add_run_prepass(const std::string& name, int ranks,
+                       const sim::SpmdResult& spmd, double modeled_seconds,
+                       const core::PrepassStats& prepass,
+                       obs::Scalars scalars = {}) {
+    auto rec = obs::make_run_record(name, ranks, spmd.stats, modeled_seconds,
+                                    spmd.wall_seconds, std::move(scalars));
+    rec.prepass = core::prepass_scalars(prepass);
+    runs_.push_back(std::move(rec));
+  }
+
   /// Record a serial / scalar-only measurement (no per-rank stats).
   void add_simple(const std::string& name, obs::Scalars scalars) {
     runs_.push_back(

@@ -20,12 +20,17 @@ int main() {
   const int ranks = bench::rank_sweep().back();
   const auto problems = graph::make_test_problems(bench::problem_scale());
 
-  TextTable t({"graph", "LACC", "FastSV", "Multistep", "ParConnect",
-               "LACC iters", "FastSV iters"});
+  core::LaccOptions with_prepass;
+  with_prepass.sampling_prepass = true;
+
+  TextTable t({"graph", "LACC", "LACC+prepass", "FastSV", "Multistep",
+               "ParConnect", "LACC iters", "prepass iters", "FastSV iters"});
   for (const auto& name : graph::figure4_names()) {
     const auto& p = graph::find_problem(problems, name);
     const auto lacc = core::lacc_dist(p.graph, ranks, machine);
     bench::check_against_truth(p.graph, lacc.cc.parent);
+    const auto pp = core::lacc_dist(p.graph, ranks, machine, with_prepass);
+    bench::check_against_truth(p.graph, pp.cc.parent);
     const auto fsv = core::fastsv_dist(p.graph, ranks, machine);
     bench::check_against_truth(p.graph, fsv.cc.parent);
     const auto ms = baselines::multistep_dist(p.graph, ranks, machine);
@@ -35,16 +40,23 @@ int main() {
     metrics.add_run(
         name + " / lacc", ranks, lacc.spmd, lacc.modeled_seconds,
         {{"iterations", static_cast<double>(lacc.cc.iterations)}});
+    metrics.add_run_prepass(
+        name + " / lacc+prepass", ranks, pp.spmd, pp.modeled_seconds,
+        pp.cc.prepass,
+        {{"iterations", static_cast<double>(pp.cc.iterations)},
+         {"baseline_modeled_seconds", lacc.modeled_seconds}});
     metrics.add_run(
         name + " / fastsv", ranks, fsv.spmd, fsv.modeled_seconds,
         {{"iterations", static_cast<double>(fsv.cc.iterations)},
          {"multistep_modeled_seconds", ms.modeled_seconds},
          {"parconnect_modeled_seconds", pc.modeled_seconds}});
     t.add_row({name, fmt_seconds(lacc.modeled_seconds),
+               fmt_seconds(pp.modeled_seconds),
                fmt_seconds(fsv.modeled_seconds),
                fmt_seconds(ms.modeled_seconds),
                fmt_seconds(pc.modeled_seconds),
                std::to_string(lacc.cc.iterations),
+               std::to_string(pp.cc.iterations),
                std::to_string(fsv.cc.iterations)});
   }
   t.print(std::cout);
@@ -54,6 +66,8 @@ int main() {
                "mxv + one extract + one\nmin-assign, no star bookkeeping) "
                "beats LACC per iteration, matching\nthe published FastSV "
                "results; LACC narrows the gap on many-component\ngraphs "
-               "where its converged-component tracking bites.\n";
+               "where its converged-component tracking bites, and the\n"
+               "Afforest-style pre-pass cuts rounds further by resolving\n"
+               "most components locally before the first hook.\n";
   return 0;
 }

@@ -16,10 +16,19 @@ int main() {
   const auto sweep = bench::node_sweep(cori);
   const auto problems = graph::make_test_problems(bench::problem_scale());
 
+  core::LaccOptions with_prepass;
+  with_prepass.sampling_prepass = true;
+
   for (const auto& name : graph::figure5_names()) {
     const auto& p = graph::find_problem(problems, name);
     const auto points = bench::strong_scaling(name, p.graph, cori, sweep);
     bench::print_scaling(name, cori, points, std::cout);
+    const auto pp = bench::strong_scaling(name + " / prepass", p.graph, cori,
+                                          sweep, with_prepass);
+    std::cout << "  with sampling pre-pass at " << pp.back().nodes
+              << " nodes: " << fmt_seconds(pp.back().lacc_seconds) << " ("
+              << fmt_ratio(points.back().lacc_seconds / pp.back().lacc_seconds)
+              << " vs plain LACC)\n\n";
   }
 
   // Edison-vs-Cori per node, largest sweep point, one representative graph.

@@ -40,10 +40,12 @@ inline std::vector<int> node_sweep(const sim::MachineModel& machine) {
 /// Run LACC and the ParConnect-like baseline across a node sweep on one
 /// graph, verifying both against ground truth.  When the bench has a live
 /// Metrics collector, each LACC point is recorded under `name` with the
-/// ParConnect comparison attached as scalars.
+/// ParConnect comparison attached as scalars (and, when `lacc_options`
+/// enables the sampling pre-pass, the v4 prepass attribution block).
 inline std::vector<ScalingPoint> strong_scaling(
     const std::string& name, const graph::EdgeList& el,
-    const sim::MachineModel& machine, const std::vector<int>& nodes_sweep) {
+    const sim::MachineModel& machine, const std::vector<int>& nodes_sweep,
+    const core::LaccOptions& lacc_options = {}) {
   const sim::MachineModel flat = machine.flat_mpi_variant();
   std::vector<ScalingPoint> points;
   for (const int nodes : nodes_sweep) {
@@ -51,7 +53,8 @@ inline std::vector<ScalingPoint> strong_scaling(
     point.nodes = nodes;
     point.lacc_ranks = square_ranks(nodes * machine.procs_per_node);
     point.parconnect_ranks = square_ranks(nodes * flat.procs_per_node);
-    const auto lacc = core::lacc_dist(el, point.lacc_ranks, machine);
+    const auto lacc =
+        core::lacc_dist(el, point.lacc_ranks, machine, lacc_options);
     check_against_truth(el, lacc.cc.parent);
     point.lacc_seconds = lacc.modeled_seconds;
     const auto pc =
@@ -59,11 +62,12 @@ inline std::vector<ScalingPoint> strong_scaling(
     check_against_truth(el, pc.cc.parent);
     point.parconnect_seconds = pc.modeled_seconds;
     if (Metrics* m = Metrics::global())
-      m->add_run(name, point.lacc_ranks, lacc.spmd, point.lacc_seconds,
-                 {{"nodes", static_cast<double>(point.nodes)},
-                  {"parconnect_ranks",
-                   static_cast<double>(point.parconnect_ranks)},
-                  {"parconnect_modeled_seconds", point.parconnect_seconds}});
+      m->add_run_prepass(
+          name, point.lacc_ranks, lacc.spmd, point.lacc_seconds,
+          lacc.cc.prepass,
+          {{"nodes", static_cast<double>(point.nodes)},
+           {"parconnect_ranks", static_cast<double>(point.parconnect_ranks)},
+           {"parconnect_modeled_seconds", point.parconnect_seconds}});
     points.push_back(point);
   }
   return points;

@@ -12,6 +12,12 @@
 //   --trace-out FILE                      write a Chrome trace-event JSON
 //                                         timeline (lacc/fastsv only)
 //   --json FILE                           write lacc-metrics-v1 JSON
+//   --prepass                             Afforest-style sampling pre-pass
+//                                         before the rounds (lacc only)
+//   --sample-rounds N                     pre-pass neighbor rounds (default 2)
+//   --no-frequent-skip                    pre-pass: link every local edge
+//                                         instead of skipping the frequent
+//                                         component
 //
 // Inputs: Matrix Market coordinate files (pattern/real/integer, general or
 // symmetric), the LACC binary format (*.bin), or "gen:NAME" for any of the
@@ -47,7 +53,8 @@ int usage() {
   std::cerr << "usage: lacc_cli <graph.mtx|graph.bin|gen:NAME> "
                "[--algo lacc|fastsv|as|unionfind|bfs] [--ranks N] "
                "[--machine edison|cori|local] [--scale S] [--out FILE] "
-               "[--trace] [--trace-out FILE] [--json FILE]\n";
+               "[--trace] [--trace-out FILE] [--json FILE] [--prepass] "
+               "[--sample-rounds N] [--no-frequent-skip]\n";
   return 2;
 }
 
@@ -94,6 +101,7 @@ int main(int argc, char** argv) {
   int ranks = 16;
   double scale = 0.25;
   bool trace = false;
+  core::LaccOptions options;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -119,6 +127,12 @@ int main(int argc, char** argv) {
       trace_out_path = next();
     else if (arg == "--json")
       json_path = next();
+    else if (arg == "--prepass")
+      options.sampling_prepass = true;
+    else if (arg == "--sample-rounds")
+      options.sample_rounds = parse_int("--sample-rounds", next());
+    else if (arg == "--no-frequent-skip")
+      options.frequent_skip = false;
     else
       return usage();
   }
@@ -135,6 +149,15 @@ int main(int argc, char** argv) {
     }
   } else if (!trace_out_path.empty()) {
     std::cerr << "error: --trace-out requires --algo lacc|fastsv\n";
+    return usage();
+  }
+  if (options.sampling_prepass && algo != "lacc") {
+    std::cerr << "error: --prepass requires --algo lacc\n";
+    return usage();
+  }
+  if (options.sample_rounds < 0) {
+    std::cerr << "error: --sample-rounds must be non-negative (got "
+              << options.sample_rounds << ")\n";
     return usage();
   }
   if (scale <= 0) {
@@ -166,7 +189,7 @@ int main(int argc, char** argv) {
     double modeled = -1;
     if (algo == "lacc" || algo == "fastsv") {
       const auto& m = machine_by_name(machine);
-      auto run = algo == "lacc" ? core::lacc_dist(el, ranks, m)
+      auto run = algo == "lacc" ? core::lacc_dist(el, ranks, m, options)
                                 : core::fastsv_dist(el, ranks, m);
       result = std::move(run.cc);
       modeled = run.modeled_seconds;
@@ -174,6 +197,14 @@ int main(int argc, char** argv) {
       have_spmd = true;
       std::cout << "Algorithm: " << algo << " on " << ranks
                 << " virtual ranks (" << m.name << " model)\n";
+      if (result.prepass.ran)
+        std::cout << "Prepass: " << fmt_count(result.prepass.resolved_vertices)
+                  << " vertices resolved ("
+                  << fmt_count(result.prepass.sampled_edges) << " sampled + "
+                  << fmt_count(result.prepass.skip_edges)
+                  << " skip-phase edges, "
+                  << fmt_seconds(result.prepass.modeled_seconds)
+                  << " modeled)\n";
     } else {
       const graph::Csr g(el);
       if (algo == "as")
@@ -238,6 +269,7 @@ int main(int argc, char** argv) {
                                             wall, std::move(scalars))
                      : obs::make_run_record(path, 0, {}, 0.0, wall,
                                             std::move(scalars));
+      rec.prepass = core::prepass_scalars(result.prepass);
       std::ofstream out(json_path);
       LACC_CHECK_MSG(out.good(), "cannot write " << json_path);
       obs::write_metrics_json(out, "lacc_cli",

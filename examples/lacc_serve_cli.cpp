@@ -18,7 +18,7 @@
 //   --seed S              workload RNG seed (default 1)
 //   --verify              recompute every retained epoch from scratch and
 //                         compare labels bit-for-bit (keeps all batches)
-//   --json FILE           write lacc-metrics-v3 JSON with the serve block
+//   --json FILE           write lacc-metrics-v4 JSON with the serve block
 //   --trace-out FILE      Chrome trace of per-request spans (wall clock)
 //
 // The workload partitions the input edge list round-robin across writers

@@ -10,10 +10,14 @@
 //   --shuffle SEED            shuffle edges deterministically before batching
 //   --rebuild-threshold X     dirty-fraction fallback threshold (default 0.15)
 //   --compaction-factor X     delta/base compaction ratio (default 0.25)
+//   --prepass                 Afforest-style sampling pre-pass in the
+//                             full-rebuild path
+//   --sample-rounds N         pre-pass neighbor rounds (default 2)
+//   --no-frequent-skip        pre-pass: link every local edge
 //   --verify                  check final labels against serial union-find
 //   --out labels.txt          write "vertex component" lines (final epoch)
 //   --trace-out FILE          Chrome trace of the LAST epoch's SPMD session
-//   --json FILE               write lacc-metrics-v2 JSON (per-epoch array)
+//   --json FILE               write lacc-metrics-v4 JSON (per-epoch array)
 //
 // Inputs are the same as lacc_cli (Matrix Market, LACC binary, gen:NAME).
 // Prints one table row per epoch — batch size, cross-component edges, dirty
@@ -45,7 +49,8 @@ int usage() {
   std::cerr << "usage: lacc_stream_cli <graph.mtx|graph.bin|gen:NAME> "
                "[--batches K] [--ranks N] [--machine edison|cori|local] "
                "[--scale S] [--shuffle SEED] [--rebuild-threshold X] "
-               "[--compaction-factor X] [--verify] [--out FILE] "
+               "[--compaction-factor X] [--prepass] [--sample-rounds N] "
+               "[--no-frequent-skip] [--verify] [--out FILE] "
                "[--trace-out FILE] [--json FILE]\n";
   return 2;
 }
@@ -119,6 +124,12 @@ int main(int argc, char** argv) {
       options.rebuild_threshold = parse_double("--rebuild-threshold", next());
     else if (arg == "--compaction-factor")
       options.compaction_factor = parse_double("--compaction-factor", next());
+    else if (arg == "--prepass")
+      options.lacc.sampling_prepass = true;
+    else if (arg == "--sample-rounds")
+      options.lacc.sample_rounds = parse_int("--sample-rounds", next());
+    else if (arg == "--no-frequent-skip")
+      options.lacc.frequent_skip = false;
     else if (arg == "--verify")
       verify = true;
     else if (arg == "--out")
@@ -157,6 +168,11 @@ int main(int argc, char** argv) {
   if (options.compaction_factor < 0) {
     std::cerr << "error: --compaction-factor must be non-negative (got "
               << options.compaction_factor << ")\n";
+    return usage();
+  }
+  if (options.lacc.sample_rounds < 0) {
+    std::cerr << "error: --sample-rounds must be non-negative (got "
+              << options.lacc.sample_rounds << ")\n";
     return usage();
   }
 
@@ -281,7 +297,8 @@ int main(int argc, char** argv) {
            {"ranks", static_cast<double>(ranks)},
            {"batches", static_cast<double>(batches)},
            {"rebuild_threshold", options.rebuild_threshold},
-           {"compaction_factor", options.compaction_factor}},
+           {"compaction_factor", options.compaction_factor},
+           {"prepass", options.lacc.sampling_prepass ? 1.0 : 0.0}},
           {std::move(rec)});
     }
   } catch (const std::exception& e) {

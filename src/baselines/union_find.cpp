@@ -1,34 +1,6 @@
 #include "baselines/union_find.hpp"
 
-#include <numeric>
-
-#include "support/error.hpp"
-
 namespace lacc::baselines {
-
-UnionFind::UnionFind(VertexId n) : parent_(n), rank_(n, 0), sets_(n) {
-  std::iota(parent_.begin(), parent_.end(), VertexId{0});
-}
-
-VertexId UnionFind::find(VertexId v) {
-  LACC_DCHECK(v < parent_.size());
-  while (parent_[v] != v) {
-    parent_[v] = parent_[parent_[v]];  // path splitting
-    v = parent_[v];
-  }
-  return v;
-}
-
-bool UnionFind::unite(VertexId a, VertexId b) {
-  VertexId ra = find(a), rb = find(b);
-  if (ra == rb) return false;
-  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
-  parent_[rb] = ra;
-  if (rank_[ra] == rank_[rb]) ++rank_[ra];
-  --sets_;
-  return true;
-}
-
 namespace {
 
 core::CcResult finalize(UnionFind& uf, VertexId n) {

@@ -1,33 +1,21 @@
 // Disjoint-set union — the optimal serial connected-components algorithm
 // ("optimal serial algorithms ... have been known for half a century").
 // Used as the ground truth every other implementation is validated against.
+// The data structure itself lives in support/disjoint_set.hpp so the
+// Afforest-style pre-pass and the stream tests share one implementation.
 #pragma once
-
-#include <vector>
 
 #include "core/options.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
+#include "support/disjoint_set.hpp"
 #include "support/types.hpp"
 
 namespace lacc::baselines {
 
-/// Union-find structure with union by rank and path splitting
-/// (inverse-Ackermann amortized operations).
-class UnionFind {
- public:
-  explicit UnionFind(VertexId n);
-
-  VertexId find(VertexId v);
-  /// Returns true if the union merged two distinct sets.
-  bool unite(VertexId a, VertexId b);
-  VertexId num_sets() const { return sets_; }
-
- private:
-  std::vector<VertexId> parent_;
-  std::vector<std::uint8_t> rank_;
-  VertexId sets_;
-};
+/// Union-find with union by rank and path halving (inverse-Ackermann
+/// amortized operations) — alias of the shared header-only implementation.
+using UnionFind = support::DisjointSet;
 
 /// Connected components by union-find over the edge list.
 core::CcResult union_find_cc(const graph::EdgeList& el);

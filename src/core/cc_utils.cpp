@@ -36,6 +36,18 @@ std::vector<VertexId> flatten(const std::vector<VertexId>& parent) {
 
 }  // namespace
 
+std::vector<std::pair<std::string, double>> prepass_scalars(
+    const PrepassStats& stats) {
+  if (!stats.ran) return {};
+  return {{"enabled", 1.0},
+          {"rounds", static_cast<double>(stats.sample_rounds)},
+          {"sampled_edges", static_cast<double>(stats.sampled_edges)},
+          {"skip_edges", static_cast<double>(stats.skip_edges)},
+          {"resolved_vertices", static_cast<double>(stats.resolved_vertices)},
+          {"frequent_found", stats.frequent_found ? 1.0 : 0.0},
+          {"modeled_seconds", stats.modeled_seconds}};
+}
+
 std::uint64_t count_components(const std::vector<VertexId>& parent) {
   const std::vector<VertexId> flat = flatten(parent);
   std::unordered_set<VertexId> roots;

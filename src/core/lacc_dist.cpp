@@ -1,13 +1,20 @@
 #include "core/lacc_dist.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "dist/dist_vec.hpp"
 #include "dist/ops.hpp"
 #include "support/checking.hpp"
+#include "support/disjoint_set.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace lacc::core {
 
@@ -29,6 +36,170 @@ CommTuning tuning_from(const LaccOptions& options) {
   tuning.hotspot_threshold = options.hotspot_threshold;
   tuning.force_dense = !options.use_sparse_vectors;
   return tuning;
+}
+
+// Afforest-style sampling pre-pass (Sutton et al.).  Each rank contracts a
+// sampled prefix of its local edges with a sequential union-find, guesses
+// its local giant tree from ~1024 sampled vertices, finishes local linking
+// only for columns outside that tree, then seeds f with the per-tree
+// minimum labels (a commutative min-reduce, so the result is independent of
+// union order) and flattens f by pointer jumping.  Everything before the
+// seed is rank-local — zero collectives — which is what makes the pre-pass
+// cheaper than the main-loop iterations it removes.  Two invariants keep
+// the main loop sound afterwards: proposals are per-tree minima, so f stays
+// an acyclic same-component forest; and the forest is fully FLAT on exit —
+// the iteration-1 convergence detection treats f[v] as a root id, and a
+// chain f[x] = m, f[m] = r would let the m-labeled group retire with a
+// non-root label.  Every collective here is called uniformly by all ranks
+// (see tools/lint_spmd.py).
+void run_sampling_prepass(ProcGrid& grid, const DistCsc& A,
+                          const LaccOptions& options, const CommTuning& tuning,
+                          DistVec<VertexId>& f, PrepassStats& stats) {
+  auto& world = grid.world();
+  sim::Region region(world, "prepass");
+  const double start = world.state().sim_time;
+  const VertexId n = A.n();
+  const int rounds = std::max(0, options.sample_rounds);
+  stats.ran = true;
+  stats.sample_rounds = rounds;
+
+  support::DisjointSet ds(n);
+  std::vector<std::uint8_t> touched_flag(n, 0);
+  std::vector<VertexId> touched;
+  auto touch = [&](VertexId v) {
+    if (!touched_flag[v]) {
+      touched_flag[v] = 1;
+      touched.push_back(v);
+    }
+  };
+
+  // Sampling rounds: round r links every local column to its r-th row —
+  // the DCSC equivalent of Afforest's "first neighbor_rounds neighbors".
+  const auto& cols = A.col_ids();
+  std::uint64_t sampled_local = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+      const auto rows = A.col_rows(ci);
+      if (rows.size() <= static_cast<std::size_t>(r)) continue;
+      ds.unite(cols[ci], rows[static_cast<std::size_t>(r)]);
+      touch(cols[ci]);
+      touch(rows[static_cast<std::size_t>(r)]);
+      ++sampled_local;
+    }
+  }
+  world.charge_compute(static_cast<double>(sampled_local) * 3);
+
+  // SampleFrequentElement against the rank-local forest: every rank draws
+  // the same ids from the same seeded generator, but the argmax tree is its
+  // own — the local shadow of the global giant component.  A rank-local
+  // guess costs nothing (the global-label variant needs a seeded f and two
+  // gathers before the skip phase, which at alpha*log2(p) per collective
+  // ate most of the pre-pass win) and only affects *quality*: a vertex
+  // mis-attributed to the frequent tree was in it by definition of find().
+  VertexId frequent_root = kNoVertex;
+  if (options.frequent_skip && n > 0) {
+    const std::uint64_t samples = std::min<std::uint64_t>(1024, n);
+    Xoshiro256 rng(0xAFF05EED1ACCull);
+    std::unordered_map<VertexId, std::uint64_t> counts;
+    for (std::uint64_t s = 0; s < samples; ++s)
+      ++counts[ds.find(rng.below(n))];
+    std::uint64_t best = 0;
+    for (const auto& [root, count] : counts)
+      if (count > best || (count == best && root < frequent_root)) {
+        best = count;
+        frequent_root = root;
+      }
+    world.charge_compute(static_cast<double>(samples));
+  }
+
+  // Skip phase: finish linking every column not already in the frequent
+  // local tree (all columns when there is none — full local contraction).
+  // find(frequent_root) tracks the tree as skip-phase unions move its root.
+  std::uint64_t skip_local = 0;
+  for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+    if (frequent_root != kNoVertex &&
+        ds.find(cols[ci]) == ds.find(frequent_root))
+      continue;
+    const auto rows = A.col_rows(ci);
+    for (std::size_t k = std::min<std::size_t>(rounds, rows.size());
+         k < rows.size(); ++k) {
+      ds.unite(cols[ci], rows[k]);
+      touch(rows[k]);
+      ++skip_local;
+    }
+    touch(cols[ci]);
+  }
+  world.charge_compute(static_cast<double>(cols.size()) +
+                       static_cast<double>(skip_local) * 3);
+
+  // Seed f[v] with the minimum vertex of v's local tree (scatter_assign_min
+  // reduces duplicate targets with min, so proposals from several ranks
+  // land on the smallest), then flatten to a *global fixpoint* by pointer
+  // jumping.  The loop shape is identical on every rank — one unconditional
+  // round, then continue while the global OR says any f moved.  Exit
+  // flatness is load-bearing (see the function comment).
+  {
+    std::vector<VertexId> min_of_root(n, kNoVertex);
+    for (const VertexId v : touched) {
+      VertexId& m = min_of_root[ds.find(v)];
+      m = std::min(m, v);
+    }
+    std::vector<Tuple<VertexId>> pairs;
+    for (const VertexId v : touched) {
+      const VertexId m = min_of_root[ds.find(v)];
+      if (m < v) pairs.push_back({v, m});
+    }
+    world.charge_compute(static_cast<double>(touched.size()) * 2);
+    dist::scatter_assign_min(grid, f, std::move(pairs), tuning);
+  }
+  auto jump_once = [&]() {
+    std::vector<VertexId> jumpers;
+    std::vector<VertexId> requests;
+    for (const VertexId g : f.owned()) {
+      const VertexId p = f.at(g);
+      if (p != g) {
+        jumpers.push_back(g);
+        requests.push_back(p);
+      }
+    }
+    const auto gp = dist::gather_values(grid, f, requests, tuning);
+    bool local_changed = false;
+    for (std::size_t k = 0; k < jumpers.size(); ++k) {
+      if (!gp[k].second) continue;
+      if (gp[k].first != f.at(jumpers[k])) {
+        f.set(jumpers[k], gp[k].first);
+        local_changed = true;
+      }
+    }
+    world.charge_compute(static_cast<double>(requests.size()));
+    return local_changed;
+  };
+  bool changed = true;
+  while (changed) changed = dist::global_any(grid, jump_once());
+
+  // One batched reduction for all the attribution counters: lanes 0-3 sum,
+  // lane 4 takes the smallest frequent root any rank found.
+  std::uint64_t resolved_local = 0;
+  for (const VertexId g : f.owned())
+    if (f.at(g) != g) ++resolved_local;
+  using Stats = std::array<std::uint64_t, 5>;
+  const Stats local{sampled_local, skip_local, resolved_local,
+                    frequent_root == kNoVertex ? 0ull : 1ull,
+                    frequent_root == kNoVertex
+                        ? ~0ull
+                        : static_cast<std::uint64_t>(frequent_root)};
+  const Stats total = world.allreduce(local, [](Stats a, const Stats& b) {
+    for (int k = 0; k < 4; ++k) a[k] += b[k];
+    a[4] = std::min(a[4], b[4]);
+    return a;
+  });
+  stats.sampled_edges = total[0];
+  stats.skip_edges = total[1];
+  stats.resolved_vertices = total[2];
+  stats.frequent_found = total[3] != 0;
+  stats.frequent_label =
+      total[4] == ~0ull ? kNoVertex : static_cast<VertexId>(total[4]);
+  stats.modeled_seconds = world.state().sim_time - start;
 }
 
 }  // namespace
@@ -76,6 +247,14 @@ double lacc_dist_body(ProcGrid& grid, const DistCsc& A,
     active_list.pop_back();
     active_pos[slot] = kNoVertex;
   };
+
+  // Afforest-style pre-pass: seed f with locally contracted labels so fully
+  // resolved components retire in iteration 1's convergence detection before
+  // any hook pairs are formed — they generate zero hook/shortcut traffic.
+  // All vertices stay in the active list; the detection is what retires them.
+  out.prepass = PrepassStats{};
+  if (options.sampling_prepass)
+    run_sampling_prepass(grid, A, options, tuning, f, out.prepass);
 
   // mxv requires block-aligned vectors; in cyclic mode the input is
   // realigned, the semiring runs unmasked, and the output comes back to the

@@ -1,9 +1,12 @@
 #include "core/lacc_omp.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <unordered_map>
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace lacc::core {
 
@@ -15,6 +18,66 @@ void atomic_min(std::atomic<VertexId>& slot, VertexId value) {
   while (value < current &&
          !slot.compare_exchange_weak(current, value,
                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// Afforest/GAP lock-free Link: hook the larger of the two current component
+/// ids onto the smaller with a CAS, chasing updated ids until they agree.
+/// Safe under concurrent calls; tree shapes race, component membership does
+/// not (a union only ever merges endpoints of a real edge).
+void link(std::vector<std::atomic<VertexId>>& comp, VertexId u, VertexId v) {
+  VertexId p1 = comp[u].load(std::memory_order_relaxed);
+  VertexId p2 = comp[v].load(std::memory_order_relaxed);
+  while (p1 != p2) {
+    const VertexId high = std::max(p1, p2);
+    const VertexId low = std::min(p1, p2);
+    VertexId p_high = high;
+    if (comp[high].compare_exchange_strong(p_high, low,
+                                           std::memory_order_relaxed) ||
+        p_high == low)
+      break;
+    p1 = comp[comp[high].load(std::memory_order_relaxed)].load(
+        std::memory_order_relaxed);
+    p2 = comp[low].load(std::memory_order_relaxed);
+  }
+}
+
+/// CAS-free pointer jumping: comp[v] <- comp[comp[v]] until flat.  Values
+/// only decrease and roots never move (no links run concurrently), so every
+/// chain terminates and the array is flat at the implicit barrier.
+void compress(std::vector<std::atomic<VertexId>>& comp, std::int64_t ni) {
+#pragma omp parallel for schedule(dynamic, 4096)
+  for (std::int64_t vi = 0; vi < ni; ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    while (comp[v].load(std::memory_order_relaxed) !=
+           comp[comp[v].load(std::memory_order_relaxed)].load(
+               std::memory_order_relaxed)) {
+      comp[v].store(comp[comp[v].load(std::memory_order_relaxed)].load(
+                        std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    }
+  }
+}
+
+/// Rewrite every flat label to its component's minimum vertex id.  The CAS
+/// races make tree shapes (and therefore root identities) schedule-dependent;
+/// component membership is not, so after this the labels are deterministic.
+void relabel_min(std::vector<std::atomic<VertexId>>& comp,
+                 std::vector<std::atomic<VertexId>>& low, std::int64_t ni) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t vi = 0; vi < ni; ++vi)
+    low[static_cast<VertexId>(vi)].store(kNoVertex, std::memory_order_relaxed);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t vi = 0; vi < ni; ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    atomic_min(low[comp[v].load(std::memory_order_relaxed)], v);
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t vi = 0; vi < ni; ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    comp[v].store(low[comp[v].load(std::memory_order_relaxed)].load(
+                      std::memory_order_relaxed),
+                  std::memory_order_relaxed);
   }
 }
 
@@ -30,6 +93,81 @@ CcResult awerbuch_shiloach_omp(const graph::Csr& g,
 #pragma omp parallel for schedule(static)
   for (std::int64_t v = 0; v < ni; ++v)
     f[static_cast<VertexId>(v)] = static_cast<VertexId>(v);
+
+  // Afforest-style sampled pre-pass (Sutton et al.): lock-free Link over the
+  // first sample_rounds neighbors of every vertex, a frequent-component
+  // sample, then full linking outside it.  Any edge skipped on both sides
+  // provably has both endpoints already merged into the frequent set, so the
+  // resulting partition — and, after relabel_min, the seeded f — is
+  // deterministic despite the CAS races (which is exactly what the TSan job
+  // exercises).  The AS rounds below then finish the cross-tree stitching.
+  if (options.sampling_prepass) {
+    const auto rounds =
+        static_cast<std::size_t>(std::max(0, options.sample_rounds));
+    std::vector<std::atomic<VertexId>> comp(n);
+    std::vector<std::atomic<VertexId>> low(n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < ni; ++v)
+      comp[static_cast<VertexId>(v)].store(static_cast<VertexId>(v),
+                                           std::memory_order_relaxed);
+    std::uint64_t sampled = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+#pragma omp parallel for schedule(dynamic, 512) reduction(+ : sampled)
+      for (std::int64_t ui = 0; ui < ni; ++ui) {
+        const auto u = static_cast<VertexId>(ui);
+        const auto nbrs = g.neighbors(u);
+        if (nbrs.size() <= r) continue;
+        link(comp, u, nbrs[r]);
+        ++sampled;
+      }
+    }
+    compress(comp, ni);
+    relabel_min(comp, low, ni);
+
+    VertexId frequent = kNoVertex;
+    if (options.frequent_skip && n > 0) {
+      Xoshiro256 rng(0xAFF05EED1ACCull);
+      const std::uint64_t samples = std::min<std::uint64_t>(1024, n);
+      std::unordered_map<VertexId, std::uint64_t> counts;
+      for (std::uint64_t s = 0; s < samples; ++s)
+        ++counts[comp[rng.below(n)].load(std::memory_order_relaxed)];
+      std::uint64_t best = 0;
+      for (const auto& [label, count] : counts)
+        if (count > best || (count == best && label < frequent)) {
+          best = count;
+          frequent = label;
+        }
+    }
+
+    std::uint64_t skipped = 0;
+#pragma omp parallel for schedule(dynamic, 512) reduction(+ : skipped)
+    for (std::int64_t ui = 0; ui < ni; ++ui) {
+      const auto u = static_cast<VertexId>(ui);
+      if (comp[u].load(std::memory_order_relaxed) == frequent) continue;
+      const auto nbrs = g.neighbors(u);
+      for (std::size_t k = rounds; k < nbrs.size(); ++k) {
+        link(comp, u, nbrs[k]);
+        ++skipped;
+      }
+    }
+    compress(comp, ni);
+    relabel_min(comp, low, ni);
+
+    std::uint64_t resolved = 0;
+#pragma omp parallel for schedule(static) reduction(+ : resolved)
+    for (std::int64_t vi = 0; vi < ni; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      f[v] = comp[v].load(std::memory_order_relaxed);
+      if (f[v] != v) ++resolved;
+    }
+    result.prepass.ran = true;
+    result.prepass.sample_rounds = static_cast<int>(rounds);
+    result.prepass.sampled_edges = sampled;
+    result.prepass.skip_edges = skipped;
+    result.prepass.resolved_vertices = resolved;
+    result.prepass.frequent_found = frequent != kNoVertex;
+    result.prepass.frequent_label = frequent;
+  }
 
   std::vector<std::uint8_t> star(n, 1);
   std::vector<std::atomic<VertexId>> proposal(n);

@@ -44,9 +44,41 @@ struct LaccOptions {
   /// ranks, at the cost of a realignment all-to-all around every mxv.
   bool cyclic_vectors = false;
 
+  /// Afforest-style sampled local contraction pre-pass (Sutton et al.): each
+  /// rank runs a union-find over a sampled prefix of its local edges,
+  /// guesses its local shadow of the giant component from ~1024 sampled
+  /// vertices, finishes local linking only outside that tree, and seeds the
+  /// parent vector with the contracted labels before the first LACC round.
+  /// Off by default so existing runs stay bit-identical.
+  bool sampling_prepass = false;
+
+  /// Pre-pass only — how many neighbor rounds to sample per vertex before
+  /// the frequent-component skip (Afforest's neighbor_rounds).
+  int sample_rounds = 2;
+
+  /// Pre-pass only — skip full linking for vertices already labeled with
+  /// the sampled frequent component.  Off links every local edge, which
+  /// resolves more but costs a full local edge scan; a win only when no
+  /// component dominates (see docs/ARCHITECTURE.md).
+  bool frequent_skip = true;
+
   /// Safety valve for adversarial inputs; the algorithm provably needs
   /// O(log n) iterations.
   int max_iterations = 10000;
+};
+
+/// What the sampling pre-pass did (all zeros when it did not run).  Counts
+/// are global (summed over ranks); modeled_seconds is the pre-pass region's
+/// share of the cost model, also attributed to the "prepass" obs span.
+struct PrepassStats {
+  bool ran = false;
+  int sample_rounds = 0;                ///< neighbor rounds actually sampled
+  std::uint64_t sampled_edges = 0;      ///< edges linked in the sampling rounds
+  std::uint64_t skip_edges = 0;         ///< edges linked in the skip phase
+  std::uint64_t resolved_vertices = 0;  ///< vertices leaving with f[v] != v
+  bool frequent_found = false;  ///< SampleFrequentElement had a candidate
+  VertexId frequent_label = kNoVertex;  ///< its label (kNoVertex if none)
+  double modeled_seconds = 0;           ///< distributed runs: pre-pass time
 };
 
 /// What happened in one LACC iteration (drives Figure 7 and Table I).
@@ -66,7 +98,14 @@ struct CcResult {
   std::vector<VertexId> parent;  ///< parent[v] = component root of v
   int iterations = 0;
   std::vector<IterationRecord> trace;
+  PrepassStats prepass;  ///< sampling pre-pass attribution (if enabled)
 };
+
+/// Flatten pre-pass stats into (name, value) pairs for the metrics JSON
+/// "prepass" block.  Empty when the pre-pass did not run, so callers can
+/// assign it to obs::RunRecord::prepass unconditionally.
+std::vector<std::pair<std::string, double>> prepass_scalars(
+    const PrepassStats& stats);
 
 /// Number of distinct roots in a parent vector.
 std::uint64_t count_components(const std::vector<VertexId>& parent);

@@ -1,13 +1,16 @@
-// Machine-readable metrics emitter: the `lacc-metrics-v3` JSON schema.
+// Machine-readable metrics emitter: the `lacc-metrics-v4` JSON schema.
 //
 // Benches and the CLI reduce an SPMD run to one RunRecord (per-phase
 // modeled/wall seconds, words, messages, per-rank max and sum) and write a
 // BENCH_<tool>.json file that tools/check_obs_json.py validates and the
 // perf trajectory consumes.  v2 added an optional per-run "epochs" array for
-// streaming runs (one scalar block per advance_epoch); v3 adds an optional
+// streaming runs (one scalar block per advance_epoch); v3 added an optional
 // per-run "serve" scalar block (throughput, p50/p95/p99 latency, queue
-// depth, shed count) for the concurrent serving layer.  Files without the
-// optional blocks are exactly the v1 shape.  See docs/OBSERVABILITY.md.
+// depth, shed count) for the concurrent serving layer; v4 adds an optional
+// per-run "prepass" scalar block attributing the Afforest-style sampling
+// pre-pass (sampled/skip edges, resolved vertices, modeled seconds).  Files
+// without the optional blocks are exactly the v1 shape.  See
+// docs/OBSERVABILITY.md.
 #pragma once
 
 #include <ostream>
@@ -39,6 +42,10 @@ struct RunRecord {
   /// read_p50_ms/p95/p99, shed, ...).  Empty for everything else — the key
   /// is then omitted from the JSON entirely.
   Scalars serve;
+  /// Runs with the sampling pre-pass on: its attribution block (rounds,
+  /// sampled_edges, skip_edges, resolved_vertices, modeled_seconds).  Empty
+  /// otherwise — the key is then omitted from the JSON entirely.
+  Scalars prepass;
 };
 
 /// Reduce per-rank stats into a RunRecord.  Pass an empty `per_rank` for
@@ -48,7 +55,7 @@ RunRecord make_run_record(std::string name, int ranks,
                           double modeled_seconds, double wall_seconds,
                           Scalars scalars = {});
 
-/// Write the lacc-metrics-v3 document for one tool's runs.
+/// Write the lacc-metrics-v4 document for one tool's runs.
 void write_metrics_json(std::ostream& out, const std::string& tool,
                         const Scalars& config,
                         const std::vector<RunRecord>& runs);

@@ -1,0 +1,53 @@
+// Header-only disjoint-set union (union by rank + path halving), shared by
+// the union-find ground-truth baseline, the Afforest-style sampling pre-pass
+// in lacc_dist, and the stream tests.  Inverse-Ackermann amortized per
+// operation; purely sequential (the lock-free variant used by lacc_omp lives
+// with its OpenMP caller).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace lacc::support {
+
+class DisjointSet {
+ public:
+  explicit DisjointSet(VertexId n) : parent_(n), rank_(n, 0), sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId find(VertexId v) {
+    LACC_DCHECK(v < parent_.size());
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Returns true if the union merged two distinct sets.
+  bool unite(VertexId a, VertexId b) {
+    VertexId ra = find(a), rb = find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --sets_;
+    return true;
+  }
+
+  VertexId num_sets() const { return sets_; }
+  VertexId size() const { return static_cast<VertexId>(parent_.size()); }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint8_t> rank_;
+  VertexId sets_;
+};
+
+}  // namespace lacc::support

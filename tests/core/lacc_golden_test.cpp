@@ -54,12 +54,14 @@ std::string hexdouble(double v) {
 /// (exact hexfloat), a digest of all integer trace fields, and a digest of
 /// the parent labeling.
 std::string golden_line(const graph::EdgeList& el, const std::string& name,
-                        bool sparse, bool hypercube, bool cyclic, int ranks) {
+                        bool sparse, bool hypercube, bool cyclic, int ranks,
+                        bool prepass = false) {
   LaccOptions options;
   options.use_sparse_vectors = sparse;
   options.sparse_uncond_hooking = sparse;
   options.hypercube_alltoall = hypercube;
   options.cyclic_vectors = cyclic;
+  options.sampling_prepass = prepass;
   const auto result =
       lacc_dist(el, ranks, sim::MachineModel::edison(), options);
 
@@ -79,8 +81,9 @@ std::string golden_line(const graph::EdgeList& el, const std::string& name,
     parent_hash = fnv1a(parent_hash, static_cast<std::uint64_t>(p));
 
   std::ostringstream os;
-  os << name << " s=" << sparse << " h=" << hypercube << " c=" << cyclic
-     << " it=" << result.cc.iterations
+  os << name << " s=" << sparse << " h=" << hypercube << " c=" << cyclic;
+  if (prepass) os << " p=1";  // absent on prepass-off lines: kGolden is frozen
+  os << " it=" << result.cc.iterations
      << " ms=" << hexdouble(result.modeled_seconds) << std::hex
      << " trace=" << trace_hash << " parents=" << parent_hash
      << " iter_ms=[" << iter_ms.str() << " ]";
@@ -139,6 +142,65 @@ TEST(LaccGolden, ModeledCostTraceAndLabelsArePinned) {
   ASSERT_EQ(actual.size(), std::size(kGolden));
   for (std::size_t k = 0; k < actual.size(); ++k)
     EXPECT_EQ(actual[k], kGolden[k]) << "config " << k;
+}
+
+// Same three graphs and option axes with the sampling pre-pass enabled
+// ("p=1" lines).  Recorded when the pre-pass landed; regenerate with
+//
+//   LACC_GOLDEN_PRINT=1 ./core_dist_test --gtest_filter='LaccGoldenPrepass.*'
+//
+// only for an intentional pre-pass or cost-model change.
+const char* const kGoldenPrepass[] = {
+    "archaea s=1 h=1 c=1 p=1 it=1 ms=0x1.83e9eed556736p-14 trace=7c59cd1993e6cc45 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.77bfeda28b736p-15 ]",
+    "archaea s=1 h=1 c=0 p=1 it=1 ms=0x1.326de3ee2a3d8p-14 trace=7c59cd1993e6cc45 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.c1f84000cd3ccp-16 ]",
+    "archaea s=1 h=0 c=1 p=1 it=1 ms=0x1.d97a44228fe26p-14 trace=7c59cd1993e6cc45 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.f08bb15adc88ap-15 ]",
+    "archaea s=1 h=0 c=0 p=1 it=1 ms=0x1.82f5bbbe604b6p-14 trace=7c59cd1993e6cc45 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.3b94f2caa36e4p-15 ]",
+    "archaea s=0 h=1 c=1 p=1 it=1 ms=0x1.83e9eed556736p-14 trace=7c59cd1993e6cc45 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.77bfeda28b736p-15 ]",
+    "archaea s=0 h=1 c=0 p=1 it=1 ms=0x1.326de3ee2a3d8p-14 trace=7c59cd1993e6cc45 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.c1f84000cd3ccp-16 ]",
+    "archaea s=0 h=0 c=1 p=1 it=1 ms=0x1.d97a44228fe26p-14 trace=7c59cd1993e6cc45 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.f08bb15adc88ap-15 ]",
+    "archaea s=0 h=0 c=0 p=1 it=1 ms=0x1.82f5bbbe604b6p-14 trace=7c59cd1993e6cc45 parents=5cc4ad6feb292e31 iter_ms=[ 0x1.3b94f2caa36e4p-15 ]",
+    "queen_4147 s=1 h=1 c=1 p=1 it=1 ms=0x1.872c13b2e2d0ep-15 trace=9d60d9a9b162b542 parents=218035740d3f1b83 iter_ms=[ 0x1.bc069abd9fcd4p-16 ]",
+    "queen_4147 s=1 h=1 c=0 p=1 it=1 ms=0x1.44c5d2d27cb54p-15 trace=9d60d9a9b162b542 parents=218035740d3f1b83 iter_ms=[ 0x1.377ed12c74314p-16 ]",
+    "queen_4147 s=1 h=0 c=1 p=1 it=1 ms=0x1.141de1a9a7765p-14 trace=9d60d9a9b162b542 parents=218035740d3f1b83 iter_ms=[ 0x1.56cf111720fb8p-15 ]",
+    "queen_4147 s=1 h=0 c=0 p=1 it=1 ms=0x1.c7a29184d48bbp-15 trace=9d60d9a9b162b542 parents=218035740d3f1b83 iter_ms=[ 0x1.ecb076c0edd06p-16 ]",
+    "queen_4147 s=0 h=1 c=1 p=1 it=1 ms=0x1.872c13b2e2d0ep-15 trace=9d60d9a9b162b542 parents=218035740d3f1b83 iter_ms=[ 0x1.bc069abd9fcd4p-16 ]",
+    "queen_4147 s=0 h=1 c=0 p=1 it=1 ms=0x1.44c5d2d27cb54p-15 trace=9d60d9a9b162b542 parents=218035740d3f1b83 iter_ms=[ 0x1.377ed12c74314p-16 ]",
+    "queen_4147 s=0 h=0 c=1 p=1 it=1 ms=0x1.141de1a9a7765p-14 trace=9d60d9a9b162b542 parents=218035740d3f1b83 iter_ms=[ 0x1.56cf111720fb8p-15 ]",
+    "queen_4147 s=0 h=0 c=0 p=1 it=1 ms=0x1.c7a29184d48bbp-15 trace=9d60d9a9b162b542 parents=218035740d3f1b83 iter_ms=[ 0x1.ecb076c0edd06p-16 ]",
+    "uk-2002 s=1 h=1 c=1 p=1 it=1 ms=0x1.c46d4f30364b2p-14 trace=c5f68ac5d9e37517 parents=faec9fb6507402bc iter_ms=[ 0x1.d0b029d8cc82ep-15 ]",
+    "uk-2002 s=1 h=1 c=0 p=1 it=1 ms=0x1.843cc3b3512e4p-14 trace=c5f68ac5d9e37517 parents=faec9fb6507402bc iter_ms=[ 0x1.59abaa5c03732p-15 ]",
+    "uk-2002 s=1 h=0 c=1 p=1 it=1 ms=0x1.0f8310fd398d6p-13 trace=c5f68ac5d9e37517 parents=faec9fb6507402bc iter_ms=[ 0x1.24bdf6c88ecbep-14 ]",
+    "uk-2002 s=1 h=0 c=0 p=1 it=1 ms=0x1.d4c49b83873c4p-14 trace=c5f68ac5d9e37517 parents=faec9fb6507402bc iter_ms=[ 0x1.b4447d264043p-15 ]",
+    "uk-2002 s=0 h=1 c=1 p=1 it=1 ms=0x1.c46d4f30364b2p-14 trace=c5f68ac5d9e37517 parents=faec9fb6507402bc iter_ms=[ 0x1.d0b029d8cc82ep-15 ]",
+    "uk-2002 s=0 h=1 c=0 p=1 it=1 ms=0x1.843cc3b3512e4p-14 trace=c5f68ac5d9e37517 parents=faec9fb6507402bc iter_ms=[ 0x1.59abaa5c03732p-15 ]",
+    "uk-2002 s=0 h=0 c=1 p=1 it=1 ms=0x1.0f8310fd398d6p-13 trace=c5f68ac5d9e37517 parents=faec9fb6507402bc iter_ms=[ 0x1.24bdf6c88ecbep-14 ]",
+    "uk-2002 s=0 h=0 c=0 p=1 it=1 ms=0x1.d4c49b83873c4p-14 trace=c5f68ac5d9e37517 parents=faec9fb6507402bc iter_ms=[ 0x1.b4447d264043p-15 ]",
+};
+
+TEST(LaccGoldenPrepass, PrepassOnCostTraceAndLabelsArePinned) {
+  const bool print_mode = std::getenv("LACC_GOLDEN_PRINT") != nullptr;
+  const auto problems = graph::make_test_problems(0.02, 42);
+  const std::vector<std::string> names = {"archaea", "queen_4147", "uk-2002"};
+
+  std::vector<std::string> actual;
+  for (const auto& name : names) {
+    const auto& problem = graph::find_problem(problems, name);
+    for (const bool sparse : {true, false})
+      for (const bool hypercube : {true, false})
+        for (const bool cyclic : {true, false})
+          actual.push_back(golden_line(problem.graph, name, sparse, hypercube,
+                                       cyclic, /*ranks=*/4,
+                                       /*prepass=*/true));
+  }
+
+  if (print_mode) {
+    for (const auto& line : actual) std::cout << "    \"" << line << "\",\n";
+    GTEST_SKIP() << "golden print mode: comparison skipped";
+  }
+
+  ASSERT_EQ(actual.size(), std::size(kGoldenPrepass));
+  for (std::size_t k = 0; k < actual.size(); ++k)
+    EXPECT_EQ(actual[k], kGoldenPrepass[k]) << "config " << k;
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-// lacc-metrics-v3 emitter: the document structure consumed by
+// lacc-metrics-v4 emitter: the document structure consumed by
 // tools/check_obs_json.py and the perf trajectory.
 #include "obs/metrics.hpp"
 
@@ -27,7 +27,7 @@ TEST(Metrics, SerialRunRecord) {
   auto rec = obs::make_run_record("serial", 0, {}, 0.0, 1.5,
                                   {{"edges", 42.0}});
   const std::string json = emit({std::move(rec)});
-  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v4\""), std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"metrics_test\""), std::string::npos);
   // Static runs never carry the streaming-only epochs array or the
   // serving-only serve block.

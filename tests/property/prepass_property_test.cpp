@@ -1,0 +1,146 @@
+// Property-based validation of the Afforest-style sampling pre-pass: with
+// `sampling_prepass` on, lacc_dist must produce labels bit-identical (after
+// normalize_labels) to the prepass-off run across rank counts, every
+// existing option combo, and the paper's many-component stand-ins — i.e.
+// the pre-pass is a pure accelerator, never a semantic change.  The OpenMP
+// variant's lock-free pre-pass must likewise keep partitions and stay
+// deterministic across repeated runs (its CAS races may vary tree shapes,
+// but relabeling to component minima must erase that).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/union_find.hpp"
+#include "core/lacc_dist.hpp"
+#include "core/lacc_omp.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/testproblems.hpp"
+
+namespace lacc::core {
+namespace {
+
+/// Small-scale versions of the paper's stand-ins: archaea/eukarya are the
+/// many-component protein graphs where the pre-pass matters most, M3 is the
+/// sparse near-single-component counterexample.
+const graph::EdgeList& problem(const std::string& name) {
+  static const auto problems = graph::make_test_problems(0.02);
+  return graph::find_problem(problems, name).graph;
+}
+
+struct Workload {
+  std::string graph;
+  int ranks;
+  bool sparse;
+  bool hypercube;
+  bool cyclic;
+
+  LaccOptions options() const {
+    LaccOptions o;
+    o.use_sparse_vectors = sparse;
+    o.sparse_uncond_hooking = sparse;
+    o.hypercube_alltoall = hypercube;
+    o.cyclic_vectors = cyclic;
+    return o;
+  }
+};
+
+class PrepassProperty : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(PrepassProperty, LabelIdenticalToPrepassOffAndMatchesTruth) {
+  const Workload& w = GetParam();
+  const auto& el = problem(w.graph);
+  const auto truth = baselines::union_find_cc(el);
+
+  const auto off =
+      lacc_dist(el, w.ranks, sim::MachineModel::local(), w.options());
+  EXPECT_FALSE(off.cc.prepass.ran);
+
+  LaccOptions on = w.options();
+  on.sampling_prepass = true;
+  const auto with =
+      lacc_dist(el, w.ranks, sim::MachineModel::local(), on);
+  EXPECT_TRUE(with.cc.prepass.ran);
+  EXPECT_EQ(with.cc.prepass.sample_rounds, on.sample_rounds);
+  EXPECT_LE(with.cc.prepass.resolved_vertices, el.n);
+
+  EXPECT_EQ(normalize_labels(with.cc.parent), normalize_labels(off.cc.parent));
+  EXPECT_TRUE(same_partition(with.cc.parent, truth.parent));
+}
+
+std::vector<Workload> sweep() {
+  std::vector<Workload> out;
+  for (const char* graph : {"archaea", "eukarya", "M3"})
+    for (const int ranks : {1, 4, 9})
+      for (const bool sparse : {false, true})
+        for (const bool hypercube : {false, true})
+          for (const bool cyclic : {false, true})
+            out.push_back({graph, ranks, sparse, hypercube, cyclic});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrepassProperty, ::testing::ValuesIn(sweep()),
+                         [](const auto& info) {
+                           const Workload& w = info.param;
+                           return w.graph + "_r" + std::to_string(w.ranks) +
+                                  (w.sparse ? "_sparse" : "_dense") +
+                                  (w.hypercube ? "_hc" : "_pw") +
+                                  (w.cyclic ? "_cyc" : "_blk");
+                         });
+
+/// Tunables must not change semantics either: any sample_rounds count and
+/// frequent_skip off still land on the prepass-off labels.
+TEST(PrepassTunables, SampleRoundsAndSkipSweepStayLabelIdentical) {
+  for (const char* graph : {"eukarya", "M3"}) {
+    const auto& el = problem(graph);
+    for (const int ranks : {1, 4, 9}) {
+      const auto off = lacc_dist(el, ranks, sim::MachineModel::local());
+      const auto baseline = normalize_labels(off.cc.parent);
+      for (const int rounds : {0, 1, 3}) {
+        LaccOptions o;
+        o.sampling_prepass = true;
+        o.sample_rounds = rounds;
+        const auto on = lacc_dist(el, ranks, sim::MachineModel::local(), o);
+        EXPECT_EQ(normalize_labels(on.cc.parent), baseline)
+            << graph << " ranks=" << ranks << " rounds=" << rounds;
+      }
+      LaccOptions noskip;
+      noskip.sampling_prepass = true;
+      noskip.frequent_skip = false;
+      const auto on = lacc_dist(el, ranks, sim::MachineModel::local(), noskip);
+      EXPECT_EQ(normalize_labels(on.cc.parent), baseline)
+          << graph << " ranks=" << ranks << " frequent_skip=off";
+      // Without the skip every local edge is linked, so nothing survives to
+      // the rounds: the pre-pass alone must resolve each component locally
+      // when running on one rank.
+      if (ranks == 1)
+        EXPECT_TRUE(same_partition(
+            on.cc.parent, baselines::union_find_cc(el).parent));
+    }
+  }
+}
+
+/// The shared-memory pre-pass is the lock-free one (GAP-style CAS Link);
+/// its tree shapes race, but the partition and the final parents must not.
+TEST(PrepassOmp, LockFreePrepassIsDeterministicAndCorrect) {
+  for (const char* name : {"archaea", "eukarya", "M3"}) {
+    const auto& el = problem(name);
+    const graph::Csr g(el);
+    const auto truth = baselines::union_find_cc(g);
+
+    LaccOptions o;
+    o.sampling_prepass = true;
+    const auto a = awerbuch_shiloach_omp(g, o);
+    const auto b = awerbuch_shiloach_omp(g, o);
+    EXPECT_TRUE(a.prepass.ran);
+    EXPECT_TRUE(same_partition(a.parent, truth.parent)) << name;
+    EXPECT_EQ(a.parent, b.parent) << name;  // racy link, deterministic result
+
+    const auto off = awerbuch_shiloach_omp(g);
+    EXPECT_FALSE(off.prepass.ran);
+    EXPECT_TRUE(same_partition(a.parent, off.parent)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace lacc::core

@@ -124,5 +124,39 @@ TEST(StreamOptionSweep, AllFlagCombosBitIdenticalToFromScratchLacc) {
   }
 }
 
+/// The rebuild path must honor the sampling pre-pass: forcing a full
+/// rebuild every epoch (threshold 0) with `sampling_prepass` on, each
+/// epoch's labels must stay bit-identical to a from-scratch prepass-on
+/// lacc_dist on the accumulated graph and to union-find truth.
+TEST(StreamPrepass, RebuildPathWithPrepassStaysBitIdentical) {
+  const auto full = graph::clustered_components(260, 10, 4.0, /*seed=*/17);
+  const auto batches = random_batches(full, 4, /*seed=*/29);
+  StreamOptions options;
+  options.lacc.sampling_prepass = true;
+  options.rebuild_threshold = 0.0;  // any cross edge forces the rebuild path
+
+  StreamEngine engine(full.n, 4, sim::MachineModel::local(), options);
+  graph::EdgeList accumulated(full.n);
+  bool saw_rebuild = false;
+  for (const auto& batch : batches) {
+    accumulated.edges.insert(accumulated.edges.end(), batch.edges.begin(),
+                             batch.edges.end());
+    engine.ingest(batch);
+    const auto st = engine.advance_epoch();
+    saw_rebuild |= st.full_rebuild;
+
+    const auto truth = baselines::union_find_cc(accumulated);
+    ASSERT_EQ(engine.labels(), core::normalize_labels(truth.parent))
+        << "epoch=" << engine.epoch();
+    const auto scratch = core::lacc_dist(accumulated, 4,
+                                         sim::MachineModel::local(),
+                                         options.lacc);
+    EXPECT_TRUE(scratch.cc.prepass.ran);
+    ASSERT_EQ(engine.labels(), core::normalize_labels(scratch.cc.parent))
+        << "epoch=" << engine.epoch();
+  }
+  EXPECT_TRUE(saw_rebuild);
+}
+
 }  // namespace
 }  // namespace lacc::stream

@@ -3,12 +3,14 @@
 
 Two file formats (docs/OBSERVABILITY.md):
 
-  metrics  lacc-metrics-v1/-v2/-v3, written by `lacc_cli --json`,
+  metrics  lacc-metrics-v1/-v2/-v3/-v4, written by `lacc_cli --json`,
            `lacc_stream_cli --json`, `lacc_serve_cli --json`, and by the
            bench binaries as $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds
            an optional per-run "epochs" array (streaming runs); v3 adds an
            optional per-run "serve" scalar block (serving runs, with
-           ordered latency quantiles).  Older files stay valid.
+           ordered latency quantiles); v4 adds an optional per-run
+           "prepass" scalar block (sampling pre-pass attribution).  Older
+           files stay valid.
   trace    Chrome trace-event JSON, written by `lacc_cli --trace-out` and
            `lacc_serve_cli --trace-out` (schema tag lacc-trace-v1 in
            otherData).
@@ -32,12 +34,14 @@ import json
 import math
 import sys
 
-METRICS_SCHEMA = "lacc-metrics-v3"
+METRICS_SCHEMA = "lacc-metrics-v4"
 # Older files remain valid as long as they omit the newer optional blocks:
-# "epochs" needs v2+, "serve" needs v3.
-METRICS_SCHEMAS = {"lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3"}
-EPOCHS_SCHEMAS = {"lacc-metrics-v2", "lacc-metrics-v3"}
-SERVE_SCHEMAS = {"lacc-metrics-v3"}
+# "epochs" needs v2+, "serve" needs v3+, "prepass" needs v4.
+METRICS_SCHEMAS = {"lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3",
+                   "lacc-metrics-v4"}
+EPOCHS_SCHEMAS = {"lacc-metrics-v2", "lacc-metrics-v3", "lacc-metrics-v4"}
+SERVE_SCHEMAS = {"lacc-metrics-v3", "lacc-metrics-v4"}
+PREPASS_SCHEMAS = {"lacc-metrics-v4"}
 TRACE_SCHEMA = "lacc-trace-v1"
 
 # Every per-phase aggregate entry carries exactly these keys.
@@ -123,6 +127,17 @@ def _check_serve(path: str, serve: object) -> None:
             _fail(f"{path}.{key}", f"negative value {serve[key]}")
 
 
+def _check_prepass(path: str, prepass: object) -> None:
+    if not isinstance(prepass, dict) or not prepass:
+        _fail(path, "prepass must be a non-empty object")
+    _check_scalars(path, prepass)
+    # Counts can never be negative; boolean-ish flags are 0/1 numbers.
+    for key in ("rounds", "sampled_edges", "skip_edges", "resolved_vertices",
+                "modeled_seconds"):
+        if key in prepass and prepass[key] < 0:
+            _fail(f"{path}.{key}", f"negative value {prepass[key]}")
+
+
 def check_metrics(doc: object, path: str = "metrics") -> None:
     """Validate one parsed lacc-metrics-v1/v2 document."""
     if not isinstance(doc, dict):
@@ -161,6 +176,11 @@ def check_metrics(doc: object, path: str = "metrics") -> None:
                 _fail(f"{rpath}.serve", f"only allowed under "
                       f"{sorted(SERVE_SCHEMAS)}, file is {schema!r}")
             _check_serve(f"{rpath}.serve", run["serve"])
+        if "prepass" in run:
+            if schema not in PREPASS_SCHEMAS:
+                _fail(f"{rpath}.prepass", f"only allowed under "
+                      f"{sorted(PREPASS_SCHEMAS)}, file is {schema!r}")
+            _check_prepass(f"{rpath}.prepass", run["prepass"])
         _check_phase_entry(f"{rpath}.total", run["total"])
         if not isinstance(run["phases"], dict):
             _fail(f"{rpath}.phases", "must be an object")
@@ -298,7 +318,7 @@ def self_test() -> int:
     _expect_ok(_metrics_doc())
 
     # Older files stay valid as long as they omit the newer blocks.
-    for old in ("lacc-metrics-v1", "lacc-metrics-v2"):
+    for old in ("lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3"):
         doc = _metrics_doc()
         doc["schema"] = old
         _expect_ok(doc)
@@ -366,6 +386,32 @@ def self_test() -> int:
 
     bad = _metrics_doc()
     bad["runs"][0]["serve"] = {"note": "text"}  # non-number
+    _expect_invalid(bad)
+
+    # The v4 prepass block: numeric scalars with non-negative counts.
+    ok = _metrics_doc()
+    ok["runs"][0]["prepass"] = {"enabled": 1, "rounds": 2,
+                                "sampled_edges": 500.0, "skip_edges": 120.0,
+                                "resolved_vertices": 900.0,
+                                "frequent_found": 1,
+                                "modeled_seconds": 0.004}
+    _expect_ok(ok)
+
+    bad = _metrics_doc()
+    bad["schema"] = "lacc-metrics-v3"
+    bad["runs"][0]["prepass"] = {"enabled": 1}  # prepass is v4-only
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["prepass"] = {}  # must be non-empty when present
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["prepass"] = {"sampled_edges": -3.0}
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["prepass"] = {"note": "text"}  # non-number
     _expect_invalid(bad)
 
     bad = _metrics_doc()

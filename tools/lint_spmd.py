@@ -9,7 +9,12 @@ Static rules that complement the runtime conformance checker
       the caller's rank (rank(), my_row(), my_col(), leader, ...).  Every
       rank must issue every collective; a rank-dependent guard is the static
       signature of the skipped/mismatched collectives the runtime checker
-      reports at sync points.  Scope: src/ and examples/.
+      reports at sync points.  Covers both the comm-level primitives
+      (barrier, bcast, alltoallv, ...) and the dist:: free-function
+      collectives layered on them (gather_values, scatter_assign_min,
+      global_any, to_layout, ... — the ops the sampling pre-pass leans on),
+      which synchronize the modeled clock just the same.  Scope: src/ and
+      examples/.
 
   raw-sort
       std::sort / std::stable_sort in the arena-managed kernel hot paths
@@ -55,6 +60,13 @@ COLLECTIVE_RE = re.compile(
     r"[.>]\s*(barrier|bcast|allreduce|allgatherv(?:_into)?|"
     r"alltoallv(?:_into)?|reduce_scatter_block(?:_into)?|"
     r"sendrecv(?:_into)?|split)\s*\("
+)
+# dist:: free-function collectives (src/dist/ops.hpp) — called without a
+# comm object, so the [.>] pattern above never sees them.
+DIST_COLLECTIVE_RE = re.compile(
+    r"\b(?:dist\s*::\s*)?(gather_values|gather_at|scatter_assign_min|"
+    r"scatter_accumulate_min|scatter_set|global_any|global_nvals|"
+    r"mxv_select2nd(?:_minmax)?|to_layout|to_global)\s*\("
 )
 RANK_TOKEN_RE = re.compile(
     r"\b(rank|rank_|my_rank|my_row|my_col|leader|is_leader|is_root|"
@@ -180,18 +192,19 @@ def check_rank_conditional(path, text, findings):
         if else_m:
             bodies.append(body_extent(code, bodies[0][1] + else_m.end()))
         for begin, end in bodies:
-            for cm in COLLECTIVE_RE.finditer(code, begin, end):
-                lineno = line_of(code, cm.start())
-                if allowed(lines, lineno, rule) or allowed(
-                    lines, line_of(code, m.start()), rule
-                ):
-                    continue
-                findings.append(
-                    (path, lineno, rule,
-                     f"collective '{cm.group(1)}' under a rank-dependent "
-                     f"condition ({condition.strip()[:60]}); every rank must "
-                     "issue every collective")
-                )
+            for regex in (COLLECTIVE_RE, DIST_COLLECTIVE_RE):
+                for cm in regex.finditer(code, begin, end):
+                    lineno = line_of(code, cm.start())
+                    if allowed(lines, lineno, rule) or allowed(
+                        lines, line_of(code, m.start()), rule
+                    ):
+                        continue
+                    findings.append(
+                        (path, lineno, rule,
+                         f"collective '{cm.group(1)}' under a rank-dependent "
+                         f"condition ({condition.strip()[:60]}); every rank "
+                         "must issue every collective")
+                    )
 
 
 def check_line_rules(path, text, findings, rules):
@@ -291,6 +304,17 @@ SELF_TESTS = [
     ("else if chain rank cond",
      "if (n == 0) a();\nelse if (rank_ == 0) comm.barrier();",
      "rank-conditional-collective"),
+    ("dist free-function collective",
+     "if (world.rank() == 0) {\n"
+     "  const auto gp = dist::gather_values(grid, f, requests, tuning);\n}",
+     "rank-conditional-collective"),
+    ("unqualified dist collective",
+     "if (my_row == 0) scatter_assign_min(grid, f, std::move(pairs), tuning);",
+     "rank-conditional-collective"),
+    ("dist collective under uniform condition",
+     "if (pending) changed = dist::global_any(grid, changed);", None),
+    ("dist collective after rank branch",
+     "if (rank == 0) local();\ndist::to_global(grid, f, kNoVertex);", None),
 ]
 
 SELF_TESTS_HOT = [
