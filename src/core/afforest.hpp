@@ -1,0 +1,102 @@
+// Afforest/GAP-style lock-free union-find primitives (Sutton et al.),
+// extracted from core/lacc_omp.cpp so one source of truth serves both the
+// OpenMP solver and the deterministic model checker.
+//
+// The functions are templates over the atomic type, so they accept both
+// std::atomic<VertexId> label arrays (production, via lacc_omp.cpp's
+// OpenMP loops) and sched::atomic<VertexId> arrays (the model checker,
+// which explores every schedule of concurrent link() calls and checks the
+// PR-6 claim directly: tree shapes race, but after compress + relabel_min
+// the final labels equal a sequential union-find's canonical labels on
+// every explored schedule — the races are benign and unobservable.  See
+// tests/sched/sched_unionfind_test.cpp and docs/ARCHITECTURE.md).
+//
+// Every atomic op is deliberately relaxed: the algorithm's correctness
+// argument is value-based (labels only decrease; a union only merges
+// endpoints of a real edge), not publication-based, so no acquire/release
+// edges are required — exactly the property the checker verifies.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace lacc::core::afforest {
+
+/// Atomically lower `slot` to min(slot, value).
+template <typename AtomicT>
+void atomic_min(AtomicT& slot, VertexId value) {
+  VertexId current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+/// Afforest/GAP lock-free Link: hook the larger of the two current component
+/// ids onto the smaller with a CAS, chasing updated ids until they agree.
+/// Safe under concurrent calls; tree shapes race, component membership does
+/// not (a union only ever merges endpoints of a real edge).
+template <typename AtomicVec>
+void link(AtomicVec& comp, VertexId u, VertexId v) {
+  VertexId p1 = comp[u].load(std::memory_order_relaxed);
+  VertexId p2 = comp[v].load(std::memory_order_relaxed);
+  while (p1 != p2) {
+    const VertexId high = std::max(p1, p2);
+    const VertexId low = std::min(p1, p2);
+    VertexId p_high = high;
+    if (comp[high].compare_exchange_strong(p_high, low,
+                                           std::memory_order_relaxed) ||
+        p_high == low)
+      break;
+    p1 = comp[comp[high].load(std::memory_order_relaxed)].load(
+        std::memory_order_relaxed);
+    p2 = comp[low].load(std::memory_order_relaxed);
+  }
+}
+
+/// CAS-free pointer jumping for one vertex: comp[v] <- comp[comp[v]] until
+/// flat.  Values only decrease and roots never move (no links run
+/// concurrently), so the chain terminates.
+template <typename AtomicVec>
+void compress_one(AtomicVec& comp, VertexId v) {
+  while (comp[v].load(std::memory_order_relaxed) !=
+         comp[comp[v].load(std::memory_order_relaxed)].load(
+             std::memory_order_relaxed)) {
+    comp[v].store(comp[comp[v].load(std::memory_order_relaxed)].load(
+                      std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+}
+
+/// Sequential drivers over the per-vertex bodies, used by the model-check
+/// and unit suites; core/lacc_omp.cpp runs the same bodies under its own
+/// OpenMP parallel-for loops.
+template <typename AtomicVec>
+void compress_seq(AtomicVec& comp, std::int64_t ni) {
+  for (std::int64_t vi = 0; vi < ni; ++vi)
+    compress_one(comp, static_cast<VertexId>(vi));
+}
+
+/// Rewrite every flat label to its component's minimum vertex id.  The CAS
+/// races make tree shapes (and therefore root identities) schedule-dependent;
+/// component membership is not, so after this the labels are deterministic.
+template <typename AtomicVec>
+void relabel_min_seq(AtomicVec& comp, AtomicVec& low, std::int64_t ni) {
+  for (std::int64_t vi = 0; vi < ni; ++vi)
+    low[static_cast<VertexId>(vi)].store(kNoVertex, std::memory_order_relaxed);
+  for (std::int64_t vi = 0; vi < ni; ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    atomic_min(low[comp[v].load(std::memory_order_relaxed)], v);
+  }
+  for (std::int64_t vi = 0; vi < ni; ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    comp[v].store(low[comp[v].load(std::memory_order_relaxed)].load(
+                      std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lacc::core::afforest

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/afforest.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -12,51 +13,19 @@ namespace lacc::core {
 
 namespace {
 
-/// Atomically lower `slot` to min(slot, value).
-void atomic_min(std::atomic<VertexId>& slot, VertexId value) {
-  VertexId current = slot.load(std::memory_order_relaxed);
-  while (value < current &&
-         !slot.compare_exchange_weak(current, value,
-                                     std::memory_order_relaxed)) {
-  }
-}
-
-/// Afforest/GAP lock-free Link: hook the larger of the two current component
-/// ids onto the smaller with a CAS, chasing updated ids until they agree.
-/// Safe under concurrent calls; tree shapes race, component membership does
-/// not (a union only ever merges endpoints of a real edge).
-void link(std::vector<std::atomic<VertexId>>& comp, VertexId u, VertexId v) {
-  VertexId p1 = comp[u].load(std::memory_order_relaxed);
-  VertexId p2 = comp[v].load(std::memory_order_relaxed);
-  while (p1 != p2) {
-    const VertexId high = std::max(p1, p2);
-    const VertexId low = std::min(p1, p2);
-    VertexId p_high = high;
-    if (comp[high].compare_exchange_strong(p_high, low,
-                                           std::memory_order_relaxed) ||
-        p_high == low)
-      break;
-    p1 = comp[comp[high].load(std::memory_order_relaxed)].load(
-        std::memory_order_relaxed);
-    p2 = comp[low].load(std::memory_order_relaxed);
-  }
-}
+// The lock-free union-find primitives (atomic_min, link, compress_one,
+// relabel bodies) live in core/afforest.hpp — shared with the model-check
+// suites — and are driven here under OpenMP parallel-for.
+using afforest::atomic_min;
+using afforest::link;
 
 /// CAS-free pointer jumping: comp[v] <- comp[comp[v]] until flat.  Values
 /// only decrease and roots never move (no links run concurrently), so every
 /// chain terminates and the array is flat at the implicit barrier.
 void compress(std::vector<std::atomic<VertexId>>& comp, std::int64_t ni) {
 #pragma omp parallel for schedule(dynamic, 4096)
-  for (std::int64_t vi = 0; vi < ni; ++vi) {
-    const auto v = static_cast<VertexId>(vi);
-    while (comp[v].load(std::memory_order_relaxed) !=
-           comp[comp[v].load(std::memory_order_relaxed)].load(
-               std::memory_order_relaxed)) {
-      comp[v].store(comp[comp[v].load(std::memory_order_relaxed)].load(
-                        std::memory_order_relaxed),
-                    std::memory_order_relaxed);
-    }
-  }
+  for (std::int64_t vi = 0; vi < ni; ++vi)
+    afforest::compress_one(comp, static_cast<VertexId>(vi));
 }
 
 /// Rewrite every flat label to its component's minimum vertex id.  The CAS

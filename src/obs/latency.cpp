@@ -4,17 +4,17 @@
 #include <bit>
 #include <cmath>
 
-namespace lacc::obs {
+namespace lacc::obs::detail {
 
-std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) {
+std::size_t bucket_of(std::uint64_t ns) {
   if (ns < 16) return static_cast<std::size_t>(ns);
   const int e = 63 - std::countl_zero(ns);  // floor(log2), >= 4 here
   const auto sub = static_cast<std::size_t>((ns >> (e - 4)) & 15u);
   const auto bucket = 16u * static_cast<std::size_t>(e - 3) + sub;
-  return std::min(bucket, kBuckets - 1);
+  return std::min(bucket, kLatencyBuckets - 1);
 }
 
-std::uint64_t LatencyHistogram::bucket_mid_ns(std::size_t bucket) {
+std::uint64_t bucket_mid_ns(std::size_t bucket) {
   if (bucket < 16) return bucket;
   const int e = static_cast<int>(bucket / 16) + 3;
   const std::uint64_t sub = bucket % 16;
@@ -23,45 +23,26 @@ std::uint64_t LatencyHistogram::bucket_mid_ns(std::size_t bucket) {
   return lower + width / 2;
 }
 
-void LatencyHistogram::record_seconds(double seconds) {
-  if (!(seconds > 0)) {  // negatives and NaN clamp to the zero bucket
-    record_ns(0);
-    return;
-  }
+std::uint64_t seconds_to_ns(double seconds) {
+  if (!(seconds > 0)) return 0;  // negatives and NaN clamp to the zero bucket
   const double ns = seconds * 1e9;
-  record_ns(ns >= 9.2e18 ? ~std::uint64_t{0} : static_cast<std::uint64_t>(ns));
+  return ns >= 9.2e18 ? ~std::uint64_t{0} : static_cast<std::uint64_t>(ns);
 }
 
-double LatencyHistogram::quantile(double q) const {
+double quantile_of(const std::array<std::uint64_t, kLatencyBuckets>& snap,
+                   double q) {
   q = std::clamp(q, 0.0, 1.0);
-  // Snapshot first so the rank and the walk agree on one set of counts.
-  std::array<std::uint64_t, kBuckets> snap;
   std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    snap[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += snap[b];
-  }
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) total += snap[b];
   if (total == 0) return 0.0;
   const auto rank = static_cast<std::uint64_t>(
       std::max(1.0, std::ceil(q * static_cast<double>(total))));
   std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
     seen += snap[b];
     if (seen >= rank) return static_cast<double>(bucket_mid_ns(b)) * 1e-9;
   }
-  return static_cast<double>(bucket_mid_ns(kBuckets - 1)) * 1e-9;
+  return static_cast<double>(bucket_mid_ns(kLatencyBuckets - 1)) * 1e-9;
 }
 
-void LatencyHistogram::merge(const LatencyHistogram& other) {
-  std::uint64_t added = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    const std::uint64_t c = other.buckets_[b].load(std::memory_order_relaxed);
-    if (c != 0) {
-      buckets_[b].fetch_add(c, std::memory_order_relaxed);
-      added += c;
-    }
-  }
-  count_.fetch_add(added, std::memory_order_relaxed);
-}
-
-}  // namespace lacc::obs
+}  // namespace lacc::obs::detail

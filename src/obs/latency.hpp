@@ -4,55 +4,113 @@
 // nanoseconds, HdrHistogram-style), so a record() is one relaxed atomic
 // increment and quantile estimates stay within ~6% relative error at any
 // magnitude from nanoseconds to hours.  record() is wait-free and safe from
-// any number of threads; quantile()/count() read a relaxed snapshot, so a
-// reading taken while writers are active is approximate in the usual
-// monitoring sense (it reflects some recent prefix of the recordings, never
-// garbage).  See docs/SERVING.md for how lacc::serve reports these.
+// any number of threads; quantile() reads a relaxed snapshot, so a reading
+// taken while writers are active is approximate in the usual monitoring
+// sense (it reflects some recent prefix of the recordings, never garbage).
+// The one ordered edge is count_: record_ns publishes it with release and
+// count() reads it with acquire, so `hist.count() >= n` observed by a reader
+// guarantees the n recordings' bucket increments are visible to a subsequent
+// quantile() walk — the invariant the model checker verifies
+// (tests/sched/sched_histogram_test.cpp).  See docs/SERVING.md for how
+// lacc::serve reports these.
+//
+// The class is a template over a sync policy (support/sync.hpp):
+// LatencyHistogram below is the production alias over std::atomic, and the
+// deterministic model checker instantiates the same code with
+// sched::SchedSyncPolicy.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 
+#include "support/sync.hpp"
+
 namespace lacc::obs {
 
-class LatencyHistogram {
- public:
-  /// 16 exact buckets under 16 ns, then 16 sub-buckets per octave up to
-  /// the 2^63 ns (~292 year) saturation point.
-  static constexpr std::size_t kBuckets = 16 * 60 + 16;
+namespace detail {
 
-  LatencyHistogram() = default;
-  LatencyHistogram(const LatencyHistogram&) = delete;
-  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+/// 16 exact buckets under 16 ns, then 16 sub-buckets per octave up to the
+/// 2^63 ns (~292 year) saturation point.
+inline constexpr std::size_t kLatencyBuckets = 16 * 60 + 16;
+
+/// Bucket index of a nanosecond value (exposed for the unit tests).
+std::size_t bucket_of(std::uint64_t ns);
+/// Representative (midpoint) nanosecond value of a bucket.
+std::uint64_t bucket_mid_ns(std::size_t bucket);
+/// Quantile walk over a snapshot of the bucket counts, in seconds.
+double quantile_of(const std::array<std::uint64_t, kLatencyBuckets>& snap,
+                   double q);
+/// Nanosecond clamp of a seconds sample (negatives and NaN -> 0).
+std::uint64_t seconds_to_ns(double seconds);
+
+}  // namespace detail
+
+template <typename SyncPolicy>
+class BasicLatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = detail::kLatencyBuckets;
+
+  BasicLatencyHistogram() = default;
+  BasicLatencyHistogram(const BasicLatencyHistogram&) = delete;
+  BasicLatencyHistogram& operator=(const BasicLatencyHistogram&) = delete;
 
   /// Record one latency sample (negative values clamp to zero).
-  void record_seconds(double seconds);
+  void record_seconds(double seconds) { record_ns(detail::seconds_to_ns(seconds)); }
   void record_ns(std::uint64_t ns) {
-    buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
+    buckets_[detail::bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+    // Release: pairs with the acquire in count().  A reader that observes
+    // this increment also observes the bucket increment above — RMWs keep
+    // the release sequence alive through later relaxed fetch_adds.
+    count_.fetch_add(1, std::memory_order_release);
   }
 
-  /// Samples recorded so far.
+  /// Samples recorded so far.  Acquire: see record_ns().
   std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
+    return count_.load(std::memory_order_acquire);
   }
 
   /// The q-quantile (q in [0, 1]) of the recorded samples, in seconds;
   /// 0 when nothing has been recorded.  quantile(0.99) is the p99.
-  double quantile(double q) const;
+  double quantile(double q) const {
+    // Snapshot first so the rank and the walk agree on one set of counts.
+    std::array<std::uint64_t, kBuckets> snap;
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      snap[b] = buckets_[b].load(std::memory_order_relaxed);
+    return detail::quantile_of(snap, q);
+  }
 
   /// Fold another histogram's samples into this one.
-  void merge(const LatencyHistogram& other);
+  void merge(const BasicLatencyHistogram& other) {
+    std::uint64_t added = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t c = other.buckets_[b].load(std::memory_order_relaxed);
+      if (c != 0) {
+        buckets_[b].fetch_add(c, std::memory_order_relaxed);
+        added += c;
+      }
+    }
+    count_.fetch_add(added, std::memory_order_release);
+  }
 
-  /// Bucket index of a nanosecond value (exposed for the unit tests).
-  static std::size_t bucket_of(std::uint64_t ns);
-  /// Representative (midpoint) nanosecond value of a bucket.
-  static std::uint64_t bucket_mid_ns(std::size_t bucket);
+  static std::size_t bucket_of(std::uint64_t ns) { return detail::bucket_of(ns); }
+  static std::uint64_t bucket_mid_ns(std::size_t b) { return detail::bucket_mid_ns(b); }
+
+  /// Raw count of one bucket (monitoring / test surface).  Relaxed is
+  /// enough: an acquire on count() already extends visibility to every
+  /// bucket increment it covers.
+  std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
+  template <typename T>
+  using Atomic = typename SyncPolicy::template atomic<T>;
+
+  std::array<Atomic<std::uint64_t>, kBuckets> buckets_{};
+  Atomic<std::uint64_t> count_{0};
 };
+
+using LatencyHistogram = BasicLatencyHistogram<support::StdSyncPolicy>;
 
 }  // namespace lacc::obs

@@ -1,0 +1,834 @@
+#include "sched/model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "support/env.hpp"
+
+namespace lacc::sched {
+
+namespace detail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+struct VClock {
+  std::array<std::uint32_t, static_cast<std::size_t>(kMaxThreads)> c{};
+
+  void join(const VClock& o) {
+    for (std::size_t i = 0; i < c.size(); ++i) c[i] = std::max(c[i], o.c[i]);
+  }
+  /// *this happens-before (or equals) a moment whose clock is `o`.
+  bool leq(const VClock& o) const {
+    for (std::size_t i = 0; i < c.size(); ++i)
+      if (c[i] > o.c[i]) return false;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-execution state
+// ---------------------------------------------------------------------------
+
+enum class Wait { kNone, kMutex, kCv, kJoin };
+
+struct ThreadRec {
+  std::function<void()> fn;
+  std::thread os;
+  VClock clock;
+  Wait wait = Wait::kNone;
+  int wait_obj = -1;
+  bool timed = false;          ///< cv wait with a deadline (timeout explorable)
+  bool notified = false;       ///< pulled out of the cv waitset by a notify
+  bool timeout_fired = false;  ///< last cv wait ended by modeled timeout
+  bool done = false;
+};
+
+struct StoreMeta {
+  VClock hb;   ///< writer's clock at the store: visibility/hiding rule
+  VClock rel;  ///< clock transferred to acquire readers (release sequence)
+};
+
+struct LocState {
+  std::vector<StoreMeta> stores;
+  /// Per-thread coherence floor: lowest store index the thread may still
+  /// read (raised by its own reads and writes).
+  std::array<int, static_cast<std::size_t>(kMaxThreads)> min_read{};
+};
+
+struct MutexState {
+  int holder = -1;
+  VClock clock;
+};
+
+/// Thrown by fail_assert inside a managed thread.
+struct FailureSignal {};
+/// Thrown at schedule points once the run is being torn down.
+struct AbortSignal {};
+
+class Explorer {
+ public:
+  enum class Mode { kExhaustive, kRandom, kReplay };
+
+  Mode mode = Mode::kExhaustive;
+  std::vector<std::pair<int, int>> stack;  ///< DFS frontier: (options, chosen)
+  std::vector<int> replay_choices;
+  std::vector<int> run_choices;  ///< decisions recorded this run
+  std::size_t cursor = 0;
+  std::uint64_t rng = 0;
+  std::uint64_t decision_points = 0;
+
+  void begin_run(std::uint64_t seed) {
+    run_choices.clear();
+    cursor = 0;
+    rng = seed | 1;
+  }
+
+  int choose(int n) {
+    int pick = 0;
+    switch (mode) {
+      case Mode::kReplay:
+        pick = cursor < replay_choices.size()
+                   ? replay_choices[cursor]
+                   : 0;
+        break;
+      case Mode::kRandom:
+        pick = static_cast<int>(next_rand() % static_cast<std::uint64_t>(n));
+        break;
+      case Mode::kExhaustive:
+        if (cursor < stack.size()) {
+          pick = stack[cursor].second;
+        } else {
+          stack.emplace_back(n, 0);
+          pick = 0;
+        }
+        break;
+    }
+    pick = std::clamp(pick, 0, n - 1);
+    run_choices.push_back(pick);
+    ++cursor;
+    ++decision_points;
+    return pick;
+  }
+
+  /// Exhaustive mode: move to the next unexplored leaf.  False = tree done.
+  bool advance() {
+    while (!stack.empty() && stack.back().second + 1 >= stack.back().first)
+      stack.pop_back();
+    if (stack.empty()) return false;
+    ++stack.back().second;
+    return true;
+  }
+
+ private:
+  std::uint64_t next_rand() {  // splitmix64
+    std::uint64_t z = (rng += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+struct Execution;
+Execution* g_exec = nullptr;
+thread_local int g_self = -1;
+
+struct Execution {
+  Explorer* explorer = nullptr;
+  const Options* opts = nullptr;
+
+  // Baton: exactly one managed thread runs at a time.  All scheduler state
+  // below is mutated only by the active thread; cross-thread visibility
+  // flows through mu at every handoff, so the checker itself is TSan-clean.
+  std::mutex mu;
+  std::condition_variable cv;
+  int active = -1;
+
+  int nthreads = 0;
+  std::array<std::unique_ptr<ThreadRec>, static_cast<std::size_t>(kMaxThreads)>
+      threads;
+  std::vector<LocState> locs;
+  std::vector<MutexState> mutexes;
+  int ncvs = 0;
+  VClock sc_clock;
+
+  std::uint64_t steps = 0;
+  int preemptions = 0;
+  bool abort = false;
+  bool failed = false;
+  std::string fail_msg;
+  bool verbose = false;
+  std::vector<std::string> events;
+
+  // --- tracing -----------------------------------------------------------
+
+  void note(const std::string& text) {
+    if (!verbose) return;
+    std::ostringstream os;
+    os << "#" << steps << " t" << g_self << "  " << text;
+    events.push_back(os.str());
+  }
+
+  // --- failure -----------------------------------------------------------
+
+  /// Record a failure and wake every blocked thread for the abort drain.
+  /// Does not throw; callers decide how to unwind.
+  void mark_failed(const std::string& kind, const std::string& msg) {
+    if (!failed) {
+      failed = true;
+      fail_msg = kind + ": " + msg;
+      if (verbose) events.push_back("FAIL " + fail_msg);
+    }
+    abort = true;
+    for (int i = 0; i < nthreads; ++i) {
+      ThreadRec& t = *threads[i];
+      if (!t.done && t.wait != Wait::kNone) {
+        t.wait = Wait::kNone;
+        t.notified = false;
+      }
+    }
+  }
+
+  std::string blocked_report() const {
+    std::ostringstream os;
+    for (int i = 0; i < nthreads; ++i) {
+      const ThreadRec& t = *threads[i];
+      if (t.done) continue;
+      os << " t" << i << "=";
+      switch (t.wait) {
+        case Wait::kNone: os << "runnable"; break;
+        case Wait::kMutex: os << "mutex#" << t.wait_obj; break;
+        case Wait::kCv: os << "cv#" << t.wait_obj; break;
+        case Wait::kJoin: os << "join(t" << t.wait_obj << ")"; break;
+      }
+    }
+    return os.str();
+  }
+
+  // --- scheduling core ---------------------------------------------------
+
+  bool runnable(int i, bool for_self) const {
+    const ThreadRec& t = *threads[i];
+    if (t.done) return false;
+    if (t.wait == Wait::kNone) return true;
+    if (t.wait == Wait::kCv)
+      return t.notified || t.timed || (opts->spurious_wakeups && !for_self);
+    return false;
+  }
+
+  std::vector<int> options(bool self_blocked) {
+    std::vector<int> out;
+    for (int i = 0; i < nthreads; ++i) {
+      if (self_blocked && i == g_self) {
+        // A thread parking on a *timed* cv wait can wake itself: the
+        // timeout firing immediately is a legal schedule (and the only one
+        // when every sibling is blocked — not a deadlock).
+        const ThreadRec& t = *threads[i];
+        if (t.wait == Wait::kCv && (t.timed || t.notified)) out.push_back(i);
+        continue;
+      }
+      if (runnable(i, i == g_self)) out.push_back(i);
+    }
+    return out;
+  }
+
+  int choose(int n) { return n <= 1 ? 0 : explorer->choose(n); }
+
+  /// Hand the baton to `next` and (unless finishing) wait for our own turn.
+  void hand_over(int next, bool leaving) {
+    std::unique_lock<std::mutex> lk(mu);
+    active = next;
+    cv.notify_all();
+    if (leaving) return;
+    cv.wait(lk, [&] { return active == g_self; });
+  }
+
+  /// Pick and switch to the next thread.  `self_blocked` = the caller just
+  /// parked itself and must not be offered.  Throws AbortSignal on resume
+  /// into a dead run only when `may_throw`.
+  void pick_next(bool self_blocked, bool may_throw) {
+    std::vector<int> opts_ = options(self_blocked);
+    if (opts_.empty()) {
+      // No one can run: if anyone is still live this is a deadlock.
+      bool all_done = true;
+      for (int i = 0; i < nthreads; ++i)
+        if (i != g_self && !threads[i]->done) all_done = false;
+      if (self_blocked || !all_done) {
+        mark_failed("deadlock", "no runnable thread;" + blocked_report());
+        if (self_blocked) {
+          // We were just force-woken by mark_failed; unwind.
+          threads[g_self]->wait = Wait::kNone;
+          if (may_throw) throw AbortSignal{};
+        }
+      }
+      return;  // sole survivor keeps running
+    }
+    const bool self_offered =
+        !self_blocked && std::find(opts_.begin(), opts_.end(), g_self) != opts_.end();
+    if (self_offered && opts->preemption_bound >= 0 &&
+        preemptions >= opts->preemption_bound)
+      opts_ = {g_self};
+    const int next = opts_[static_cast<std::size_t>(
+        choose(static_cast<int>(opts_.size())))];
+    ThreadRec& nx = *threads[next];
+    if (nx.wait == Wait::kCv) {
+      // Scheduling a cv waiter directly = its timeout (or spurious wake).
+      nx.timeout_fired = !nx.notified;
+      nx.wait = Wait::kNone;
+      nx.notified = false;
+      if (verbose)
+        events.push_back("        t" + std::to_string(next) +
+                         (nx.timeout_fired ? " wakes (timeout)" : " wakes"));
+    }
+    if (next == g_self) return;  // incl. a parked timed wait self-waking
+    if (self_offered) ++preemptions;
+    hand_over(next, /*leaving=*/false);
+    if (abort && may_throw) throw AbortSignal{};
+  }
+
+  /// Pre-operation schedule point for throwing (acquire-side) operations.
+  void point() {
+    if (abort) throw AbortSignal{};
+    if (++steps > opts->max_steps) {
+      mark_failed("livelock", "step budget (" +
+                                  std::to_string(opts->max_steps) +
+                                  ") exceeded");
+      throw AbortSignal{};
+    }
+    threads[g_self]->clock.c[static_cast<std::size_t>(g_self)]++;
+    pick_next(/*self_blocked=*/false, /*may_throw=*/true);
+  }
+
+  /// Post-operation schedule point for releasing operations
+  /// (mutex unlock, cv notify).  Never throws: these run inside
+  /// lock_guard destructors, where an exception would terminate.
+  void point_noexcept() {
+    if (abort) return;
+    ++steps;  // over-budget enforcement happens at the next throwing point
+    threads[g_self]->clock.c[static_cast<std::size_t>(g_self)]++;
+    pick_next(/*self_blocked=*/false, /*may_throw=*/false);
+  }
+
+  /// Park the calling thread (wait fields already set) and run others until
+  /// somebody unblocks and schedules us.
+  void park() {
+    pick_next(/*self_blocked=*/true, /*may_throw=*/true);
+    if (abort) throw AbortSignal{};
+  }
+
+  // --- thread lifecycle --------------------------------------------------
+
+  void finish() {
+    ThreadRec& me = *threads[g_self];
+    for (int i = 0; i < nthreads; ++i) {
+      ThreadRec& t = *threads[i];
+      if (!t.done && t.wait == Wait::kJoin && t.wait_obj == g_self)
+        t.wait = Wait::kNone;
+    }
+    int next = -1;
+    if (abort) {
+      for (int i = 0; i < nthreads && next < 0; ++i)
+        if (i != g_self && !threads[i]->done) next = i;
+      if (next >= 0) threads[next]->wait = Wait::kNone;
+    } else {
+      std::vector<int> opts_ = options(/*self_blocked=*/true);
+      if (!opts_.empty()) {
+        next = opts_[static_cast<std::size_t>(
+            choose(static_cast<int>(opts_.size())))];
+        ThreadRec& nx = *threads[next];
+        if (nx.wait == Wait::kCv) {
+          nx.timeout_fired = !nx.notified;
+          nx.wait = Wait::kNone;
+          nx.notified = false;
+        }
+      } else {
+        bool all_done = true;
+        for (int i = 0; i < nthreads; ++i)
+          if (i != g_self && !threads[i]->done) all_done = false;
+        if (!all_done) {
+          mark_failed("deadlock",
+                      "thread t" + std::to_string(g_self) +
+                          " finished with siblings stuck;" + blocked_report());
+          for (int i = 0; i < nthreads && next < 0; ++i)
+            if (i != g_self && !threads[i]->done) next = i;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      me.done = true;
+      active = next;  // -1 when everyone is done: wakes the driver
+    }
+    cv.notify_all();
+  }
+};
+
+void thread_main(Execution* ex, int id) {
+  g_self = id;
+  {
+    std::unique_lock<std::mutex> lk(ex->mu);
+    ex->cv.wait(lk, [&] { return ex->active == id; });
+  }
+  try {
+    if (!ex->abort) ex->threads[id]->fn();
+  } catch (FailureSignal&) {
+  } catch (AbortSignal&) {
+  } catch (std::exception& e) {
+    ex->mark_failed("exception", e.what());
+  } catch (...) {
+    ex->mark_failed("exception", "non-std exception escaped a thread body");
+  }
+  ex->finish();
+  g_self = -1;
+}
+
+bool in_run() { return g_exec != nullptr && g_self >= 0; }
+
+Execution& exec() { return *g_exec; }
+
+constexpr bool has_acquire(int o) {
+  const auto m = static_cast<std::memory_order>(o);
+  return m == std::memory_order_acquire || m == std::memory_order_acq_rel ||
+         m == std::memory_order_seq_cst || m == std::memory_order_consume;
+}
+constexpr bool has_release(int o) {
+  const auto m = static_cast<std::memory_order>(o);
+  return m == std::memory_order_release || m == std::memory_order_acq_rel ||
+         m == std::memory_order_seq_cst;
+}
+constexpr bool is_seq_cst(int o) {
+  return static_cast<std::memory_order>(o) == std::memory_order_seq_cst;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shim hooks
+// ---------------------------------------------------------------------------
+
+bool active() { return in_run() && !exec().abort; }
+
+bool tracing() { return in_run() && exec().verbose; }
+
+void trace_event(const std::string& text) {
+  if (tracing()) exec().note(text);
+}
+
+int reg_loc() {
+  if (!in_run()) return -1;
+  Execution& ex = exec();
+  const int id = static_cast<int>(ex.locs.size());
+  ex.locs.emplace_back();
+  LocState& loc = ex.locs.back();
+  StoreMeta init;
+  init.hb = ex.threads[g_self]->clock;
+  init.rel = init.hb;  // construction happens-before every use
+  loc.stores.push_back(init);
+  return id;
+}
+
+int atomic_load(int loc, int order) {
+  if (loc < 0 || !in_run()) return -1;
+  Execution& ex = exec();
+  ex.point();
+  ThreadRec& me = *ex.threads[g_self];
+  LocState& L = ex.locs[static_cast<std::size_t>(loc)];
+  if (is_seq_cst(order)) me.clock.join(ex.sc_clock);
+  const int n = static_cast<int>(L.stores.size());
+  int lo = L.min_read[static_cast<std::size_t>(g_self)];
+  for (int i = n - 1; i > lo; --i)
+    if (L.stores[static_cast<std::size_t>(i)].hb.leq(me.clock)) {
+      lo = i;  // this store happens-before the load: older ones are hidden
+      break;
+    }
+  // Choice 0 = the newest store, so the DFS's default path is the
+  // sequentially-consistent-looking one and stale reads live deeper.
+  const int pick = (n - 1) - ex.choose(n - lo);
+  const StoreMeta& s = L.stores[static_cast<std::size_t>(pick)];
+  if (has_acquire(order)) me.clock.join(s.rel);
+  L.min_read[static_cast<std::size_t>(g_self)] = pick;
+  if (is_seq_cst(order)) ex.sc_clock.join(me.clock);
+  return pick;
+}
+
+int atomic_store(int loc, int order) {
+  if (loc < 0 || !in_run()) return -1;
+  Execution& ex = exec();
+  ex.point();
+  ThreadRec& me = *ex.threads[g_self];
+  LocState& L = ex.locs[static_cast<std::size_t>(loc)];
+  if (is_seq_cst(order)) me.clock.join(ex.sc_clock);
+  me.clock.c[static_cast<std::size_t>(g_self)]++;
+  StoreMeta m;
+  m.hb = me.clock;
+  if (has_release(order)) m.rel = me.clock;  // plain store: new release head
+  L.stores.push_back(m);
+  const int idx = static_cast<int>(L.stores.size()) - 1;
+  L.min_read[static_cast<std::size_t>(g_self)] = idx;
+  if (is_seq_cst(order)) ex.sc_clock.join(me.clock);
+  return idx;
+}
+
+int rmw_read(int loc, int order) {
+  if (loc < 0 || !in_run()) return -1;
+  Execution& ex = exec();
+  ex.point();
+  ThreadRec& me = *ex.threads[g_self];
+  LocState& L = ex.locs[static_cast<std::size_t>(loc)];
+  if (is_seq_cst(order)) me.clock.join(ex.sc_clock);
+  // An RMW always reads the latest store in modification order.
+  const int idx = static_cast<int>(L.stores.size()) - 1;
+  if (has_acquire(order)) me.clock.join(L.stores[static_cast<std::size_t>(idx)].rel);
+  return idx;
+}
+
+int rmw_commit(int loc, int order) {
+  // No schedule point: rmw_read kept the baton, so read-modify-write is
+  // indivisible by construction.
+  Execution& ex = exec();
+  ThreadRec& me = *ex.threads[g_self];
+  LocState& L = ex.locs[static_cast<std::size_t>(loc)];
+  me.clock.c[static_cast<std::size_t>(g_self)]++;
+  StoreMeta m;
+  m.hb = me.clock;
+  // C++20 release sequences: an RMW extends the sequence it read from even
+  // when itself relaxed; a release RMW additionally contributes its clock.
+  m.rel = L.stores.back().rel;
+  if (has_release(order)) m.rel.join(me.clock);
+  L.stores.push_back(m);
+  const int idx = static_cast<int>(L.stores.size()) - 1;
+  L.min_read[static_cast<std::size_t>(g_self)] = idx;
+  if (is_seq_cst(order)) ex.sc_clock.join(me.clock);
+  return idx;
+}
+
+void rmw_abandon(int loc, int order) {
+  // CAS failure: pure load of the latest value with the failure ordering.
+  Execution& ex = exec();
+  ThreadRec& me = *ex.threads[g_self];
+  LocState& L = ex.locs[static_cast<std::size_t>(loc)];
+  const int idx = static_cast<int>(L.stores.size()) - 1;
+  if (has_acquire(order)) me.clock.join(L.stores[static_cast<std::size_t>(idx)].rel);
+  L.min_read[static_cast<std::size_t>(g_self)] = idx;
+}
+
+int reg_mutex() {
+  if (!in_run()) return -1;
+  Execution& ex = exec();
+  ex.mutexes.emplace_back();
+  return static_cast<int>(ex.mutexes.size()) - 1;
+}
+
+void mutex_lock(int m) {
+  if (m < 0 || !in_run()) return;
+  Execution& ex = exec();
+  // Throwing schedule point: lock() never runs inside a destructor (unlock
+  // does, and stays non-throwing), so unwinding from here is safe and keeps
+  // the abort drain from letting a thread run on lock-free of the scheduler.
+  ex.point();
+  MutexState& mx = ex.mutexes[static_cast<std::size_t>(m)];
+  ThreadRec& me = *ex.threads[g_self];
+  while (mx.holder != -1) {
+    ex.note("blocks on mutex#" + std::to_string(m));
+    me.wait = Wait::kMutex;
+    me.wait_obj = m;
+    ex.park();
+  }
+  mx.holder = g_self;
+  me.clock.join(mx.clock);
+  ex.note("mutex#" + std::to_string(m) + " lock");
+}
+
+void mutex_unlock(int m) {
+  if (m < 0 || !in_run()) return;
+  Execution& ex = exec();
+  if (ex.abort) return;
+  MutexState& mx = ex.mutexes[static_cast<std::size_t>(m)];
+  ThreadRec& me = *ex.threads[g_self];
+  mx.clock.join(me.clock);
+  mx.holder = -1;
+  for (int i = 0; i < ex.nthreads; ++i) {
+    ThreadRec& t = *ex.threads[i];
+    if (!t.done && t.wait == Wait::kMutex && t.wait_obj == m)
+      t.wait = Wait::kNone;  // barging allowed: they re-check on schedule
+  }
+  ex.note("mutex#" + std::to_string(m) + " unlock");
+  ex.point_noexcept();
+}
+
+int reg_cv() {
+  if (!in_run()) return -1;
+  return exec().ncvs++;
+}
+
+bool cv_wait(int cvid, int m, bool timed) {
+  if (cvid < 0 || !in_run()) return timed;
+  Execution& ex = exec();
+  if (ex.abort) throw AbortSignal{};
+  ThreadRec& me = *ex.threads[g_self];
+  // Atomically release the mutex and enter the waitset (no schedule point
+  // between the two, exactly like the real primitive).
+  MutexState& mx = ex.mutexes[static_cast<std::size_t>(m)];
+  mx.clock.join(me.clock);
+  mx.holder = -1;
+  for (int i = 0; i < ex.nthreads; ++i) {
+    ThreadRec& t = *ex.threads[i];
+    if (!t.done && t.wait == Wait::kMutex && t.wait_obj == m)
+      t.wait = Wait::kNone;
+  }
+  ex.note(std::string("cv#") + std::to_string(cvid) +
+          (timed ? " timed-wait" : " wait"));
+  me.wait = Wait::kCv;
+  me.wait_obj = cvid;
+  me.timed = timed;
+  me.notified = false;
+  me.timeout_fired = false;
+  ex.park();
+  const bool timeout = me.timeout_fired;
+  me.timed = false;
+  mutex_lock(m);
+  return timeout;
+}
+
+void cv_notify(int cvid, bool all) {
+  if (cvid < 0 || !in_run()) return;
+  Execution& ex = exec();
+  if (ex.abort) return;
+  std::vector<int> waiters;
+  for (int i = 0; i < ex.nthreads; ++i) {
+    ThreadRec& t = *ex.threads[i];
+    if (!t.done && t.wait == Wait::kCv && t.wait_obj == cvid && !t.notified)
+      waiters.push_back(i);
+  }
+  ex.note(std::string("cv#") + std::to_string(cvid) +
+          (all ? " notify_all" : " notify_one"));
+  if (!waiters.empty()) {
+    if (all) {
+      for (int w : waiters) ex.threads[w]->notified = true;
+    } else {
+      // Which waiter the notify lands on is a scheduling decision.
+      const int w = waiters[static_cast<std::size_t>(
+          ex.choose(static_cast<int>(waiters.size())))];
+      ex.threads[w]->notified = true;
+    }
+  }
+  ex.point_noexcept();
+}
+
+int spawn(std::function<void()> fn) {
+  if (!in_run())
+    throw std::logic_error(
+        "sched::thread can only be created inside sched::explore()");
+  Execution& ex = exec();
+  ex.point();
+  if (ex.nthreads >= kMaxThreads) {
+    ex.mark_failed("error", "more than kMaxThreads sched::threads spawned");
+    throw AbortSignal{};
+  }
+  const int id = ex.nthreads++;
+  ThreadRec& rec = *ex.threads[id];
+  rec.fn = std::move(fn);
+  rec.clock = ex.threads[g_self]->clock;  // spawn happens-before the body
+  rec.clock.c[static_cast<std::size_t>(id)]++;
+  ex.note("spawns t" + std::to_string(id));
+  rec.os = std::thread(thread_main, &ex, id);
+  return id;
+}
+
+void join_thread(int id) {
+  if (!in_run() || id < 0) return;
+  Execution& ex = exec();
+  ex.point();
+  if (id >= ex.nthreads) return;
+  ThreadRec& me = *ex.threads[g_self];
+  while (!ex.threads[id]->done) {
+    ex.note("joins t" + std::to_string(id));
+    me.wait = Wait::kJoin;
+    me.wait_obj = id;
+    ex.park();
+  }
+  me.clock.join(ex.threads[id]->clock);  // completion happens-before join
+}
+
+void yield_point() {
+  if (!in_run()) {
+    std::this_thread::yield();
+    return;
+  }
+  exec().point();
+}
+
+[[noreturn]] void fail_assert(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  const char* slash = nullptr;
+  for (const char* p = file; *p; ++p)
+    if (*p == '/') slash = p;
+  os << expr << " at " << (slash ? slash + 1 : file) << ":" << line;
+  if (!in_run()) throw std::runtime_error("LACC_SCHED_ASSERT failed: " + os.str());
+  Execution& ex = exec();
+  if (!ex.abort) ex.mark_failed("assertion", os.str());
+  throw FailureSignal{};
+}
+
+namespace {
+
+struct RunOutcome {
+  bool failed = false;
+  std::string fail_msg;
+  std::vector<std::string> events;
+};
+
+RunOutcome run_one(const Options& opts, const std::function<void()>& body,
+                   Explorer& explorer, bool verbose) {
+  Execution ex;
+  ex.explorer = &explorer;
+  ex.opts = &opts;
+  ex.verbose = verbose;
+  for (auto& slot : ex.threads) slot = std::make_unique<ThreadRec>();
+  ex.nthreads = 1;
+  ThreadRec& t0 = *ex.threads[0];
+  t0.fn = body;
+  t0.clock.c[0] = 1;
+
+  g_exec = &ex;
+  t0.os = std::thread(thread_main, &ex, 0);
+  {
+    std::lock_guard<std::mutex> lk(ex.mu);
+    ex.active = 0;
+  }
+  ex.cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(ex.mu);
+    ex.cv.wait(lk, [&] {
+      for (int i = 0; i < ex.nthreads; ++i)
+        if (!ex.threads[i]->done) return false;
+      return true;
+    });
+  }
+  for (int i = 0; i < ex.nthreads; ++i)
+    if (ex.threads[i]->os.joinable()) ex.threads[i]->os.join();
+  g_exec = nullptr;
+
+  RunOutcome out;
+  out.failed = ex.failed;
+  out.fail_msg = ex.fail_msg;
+  out.events = std::move(ex.events);
+  return out;
+}
+
+std::string format_trace(const Options& opts, const RunOutcome& out) {
+  std::ostringstream os;
+  os << "=== sched trace: " << opts.name << " ===\n";
+  for (const auto& e : out.events) os << e << "\n";
+  if (out.failed) os << "=> " << out.fail_msg << "\n";
+  return os.str();
+}
+
+void maybe_write_trace_file(const Options& opts, const Result& res) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): only the single-threaded
+  // exploration driver reads the environment, never a checked body.
+  const char* dir = std::getenv("LACC_SCHED_TRACE_DIR");
+  if (!dir || !*dir) return;
+  std::string name = opts.name;
+  for (char& c : name)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_'))
+      c = '_';
+  std::ofstream f(std::string(dir) + "/" + name + "-trace.txt");
+  if (!f) return;
+  f << "failure: " << res.failure << "\n"
+    << "executions-before-failure: " << res.executions << "\n"
+    << "seed: " << res.failing_seed << "\n"
+    << "choices:";
+  for (int c : res.failing_choices) f << " " << c;
+  f << "\n\n" << res.trace;
+}
+
+}  // namespace
+}  // namespace detail
+
+std::uint64_t budget_scale() {
+  const std::int64_t v = env_int("LACC_SCHED_BUDGET", 1);
+  return v < 1 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+thread::~thread() {
+  if (id_ < 0) return;
+  using namespace detail;
+  if (in_run() && !exec().abort)
+    exec().mark_failed("error",
+                       "sched::thread destroyed without join (t" +
+                           std::to_string(id_) + ")");
+}
+
+Result explore(const Options& opts, const std::function<void()>& body) {
+  using namespace detail;
+  Result res;
+  Explorer explorer;
+  const bool random = opts.random_executions > 0;
+  explorer.mode = random ? Explorer::Mode::kRandom : Explorer::Mode::kExhaustive;
+  const std::uint64_t random_budget = opts.random_executions * budget_scale();
+
+  for (;;) {
+    const std::uint64_t seed = opts.seed + 0x9e3779b9ull * res.executions;
+    explorer.begin_run(seed);
+    RunOutcome out = run_one(opts, body, explorer, /*verbose=*/false);
+    ++res.executions;
+    res.decision_points = explorer.decision_points;
+    if (out.failed) {
+      res.ok = false;
+      res.failure = out.fail_msg;
+      res.failing_choices = explorer.run_choices;
+      res.failing_seed = seed;
+      // Replay the exact decision sequence with event recording on: the
+      // printed interleaving is the failing schedule, not a lookalike.
+      Explorer rex;
+      rex.mode = Explorer::Mode::kReplay;
+      rex.replay_choices = res.failing_choices;
+      rex.begin_run(seed);
+      RunOutcome vout = run_one(opts, body, rex, /*verbose=*/true);
+      res.trace = format_trace(opts, vout);
+      maybe_write_trace_file(opts, res);
+      return res;
+    }
+    if (random) {
+      if (res.executions >= random_budget) break;
+    } else {
+      if (!explorer.advance()) {
+        res.complete = true;
+        break;
+      }
+      if (opts.max_executions && res.executions >= opts.max_executions) break;
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+Result replay(const Options& opts, const std::function<void()>& body,
+              const std::vector<int>& choices) {
+  using namespace detail;
+  Result res;
+  Explorer rex;
+  rex.mode = Explorer::Mode::kReplay;
+  rex.replay_choices = choices;
+  rex.begin_run(opts.seed);
+  RunOutcome out = run_one(opts, body, rex, /*verbose=*/true);
+  res.executions = 1;
+  res.ok = !out.failed;
+  res.failure = out.fail_msg;
+  res.trace = format_trace(opts, out);
+  res.failing_choices = rex.run_choices;
+  return res;
+}
+
+}  // namespace lacc::sched

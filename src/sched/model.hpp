@@ -1,0 +1,173 @@
+// lacc::sched — a deterministic, schedule-exploring model checker for the
+// lock-free structures in this tree (loom/relacy style).
+//
+// A test hands `explore()` a body that spawns up to kMaxThreads
+// sched::threads and exercises a structure instantiated with
+// sched::SchedSyncPolicy (src/sched/shim.hpp).  Every shared-memory access
+// of the shimmed primitives — atomic load/store/RMW, mutex lock/unlock,
+// condition-variable wait/notify, spawn/join/yield — is a *schedule point*:
+// the access traps into a cooperative scheduler that runs exactly one
+// thread at a time and consults an exploration driver about who runs next.
+// The driver either enumerates every schedule exhaustively (DFS over the
+// decision tree, optionally preemption-bounded) or samples schedules from a
+// seeded PRNG; both are fully deterministic given the recorded decision
+// sequence, so any failing schedule replays exactly.
+//
+// Weak memory is modeled, not assumed away: each atomic location keeps its
+// full store history with vector clocks, and a load may return *any* store
+// that the C++ memory model permits (coherence plus happens-before
+// visibility).  Which store it returns is itself a scheduling decision, so
+// a missing release/acquire pair shows up as a schedule in which a reader
+// observes a stale value — this is what lets the mutation suites in
+// tests/sched/ prove the checker catches real ordering bugs.  seq_cst is
+// approximated conservatively with a global clock (it only *removes*
+// behaviors, never invents them); release sequences follow the C++20 rule
+// (RMWs extend them, plain stores break them).  See docs/CHECKING.md.
+//
+// Failures detected: LACC_SCHED_ASSERT violations, deadlock (no runnable
+// thread), exceptions escaping a thread body, and step-budget exhaustion
+// (livelock).  On failure the run is replayed with event recording on and
+// the exact interleaving is printed; `LACC_SCHED_TRACE_DIR` makes explore()
+// also write the trace to a file (CI uploads these as artifacts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lacc::sched {
+
+/// Hard cap on concurrently live threads per execution (including the
+/// body itself, which runs as thread 0).
+inline constexpr int kMaxThreads = 8;
+
+struct Options {
+  /// Test name, used in trace headers and trace-artifact file names.
+  std::string name = "sched";
+
+  /// 0 = exhaustive DFS over all schedules.  > 0 = that many random
+  /// schedules from `seed` (scaled by the LACC_SCHED_BUDGET env knob, so
+  /// nightly CI can deepen the search without a rebuild).
+  std::uint64_t random_executions = 0;
+  std::uint64_t seed = 0x5EED5C4EDull;
+
+  /// Max preemptions (switches away from a runnable thread) per schedule
+  /// in exhaustive mode; < 0 = unbounded.  CHESS-style: most concurrency
+  /// bugs surface within 2-3 preemptions, and the bound tames the tree.
+  int preemption_bound = -1;
+
+  /// Safety cap on explored schedules in exhaustive mode (0 = unlimited).
+  /// Hitting it clears Result::complete but is not a failure.
+  std::uint64_t max_executions = 0;
+
+  /// Per-schedule step budget; exceeding it fails the run as a livelock.
+  std::uint64_t max_steps = 200000;
+
+  /// Model spurious wakeups for plain (untimed) condition-variable waits.
+  /// Timed waits always explore the timeout path regardless.
+  bool spurious_wakeups = false;
+};
+
+struct Result {
+  bool ok = false;
+  bool complete = false;          ///< exhaustive mode: tree fully explored
+  std::uint64_t executions = 0;   ///< schedules run
+  std::uint64_t decision_points = 0;  ///< branch points seen (tree width)
+  std::string failure;            ///< failure kind + message ("" when ok)
+  std::string trace;              ///< formatted failing interleaving
+  std::vector<int> failing_choices;  ///< decision sequence for replay
+  std::uint64_t failing_seed = 0;    ///< PRNG seed of the failing schedule
+};
+
+/// Run `body` under schedule exploration.  The body is (re-)invoked once
+/// per schedule and must construct all shared state afresh; it runs as
+/// managed thread 0 and may spawn sched::threads.  Never throws — all
+/// failures are reported in the Result.
+Result explore(const Options& options, const std::function<void()>& body);
+
+/// Re-run `body` pinned to one recorded decision sequence (e.g.
+/// Result::failing_choices) and return that single run's result, trace
+/// included.  This is the replay path: same choices, same interleaving.
+Result replay(const Options& options, const std::function<void()>& body,
+              const std::vector<int>& choices);
+
+/// The LACC_SCHED_BUDGET env multiplier (>= 1) applied to
+/// Options::random_executions by explore().
+std::uint64_t budget_scale();
+
+namespace detail {
+
+// --- hooks the shim templates (shim.hpp) route through -------------------
+// All of these are no-ops / passthrough signals outside a live execution
+// (they return a negative index), so shimmed structures still work — as
+// plain single-threaded code — when used outside explore().
+
+bool active();    ///< calling OS thread is a managed thread of a live run
+bool tracing();   ///< verbose replay: shims should emit trace_event()
+void trace_event(const std::string& text);
+
+int reg_loc();
+int atomic_load(int loc, int order);      ///< -> store index to read
+int atomic_store(int loc, int order);     ///< -> new store index
+/// RMW protocol: rmw_read returns the (mandatory) latest store index and
+/// keeps the baton — no schedule point may intervene before the caller
+/// either commits the new value's metadata or abandons (CAS failure).
+int rmw_read(int loc, int order);
+int rmw_commit(int loc, int order);       ///< -> new store index
+void rmw_abandon(int loc, int order);     ///< CAS failure: load-only
+
+int reg_mutex();
+void mutex_lock(int m);
+void mutex_unlock(int m);
+
+int reg_cv();
+/// Returns true when the wait ended by (modeled) timeout; `timed` waits
+/// always have the timeout path explored as a scheduling choice.
+bool cv_wait(int cv, int m, bool timed);
+void cv_notify(int cv, bool all);
+
+int spawn(std::function<void()> fn);
+void join_thread(int id);
+void yield_point();
+
+[[noreturn]] void fail_assert(const char* expr, const char* file, int line);
+
+}  // namespace detail
+
+/// A managed thread handle.  Only constructible inside an explore() body;
+/// must be joined before destruction (an unjoined handle fails the run).
+class thread {
+ public:
+  explicit thread(std::function<void()> fn) : id_(detail::spawn(std::move(fn))) {}
+  thread(thread&& o) noexcept : id_(o.id_) { o.id_ = -1; }
+  thread& operator=(thread&& o) noexcept {
+    id_ = o.id_;
+    o.id_ = -1;
+    return *this;
+  }
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+  ~thread();
+
+  void join() {
+    detail::join_thread(id_);
+    id_ = -1;
+  }
+  bool joinable() const { return id_ >= 0; }
+
+ private:
+  int id_;
+};
+
+/// Voluntary schedule point (the shim policy's yield()).
+inline void yield() { detail::yield_point(); }
+
+}  // namespace lacc::sched
+
+/// Checked property inside an explore() body: a false condition fails the
+/// current schedule and aborts the run with a replayable trace.
+#define LACC_SCHED_ASSERT(cond)                                         \
+  do {                                                                  \
+    if (!(cond)) ::lacc::sched::detail::fail_assert(#cond, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,222 @@
+// Instrumented synchronization primitives for the lacc::sched model
+// checker — the SchedSyncPolicy counterparts of std::atomic / std::mutex /
+// std::condition_variable that the policy-templated structures
+// (support/sync.hpp) are instantiated with under test.
+//
+// Every operation traps into the scheduler (src/sched/model.hpp); atomic
+// loads consult the location's store history so weak-memory behaviors are
+// explored, not just thread interleavings.  Note the deliberately missing
+// default memory_order arguments: an implicit seq_cst that would compile
+// silently against std::atomic is a compile error against the shim, so
+// instantiating a structure with SchedSyncPolicy is itself a static audit
+// that every atomic op names its ordering (tools/lint_spmd.py enforces the
+// same rule textually).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sched/model.hpp"
+
+namespace lacc::sched {
+
+namespace detail {
+
+inline const char* order_name(std::memory_order o) {
+  switch (o) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+template <typename T>
+std::string value_text(const T& v) {
+  if constexpr (std::is_integral_v<T>)
+    return std::to_string(static_cast<long long>(v));
+  else if constexpr (std::is_enum_v<T>)
+    return std::to_string(static_cast<long long>(
+        static_cast<std::underlying_type_t<T>>(v)));
+  else
+    return "<value>";
+}
+
+}  // namespace detail
+
+template <typename T>
+class atomic {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  atomic() noexcept(std::is_nothrow_default_constructible_v<T>) : atomic(T{}) {}
+  explicit(false) atomic(T v) : plain_(v), loc_(detail::reg_loc()) {
+    if (loc_ >= 0) history_.push_back(v);
+  }
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order order) const {
+    const int idx = detail::atomic_load(loc_, static_cast<int>(order));
+    const T v = idx < 0 ? plain_ : history_[static_cast<std::size_t>(idx)];
+    note("load", order, v);
+    return v;
+  }
+
+  void store(T v, std::memory_order order) {
+    const int idx = detail::atomic_store(loc_, static_cast<int>(order));
+    plain_ = v;
+    if (idx >= 0) history_.push_back(v);
+    note("store", order, v);
+  }
+
+  T exchange(T v, std::memory_order order) {
+    const int idx = detail::rmw_read(loc_, static_cast<int>(order));
+    const T old = idx < 0 ? plain_ : history_.back();
+    plain_ = v;
+    if (idx >= 0) {
+      detail::rmw_commit(loc_, static_cast<int>(order));
+      history_.push_back(v);
+    }
+    note("exchange", order, v);
+    return old;
+  }
+
+  T fetch_add(T d, std::memory_order order) { return rmw_apply("fetch_add", d, order, std::plus<T>{}); }
+  T fetch_sub(T d, std::memory_order order) { return rmw_apply("fetch_sub", d, order, std::minus<T>{}); }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order order) {
+    return cas(expected, desired, order);
+  }
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order success,
+                               std::memory_order failure) {
+    return cas(expected, desired, success, failure);
+  }
+  /// The modeled weak CAS never fails spuriously (documented
+  /// under-approximation: spurious failure only adds retry schedules).
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order order) {
+    return cas(expected, desired, order);
+  }
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return cas(expected, desired, success, failure);
+  }
+
+ private:
+  template <typename Op>
+  T rmw_apply(const char* what, T d, std::memory_order order, Op op) {
+    const int idx = detail::rmw_read(loc_, static_cast<int>(order));
+    const T old = idx < 0 ? plain_ : history_.back();
+    const T next = op(old, d);
+    plain_ = next;
+    if (idx >= 0) {
+      detail::rmw_commit(loc_, static_cast<int>(order));
+      history_.push_back(next);
+    }
+    note(what, order, next);
+    return old;
+  }
+
+  bool cas(T& expected, T desired, std::memory_order success,
+           std::memory_order failure) {
+    const int idx = detail::rmw_read(loc_, static_cast<int>(success));
+    const T cur = idx < 0 ? plain_ : history_.back();
+    if (cur == expected) {
+      plain_ = desired;
+      if (idx >= 0) {
+        detail::rmw_commit(loc_, static_cast<int>(success));
+        history_.push_back(desired);
+      }
+      note("cas-ok", success, desired);
+      return true;
+    }
+    if (idx >= 0) detail::rmw_abandon(loc_, static_cast<int>(failure));
+    expected = cur;
+    note("cas-fail", failure, cur);
+    return false;
+  }
+  bool cas(T& expected, T desired, std::memory_order order) {
+    // Same failure-order demotion std::atomic applies.
+    const auto failure = order == std::memory_order_acq_rel
+                             ? std::memory_order_acquire
+                             : (order == std::memory_order_release
+                                    ? std::memory_order_relaxed
+                                    : order);
+    return cas(expected, desired, order, failure);
+  }
+
+  void note(const char* what, std::memory_order order, const T& v) const {
+    if (detail::tracing())
+      detail::trace_event("atomic#" + std::to_string(loc_) + " " + what + "(" +
+                          detail::order_name(order) + ") = " +
+                          detail::value_text(v));
+  }
+
+  T plain_;                        ///< latest value (passthrough path)
+  int loc_;                        ///< scheduler location id (-1 outside runs)
+  mutable std::vector<T> history_; ///< value of store i, parallel to the
+                                   ///< scheduler's per-location metadata
+};
+
+class mutex {
+ public:
+  mutex() : id_(detail::reg_mutex()) {}
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() { detail::mutex_lock(id_); }
+  void unlock() { detail::mutex_unlock(id_); }
+  int id() const { return id_; }
+
+ private:
+  int id_;
+};
+
+class condition_variable {
+ public:
+  condition_variable() : id_(detail::reg_cv()) {}
+  condition_variable(const condition_variable&) = delete;
+  condition_variable& operator=(const condition_variable&) = delete;
+
+  template <typename Lock>
+  void wait(Lock& lock) {
+    detail::cv_wait(id_, lock.mutex()->id(), /*timed=*/false);
+  }
+  template <typename Lock, typename Pred>
+  void wait(Lock& lock, Pred pred) {
+    while (!pred()) wait(lock);
+  }
+  /// Deadline ignored: whether the wait times out is a scheduling choice,
+  /// so both the notified and the timed-out continuation are explored.
+  template <typename Lock, typename Tp>
+  std::cv_status wait_until(Lock& lock, const Tp&) {
+    return detail::cv_wait(id_, lock.mutex()->id(), /*timed=*/true)
+               ? std::cv_status::timeout
+               : std::cv_status::no_timeout;
+  }
+
+  void notify_one() { detail::cv_notify(id_, /*all=*/false); }
+  void notify_all() { detail::cv_notify(id_, /*all=*/true); }
+
+ private:
+  int id_;
+};
+
+struct SchedSyncPolicy {
+  template <typename T>
+  using atomic = sched::atomic<T>;
+  using mutex = sched::mutex;
+  using condition_variable = sched::condition_variable;
+
+  static void yield() { sched::yield(); }
+  static constexpr int spin_bound = 1;
+};
+
+}  // namespace lacc::sched

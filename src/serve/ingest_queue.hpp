@@ -1,0 +1,185 @@
+// Bounded write-ingest queue for lacc::serve (extracted from Server so the
+// model checker can instantiate it standalone).
+//
+// One consumer (the engine thread) drains micro-batches; any number of
+// producers push items and receive strictly increasing sequence tickets.
+// Admission control under a full queue either blocks the producer
+// (backpressure) or sheds the push.  The applied-sequence watermark backs
+// read-your-writes session reads and flush(): a waiter parks until the
+// consumer has marked its ticket applied.
+//
+// Templated over a sync policy (support/sync.hpp): IngestQueue below is the
+// production alias over the std primitives; the deterministic model checker
+// (src/sched/, docs/CHECKING.md) instantiates BasicIngestQueue with
+// sched::SchedSyncPolicy and verifies ticket uniqueness, FIFO batch order,
+// exactly-once delivery, shed-only-when-full, and deadlock freedom of the
+// stop/flush/blocked-producer protocol across every explored schedule
+// (tests/sched/sched_ingest_queue_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/sync.hpp"
+
+namespace lacc::serve {
+
+template <typename SyncPolicy, typename Item>
+class BasicIngestQueue {
+ public:
+  enum class Push {
+    kAccepted,
+    kShed,     ///< rejected: queue full under shed admission
+    kStopped,  ///< rejected: stop() already called
+  };
+  struct PushResult {
+    Push outcome = Push::kStopped;
+    std::uint64_t seq = 0;  ///< ticket (valid only when kAccepted)
+  };
+
+  /// `shed_when_full` selects shed admission; otherwise producers block.
+  BasicIngestQueue(std::size_t capacity, bool shed_when_full)
+      : capacity_(capacity), shed_when_full_(shed_when_full) {}
+  BasicIngestQueue(const BasicIngestQueue&) = delete;
+  BasicIngestQueue& operator=(const BasicIngestQueue&) = delete;
+
+  /// Producer: enqueue `make(seq)` under the next ticket.  The factory runs
+  /// under the queue lock, after admission has succeeded, so a ticket is
+  /// issued if and only if its item is enqueued.
+  template <typename MakeItem>
+  PushResult push(MakeItem&& make) {
+    std::uint64_t seq = 0;
+    {
+      std::unique_lock<Mutex> lock(mu_);
+      if (stopping_) return {Push::kStopped, 0};
+      if (queue_.size() >= capacity_) {
+        if (shed_when_full_) return {Push::kShed, 0};
+        cv_space_.wait(lock, [&] {
+          return stopping_ || queue_.size() < capacity_;
+        });
+        if (stopping_) return {Push::kStopped, 0};
+      }
+      seq = ++accepted_seq_;
+      queue_.push_back(make(seq));
+      max_depth_ = std::max(max_depth_, static_cast<std::uint64_t>(queue_.size()));
+    }
+    cv_work_.notify_one();
+    return {Push::kAccepted, seq};
+  }
+
+  /// Consumer: block until work (or stop), then close a batch of up to
+  /// `max_batch` items into `out` — immediately if the batch is full, a
+  /// flush is pending, or stop was requested; otherwise when the deadline
+  /// `deadline_of(front-of-queue)` expires (size-or-deadline micro-batch
+  /// trigger).  Returns false exactly once: stopped *and* fully drained, so
+  /// every accepted ticket is eventually handed to the consumer.
+  template <typename DeadlineOf>
+  bool pop_batch(std::vector<Item>& out, std::size_t max_batch,
+                 DeadlineOf&& deadline_of) {
+    out.clear();
+    {
+      std::unique_lock<Mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return false;  // stopping and drained
+      const auto deadline = deadline_of(queue_.front());
+      while (!stopping_ && flush_waiters_ == 0 &&
+             queue_.size() < max_batch) {
+        if (cv_work_.wait_until(lock, deadline) == std::cv_status::timeout)
+          break;
+      }
+      const auto take = static_cast<std::ptrdiff_t>(
+          std::min(queue_.size(), max_batch));
+      out.assign(queue_.begin(), queue_.begin() + take);
+      queue_.erase(queue_.begin(), queue_.begin() + take);
+    }
+    cv_space_.notify_all();
+    return true;
+  }
+
+  /// Consumer: tickets through `seq` are now covered (published).  Wakes
+  /// session reads and flushes waiting at or below the watermark.
+  void mark_applied(std::uint64_t seq) {
+    {
+      std::lock_guard<Mutex> lock(mu_);
+      applied_seq_ = seq;
+    }
+    cv_watermark_.notify_all();
+  }
+
+  /// Wait until ticket `seq` is applied.  False = the ticket was never
+  /// issued.  Accepted tickets are always drained (pop_batch keeps handing
+  /// out batches after stop() until empty), so this terminates even during
+  /// shutdown.
+  bool wait_for(std::uint64_t seq) {
+    std::unique_lock<Mutex> lock(mu_);
+    if (seq > accepted_seq_) return false;
+    cv_watermark_.wait(lock, [&] { return applied_seq_ >= seq; });
+    return true;
+  }
+
+  /// Force the pending batch to close now and wait until every ticket
+  /// accepted so far is applied.
+  void flush() {
+    std::unique_lock<Mutex> lock(mu_);
+    const std::uint64_t target = accepted_seq_;
+    ++flush_waiters_;
+    cv_work_.notify_one();
+    cv_watermark_.wait(lock, [&] { return applied_seq_ >= target; });
+    --flush_waiters_;
+  }
+
+  /// Stop admitting pushes and release blocked producers.  Already-accepted
+  /// items keep flowing to the consumer until the queue drains.
+  void stop() {
+    {
+      std::lock_guard<Mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<Mutex> lock(mu_);
+    return queue_.size();
+  }
+  std::uint64_t max_depth() const {
+    std::lock_guard<Mutex> lock(mu_);
+    return max_depth_;
+  }
+  std::uint64_t accepted_seq() const {
+    std::lock_guard<Mutex> lock(mu_);
+    return accepted_seq_;
+  }
+  std::uint64_t applied_seq() const {
+    std::lock_guard<Mutex> lock(mu_);
+    return applied_seq_;
+  }
+
+ private:
+  using Mutex = typename SyncPolicy::mutex;
+
+  const std::size_t capacity_;
+  const bool shed_when_full_;
+
+  mutable Mutex mu_;
+  typename SyncPolicy::condition_variable cv_work_;       ///< consumer wakeups
+  typename SyncPolicy::condition_variable cv_space_;      ///< blocked producers
+  typename SyncPolicy::condition_variable cv_watermark_;  ///< session reads / flush
+  std::deque<Item> queue_;
+  std::uint64_t accepted_seq_ = 0;   ///< last ticket issued
+  std::uint64_t applied_seq_ = 0;    ///< last ticket covered by the consumer
+  std::uint64_t flush_waiters_ = 0;  ///< force early batch close when > 0
+  std::uint64_t max_depth_ = 0;
+  bool stopping_ = false;
+};
+
+template <typename Item>
+using IngestQueue = BasicIngestQueue<support::StdSyncPolicy, Item>;
+
+}  // namespace lacc::serve

@@ -16,14 +16,6 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
-void bump_max(std::atomic<std::uint64_t>& target, std::uint64_t candidate) {
-  std::uint64_t prev = target.load(std::memory_order_relaxed);
-  while (prev < candidate &&
-         !target.compare_exchange_weak(prev, candidate,
-                                       std::memory_order_relaxed)) {
-  }
-}
-
 }  // namespace
 
 const char* to_string(ServeStatus status) {
@@ -53,6 +45,7 @@ Server::Server(VertexId n, int nranks, const sim::MachineModel& machine,
       options_(options),
       store_(options.retain_epochs),
       log_(options.record_requests),
+      ingest_(options.queue_capacity, options.admission == Admission::kShed),
       engine_(n, nranks, machine, options.stream),
       started_(Clock::now()) {
   // Epoch 0: the empty graph, every vertex its own component.  Published
@@ -72,34 +65,21 @@ WriteResult Server::insert_edge(VertexId u, VertexId v) {
     span.set_ok(false);
     return {ServeStatus::kUnknownVertex, 0};
   }
-  std::uint64_t seq = 0;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (stopping_) {
+  const auto push = ingest_.push(
+      [&](std::uint64_t seq) { return PendingWrite{u, v, seq, Clock::now()}; });
+  switch (push.outcome) {
+    case decltype(ingest_)::Push::kStopped:
       span.set_ok(false);
       return {ServeStatus::kStopped, 0};
-    }
-    if (queue_.size() >= options_.queue_capacity) {
-      if (options_.admission == Admission::kShed) {
-        writes_shed_.fetch_add(1, std::memory_order_relaxed);
-        span.set_ok(false);
-        return {ServeStatus::kShed, 0};
-      }
-      cv_space_.wait(lock, [&] {
-        return stopping_ || queue_.size() < options_.queue_capacity;
-      });
-      if (stopping_) {
-        span.set_ok(false);
-        return {ServeStatus::kStopped, 0};
-      }
-    }
-    seq = ++accepted_seq_;
-    queue_.push_back({u, v, seq, Clock::now()});
-    bump_max(max_queue_depth_, queue_.size());
+    case decltype(ingest_)::Push::kShed:
+      writes_shed_.fetch_add(1, std::memory_order_relaxed);
+      span.set_ok(false);
+      return {ServeStatus::kShed, 0};
+    case decltype(ingest_)::Push::kAccepted:
+      break;
   }
   writes_accepted_.fetch_add(1, std::memory_order_relaxed);
-  cv_work_.notify_one();
-  return {ServeStatus::kOk, seq};
+  return {ServeStatus::kOk, push.seq};
 }
 
 ReadResult Server::component_of(VertexId v, std::uint64_t ticket) const {
@@ -192,44 +172,26 @@ ReadResult Server::read_pinned(const char* what, std::uint64_t epoch,
 }
 
 ServeStatus Server::wait_for_ticket(std::uint64_t ticket) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (ticket > accepted_seq_) return ServeStatus::kInvalidTicket;
   // Accepted writes are always drained (stop() finishes the queue before
   // joining), so this wait terminates even during shutdown.
-  cv_watermark_.wait(lock, [&] { return applied_seq_ >= ticket; });
-  return ServeStatus::kOk;
+  return ingest_.wait_for(ticket) ? ServeStatus::kOk
+                                  : ServeStatus::kInvalidTicket;
 }
 
 void Server::engine_main() {
-  for (;;) {
-    std::vector<PendingWrite> batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      // Size-or-deadline batch close: wait until the batch fills or the
-      // oldest pending write's window expires.  stop() and flush() force
-      // an immediate close.
-      const auto deadline =
-          queue_.front().enqueued +
-          std::chrono::duration_cast<Clock::duration>(
-              std::chrono::duration<double, std::milli>(
-                  options_.batch_window_ms));
-      while (!stopping_ && flush_waiters_ == 0 &&
-             queue_.size() < options_.batch_max_edges) {
-        if (cv_work_.wait_until(lock, deadline) == std::cv_status::timeout)
-          break;
-      }
-      const auto take = static_cast<std::ptrdiff_t>(
-          std::min(queue_.size(), options_.batch_max_edges));
-      batch.assign(queue_.begin(), queue_.begin() + take);
-      queue_.erase(queue_.begin(), queue_.begin() + take);
-    }
-    cv_space_.notify_all();
+  std::vector<PendingWrite> batch;
+  // Size-or-deadline batch close: a batch ships when it fills, when the
+  // oldest pending write's window expires, or when stop()/flush() force an
+  // immediate close (all inside pop_batch).
+  while (ingest_.pop_batch(batch, options_.batch_max_edges,
+                           [&](const PendingWrite& front) {
+                             return front.enqueued +
+                                    std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double, std::milli>(
+                                            options_.batch_window_ms));
+                           })) {
     apply_batch(std::move(batch));
+    batch.clear();
   }
 }
 
@@ -254,30 +216,14 @@ void Server::apply_batch(std::vector<PendingWrite> batch) {
   for (const PendingWrite& w : batch)
     commit_latency_.record_seconds(seconds_between(w.enqueued, now));
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    applied_seq_ = batch.back().seq;
-  }
-  cv_watermark_.notify_all();
+  ingest_.mark_applied(batch.back().seq);
 }
 
-void Server::flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  const std::uint64_t target = accepted_seq_;
-  ++flush_waiters_;
-  cv_work_.notify_one();
-  cv_watermark_.wait(lock, [&] { return applied_seq_ >= target; });
-  --flush_waiters_;
-}
+void Server::flush() { ingest_.flush(); }
 
 void Server::stop() {
   std::call_once(stop_once_, [this] {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stopping_ = true;
-    }
-    cv_work_.notify_all();
-    cv_space_.notify_all();
+    ingest_.stop();
     // The engine thread drains every accepted write before exiting, so
     // session reads waiting on tickets still complete.
     if (engine_thread_.joinable()) engine_thread_.join();
@@ -297,11 +243,8 @@ ServeStats Server::stats() const {
   s.writes_shed = writes_shed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_edges = batched_edges_.load(std::memory_order_relaxed);
-  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s.queue_depth = queue_.size();
-  }
+  s.max_queue_depth = ingest_.max_depth();
+  s.queue_depth = ingest_.size();
   const auto snap = store_.current();
   s.current_epoch = snap->epoch();
   s.components = snap->num_components();

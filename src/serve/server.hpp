@@ -44,6 +44,7 @@
 
 #include "graph/edge_list.hpp"
 #include "obs/latency.hpp"
+#include "serve/ingest_queue.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/trace.hpp"
 #include "sim/machine.hpp"
@@ -217,16 +218,8 @@ class Server {
   SnapshotStore store_;
   mutable RequestLog log_;
 
-  // Queue state (guarded by mu_).
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_work_;       ///< engine thread wakeups
-  mutable std::condition_variable cv_space_;      ///< blocked writers
-  mutable std::condition_variable cv_watermark_;  ///< session reads / flush
-  std::deque<PendingWrite> queue_;
-  std::uint64_t accepted_seq_ = 0;   ///< last ticket issued
-  std::uint64_t applied_seq_ = 0;    ///< last ticket covered by an epoch
-  std::uint64_t flush_waiters_ = 0;  ///< force early batch close when > 0
-  bool stopping_ = false;
+  /// Bounded write queue + ticket watermark (serve/ingest_queue.hpp).
+  mutable IngestQueue<PendingWrite> ingest_;
   std::once_flag stop_once_;
   std::atomic<bool> stopped_{false};  ///< set after the engine thread joins
 
@@ -241,7 +234,6 @@ class Server {
   std::atomic<std::uint64_t> writes_shed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_edges_{0};
-  std::atomic<std::uint64_t> max_queue_depth_{0};
   mutable obs::LatencyHistogram read_latency_;
   obs::LatencyHistogram commit_latency_;
   const std::chrono::steady_clock::time_point started_;

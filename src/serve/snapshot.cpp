@@ -5,55 +5,6 @@
 
 namespace lacc::serve {
 
-namespace {
-
-/// splitmix64 finalizer: cheap, well-mixed slot hash for packed pairs.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
-constexpr std::uint64_t kSameBit = std::uint64_t{1} << 62;
-
-}  // namespace
-
-PairCache::PairCache(std::uint32_t bits, VertexId n) {
-  // Vertex ids must fit 31 bits each so (valid, same, u, v) packs into one
-  // atomic word; otherwise stay disabled and let every lookup miss.
-  if (bits == 0 || bits > 28 || n >= (VertexId{1} << 31)) return;
-  slots_ = std::vector<std::atomic<std::uint64_t>>(std::size_t{1} << bits);
-}
-
-std::uint64_t PairCache::pack(VertexId u, VertexId v, bool same) {
-  return kValidBit | (same ? kSameBit : 0) | (std::uint64_t{u} << 31) |
-         std::uint64_t{v};
-}
-
-std::size_t PairCache::slot_of(VertexId u, VertexId v) const {
-  return static_cast<std::size_t>(mix64((std::uint64_t{u} << 32) | v)) &
-         (slots_.size() - 1);
-}
-
-std::optional<bool> PairCache::lookup(VertexId u, VertexId v) const {
-  if (!enabled()) return std::nullopt;
-  const std::uint64_t entry =
-      slots_[slot_of(u, v)].load(std::memory_order_relaxed);
-  if ((entry | kSameBit) == (pack(u, v, true))) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return (entry & kSameBit) != 0;
-  }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  return std::nullopt;
-}
-
-void PairCache::insert(VertexId u, VertexId v, bool same) const {
-  if (!enabled()) return;
-  slots_[slot_of(u, v)].store(pack(u, v, same), std::memory_order_relaxed);
-}
-
 Snapshot::Snapshot(std::uint64_t epoch, std::vector<VertexId> labels,
                    std::size_t top_k, std::uint32_t cache_bits)
     : epoch_(epoch),

@@ -22,9 +22,25 @@
 #include <utility>
 #include <vector>
 
+#include "support/sync.hpp"
 #include "support/types.hpp"
 
 namespace lacc::serve {
+
+namespace detail {
+
+/// splitmix64 finalizer: cheap, well-mixed slot hash for packed pairs.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline constexpr std::uint64_t kPairValidBit = std::uint64_t{1} << 63;
+inline constexpr std::uint64_t kPairSameBit = std::uint64_t{1} << 62;
+
+}  // namespace detail
 
 /// Lock-free fixed-size cache of same_component(u, v) answers for one
 /// epoch.  Each slot is a single atomic word packing (valid, answer, u, v),
@@ -32,20 +48,50 @@ namespace lacc::serve {
 /// can only miss, never return a wrong answer.  Requires vertex ids below
 /// 2^31; for larger graphs the cache disables itself and every lookup
 /// misses (callers fall through to the O(1) label comparison).
-class PairCache {
+///
+/// All slot accesses are deliberately relaxed: a slot's full key rides in
+/// the same word as the answer, so there is no cross-word publication to
+/// order.  The model checker explores every schedule of concurrent
+/// lookup/insert races and checks "never a wrong answer, only misses"
+/// directly (tests/sched/sched_paircache_test.cpp); contrast with the
+/// two-word SplitPairCache in the mutation suite, which *does* need a
+/// release and fails when it is dropped.
+///
+/// Templated over a sync policy (support/sync.hpp); PairCache below is the
+/// production alias over std::atomic.
+template <typename SyncPolicy>
+class BasicPairCache {
  public:
   /// `bits` = log2 of the slot count (0 disables); `n` = vertex count.
-  PairCache(std::uint32_t bits, VertexId n);
+  BasicPairCache(std::uint32_t bits, VertexId n) {
+    // Vertex ids must fit 31 bits each so (valid, same, u, v) packs into
+    // one atomic word; otherwise stay disabled and let every lookup miss.
+    if (bits == 0 || bits > 28 || n >= (VertexId{1} << 31)) return;
+    slots_ = std::vector<Atomic<std::uint64_t>>(std::size_t{1} << bits);
+  }
 
   bool enabled() const { return !slots_.empty(); }
   std::size_t capacity() const { return slots_.size(); }
 
   /// Cached answer for the *ordered* pair (u < v), if present.
-  std::optional<bool> lookup(VertexId u, VertexId v) const;
+  std::optional<bool> lookup(VertexId u, VertexId v) const {
+    if (!enabled()) return std::nullopt;
+    const std::uint64_t entry =
+        slots_[slot_of(u, v)].load(std::memory_order_relaxed);
+    if ((entry | detail::kPairSameBit) == pack(u, v, true)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return (entry & detail::kPairSameBit) != 0;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
 
   /// Publish an answer for the ordered pair (u < v).  Callable on a const
   /// snapshot: the cache is the snapshot's one mutable (atomic) member.
-  void insert(VertexId u, VertexId v, bool same) const;
+  void insert(VertexId u, VertexId v, bool same) const {
+    if (!enabled()) return;
+    slots_[slot_of(u, v)].store(pack(u, v, same), std::memory_order_relaxed);
+  }
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
@@ -53,13 +99,25 @@ class PairCache {
   }
 
  private:
-  static std::uint64_t pack(VertexId u, VertexId v, bool same);
-  std::size_t slot_of(VertexId u, VertexId v) const;
+  template <typename T>
+  using Atomic = typename SyncPolicy::template atomic<T>;
 
-  mutable std::vector<std::atomic<std::uint64_t>> slots_;
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
+  static std::uint64_t pack(VertexId u, VertexId v, bool same) {
+    return detail::kPairValidBit | (same ? detail::kPairSameBit : 0) |
+           (std::uint64_t{u} << 31) | std::uint64_t{v};
+  }
+  std::size_t slot_of(VertexId u, VertexId v) const {
+    return static_cast<std::size_t>(
+               detail::mix64((std::uint64_t{u} << 32) | v)) &
+           (slots_.size() - 1);
+  }
+
+  mutable std::vector<Atomic<std::uint64_t>> slots_;
+  mutable Atomic<std::uint64_t> hits_{0};
+  mutable Atomic<std::uint64_t> misses_{0};
 };
+
+using PairCache = BasicPairCache<support::StdSyncPolicy>;
 
 /// One immutable epoch view.  Everything except the pair cache is set at
 /// construction and never mutated, so any number of threads may read it.

@@ -1,0 +1,131 @@
+// Reusable generation barrier for the SPMD runtime (extracted from
+// sim/comm.hpp so the model checker can instantiate it standalone).
+//
+// Templated over a sync policy (support/sync.hpp): Barrier below is the
+// production alias over the std primitives; the deterministic model checker
+// (src/sched/, docs/CHECKING.md) instantiates BasicBarrier with
+// sched::SchedSyncPolicy and explores every arrival/release/poison
+// schedule, including the acquire/release publication chain that the
+// collectives rely on to see each other's posted slots
+// (tests/sched/sched_barrier_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/check.hpp"
+#include "support/sync.hpp"
+
+namespace lacc::sim {
+
+/// Thrown inside surviving ranks when a sibling rank failed; run_spmd
+/// rethrows the original error to the caller.
+struct Poisoned : std::exception {
+  const char* what() const noexcept override { return "sibling rank failed"; }
+};
+
+/// Reusable generation barrier with a shared poison flag so that a failing
+/// rank releases (rather than deadlocks) its siblings.
+///
+/// Two-phase wait: arrivals spin on the generation counter with
+/// sched_yield for a bounded number of rounds before falling back to a
+/// condition-variable sleep.  Every collective crosses this barrier twice,
+/// and with P virtual ranks oversubscribing few cores the futex
+/// sleep/wake chain of a pure mutex+cv barrier costs milliseconds per
+/// superstep — yielding hands the core straight to the next runnable rank
+/// instead.  The bounded spin keeps a long-running sibling from being
+/// starved by a yield storm.  (The spin bound comes from the sync policy:
+/// 256 in production, 1 under the model checker, where spinning is pure
+/// schedule-tree width.)
+template <typename SyncPolicy>
+class BasicBarrier {
+ public:
+  template <typename T>
+  using Atomic = typename SyncPolicy::template atomic<T>;
+
+  BasicBarrier(int n, std::shared_ptr<Atomic<bool>> poison)
+      : n_(n), poison_(std::move(poison)) {}
+
+  void arrive_and_wait() {
+    if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+    throw_if_retired();
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    // The RMW chain on waiting_ orders every arrival's slot writes before
+    // the releaser's generation bump, so readers of the posted slots
+    // synchronize through the acquire load below.
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      {
+        // The lock orders the bump against the sleep path's re-check:
+        // without it a sibling could test the generation, then block after
+        // the notify and sleep forever (previously masked by a 50 ms poll).
+        std::lock_guard<typename SyncPolicy::mutex> lock(mutex_);
+        generation_.store(gen + 1, std::memory_order_release);
+      }
+      cv_.notify_all();
+      return;
+    }
+    for (int spin = 0; spin < SyncPolicy::spin_bound; ++spin) {
+      if (generation_.load(std::memory_order_acquire) != gen) return;
+      if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+      throw_if_retired();
+      SyncPolicy::yield();
+    }
+    std::unique_lock<typename SyncPolicy::mutex> lock(mutex_);
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (poison_->load(std::memory_order_relaxed)) throw Poisoned{};
+      throw_if_retired();
+      cv_.wait(lock);
+    }
+  }
+
+  void poison() {
+    {
+      // Same lock-ordered store as the release path, for the same reason.
+      std::lock_guard<typename SyncPolicy::mutex> lock(mutex_);
+      poison_->store(true, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+
+  /// A member rank finished its SPMD body without failing.  Any sibling
+  /// that arrives (or is waiting) at this barrier afterwards can never be
+  /// released — the conformance checker turns that guaranteed deadlock into
+  /// an error.  Only called when checking is enabled.
+  void note_retired() {
+    {
+      std::lock_guard<typename SyncPolicy::mutex> lock(mutex_);
+      retired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void throw_if_retired() const {
+    const int gone = retired_.load(std::memory_order_relaxed);
+    if (gone > 0)
+      throw check::ConformanceError(
+          "SPMD conformance violation: collective can never complete — " +
+          std::to_string(gone) +
+          " member rank(s) already finished their SPMD body (a rank skipped "
+          "a collective or returned early)");
+  }
+
+  mutable typename SyncPolicy::mutex mutex_;
+  typename SyncPolicy::condition_variable cv_;
+  const int n_;
+  Atomic<int> waiting_{0};
+  Atomic<std::uint64_t> generation_{0};
+  Atomic<int> retired_{0};
+  std::shared_ptr<Atomic<bool>> poison_;
+};
+
+using Barrier = BasicBarrier<support::StdSyncPolicy>;
+
+}  // namespace lacc::sim

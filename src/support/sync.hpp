@@ -1,0 +1,38 @@
+// Synchronization policy for the concurrent structures in this tree.
+//
+// Every lock-free / blocking structure (obs::LatencyHistogram,
+// serve::PairCache, serve::IngestQueue, sim::Barrier, the Afforest
+// union-find ops in core/afforest.hpp) is a template over a *sync policy*
+// that names the atomic, mutex, condition-variable, and yield primitives it
+// uses.  Production code instantiates them with StdSyncPolicy below — pure
+// aliases for the std:: primitives, so the generated code is bit-identical
+// to writing std::atomic directly.  The deterministic model checker
+// (src/sched/, docs/CHECKING.md) instantiates the same templates with
+// sched::SchedSyncPolicy, which routes every shared-memory access through a
+// schedule-exploring cooperative scheduler.  Two instantiations, one source
+// of truth for the algorithm.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace lacc::support {
+
+struct StdSyncPolicy {
+  template <typename T>
+  using atomic = std::atomic<T>;
+  using mutex = std::mutex;
+  using condition_variable = std::condition_variable;
+
+  static void yield() { std::this_thread::yield(); }
+
+  /// Rounds a spin-then-sleep wait loop spins before parking.  The model
+  /// checker's policy sets this to 1: spinning is a latency optimization
+  /// with no semantic content, and a short bound keeps the schedule tree
+  /// small while still exercising both the spin and the sleep path.
+  static constexpr int spin_bound = 256;
+};
+
+}  // namespace lacc::support

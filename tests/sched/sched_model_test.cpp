@@ -1,0 +1,286 @@
+// Self-tests for the lacc::sched model checker itself: classic litmus
+// shapes where the correct and the buggy variant differ by one memory
+// order, plus deadlock detection, replay determinism, and the exploration
+// knobs.  These pin down the checker's verdicts before the structure
+// suites rely on them.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/model.hpp"
+#include "sched/shim.hpp"
+
+namespace {
+
+using lacc::sched::Options;
+using lacc::sched::Result;
+using lacc::sched::explore;
+using lacc::sched::replay;
+
+Options opts(const char* name) {
+  Options o;
+  o.name = name;
+  return o;
+}
+
+// --- message passing: the canonical release/acquire litmus ----------------
+
+void mp_release_acquire() {
+  auto data = std::make_shared<lacc::sched::atomic<int>>(0);
+  auto flag = std::make_shared<lacc::sched::atomic<int>>(0);
+  lacc::sched::thread w([data, flag] {
+    data->store(42, std::memory_order_relaxed);
+    flag->store(1, std::memory_order_release);
+  });
+  if (flag->load(std::memory_order_acquire) == 1)
+    LACC_SCHED_ASSERT(data->load(std::memory_order_relaxed) == 42);
+  w.join();
+}
+
+void mp_relaxed() {
+  auto data = std::make_shared<lacc::sched::atomic<int>>(0);
+  auto flag = std::make_shared<lacc::sched::atomic<int>>(0);
+  lacc::sched::thread w([data, flag] {
+    data->store(42, std::memory_order_relaxed);
+    flag->store(1, std::memory_order_relaxed);  // missing release
+  });
+  if (flag->load(std::memory_order_acquire) == 1)
+    LACC_SCHED_ASSERT(data->load(std::memory_order_relaxed) == 42);
+  w.join();
+}
+
+TEST(SchedModel, MessagePassingWithReleaseAcquirePasses) {
+  const Result r = explore(opts("mp-rel-acq"), mp_release_acquire);
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.executions, 1u);
+}
+
+TEST(SchedModel, MessagePassingWithoutReleaseIsCaught) {
+  const Result r = explore(opts("mp-relaxed"), mp_relaxed);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("assertion"), std::string::npos) << r.failure;
+  EXPECT_FALSE(r.failing_choices.empty());
+  EXPECT_NE(r.trace.find("FAIL"), std::string::npos) << r.trace;
+}
+
+TEST(SchedModel, RandomModeCatchesTheRelaxedBugToo) {
+  Options o = opts("mp-relaxed-random");
+  o.random_executions = 500;
+  const Result r = explore(o, mp_relaxed);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(SchedModel, ReplayReproducesTheExactFailure) {
+  const Result r = explore(opts("mp-relaxed"), mp_relaxed);
+  ASSERT_FALSE(r.ok);
+  const Result again = replay(opts("mp-relaxed"), mp_relaxed, r.failing_choices);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.failure, r.failure);
+  // The trace names the stale read: the acquire load saw the flag but the
+  // data load returned the initial value.
+  EXPECT_NE(again.trace.find("load(relaxed) = 0"), std::string::npos)
+      << again.trace;
+}
+
+// --- lost update: non-atomic read-modify-write --------------------------
+
+TEST(SchedModel, LostUpdateIsCaught) {
+  const Result r = explore(opts("lost-update"), [] {
+    auto x = std::make_shared<lacc::sched::atomic<int>>(0);
+    auto bump = [x] {
+      const int v = x->load(std::memory_order_relaxed);  // not an RMW
+      x->store(v + 1, std::memory_order_relaxed);
+    };
+    lacc::sched::thread a(bump), b(bump);
+    a.join();
+    b.join();
+    LACC_SCHED_ASSERT(x->load(std::memory_order_relaxed) == 2);
+  });
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(SchedModel, FetchAddNeverLosesUpdates) {
+  const Result r = explore(opts("fetch-add"), [] {
+    auto x = std::make_shared<lacc::sched::atomic<int>>(0);
+    auto bump = [x] { x->fetch_add(1, std::memory_order_relaxed); };
+    lacc::sched::thread a(bump), b(bump);
+    a.join();
+    b.join();
+    LACC_SCHED_ASSERT(x->load(std::memory_order_relaxed) == 2);
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+// --- deadlock detection -------------------------------------------------
+
+TEST(SchedModel, AbBaDeadlockIsDetected) {
+  const Result r = explore(opts("ab-ba"), [] {
+    auto m1 = std::make_shared<lacc::sched::mutex>();
+    auto m2 = std::make_shared<lacc::sched::mutex>();
+    lacc::sched::thread a([m1, m2] {
+      m1->lock();
+      m2->lock();
+      m2->unlock();
+      m1->unlock();
+    });
+    lacc::sched::thread b([m1, m2] {
+      m2->lock();
+      m1->lock();
+      m1->unlock();
+      m2->unlock();
+    });
+    a.join();
+    b.join();
+  });
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("deadlock"), std::string::npos) << r.failure;
+}
+
+TEST(SchedModel, ConsistentLockOrderPasses) {
+  const Result r = explore(opts("ab-ab"), [] {
+    auto m1 = std::make_shared<lacc::sched::mutex>();
+    auto m2 = std::make_shared<lacc::sched::mutex>();
+    auto body = [m1, m2] {
+      m1->lock();
+      m2->lock();
+      m2->unlock();
+      m1->unlock();
+    };
+    lacc::sched::thread a(body), b(body);
+    a.join();
+    b.join();
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+// --- condition variables -------------------------------------------------
+
+TEST(SchedModel, CvHandshakeCompletesOnEverySchedule) {
+  const Result r = explore(opts("cv-handshake"), [] {
+    struct Shared {
+      lacc::sched::mutex mu;
+      lacc::sched::condition_variable cv;
+      bool ready = false;
+    };
+    auto s = std::make_shared<Shared>();
+    lacc::sched::thread w([s] {
+      {
+        std::lock_guard<lacc::sched::mutex> lock(s->mu);
+        s->ready = true;
+      }
+      s->cv.notify_one();
+    });
+    {
+      std::unique_lock<lacc::sched::mutex> lock(s->mu);
+      s->cv.wait(lock, [&] { return s->ready; });
+      LACC_SCHED_ASSERT(s->ready);
+    }
+    w.join();
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(SchedModel, MissedWakeupWithoutPredicateIsCaught) {
+  // Classic bug: notify before wait + no predicate => waiter sleeps
+  // forever on the schedule where the signaler runs first.
+  const Result r = explore(opts("missed-wakeup"), [] {
+    struct Shared {
+      lacc::sched::mutex mu;
+      lacc::sched::condition_variable cv;
+    };
+    auto s = std::make_shared<Shared>();
+    lacc::sched::thread w([s] { s->cv.notify_one(); });
+    {
+      std::unique_lock<lacc::sched::mutex> lock(s->mu);
+      s->cv.wait(lock);  // no predicate, no timeout
+    }
+    w.join();
+  });
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("deadlock"), std::string::npos) << r.failure;
+}
+
+TEST(SchedModel, TimedWaitAloneTimesOutInsteadOfDeadlocking) {
+  const Result r = explore(opts("timed-wait"), [] {
+    struct Shared {
+      lacc::sched::mutex mu;
+      lacc::sched::condition_variable cv;
+    };
+    auto s = std::make_shared<Shared>();
+    std::unique_lock<lacc::sched::mutex> lock(s->mu);
+    const auto st = s->cv.wait_until(lock, /*ignored deadline=*/0);
+    LACC_SCHED_ASSERT(st == std::cv_status::timeout);
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+}
+
+// --- exploration knobs ---------------------------------------------------
+
+TEST(SchedModel, PreemptionBoundShrinksTheTree) {
+  auto body = [] {
+    auto x = std::make_shared<lacc::sched::atomic<int>>(0);
+    auto bump = [x] { x->fetch_add(1, std::memory_order_relaxed); };
+    lacc::sched::thread a(bump), b(bump);
+    a.join();
+    b.join();
+  };
+  Options unbounded = opts("pb-unbounded");
+  Options bounded = opts("pb-zero");
+  bounded.preemption_bound = 0;
+  const Result ru = explore(unbounded, body);
+  const Result rb = explore(bounded, body);
+  EXPECT_TRUE(ru.ok);
+  EXPECT_TRUE(rb.ok);
+  EXPECT_LT(rb.executions, ru.executions);
+}
+
+TEST(SchedModel, MaxExecutionsCapsExhaustiveSearch) {
+  Options o = opts("cap");
+  o.max_executions = 3;
+  const Result r = explore(o, mp_release_acquire);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.executions, 3u);
+}
+
+TEST(SchedModel, LivelockTripsTheStepBudget) {
+  Options o = opts("livelock");
+  o.max_steps = 500;
+  const Result r = explore(o, [] {
+    auto flag = std::make_shared<lacc::sched::atomic<int>>(0);
+    // No sibling ever sets the flag: pure spin, every schedule livelocks.
+    while (flag->load(std::memory_order_relaxed) == 0) lacc::sched::yield();
+  });
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("livelock"), std::string::npos) << r.failure;
+}
+
+TEST(SchedModel, ExceptionEscapingABodyFailsTheRun) {
+  const Result r = explore(opts("throws"), [] {
+    throw std::runtime_error("boom");
+  });
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("boom"), std::string::npos) << r.failure;
+}
+
+TEST(SchedModel, ShimsPassThroughOutsideExploration) {
+  // Shimmed primitives degrade to plain single-threaded behavior when no
+  // exploration is live (loc ids are negative).
+  lacc::sched::atomic<int> x{7};
+  EXPECT_EQ(x.load(std::memory_order_relaxed), 7);
+  x.store(9, std::memory_order_release);
+  EXPECT_EQ(x.fetch_add(1, std::memory_order_acq_rel), 9);
+  int expected = 10;
+  EXPECT_TRUE(x.compare_exchange_strong(expected, 11, std::memory_order_relaxed));
+  EXPECT_EQ(x.load(std::memory_order_acquire), 11);
+  lacc::sched::mutex m;
+  m.lock();
+  m.unlock();
+  EXPECT_GE(lacc::sched::budget_scale(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Model-check suite for the Afforest/GAP lock-free union-find primitives
+// (core/afforest.hpp).  This checks the claim lacc_omp's correctness rests
+// on: concurrent link() calls race on tree shapes, but after compress +
+// min-relabel the labels are the sequential canonical labels on EVERY
+// explored schedule — the races are benign and unobservable.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/afforest.hpp"
+#include "sched/model.hpp"
+#include "sched/shim.hpp"
+
+namespace {
+
+namespace afforest = lacc::core::afforest;
+using lacc::VertexId;
+using lacc::sched::Options;
+using lacc::sched::Result;
+using lacc::sched::explore;
+
+using CompVec = std::vector<lacc::sched::atomic<VertexId>>;
+
+CompVec make_comp(std::size_t n) {
+  CompVec comp(n);
+  for (std::size_t v = 0; v < n; ++v)
+    comp[v].store(static_cast<VertexId>(v), std::memory_order_relaxed);
+  return comp;
+}
+
+// Flatten + min-relabel, then compare against the expected canonical labels.
+void finish_and_check(CompVec& comp, const std::vector<VertexId>& expected) {
+  const auto ni = static_cast<std::int64_t>(comp.size());
+  afforest::compress_seq(comp, ni);
+  CompVec low(comp.size());
+  afforest::relabel_min_seq(comp, low, ni);
+  for (std::size_t v = 0; v < comp.size(); ++v)
+    LACC_SCHED_ASSERT(comp[v].load(std::memory_order_relaxed) == expected[v]);
+}
+
+TEST(SchedUnionFind, RacingLinksOnAPathAreUnobservableAfterRelabel) {
+  Options o;
+  o.name = "uf-path";
+  o.max_executions = 60000;
+  const Result r = explore(o, [] {
+    auto comp = std::make_shared<CompVec>(make_comp(4));
+    // Path 0-1-2-3 linked by two racing threads: every interleaving (and
+    // every stale relaxed read) must still merge all four vertices.
+    lacc::sched::thread t([comp] {
+      afforest::link(*comp, 0, 1);
+      afforest::link(*comp, 2, 3);
+    });
+    afforest::link(*comp, 1, 2);
+    t.join();
+    finish_and_check(*comp, {0, 0, 0, 0});
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+}
+
+TEST(SchedUnionFind, DisjointComponentsNeverBleedTogether) {
+  Options o;
+  o.name = "uf-disjoint";
+  const Result r = explore(o, [] {
+    auto comp = std::make_shared<CompVec>(make_comp(4));
+    lacc::sched::thread t([comp] { afforest::link(*comp, 0, 1); });
+    afforest::link(*comp, 2, 3);
+    t.join();
+    finish_and_check(*comp, {0, 0, 2, 2});
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(SchedUnionFind, DuplicateEdgeRacesAreIdempotent) {
+  Options o;
+  o.name = "uf-dup-edge";
+  const Result r = explore(o, [] {
+    auto comp = std::make_shared<CompVec>(make_comp(3));
+    lacc::sched::thread t([comp] { afforest::link(*comp, 0, 1); });
+    afforest::link(*comp, 0, 1);  // same edge from both threads
+    t.join();
+    finish_and_check(*comp, {0, 0, 2});
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(SchedUnionFind, AtomicMinConvergesToTheMinimum) {
+  Options o;
+  o.name = "uf-atomic-min";
+  const Result r = explore(o, [] {
+    auto slot = std::make_shared<lacc::sched::atomic<VertexId>>(VertexId{7});
+    lacc::sched::thread t([slot] { afforest::atomic_min(*slot, 3); });
+    afforest::atomic_min(*slot, 5);
+    t.join();
+    LACC_SCHED_ASSERT(slot->load(std::memory_order_relaxed) == 3);
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(SchedUnionFind, LargerRaceMatchesSequentialGroundTruth) {
+  Options o;
+  o.name = "uf-random";
+  o.random_executions = 500;  // wider graph: seeded random sample
+  const Result r = explore(o, [] {
+    auto comp = std::make_shared<CompVec>(make_comp(5));
+    // {0,1,2} and {3,4}; the shared edge list is split across the threads.
+    lacc::sched::thread t([comp] {
+      afforest::link(*comp, 1, 2);
+      afforest::link(*comp, 3, 4);
+    });
+    afforest::link(*comp, 0, 1);
+    afforest::link(*comp, 4, 3);
+    t.join();
+    finish_and_check(*comp, {0, 0, 0, 3, 3});
+  });
+  EXPECT_TRUE(r.ok) << r.failure << "\n" << r.trace;
+}
+
+}  // namespace

@@ -43,6 +43,19 @@ Static rules that complement the runtime conformance checker
       TSan observes the complete happens-before graph.  Scope: src/,
       examples/, tests/, bench/.
 
+  implicit-seq-cst
+      An atomic member operation (load/store/exchange/fetch_*/
+      compare_exchange_*) that does not name a std::memory_order — the
+      default is seq_cst, which hides the intended ordering and costs a
+      full fence on weakly-ordered targets.  Every atomic op in this tree
+      states its ordering so the model checker's shims (src/sched/shim.hpp,
+      which have no defaulted order argument) can instantiate the same code
+      verbatim, and so each ordering decision is visible at the call site.
+      Operator forms (x++, x = v, implicit conversion) are also seq_cst but
+      are not detectable textually; the shim's missing operators catch
+      those when a structure is instantiated under the checker.
+      Scope: src/.
+
 A finding can be suppressed with a pragma on the offending line or the line
 above:  // lint-spmd: allow(<rule>)
 
@@ -80,6 +93,13 @@ NON_INTO_RE = re.compile(
 RAW_SORT_RE = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
 DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
 VEC_DECL_RE = re.compile(r"^\s*(?:const\s+)?std::vector\s*<[^;&]*>\s+\w[^;(]*[;(]")
+# Atomic member ops whose trailing std::memory_order argument is mandatory
+# in this tree.  `.clear()`/`.test_and_set()` (atomic_flag) are omitted:
+# `clear` collides with the containers and atomic_flag is unused here.
+ATOMIC_OP_RE = re.compile(
+    r"[.>]\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\("
+)
 
 
 def strip_comments_and_strings(text):
@@ -207,6 +227,26 @@ def check_rank_conditional(path, text, findings):
                     )
 
 
+def check_implicit_seq_cst(path, text, findings):
+    """Flag atomic member ops that omit the std::memory_order argument.
+    Argument lists are matched with balanced parens (they may span lines)."""
+    rule = "implicit-seq-cst"
+    code = strip_comments_and_strings(text)
+    lines = text.splitlines()
+    for m in ATOMIC_OP_RE.finditer(code):
+        open_paren = code.index("(", m.end() - 1)
+        args = code[open_paren:matching(code, open_paren, "(", ")")]
+        if "memory_order" in args:
+            continue
+        lineno = line_of(code, m.start())
+        if allowed(lines, lineno, rule):
+            continue
+        findings.append(
+            (path, lineno, rule,
+             f"atomic '{m.group(1)}' without an explicit std::memory_order "
+             "(implicit seq_cst); name the ordering at the call site"))
+
+
 def check_line_rules(path, text, findings, rules):
     code = strip_comments_and_strings(text)
     lines = text.splitlines()
@@ -258,6 +298,9 @@ def lint_tree(root):
         for path in sorted(d.rglob("*.[ch]pp")):
             text = path.read_text(encoding="utf-8", errors="replace")
             check_rank_conditional(str(path.relative_to(root)), text, findings)
+            if d.name == "src":
+                check_implicit_seq_cst(str(path.relative_to(root)), text,
+                                       findings)
     for d in (root / "src", root / "examples", root / "tests", root / "bench"):
         if not d.is_dir():
             continue
@@ -350,6 +393,28 @@ SELF_TESTS_THREADS = [
      "watchdog.detach();  // lint-spmd: allow(no-detached-threads)", None),
 ]
 
+SELF_TESTS_ATOMIC = [
+    ("load with order", "x.load(std::memory_order_acquire);", None),
+    ("load without order", "x.load();", "implicit-seq-cst"),
+    ("store without order", "flag_.store(true);", "implicit-seq-cst"),
+    ("fetch_add without order", "count_.fetch_add(1);", "implicit-seq-cst"),
+    ("fetch_add with order", "count_.fetch_add(1, std::memory_order_release);",
+     None),
+    ("cas with orders",
+     "a.compare_exchange_weak(e, d, std::memory_order_relaxed);", None),
+    ("cas without orders", "a.compare_exchange_strong(e, d);",
+     "implicit-seq-cst"),
+    ("multiline args",
+     "count_.fetch_add(\n    1,\n    std::memory_order_release);", None),
+    ("pointer deref", "counter->store(0);", "implicit-seq-cst"),
+    ("container clear untouched", "batch.clear();", None),
+    ("free-function exchange untouched", "auto old = std::exchange(v, w);",
+     None),
+    ("comment mention", "// x.load() would be seq_cst", None),
+    ("allow pragma",
+     "x.load();  // lint-spmd: allow(implicit-seq-cst)", None),
+]
+
 SELF_TESTS_STREAM = [
     ("raw sort in delta path", "std::sort(run.begin(), run.end());",
      "raw-sort"),
@@ -382,8 +447,16 @@ def self_test():
                 print(f"self-test FAILED: {name}: expected {expected}, got "
                       f"{sorted(rules)}")
                 failures += 1
+    for name, snippet, expected in SELF_TESTS_ATOMIC:
+        findings = []
+        check_implicit_seq_cst("<snippet>", snippet, findings)
+        got = findings[0][2] if findings else None
+        if got != expected:
+            print(f"self-test FAILED: {name}: expected {expected}, got "
+                  f"{[f[2] for f in findings]}")
+            failures += 1
     total = (len(SELF_TESTS) + len(SELF_TESTS_HOT) + len(SELF_TESTS_STREAM) +
-             len(SELF_TESTS_THREADS))
+             len(SELF_TESTS_THREADS) + len(SELF_TESTS_ATOMIC))
     print(f"self-test: {total - failures}/{total} passed")
     return failures == 0
 
