@@ -11,7 +11,7 @@
 //
 // Columns: window(ms) | epochs | req/s | read p50/p99 | commit p50/p99 |
 // shed.  With LACC_METRICS_OUT set, emits BENCH_serve.json carrying the
-// lacc-metrics-v4 serve block per sweep point.
+// lacc-metrics serve block per sweep point.
 //
 // Session (read-your-writes) reads pace the writers to the engine's drain
 // rate, so a sweep point's wall time is roughly epochs × epoch cost —

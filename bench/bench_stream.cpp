@@ -19,8 +19,11 @@
 // cheaper — is the tuning target for StreamOptions::rebuild_threshold.
 #include "bench_common.hpp"
 
+#include <filesystem>
+
 #include "graph/generators.hpp"
 #include "stream/engine.hpp"
+#include "support/timer.hpp"
 
 namespace lacc::bench {
 namespace {
@@ -72,6 +75,48 @@ ArmResult run_arm(const graph::EdgeList& full, std::size_t warm,
 
   check_against_truth(accumulated, engine.labels());
   return result;
+}
+
+// --- durability cost -------------------------------------------------------
+
+struct DurableArm {
+  double wall_seconds = 0;   ///< real (not modeled) time for the whole stream
+  std::uint64_t fsyncs = 0;
+  std::uint64_t wal_bytes = 0;
+};
+
+/// Stream the full edge list in fixed-size batches through one engine and
+/// measure *wall-clock* ingest+advance time.  Modeled seconds are
+/// bit-identical across these arms by construction (durability charges no
+/// modeled time); the wall-clock delta IS the durability tax.
+DurableArm run_durable_arm(const graph::EdgeList& full, std::size_t batch,
+                           const std::string& dir,
+                           stream::durable::FsyncPolicy policy) {
+  stream::StreamOptions options;
+  if (!dir.empty()) {
+    options.durable.dir = dir;
+    options.durable.fsync = policy;
+  }
+  stream::StreamEngine engine(full.n, kRanks, sim::MachineModel::edison(),
+                              options);
+
+  Timer timer;
+  for (std::size_t at = 0; at < full.edges.size(); at += batch) {
+    const std::size_t hi = std::min(at + batch, full.edges.size());
+    graph::EdgeList slice(full.n);
+    slice.edges.assign(full.edges.begin() + static_cast<std::ptrdiff_t>(at),
+                       full.edges.begin() + static_cast<std::ptrdiff_t>(hi));
+    engine.ingest(slice);
+    engine.advance_epoch();
+  }
+
+  DurableArm arm;
+  arm.wall_seconds = timer.seconds();
+  const auto stats = engine.durability_stats();
+  arm.fsyncs = stats.io.fsyncs;
+  arm.wal_bytes = stats.io.wal_bytes;
+  check_against_truth(full, engine.labels());
+  return arm;
 }
 
 }  // namespace
@@ -140,5 +185,50 @@ int main() {
               << " edges (from-scratch becomes cheaper)\n";
   metrics.add_simple("crossover",
                      {{"batch_edges", static_cast<double>(crossover)}});
+
+  // Durability tax: same stream, same batches, three persistence modes.
+  // Modeled seconds are identical by design; wall-clock ingest throughput
+  // is what the WAL fsync policy actually costs.
+  std::cout << "\nDurability cost (wall-clock, same modeled results):\n";
+  const std::size_t durable_batch = 256;
+  const auto tmp = std::filesystem::temp_directory_path() / "lacc-bench-stream";
+  struct ModeSpec {
+    const char* name;
+    bool durable;
+    stream::durable::FsyncPolicy policy;
+  };
+  const ModeSpec modes[] = {
+      {"memory", false, stream::durable::FsyncPolicy::kPerEpoch},
+      {"fsync-epoch", true, stream::durable::FsyncPolicy::kPerEpoch},
+      {"fsync-batch", true, stream::durable::FsyncPolicy::kPerBatch},
+  };
+  TextTable dtable({"mode", "wall", "edges/s", "fsyncs", "vs memory"});
+  double memory_wall = 0;
+  for (const ModeSpec& mode : modes) {
+    const auto dir = tmp / mode.name;
+    std::filesystem::remove_all(dir);
+    const DurableArm arm = run_durable_arm(
+        full, durable_batch, mode.durable ? dir.string() : std::string(),
+        mode.policy);
+    std::filesystem::remove_all(dir);
+    if (!mode.durable) memory_wall = arm.wall_seconds;
+    const double slowdown =
+        memory_wall > 0 ? arm.wall_seconds / memory_wall : 1.0;
+    const double rate = arm.wall_seconds > 0
+                            ? static_cast<double>(full.edges.size()) /
+                                  arm.wall_seconds
+                            : 0;
+    dtable.add_row({mode.name, fmt_seconds(arm.wall_seconds),
+                    fmt_count(static_cast<std::uint64_t>(rate)),
+                    fmt_count(arm.fsyncs),
+                    mode.durable ? fmt_ratio(slowdown) : "1.00x"});
+    metrics.add_simple(std::string("durability_") + mode.name,
+                       {{"wall_seconds", arm.wall_seconds},
+                        {"edges_per_sec", rate},
+                        {"fsyncs", static_cast<double>(arm.fsyncs)},
+                        {"wal_bytes", static_cast<double>(arm.wal_bytes)},
+                        {"slowdown_vs_memory", slowdown}});
+  }
+  dtable.print(std::cout);
   return 0;
 }

@@ -16,9 +16,14 @@
 //   --retain K            pinnable epochs kept (default 8)
 //   --cache-bits B        log2 slots of the per-epoch pair cache (default 12)
 //   --seed S              workload RNG seed (default 1)
+//   --data-dir DIR        persist engine state to DIR; a non-empty DIR
+//                         recovers the last published epoch before serving
+//   --fsync batch|epoch   WAL fsync policy (default batch; needs --data-dir)
 //   --verify              recompute every retained epoch from scratch and
-//                         compare labels bit-for-bit (keeps all batches)
-//   --json FILE           write lacc-metrics-v4 JSON with the serve block
+//                         compare labels bit-for-bit (keeps all batches;
+//                         incompatible with recovering from a non-empty
+//                         --data-dir, whose early batches are gone)
+//   --json FILE           write lacc-metrics-v5 JSON with the serve block
 //   --trace-out FILE      Chrome trace of per-request spans (wall clock)
 //
 // The workload partitions the input edge list round-robin across writers
@@ -52,7 +57,8 @@ int usage() {
          "[--readers N] [--writers M] [--duration SEC] "
          "[--batch-max-edges K] [--batch-window-ms X] [--queue-capacity K] "
          "[--admission block|shed] [--retain K] [--cache-bits B] [--seed S] "
-         "[--verify] [--json FILE] [--trace-out FILE]\n";
+         "[--data-dir DIR] [--fsync batch|epoch] [--verify] [--json FILE] "
+         "[--trace-out FILE]\n";
   return 2;
 }
 
@@ -101,7 +107,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string path = argv[1];
   std::string machine = "edison", admission = "block", json_path,
-              trace_out_path;
+              trace_out_path, fsync_policy;
   int ranks = 4;
   double scale = 0.25, duration = 0;
   bool verify = false;
@@ -146,6 +152,10 @@ int main(int argc, char** argv) {
           parse_int("--cache-bits", next()));
     else if (arg == "--seed")
       workload.seed = static_cast<std::uint64_t>(parse_int("--seed", next()));
+    else if (arg == "--data-dir")
+      options.stream.durable.dir = next();
+    else if (arg == "--fsync")
+      fsync_policy = next();
     else if (arg == "--verify")
       verify = true;
     else if (arg == "--json")
@@ -184,6 +194,21 @@ int main(int argc, char** argv) {
   if (options.retain_epochs < 1) {
     std::cerr << "error: --retain must be at least 1\n";
     return usage();
+  }
+  if (!fsync_policy.empty()) {
+    if (options.stream.durable.dir.empty()) {
+      std::cerr << "error: --fsync requires --data-dir\n";
+      return usage();
+    }
+    if (fsync_policy == "batch")
+      options.stream.durable.fsync = stream::durable::FsyncPolicy::kPerBatch;
+    else if (fsync_policy == "epoch")
+      options.stream.durable.fsync = stream::durable::FsyncPolicy::kPerEpoch;
+    else {
+      std::cerr << "error: --fsync must be batch or epoch (got "
+                << fsync_policy << ")\n";
+      return usage();
+    }
   }
   if (admission == "block")
     options.admission = serve::Admission::kBlock;
@@ -225,6 +250,25 @@ int main(int argc, char** argv) {
               << ", seed " << workload.seed << "\n";
 
     serve::Server server(el.n, ranks, m, options);
+    if (server.durable()) {
+      std::cout << "Durable: " << options.stream.durable.dir
+                << " (fsync per "
+                << (options.stream.durable.fsync ==
+                            stream::durable::FsyncPolicy::kPerBatch
+                        ? "batch"
+                        : "epoch")
+                << ")";
+      if (server.recovered())
+        std::cout << ", recovered epoch " << server.recovered_epoch();
+      std::cout << "\n";
+    }
+    if (verify && server.recovered()) {
+      std::cerr << "error: --verify needs the full batch history, but this "
+                   "server recovered at epoch "
+                << server.recovered_epoch()
+                << "; run --verify against a fresh --data-dir\n";
+      return 1;
+    }
     const serve::WorkloadReport report =
         run_mixed_workload(server, el, workload);
     const serve::ServeStats stats = server.stats();
@@ -256,6 +300,14 @@ int main(int argc, char** argv) {
               << fmt_seconds(report.wall_seconds) << " wall ("
               << fmt_count(report.session_reads) << " session read(s), "
               << fmt_count(report.pinned_reads) << " pinned)\n";
+    if (server.durable()) {
+      const auto ds = server.durability_stats();
+      std::cout << "Durability: " << fmt_count(ds.io.wal_records)
+                << " WAL record(s), " << fmt_count(ds.io.fsyncs)
+                << " fsync(s), " << fmt_count(ds.io.run_files_written)
+                << " run file(s) written (" << fmt_count(ds.run_files_live)
+                << " live)\n";
+    }
 
     if (report.session_violations != 0 || report.read_errors != 0) {
       std::cerr << "error: VERIFY FAILED — " << report.session_violations
@@ -304,6 +356,9 @@ int main(int argc, char** argv) {
           {"vertices", static_cast<double>(el.n)},
           {"edges", static_cast<double>(el.edges.size())},
           {"components", static_cast<double>(stats.components)}};
+      if (server.durable())
+        rec.durability =
+            stream::durable::durability_scalars(server.durability_stats());
       rec.serve = {
           {"throughput_rps", rps},
           {"reads", static_cast<double>(report.reads)},

@@ -14,15 +14,21 @@
 //                             full-rebuild path
 //   --sample-rounds N         pre-pass neighbor rounds (default 2)
 //   --no-frequent-skip        pre-pass: link every local edge
+//   --data-dir DIR            persist to DIR (WAL + run files + manifest);
+//                             a non-empty DIR recovers the last published
+//                             epoch before replaying the stream
+//   --fsync batch|epoch       WAL fsync policy (default batch; needs
+//                             --data-dir)
 //   --verify                  check final labels against serial union-find
 //   --out labels.txt          write "vertex component" lines (final epoch)
 //   --trace-out FILE          Chrome trace of the LAST epoch's SPMD session
-//   --json FILE               write lacc-metrics-v4 JSON (per-epoch array)
+//   --json FILE               write lacc-metrics-v5 JSON (per-epoch array)
 //
 // Inputs are the same as lacc_cli (Matrix Market, LACC binary, gen:NAME).
 // Prints one table row per epoch — batch size, cross-component edges, dirty
 // mass, merges, surviving components, incremental vs rebuild — plus the
-// accumulated modeled time.  Observability outputs go to files only, so
+// accumulated modeled time.  Observability outputs go to files only, and
+// the durability report lines appear only under --data-dir, so memory-only
 // stdout is identical with and without them (docs/OBSERVABILITY.md).
 #include <fstream>
 #include <iostream>
@@ -50,8 +56,8 @@ int usage() {
                "[--batches K] [--ranks N] [--machine edison|cori|local] "
                "[--scale S] [--shuffle SEED] [--rebuild-threshold X] "
                "[--compaction-factor X] [--prepass] [--sample-rounds N] "
-               "[--no-frequent-skip] [--verify] [--out FILE] "
-               "[--trace-out FILE] [--json FILE]\n";
+               "[--no-frequent-skip] [--data-dir DIR] [--fsync batch|epoch] "
+               "[--verify] [--out FILE] [--trace-out FILE] [--json FILE]\n";
   return 2;
 }
 
@@ -94,6 +100,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string path = argv[1];
   std::string machine = "edison", out_path, trace_out_path, json_path;
+  std::string fsync_policy;
   int batches = 8, ranks = 4;
   double scale = 0.25;
   std::uint64_t shuffle_seed = 0;
@@ -130,6 +137,10 @@ int main(int argc, char** argv) {
       options.lacc.sample_rounds = parse_int("--sample-rounds", next());
     else if (arg == "--no-frequent-skip")
       options.lacc.frequent_skip = false;
+    else if (arg == "--data-dir")
+      options.durable.dir = next();
+    else if (arg == "--fsync")
+      fsync_policy = next();
     else if (arg == "--verify")
       verify = true;
     else if (arg == "--out")
@@ -175,6 +186,21 @@ int main(int argc, char** argv) {
               << options.lacc.sample_rounds << ")\n";
     return usage();
   }
+  if (!fsync_policy.empty()) {
+    if (options.durable.dir.empty()) {
+      std::cerr << "error: --fsync requires --data-dir\n";
+      return usage();
+    }
+    if (fsync_policy == "batch")
+      options.durable.fsync = stream::durable::FsyncPolicy::kPerBatch;
+    else if (fsync_policy == "epoch")
+      options.durable.fsync = stream::durable::FsyncPolicy::kPerEpoch;
+    else {
+      std::cerr << "error: --fsync must be batch or epoch (got "
+                << fsync_policy << ")\n";
+      return usage();
+    }
+  }
 
   // Record spans when a trace file was requested; only the last epoch's
   // SPMD session survives for export, which is what the engine exposes.
@@ -207,6 +233,22 @@ int main(int argc, char** argv) {
 
     Timer timer;
     stream::StreamEngine engine(el.n, ranks, m, options);
+    if (engine.durable()) {
+      std::cout << "Durable: " << options.durable.dir << " (fsync per "
+                << (options.durable.fsync ==
+                            stream::durable::FsyncPolicy::kPerBatch
+                        ? "batch"
+                        : "epoch")
+                << ")";
+      if (engine.recovered()) {
+        const auto ds = engine.durability_stats();
+        std::cout << ", recovered epoch " << engine.recovered_epoch() << " ("
+                  << fmt_count(ds.replayed_wal_records)
+                  << " pending WAL record(s) replayed in "
+                  << fmt_seconds(ds.recovery_seconds) << ")";
+      }
+      std::cout << "\n";
+    }
     const std::size_t per_batch =
         (el.edges.size() + static_cast<std::size_t>(batches) - 1) /
         static_cast<std::size_t>(std::max(batches, 1));
@@ -234,6 +276,15 @@ int main(int argc, char** argv) {
               << " after " << engine.epoch() << " epoch(s)\n";
     std::cout << "Wall time: " << fmt_seconds(wall) << ", modeled time: "
               << fmt_seconds(engine.total_modeled_seconds()) << "\n";
+    if (engine.durable()) {
+      const auto ds = engine.durability_stats();
+      std::cout << "Durability: " << fmt_count(ds.io.wal_records)
+                << " WAL record(s), " << fmt_count(ds.io.fsyncs)
+                << " fsync(s), " << fmt_count(ds.io.run_files_written)
+                << " run file(s) written (" << fmt_count(ds.run_files_live)
+                << " live), " << fmt_count(ds.io.level_compactions)
+                << " level compaction(s)\n";
+    }
 
     if (verify) {
       const auto truth = baselines::union_find_cc(el);
@@ -289,6 +340,9 @@ int main(int argc, char** argv) {
           {"epochs", static_cast<double>(engine.epoch())},
           {"components", static_cast<double>(engine.num_components())},
           {"full_rebuilds", static_cast<double>(rebuilds)}};
+      if (engine.durable())
+        rec.durability =
+            stream::durable::durability_scalars(engine.durability_stats());
       std::ofstream out(json_path);
       LACC_CHECK_MSG(out.good(), "cannot write " << json_path);
       obs::write_metrics_json(

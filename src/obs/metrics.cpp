@@ -60,7 +60,7 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
                         const std::vector<RunRecord>& runs) {
   JsonWriter w(out);
   w.begin_object();
-  w.kv("schema", "lacc-metrics-v4");
+  w.kv("schema", "lacc-metrics-v5");
   w.kv("tool", tool);
   w.kv("word_bytes", kWordBytes);
   w.key("config");
@@ -88,6 +88,10 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
     if (!run.prepass.empty()) {
       w.key("prepass");
       write_scalars(w, run.prepass);
+    }
+    if (!run.durability.empty()) {
+      w.key("durability");
+      write_scalars(w, run.durability);
     }
     w.key("total");
     write_phase_entry(w, run.max.total, run.sum.total);

@@ -1,4 +1,4 @@
-// Machine-readable metrics emitter: the `lacc-metrics-v4` JSON schema.
+// Machine-readable metrics emitter: the `lacc-metrics-v5` JSON schema.
 //
 // Benches and the CLI reduce an SPMD run to one RunRecord (per-phase
 // modeled/wall seconds, words, messages, per-rank max and sum) and write a
@@ -6,11 +6,13 @@
 // perf trajectory consumes.  v2 added an optional per-run "epochs" array for
 // streaming runs (one scalar block per advance_epoch); v3 added an optional
 // per-run "serve" scalar block (throughput, p50/p95/p99 latency, queue
-// depth, shed count) for the concurrent serving layer; v4 adds an optional
+// depth, shed count) for the concurrent serving layer; v4 added an optional
 // per-run "prepass" scalar block attributing the Afforest-style sampling
-// pre-pass (sampled/skip edges, resolved vertices, modeled seconds).  Files
-// without the optional blocks are exactly the v1 shape.  See
-// docs/OBSERVABILITY.md.
+// pre-pass (sampled/skip edges, resolved vertices, modeled seconds); v5
+// adds an optional per-run "durability" scalar block (WAL records/bytes,
+// fsyncs, run files, compactions, cache hit rate, recovery info) for
+// engines running with a --data-dir.  Files without the optional blocks are
+// exactly the v1 shape.  See docs/OBSERVABILITY.md.
 #pragma once
 
 #include <ostream>
@@ -46,6 +48,11 @@ struct RunRecord {
   /// sampled_edges, skip_edges, resolved_vertices, modeled_seconds).  Empty
   /// otherwise — the key is then omitted from the JSON entirely.
   Scalars prepass;
+  /// Durable runs (engine constructed with a data directory): the
+  /// stream::durable scalar block (wal_records, fsyncs, run_files_written,
+  /// recovered, ...; see durability_scalars()).  Empty for memory-only runs
+  /// — the key is then omitted from the JSON entirely.
+  Scalars durability;
 };
 
 /// Reduce per-rank stats into a RunRecord.  Pass an empty `per_rank` for
@@ -55,7 +62,7 @@ RunRecord make_run_record(std::string name, int ranks,
                           double modeled_seconds, double wall_seconds,
                           Scalars scalars = {});
 
-/// Write the lacc-metrics-v4 document for one tool's runs.
+/// Write the lacc-metrics-v5 document for one tool's runs.
 void write_metrics_json(std::ostream& out, const std::string& tool,
                         const Scalars& config,
                         const std::vector<RunRecord>& runs);

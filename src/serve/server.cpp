@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <numeric>
 
 #include "support/error.hpp"
 
@@ -48,12 +47,14 @@ Server::Server(VertexId n, int nranks, const sim::MachineModel& machine,
       ingest_(options.queue_capacity, options.admission == Admission::kShed),
       engine_(n, nranks, machine, options.stream),
       started_(Clock::now()) {
-  // Epoch 0: the empty graph, every vertex its own component.  Published
-  // before the engine thread exists, so reads are valid immediately.
-  std::vector<VertexId> identity(static_cast<std::size_t>(n));
-  std::iota(identity.begin(), identity.end(), VertexId{0});
+  // Initial snapshot, published before the engine thread exists so reads
+  // are valid immediately.  Memory-only (and fresh durable) engines start
+  // at epoch 0 — the empty graph, every vertex its own component; a
+  // recovered durable engine starts at its last manifest-published epoch,
+  // so restarted servers resume serving the labels they had committed.
   store_.publish(std::make_shared<const Snapshot>(
-      0, std::move(identity), options_.top_k, options_.pair_cache_bits));
+      engine_.epoch(), engine_.labels(), options_.top_k,
+      options_.pair_cache_bits));
   engine_thread_ = std::thread([this] { engine_main(); });
 }
 
@@ -285,6 +286,13 @@ double Server::engine_modeled_seconds() const {
                  "engine_modeled_seconds() is only safe after stop() has "
                  "joined the engine thread");
   return engine_.total_modeled_seconds();
+}
+
+stream::durable::DurabilityStats Server::durability_stats() const {
+  LACC_CHECK_MSG(stopped(),
+                 "durability_stats() is only safe after stop() has joined "
+                 "the engine thread");
+  return engine_.durability_stats();
 }
 
 }  // namespace lacc::serve

@@ -196,6 +196,14 @@ class Server {
   const std::vector<graph::EdgeList>& applied_batches() const;
   double engine_modeled_seconds() const;
 
+  /// Durability pass-throughs (set at construction, safe from any thread).
+  bool durable() const { return engine_.durable(); }
+  bool recovered() const { return engine_.recovered(); }
+  std::uint64_t recovered_epoch() const { return engine_.recovered_epoch(); }
+  /// Durable I/O counters + recovery info; only safe after stop() (the
+  /// engine thread mutates the counters while running).
+  stream::durable::DurabilityStats durability_stats() const;
+
  private:
   struct PendingWrite {
     VertexId u, v;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "stream/durable/version_set.hpp"
 #include "support/error.hpp"
 #include "support/sort.hpp"
 
@@ -10,20 +11,19 @@ namespace lacc::stream {
 
 using dist::CscCoord;
 
-namespace {
-
-/// Column-major (col, row) sort via two stable radix passes; lint-clean and
-/// allocation-predictable, unlike a comparator sort.
-void sort_column_major(std::vector<CscCoord>& entries,
-                       std::vector<CscCoord>& scratch, VertexId n) {
+void sort_unique_column_major(std::vector<CscCoord>& entries, VertexId n) {
+  std::vector<CscCoord> scratch;
   radix_sort_by(entries, scratch, [](const CscCoord& e) { return e.row; }, n);
   radix_sort_by(entries, scratch, [](const CscCoord& e) { return e.col; }, n);
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
 }
-
-}  // namespace
 
 EdgeId DeltaStore::ingest(dist::ProcGrid& grid, const graph::EdgeList& batch) {
   fence();
+  // Empty batch: nothing to route, nothing to log.  `batch` is the same
+  // object on every rank, so the early return is uniform (no rank skips a
+  // collective the others enter) and appends no empty run.
+  if (batch.edges.empty()) return 0;
   auto& world = grid.world();
   sim::TraceSpan trace(world.state(), "op:delta_ingest");
 
@@ -60,16 +60,26 @@ EdgeId DeltaStore::ingest(dist::ProcGrid& grid, const graph::EdgeList& batch) {
   std::vector<CscCoord> run =
       world.alltoallv(send, counts, sim::AllToAllAlgo::kPairwise);
 
-  std::vector<CscCoord> scratch;
-  sort_column_major(run, scratch, n_);
-  run.erase(std::unique(run.begin(), run.end()), run.end());
+  sort_unique_column_major(run, n_);
   world.charge_compute(static_cast<double>(run.size()) * 4);  // sort passes
 
   local_nnz_ += run.size();
   const EdgeId appended = world.allreduce(
       static_cast<EdgeId>(run.size()), [](EdgeId a, EdgeId b) { return a + b; });
   runs_.push_back(std::move(run));
+  ++ingest_seq_;
+  // Write-ahead: the routed (post-all-to-all) run is what this rank must be
+  // able to re-materialize without collectives, so that is what gets
+  // logged.  Disk I/O charges no modeled time — the cost model covers the
+  // simulated cluster, not the host's disk.
+  if (storage_ != nullptr) storage_->wal().append(ingest_seq_, runs_.back());
   return appended;
+}
+
+void DeltaStore::restore_run(std::vector<CscCoord> run) {
+  fence();
+  local_nnz_ += run.size();
+  runs_.push_back(std::move(run));
 }
 
 EdgeId DeltaStore::global_nnz(dist::ProcGrid& grid) const {
@@ -80,13 +90,20 @@ EdgeId DeltaStore::global_nnz(dist::ProcGrid& grid) const {
 
 std::vector<CscCoord> DeltaStore::drain_merged(dist::ProcGrid& grid) {
   fence();
+  // Draining flattens the runs; any run still pending would have its edges
+  // merged into the base without ever passing through the label update —
+  // the caller must fold pending runs into the labels (and call
+  // mark_pending_processed) before compacting.
+  LACC_CHECK_MSG(pending_from_ == runs_.size(),
+                 "DeltaStore::drain_merged would drop "
+                     << runs_.size() - pending_from_
+                     << " pending run(s); fold them into the labels and call "
+                        "mark_pending_processed() before draining");
   std::vector<CscCoord> merged;
   merged.reserve(static_cast<std::size_t>(local_nnz_));
   for (const auto& run : runs_)
     merged.insert(merged.end(), run.begin(), run.end());
-  std::vector<CscCoord> scratch;
-  sort_column_major(merged, scratch, n_);
-  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  sort_unique_column_major(merged, n_);
   grid.world().charge_compute(static_cast<double>(merged.size()) * 4);
   runs_.clear();
   pending_from_ = 0;

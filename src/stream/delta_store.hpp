@@ -28,6 +28,17 @@
 
 namespace lacc::stream {
 
+namespace durable {
+class RankStorage;
+}
+
+/// Column-major sort + dedup of a raw coordinate set (two stable radix
+/// passes; lint-clean and allocation-predictable, unlike a comparator
+/// sort).  Shared by ingestion, drain, the durable level merges, and
+/// recovery so every path produces the same canonical run order.
+void sort_unique_column_major(std::vector<dist::CscCoord>& entries,
+                              VertexId n);
+
 /// One rank's share of the delta edges not yet compacted into the base
 /// matrix.  Plain data (no communicator references), so a slot survives
 /// across run_spmd sessions like DistVec does.
@@ -47,7 +58,37 @@ class DeltaStore {
   /// ingestion pattern as DistCsc construction.  The received entries
   /// become one new sorted, deduplicated run.  Returns the global number of
   /// directed entries appended across all ranks.
+  ///
+  /// An empty batch short-circuits before any collective or run append:
+  /// `batch` is shared by every rank, so the skip is uniform and
+  /// ledger-safe, and run_count()/modeled time stay untouched (empty runs
+  /// used to inflate run_count and trigger spurious compactions).
+  ///
+  /// With durable storage attached, the routed run is appended to this
+  /// rank's WAL under the next global ingest seq before the call returns.
   EdgeId ingest(dist::ProcGrid& grid, const graph::EdgeList& batch);
+
+  /// Attach (or detach, with nullptr) this rank's durable storage; every
+  /// subsequent ingest write-ahead-logs its routed run.
+  void attach_storage(durable::RankStorage* storage) { storage_ = storage; }
+
+  /// Recovery: re-materialize one WAL record as a pending run, bypassing
+  /// routing (the record already holds this rank's post-all-to-all share).
+  /// Not collective — recovery replays each rank's own log.
+  void restore_run(std::vector<dist::CscCoord> run);
+
+  /// Global ingest sequence number of the last appended run (0 = none yet).
+  /// Seqs advance in lockstep across ranks — ingest is collective — so the
+  /// manifest can record one watermark for all of them.
+  std::uint64_t last_seq() const {
+    fence();
+    return ingest_seq_;
+  }
+  /// Recovery: resume the sequence from the replayed WAL position.
+  void set_next_seq(std::uint64_t seq) {
+    fence();
+    ingest_seq_ = seq;
+  }
 
   /// Directed entries resident in this rank's runs (duplicates across runs
   /// counted per run; drain_merged() removes them).
@@ -88,9 +129,11 @@ class DeltaStore {
   }
 
   /// Compaction: merge all runs into one column-major sorted, unique
-  /// sequence (ready for DistCsc::merge_delta) and clear the store.  Any
-  /// still-pending runs stay pending conceptually — callers must extract
-  /// pending coordinates before draining.
+  /// sequence (ready for DistCsc::merge_delta) and clear the store.
+  /// Draining destroys the run structure, so it is an LACC_CHECK failure to
+  /// call this while runs are still pending (not yet folded into labels via
+  /// mark_pending_processed()) — silently merging labels-unseen edges into
+  /// the base is how components quietly go missing.
   std::vector<dist::CscCoord> drain_merged(dist::ProcGrid& grid);
 
  private:
@@ -105,6 +148,10 @@ class DeltaStore {
   std::vector<std::vector<dist::CscCoord>> runs_;
   std::size_t pending_from_ = 0;  ///< first run not yet label-processed
   EdgeId local_nnz_ = 0;
+  /// Monotone global ingest counter (never reset by drains); doubles as the
+  /// WAL record seq when durable storage is attached.
+  std::uint64_t ingest_seq_ = 0;
+  durable::RankStorage* storage_ = nullptr;  ///< optional WAL sink
 };
 
 }  // namespace lacc::stream

@@ -1,0 +1,71 @@
+#include "stream/durable/failpoint.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace lacc::stream::durable {
+
+namespace {
+
+struct Armed {
+  FailMode mode;
+  int skip;  ///< un-failed passes remaining before the site fires
+};
+
+std::mutex g_mutex;
+std::unordered_map<std::string, Armed>& table() {
+  static std::unordered_map<std::string, Armed> t;
+  return t;
+}
+// Disarmed fast path: one load, no lock.  The flag is only a hint — the
+// authoritative state lives under the mutex — so relaxed is enough.
+std::atomic<bool> g_any{false};
+
+}  // namespace
+
+void FailPoints::arm(const std::string& site, FailMode mode, int skip) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  table()[site] = Armed{mode, skip};
+  g_any.store(true, std::memory_order_relaxed);
+}
+
+void FailPoints::clear() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  table().clear();
+  g_any.store(false, std::memory_order_relaxed);
+}
+
+bool FailPoints::armed() { return g_any.load(std::memory_order_relaxed); }
+
+FailAction FailPoints::hit(const char* site) {
+  if (!armed()) return FailAction::kNone;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = table().find(site);
+  if (it == table().end()) return FailAction::kNone;
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return FailAction::kNone;
+  }
+  return it->second.mode == FailMode::kCrash ? FailAction::kCrash
+                                             : FailAction::kError;
+}
+
+const std::vector<std::string>& fail_sites() {
+  static const std::vector<std::string> sites = {
+      "wal.append.write",   // WAL record header+payload write
+      "wal.append.fsync",   // per-batch WAL fsync
+      "wal.epoch.fsync",    // per-epoch WAL fsync (policy kPerEpoch)
+      "wal.rotate.create",  // new WAL generation file creation
+      "run.write.block",    // run-file header/entry-block writes
+      "run.write.index",    // run-file block index + footer writes
+      "run.write.fsync",    // run-file fsync before publish
+      "run.write.rename",   // tmp -> final rename publishing a run file
+      "manifest.write",     // manifest body write
+      "manifest.fsync",     // manifest fsync before publish
+      "manifest.rename",    // tmp -> MANIFEST rename (the commit point)
+  };
+  return sites;
+}
+
+}  // namespace lacc::stream::durable

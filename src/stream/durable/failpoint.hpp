@@ -1,0 +1,63 @@
+// Fail-point hook for the durable layer's kill-and-recover test matrix.
+//
+// Every write site in the WAL / run-file / manifest paths asks the registry
+// whether it should fail before touching the file descriptor.  Two failure
+// modes cover the two things that go wrong with real disks:
+//
+//   * kCrash — the process "dies" mid-write: the site writes a torn prefix
+//     of its payload (when it has one) and throws CrashError.  Tests catch
+//     it, drop the engine, and prove recovery republishes the last durable
+//     epoch bit-identically.
+//   * kError — the syscall fails cleanly (ENOSPC, EIO): the site surfaces
+//     the same lacc::Error a real failed write would, leaving the engine in
+//     a throw-safe state.
+//
+// The registry is process-global and thread-safe (sites are hit from rank
+// threads inside run_spmd); the disarmed fast path is one relaxed atomic
+// load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lacc::stream::durable {
+
+/// Thrown by an armed kCrash fail point: simulates the process dying at a
+/// durable write site (possibly after a torn partial write).  Derives from
+/// lacc::Error so non-test code that only knows lacc::Error still unwinds
+/// cleanly; tests catch CrashError specifically.
+class CrashError : public Error {
+ public:
+  explicit CrashError(const std::string& what) : Error(what) {}
+};
+
+enum class FailMode {
+  kCrash,  ///< torn write + CrashError (process death)
+  kError,  ///< clean syscall failure -> lacc::Error (ENOSPC/EIO)
+};
+
+/// What the I/O layer should do at a site right now.
+enum class FailAction { kNone, kCrash, kError };
+
+/// Process-global fail-point registry.  Tests arm one site at a time;
+/// production code never arms anything, so the only steady-state cost is
+/// the `armed()` load.
+struct FailPoints {
+  /// Arm `site`: after `skip` un-failed passes through it, the next hit
+  /// fires (and stays armed until clear(), so retries fail too).
+  static void arm(const std::string& site, FailMode mode, int skip = 0);
+  static void clear();
+  static bool armed();
+
+  /// Called by the checked I/O wrappers at each named write site.
+  static FailAction hit(const char* site);
+};
+
+/// Every named write site in the durable layer, i.e. the axis of the
+/// kill-and-recover matrix.  Kept in one place so the test suite cannot
+/// drift out of sync with the I/O code.
+const std::vector<std::string>& fail_sites();
+
+}  // namespace lacc::stream::durable

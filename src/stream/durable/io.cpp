@@ -1,0 +1,221 @@
+#include "stream/durable/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "stream/durable/failpoint.hpp"
+#include "support/error.hpp"
+
+namespace lacc::stream::durable {
+
+namespace {
+
+[[noreturn]] void io_fail(const char* op, const std::string& path,
+                          const char* site, int err) {
+  std::ostringstream os;
+  os << "durable I/O error: " << op << " '" << path << "' failed at " << site
+     << ": " << std::strerror(err);
+  throw Error(os.str());
+}
+
+/// Dispatch an armed fail point.  kError simulates the syscall failing with
+/// ENOSPC (the error path real code must survive); kCrash optionally leaves
+/// a torn prefix behind (the recovery path must tolerate it) and throws
+/// CrashError.  `torn` is the fd to tear into, or -1 for sites with no
+/// payload (fsync/rename/create).
+void maybe_fail(const char* op, const std::string& path, const char* site,
+                int torn_fd, const void* data, std::size_t len) {
+  switch (FailPoints::hit(site)) {
+    case FailAction::kNone:
+      return;
+    case FailAction::kError:
+      io_fail(op, path, site, ENOSPC);
+    case FailAction::kCrash: {
+      if (torn_fd >= 0 && data != nullptr && len > 1) {
+        // Half the payload reaches the file before the "power cut".
+        const auto* p = static_cast<const unsigned char*>(data);
+        std::size_t remaining = len / 2;
+        while (remaining > 0) {
+          const ssize_t n = ::write(torn_fd, p, remaining);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            break;  // torn tear failing is still a crash
+          }
+          p += n;
+          remaining -= static_cast<std::size_t>(n);
+        }
+      }
+      throw CrashError(std::string("simulated crash at ") + site + " ('" +
+                       path + "')");
+    }
+  }
+}
+
+}  // namespace
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) (void)::close(fd_);  // lint-spmd: allow(unchecked-io-call)
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+File::~File() {
+  if (fd_ >= 0) (void)::close(fd_);  // lint-spmd: allow(unchecked-io-call)
+}
+
+File File::create(const std::string& path, const char* site) {
+  maybe_fail("create", path, site, -1, nullptr, 0);
+  File f;
+  f.path_ = path;
+  do {
+    f.fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  } while (f.fd_ < 0 && errno == EINTR);
+  if (f.fd_ < 0) io_fail("create", path, site, errno);
+  return f;
+}
+
+File File::open_append(const std::string& path, const char* site) {
+  File f;
+  f.path_ = path;
+  do {
+    f.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  } while (f.fd_ < 0 && errno == EINTR);
+  if (f.fd_ < 0) io_fail("open-append", path, site, errno);
+  return f;
+}
+
+File File::open_read(const std::string& path, const char* site) {
+  File f;
+  f.path_ = path;
+  do {
+    f.fd_ = ::open(path.c_str(), O_RDONLY);
+  } while (f.fd_ < 0 && errno == EINTR);
+  if (f.fd_ < 0) io_fail("open-read", path, site, errno);
+  return f;
+}
+
+void File::write(const void* data, std::size_t len, const char* site) {
+  maybe_fail("write", path_, site, fd_, data, len);
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write", path_, site, errno);
+    }
+    if (n == 0) io_fail("write", path_, site, ENOSPC);  // stuck short write
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+}
+
+void File::pread_exact(void* out, std::size_t len, std::uint64_t offset,
+                       const char* site) const {
+  const std::size_t got = pread_upto(out, len, offset, site);
+  if (got != len) io_fail("read", path_, site, EIO);  // truncated file
+}
+
+std::size_t File::pread_upto(void* out, std::size_t len, std::uint64_t offset,
+                             const char* site) const {
+  auto* p = static_cast<unsigned char*>(out);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd_, p + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("read", path_, site, errno);
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+std::uint64_t File::size(const char* site) const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) io_fail("stat", path_, site, errno);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void File::sync(const char* site) {
+  maybe_fail("fsync", path_, site, -1, nullptr, 0);
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) io_fail("fsync", path_, site, errno);
+}
+
+void File::close(const char* site) {
+  if (fd_ < 0) return;
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) != 0) io_fail("close", path_, site, errno);
+}
+
+namespace {
+
+/// fsync the directory so a just-renamed entry survives a power cut.
+void sync_parent_dir(const std::string& path, const char* site) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) io_fail("open-dir", dir, site, errno);
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  const int saved = errno;
+  (void)::close(fd);  // lint-spmd: allow(unchecked-io-call)
+  if (rc != 0) io_fail("fsync-dir", dir, site, saved);
+}
+
+}  // namespace
+
+void rename_file(const std::string& from, const std::string& to,
+                 const char* site) {
+  maybe_fail("rename", to, site, -1, nullptr, 0);
+  if (::rename(from.c_str(), to.c_str()) != 0) io_fail("rename", to, site, errno);
+  sync_parent_dir(to, site);
+}
+
+void remove_file_if_exists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+    io_fail("unlink", path, "gc.unlink", errno);
+}
+
+void make_dirs(const std::string& path) {
+  std::string sofar;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    sofar = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (sofar.empty()) continue;
+    if (::mkdir(sofar.c_str(), 0755) != 0 && errno != EEXIST)
+      io_fail("mkdir", sofar, "gc.mkdir", errno);
+  }
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace lacc::stream::durable

@@ -1,0 +1,71 @@
+// Checked POSIX I/O for the durable layer.
+//
+// Every syscall result is inspected: short writes loop, EINTR retries, and
+// any real failure surfaces as lacc::Error carrying the operation, path,
+// fail-site name, and errno text — callers never see a silently dropped
+// write (tools/lint_spmd.py's unchecked-io-call rule enforces the same
+// discipline tree-wide).  Each mutating operation names a fail-point site
+// so the kill-and-recover matrix can crash or error it on demand
+// (see failpoint.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lacc::stream::durable {
+
+/// RAII file descriptor with checked operations.  Move-only; the destructor
+/// closes quietly (explicit close(site) is the checked path for writers).
+class File {
+ public:
+  File() = default;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File();
+
+  /// O_CREAT|O_TRUNC|O_WRONLY.
+  static File create(const std::string& path, const char* site);
+  /// O_WRONLY|O_APPEND (file must exist).
+  static File open_append(const std::string& path, const char* site);
+  /// O_RDONLY.
+  static File open_read(const std::string& path, const char* site);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Append `len` bytes, looping over short writes.
+  void write(const void* data, std::size_t len, const char* site);
+  /// Read exactly `len` bytes at `offset` (pread loop); throws on EOF short.
+  void pread_exact(void* out, std::size_t len, std::uint64_t offset,
+                   const char* site) const;
+  /// Read up to `len` bytes at `offset`; returns bytes read (EOF-tolerant,
+  /// for the torn-tail WAL scan).
+  std::size_t pread_upto(void* out, std::size_t len, std::uint64_t offset,
+                         const char* site) const;
+  std::uint64_t size(const char* site) const;
+  void sync(const char* site);
+  void close(const char* site);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// rename(2) + fsync of the containing directory — the atomic-publish step
+/// for run files and the manifest.
+void rename_file(const std::string& from, const std::string& to,
+                 const char* site);
+
+/// unlink(2); a missing file is not an error (GC races with itself across
+/// recoveries), any other failure throws.
+void remove_file_if_exists(const std::string& path);
+
+/// mkdir -p (each component; EEXIST ok).
+void make_dirs(const std::string& path);
+
+bool path_exists(const std::string& path);
+
+}  // namespace lacc::stream::durable

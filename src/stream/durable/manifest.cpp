@@ -1,0 +1,108 @@
+#include "stream/durable/manifest.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "stream/durable/io.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace lacc::stream::durable {
+
+namespace {
+
+constexpr const char* kVersionLine = "lacc-manifest-v1";
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw Error("durable manifest '" + path + "' is corrupt: " + what);
+}
+
+}  // namespace
+
+void save_manifest(const std::string& dir, const Manifest& m) {
+  std::ostringstream os;
+  os << kVersionLine << "\n";
+  os << "n " << m.n << "\n";
+  os << "ranks " << m.nranks << "\n";
+  os << "epoch " << m.epoch << "\n";
+  os << "wal_gen " << m.wal_gen << "\n";
+  os << "wal_processed_seq " << m.wal_processed_seq << "\n";
+  os << "wal_base_seq " << m.wal_base_seq << "\n";
+  os << "next_file_seq " << m.next_file_seq << "\n";
+  for (std::size_t l = 0; l < m.levels.size(); ++l) {
+    os << "level " << l;
+    for (const std::uint64_t seq : m.levels[l]) os << ' ' << seq;
+    os << "\n";
+  }
+  const std::string body = os.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08x\n",
+                crc32(body.data(), body.size()));
+
+  const std::string path = dir + "/MANIFEST";
+  const std::string tmp = path + ".tmp";
+  File f = File::create(tmp, "manifest.write");
+  f.write(body.data(), body.size(), "manifest.write");
+  f.write(crc_line, std::string(crc_line).size(), "manifest.write");
+  f.sync("manifest.fsync");
+  f.close("manifest.fsync");
+  rename_file(tmp, path, "manifest.rename");
+}
+
+bool load_manifest(const std::string& dir, Manifest& m) {
+  const std::string path = dir + "/MANIFEST";
+  if (!path_exists(path)) return false;
+  const File f = File::open_read(path, "manifest.read.open");
+  const std::uint64_t size = f.size("manifest.read.stat");
+  std::string text(size, '\0');
+  if (size > 0) f.pread_exact(text.data(), size, 0, "manifest.read.body");
+
+  // Split off the trailing crc line and verify it covers everything above.
+  const std::size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos || crc_pos == 0 ||
+      text[crc_pos - 1] != '\n')
+    corrupt(path, "missing crc line");
+  const std::string body = text.substr(0, crc_pos);
+  std::uint32_t stored = 0;
+  if (std::sscanf(text.c_str() + crc_pos, "crc %x", &stored) != 1)
+    corrupt(path, "unparseable crc line");
+  if (stored != crc32(body.data(), body.size())) corrupt(path, "crc mismatch");
+
+  std::istringstream is(body);
+  std::string line;
+  if (!std::getline(is, line) || line != kVersionLine)
+    corrupt(path, "unknown version '" + line + "'");
+  m = Manifest{};
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "n") {
+      ls >> m.n;
+    } else if (key == "ranks") {
+      ls >> m.nranks;
+    } else if (key == "epoch") {
+      ls >> m.epoch;
+    } else if (key == "wal_gen") {
+      ls >> m.wal_gen;
+    } else if (key == "wal_processed_seq") {
+      ls >> m.wal_processed_seq;
+    } else if (key == "wal_base_seq") {
+      ls >> m.wal_base_seq;
+    } else if (key == "next_file_seq") {
+      ls >> m.next_file_seq;
+    } else if (key == "level") {
+      std::size_t l = 0;
+      ls >> l;
+      if (m.levels.size() <= l) m.levels.resize(l + 1);
+      std::uint64_t seq;
+      while (ls >> seq) m.levels[l].push_back(seq);
+    } else {
+      corrupt(path, "unknown key '" + key + "'");
+    }
+    if (ls.fail() && !ls.eof()) corrupt(path, "unparseable line '" + line + "'");
+  }
+  return true;
+}
+
+}  // namespace lacc::stream::durable

@@ -1,0 +1,48 @@
+// Version-set manifest: the single commit point of the durable layer.
+//
+// The manifest atomically records {published epoch, live run files per
+// level, WAL generation + watermark}.  It is rewritten in full (it is tiny)
+// to `MANIFEST.tmp`, fsynced, and renamed over `MANIFEST` — the rename is
+// the commit: every run file and WAL record it references was written and
+// fsynced *before* the rename, so a crash at any point leaves either the
+// old manifest (new files are unreferenced orphans, GC'd at next open) or
+// the new one (all referenced state is durable).
+//
+// Format: line-oriented text ("key value...") with a trailing crc line over
+// every preceding byte — human-inspectable and versioned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace lacc::stream::durable {
+
+struct Manifest {
+  VertexId n = 0;  ///< vertex count (recovery refuses a mismatched engine)
+  int nranks = 0;  ///< rank count (ditto — file layout is per-rank)
+  std::uint64_t epoch = 0;  ///< last published epoch
+  std::uint64_t wal_gen = 0;
+  /// Last ingest seq already folded into `epoch`'s labels; WAL records with
+  /// seq > this are pending and re-ingested at recovery.
+  std::uint64_t wal_processed_seq = 0;
+  /// Last ingest seq compacted into run files when the current WAL
+  /// generation started; the generation's records all have seq > this.
+  std::uint64_t wal_base_seq = 0;
+  std::uint64_t next_file_seq = 1;
+  /// levels[l] = run-file seqs at level l, oldest first.  File names are
+  /// derived as runs/L<l>-<seq>-r<rank>.run (one file per rank per seq).
+  std::vector<std::vector<std::uint64_t>> levels;
+};
+
+/// Atomic write via MANIFEST.tmp + fsync + rename (sites manifest.write /
+/// manifest.fsync / manifest.rename).
+void save_manifest(const std::string& dir, const Manifest& m);
+
+/// Load `dir`/MANIFEST.  Returns false if absent; throws lacc::Error on a
+/// corrupt or version-mismatched file.
+bool load_manifest(const std::string& dir, Manifest& m);
+
+}  // namespace lacc::stream::durable

@@ -1,0 +1,92 @@
+// Durability knobs and counters, separated from the storage classes so
+// stream/engine.hpp can expose them without pulling the I/O layer into
+// every includer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lacc::stream::durable {
+
+enum class FsyncPolicy {
+  kPerBatch,  ///< fsync the WAL on every DeltaStore::ingest (no accepted
+              ///< batch is ever lost)
+  kPerEpoch,  ///< fsync once per advance_epoch, before the manifest commit
+              ///< (batches since the last epoch may be lost on crash)
+};
+
+struct Options {
+  /// Data directory; empty disables durability entirely (memory-only
+  /// behavior stays bit-identical).
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kPerBatch;
+  /// Entries per run-file block (the CRC + cache granularity).  Small
+  /// values force multi-block files in tests.
+  std::size_t block_entries = 4096;
+  /// Per-rank block-cache capacity in blocks.
+  std::size_t cache_blocks = 64;
+  /// A level holding this many run files is merged into the next level.
+  std::size_t level_fanout = 4;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Plain I/O counters; per-rank instances are thread-confined (each rank
+/// thread owns its RankStorage), host instances are host-confined, and the
+/// engine sums them after the SPMD session joins — no atomics needed.
+struct Counters {
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t run_files_written = 0;
+  std::uint64_t run_file_bytes = 0;
+  std::uint64_t level_compactions = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  void merge(const Counters& o) {
+    wal_records += o.wal_records;
+    wal_bytes += o.wal_bytes;
+    fsyncs += o.fsyncs;
+    run_files_written += o.run_files_written;
+    run_file_bytes += o.run_file_bytes;
+    level_compactions += o.level_compactions;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+  }
+};
+
+/// What StreamEngine::durability_stats() reports (summed over ranks + host).
+struct DurabilityStats {
+  Counters io;
+  std::uint64_t run_files_live = 0;  ///< files referenced by the manifest
+  bool recovered = false;            ///< this engine started from a manifest
+  std::uint64_t recovered_epoch = 0;
+  std::uint64_t replayed_wal_records = 0;  ///< pending records re-ingested
+  double recovery_seconds = 0;             ///< wall time of recovery
+};
+
+/// Metrics-block form of the stats (shape-compatible with obs::Scalars).
+inline std::vector<std::pair<std::string, double>> durability_scalars(
+    const DurabilityStats& s) {
+  return {
+      {"wal_records", static_cast<double>(s.io.wal_records)},
+      {"wal_bytes", static_cast<double>(s.io.wal_bytes)},
+      {"fsyncs", static_cast<double>(s.io.fsyncs)},
+      {"run_files_written", static_cast<double>(s.io.run_files_written)},
+      {"run_file_bytes", static_cast<double>(s.io.run_file_bytes)},
+      {"level_compactions", static_cast<double>(s.io.level_compactions)},
+      {"cache_hits", static_cast<double>(s.io.cache_hits)},
+      {"cache_misses", static_cast<double>(s.io.cache_misses)},
+      {"run_files_live", static_cast<double>(s.run_files_live)},
+      {"recovered", s.recovered ? 1.0 : 0.0},
+      {"recovered_epoch", static_cast<double>(s.recovered_epoch)},
+      {"replayed_wal_records", static_cast<double>(s.replayed_wal_records)},
+      {"recovery_seconds", s.recovery_seconds},
+  };
+}
+
+}  // namespace lacc::stream::durable

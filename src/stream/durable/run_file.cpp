@@ -1,0 +1,188 @@
+#include "stream/durable/run_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace lacc::stream::durable {
+
+namespace {
+
+constexpr std::uint64_t kRunMagic = 0x314E55524343414Cull;   // "LACCRUN1"
+constexpr std::uint64_t kRunEndMagic = 0x31444E4543434C41ull;  // "ALCCEND1"
+constexpr std::size_t kCoordBytes = sizeof(dist::CscCoord);
+constexpr std::size_t kHeaderBytes = 8 + 8 + 4 + 4;
+constexpr std::size_t kIndexEntryBytes = 8 + 4 + 4;
+constexpr std::size_t kFooterBytes = 8 + 4 + 4 + 8 + 8;
+
+void put_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+[[noreturn]] void corrupt(const std::string& path, const char* what) {
+  throw Error("durable run file '" + path + "' is corrupt: " + what);
+}
+
+}  // namespace
+
+void write_run_file(const std::string& path,
+                    const std::vector<dist::CscCoord>& coords,
+                    std::size_t block_entries, Counters* counters) {
+  const std::string tmp = path + ".tmp";
+  File f = File::create(tmp, "run.write.block");
+  if (block_entries == 0) block_entries = 1;
+
+  unsigned char header[kHeaderBytes];
+  put_u64(header, kRunMagic);
+  put_u64(header + 8, coords.size());
+  put_u32(header + 16, static_cast<std::uint32_t>(block_entries));
+  put_u32(header + 20, crc32(header, 20));
+  f.write(header, kHeaderBytes, "run.write.block");
+
+  std::vector<unsigned char> index;
+  std::uint64_t offset = kHeaderBytes;
+  for (std::size_t begin = 0; begin < coords.size(); begin += block_entries) {
+    const std::size_t count =
+        std::min(block_entries, coords.size() - begin);
+    const std::size_t bytes = count * kCoordBytes;
+    f.write(coords.data() + begin, bytes, "run.write.block");
+    index.resize(index.size() + kIndexEntryBytes);
+    unsigned char* e = index.data() + index.size() - kIndexEntryBytes;
+    put_u64(e, offset);
+    put_u32(e + 8, static_cast<std::uint32_t>(count));
+    put_u32(e + 12, crc32(coords.data() + begin, bytes));
+    offset += bytes;
+  }
+
+  const std::uint64_t index_offset = offset;
+  const std::uint32_t block_count =
+      static_cast<std::uint32_t>(index.size() / kIndexEntryBytes);
+  if (!index.empty()) f.write(index.data(), index.size(), "run.write.index");
+  unsigned char footer[kFooterBytes];
+  put_u64(footer, index_offset);
+  put_u32(footer + 8, block_count);
+  put_u32(footer + 12, crc32(index.data(), index.size()));
+  put_u64(footer + 16, coords.size());
+  put_u64(footer + 24, kRunEndMagic);
+  f.write(footer, kFooterBytes, "run.write.index");
+
+  f.sync("run.write.fsync");
+  f.close("run.write.fsync");
+  rename_file(tmp, path, "run.write.rename");
+  counters->run_files_written += 1;
+  counters->run_file_bytes += index_offset + index.size() + kFooterBytes;
+  counters->fsyncs += 2;  // file + directory
+}
+
+const std::vector<dist::CscCoord>* BlockCache::find(std::uint64_t file_seq,
+                                                    std::uint32_t block) {
+  const auto it = map_.find({file_seq, block});
+  if (it == map_.end()) {
+    counters_->cache_misses += 1;
+    return nullptr;
+  }
+  counters_->cache_hits += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return &it->second->coords;
+}
+
+void BlockCache::insert(std::uint64_t file_seq, std::uint32_t block,
+                        std::vector<dist::CscCoord> coords) {
+  const Key key{file_seq, block};
+  if (map_.find(key) != map_.end()) return;
+  while (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, std::move(coords)});
+  map_.emplace(key, lru_.begin());
+}
+
+void BlockCache::evict_file(std::uint64_t file_seq) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.first == file_seq) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+RunFileReader::RunFileReader(const std::string& path, std::uint64_t file_seq,
+                             BlockCache* cache)
+    : file_(File::open_read(path, "run.read.open")),
+      file_seq_(file_seq),
+      cache_(cache) {
+  const std::uint64_t file_size = file_.size("run.read.stat");
+  if (file_size < kHeaderBytes + kFooterBytes) corrupt(path, "truncated");
+
+  unsigned char header[kHeaderBytes];
+  file_.pread_exact(header, kHeaderBytes, 0, "run.read.header");
+  if (get_u64(header) != kRunMagic) corrupt(path, "bad magic");
+  if (get_u32(header + 20) != crc32(header, 20)) corrupt(path, "header crc");
+  entry_count_ = get_u64(header + 8);
+
+  unsigned char footer[kFooterBytes];
+  file_.pread_exact(footer, kFooterBytes, file_size - kFooterBytes,
+                    "run.read.footer");
+  if (get_u64(footer + 24) != kRunEndMagic) corrupt(path, "bad footer magic");
+  if (get_u64(footer + 16) != entry_count_)
+    corrupt(path, "footer/header entry-count mismatch");
+  const std::uint64_t index_offset = get_u64(footer);
+  const std::uint32_t block_count = get_u32(footer + 8);
+  const std::uint32_t index_crc = get_u32(footer + 12);
+  const std::uint64_t index_bytes =
+      static_cast<std::uint64_t>(block_count) * kIndexEntryBytes;
+  if (index_offset + index_bytes + kFooterBytes != file_size)
+    corrupt(path, "index bounds");
+
+  std::vector<unsigned char> raw(index_bytes);
+  if (index_bytes > 0)
+    file_.pread_exact(raw.data(), index_bytes, index_offset, "run.read.index");
+  if (crc32(raw.data(), raw.size()) != index_crc) corrupt(path, "index crc");
+  index_.resize(block_count);
+  std::uint64_t total = 0;
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    const unsigned char* e = raw.data() + b * kIndexEntryBytes;
+    index_[b] = {get_u64(e), get_u32(e + 8), get_u32(e + 12)};
+    total += index_[b].count;
+  }
+  if (total != entry_count_) corrupt(path, "index entry-count mismatch");
+}
+
+void RunFileReader::read_block(std::uint32_t b,
+                               std::vector<dist::CscCoord>& out) {
+  LACC_CHECK_MSG(b < index_.size(), "run-file block index out of range");
+  if (const auto* cached = cache_->find(file_seq_, b)) {
+    out.insert(out.end(), cached->begin(), cached->end());
+    return;
+  }
+  const BlockMeta& meta = index_[b];
+  std::vector<dist::CscCoord> coords(meta.count);
+  const std::size_t bytes = static_cast<std::size_t>(meta.count) * kCoordBytes;
+  if (bytes > 0)
+    file_.pread_exact(coords.data(), bytes, meta.offset, "run.read.block");
+  if (crc32(coords.data(), bytes) != meta.crc)
+    corrupt(file_.path(), "block crc");
+  out.insert(out.end(), coords.begin(), coords.end());
+  cache_->insert(file_seq_, b, std::move(coords));
+}
+
+void RunFileReader::read_all(std::vector<dist::CscCoord>& out) {
+  for (std::uint32_t b = 0; b < block_count(); ++b) read_block(b, out);
+}
+
+}  // namespace lacc::stream::durable

@@ -1,0 +1,101 @@
+// Immutable sorted run files — the disk tier of DeltaStore's LSM shape.
+//
+// A run file holds one rank's share of one compacted delta (column-major
+// sorted, unique CscCoords), SSTable-style:
+//
+//   header:  u64 magic | u64 entry_count | u32 block_entries | u32 crc(header)
+//   blocks:  entry blocks of <= block_entries coords each (raw, 16B/coord)
+//   index:   per block { u64 offset | u32 count | u32 crc32(block bytes) }
+//   footer:  u64 index_offset | u32 block_count | u32 crc32(index)
+//            | u64 entry_count | u64 magic
+//
+// Files are written to `<path>.tmp`, fsynced, then renamed into place —
+// a run file either exists completely or not at all, and the manifest is
+// what makes it live.  Readers validate the footer and index up front and
+// each block's CRC on first touch; decoded blocks go through a per-rank
+// LRU BlockCache so level merges and recovery scans of overlapping inputs
+// do not re-read and re-verify the same bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "stream/durable/io.hpp"
+#include "stream/durable/options.hpp"
+
+namespace lacc::stream::durable {
+
+/// Write `coords` as a run file at `path` (atomically, via `<path>.tmp`).
+void write_run_file(const std::string& path,
+                    const std::vector<dist::CscCoord>& coords,
+                    std::size_t block_entries, Counters* counters);
+
+/// Per-rank LRU cache of decoded blocks, keyed by (file seq, block index).
+/// Thread-confined to the owning rank; counters track hit rate.
+class BlockCache {
+ public:
+  explicit BlockCache(std::size_t capacity, Counters* counters)
+      : capacity_(capacity == 0 ? 1 : capacity), counters_(counters) {}
+
+  const std::vector<dist::CscCoord>* find(std::uint64_t file_seq,
+                                          std::uint32_t block);
+  void insert(std::uint64_t file_seq, std::uint32_t block,
+              std::vector<dist::CscCoord> coords);
+
+  /// Drop every block of a file about to be deleted by compaction GC.
+  void evict_file(std::uint64_t file_seq);
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint32_t>;
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(k.first * 0x9E3779B97F4A7C15ull +
+                                        k.second);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::vector<dist::CscCoord> coords;
+  };
+  std::size_t capacity_;
+  Counters* counters_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+};
+
+/// Read side.  Validates header/footer/index at open; blocks decode on
+/// demand through the cache.  `file_seq` is the manifest's file id (the
+/// cache key), unique per file forever.
+class RunFileReader {
+ public:
+  RunFileReader(const std::string& path, std::uint64_t file_seq,
+                BlockCache* cache);
+
+  std::uint64_t entries() const { return entry_count_; }
+  std::uint32_t block_count() const {
+    return static_cast<std::uint32_t>(index_.size());
+  }
+
+  /// Append block `b`'s coords to `out`, CRC-verified.
+  void read_block(std::uint32_t b, std::vector<dist::CscCoord>& out);
+  void read_all(std::vector<dist::CscCoord>& out);
+
+ private:
+  struct BlockMeta {
+    std::uint64_t offset;
+    std::uint32_t count;
+    std::uint32_t crc;
+  };
+  File file_;
+  std::uint64_t file_seq_;
+  BlockCache* cache_;
+  std::uint64_t entry_count_ = 0;
+  std::vector<BlockMeta> index_;
+};
+
+}  // namespace lacc::stream::durable

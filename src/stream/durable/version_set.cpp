@@ -1,0 +1,265 @@
+#include "stream/durable/version_set.hpp"
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "stream/delta_store.hpp"
+#include "stream/durable/io.hpp"
+#include "support/error.hpp"
+
+namespace lacc::stream::durable {
+
+namespace fs = std::filesystem;
+
+VersionSet::VersionSet(const Options& options, VertexId n, int nranks)
+    : options_(options) {
+  make_dirs(options_.dir + "/wal");
+  make_dirs(options_.dir + "/runs");
+  recovering_ = load_manifest(options_.dir, manifest_);
+  if (recovering_) {
+    if (manifest_.n != n || manifest_.nranks != nranks) {
+      std::ostringstream os;
+      os << "durable data dir '" << options_.dir << "' was written by an engine"
+         << " with n=" << manifest_.n << " ranks=" << manifest_.nranks
+         << "; cannot open it with n=" << n << " ranks=" << nranks;
+      throw Error(os.str());
+    }
+  } else {
+    manifest_.n = n;
+    manifest_.nranks = nranks;
+    save_manifest(options_.dir, manifest_);
+    counters_.fsyncs += 2;  // manifest file + directory
+  }
+  gc();
+}
+
+std::string VersionSet::wal_path(std::uint64_t gen, int rank) const {
+  return options_.dir + "/wal/gen" + std::to_string(gen) + "-r" +
+         std::to_string(rank) + ".wal";
+}
+
+std::string VersionSet::run_path(int level, std::uint64_t seq,
+                                 int rank) const {
+  return options_.dir + "/runs/L" + std::to_string(level) + "-" +
+         std::to_string(seq) + "-r" + std::to_string(rank) + ".run";
+}
+
+namespace {
+
+/// Push `flush_seq` onto L0, then cascade: any level at fanout merges
+/// wholesale into the next.
+void cascade(CompactionPlan& p, std::size_t fanout, std::uint64_t& next) {
+  if (fanout == 0) fanout = 1;
+  for (std::size_t l = 0; l < p.levels_after.size(); ++l) {
+    if (p.levels_after[l].size() < fanout) continue;
+    CompactionPlan::Merge mg;
+    mg.input_level = static_cast<int>(l);
+    mg.inputs = p.levels_after[l];
+    mg.output_level = static_cast<int>(l) + 1;
+    mg.output_seq = next++;
+    p.levels_after[l].clear();
+    if (p.levels_after.size() <= l + 1) p.levels_after.resize(l + 2);
+    p.levels_after[l + 1].push_back(mg.output_seq);
+    p.merges.push_back(std::move(mg));
+  }
+}
+
+}  // namespace
+
+CompactionPlan VersionSet::plan_compaction() const {
+  CompactionPlan p;
+  p.levels_after = manifest_.levels;
+  std::uint64_t next = manifest_.next_file_seq;
+  p.flush = true;
+  p.flush_seq = next++;
+  if (p.levels_after.empty()) p.levels_after.resize(1);
+  p.levels_after[0].push_back(p.flush_seq);
+  cascade(p, options_.level_fanout, next);
+  p.wal_gen = manifest_.wal_gen + 1;
+  p.next_file_seq_after = next;
+  return p;
+}
+
+CompactionPlan VersionSet::plan_recovery() const {
+  CompactionPlan p;
+  p.levels_after = manifest_.levels;
+  std::uint64_t next = manifest_.next_file_seq;
+  // The generation holds processed records iff the watermark moved past the
+  // generation's base — decidable from the manifest alone, so every rank
+  // (and a re-crashed recovery) plans identically.
+  if (manifest_.wal_processed_seq > manifest_.wal_base_seq) {
+    p.flush = true;
+    p.flush_seq = next++;
+    if (p.levels_after.empty()) p.levels_after.resize(1);
+    p.levels_after[0].push_back(p.flush_seq);
+    cascade(p, options_.level_fanout, next);
+  }
+  p.wal_gen = manifest_.wal_gen + 1;
+  p.next_file_seq_after = next;
+  return p;
+}
+
+WalRecovery VersionSet::read_wals_for_recovery() const {
+  WalRecovery out;
+  out.per_rank.resize(static_cast<std::size_t>(manifest_.nranks));
+  out.replay_limit = ~std::uint64_t{0};
+  for (int r = 0; r < manifest_.nranks; ++r) {
+    bool torn = false;
+    auto records = read_wal(wal_path(manifest_.wal_gen, r), &torn);
+    out.any_torn = out.any_torn || torn;
+    // Appends were strictly ordered base+1, base+2, ... — any other shape
+    // means the file lost fsynced bytes, not just a torn tail.
+    std::uint64_t expect = manifest_.wal_base_seq + 1;
+    for (const WalRecord& rec : records) {
+      if (rec.seq != expect) {
+        std::ostringstream os;
+        os << "durable WAL '" << wal_path(manifest_.wal_gen, r)
+           << "' is corrupt: expected record seq " << expect << ", found "
+           << rec.seq;
+        throw Error(os.str());
+      }
+      ++expect;
+    }
+    const std::uint64_t max_intact =
+        manifest_.wal_base_seq + records.size();
+    if (max_intact < manifest_.wal_processed_seq) {
+      std::ostringstream os;
+      os << "durable WAL '" << wal_path(manifest_.wal_gen, r)
+         << "' is corrupt: intact records stop at seq " << max_intact
+         << " but the manifest watermark is " << manifest_.wal_processed_seq
+         << " (fsynced records are missing)";
+      throw Error(os.str());
+    }
+    out.replay_limit = std::min(out.replay_limit, max_intact);
+    out.per_rank[static_cast<std::size_t>(r)] = std::move(records);
+  }
+  if (manifest_.nranks == 0) out.replay_limit = manifest_.wal_processed_seq;
+  return out;
+}
+
+void VersionSet::commit_epoch(std::uint64_t epoch,
+                              std::uint64_t processed_seq, bool applied,
+                              const CompactionPlan& plan) {
+  manifest_.epoch = epoch;
+  manifest_.wal_processed_seq = processed_seq;
+  if (applied) {
+    manifest_.levels = plan.levels_after;
+    manifest_.next_file_seq = plan.next_file_seq_after;
+    manifest_.wal_gen = plan.wal_gen;
+    // Compaction drains every run, so the new generation starts at the
+    // watermark.
+    manifest_.wal_base_seq = processed_seq;
+  }
+  save_manifest(options_.dir, manifest_);
+  counters_.fsyncs += 2;
+  gc();
+}
+
+void VersionSet::commit_recovery(const CompactionPlan& plan) {
+  manifest_.levels = plan.levels_after;
+  manifest_.next_file_seq = plan.next_file_seq_after;
+  manifest_.wal_gen = plan.wal_gen;
+  // Processed records were flushed to L0; the fresh generation holds only
+  // the re-logged pending records (seq > watermark).
+  manifest_.wal_base_seq = manifest_.wal_processed_seq;
+  save_manifest(options_.dir, manifest_);
+  counters_.fsyncs += 2;
+  gc();
+}
+
+void VersionSet::set_recovery_info(std::uint64_t epoch,
+                                   std::uint64_t replayed_records,
+                                   double seconds) {
+  recovered_flag_ = true;
+  recovered_epoch_ = epoch;
+  replayed_records_ = replayed_records;
+  recovery_seconds_ = seconds;
+}
+
+std::uint64_t VersionSet::live_file_count() const {
+  std::uint64_t count = 0;
+  for (const auto& level : manifest_.levels)
+    count += level.size() * static_cast<std::uint64_t>(manifest_.nranks);
+  return count;
+}
+
+DurabilityStats VersionSet::base_stats() const {
+  DurabilityStats s;
+  s.io = counters_;
+  s.run_files_live = live_file_count();
+  s.recovered = recovered_flag_;
+  s.recovered_epoch = recovered_epoch_;
+  s.replayed_wal_records = replayed_records_;
+  s.recovery_seconds = recovery_seconds_;
+  return s;
+}
+
+void VersionSet::gc() const {
+  // Everything the manifest doesn't reference is an orphan from a crash or
+  // a superseded version — delete it.  Both subdirectory scans tolerate
+  // foreign files being absent (recovery GC races only with itself).
+  std::set<std::string> live;
+  for (std::size_t l = 0; l < manifest_.levels.size(); ++l)
+    for (const std::uint64_t seq : manifest_.levels[l])
+      for (int r = 0; r < manifest_.nranks; ++r)
+        live.insert(run_path(static_cast<int>(l), seq, r));
+  for (int r = 0; r < manifest_.nranks; ++r)
+    live.insert(wal_path(manifest_.wal_gen, r));
+
+  for (const char* sub : {"/wal", "/runs"}) {
+    const fs::path dir(options_.dir + sub);
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string p = entry.path().string();
+      if (live.find(p) == live.end()) remove_file_if_exists(p);
+    }
+  }
+  remove_file_if_exists(options_.dir + "/MANIFEST.tmp");
+}
+
+RankStorage::RankStorage(const VersionSet& vs, int rank, std::uint64_t wal_gen)
+    : vs_(&vs),
+      rank_(rank),
+      cache_(vs.options().cache_blocks, &counters),
+      wal_(std::make_unique<WalWriter>(vs.wal_path(wal_gen, rank),
+                                       vs.options().fsync, &counters)) {}
+
+void RankStorage::read_live_runs(std::vector<dist::CscCoord>& out) {
+  const Manifest& m = vs_->manifest();
+  for (std::size_t l = 0; l < m.levels.size(); ++l)
+    for (const std::uint64_t seq : m.levels[l]) {
+      RunFileReader reader(vs_->run_path(static_cast<int>(l), seq, rank_),
+                           seq, &cache_);
+      reader.read_all(out);
+    }
+}
+
+void RankStorage::apply_plan(const CompactionPlan& plan,
+                             const std::vector<dist::CscCoord>& flush_coords,
+                             VertexId n) {
+  if (plan.flush)
+    write_run_file(vs_->run_path(0, plan.flush_seq, rank_), flush_coords,
+                   vs_->options().block_entries, &counters);
+  for (const auto& mg : plan.merges) {
+    std::vector<dist::CscCoord> merged;
+    for (const std::uint64_t seq : mg.inputs) {
+      RunFileReader reader(vs_->run_path(mg.input_level, seq, rank_), seq,
+                           &cache_);
+      reader.read_all(merged);
+    }
+    sort_unique_column_major(merged, n);
+    write_run_file(vs_->run_path(mg.output_level, mg.output_seq, rank_),
+                   merged, vs_->options().block_entries, &counters);
+    for (const std::uint64_t seq : mg.inputs) cache_.evict_file(seq);
+    counters.level_compactions += 1;
+  }
+  rotate_wal(plan.wal_gen);
+}
+
+void RankStorage::rotate_wal(std::uint64_t gen) {
+  wal_ = std::make_unique<WalWriter>(vs_->wal_path(gen, rank_),
+                                     vs_->options().fsync, &counters);
+}
+
+}  // namespace lacc::stream::durable

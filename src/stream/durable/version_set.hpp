@@ -1,0 +1,151 @@
+// VersionSet — the host-side owner of a durable data directory — and
+// RankStorage, one rank's thread-confined handle on it.
+//
+// Layout under Options::dir:
+//
+//   MANIFEST                     atomic commit point (manifest.hpp)
+//   wal/gen<g>-r<rank>.wal       per-rank WAL, one file per generation
+//   runs/L<l>-<seq>-r<rank>.run  immutable sorted runs (run_file.hpp)
+//
+// File *seqs* are global (one per compaction product, covering one file per
+// rank); which seqs are live at which level is decided host-side and
+// recorded in the manifest, so the per-rank structure is symmetric by
+// construction — a CompactionPlan computed once on the host is executed
+// identically by every rank thread, the same uniform-decision discipline
+// the SPMD collectives already follow.
+//
+// Crash safety: run files and new WAL generations are orphans until the
+// manifest rename publishes them; obsolete files are deleted only after the
+// rename, and gc() at open (or after any commit) removes whatever a crash
+// stranded in between.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "stream/durable/manifest.hpp"
+#include "stream/durable/options.hpp"
+#include "stream/durable/run_file.hpp"
+#include "stream/durable/wal.hpp"
+
+namespace lacc::stream::durable {
+
+/// File-level effects of one compaction (or recovery), decided on the host
+/// before the SPMD session so every rank executes the same plan.
+struct CompactionPlan {
+  bool flush = false;        ///< write a new L0 run from the drained delta
+  std::uint64_t flush_seq = 0;
+  std::uint64_t wal_gen = 0;  ///< generation to rotate the WAL to
+  struct Merge {
+    int input_level = 0;
+    std::vector<std::uint64_t> inputs;
+    int output_level = 0;
+    std::uint64_t output_seq = 0;
+  };
+  std::vector<Merge> merges;  ///< cascading level merges, in execution order
+  std::vector<std::vector<std::uint64_t>> levels_after;
+  std::uint64_t next_file_seq_after = 0;
+};
+
+/// Host-side view of the WAL at recovery time.
+struct WalRecovery {
+  /// Every intact record per rank, in append order.
+  std::vector<std::vector<WalRecord>> per_rank;
+  /// Highest seq intact on *every* rank; records past it are dropped (they
+  /// were mid-flight when the process died).  >= the manifest watermark.
+  std::uint64_t replay_limit = 0;
+  bool any_torn = false;
+};
+
+class VersionSet {
+ public:
+  /// Opens (or initializes) the data directory.  Fresh directories get an
+  /// epoch-0 manifest; existing manifests flip recovering() and must match
+  /// `n`/`nranks`.  Orphaned tmp/unreferenced files are GC'd either way.
+  VersionSet(const Options& options, VertexId n, int nranks);
+
+  bool recovering() const { return recovering_; }
+  const Manifest& manifest() const { return manifest_; }
+  const Options& options() const { return options_; }
+
+  std::string wal_path(std::uint64_t gen, int rank) const;
+  std::string run_path(int level, std::uint64_t seq, int rank) const;
+
+  /// Plan this epoch's compaction (applied only if the engine's policy
+  /// fires): flush the drained delta to a new L0 run, cascade any level at
+  /// fanout, rotate the WAL.
+  CompactionPlan plan_compaction() const;
+
+  /// Plan recovery's storage rotation: flush processed WAL records (if the
+  /// generation has any) and always rotate to a fresh generation.
+  CompactionPlan plan_recovery() const;
+
+  /// Read + validate every rank's WAL for recovery.  Torn tails are
+  /// tolerated; a missing record at or below the manifest watermark (it was
+  /// fsynced before the manifest committed) is fatal corruption.
+  WalRecovery read_wals_for_recovery() const;
+
+  /// Commit one advanced epoch: bump {epoch, watermark}, apply `plan`'s
+  /// file rotation if `applied`, rename the manifest, GC obsolete files.
+  void commit_epoch(std::uint64_t epoch, std::uint64_t processed_seq,
+                    bool applied, const CompactionPlan& plan);
+
+  /// Commit recovery: same epoch, fresh WAL generation (pending records
+  /// were re-logged there), flushed/merged levels per `plan`.
+  void commit_recovery(const CompactionPlan& plan);
+
+  void set_recovery_info(std::uint64_t epoch, std::uint64_t replayed_records,
+                         double seconds);
+
+  std::uint64_t live_file_count() const;
+
+  /// Host-side stats (manifest I/O + recovery info); the engine merges
+  /// per-rank RankStorage counters on top.
+  DurabilityStats base_stats() const;
+
+ private:
+  void gc() const;
+
+  Options options_;
+  Manifest manifest_;
+  bool recovering_ = false;
+  Counters counters_;  ///< host-confined (manifest writes, GC)
+  bool recovered_flag_ = false;
+  std::uint64_t recovered_epoch_ = 0;
+  std::uint64_t replayed_records_ = 0;
+  double recovery_seconds_ = 0;
+};
+
+/// One rank's durable storage: WAL writer + block cache + plan execution.
+/// Created host-side but used only by the owning rank thread between
+/// run_spmd joins (plain data, same confinement story as DeltaStore).
+class RankStorage {
+ public:
+  RankStorage(const VersionSet& vs, int rank, std::uint64_t wal_gen);
+
+  WalWriter& wal() { return *wal_; }
+
+  /// Read every manifest-live run file of this rank into `out` (unsorted
+  /// concatenation; callers sort+unique).
+  void read_live_runs(std::vector<dist::CscCoord>& out);
+
+  /// Execute `plan` for this rank: write the L0 flush from `flush_coords`,
+  /// run the level merges, rotate the WAL.
+  void apply_plan(const CompactionPlan& plan,
+                  const std::vector<dist::CscCoord>& flush_coords, VertexId n);
+
+  Counters counters;
+
+ private:
+  void rotate_wal(std::uint64_t gen);
+
+  const VersionSet* vs_;
+  int rank_;
+  BlockCache cache_;
+  std::unique_ptr<WalWriter> wal_;
+};
+
+}  // namespace lacc::stream::durable

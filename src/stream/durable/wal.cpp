@@ -1,0 +1,103 @@
+#include "stream/durable/wal.hpp"
+
+#include <cstring>
+
+#include "support/crc32.hpp"
+
+namespace lacc::stream::durable {
+
+namespace {
+
+constexpr std::uint32_t kWalMagic = 0x4C57414Cu;  // 'LAWL'
+constexpr std::size_t kHeaderBytes = 4 + 8 + 4 + 4;
+constexpr std::size_t kCoordBytes = sizeof(dist::CscCoord);
+static_assert(kCoordBytes == 16, "CscCoord must be two packed u64s");
+
+void put_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+WalWriter::WalWriter(std::string path, FsyncPolicy policy, Counters* counters)
+    : file_(File::create(path, "wal.rotate.create")),
+      policy_(policy),
+      counters_(counters) {}
+
+void WalWriter::append(std::uint64_t seq,
+                       const std::vector<dist::CscCoord>& coords) {
+  const std::size_t payload_len = coords.size() * kCoordBytes;
+  std::vector<unsigned char> buf(kHeaderBytes + payload_len);
+  put_u32(buf.data(), kWalMagic);
+  put_u64(buf.data() + 4, seq);
+  put_u32(buf.data() + 12, static_cast<std::uint32_t>(coords.size()));
+  if (payload_len > 0)
+    std::memcpy(buf.data() + kHeaderBytes, coords.data(), payload_len);
+  put_u32(buf.data() + 16,
+          crc32(buf.data() + kHeaderBytes, payload_len));
+  file_.write(buf.data(), buf.size(), "wal.append.write");
+  dirty_ = true;
+  counters_->wal_records += 1;
+  counters_->wal_bytes += buf.size();
+  if (policy_ == FsyncPolicy::kPerBatch) {
+    file_.sync("wal.append.fsync");
+    counters_->fsyncs += 1;
+    dirty_ = false;
+  }
+}
+
+void WalWriter::sync_epoch() {
+  if (!dirty_) return;
+  file_.sync("wal.epoch.fsync");
+  counters_->fsyncs += 1;
+  dirty_ = false;
+}
+
+void WalWriter::sync_now(const char* site) {
+  file_.sync(site);
+  counters_->fsyncs += 1;
+  dirty_ = false;
+}
+
+std::vector<WalRecord> read_wal(const std::string& path, bool* torn) {
+  if (torn != nullptr) *torn = false;
+  std::vector<WalRecord> records;
+  if (!path_exists(path)) return records;
+  const File f = File::open_read(path, "wal.read.open");
+  const std::uint64_t file_size = f.size("wal.read.stat");
+
+  std::uint64_t off = 0;
+  unsigned char header[kHeaderBytes];
+  while (off + kHeaderBytes <= file_size) {
+    f.pread_exact(header, kHeaderBytes, off, "wal.read.header");
+    if (get_u32(header) != kWalMagic) break;  // torn/garbage tail
+    const std::uint64_t seq = get_u64(header + 4);
+    const std::uint32_t count = get_u32(header + 12);
+    const std::uint32_t crc = get_u32(header + 16);
+    const std::uint64_t payload_len =
+        static_cast<std::uint64_t>(count) * kCoordBytes;
+    if (off + kHeaderBytes + payload_len > file_size) break;  // torn payload
+    WalRecord rec;
+    rec.seq = seq;
+    rec.coords.resize(count);
+    if (payload_len > 0)
+      f.pread_exact(rec.coords.data(), payload_len, off + kHeaderBytes,
+                    "wal.read.payload");
+    if (crc32(rec.coords.data(), payload_len) != crc) break;  // torn record
+    records.push_back(std::move(rec));
+    off += kHeaderBytes + payload_len;
+  }
+  if (torn != nullptr) *torn = off != file_size;
+  return records;
+}
+
+}  // namespace lacc::stream::durable

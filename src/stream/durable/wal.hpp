@@ -1,0 +1,66 @@
+// Per-rank write-ahead log of routed delta runs.
+//
+// Each DeltaStore::ingest appends one record holding the rank's
+// *post-all-to-all* run (the coordinates this rank actually stores), so
+// replay needs no collectives: a recovered rank re-materializes its runs
+// from its own log alone, in the original global ingest order (the `seq`
+// field advances in lockstep across ranks).
+//
+// Record layout (little-endian, length-prefixed, checksummed):
+//
+//   u32 magic 'LAWL' | u64 seq | u32 count | u32 crc32(payload)
+//   payload: count × CscCoord{u64 row, u64 col}
+//
+// A torn tail — partial header, partial payload, or CRC mismatch in the
+// final record — marks the end of the readable log; it is ignored, never
+// fatal (the record was still in flight when the process died, so the
+// manifest cannot reference it).  Corruption *before* the manifest's
+// watermark is fatal: those records were fsynced before the manifest
+// committed, so losing them means the disk lied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "stream/durable/io.hpp"
+#include "stream/durable/options.hpp"
+
+namespace lacc::stream::durable {
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  std::vector<dist::CscCoord> coords;
+};
+
+/// Append side.  One writer per rank per WAL generation; thread-confined to
+/// the owning rank thread.
+class WalWriter {
+ public:
+  /// Creates (truncates) the generation file.
+  WalWriter(std::string path, FsyncPolicy policy, Counters* counters);
+
+  void append(std::uint64_t seq, const std::vector<dist::CscCoord>& coords);
+
+  /// Per-epoch policy: fsync if anything was appended since the last sync.
+  void sync_epoch();
+
+  /// Unconditional fsync (recovery re-log barrier).
+  void sync_now(const char* site);
+
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  File file_;
+  FsyncPolicy policy_;
+  Counters* counters_;
+  bool dirty_ = false;
+};
+
+/// Scan a WAL file.  Returns every intact record in order; `torn` (optional)
+/// reports whether a trailing partial/corrupt record was discarded.  A
+/// missing file reads as empty (a rank that never ingested after rotation).
+std::vector<WalRecord> read_wal(const std::string& path, bool* torn);
+
+}  // namespace lacc::stream::durable

@@ -10,7 +10,9 @@
 #include "dist/grid.hpp"
 #include "dist/ops.hpp"
 #include "stream/delta_store.hpp"
+#include "stream/durable/version_set.hpp"
 #include "support/error.hpp"
+#include "support/timer.hpp"
 
 namespace lacc::stream {
 
@@ -39,6 +41,29 @@ CommTuning tuning_from(const core::LaccOptions& options) {
 
 constexpr auto kSum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
 
+/// Recompute labels + comp_size from the base via the static algorithm and
+/// re-canonicalize.  Shared by the full-rebuild path and recovery — the
+/// canonical-label contract makes the result independent of how the base
+/// was accumulated, which is exactly why recovery-by-recompute republishes
+/// bit-identical labels.
+int rebuild_labels(ProcGrid& grid, sim::Comm& world,
+                   const core::LaccOptions& options, VertexId n, DistCsc& base,
+                   DistVec<VertexId>& labels,
+                   DistVec<std::uint64_t>& comp_size) {
+  core::CcResult cc;
+  core::lacc_dist_body(grid, base, options, cc);
+  const auto canon = core::normalize_labels(cc.parent);
+  for (const VertexId g : labels.owned()) labels.set(g, canon[g]);
+  comp_size.clear();
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId r = canon[v];
+    if (comp_size.owns(r)) comp_size.set(r, comp_size.get_or(r, 0) + 1);
+  }
+  world.charge_compute(static_cast<double>(n) +
+                       static_cast<double>(labels.local_size()));
+  return cc.iterations;
+}
+
 }  // namespace
 
 /// Persistent distributed state of one virtual rank, reused across SPMD
@@ -51,6 +76,8 @@ struct StreamEngine::RankSlot {
   /// Component size stored exactly at current roots (drives the dirty
   /// fraction without a global scan).
   std::optional<DistVec<std::uint64_t>> comp_size;
+  /// Durable WAL + run files + block cache (null when memory-only).
+  std::unique_ptr<durable::RankStorage> store;
 };
 
 StreamEngine::StreamEngine(VertexId n, int nranks,
@@ -65,10 +92,31 @@ StreamEngine::StreamEngine(VertexId n, int nranks,
   slots_.resize(static_cast<std::size_t>(nranks_));
   for (auto& slot : slots_) slot = std::make_unique<RankSlot>();
 
+  // Durable setup happens host-side before the SPMD session: open/init the
+  // data directory, and if a manifest exists, pre-read every rank's WAL and
+  // plan the recovery storage rotation (uniform inputs for the rank
+  // threads, like every other collective decision).
+  if (options_.durable.enabled())
+    vs_ = std::make_unique<durable::VersionSet>(options_.durable, n_, nranks_);
+  const bool recover = vs_ != nullptr && vs_->recovering();
+  durable::CompactionPlan rplan;
+  durable::WalRecovery wals;
+  if (recover) {
+    wals = vs_->read_wals_for_recovery();
+    rplan = vs_->plan_recovery();
+  }
+  const std::uint64_t wal_gen =
+      vs_ == nullptr ? 0 : (recover ? rplan.wal_gen : vs_->manifest().wal_gen);
+
+  Timer recovery_timer;
+  std::vector<VertexId> flat_labels;
+  std::uint64_t sh_replayed = 0, sh_pending_undirected = 0;
+
   const graph::EdgeList empty(n_);
   sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
     ProcGrid grid(world);
-    RankSlot& slot = *slots_[static_cast<std::size_t>(world.rank())];
+    const int rank = world.rank();
+    RankSlot& slot = *slots_[static_cast<std::size_t>(rank)];
     slot.base.emplace(grid, empty);
     slot.delta.emplace(grid, n_);
     slot.labels.emplace(grid, n_);
@@ -77,11 +125,95 @@ StreamEngine::StreamEngine(VertexId n, int nranks,
       slot.labels->set(g, g);
       slot.comp_size->set(g, 1);
     }
+    if (vs_ != nullptr) {
+      slot.store =
+          std::make_unique<durable::RankStorage>(*vs_, rank, wal_gen);
+      slot.delta->attach_storage(slot.store.get());
+    }
+    if (!recover) return;
+
+    // --- Recovery.  The modeled time of this session is deliberately not
+    // added to total_modeled_seconds(): the work was already paid for (and
+    // recorded) by the run that originally published the epoch.
+    sim::Region region(world, "durable-recover");
+    const durable::Manifest& mf = vs_->manifest();
+
+    // 1. Rebuild this rank's base block: live run files plus the WAL
+    //    records the manifest watermark already folded into the labels.
+    std::vector<CscCoord> coords;
+    slot.store->read_live_runs(coords);
+    std::vector<CscCoord> flush_coords;
+    for (const auto& rec : wals.per_rank[static_cast<std::size_t>(rank)]) {
+      if (rec.seq <= mf.wal_processed_seq)
+        flush_coords.insert(flush_coords.end(), rec.coords.begin(),
+                            rec.coords.end());
+    }
+    sort_unique_column_major(flush_coords, n_);
+    // Always applied: even with nothing to flush, recovery rotates to a
+    // fresh WAL generation (the old one may have a torn tail).
+    slot.store->apply_plan(rplan, flush_coords, n_);
+    coords.insert(coords.end(), flush_coords.begin(), flush_coords.end());
+    sort_unique_column_major(coords, n_);
+    slot.base->merge_delta(grid, coords);
+
+    // 2. Labels from scratch over the recovered base; bit-identical to the
+    //    pre-crash publication by the canonical-label contract.
+    if (slot.base->global_nnz() != 0)
+      rebuild_labels(grid, world, options_.lacc, n_, *slot.base, *slot.labels,
+                     *slot.comp_size);
+
+    // 3. Re-ingest pending WAL records — seqs past the watermark that every
+    //    rank has intact — as pending runs, re-logged into the fresh
+    //    generation so a second crash recovers them too.  Records past the
+    //    replay limit were mid-flight at the crash and are dropped (their
+    //    batch was never visible to any published epoch).
+    std::uint64_t replayed = 0, pending_undirected = 0;
+    for (auto& rec : wals.per_rank[static_cast<std::size_t>(rank)]) {
+      if (rec.seq <= mf.wal_processed_seq || rec.seq > wals.replay_limit)
+        continue;
+      for (const CscCoord& c : rec.coords)
+        if (c.row < c.col) ++pending_undirected;
+      slot.store->wal().append(rec.seq, rec.coords);
+      slot.delta->restore_run(std::move(rec.coords));
+      ++replayed;
+    }
+    if (replayed > 0) slot.store->wal().sync_now("wal.append.fsync");
+    slot.delta->set_next_seq(wals.replay_limit);
+
+    const std::uint64_t replayed_total = world.allreduce(replayed, kSum);
+    pending_undirected = world.allreduce(pending_undirected, kSum);
+    auto flat = dist::to_global(grid, *slot.labels, kNoVertex);
+    if (rank == 0) {
+      flat_labels = std::move(flat);
+      sh_replayed = replayed_total;
+      sh_pending_undirected = pending_undirected;
+    }
   });
 
-  components_ = n_;
-  current_labels_.resize(n_);
-  for (VertexId v = 0; v < n_; ++v) current_labels_[v] = v;
+  if (recover) {
+    // Commit the rotation: fresh WAL generation (pending records re-logged
+    // and fsynced above), processed records flushed into the levels.
+    vs_->commit_recovery(rplan);
+    epoch_ = vs_->manifest().epoch;
+    recovered_ = true;
+    recovered_epoch_ = epoch_;
+    current_labels_ = std::move(flat_labels);
+    components_ = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (current_labels_[v] == v) ++components_;
+      // Seed the version chains at the recovered epoch so query_at() works
+      // from recovered_epoch_ onward (earlier history is gone; query_at
+      // refuses epochs before it).
+      if (current_labels_[v] != v)
+        versions_[v].emplace_back(epoch_, current_labels_[v]);
+    }
+    pending_batch_edges_ = sh_pending_undirected;
+    vs_->set_recovery_info(epoch_, sh_replayed, recovery_timer.seconds());
+  } else {
+    components_ = n_;
+    current_labels_.resize(n_);
+    for (VertexId v = 0; v < n_; ++v) current_labels_[v] = v;
+  }
 }
 
 StreamEngine::~StreamEngine() = default;
@@ -91,6 +223,10 @@ graph::CanonicalizeStats StreamEngine::ingest(graph::EdgeList batch) {
                                                       << " != engine's " << n_);
   const graph::CanonicalizeStats stats = graph::canonicalize_counted(batch);
   pending_batch_edges_ += stats.kept;
+  // Nothing survived canonicalization (empty batch, or all self-loops and
+  // duplicates): skip the SPMD session entirely — no modeled time, no delta
+  // run, no WAL record.  Uniform by construction (one host-side decision).
+  if (stats.kept == 0) return stats;
 
   const auto spmd = sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
     ProcGrid grid(world);
@@ -114,12 +250,17 @@ EpochStats StreamEngine::advance_epoch() {
   const CommTuning tuning = tuning_from(options_.lacc);
   const VertexId n = n_;
 
+  // Durable epochs precompute the compaction's file-level plan host-side;
+  // whether it applies is decided (uniformly) inside the session.
+  durable::CompactionPlan plan;
+  if (vs_ != nullptr) plan = vs_->plan_compaction();
+
   // Written by the matching rank / by rank 0 only; read after the join.
   std::vector<double> modeled(static_cast<std::size_t>(nranks_), 0.0);
   std::vector<VertexId> flat_labels;
-  std::uint64_t sh_cross = 0, sh_dirty = 0;
+  std::uint64_t sh_cross = 0, sh_dirty = 0, sh_last_seq = 0;
   EdgeId sh_delta_nnz = 0;
-  bool sh_full = false, sh_compact = false;
+  bool sh_full = false, sh_compact = false, sh_applied = false;
   int sh_iterations = 0;
 
   auto spmd = sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
@@ -195,7 +336,13 @@ EpochStats StreamEngine::advance_epoch() {
                             base.global_nnz(), 1));
     if (compact && delta_nnz != 0) {
       sim::Region region(world, "stream-compact");
-      base.merge_delta(grid, delta.drain_merged(grid));
+      const std::vector<CscCoord> drained = delta.drain_merged(grid);
+      // Durable: persist the drained delta as a new L0 run (plus any level
+      // merges the plan cascades) before it disappears into the base, and
+      // rotate the WAL — its records are all represented in run files now.
+      // Disk I/O is host work, outside the modeled cost.
+      if (slot.store != nullptr) slot.store->apply_plan(plan, drained, n);
+      base.merge_delta(grid, drained);
     }
 
     int iterations = 0;
@@ -204,18 +351,8 @@ EpochStats StreamEngine::advance_epoch() {
       // algorithm and re-canonicalize.  Every rank computes the same
       // normalized vector from the gathered parents.
       sim::Region region(world, "stream-rebuild");
-      core::CcResult cc;
-      core::lacc_dist_body(grid, base, options_.lacc, cc);
-      const auto canon = core::normalize_labels(cc.parent);
-      for (const VertexId g : labels.owned()) labels.set(g, canon[g]);
-      comp_size.clear();
-      for (VertexId v = 0; v < n; ++v) {
-        const VertexId r = canon[v];
-        if (comp_size.owns(r)) comp_size.set(r, comp_size.get_or(r, 0) + 1);
-      }
-      world.charge_compute(static_cast<double>(n) +
-                           static_cast<double>(labels.local_size()));
-      iterations = cc.iterations;
+      iterations = rebuild_labels(grid, world, options_.lacc, n, base, labels,
+                                  comp_size);
     } else if (cross_total != 0) {
       // --- Incremental path: Shiloach–Vishkin on the contracted multigraph
       // whose vertices are current roots and whose edges are the cross
@@ -315,6 +452,11 @@ EpochStats StreamEngine::advance_epoch() {
       }
     }
 
+    // Per-epoch fsync policy: make this epoch's WAL records durable before
+    // the host commits the manifest below (no-op under per-batch policy or
+    // when the WAL just rotated).  Host-side disk work, not modeled time.
+    if (slot.store != nullptr) slot.store->wal().sync_epoch();
+
     // Modeled epoch time stops here; the label gather below is result
     // extraction (same convention as lacc_dist_body).
     modeled[static_cast<std::size_t>(world.rank())] = world.state().sim_time;
@@ -326,9 +468,17 @@ EpochStats StreamEngine::advance_epoch() {
       sh_delta_nnz = compact ? 0 : delta_nnz;
       sh_full = full;
       sh_compact = compact;
+      sh_applied = compact && delta_nnz != 0;
+      sh_last_seq = delta.last_seq();
       sh_iterations = iterations;
     }
   });
+
+  // Manifest commit: the epoch becomes the durable truth *before* any
+  // caller (serve::Server publishes its snapshot after this returns) can
+  // observe it, so every visible epoch survives a crash.  A crash before
+  // this line recovers to the previous manifest; after it, to this epoch.
+  if (vs_ != nullptr) vs_->commit_epoch(st.epoch, sh_last_seq, sh_applied, plan);
 
   st.cross_edges = sh_cross;
   st.dirty_vertices = sh_dirty;
@@ -359,6 +509,17 @@ EpochStats StreamEngine::advance_epoch() {
   return st;
 }
 
+durable::DurabilityStats StreamEngine::durability_stats() const {
+  durable::DurabilityStats s;
+  if (vs_ == nullptr) return s;
+  s = vs_->base_stats();
+  // Rank counters are plain data read after the last session joined — the
+  // same confinement rule as every other RankSlot member.
+  for (const auto& slot : slots_)
+    if (slot->store != nullptr) s.io.merge(slot->store->counters);
+  return s;
+}
+
 VertexId StreamEngine::component_of(VertexId v) const {
   // Query errors are user input errors, not internal invariants: throw a
   // clean message (no LACC_CHECK preamble) the CLI can print verbatim.
@@ -382,6 +543,12 @@ std::vector<VertexId> StreamEngine::query_at(
     throw Error("stream query: epoch " + std::to_string(at) +
                 " has not happened yet (current epoch " +
                 std::to_string(epoch_) + ")");
+  // Version chains before the recovered epoch died with the old process
+  // (the manifest persists labels' *inputs*, not their history).
+  if (recovered_ && at < recovered_epoch_)
+    throw Error("stream query: epoch " + std::to_string(at) +
+                " predates recovery (earliest recovered epoch " +
+                std::to_string(recovered_epoch_) + ")");
   std::vector<VertexId> out;
   out.reserve(vertices.size());
   for (const VertexId v : vertices) {

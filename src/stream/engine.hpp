@@ -44,9 +44,14 @@
 #include "graph/edge_list.hpp"
 #include "sim/machine.hpp"
 #include "sim/runtime.hpp"
+#include "stream/durable/options.hpp"
 #include "support/types.hpp"
 
 namespace lacc::stream {
+
+namespace durable {
+class VersionSet;
+}
 
 /// Streaming policy knobs on top of the static algorithm's LaccOptions.
 struct StreamOptions {
@@ -66,6 +71,13 @@ struct StreamOptions {
   /// exceeds this fraction of the base's nnz — the LSM write-amplification
   /// trade-off.  Rebuild epochs always compact first.
   double compaction_factor = 0.25;
+
+  /// Durability (disabled unless durable.dir is set): per-rank WAL on
+  /// ingest, run files at compaction, manifest recovery at construction.
+  /// Memory-only behavior — labels, per-epoch stats, modeled seconds — is
+  /// bit-identical whether or not this is enabled; durability only adds
+  /// host-side disk I/O outside the cost model.
+  durable::Options durable;
 };
 
 /// What one advance_epoch() did (the streaming analogue of
@@ -149,6 +161,18 @@ class StreamEngine {
   /// export); empty before the first advance.
   const sim::SpmdResult& last_epoch_spmd() const { return last_spmd_; }
 
+  /// Whether this engine persists to a data directory.
+  bool durable() const { return vs_ != nullptr; }
+  /// Whether construction recovered published state from a manifest (false
+  /// for fresh directories).
+  bool recovered() const { return recovered_; }
+  /// The epoch recovery restored (only meaningful when recovered()); epochs
+  /// before it have no version history, so query_at() on them throws.
+  std::uint64_t recovered_epoch() const { return recovered_epoch_; }
+  /// Durable I/O counters summed over ranks + host, plus recovery info.
+  /// All zeros when not durable().
+  durable::DurabilityStats durability_stats() const;
+
  private:
   struct RankSlot;  // per-rank persistent distributed state
 
@@ -172,6 +196,10 @@ class StreamEngine {
   double pending_ingest_modeled_ = 0;
   double total_modeled_ = 0;
   sim::SpmdResult last_spmd_;
+
+  std::unique_ptr<durable::VersionSet> vs_;  ///< null when memory-only
+  bool recovered_ = false;
+  std::uint64_t recovered_epoch_ = 0;
 };
 
 }  // namespace lacc::stream

@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over raw bytes.
+//
+// The durable stream layer checksums every WAL record, run-file block, and
+// manifest with this; a table-driven byte-at-a-time loop is plenty for the
+// record sizes involved and keeps the implementation header-only and
+// dependency-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace lacc {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC of `len` bytes at `data`.  Chain partial buffers by passing the
+/// previous return value as `seed` (the pre/post inversion composes).
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace lacc

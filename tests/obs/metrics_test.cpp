@@ -1,4 +1,4 @@
-// lacc-metrics-v4 emitter: the document structure consumed by
+// lacc-metrics-v5 emitter: the document structure consumed by
 // tools/check_obs_json.py and the perf trajectory.
 #include "obs/metrics.hpp"
 
@@ -27,12 +27,13 @@ TEST(Metrics, SerialRunRecord) {
   auto rec = obs::make_run_record("serial", 0, {}, 0.0, 1.5,
                                   {{"edges", 42.0}});
   const std::string json = emit({std::move(rec)});
-  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v5\""), std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"metrics_test\""), std::string::npos);
-  // Static runs never carry the streaming-only epochs array or the
-  // serving-only serve block.
+  // Static runs never carry the streaming-only epochs array, the
+  // serving-only serve block, or the durable-only durability block.
   EXPECT_EQ(json.find("\"epochs\""), std::string::npos);
   EXPECT_EQ(json.find("\"serve\""), std::string::npos);
+  EXPECT_EQ(json.find("\"durability\""), std::string::npos);
   EXPECT_NE(json.find("\"word_bytes\":8"), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"serial\""), std::string::npos);
   EXPECT_NE(json.find("\"ranks\":0"), std::string::npos);
@@ -81,6 +82,17 @@ TEST(Metrics, ServingRunEmitsServeBlock) {
   const std::string json = emit({std::move(rec)});
   EXPECT_NE(json.find("\"serve\":{\"throughput_rps\":1000,"
                       "\"read_p50_ms\":0.125,\"read_p99_ms\":2.5}"),
+            std::string::npos);
+}
+
+TEST(Metrics, DurableRunEmitsDurabilityBlock) {
+  auto rec = obs::make_run_record("durable", 4, {}, 0.0, 0.5);
+  rec.durability = {{"wal_records", 24.0},
+                    {"fsyncs", 30.0},
+                    {"recovered", 1.0}};
+  const std::string json = emit({std::move(rec)});
+  EXPECT_NE(json.find("\"durability\":{\"wal_records\":24,"
+                      "\"fsyncs\":30,\"recovered\":1}"),
             std::string::npos);
 }
 

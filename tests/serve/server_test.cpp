@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "core/lacc_dist.hpp"
@@ -193,6 +194,49 @@ TEST(Server, StatsAndRequestTraceCoverTheRun) {
 
   EXPECT_FALSE(server.engine_history().empty());
   EXPECT_GT(server.engine_modeled_seconds(), 0.0);
+}
+
+TEST(Server, RestartRecoversPublishedStateFromDataDir) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "lacc-serve-restart";
+  fs::remove_all(dir);
+  ServeOptions options = fast_options();
+  options.stream.durable.dir = dir.string();
+
+  const graph::EdgeList stream = graph::erdos_renyi(40, 90, /*seed=*/5);
+  std::vector<VertexId> golden;
+  std::uint64_t published = 0;
+  {
+    Server server(40, 4, sim::MachineModel{}, options);
+    EXPECT_TRUE(server.durable());
+    EXPECT_FALSE(server.recovered());
+    for (const graph::Edge& e : stream.edges) {
+      ASSERT_EQ(server.insert_edge(e.u, e.v).status, ServeStatus::kOk);
+    }
+    server.flush();
+    server.stop();
+    golden = server.snapshot()->labels();
+    published = server.snapshot()->epoch();
+    ASSERT_GT(published, 0u);
+    EXPECT_GT(server.durability_stats().io.wal_records, 0u);
+  }
+
+  // A new process on the same directory serves the recovered epoch
+  // immediately and keeps accepting writes.
+  Server server(40, 4, sim::MachineModel{}, options);
+  EXPECT_TRUE(server.recovered());
+  EXPECT_EQ(server.recovered_epoch(), published);
+  EXPECT_EQ(server.snapshot()->epoch(), published);
+  EXPECT_EQ(server.snapshot()->labels(), golden);
+  EXPECT_EQ(server.component_of(7).status, ServeStatus::kOk);
+
+  ASSERT_EQ(server.insert_edge(0, 39).status, ServeStatus::kOk);
+  server.flush();
+  EXPECT_TRUE(server.same_component(0, 39).same);
+  server.stop();
+  const auto ds = server.durability_stats();
+  EXPECT_TRUE(ds.recovered);
+  EXPECT_EQ(ds.recovered_epoch, published);
 }
 
 TEST(Server, MixedWorkloadKeepsSessionsConsistent) {

@@ -44,6 +44,7 @@ TEST(DeltaStore, IngestMergeMatchesFromScratchConstruction) {
       DistCsc streamed(grid, graph::EdgeList(el.n));
       DeltaStore delta(grid, el.n);
       for (const auto& batch : batches) delta.ingest(grid, batch);
+      delta.mark_pending_processed();  // draining pending runs is an error
       streamed.merge_delta(grid, delta.drain_merged(grid));
       EXPECT_EQ(delta.local_nnz(), 0u);
       EXPECT_EQ(delta.run_count(), 0u);
@@ -67,6 +68,7 @@ TEST(DeltaStore, MergeIntoNonEmptyBaseDropsDuplicates) {
     DistCsc streamed(grid, half);
     DeltaStore delta(grid, el.n);
     delta.ingest(grid, el);
+    delta.mark_pending_processed();
     streamed.merge_delta(grid, delta.drain_merged(grid));
 
     const DistCsc scratch(grid, el);
@@ -108,11 +110,55 @@ TEST(DeltaStore, PendingWatermarkTracksUnprocessedRuns) {
     EXPECT_EQ(pending, static_cast<std::size_t>(delta.pending_nnz()));
     EXPECT_LT(delta.pending_nnz(), delta.local_nnz() + 1);
 
-    // Draining resets the watermark with the runs.
+    // Draining resets the watermark with the runs (all processed by now).
+    delta.mark_pending_processed();
     const auto merged = delta.drain_merged(grid);
     EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end()));
     EXPECT_EQ(delta.pending_nnz(), 0u);
     EXPECT_EQ(delta.run_count(), 0u);
+  });
+}
+
+TEST(DeltaStore, DrainWithPendingRunsIsRejected) {
+  // Regression: drain_merged used to silently flatten pending runs into the
+  // merge result — edges the labels had never seen went straight into the
+  // base, so the next epoch's filter skipped them and components quietly
+  // failed to merge.  It is now an LACC_CHECK failure.
+  const auto el = graph::erdos_renyi(40, 90, /*seed=*/2);
+  sim::run_spmd(1, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DeltaStore delta(grid, el.n);
+    delta.ingest(grid, el);
+    EXPECT_GT(delta.pending_nnz(), 0u);
+    EXPECT_THROW(delta.drain_merged(grid), Error);
+    // The store is untouched by the rejected drain; the sanctioned order
+    // still works.
+    EXPECT_EQ(delta.run_count(), 1u);
+    delta.mark_pending_processed();
+    EXPECT_FALSE(delta.drain_merged(grid).empty());
+  });
+}
+
+TEST(DeltaStore, EmptyBatchIngestIsFree) {
+  // Regression: an empty batch used to run the full symmetrize + all-to-all
+  // and append an empty run, inflating run_count() (spurious compactions)
+  // and charging modeled time for nothing.
+  const auto el = graph::erdos_renyi(50, 100, /*seed=*/9);
+  sim::run_spmd(4, sim::MachineModel::local(), [&](sim::Comm& world) {
+    ProcGrid grid(world);
+    DeltaStore delta(grid, el.n);
+    delta.ingest(grid, el);
+    const auto runs = delta.run_count();
+    const auto nnz = delta.local_nnz();
+    const auto seq = delta.last_seq();
+    const double t0 = world.state().sim_time;
+
+    const graph::EdgeList empty(el.n);
+    EXPECT_EQ(delta.ingest(grid, empty), 0u);
+    EXPECT_EQ(delta.run_count(), runs);
+    EXPECT_EQ(delta.local_nnz(), nnz);
+    EXPECT_EQ(delta.last_seq(), seq);
+    EXPECT_EQ(world.state().sim_time, t0);  // no modeled time charged
   });
 }
 

@@ -3,14 +3,16 @@
 
 Two file formats (docs/OBSERVABILITY.md):
 
-  metrics  lacc-metrics-v1/-v2/-v3/-v4, written by `lacc_cli --json`,
+  metrics  lacc-metrics-v1/-v2/-v3/-v4/-v5, written by `lacc_cli --json`,
            `lacc_stream_cli --json`, `lacc_serve_cli --json`, and by the
            bench binaries as $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds
            an optional per-run "epochs" array (streaming runs); v3 adds an
            optional per-run "serve" scalar block (serving runs, with
            ordered latency quantiles); v4 adds an optional per-run
-           "prepass" scalar block (sampling pre-pass attribution).  Older
-           files stay valid.
+           "prepass" scalar block (sampling pre-pass attribution); v5 adds
+           an optional per-run "durability" scalar block (WAL/run-file
+           counters and recovery info for engines with a data directory).
+           Older files stay valid.
   trace    Chrome trace-event JSON, written by `lacc_cli --trace-out` and
            `lacc_serve_cli --trace-out` (schema tag lacc-trace-v1 in
            otherData).
@@ -34,14 +36,17 @@ import json
 import math
 import sys
 
-METRICS_SCHEMA = "lacc-metrics-v4"
+METRICS_SCHEMA = "lacc-metrics-v5"
 # Older files remain valid as long as they omit the newer optional blocks:
-# "epochs" needs v2+, "serve" needs v3+, "prepass" needs v4.
+# "epochs" needs v2+, "serve" needs v3+, "prepass" needs v4+, "durability"
+# needs v5.
 METRICS_SCHEMAS = {"lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3",
-                   "lacc-metrics-v4"}
-EPOCHS_SCHEMAS = {"lacc-metrics-v2", "lacc-metrics-v3", "lacc-metrics-v4"}
-SERVE_SCHEMAS = {"lacc-metrics-v3", "lacc-metrics-v4"}
-PREPASS_SCHEMAS = {"lacc-metrics-v4"}
+                   "lacc-metrics-v4", "lacc-metrics-v5"}
+EPOCHS_SCHEMAS = {"lacc-metrics-v2", "lacc-metrics-v3", "lacc-metrics-v4",
+                  "lacc-metrics-v5"}
+SERVE_SCHEMAS = {"lacc-metrics-v3", "lacc-metrics-v4", "lacc-metrics-v5"}
+PREPASS_SCHEMAS = {"lacc-metrics-v4", "lacc-metrics-v5"}
+DURABILITY_SCHEMAS = {"lacc-metrics-v5"}
 TRACE_SCHEMA = "lacc-trace-v1"
 
 # Every per-phase aggregate entry carries exactly these keys.
@@ -138,6 +143,24 @@ def _check_prepass(path: str, prepass: object) -> None:
             _fail(f"{path}.{key}", f"negative value {prepass[key]}")
 
 
+def _check_durability(path: str, durability: object) -> None:
+    if not isinstance(durability, dict) or not durability:
+        _fail(path, "durability must be a non-empty object")
+    _check_scalars(path, durability)
+    # All durability scalars are counts, flags (0/1), or non-negative
+    # seconds — nothing here may go negative.
+    for key, value in durability.items():
+        if value < 0:
+            _fail(f"{path}.{key}", f"negative value {value}")
+    for key in ("recovered",):
+        if key in durability and durability[key] not in (0, 1):
+            _fail(f"{path}.{key}", f"expected 0/1 flag, got {durability[key]}")
+    # A process that never recovered cannot have replayed WAL records.
+    if (durability.get("recovered") == 0 and
+            durability.get("replayed_wal_records", 0) > 0):
+        _fail(path, "replayed_wal_records nonzero without recovered=1")
+
+
 def check_metrics(doc: object, path: str = "metrics") -> None:
     """Validate one parsed lacc-metrics-v1/v2 document."""
     if not isinstance(doc, dict):
@@ -181,6 +204,11 @@ def check_metrics(doc: object, path: str = "metrics") -> None:
                 _fail(f"{rpath}.prepass", f"only allowed under "
                       f"{sorted(PREPASS_SCHEMAS)}, file is {schema!r}")
             _check_prepass(f"{rpath}.prepass", run["prepass"])
+        if "durability" in run:
+            if schema not in DURABILITY_SCHEMAS:
+                _fail(f"{rpath}.durability", f"only allowed under "
+                      f"{sorted(DURABILITY_SCHEMAS)}, file is {schema!r}")
+            _check_durability(f"{rpath}.durability", run["durability"])
         _check_phase_entry(f"{rpath}.total", run["total"])
         if not isinstance(run["phases"], dict):
             _fail(f"{rpath}.phases", "must be an object")
@@ -318,7 +346,8 @@ def self_test() -> int:
     _expect_ok(_metrics_doc())
 
     # Older files stay valid as long as they omit the newer blocks.
-    for old in ("lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3"):
+    for old in ("lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3",
+                "lacc-metrics-v4"):
         doc = _metrics_doc()
         doc["schema"] = old
         _expect_ok(doc)
@@ -412,6 +441,44 @@ def self_test() -> int:
 
     bad = _metrics_doc()
     bad["runs"][0]["prepass"] = {"note": "text"}  # non-number
+    _expect_invalid(bad)
+
+    # The v5 durability block: non-negative counters + consistency rules.
+    ok = _metrics_doc()
+    ok["runs"][0]["durability"] = {"wal_records": 24, "wal_bytes": 8192,
+                                   "fsyncs": 30, "run_files_written": 6,
+                                   "run_file_bytes": 4096,
+                                   "level_compactions": 1, "cache_hits": 12,
+                                   "cache_misses": 3, "run_files_live": 4,
+                                   "recovered": 1, "recovered_epoch": 5,
+                                   "replayed_wal_records": 2,
+                                   "recovery_seconds": 0.01}
+    _expect_ok(ok)
+
+    bad = _metrics_doc()
+    bad["schema"] = "lacc-metrics-v4"
+    bad["runs"][0]["durability"] = {"wal_records": 1}  # durability is v5-only
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["durability"] = {}  # must be non-empty when present
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["durability"] = {"fsyncs": -1.0}
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["durability"] = {"recovered": 0.5}  # not a 0/1 flag
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["durability"] = {"recovered": 0,
+                                    "replayed_wal_records": 3}
+    _expect_invalid(bad)  # replay without recovery
+
+    bad = _metrics_doc()
+    bad["runs"][0]["durability"] = {"note": "text"}  # non-number
     _expect_invalid(bad)
 
     bad = _metrics_doc()

@@ -56,6 +56,18 @@ Static rules that complement the runtime conformance checker
       those when a structure is instantiated under the checker.
       Scope: src/.
 
+  unchecked-io-call
+      A raw POSIX/stdio file mutation (write/pwrite/fwrite/fsync/
+      fdatasync/ftruncate/truncate/rename/unlink/close/fclose) whose
+      return value is discarded — the call is a whole statement or cast
+      to (void).  The durability layer's crash-consistency argument
+      (docs/STREAMING.md) depends on every failed write surfacing as a
+      clean lacc::Error before the manifest commits; an ignored short
+      write or failed fsync silently breaks the recovery invariant.  All
+      raw I/O belongs behind stream/durable/io.hpp, which checks every
+      return (destructor/cleanup closes carry the allow pragma).
+      Scope: src/.
+
 A finding can be suppressed with a pragma on the offending line or the line
 above:  // lint-spmd: allow(<rule>)
 
@@ -99,6 +111,15 @@ VEC_DECL_RE = re.compile(r"^\s*(?:const\s+)?std::vector\s*<[^;&]*>\s+\w[^;(]*[;(
 ATOMIC_OP_RE = re.compile(
     r"[.>]\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
     r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+# A raw file-mutating call at statement position (or cast to void): its
+# return value is discarded, so a short write / failed fsync goes unnoticed.
+# Member calls (f.close(...)) and checked calls (if (::close(fd) != 0),
+# const ssize_t n = ::write(...)) do not match.
+UNCHECKED_IO_RE = re.compile(
+    r"(?:^\s*|\(\s*void\s*\)\s*)(?:::\s*)?"
+    r"(write|pwrite|fwrite|fsync|fdatasync|ftruncate|truncate|rename|"
+    r"unlink|close|fclose)\s*\("
 )
 
 
@@ -288,6 +309,15 @@ THREAD_RULES = [
      "full happens-before graph"),
 ]
 
+# src/-wide: the durability layer's recovery proof needs every file
+# mutation's result checked (stream/durable/io.hpp wraps them all).
+IO_RULES = [
+    ("unchecked-io-call", UNCHECKED_IO_RE,
+     "raw file I/O call with a discarded return value; route it through "
+     "stream/durable/io.hpp, which turns failures into lacc::Error before "
+     "the manifest can commit"),
+]
+
 
 def lint_tree(root):
     findings = []
@@ -301,6 +331,8 @@ def lint_tree(root):
             if d.name == "src":
                 check_implicit_seq_cst(str(path.relative_to(root)), text,
                                        findings)
+                check_line_rules(str(path.relative_to(root)), text, findings,
+                                 IO_RULES)
     for d in (root / "src", root / "examples", root / "tests", root / "bench"):
         if not d.is_dir():
             continue
@@ -316,7 +348,7 @@ def lint_tree(root):
                          HOT_PATH_RULES)
     stream = root / "src" / "stream"
     if stream.is_dir():
-        for path in sorted(stream.glob("*.cpp")):
+        for path in sorted(stream.rglob("*.cpp")):
             check_line_rules(str(path.relative_to(root)),
                              path.read_text(encoding="utf-8"), findings,
                              STREAM_RULES)
@@ -415,6 +447,24 @@ SELF_TESTS_ATOMIC = [
      "x.load();  // lint-spmd: allow(implicit-seq-cst)", None),
 ]
 
+SELF_TESTS_IO = [
+    ("statement-position write", "  write(fd, buf, len);",
+     "unchecked-io-call"),
+    ("qualified fsync statement", "  ::fsync(fd_);", "unchecked-io-call"),
+    ("void-cast close", "  if (fd >= 0) (void)::close(fd);",
+     "unchecked-io-call"),
+    ("statement rename", "rename(tmp.c_str(), path.c_str());",
+     "unchecked-io-call"),
+    ("checked close", "  if (::close(fd) != 0) io_fail(\"close\");", None),
+    ("assigned write", "  const ssize_t n = ::write(fd, p, remaining);",
+     None),
+    ("member call is fine", "  f.write(data, len, site);", None),
+    ("wrapper method is fine", "  file_.close(\"manifest.rename\");", None),
+    ("comment mention", "// never call fsync(fd) without checking", None),
+    ("allowed close",
+     "  (void)::close(fd_);  // lint-spmd: allow(unchecked-io-call)", None),
+]
+
 SELF_TESTS_STREAM = [
     ("raw sort in delta path", "std::sort(run.begin(), run.end());",
      "raw-sort"),
@@ -437,7 +487,8 @@ def self_test():
             failures += 1
     for rules_list, cases in ((HOT_PATH_RULES, SELF_TESTS_HOT),
                               (STREAM_RULES, SELF_TESTS_STREAM),
-                              (THREAD_RULES, SELF_TESTS_THREADS)):
+                              (THREAD_RULES, SELF_TESTS_THREADS),
+                              (IO_RULES, SELF_TESTS_IO)):
         for name, snippet, expected in cases:
             findings = []
             check_line_rules("<snippet>", snippet, findings, rules_list)
@@ -456,7 +507,8 @@ def self_test():
                   f"{[f[2] for f in findings]}")
             failures += 1
     total = (len(SELF_TESTS) + len(SELF_TESTS_HOT) + len(SELF_TESTS_STREAM) +
-             len(SELF_TESTS_THREADS) + len(SELF_TESTS_ATOMIC))
+             len(SELF_TESTS_THREADS) + len(SELF_TESTS_ATOMIC) +
+             len(SELF_TESTS_IO))
     print(f"self-test: {total - failures}/{total} passed")
     return failures == 0
 
