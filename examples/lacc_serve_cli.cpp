@@ -23,7 +23,10 @@
 //                         compare labels bit-for-bit (keeps all batches;
 //                         incompatible with recovering from a non-empty
 //                         --data-dir, whose early batches are gone)
-//   --json FILE           write lacc-metrics-v5 JSON with the serve block
+//   --shards N            accepted for parity with lacc_shard_cli; this
+//                         binary serves exactly one shard (only 1 is valid)
+//   --replicas M          same; only 1 is valid here
+//   --json FILE           write lacc-metrics-v6 JSON with the serve block
 //   --trace-out FILE      Chrome trace of per-request spans (wall clock)
 //
 // The workload partitions the input edge list round-robin across writers
@@ -57,7 +60,8 @@ int usage() {
          "[--readers N] [--writers M] [--duration SEC] "
          "[--batch-max-edges K] [--batch-window-ms X] [--queue-capacity K] "
          "[--admission block|shed] [--retain K] [--cache-bits B] [--seed S] "
-         "[--data-dir DIR] [--fsync batch|epoch] [--verify] [--json FILE] "
+         "[--shards 1] [--replicas 1] [--data-dir DIR] "
+         "[--fsync batch|epoch] [--verify] [--json FILE] "
          "[--trace-out FILE]\n";
   return 2;
 }
@@ -108,7 +112,7 @@ int main(int argc, char** argv) {
   std::string path = argv[1];
   std::string machine = "edison", admission = "block", json_path,
               trace_out_path, fsync_policy;
-  int ranks = 4;
+  int ranks = 4, shards = 1, replicas = 1;
   double scale = 0.25, duration = 0;
   bool verify = false;
   serve::ServeOptions options;
@@ -152,6 +156,10 @@ int main(int argc, char** argv) {
           parse_int("--cache-bits", next()));
     else if (arg == "--seed")
       workload.seed = static_cast<std::uint64_t>(parse_int("--seed", next()));
+    else if (arg == "--shards")
+      shards = parse_int("--shards", next());
+    else if (arg == "--replicas")
+      replicas = parse_int("--replicas", next());
     else if (arg == "--data-dir")
       options.stream.durable.dir = next();
     else if (arg == "--fsync")
@@ -174,6 +182,26 @@ int main(int argc, char** argv) {
                 << ranks << ")\n";
       return usage();
     }
+  }
+  if (shards < 1) {
+    std::cerr << "error: --shards must be at least 1 (got " << shards
+              << ")\n";
+    return usage();
+  }
+  if (shards > 1) {
+    std::cerr << "error: --shards " << shards
+              << " needs lacc_shard_cli; this binary serves one shard\n";
+    return usage();
+  }
+  if (replicas < 1) {
+    std::cerr << "error: --replicas must be at least 1 (got " << replicas
+              << ")\n";
+    return usage();
+  }
+  if (replicas > 1) {
+    std::cerr << "error: --replicas " << replicas
+              << " needs lacc_shard_cli; this binary has no replica tier\n";
+    return usage();
   }
   if (workload.readers < 0 || workload.writers < 0) {
     std::cerr << "error: --readers/--writers must be non-negative\n";

@@ -1,0 +1,402 @@
+// lacc_shard_cli — drive a lacc::shard::Router (hash-sharded serve::Server
+// fleet + boundary reconcile + read replicas) with a concurrent mixed
+// workload and report scale-out serving SLOs.
+//
+//   lacc_shard_cli <graph.mtx|graph.bin|gen:NAME> [options]
+//
+//   --shards N            serve::Server shards behind the router (default 2)
+//   --replicas M          read-only replica stores (default 2)
+//   --ranks N             per-shard engine SPMD width (default 4; square)
+//   --reconcile-ranks N   max SPMD width of the boundary LACC (default 4)
+//   --machine edison|cori|local   cost model (default edison)
+//   --scale S             stand-in scale for gen: inputs
+//   --readers N           concurrent reader threads (default 4)
+//   --writers M           concurrent writer threads (default 2)
+//   --duration SEC        wall-clock cap; 0 replays the whole stream
+//   --batch-max-edges K   per-shard micro-batch size trigger (default 1024)
+//   --batch-window-ms X   per-shard micro-batch deadline (default 2.0)
+//   --queue-capacity K    per-shard ingest queue bound (default 65536)
+//   --admission block|shed   full-queue policy (default block)
+//   --retain K            pinnable global epochs per replica (default 8)
+//   --reconcile-ms X      reconcile thread cadence (default 2.0)
+//   --cache-bits B        global snapshots' pair cache log2 slots (default 12)
+//   --seed S              workload RNG seed (default 1)
+//   --verify              record everything and replay every published
+//                         global epoch through from-scratch lacc_dist
+//   --json FILE           write lacc-metrics-v6 JSON with the shard block
+//   --trace-out FILE      Chrome trace of per-request spans (all shards;
+//                         each span carries its shard id)
+//
+// Writers fan out across shards by vertex hash; session writes re-read
+// their own edge through a replica with the merged ShardTicket, verifying
+// read-your-writes across the router hop online.  Inputs are the same as
+// lacc_cli (Matrix Market, LACC binary, gen:NAME).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "graph/testproblems.hpp"
+#include "obs/metrics.hpp"
+#include "serve/trace.hpp"
+#include "shard/router.hpp"
+#include "shard/workload.hpp"
+#include "support/table.hpp"
+
+using namespace lacc;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: lacc_shard_cli <graph.mtx|graph.bin|gen:NAME> "
+         "[--shards N] [--replicas M] [--ranks N] [--reconcile-ranks N] "
+         "[--machine edison|cori|local] [--scale S] [--readers N] "
+         "[--writers M] [--duration SEC] [--batch-max-edges K] "
+         "[--batch-window-ms X] [--queue-capacity K] "
+         "[--admission block|shed] [--retain K] [--reconcile-ms X] "
+         "[--cache-bits B] [--seed S] [--verify] [--json FILE] "
+         "[--trace-out FILE]\n";
+  return 2;
+}
+
+const sim::MachineModel& machine_by_name(const std::string& name) {
+  if (name == "edison") return sim::MachineModel::edison();
+  if (name == "cori") return sim::MachineModel::cori_knl();
+  if (name == "local") return sim::MachineModel::local();
+  throw Error("unknown machine: " + name);
+}
+
+int parse_int(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects an integer, got \"" << text
+            << "\"\n";
+  std::exit(usage());
+}
+
+double parse_double(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects a number, got \"" << text
+            << "\"\n";
+  std::exit(usage());
+}
+
+double to_ms(double seconds) { return seconds * 1e3; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string path = argv[1];
+  std::string machine = "edison", admission = "block", json_path,
+              trace_out_path;
+  int ranks = 4;
+  double scale = 0.25, duration = 0;
+  bool verify = false;
+  shard::RouterOptions options;
+  options.shards = 2;
+  options.replicas = 2;
+  shard::ShardWorkloadOptions workload;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--shards")
+      options.shards = parse_int("--shards", next());
+    else if (arg == "--replicas")
+      options.replicas = parse_int("--replicas", next());
+    else if (arg == "--ranks")
+      ranks = parse_int("--ranks", next());
+    else if (arg == "--reconcile-ranks")
+      options.reconcile_ranks = parse_int("--reconcile-ranks", next());
+    else if (arg == "--machine")
+      machine = next();
+    else if (arg == "--scale")
+      scale = parse_double("--scale", next());
+    else if (arg == "--readers")
+      workload.readers = parse_int("--readers", next());
+    else if (arg == "--writers")
+      workload.writers = parse_int("--writers", next());
+    else if (arg == "--duration")
+      duration = parse_double("--duration", next());
+    else if (arg == "--batch-max-edges")
+      options.serve.batch_max_edges =
+          static_cast<std::size_t>(parse_int("--batch-max-edges", next()));
+    else if (arg == "--batch-window-ms")
+      options.serve.batch_window_ms =
+          parse_double("--batch-window-ms", next());
+    else if (arg == "--queue-capacity")
+      options.serve.queue_capacity =
+          static_cast<std::size_t>(parse_int("--queue-capacity", next()));
+    else if (arg == "--admission")
+      admission = next();
+    else if (arg == "--retain")
+      options.retain_epochs =
+          static_cast<std::size_t>(parse_int("--retain", next()));
+    else if (arg == "--reconcile-ms")
+      options.reconcile_interval_ms = parse_double("--reconcile-ms", next());
+    else if (arg == "--cache-bits")
+      options.pair_cache_bits =
+          static_cast<std::uint32_t>(parse_int("--cache-bits", next()));
+    else if (arg == "--seed")
+      workload.seed = static_cast<std::uint64_t>(parse_int("--seed", next()));
+    else if (arg == "--verify")
+      verify = true;
+    else if (arg == "--json")
+      json_path = next();
+    else if (arg == "--trace-out")
+      trace_out_path = next();
+    else
+      return usage();
+  }
+
+  if (options.shards < 1) {
+    std::cerr << "error: --shards must be at least 1 (got " << options.shards
+              << ")\n";
+    return usage();
+  }
+  if (options.replicas < 1) {
+    std::cerr << "error: --replicas must be at least 1 (got "
+              << options.replicas << ")\n";
+    return usage();
+  }
+  {
+    int q = 0;
+    while (q * q < ranks) ++q;
+    if (ranks < 1 || q * q != ranks) {
+      std::cerr << "error: --ranks must be a positive perfect square (got "
+                << ranks << ")\n";
+      return usage();
+    }
+  }
+  if (options.reconcile_ranks < 1) {
+    std::cerr << "error: --reconcile-ranks must be at least 1\n";
+    return usage();
+  }
+  if (workload.readers < 0 || workload.writers < 0) {
+    std::cerr << "error: --readers/--writers must be non-negative\n";
+    return usage();
+  }
+  if (options.serve.batch_max_edges < 1) {
+    std::cerr << "error: --batch-max-edges must be at least 1\n";
+    return usage();
+  }
+  if (options.serve.batch_window_ms < 0) {
+    std::cerr << "error: --batch-window-ms must be non-negative\n";
+    return usage();
+  }
+  if (options.serve.queue_capacity < 1) {
+    std::cerr << "error: --queue-capacity must be at least 1\n";
+    return usage();
+  }
+  if (options.retain_epochs < 1) {
+    std::cerr << "error: --retain must be at least 1\n";
+    return usage();
+  }
+  if (options.reconcile_interval_ms < 0) {
+    std::cerr << "error: --reconcile-ms must be non-negative\n";
+    return usage();
+  }
+  if (admission == "block")
+    options.serve.admission = serve::Admission::kBlock;
+  else if (admission == "shed")
+    options.serve.admission = serve::Admission::kShed;
+  else {
+    std::cerr << "error: --admission must be block or shed (got " << admission
+              << ")\n";
+    return usage();
+  }
+  workload.duration_s = duration;
+  options.record_applied = verify;
+  options.serve.record_requests = !trace_out_path.empty();
+
+  try {
+    graph::EdgeList el;
+    if (path.rfind("gen:", 0) == 0) {
+      const auto problems = graph::make_test_problems(scale);
+      el = graph::find_problem(problems, path.substr(4)).graph;
+    } else if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+      el = graph::read_binary_file(path);
+    } else {
+      el = graph::read_matrix_market_file(path);
+    }
+
+    // A shard that owns no vertex can never make progress on its slice;
+    // more shards than vertices is a configuration error, not a degenerate
+    // deployment.
+    if (static_cast<VertexId>(options.shards) > el.n) {
+      std::cerr << "error: --shards must not exceed the vertex count (got "
+                << options.shards << " shards for " << el.n << " vertices)\n";
+      return usage();
+    }
+    if (static_cast<VertexId>(options.replicas) > el.n) {
+      std::cerr << "error: --replicas must not exceed the vertex count (got "
+                << options.replicas << " replicas for " << el.n
+                << " vertices)\n";
+      return usage();
+    }
+
+    const auto& m = machine_by_name(machine);
+    std::cout << "Graph: " << fmt_count(el.n) << " vertices, "
+              << fmt_count(el.edges.size()) << " entries\n"
+              << "Router: " << options.shards << " shard(s) x " << ranks
+              << " virtual ranks (" << m.name << " model), "
+              << options.replicas << " replica(s), reconcile every "
+              << options.reconcile_interval_ms << " ms (<= "
+              << options.reconcile_ranks << " ranks), retain "
+              << options.retain_epochs << "\n"
+              << "Workload: " << workload.readers << " reader(s), "
+              << workload.writers << " writer(s)"
+              << (duration > 0
+                      ? ", duration " + std::to_string(duration) + " s"
+                      : ", full replay")
+              << ", seed " << workload.seed << "\n";
+
+    shard::Router router(el.n, ranks, m, options);
+    const shard::ShardWorkloadReport report =
+        run_shard_workload(router, el, workload);
+    router.stop();
+    const shard::RouterStats stats = router.stats();
+
+    TextTable table({"metric", "value"});
+    table.add_row({"replica reads", fmt_count(stats.replica_reads)});
+    table.add_row({"writes accepted", fmt_count(stats.writes_accepted)});
+    table.add_row({"writes shed", fmt_count(stats.writes_shed)});
+    table.add_row({"global epochs", fmt_count(stats.global_epoch)});
+    table.add_row({"reconcile rounds",
+                   fmt_count(stats.reconcile_rounds) + " (+" +
+                       fmt_count(stats.reconcile_skipped) + " idle)"});
+    table.add_row({"boundary edges", fmt_count(stats.boundary_raw_total)});
+    table.add_row(
+        {"boundary words moved", fmt_count(stats.boundary_words_moved)});
+    table.add_row({"ticket waits", fmt_count(stats.ticket_waits)});
+    const auto& head = *router.snapshot(0);
+    table.add_row({"components", fmt_count(head.view().num_components())});
+    for (const shard::ReplicaStats& rs : stats.replica_stats)
+      table.add_row({"replica " + std::to_string(rs.replica) +
+                         " read p50/p99 ms",
+                     fmt_double(to_ms(rs.read_p50), 4) + " / " +
+                         fmt_double(to_ms(rs.read_p99), 4)});
+    table.print(std::cout);
+    const double rps =
+        report.wall_seconds > 0
+            ? static_cast<double>(report.reads + report.writes_attempted) /
+                  report.wall_seconds
+            : 0;
+    std::cout << "Throughput: " << fmt_double(rps, 0) << " req/s over "
+              << fmt_seconds(report.wall_seconds) << " wall ("
+              << fmt_count(report.session_reads) << " session read(s), "
+              << fmt_count(report.held_pins) << " held pin(s))\n";
+
+    if (report.session_violations != 0 || report.read_errors != 0 ||
+        report.held_pin_losses != 0) {
+      std::cerr << "error: VERIFY FAILED — " << report.session_violations
+                << " read-your-writes violation(s), " << report.read_errors
+                << " unexpected read error(s), " << report.held_pin_losses
+                << " held-pin loss(es)\n";
+      return 1;
+    }
+
+    if (verify) {
+      const std::uint64_t checked = router.verify_epochs(ranks);
+      std::cout << "Verify: " << checked
+                << " global epoch(s) match from-scratch recompute\n";
+    }
+
+    if (!trace_out_path.empty()) {
+      std::vector<serve::RequestSpan> spans;
+      for (int s = 0; s < router.shards(); ++s) {
+        const auto shard_spans = router.shard(s).request_log().spans();
+        spans.insert(spans.end(), shard_spans.begin(), shard_spans.end());
+      }
+      std::ofstream out(trace_out_path);
+      LACC_CHECK_MSG(out.good(), "cannot write " << trace_out_path);
+      serve::write_request_trace(out, spans, "lacc_shard_cli " + path);
+      std::cout << "Request trace written to " << trace_out_path << "\n";
+    }
+
+    if (!json_path.empty()) {
+      double modeled = stats.reconcile_modeled_seconds;
+      for (int s = 0; s < router.shards(); ++s)
+        modeled += router.shard(s).engine_modeled_seconds();
+      obs::RunRecord rec =
+          obs::make_run_record(path, ranks, {}, modeled, report.wall_seconds);
+      rec.scalars = {
+          {"vertices", static_cast<double>(el.n)},
+          {"edges", static_cast<double>(el.edges.size())},
+          {"components", static_cast<double>(head.view().num_components())},
+          {"throughput_rps", rps}};
+      rec.shard = {
+          {"shards", static_cast<double>(options.shards)},
+          {"replicas", static_cast<double>(options.replicas)},
+          {"global_epochs", static_cast<double>(stats.global_epoch)},
+          {"reconcile_rounds", static_cast<double>(stats.reconcile_rounds)},
+          {"reconcile_skipped",
+           static_cast<double>(stats.reconcile_skipped)},
+          {"reconcile_modeled_seconds", stats.reconcile_modeled_seconds},
+          {"boundary_raw_total",
+           static_cast<double>(stats.boundary_raw_total)},
+          {"boundary_words_moved",
+           static_cast<double>(stats.boundary_words_moved)},
+          {"ticket_waits", static_cast<double>(stats.ticket_waits)},
+          {"invalid_tickets", static_cast<double>(stats.invalid_tickets)}};
+      for (int s = 0; s < router.shards(); ++s) {
+        const serve::ServeStats& ss =
+            stats.shard_stats[static_cast<std::size_t>(s)];
+        rec.shard_per_shard.push_back(
+            {{"shard", static_cast<double>(s)},
+             {"writes_accepted", static_cast<double>(ss.writes_accepted)},
+             {"writes_shed", static_cast<double>(ss.writes_shed)},
+             {"epochs", static_cast<double>(ss.current_epoch)},
+             {"max_queue_depth", static_cast<double>(ss.max_queue_depth)},
+             {"boundary_raw",
+              static_cast<double>(
+                  stats.boundary_per_shard[static_cast<std::size_t>(s)])}});
+      }
+      for (const shard::ReplicaStats& rs : stats.replica_stats) {
+        rec.shard_per_replica.push_back(
+            {{"replica", static_cast<double>(rs.replica)},
+             {"reads", static_cast<double>(rs.reads)},
+             {"read_errors", static_cast<double>(rs.read_errors)},
+             {"epoch", static_cast<double>(rs.current_epoch)},
+             {"read_p50_ms", to_ms(rs.read_p50)},
+             {"read_p95_ms", to_ms(rs.read_p95)},
+             {"read_p99_ms", to_ms(rs.read_p99)}});
+      }
+      std::ofstream out(json_path);
+      LACC_CHECK_MSG(out.good(), "cannot write " << json_path);
+      obs::write_metrics_json(
+          out, "lacc_shard_cli",
+          {{"scale", scale},
+           {"ranks", static_cast<double>(ranks)},
+           {"shards", static_cast<double>(options.shards)},
+           {"replicas", static_cast<double>(options.replicas)},
+           {"readers", static_cast<double>(workload.readers)},
+           {"writers", static_cast<double>(workload.writers)},
+           {"admission",
+            options.serve.admission == serve::Admission::kShed ? 1.0 : 0.0}},
+          {std::move(rec)});
+      std::cout << "Metrics written to " << json_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

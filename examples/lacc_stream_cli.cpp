@@ -22,7 +22,7 @@
 //   --verify                  check final labels against serial union-find
 //   --out labels.txt          write "vertex component" lines (final epoch)
 //   --trace-out FILE          Chrome trace of the LAST epoch's SPMD session
-//   --json FILE               write lacc-metrics-v5 JSON (per-epoch array)
+//   --json FILE               write lacc-metrics-v6 JSON (per-epoch array)
 //
 // Inputs are the same as lacc_cli (Matrix Market, LACC binary, gen:NAME).
 // Prints one table row per epoch — batch size, cross-component edges, dirty

@@ -60,7 +60,7 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
                         const std::vector<RunRecord>& runs) {
   JsonWriter w(out);
   w.begin_object();
-  w.kv("schema", "lacc-metrics-v5");
+  w.kv("schema", "lacc-metrics-v6");
   w.kv("tool", tool);
   w.kv("word_bytes", kWordBytes);
   w.key("config");
@@ -92,6 +92,25 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
     if (!run.durability.empty()) {
       w.key("durability");
       write_scalars(w, run.durability);
+    }
+    if (!run.shard.empty()) {
+      w.key("shard");
+      w.begin_object();
+      w.key("totals");
+      write_scalars(w, run.shard);
+      if (!run.shard_per_shard.empty()) {
+        w.key("per_shard");
+        w.begin_array();
+        for (const Scalars& s : run.shard_per_shard) write_scalars(w, s);
+        w.end_array();
+      }
+      if (!run.shard_per_replica.empty()) {
+        w.key("per_replica");
+        w.begin_array();
+        for (const Scalars& s : run.shard_per_replica) write_scalars(w, s);
+        w.end_array();
+      }
+      w.end_object();
     }
     w.key("total");
     write_phase_entry(w, run.max.total, run.sum.total);

@@ -1,4 +1,4 @@
-// Machine-readable metrics emitter: the `lacc-metrics-v5` JSON schema.
+// Machine-readable metrics emitter: the `lacc-metrics-v6` JSON schema.
 //
 // Benches and the CLI reduce an SPMD run to one RunRecord (per-phase
 // modeled/wall seconds, words, messages, per-rank max and sum) and write a
@@ -11,8 +11,12 @@
 // pre-pass (sampled/skip edges, resolved vertices, modeled seconds); v5
 // adds an optional per-run "durability" scalar block (WAL records/bytes,
 // fsyncs, run files, compactions, cache hit rate, recovery info) for
-// engines running with a --data-dir.  Files without the optional blocks are
-// exactly the v1 shape.  See docs/OBSERVABILITY.md.
+// engines running with a --data-dir; v6 adds an optional per-run "shard"
+// block for sharded serving (lacc::shard::Router): reconcile totals plus a
+// "per_shard" array (one scalar block per shard, keyed by a strictly
+// increasing "shard" id) and a "per_replica" array (keyed by "replica").
+// Files without the optional blocks are exactly the v1 shape.  See
+// docs/OBSERVABILITY.md.
 #pragma once
 
 #include <ostream>
@@ -53,6 +57,17 @@ struct RunRecord {
   /// recovered, ...; see durability_scalars()).  Empty for memory-only runs
   /// — the key is then omitted from the JSON entirely.
   Scalars durability;
+  /// Sharded serving runs (lacc::shard::Router): global reconcile totals
+  /// (global_epochs, reconcile_rounds, boundary_raw_total, words_moved,
+  /// ticket_waits, ...).  Empty for everything else — the whole "shard"
+  /// object is then omitted from the JSON entirely.
+  Scalars shard;
+  /// Per-shard scalar blocks; each must carry a "shard" key, strictly
+  /// increasing.  Only emitted (inside the "shard" object) when non-empty.
+  std::vector<Scalars> shard_per_shard;
+  /// Per-replica scalar blocks; each must carry a "replica" key, strictly
+  /// increasing.  Only emitted (inside the "shard" object) when non-empty.
+  std::vector<Scalars> shard_per_replica;
 };
 
 /// Reduce per-rank stats into a RunRecord.  Pass an empty `per_rank` for
@@ -62,7 +77,7 @@ RunRecord make_run_record(std::string name, int ranks,
                           double modeled_seconds, double wall_seconds,
                           Scalars scalars = {});
 
-/// Write the lacc-metrics-v5 document for one tool's runs.
+/// Write the lacc-metrics-v6 document for one tool's runs.
 void write_metrics_json(std::ostream& out, const std::string& tool,
                         const Scalars& config,
                         const std::vector<RunRecord>& runs);

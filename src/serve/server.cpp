@@ -60,8 +60,12 @@ Server::Server(VertexId n, int nranks, const sim::MachineModel& machine,
 
 Server::~Server() { stop(); }
 
+std::uint64_t Server::applied_seq() const { return ingest_.applied_seq(); }
+
+std::uint64_t Server::accepted_seq() const { return ingest_.accepted_seq(); }
+
 WriteResult Server::insert_edge(VertexId u, VertexId v) {
-  RequestTimer span(log_, "write.insert");
+  RequestTimer span(log_, "write.insert", options_.shard_tag);
   if (u >= n_ || v >= n_) {
     span.set_ok(false);
     return {ServeStatus::kUnknownVertex, 0};
@@ -112,7 +116,7 @@ SnapshotStore::Lookup Server::snapshot_at(
 
 ReadResult Server::read_latest(const char* what, VertexId u, VertexId v,
                                bool pair, std::uint64_t ticket) const {
-  RequestTimer span(log_, what);
+  RequestTimer span(log_, what, options_.shard_tag);
   const auto t0 = Clock::now();
   reads_.fetch_add(1, std::memory_order_relaxed);
 
@@ -140,7 +144,7 @@ ReadResult Server::read_latest(const char* what, VertexId u, VertexId v,
 
 ReadResult Server::read_pinned(const char* what, std::uint64_t epoch,
                                VertexId u, VertexId v, bool pair) const {
-  RequestTimer span(log_, what);
+  RequestTimer span(log_, what, options_.shard_tag);
   const auto t0 = Clock::now();
   reads_.fetch_add(1, std::memory_order_relaxed);
 
@@ -197,7 +201,7 @@ void Server::engine_main() {
 }
 
 void Server::apply_batch(std::vector<PendingWrite> batch) {
-  RequestTimer span(log_, "engine.commit");
+  RequestTimer span(log_, "engine.commit", options_.shard_tag);
 
   graph::EdgeList el(n_);
   el.edges.reserve(batch.size());
@@ -206,6 +210,14 @@ void Server::apply_batch(std::vector<PendingWrite> batch) {
 
   engine_.ingest(std::move(el));
   const stream::EpochStats st = engine_.advance_epoch();
+
+  // Boundary edges the shard filter parked ship to the router *before* this
+  // epoch's snapshot publishes and its tickets are marked applied — the
+  // ordering the global watermark argument rests on (see ServeOptions).
+  if (options_.boundary_sink) {
+    std::vector<graph::Edge> boundary = engine_.take_extracted_boundary();
+    if (!boundary.empty()) options_.boundary_sink(std::move(boundary), st.epoch);
+  }
 
   store_.publish(std::make_shared<const Snapshot>(
       st.epoch, engine_.labels(), options_.top_k, options_.pair_cache_bits));

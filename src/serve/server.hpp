@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -97,6 +98,17 @@ struct ServeOptions {
   /// Keep every applied batch for post-hoc verification (lacc_serve_cli
   /// --verify); costs memory proportional to the total edge stream.
   bool record_applied = false;
+
+  /// Sharded deployments (lacc::shard::Router): called from the engine
+  /// thread after each epoch commit with the cross-shard edges that epoch
+  /// extracted, *before* the epoch's snapshot publishes and its tickets are
+  /// marked applied — so a global snapshot whose per-shard watermark covers
+  /// a ticket has necessarily seen that ticket's boundary edges.  Must be
+  /// thread-safe against the router's reconcile thread.  Null when
+  /// unsharded.
+  std::function<void(std::vector<graph::Edge>, std::uint64_t)> boundary_sink;
+  /// Shard id stamped on this server's request-log spans (-1 = unsharded).
+  int shard_tag = -1;
 };
 
 /// A write acknowledgement: `ticket` is the session token to pass to reads
@@ -176,6 +188,16 @@ class Server {
   std::shared_ptr<const Snapshot> snapshot() const;
   SnapshotStore::Lookup snapshot_at(std::uint64_t epoch,
                                     std::shared_ptr<const Snapshot>& out) const;
+
+  /// Highest write ticket covered by a published epoch — the shard's
+  /// applied-seq watermark.  The router reads this *before* grabbing
+  /// snapshot() so the (watermark, snapshot) pair it composes into a global
+  /// epoch is conservative: the snapshot covers at least the watermark.
+  std::uint64_t applied_seq() const;
+
+  /// Highest write ticket ever issued; seqs above it were never accepted,
+  /// so a session mark beyond this is an invalid ticket.
+  std::uint64_t accepted_seq() const;
 
   /// Force the pending batch to close now and wait until every accepted
   /// write is covered by a published epoch.

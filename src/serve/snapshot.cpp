@@ -29,39 +29,4 @@ bool Snapshot::same_component(VertexId u, VertexId v) const {
   return same;
 }
 
-SnapshotStore::SnapshotStore(std::size_t retain)
-    : retain_(retain < 1 ? 1 : retain) {}
-
-void SnapshotStore::publish(std::shared_ptr<const Snapshot> snap) {
-  LACC_CHECK(snap != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
-  // Consecutive epochs let at() index the ring directly.
-  LACC_CHECK_MSG(ring_.empty() || snap->epoch() == ring_.back()->epoch() + 1,
-                 "snapshot epochs must advance by exactly one");
-  ring_.push_back(std::move(snap));
-  while (ring_.size() > retain_) ring_.pop_front();
-}
-
-SnapshotStore::Lookup SnapshotStore::at(
-    std::uint64_t epoch, std::shared_ptr<const Snapshot>& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.empty() || epoch > ring_.back()->epoch()) return Lookup::kFuture;
-  if (epoch < ring_.front()->epoch()) return Lookup::kRetired;
-  // Published epochs are consecutive within the ring, so index directly.
-  const std::size_t idx =
-      static_cast<std::size_t>(epoch - ring_.front()->epoch());
-  out = ring_[idx];
-  return Lookup::kOk;
-}
-
-std::uint64_t SnapshotStore::current_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ring_.empty() ? 0 : ring_.back()->epoch();
-}
-
-std::uint64_t SnapshotStore::oldest_retained() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ring_.empty() ? 0 : ring_.front()->epoch();
-}
-
 }  // namespace lacc::serve

@@ -16,12 +16,14 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "support/error.hpp"
 #include "support/sync.hpp"
 #include "support/types.hpp"
 
@@ -167,37 +169,120 @@ class Snapshot {
 /// embedded lock-bit protocol unlocks with a relaxed store on the reader
 /// side, which TSan — lacking the happens-before edge — reports as a race;
 /// the mutex keeps the hammer suites sanitizer-clean.)
-class SnapshotStore {
+///
+/// **Pinning.**  The ring retains the most recent `retain` epochs; beyond
+/// that, readers can pin() an epoch to keep it readable while the writer
+/// advances arbitrarily far.  This closes the retention-ring gap the router
+/// hop exposed: a replica session that pinned epoch e used to lose it to
+/// eviction after `retain` more reconciles and start seeing kRetired
+/// mid-session; now eviction moves a pinned epoch aside instead of dropping
+/// it, and at() keeps answering kOk until the last unpin().  Pins are
+/// counted, so independent sessions can pin the same epoch.
+///
+/// Templated over the snapshot type (anything with an epoch() method):
+/// SnapshotStore below is the serve-layer alias, and the shard layer's
+/// replica stores instantiate it over GlobalSnapshot.
+template <typename SnapT>
+class BasicSnapshotRing {
  public:
   /// Outcome of a pinned-epoch lookup.
   enum class Lookup { kOk, kRetired, kFuture };
 
   /// Keep the most recent `retain` epochs pinnable (>= 1; older snapshots
-  /// are dropped and report kRetired).
-  explicit SnapshotStore(std::size_t retain);
+  /// are dropped — unless pinned — and report kRetired).
+  explicit BasicSnapshotRing(std::size_t retain)
+      : retain_(retain < 1 ? 1 : retain) {}
 
   /// Publish the next epoch.  Single-writer; epochs must be strictly
   /// increasing.
-  void publish(std::shared_ptr<const Snapshot> snap);
+  void publish(std::shared_ptr<const SnapT> snap) {
+    LACC_CHECK(snap != nullptr);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Consecutive epochs let at() index the ring directly.
+    LACC_CHECK_MSG(ring_.empty() || snap->epoch() == ring_.back()->epoch() + 1,
+                   "snapshot epochs must advance by exactly one");
+    ring_.push_back(std::move(snap));
+    while (ring_.size() > retain_) {
+      // Eviction respects pins: a pinned epoch moves to the side table and
+      // stays readable until its last unpin.
+      const auto& victim = ring_.front();
+      if (pin_counts_.count(victim->epoch()) != 0)
+        pinned_.emplace(victim->epoch(), victim);
+      ring_.pop_front();
+    }
+  }
 
   /// The latest published snapshot (never null once one is published).
-  std::shared_ptr<const Snapshot> current() const {
+  std::shared_ptr<const SnapT> current() const {
     std::lock_guard<std::mutex> lock(mu_);
     return ring_.empty() ? nullptr : ring_.back();
   }
 
   /// Fetch the snapshot pinned at `epoch` into `out` (untouched on
   /// failure).
-  Lookup at(std::uint64_t epoch, std::shared_ptr<const Snapshot>& out) const;
+  Lookup at(std::uint64_t epoch, std::shared_ptr<const SnapT>& out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.empty() || epoch > ring_.back()->epoch()) return Lookup::kFuture;
+    if (epoch < ring_.front()->epoch()) {
+      const auto it = pinned_.find(epoch);
+      if (it == pinned_.end()) return Lookup::kRetired;
+      out = it->second;
+      return Lookup::kOk;
+    }
+    // Published epochs are consecutive within the ring, so index directly.
+    const std::size_t idx =
+        static_cast<std::size_t>(epoch - ring_.front()->epoch());
+    out = ring_[idx];
+    return Lookup::kOk;
+  }
 
-  std::uint64_t current_epoch() const;
-  /// Oldest epoch still pinnable.
-  std::uint64_t oldest_retained() const;
+  /// Pin `epoch` so it survives retention eviction until unpin().  Succeeds
+  /// exactly when the epoch is currently readable (in the ring or already
+  /// pinned); pins are counted per epoch.
+  Lookup pin(std::uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.empty() || epoch > ring_.back()->epoch()) return Lookup::kFuture;
+    if (epoch < ring_.front()->epoch() && pinned_.count(epoch) == 0)
+      return Lookup::kRetired;
+    ++pin_counts_[epoch];
+    return Lookup::kOk;
+  }
+
+  /// Drop one pin on `epoch`.  When the last pin goes and the epoch has
+  /// left the ring, the snapshot is released.
+  void unpin(std::uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = pin_counts_.find(epoch);
+    LACC_CHECK_MSG(it != pin_counts_.end(),
+                   "unpin of epoch " << epoch << " which is not pinned");
+    if (--it->second == 0) {
+      pin_counts_.erase(it);
+      pinned_.erase(epoch);
+    }
+  }
+
+  std::uint64_t current_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.empty() ? 0 : ring_.back()->epoch();
+  }
+
+  /// Oldest epoch of the contiguous retention window (pinned epochs older
+  /// than this stay readable via at() but are not part of the window).
+  std::uint64_t oldest_retained() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.empty() ? 0 : ring_.front()->epoch();
+  }
 
  private:
   const std::size_t retain_;
-  mutable std::mutex mu_;                              // guards ring_
-  std::deque<std::shared_ptr<const Snapshot>> ring_;   // ascending epochs
+  mutable std::mutex mu_;  // guards ring_, pinned_, pin_counts_
+  std::deque<std::shared_ptr<const SnapT>> ring_;  // ascending epochs
+  /// Epochs evicted from the ring but still pinned, and the live pin counts
+  /// (an epoch may be pinned while still inside the ring).
+  std::map<std::uint64_t, std::shared_ptr<const SnapT>> pinned_;
+  std::map<std::uint64_t, std::size_t> pin_counts_;
 };
+
+using SnapshotStore = BasicSnapshotRing<Snapshot>;
 
 }  // namespace lacc::serve

@@ -8,7 +8,7 @@
 namespace lacc::serve {
 
 void RequestLog::record(std::string name, double start_us, double end_us,
-                        bool ok) {
+                        bool ok, int shard) {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (spans_.size() >= cap_) {
@@ -16,7 +16,7 @@ void RequestLog::record(std::string name, double start_us, double end_us,
     return;
   }
   spans_.push_back({std::move(name), std::this_thread::get_id(), start_us,
-                    std::max(0.0, end_us - start_us), ok});
+                    std::max(0.0, end_us - start_us), ok, shard});
 }
 
 std::vector<RequestSpan> RequestLog::spans() const {
@@ -85,6 +85,7 @@ void write_request_trace(std::ostream& out,
     w.key("args");
     w.begin_object();
     w.kv("ok", span.ok);
+    if (span.shard >= 0) w.kv("shard", static_cast<std::int64_t>(span.shard));
     w.end_object();
     w.end_object();
   }

@@ -23,6 +23,9 @@ struct RequestSpan {
   double start_us = 0;         ///< wall microseconds since log creation
   double dur_us = 0;
   bool ok = true;              ///< false when the request errored/shed
+  /// Shard that handled the request (router deployments), or the replica id
+  /// for router-level reads; -1 on unsharded servers (omitted at export).
+  int shard = -1;
 };
 
 /// Thread-safe bounded append log.  Recording is one mutex-guarded
@@ -41,7 +44,8 @@ class RequestLog {
         .count();
   }
 
-  void record(std::string name, double start_us, double end_us, bool ok);
+  void record(std::string name, double start_us, double end_us, bool ok,
+              int shard = -1);
 
   /// Snapshot of the spans recorded so far plus the drop count.
   std::vector<RequestSpan> spans() const;
@@ -60,20 +64,26 @@ class RequestLog {
 /// Scoped helper: records one span on destruction (no-op when disabled).
 class RequestTimer {
  public:
-  RequestTimer(RequestLog& log, const char* name)
-      : log_(log), name_(name), start_us_(log.enabled() ? log.now_us() : 0) {}
+  RequestTimer(RequestLog& log, const char* name, int shard = -1)
+      : log_(log),
+        name_(name),
+        start_us_(log.enabled() ? log.now_us() : 0),
+        shard_(shard) {}
   ~RequestTimer() {
-    if (log_.enabled()) log_.record(name_, start_us_, log_.now_us(), ok_);
+    if (log_.enabled())
+      log_.record(name_, start_us_, log_.now_us(), ok_, shard_);
   }
   RequestTimer(const RequestTimer&) = delete;
   RequestTimer& operator=(const RequestTimer&) = delete;
   void set_ok(bool ok) { ok_ = ok; }
+  void set_shard(int shard) { shard_ = shard; }
 
  private:
   RequestLog& log_;
   const char* name_;
   double start_us_;
   bool ok_ = true;
+  int shard_;
 };
 
 /// Write the recorded spans as a Chrome trace-event JSON document

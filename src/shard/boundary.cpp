@@ -1,0 +1,97 @@
+#include "shard/boundary.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/sort.hpp"
+
+namespace lacc::shard {
+
+BoundaryStore::BoundaryStore(ShardPartition partition, bool record_raw)
+    : partition_(partition),
+      record_raw_(record_raw),
+      per_shard_raw_(static_cast<std::size_t>(partition.shards), 0) {}
+
+void BoundaryStore::add(std::vector<graph::Edge> edges) {
+  if (edges.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const graph::Edge& e : edges) {
+    const int su = partition_.owner(e.u), sv = partition_.owner(e.v);
+    LACC_CHECK_MSG(su != sv, "boundary edge (" << e.u << ", " << e.v
+                                               << ") is not cross-shard");
+    ++per_shard_raw_[static_cast<std::size_t>(su)];
+    ++per_shard_raw_[static_cast<std::size_t>(sv)];
+  }
+  next_seq_ += edges.size();
+  if (record_raw_) raw_log_.insert(raw_log_.end(), edges.begin(), edges.end());
+  pending_.insert(pending_.end(),
+                  std::make_move_iterator(edges.begin()),
+                  std::make_move_iterator(edges.end()));
+}
+
+BoundaryStore::Drain BoundaryStore::drain_and_compact(
+    const std::function<VertexId(VertexId)>& label_of) {
+  Drain d;
+  std::vector<graph::Edge> raw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw.swap(pending_);
+    drained_seq_ += raw.size();
+    d.covered_seq = drained_seq_;
+  }
+  d.raw_drained = raw.size();
+
+  // Remap everything — new raw edges and the previous compacted pairs —
+  // through the *current* shard-local labels, then dedupe.  The sort keeps
+  // the quotient edge list deterministic for a given drained prefix.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(compacted_.size() + raw.size());
+  VertexId max_label = 0;
+  const auto push_pair = [&](VertexId a, VertexId b) {
+    const VertexId la = label_of(a), lb = label_of(b);
+    LACC_DCHECK(la != lb);  // representatives live on distinct shards
+    pairs.emplace_back(std::min(la, lb), std::max(la, lb));
+    max_label = std::max({max_label, la, lb});
+  };
+  for (const auto& [a, b] : compacted_) push_pair(a, b);
+  for (const graph::Edge& e : raw) push_pair(e.u, e.v);
+  // Stable secondary-then-primary radix passes compose into a (first,
+  // second) order (support/sort.hpp).
+  std::vector<std::pair<VertexId, VertexId>> scratch;
+  radix_sort_by(pairs, scratch, [](const auto& p) { return p.second; },
+                max_label);
+  radix_sort_by(pairs, scratch, [](const auto& p) { return p.first; },
+                max_label);
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  d.words_moved = 2 * pairs.size();
+  compacted_ = pairs;
+  d.pairs = std::move(pairs);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    words_moved_ += d.words_moved;
+  }
+  return d;
+}
+
+std::uint64_t BoundaryStore::pending_raw() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::vector<std::uint64_t> BoundaryStore::per_shard_raw() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_shard_raw_;
+}
+
+std::uint64_t BoundaryStore::total_raw() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t BoundaryStore::total_words_moved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return words_moved_;
+}
+
+}  // namespace lacc::shard

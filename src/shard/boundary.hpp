@@ -1,0 +1,95 @@
+// Cross-shard boundary store: the edges the shard filter extracts at epoch
+// commit, staged for the quotient-graph reconcile.
+//
+// A cross-shard edge (u, v) never enters any shard's graph; it is a
+// *boundary entry on both sides* — the store indexes it under both endpoint
+// shards (per-shard counters, per-shard-pair dedup) and the reconcile folds
+// it into the quotient graph as a (local_label(u), local_label(v)) pair.
+//
+// The words-moved discipline (On Optimizing Resource Utilization in
+// Distributed CC, PAPERS.md): what ships per reconcile round is the
+// *deduplicated label-pair set*, not raw edges.  The store therefore
+// compacts itself every round — raw entries and previously compacted pairs
+// are remapped through the current shard-local labels (components only ever
+// merge, so label(r) at a later epoch equals the later label of r's current
+// representative — the rewrite is always safe) and deduplicated; the
+// deduped set is both the quotient edge list and the new stored state.
+//
+// Thread model: add() is called from N shard engine threads (the servers'
+// boundary sinks) under one mutex; drain_and_compact() is reconcile-thread
+// only and holds the mutex just long enough to move the pending raw vector
+// out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "support/partition.hpp"
+#include "support/types.hpp"
+
+namespace lacc::shard {
+
+class BoundaryStore {
+ public:
+  /// `record_raw` keeps every raw boundary edge in arrival (= seq) order
+  /// for post-hoc verification; costs memory proportional to the boundary
+  /// stream.
+  BoundaryStore(ShardPartition partition, bool record_raw);
+
+  /// Register extracted cross-shard edges (thread-safe; engine threads).
+  /// Entries get consecutive sequence numbers in arrival order.
+  void add(std::vector<graph::Edge> edges);
+
+  /// What one reconcile round drained and shipped.
+  struct Drain {
+    /// Deduplicated (label, label) pairs, each ordered (min, max) and the
+    /// whole set sorted — the quotient edge list, and the words actually
+    /// moved to the reconcile.
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+    std::uint64_t covered_seq = 0;   ///< highest raw seq folded in, cumulative
+    std::uint64_t raw_drained = 0;   ///< raw entries folded this round
+    std::uint64_t words_moved = 0;   ///< 2 * pairs.size() (shipped this round)
+  };
+
+  /// Reconcile thread only: fold pending raw edges and the previous
+  /// compacted set through `label_of` (current shard-local label of a
+  /// vertex), dedupe, and keep the result as the new compacted state.
+  Drain drain_and_compact(const std::function<VertexId(VertexId)>& label_of);
+
+  /// Raw entries accepted but not yet drained (cheap peek for the
+  /// reconcile's skip-idle-tick check).
+  std::uint64_t pending_raw() const;
+
+  /// Raw boundary edges in seq order (record_raw only; reconcile-quiesced
+  /// callers).  raw_log()[s - 1] is the edge with seq s.
+  const std::vector<graph::Edge>& raw_log() const { return raw_log_; }
+
+  /// Raw boundary entries seen per shard — a cross-shard edge counts on
+  /// both sides.
+  std::vector<std::uint64_t> per_shard_raw() const;
+
+  /// Cumulative counters for metrics.
+  std::uint64_t total_raw() const;
+  std::uint64_t total_words_moved() const;
+
+ private:
+  const ShardPartition partition_;
+  const bool record_raw_;
+
+  mutable std::mutex mu_;  // guards pending_, raw_log_, counters
+  std::vector<graph::Edge> pending_;
+  std::vector<graph::Edge> raw_log_;
+  std::vector<std::uint64_t> per_shard_raw_;
+  std::uint64_t next_seq_ = 0;        ///< seqs assigned so far
+  std::uint64_t drained_seq_ = 0;     ///< seqs folded by drains so far
+  std::uint64_t words_moved_ = 0;     ///< cumulative shipped words
+
+  /// Reconcile-thread-only compacted state (no lock needed).
+  std::vector<std::pair<VertexId, VertexId>> compacted_;
+};
+
+}  // namespace lacc::shard

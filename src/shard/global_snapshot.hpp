@@ -1,0 +1,66 @@
+// One immutable *global* epoch: shard-local labels composed with the
+// boundary LACC's quotient map, plus the provenance needed to reason about
+// coverage.
+//
+// The embedded serve::Snapshot answers reads exactly like a single-server
+// snapshot (canonical labels, top-k view, pair cache), so the replica read
+// path and the serve read path share every query structure.  The extra
+// fields record *what the epoch covers*: the per-shard applied-seq
+// watermarks, the per-shard local epochs it composed, and the boundary
+// sequence it folded in — the data the ticket-coverage argument and the
+// verification replay both key off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+#include "shard/quotient.hpp"
+#include "support/types.hpp"
+
+namespace lacc::shard {
+
+class GlobalSnapshot {
+ public:
+  /// `labels` must be the composed canonical global labeling (label[v] =
+  /// minimum vertex id of v's global component); the serve::Snapshot
+  /// constructor validates canonicality.
+  GlobalSnapshot(std::uint64_t epoch, std::vector<VertexId> labels,
+                 std::size_t top_k, std::uint32_t cache_bits,
+                 std::vector<std::uint64_t> covered,
+                 std::vector<std::uint64_t> local_epochs,
+                 std::uint64_t boundary_covered, ReconcileStats stats)
+      : view_(epoch, std::move(labels), top_k, cache_bits),
+        covered_(std::move(covered)),
+        local_epochs_(std::move(local_epochs)),
+        boundary_covered_(boundary_covered),
+        stats_(stats) {}
+
+  std::uint64_t epoch() const { return view_.epoch(); }
+
+  /// The serve-layer view: labels, component count, top-k, pair cache.
+  const serve::Snapshot& view() const { return view_; }
+
+  /// Per-shard applied-seq watermark this epoch covers.
+  const std::vector<std::uint64_t>& covered() const { return covered_; }
+  /// Per-shard local epoch whose snapshot this epoch composed.
+  const std::vector<std::uint64_t>& local_epochs() const {
+    return local_epochs_;
+  }
+  /// Highest boundary-edge seq folded into the quotient.
+  std::uint64_t boundary_covered() const { return boundary_covered_; }
+
+  /// Boundary LACC instrumentation of the reconcile that built this epoch.
+  const ReconcileStats& reconcile_stats() const { return stats_; }
+
+ private:
+  serve::Snapshot view_;
+  std::vector<std::uint64_t> covered_;
+  std::vector<std::uint64_t> local_epochs_;
+  std::uint64_t boundary_covered_ = 0;
+  ReconcileStats stats_;
+};
+
+}  // namespace lacc::shard

@@ -1,0 +1,77 @@
+#include "shard/quotient.hpp"
+
+#include <algorithm>
+
+#include "core/lacc_dist.hpp"
+#include "graph/edge_list.hpp"
+#include "support/error.hpp"
+#include "support/sort.hpp"
+
+namespace lacc::shard {
+
+namespace {
+
+int largest_square_at_most(int x) {
+  if (x < 1) return 1;
+  int r = 1;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r * r;
+}
+
+}  // namespace
+
+ReconcileResult reconcile_quotient(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs, int max_ranks,
+    const sim::MachineModel& machine, const core::LaccOptions& options) {
+  ReconcileResult out;
+  out.stats.quotient_edges = pairs.size();
+  out.stats.words_moved = 2 * pairs.size();
+  if (pairs.empty()) return out;
+
+  // Distinct labels, ascending — compact id order mirrors label order.
+  std::vector<std::uint64_t> reps;
+  reps.reserve(2 * pairs.size());
+  VertexId max_label = 0;
+  for (const auto& [a, b] : pairs) {
+    LACC_DCHECK(a < b);
+    reps.push_back(a);
+    reps.push_back(b);
+    max_label = std::max(max_label, b);
+  }
+  std::vector<std::uint64_t> scratch;
+  radix_sort_by(reps, scratch, [](std::uint64_t x) { return x; }, max_label);
+  reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+  out.stats.quotient_vertices = reps.size();
+
+  const auto compact = [&](VertexId label) {
+    const auto it = std::lower_bound(reps.begin(), reps.end(), label);
+    LACC_DCHECK(it != reps.end() && *it == label);
+    return static_cast<VertexId>(it - reps.begin());
+  };
+
+  graph::EdgeList quotient(static_cast<VertexId>(reps.size()));
+  quotient.edges.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) quotient.add(compact(a), compact(b));
+
+  const int ranks = largest_square_at_most(
+      std::min<int>(max_ranks, static_cast<int>(reps.size())));
+  const core::DistRunResult run =
+      core::lacc_dist(quotient, ranks, machine, options);
+  out.stats.ranks_used = ranks;
+  out.stats.iterations = run.cc.iterations;
+  out.stats.modeled_seconds = run.modeled_seconds;
+
+  // ql[i] = min compact id of i's quotient component = compact id of the
+  // min *original* label (compaction is order-preserving), so mapping back
+  // through reps yields the canonical global label of every rep.
+  const std::vector<VertexId> ql = core::normalize_labels(run.cc.parent);
+  out.qmap.reserve(reps.size());
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const VertexId global = static_cast<VertexId>(reps[ql[i]]);
+    if (global != static_cast<VertexId>(reps[i]))
+      out.qmap.emplace(static_cast<VertexId>(reps[i]), global);
+  }
+  return out;
+}
+
+}  // namespace lacc::shard

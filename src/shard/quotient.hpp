@@ -1,0 +1,58 @@
+// The boundary LACC: connected components of the shard-label quotient
+// graph.
+//
+// The reconcile never ships vertices — its graph's "vertices" are the
+// distinct shard-local component labels appearing in the deduplicated
+// boundary pairs, and its edges are those pairs.  That graph is tiny
+// compared to the vertex space (it can't exceed twice the boundary pair
+// count), so one small core::lacc_dist run per reconcile round resolves
+// every cross-shard merge.
+//
+// Label discipline: the distinct labels are compacted to [0, q) in
+// ascending order, so compact id order mirrors original label order and
+// normalize_labels on the compact graph (minimum compact id per component)
+// maps back to the minimum *original* label per quotient component.  The
+// resulting qmap therefore composes with canonical shard-local labels into
+// a canonical global labeling (g[v] = min vertex id of v's global
+// component) — exactly the serve::Snapshot contract.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "sim/machine.hpp"
+#include "support/types.hpp"
+
+namespace lacc::shard {
+
+/// Instrumentation of one reconcile round's boundary LACC.
+struct ReconcileStats {
+  std::uint64_t quotient_vertices = 0;  ///< distinct labels in the pairs
+  std::uint64_t quotient_edges = 0;     ///< deduped label pairs
+  int ranks_used = 0;                   ///< SPMD ranks of the boundary run
+  int iterations = 0;                   ///< LACC iterations to converge
+  double modeled_seconds = 0;           ///< boundary run's modeled time
+  std::uint64_t words_moved = 0;        ///< 2 * pairs shipped this round
+  std::uint64_t raw_drained = 0;        ///< raw boundary edges folded in
+};
+
+/// Result of one reconcile: the global label map.  `qmap` holds only the
+/// non-identity entries — a shard-local label absent from it is already
+/// global (its component never crosses a shard, or it is the minimum).
+struct ReconcileResult {
+  std::unordered_map<VertexId, VertexId> qmap;
+  ReconcileStats stats;
+};
+
+/// Run the boundary LACC over deduplicated cross-shard label pairs (each
+/// ordered (min, max); the list sorted — BoundaryStore::Drain form).
+/// `max_ranks` bounds the SPMD width; the run uses the largest perfect
+/// square <= min(max_ranks, quotient vertices), at least 1.
+ReconcileResult reconcile_quotient(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs, int max_ranks,
+    const sim::MachineModel& machine, const core::LaccOptions& options);
+
+}  // namespace lacc::shard

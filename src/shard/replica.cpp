@@ -1,0 +1,82 @@
+#include "shard/replica.hpp"
+
+#include <chrono>
+
+namespace lacc::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+serve::ReadResult ReplicaStore::read_latest(VertexId u, VertexId v,
+                                            bool pair) const {
+  const auto t0 = Clock::now();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+
+  serve::ReadResult r;
+  if (u >= n_ || (pair && v >= n_)) {
+    r.status = serve::ServeStatus::kUnknownVertex;
+  } else {
+    const auto snap = ring_.current();
+    r.epoch = snap->epoch();
+    if (pair)
+      r.same = snap->view().same_component(u, v);
+    else
+      r.label = snap->view().label_of(u);
+  }
+  if (r.status != serve::ServeStatus::kOk)
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+  read_latency_.record_seconds(seconds_between(t0, Clock::now()));
+  return r;
+}
+
+serve::ReadResult ReplicaStore::read_pinned(std::uint64_t epoch, VertexId u,
+                                            VertexId v, bool pair) const {
+  const auto t0 = Clock::now();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+
+  serve::ReadResult r;
+  r.epoch = epoch;
+  std::shared_ptr<const GlobalSnapshot> snap;
+  switch (ring_.at(epoch, snap)) {
+    case GlobalSnapshotRing::Lookup::kRetired:
+      r.status = serve::ServeStatus::kRetiredEpoch;
+      break;
+    case GlobalSnapshotRing::Lookup::kFuture:
+      r.status = serve::ServeStatus::kFutureEpoch;
+      break;
+    case GlobalSnapshotRing::Lookup::kOk:
+      if (u >= n_ || (pair && v >= n_)) {
+        r.status = serve::ServeStatus::kUnknownVertex;
+      } else if (pair) {
+        r.same = snap->view().same_component(u, v);
+      } else {
+        r.label = snap->view().label_of(u);
+      }
+      break;
+  }
+  if (r.status != serve::ServeStatus::kOk)
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+  read_latency_.record_seconds(seconds_between(t0, Clock::now()));
+  return r;
+}
+
+ReplicaStats ReplicaStore::stats() const {
+  ReplicaStats s;
+  s.replica = id_;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.read_errors = read_errors_.load(std::memory_order_relaxed);
+  s.current_epoch = ring_.current_epoch();
+  s.read_p50 = read_latency_.quantile(0.50);
+  s.read_p95 = read_latency_.quantile(0.95);
+  s.read_p99 = read_latency_.quantile(0.99);
+  return s;
+}
+
+}  // namespace lacc::shard

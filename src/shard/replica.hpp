@@ -1,0 +1,79 @@
+// Read-only replica stores: the fan-out targets of the reconcile thread's
+// global-snapshot publication.
+//
+// Each replica owns an independent BasicSnapshotRing<GlobalSnapshot> (with
+// pinning, so a replica session holding an epoch keeps it readable while
+// the router advances) plus its own read counters and latency histogram.
+// With replicate-by-copy the reconcile hands every replica its *own*
+// GlobalSnapshot object, so concurrent readers on different replicas never
+// share a snapshot refcount or a pair-cache line — read throughput scales
+// with the replica count instead of serializing on one hot cacheline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/latency.hpp"
+#include "serve/server.hpp"
+#include "shard/global_snapshot.hpp"
+#include "support/types.hpp"
+
+namespace lacc::shard {
+
+/// Epoch ring over global snapshots (same publication/pinning semantics as
+/// the serve layer's SnapshotStore).
+using GlobalSnapshotRing = serve::BasicSnapshotRing<GlobalSnapshot>;
+
+/// Point-in-time counters of one replica.
+struct ReplicaStats {
+  int replica = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t read_errors = 0;
+  std::uint64_t current_epoch = 0;
+  double read_p50 = 0, read_p95 = 0, read_p99 = 0;  ///< seconds
+};
+
+class ReplicaStore {
+ public:
+  ReplicaStore(int id, std::size_t retain, VertexId n)
+      : id_(id), n_(n), ring_(retain) {}
+  ReplicaStore(const ReplicaStore&) = delete;
+  ReplicaStore& operator=(const ReplicaStore&) = delete;
+
+  int id() const { return id_; }
+
+  /// Reconcile thread only: publish the next global epoch to this replica.
+  void publish(std::shared_ptr<const GlobalSnapshot> snap) {
+    ring_.publish(std::move(snap));
+  }
+
+  std::shared_ptr<const GlobalSnapshot> current() const {
+    return ring_.current();
+  }
+
+  /// Answer from the latest global snapshot (any thread).
+  serve::ReadResult read_latest(VertexId u, VertexId v, bool pair) const;
+
+  /// Answer exactly at global epoch `epoch`, or kRetiredEpoch/kFutureEpoch.
+  serve::ReadResult read_pinned(std::uint64_t epoch, VertexId u, VertexId v,
+                                bool pair) const;
+
+  /// Keep `epoch` readable on this replica past retention eviction.
+  GlobalSnapshotRing::Lookup pin(std::uint64_t epoch) {
+    return ring_.pin(epoch);
+  }
+  void unpin(std::uint64_t epoch) { ring_.unpin(epoch); }
+
+  ReplicaStats stats() const;
+
+ private:
+  const int id_;
+  const VertexId n_;
+  GlobalSnapshotRing ring_;
+
+  mutable std::atomic<std::uint64_t> reads_{0};
+  mutable std::atomic<std::uint64_t> read_errors_{0};
+  mutable obs::LatencyHistogram read_latency_;
+};
+
+}  // namespace lacc::shard

@@ -1,0 +1,376 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/lacc_dist.hpp"
+#include "support/error.hpp"
+
+namespace lacc::shard {
+
+Router::Router(VertexId n, int nranks, const sim::MachineModel& machine,
+               RouterOptions options)
+    : n_(n),
+      options_(options),
+      partition_(options.shards),
+      machine_(machine),
+      boundary_(partition_, options.record_applied),
+      watermarks_(options.shards) {
+  LACC_CHECK_MSG(options_.shards >= 1, "router needs at least one shard");
+  LACC_CHECK_MSG(options_.replicas >= 1, "router needs at least one replica");
+
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    serve::ServeOptions so = options_.serve;
+    so.stream.shards = partition_;
+    so.stream.shard = s;
+    so.record_applied = options_.record_applied;
+    so.shard_tag = s;
+    if (options_.shards > 1) {
+      // The engine thread pushes each epoch's extracted cross-shard edges
+      // here before publishing the epoch's snapshot (see ServeOptions).
+      so.boundary_sink = [this](std::vector<graph::Edge> edges,
+                                std::uint64_t /*epoch*/) {
+        boundary_.add(std::move(edges));
+      };
+    }
+    shards_.push_back(
+        std::make_unique<serve::Server>(n, nranks, machine, std::move(so)));
+  }
+
+  replicas_.reserve(static_cast<std::size_t>(options_.replicas));
+  for (int r = 0; r < options_.replicas; ++r)
+    replicas_.push_back(std::make_unique<ReplicaStore>(
+        r, options_.retain_epochs, n));
+
+  // Global epoch 0: the empty graph, published to every replica before the
+  // reconcile thread exists, so reads are valid immediately.  The watermark
+  // vector stays at epoch 0 / all-zero coverage, which is vacuously
+  // correct: no ticket exists yet.
+  last_w_.assign(static_cast<std::size_t>(options_.shards), 0);
+  last_e_.assign(static_cast<std::size_t>(options_.shards), 0);
+  std::vector<VertexId> identity(n);
+  for (VertexId v = 0; v < n; ++v) identity[v] = v;
+  for (auto& rep : replicas_)
+    rep->publish(std::make_shared<const GlobalSnapshot>(
+        0, identity, options_.top_k, options_.pair_cache_bits, last_w_,
+        last_e_, 0, ReconcileStats{}));
+  if (options_.record_applied)
+    history_.push_back(
+        {0, last_w_, last_e_, 0, ReconcileStats{}, std::move(identity)});
+
+  reconcile_thread_ = std::thread([this] { reconcile_main(); });
+}
+
+Router::~Router() { stop(); }
+
+ShardWriteResult Router::insert_edge(VertexId u, VertexId v) {
+  ShardWriteResult r;
+  if (u >= n_ || v >= n_) {
+    r.status = serve::ServeStatus::kUnknownVertex;
+    return r;
+  }
+  // A cross-shard edge still routes to exactly one shard — owner(min(u, v))
+  // — whose queue provides admission control and the ticket; the shard's
+  // engine parks it for boundary extraction rather than ingesting it.
+  const int s = partition_.owner(std::min(u, v));
+  const serve::WriteResult wr =
+      shards_[static_cast<std::size_t>(s)]->insert_edge(u, v);
+  r.status = wr.status;
+  if (wr.status == serve::ServeStatus::kOk) {
+    r.ticket.marks.emplace_back(s, wr.ticket);
+    r.ticket.epoch = watermarks_.epoch();
+  }
+  return r;
+}
+
+int Router::pick_replica(int replica) const {
+  if (replica >= 0 && replica < options_.replicas) return replica;
+  return static_cast<int>(next_replica_.fetch_add(
+                              1, std::memory_order_relaxed) %
+                          static_cast<std::uint64_t>(options_.replicas));
+}
+
+serve::ServeStatus Router::wait_for_ticket(const ShardTicket& ticket) const {
+  if (ticket.empty()) return serve::ServeStatus::kOk;
+  for (const auto& [s, seq] : ticket.marks) {
+    if (s < 0 || s >= options_.shards ||
+        seq > shards_[static_cast<std::size_t>(s)]->accepted_seq()) {
+      invalid_tickets_.fetch_add(1, std::memory_order_relaxed);
+      return serve::ServeStatus::kInvalidTicket;
+    }
+  }
+  if (watermarks_.covers(ticket)) return serve::ServeStatus::kOk;
+  ticket_waits_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(ticket_mu_);
+  // Terminates: shards drain every accepted write before the final
+  // reconcile, which publishes coverage of all of them and sets
+  // reconcile_done_.
+  ticket_cv_.wait(lock,
+                  [&] { return watermarks_.covers(ticket) || reconcile_done_; });
+  return watermarks_.covers(ticket) ? serve::ServeStatus::kOk
+                                    : serve::ServeStatus::kInvalidTicket;
+}
+
+serve::ReadResult Router::component_of(VertexId v, const ShardTicket& ticket,
+                                       int replica) const {
+  serve::ReadResult r;
+  r.status = wait_for_ticket(ticket);
+  if (r.status != serve::ServeStatus::kOk) return r;
+  return replicas_[static_cast<std::size_t>(pick_replica(replica))]
+      ->read_latest(v, v, /*pair=*/false);
+}
+
+serve::ReadResult Router::same_component(VertexId u, VertexId v,
+                                         const ShardTicket& ticket,
+                                         int replica) const {
+  serve::ReadResult r;
+  r.status = wait_for_ticket(ticket);
+  if (r.status != serve::ServeStatus::kOk) return r;
+  return replicas_[static_cast<std::size_t>(pick_replica(replica))]
+      ->read_latest(u, v, /*pair=*/true);
+}
+
+serve::ReadResult Router::component_at(std::uint64_t epoch, VertexId v,
+                                       int replica) const {
+  return replicas_[static_cast<std::size_t>(pick_replica(replica))]
+      ->read_pinned(epoch, v, v, /*pair=*/false);
+}
+
+serve::ReadResult Router::same_component_at(std::uint64_t epoch, VertexId u,
+                                            VertexId v, int replica) const {
+  return replicas_[static_cast<std::size_t>(pick_replica(replica))]
+      ->read_pinned(epoch, u, v, /*pair=*/true);
+}
+
+GlobalSnapshotRing::Lookup Router::pin(std::uint64_t epoch, int replica) {
+  return replicas_[static_cast<std::size_t>(pick_replica(replica))]->pin(epoch);
+}
+
+void Router::unpin(std::uint64_t epoch, int replica) {
+  replicas_[static_cast<std::size_t>(pick_replica(replica))]->unpin(epoch);
+}
+
+std::shared_ptr<const GlobalSnapshot> Router::snapshot(int replica) const {
+  return replicas_[static_cast<std::size_t>(pick_replica(replica))]->current();
+}
+
+bool Router::reconcile_once() {
+  const auto sz = static_cast<std::size_t>(options_.shards);
+  // Ordering spine: watermarks first, snapshots second, drain last (see the
+  // header comment).  Each snapshot then covers at least its watermark, and
+  // the drain sees every boundary edge of every covered epoch.
+  std::vector<std::uint64_t> w(sz), e(sz);
+  for (std::size_t s = 0; s < sz; ++s) w[s] = shards_[s]->applied_seq();
+  std::vector<std::shared_ptr<const serve::Snapshot>> snaps(sz);
+  for (std::size_t s = 0; s < sz; ++s) {
+    snaps[s] = shards_[s]->snapshot();
+    e[s] = snaps[s]->epoch();
+  }
+  if (w == last_w_ && e == last_e_ && boundary_.pending_raw() == 0) {
+    reconcile_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  BoundaryStore::Drain drain = boundary_.drain_and_compact([&](VertexId v) {
+    return snaps[static_cast<std::size_t>(partition_.owner(v))]->label_of(v);
+  });
+  ReconcileResult rq = reconcile_quotient(
+      drain.pairs, options_.reconcile_ranks, machine_, options_.serve.stream.lacc);
+  rq.stats.raw_drained = drain.raw_drained;
+
+  // Compose: shard-local label through the owner's snapshot, then the
+  // quotient map.  The result is canonical (label = min vertex id of the
+  // global component), which the GlobalSnapshot constructor validates.
+  std::vector<VertexId> g(n_);
+  if (options_.shards == 1) {
+    g = snaps[0]->labels();
+  } else {
+    for (VertexId v = 0; v < n_; ++v) {
+      const VertexId l =
+          snaps[static_cast<std::size_t>(partition_.owner(v))]->label_of(v);
+      const auto it = rq.qmap.find(l);
+      g[v] = it != rq.qmap.end() ? it->second : l;
+    }
+  }
+
+  reconcile_rounds_.fetch_add(1, std::memory_order_relaxed);
+  reconcile_modeled_us_.fetch_add(
+      static_cast<std::uint64_t>(rq.stats.modeled_seconds * 1e6),
+      std::memory_order_relaxed);
+  publish_global(std::move(g), w, e, drain.covered_seq, rq.stats);
+  last_w_ = std::move(w);
+  last_e_ = std::move(e);
+  return true;
+}
+
+void Router::publish_global(std::vector<VertexId> labels,
+                            std::vector<std::uint64_t> covered,
+                            std::vector<std::uint64_t> local_epochs,
+                            std::uint64_t boundary_covered,
+                            const ReconcileStats& stats) {
+  const std::uint64_t epoch = ++global_epoch_counter_;
+  if (options_.record_applied)
+    history_.push_back(
+        {epoch, covered, local_epochs, boundary_covered, stats, labels});
+
+  // Replicas first, watermark vector last: a reader that observes ticket
+  // coverage finds a covering snapshot on every replica.
+  std::shared_ptr<const GlobalSnapshot> shared_snap;
+  const std::size_t nr = replicas_.size();
+  for (std::size_t r = 0; r < nr; ++r) {
+    if (options_.replicate_by_copy && r + 1 < nr) {
+      replicas_[r]->publish(std::make_shared<const GlobalSnapshot>(
+          epoch, labels, options_.top_k, options_.pair_cache_bits, covered,
+          local_epochs, boundary_covered, stats));
+    } else if (options_.replicate_by_copy) {
+      replicas_[r]->publish(std::make_shared<const GlobalSnapshot>(
+          epoch, std::move(labels), options_.top_k, options_.pair_cache_bits,
+          std::move(covered), std::move(local_epochs), boundary_covered,
+          stats));
+    } else {
+      if (r == 0) {
+        shared_snap = std::make_shared<const GlobalSnapshot>(
+            epoch, std::move(labels), options_.top_k,
+            options_.pair_cache_bits, std::move(covered),
+            std::move(local_epochs), boundary_covered, stats);
+      }
+      replicas_[r]->publish(shared_snap);
+    }
+  }
+
+  const GlobalSnapshot& head = *replicas_[0]->current();
+  published_epoch_.store(epoch, std::memory_order_relaxed);
+  {
+    // Under ticket_mu_ so a waiter between its covers() check and its
+    // wait() can't miss the notify.
+    std::lock_guard<std::mutex> lock(ticket_mu_);
+    watermarks_.publish(epoch, head.covered(), head.boundary_covered());
+  }
+  ticket_cv_.notify_all();
+}
+
+void Router::reconcile_main() {
+  std::unique_lock<std::mutex> lock(reconcile_mu_);
+  while (!stop_requested_) {
+    reconcile_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            options_.reconcile_interval_ms),
+        [&] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    reconcile_once();
+    lock.lock();
+  }
+}
+
+void Router::flush() {
+  ShardTicket all;
+  for (int s = 0; s < options_.shards; ++s) {
+    shards_[static_cast<std::size_t>(s)]->flush();
+    all.marks.emplace_back(
+        s, shards_[static_cast<std::size_t>(s)]->applied_seq());
+  }
+  // flush() covered every accepted write with a *local* epoch; now wait for
+  // a global one (the reconcile's watermark read happens after those local
+  // publications, so coverage implies the boundary edges are folded too).
+  const serve::ServeStatus st = wait_for_ticket(all);
+  LACC_CHECK(st == serve::ServeStatus::kOk);
+}
+
+void Router::stop() {
+  std::call_once(stop_once_, [this] {
+    // Shards stop first: their engine threads drain every accepted write,
+    // pushing any remaining boundary edges, before the final reconcile.
+    for (auto& s : shards_) s->stop();
+    {
+      std::lock_guard<std::mutex> lock(reconcile_mu_);
+      stop_requested_ = true;
+    }
+    reconcile_cv_.notify_all();
+    if (reconcile_thread_.joinable()) reconcile_thread_.join();
+    // Final reconcile (this thread is now the sole reconcile executor):
+    // covers everything ever accepted, so pending ticket waits complete.
+    reconcile_once();
+    {
+      std::lock_guard<std::mutex> lock(ticket_mu_);
+      reconcile_done_ = true;
+    }
+    ticket_cv_.notify_all();
+    stopped_.store(true, std::memory_order_release);
+  });
+}
+
+bool Router::stopped() const {
+  return stopped_.load(std::memory_order_acquire);
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  for (const auto& sh : shards_) {
+    s.shard_stats.push_back(sh->stats());
+    s.writes_accepted += s.shard_stats.back().writes_accepted;
+    s.writes_shed += s.shard_stats.back().writes_shed;
+  }
+  for (const auto& rep : replicas_) {
+    s.replica_stats.push_back(rep->stats());
+    s.replica_reads += s.replica_stats.back().reads;
+    s.replica_read_errors += s.replica_stats.back().read_errors;
+  }
+  s.ticket_waits = ticket_waits_.load(std::memory_order_relaxed);
+  s.invalid_tickets = invalid_tickets_.load(std::memory_order_relaxed);
+  s.global_epoch = published_epoch_.load(std::memory_order_relaxed);
+  s.reconcile_rounds = reconcile_rounds_.load(std::memory_order_relaxed);
+  s.reconcile_skipped = reconcile_skipped_.load(std::memory_order_relaxed);
+  s.boundary_raw_total = boundary_.total_raw();
+  s.boundary_words_moved = boundary_.total_words_moved();
+  s.boundary_per_shard = boundary_.per_shard_raw();
+  s.reconcile_modeled_seconds =
+      static_cast<double>(
+          reconcile_modeled_us_.load(std::memory_order_relaxed)) /
+      1e6;
+  return s;
+}
+
+const std::vector<EpochRecord>& Router::history() const {
+  LACC_CHECK_MSG(stopped(),
+                 "history() is only safe after stop() has joined the "
+                 "reconcile thread");
+  return history_;
+}
+
+std::uint64_t Router::verify_epochs(int verify_ranks) const {
+  LACC_CHECK_MSG(stopped() && options_.record_applied,
+                 "verify_epochs() needs a stopped router built with "
+                 "record_applied");
+  const std::vector<graph::Edge>& raw = boundary_.raw_log();
+  std::uint64_t verified = 0;
+  for (const EpochRecord& rec : history_) {
+    // The epoch's prefix: each shard's applied batches through its composed
+    // local epoch, plus the boundary edges through the drained seq.  (The
+    // drain can run ahead of a composed snapshot — both sides of the
+    // equality then include the same extra boundary edges.)
+    graph::EdgeList prefix(n_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto& batches = shards_[s]->applied_batches();
+      LACC_CHECK(rec.local_epochs[s] <= batches.size());
+      for (std::uint64_t b = 0; b < rec.local_epochs[s]; ++b)
+        for (const graph::Edge& ed : batches[b].edges) prefix.add(ed.u, ed.v);
+    }
+    LACC_CHECK(rec.boundary_covered <= raw.size());
+    for (std::uint64_t i = 0; i < rec.boundary_covered; ++i)
+      prefix.add(raw[i].u, raw[i].v);
+
+    const core::DistRunResult run = core::lacc_dist(
+        prefix, verify_ranks, machine_, options_.serve.stream.lacc);
+    const std::vector<VertexId> expect = core::normalize_labels(run.cc.parent);
+    LACC_CHECK_MSG(expect == rec.labels,
+                   "global epoch " << rec.epoch
+                                   << " diverges from the lacc_dist replay");
+    ++verified;
+  }
+  return verified;
+}
+
+}  // namespace lacc::shard

@@ -1,0 +1,277 @@
+// lacc::shard::Router — scale-out serving: N independent serve::Server
+// shards behind one write router, a boundary LACC reconciling cross-shard
+// merges, and M read-only replicas fanning out global snapshots.
+//
+//   writers ──insert_edge──▶ owner(min(u,v)) shard ──▶ shard engine thread
+//                            (admission + ticket      owned-owned edges
+//                             through that shard's    enter the graph;
+//                             ingest queue)           cross-shard edges are
+//                                                     extracted at commit
+//                                                     ─▶ BoundaryStore
+//   reconcile thread: watermarks ▷ snapshots ▷ drain ▷ boundary LACC over
+//                     the label-pair quotient ▷ compose global labels
+//                     ─▶ replicas (publish first) ─▶ watermark vector
+//   readers ◀── replica GlobalSnapshot rings (round-robin or pinned)
+//
+// Partitioning: a hash ShardPartition over vertex ids.  Every shard's
+// engine spans the full vertex space but ingests only its owned-owned
+// edges, so its canonical-label contract holds over that sub-stream and
+// unowned vertices stay singletons.  A cross-shard edge routes to
+// owner(min(u, v)) — one shard's queue gives it admission control, a
+// ticket, and (when durable) a WAL slot — and becomes a boundary entry on
+// both sides in the BoundaryStore.
+//
+// Reconcile ordering (the correctness spine):
+//   1. read every shard's applied-seq watermark w[s],
+//   2. then grab every shard's current snapshot (local epoch e[s] covers at
+//      least w[s]),
+//   3. then drain the boundary store.
+// A shard publishes an epoch's boundary edges *before* its snapshot and
+// before marking the epoch's tickets applied (ServeOptions::boundary_sink),
+// so step 3 necessarily sees every boundary edge of every epoch covered by
+// step 1's watermarks: "the global snapshot covers ticket t" implies "t's
+// cross-shard edges are folded in".  Publication order completes the
+// argument: replicas first, watermark vector last — a reader that observes
+// coverage finds a covering snapshot on *every* replica.
+//
+// Consistency model (docs/SERVING.md): every published global epoch is a
+// serializable prefix — its composed labels are bit-identical to
+// normalize_labels(lacc_dist(prefix)) where the prefix is the union of each
+// shard's applied batches through its composed local epoch plus the drained
+// boundary edges.  Read-your-writes survives the router hop via
+// ShardTicket (per-shard watermark vector); replica reads are read
+// committed at global-epoch granularity.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "shard/boundary.hpp"
+#include "shard/global_snapshot.hpp"
+#include "shard/quotient.hpp"
+#include "shard/replica.hpp"
+#include "shard/watermarks.hpp"
+#include "sim/machine.hpp"
+#include "support/partition.hpp"
+
+namespace lacc::shard {
+
+struct RouterOptions {
+  /// Template for every shard's serve::Server.  The router overwrites the
+  /// sharding fields (stream.shards, stream.shard, boundary_sink,
+  /// shard_tag) and forwards record_applied; everything else — batching,
+  /// admission, retention, durability — applies per shard as-is.
+  serve::ServeOptions serve;
+
+  int shards = 1;    ///< number of serve::Server shards (>= 1)
+  int replicas = 1;  ///< number of read-only replica stores (>= 1)
+
+  /// Global epochs kept pinnable on each replica; older ones retire
+  /// (pinned epochs survive — see BasicSnapshotRing).
+  std::size_t retain_epochs = 8;
+
+  /// Reconcile cadence: the thread wakes this often, skips the round when
+  /// no shard advanced and no boundary edge is pending.
+  double reconcile_interval_ms = 2.0;
+  /// Max SPMD width of the boundary LACC (actual = largest perfect square
+  /// <= min(this, quotient vertices)).
+  int reconcile_ranks = 4;
+
+  /// Global snapshots' pair-query cache (log2 slots; 0 disables) and top-k
+  /// view size.
+  std::uint32_t pair_cache_bits = 12;
+  std::size_t top_k = 8;
+
+  /// Keep per-shard applied batches, the raw boundary log, and per-epoch
+  /// global labels for post-hoc verification (verify_epochs); costs memory
+  /// proportional to the total stream.
+  bool record_applied = false;
+
+  /// Publish an independent GlobalSnapshot object to each replica (copies
+  /// the label vector) instead of sharing one — readers on different
+  /// replicas then never contend on a refcount or pair-cache line.
+  bool replicate_by_copy = true;
+};
+
+/// A routed write acknowledgement: the ticket survives the router hop.
+struct ShardWriteResult {
+  serve::ServeStatus status = serve::ServeStatus::kOk;
+  ShardTicket ticket;
+};
+
+/// Aggregated router statistics (safe from any thread).
+struct RouterStats {
+  std::uint64_t writes_accepted = 0;  ///< summed over shards
+  std::uint64_t writes_shed = 0;
+  std::uint64_t replica_reads = 0;  ///< summed over replicas
+  std::uint64_t replica_read_errors = 0;
+  std::uint64_t ticket_waits = 0;     ///< session reads that blocked
+  std::uint64_t invalid_tickets = 0;  ///< session reads with bad marks
+  std::uint64_t global_epoch = 0;     ///< latest published global epoch
+  std::uint64_t reconcile_rounds = 0;    ///< rounds that published
+  std::uint64_t reconcile_skipped = 0;   ///< idle ticks skipped
+  std::uint64_t boundary_raw_total = 0;  ///< raw cross-shard edges routed
+  std::uint64_t boundary_words_moved = 0;  ///< cumulative quotient words
+  double reconcile_modeled_seconds = 0;    ///< summed boundary LACC time
+  std::vector<serve::ServeStats> shard_stats;
+  std::vector<ReplicaStats> replica_stats;
+  std::vector<std::uint64_t> boundary_per_shard;
+};
+
+/// Provenance of one published global epoch (post-stop reads; labels only
+/// with record_applied).
+struct EpochRecord {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> covered;       ///< per-shard applied seq
+  std::vector<std::uint64_t> local_epochs;  ///< per-shard composed epoch
+  std::uint64_t boundary_covered = 0;
+  ReconcileStats stats;
+  std::vector<VertexId> labels;  ///< composed global labels (verify mode)
+};
+
+/// Sharded connected-components serving.  Construction starts every shard's
+/// engine thread, publishes global epoch 0 (every vertex its own component)
+/// to all replicas, and starts the reconcile thread; reads are valid from
+/// any thread immediately.
+class Router {
+ public:
+  /// `nranks` is each shard engine's SPMD width (positive perfect square),
+  /// exactly as for serve::Server.
+  Router(VertexId n, int nranks, const sim::MachineModel& machine,
+         RouterOptions options = {});
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  VertexId num_vertices() const { return n_; }
+  const RouterOptions& options() const { return options_; }
+  const ShardPartition& partition() const { return partition_; }
+  int shards() const { return options_.shards; }
+  int replicas() const { return options_.replicas; }
+
+  /// Route one edge insert to owner(min(u, v)) (or the common owner).
+  /// On acceptance the ticket's mark is that shard's write ticket; merge()
+  /// successive tickets to build a session ticket.
+  ShardWriteResult insert_edge(VertexId u, VertexId v);
+
+  /// Replica reads at the latest global epoch.  A non-empty ticket blocks
+  /// until a published global snapshot covers every mark (read-your-writes
+  /// across the router hop).  `replica` picks a store explicitly; -1
+  /// round-robins.
+  serve::ReadResult component_of(VertexId v, const ShardTicket& ticket = {},
+                                 int replica = -1) const;
+  serve::ReadResult same_component(VertexId u, VertexId v,
+                                   const ShardTicket& ticket = {},
+                                   int replica = -1) const;
+
+  /// Pinned reads at an exact global epoch.
+  serve::ReadResult component_at(std::uint64_t epoch, VertexId v,
+                                 int replica = -1) const;
+  serve::ReadResult same_component_at(std::uint64_t epoch, VertexId u,
+                                      VertexId v, int replica = -1) const;
+
+  /// Pin a global epoch on one replica (it stays readable there past
+  /// retention while the router advances); unpin releases it.
+  GlobalSnapshotRing::Lookup pin(std::uint64_t epoch, int replica);
+  void unpin(std::uint64_t epoch, int replica);
+
+  /// Latest global snapshot of one replica (never null).
+  std::shared_ptr<const GlobalSnapshot> snapshot(int replica = 0) const;
+
+  /// Latest global epoch whose coverage is published (replicas may briefly
+  /// be ahead — they publish first).
+  std::uint64_t global_epoch() const { return watermarks_.epoch(); }
+
+  /// Flush every shard, then block until a published global snapshot
+  /// covers everything accepted so far (boundary edges included).
+  void flush();
+
+  /// Stop shards (draining all accepted writes), run the final reconcile,
+  /// and join the reconcile thread.  Idempotent; the destructor calls it.
+  /// Reads keep working after stop.
+  void stop();
+  bool stopped() const;
+
+  RouterStats stats() const;
+
+  /// Direct shard/replica access (tests, metrics export).
+  serve::Server& shard(int s) { return *shards_[static_cast<std::size_t>(s)]; }
+  const serve::Server& shard(int s) const {
+    return *shards_[static_cast<std::size_t>(s)];
+  }
+  const ReplicaStore& replica(int r) const {
+    return *replicas_[static_cast<std::size_t>(r)];
+  }
+  const BoundaryStore& boundary() const { return boundary_; }
+
+  /// Per-epoch provenance, oldest first (history()[e] is global epoch e);
+  /// only safe after stop().
+  const std::vector<EpochRecord>& history() const;
+
+  /// Post-stop, record_applied only: replay every recorded global epoch's
+  /// prefix through lacc_dist and LACC_CHECK the published labels are
+  /// bit-identical to normalize_labels of the replay.  Returns the number
+  /// of epochs verified.
+  std::uint64_t verify_epochs(int verify_ranks = 4) const;
+
+ private:
+  int pick_replica(int replica) const;
+  serve::ServeStatus wait_for_ticket(const ShardTicket& ticket) const;
+  /// One reconcile round; returns true when it published a global epoch.
+  /// Reconcile-thread-only (the stop path runs it after the join).
+  bool reconcile_once();
+  void publish_global(std::vector<VertexId> labels,
+                      std::vector<std::uint64_t> covered,
+                      std::vector<std::uint64_t> local_epochs,
+                      std::uint64_t boundary_covered,
+                      const ReconcileStats& stats);
+  void reconcile_main();
+
+  const VertexId n_;
+  const RouterOptions options_;
+  const ShardPartition partition_;
+  const sim::MachineModel machine_;
+
+  std::vector<std::unique_ptr<serve::Server>> shards_;
+  BoundaryStore boundary_;
+  std::vector<std::unique_ptr<ReplicaStore>> replicas_;
+  WatermarkVector watermarks_;
+
+  /// Ticket waits: the watermark publish happens under ticket_mu_ so a
+  /// waiter can't miss its notify.
+  mutable std::mutex ticket_mu_;
+  mutable std::condition_variable ticket_cv_;
+  bool reconcile_done_ = false;  ///< final reconcile published (under mu)
+
+  /// Reconcile thread lifecycle.
+  std::mutex reconcile_mu_;
+  std::condition_variable reconcile_cv_;
+  bool stop_requested_ = false;
+  std::once_flag stop_once_;
+  std::atomic<bool> stopped_{false};
+
+  // Reconcile-thread-only state (plus post-join readers).
+  std::uint64_t global_epoch_counter_ = 0;
+  std::vector<std::uint64_t> last_w_, last_e_;
+  std::vector<EpochRecord> history_;
+
+  // Monitoring.
+  mutable std::atomic<std::uint64_t> next_replica_{0};
+  mutable std::atomic<std::uint64_t> ticket_waits_{0};
+  mutable std::atomic<std::uint64_t> invalid_tickets_{0};
+  std::atomic<std::uint64_t> reconcile_rounds_{0};
+  std::atomic<std::uint64_t> reconcile_skipped_{0};
+  std::atomic<std::uint64_t> published_epoch_{0};
+  /// Modeled seconds in microsecond ticks (atomic double via integer).
+  std::atomic<std::uint64_t> reconcile_modeled_us_{0};
+
+  std::thread reconcile_thread_;  ///< last member: joined in stop()
+};
+
+}  // namespace lacc::shard

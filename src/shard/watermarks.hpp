@@ -1,0 +1,142 @@
+// lacc::shard tickets and the lock-free global watermark vector.
+//
+// A single-shard serve ticket is one applied-seq watermark.  Across the
+// router hop a write lands on exactly one shard, but a *session* can span
+// shards, so the ticket generalizes to a vector of per-shard applied-seq
+// watermarks plus the reconciliation epoch current when it was issued.  A
+// global snapshot covers a ticket when its per-shard covered watermarks
+// dominate every mark — which, by the router's publication order (replica
+// fan-out first, watermark publish last), implies every replica's current
+// snapshot also covers it.
+//
+// BasicWatermarkVector is the read fast path: one writer (the reconcile
+// thread) publishes the covered vector with a release store on the epoch
+// word; any number of ticketed readers check coverage with an acquire load
+// and no lock.  The structure is templated over a sync policy so the
+// deterministic model checker explores it directly
+// (tests/sched/sched_shard_test.cpp), including the mutation proving the
+// release edge on publish is load-bearing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/sync.hpp"
+
+namespace lacc::shard {
+
+/// Read-your-writes token that survives the router hop.
+struct ShardTicket {
+  /// (shard, applied-seq watermark) entries, one per shard the session
+  /// wrote through; empty = unticketed.
+  std::vector<std::pair<int, std::uint64_t>> marks;
+  /// Reconciliation epoch current when the ticket was issued (diagnostic;
+  /// coverage is decided by the marks alone).
+  std::uint64_t epoch = 0;
+
+  bool empty() const { return marks.empty(); }
+
+  /// Fold another ticket into this session ticket (max per shard).
+  void merge(const ShardTicket& other) {
+    for (const auto& [shard, seq] : other.marks) {
+      bool found = false;
+      for (auto& [s, have] : marks) {
+        if (s == shard) {
+          if (seq > have) have = seq;
+          found = true;
+          break;
+        }
+      }
+      if (!found) marks.emplace_back(shard, seq);
+    }
+    if (other.epoch > epoch) epoch = other.epoch;
+  }
+};
+
+/// Per-shard applied-seq watermarks of the latest published global
+/// snapshot, plus the boundary-edge watermark.  Single writer, lock-free
+/// readers.
+///
+/// Publication idiom: the covered entries are plain (relaxed) stores,
+/// ordered before a release store of the epoch word; covers() acquires the
+/// epoch first, so any coverage it reports was really published with (or
+/// before) a global snapshot the caller can observe.  Entries are monotone
+/// non-decreasing, which is what makes the relaxed entry loads safe: a
+/// stale read can only under-report coverage (the caller then falls back to
+/// the condition-variable wait), never over-report it.
+template <typename SyncPolicy>
+class BasicWatermarkVector {
+ public:
+  explicit BasicWatermarkVector(int shards)
+      : covered_(static_cast<std::size_t>(shards)) {
+    LACC_CHECK(shards >= 1);
+  }
+
+  int shards() const { return static_cast<int>(covered_.size()); }
+
+  /// Reconcile thread only: publish the watermarks of global `epoch`.
+  /// Epochs must be strictly increasing; entries must not regress.
+  void publish(std::uint64_t epoch, const std::vector<std::uint64_t>& covered,
+               std::uint64_t boundary_covered) {
+    LACC_CHECK(covered.size() == covered_.size());
+    for (std::size_t s = 0; s < covered_.size(); ++s) {
+      LACC_DCHECK(covered[s] >=
+                  covered_[s].load(std::memory_order_relaxed));
+      covered_[s].store(covered[s], std::memory_order_relaxed);
+    }
+    boundary_covered_.store(boundary_covered, std::memory_order_relaxed);
+    LACC_DCHECK(epoch > epoch_.load(std::memory_order_relaxed));
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
+  /// Latest published global epoch (acquire: a caller that sees epoch e
+  /// also sees e's covered entries through the relaxed getters below).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Covered watermark of one shard (call after epoch()).
+  std::uint64_t covered(int shard) const {
+    return covered_[static_cast<std::size_t>(shard)].load(
+        std::memory_order_relaxed);
+  }
+
+  std::uint64_t boundary_covered() const {
+    return boundary_covered_.load(std::memory_order_relaxed);
+  }
+
+  /// Does some published global snapshot cover every mark of `ticket`?
+  ///
+  /// The covered loads are relaxed, so a positive answer can race slightly
+  /// ahead of the epoch word's release store becoming visible.  That is
+  /// safe for the read path: the router publishes to every replica ring
+  /// *before* storing these watermarks, and a replica lookup acquires the
+  /// ring mutex — an RMW that reads the latest unlock — so any reader that
+  /// observed coverage finds a covering snapshot there.  The release edge
+  /// on epoch_ is what makes the epoch()-then-covered() read sequence
+  /// coherent (see the monotone suite in tests/sched/sched_shard_test.cpp).
+  bool covers(const ShardTicket& ticket) const {
+    for (const auto& [shard, seq] : ticket.marks) {
+      LACC_DCHECK(shard >= 0 &&
+                  static_cast<std::size_t>(shard) < covered_.size());
+      if (covered_[static_cast<std::size_t>(shard)].load(
+              std::memory_order_relaxed) < seq)
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  template <typename T>
+  using Atomic = typename SyncPolicy::template atomic<T>;
+
+  std::vector<Atomic<std::uint64_t>> covered_;
+  Atomic<std::uint64_t> boundary_covered_{0};
+  Atomic<std::uint64_t> epoch_{0};
+};
+
+using WatermarkVector = BasicWatermarkVector<support::StdSyncPolicy>;
+
+}  // namespace lacc::shard

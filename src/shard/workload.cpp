@@ -1,0 +1,172 @@
+#include "shard/workload.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lacc::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// splitmix64: per-thread deterministic request stream.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t x = state;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+void merge_into(ShardWorkloadReport& total, const ShardWorkloadReport& part) {
+  total.writes_attempted += part.writes_attempted;
+  total.writes_accepted += part.writes_accepted;
+  total.writes_shed += part.writes_shed;
+  total.reads += part.reads;
+  total.read_errors += part.read_errors;
+  total.session_reads += part.session_reads;
+  total.session_violations += part.session_violations;
+  total.pinned_reads += part.pinned_reads;
+  total.pinned_misses += part.pinned_misses;
+  total.held_pins += part.held_pins;
+  total.held_pin_losses += part.held_pin_losses;
+}
+
+}  // namespace
+
+ShardWorkloadReport run_shard_workload(Router& router,
+                                       const graph::EdgeList& stream,
+                                       const ShardWorkloadOptions& options) {
+  const int writers = options.writers < 0 ? 0 : options.writers;
+  const int readers = options.readers < 0 ? 0 : options.readers;
+  const auto start = Clock::now();
+  const auto deadline =
+      options.duration_s > 0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(options.duration_s))
+          : Clock::time_point::max();
+
+  std::atomic<bool> done{false};
+  std::mutex report_mu;
+  ShardWorkloadReport total;
+
+  auto writer_main = [&](int id) {
+    ShardWorkloadReport r;
+    // Round-robin partition: writer id replays edges id, id+W, id+2W, ...
+    // The session ticket accumulates across this writer's accepted writes,
+    // so the check demands coverage of the whole session, not just the
+    // latest write — the stronger cross-shard guarantee.
+    ShardTicket session;
+    for (std::size_t i = static_cast<std::size_t>(id);
+         i < stream.edges.size(); i += static_cast<std::size_t>(writers)) {
+      if (Clock::now() >= deadline) break;
+      const graph::Edge e = stream.edges[i];
+      ++r.writes_attempted;
+      const ShardWriteResult w = router.insert_edge(e.u, e.v);
+      if (w.status == serve::ServeStatus::kShed) {
+        ++r.writes_shed;
+        continue;
+      }
+      if (w.status != serve::ServeStatus::kOk) {
+        ++r.read_errors;
+        continue;
+      }
+      ++r.writes_accepted;
+      session.merge(w.ticket);
+      if (options.session_every != 0 &&
+          r.writes_accepted % options.session_every == 0) {
+        // Read-your-writes across the hop: with the ticket, a replica read
+        // must observe this session's own edge.
+        ++r.session_reads;
+        const serve::ReadResult q = router.same_component(e.u, e.v, session);
+        if (q.status != serve::ServeStatus::kOk || !q.same)
+          ++r.session_violations;
+      }
+    }
+    std::lock_guard<std::mutex> lock(report_mu);
+    merge_into(total, r);
+  };
+
+  auto reader_main = [&](int id) {
+    ShardWorkloadReport r;
+    Rng rng{options.seed * 0x2545f4914f6cdd1dull + 0x5678ull + id};
+    const VertexId n = router.num_vertices();
+    // Each reader sticks to one replica, so per-replica counters reflect a
+    // stable reader assignment (and the round-robin path is covered by the
+    // writers' session reads).
+    const int replica = id % router.replicas();
+    while (!done.load(std::memory_order_acquire)) {
+      ++r.reads;
+      const auto u = static_cast<VertexId>(rng.below(n));
+      const auto v = static_cast<VertexId>(rng.below(n));
+      if (options.pinned_every != 0 && r.reads % options.pinned_every == 0) {
+        const std::uint64_t cur = router.snapshot(replica)->epoch();
+        const std::uint64_t pin = rng.below(cur + 3);
+        ++r.pinned_reads;
+        if (options.hold_every != 0 &&
+            r.pinned_reads % options.hold_every == 0 &&
+            router.pin(pin, replica) == GlobalSnapshotRing::Lookup::kOk) {
+          // Hold the pin across a few latest-reads (time in which the
+          // reconcile may evict the epoch from the ring), then demand the
+          // epoch is *still* readable.
+          for (int k = 0; k < 8; ++k)
+            if (router.component_of(u, {}, replica).status !=
+                serve::ServeStatus::kOk)
+              ++r.read_errors;
+          const serve::ReadResult held =
+              router.same_component_at(pin, u, v, replica);
+          if (held.status != serve::ServeStatus::kOk) ++r.held_pin_losses;
+          router.unpin(pin, replica);
+          ++r.held_pins;
+        } else {
+          const serve::ReadResult q =
+              router.same_component_at(pin, u, v, replica);
+          if (q.status == serve::ServeStatus::kRetiredEpoch ||
+              q.status == serve::ServeStatus::kFutureEpoch)
+            ++r.pinned_misses;
+          else if (q.status != serve::ServeStatus::kOk)
+            ++r.read_errors;
+        }
+      } else if (rng.below(4) == 0) {
+        if (router.component_of(u, {}, replica).status !=
+            serve::ServeStatus::kOk)
+          ++r.read_errors;
+      } else {
+        if (router.same_component(u, v, {}, replica).status !=
+            serve::ServeStatus::kOk)
+          ++r.read_errors;
+      }
+    }
+    std::lock_guard<std::mutex> lock(report_mu);
+    merge_into(total, r);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(writers + readers));
+  for (int i = 0; i < readers; ++i) threads.emplace_back(reader_main, i);
+  for (int i = 0; i < writers; ++i) threads.emplace_back(writer_main, i);
+
+  // Writers are the tail of `threads`; join them first, then flush so the
+  // readers' last observations cover every accepted write, then release
+  // the readers.
+  for (int i = 0; i < writers; ++i)
+    threads[static_cast<std::size_t>(readers + i)].join();
+  if (writers == 0 && options.duration_s > 0)
+    std::this_thread::sleep_until(deadline);
+  router.flush();
+  done.store(true, std::memory_order_release);
+  for (int i = 0; i < readers; ++i) threads[static_cast<std::size_t>(i)].join();
+
+  total.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return total;
+}
+
+}  // namespace lacc::shard

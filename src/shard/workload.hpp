@@ -1,0 +1,65 @@
+// Mixed read/write workload replay against a lacc::shard::Router — the
+// shared driver behind examples/lacc_shard_cli and bench/bench_shard.
+//
+// The shard analogue of serve::run_mixed_workload: writer threads replay a
+// round-robin-partitioned edge stream through the router (so writes fan out
+// across shards by hash), reader threads hammer the replicas with random
+// point/pair/pinned queries.  Session writes re-read their own edge through
+// a *replica* with the ShardTicket — the read-your-writes-across-the-hop
+// guarantee, verified online.  A fraction of pinned reads additionally
+// pin() the epoch on a replica, read it again after more epochs have been
+// published, and unpin() — exercising retention-ring pinning under the
+// advancing router.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "shard/router.hpp"
+
+namespace lacc::shard {
+
+struct ShardWorkloadOptions {
+  int readers = 4;
+  int writers = 2;
+  /// Wall-clock cap; 0 replays the whole edge stream.  Readers always run
+  /// until the writers are done and the router is flushed.
+  double duration_s = 0;
+  std::uint64_t seed = 1;
+  /// Every k-th accepted write does a ticketed read-your-writes check
+  /// through a replica (0 disables).
+  std::uint32_t session_every = 16;
+  /// Every k-th read targets a pinned global epoch instead of latest
+  /// (0 disables).
+  std::uint32_t pinned_every = 32;
+  /// Every k-th pinned read pin()s its epoch, re-reads it after the router
+  /// has advanced, then unpin()s — the retention-pinning exercise
+  /// (0 disables).
+  std::uint32_t hold_every = 4;
+};
+
+struct ShardWorkloadReport {
+  std::uint64_t writes_attempted = 0;
+  std::uint64_t writes_accepted = 0;
+  std::uint64_t writes_shed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t read_errors = 0;  ///< unexpected statuses (not pinned misses)
+  std::uint64_t session_reads = 0;
+  /// Ticketed replica reads that did NOT observe the session's own write —
+  /// must be zero; anything else is a consistency bug.
+  std::uint64_t session_violations = 0;
+  std::uint64_t pinned_reads = 0;
+  std::uint64_t pinned_misses = 0;  ///< kRetiredEpoch / kFutureEpoch answers
+  std::uint64_t held_pins = 0;      ///< pin/re-read/unpin cycles completed
+  /// Pinned epochs that went unreadable while held — must be zero (the
+  /// retention-ring pinning guarantee).
+  std::uint64_t held_pin_losses = 0;
+  double wall_seconds = 0;
+};
+
+/// Run the workload to completion (all threads joined before returning).
+ShardWorkloadReport run_shard_workload(Router& router,
+                                       const graph::EdgeList& stream,
+                                       const ShardWorkloadOptions& options);
+
+}  // namespace lacc::shard

@@ -222,11 +222,27 @@ graph::CanonicalizeStats StreamEngine::ingest(graph::EdgeList batch) {
   LACC_CHECK_MSG(batch.n == n_, "batch vertex count " << batch.n
                                                       << " != engine's " << n_);
   const graph::CanonicalizeStats stats = graph::canonicalize_counted(batch);
-  pending_batch_edges_ += stats.kept;
+  // Sharded engines park cross-shard edges instead of folding them in: the
+  // graph (and therefore the canonical-label contract) covers owned-owned
+  // edges only, and the parked edges surface at the next epoch commit via
+  // take_extracted_boundary() for the router's cross-shard reconcile.
+  if (options_.shard_filter_enabled()) {
+    std::size_t keep = 0;
+    for (const graph::Edge& e : batch.edges) {
+      if (options_.shards.owner(e.u) == options_.shard &&
+          options_.shards.owner(e.v) == options_.shard)
+        batch.edges[keep++] = e;
+      else
+        pending_boundary_.push_back(e);
+    }
+    batch.edges.resize(keep);
+  }
+  pending_batch_edges_ += batch.edges.size();
   // Nothing survived canonicalization (empty batch, or all self-loops and
-  // duplicates): skip the SPMD session entirely — no modeled time, no delta
-  // run, no WAL record.  Uniform by construction (one host-side decision).
-  if (stats.kept == 0) return stats;
+  // duplicates) or the shard filter: skip the SPMD session entirely — no
+  // modeled time, no delta run, no WAL record.  Uniform by construction
+  // (one host-side decision).
+  if (batch.edges.empty()) return stats;
 
   const auto spmd = sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
     ProcGrid grid(world);
@@ -246,6 +262,17 @@ EpochStats StreamEngine::advance_epoch() {
   st.ingest_modeled_seconds = pending_ingest_modeled_;
   pending_batch_edges_ = 0;
   pending_ingest_modeled_ = 0;
+  // Boundary-edge extraction at epoch commit: parked cross-shard edges
+  // become visible to take_extracted_boundary() exactly when the epoch that
+  // ingested them commits, so the router never reconciles an edge whose
+  // ticket has not yet reached the shard's applied watermark.
+  if (!pending_boundary_.empty()) {
+    st.boundary_extracted = pending_boundary_.size();
+    extracted_boundary_.insert(extracted_boundary_.end(),
+                               pending_boundary_.begin(),
+                               pending_boundary_.end());
+    pending_boundary_.clear();
+  }
 
   const CommTuning tuning = tuning_from(options_.lacc);
   const VertexId n = n_;
@@ -507,6 +534,12 @@ EpochStats StreamEngine::advance_epoch() {
   last_spmd_ = std::move(spmd);
   history_.push_back(st);
   return st;
+}
+
+std::vector<graph::Edge> StreamEngine::take_extracted_boundary() {
+  std::vector<graph::Edge> out;
+  out.swap(extracted_boundary_);
+  return out;
 }
 
 durable::DurabilityStats StreamEngine::durability_stats() const {

@@ -45,6 +45,7 @@
 #include "sim/machine.hpp"
 #include "sim/runtime.hpp"
 #include "stream/durable/options.hpp"
+#include "support/partition.hpp"
 #include "support/types.hpp"
 
 namespace lacc::stream {
@@ -78,6 +79,18 @@ struct StreamOptions {
   /// bit-identical whether or not this is enabled; durability only adds
   /// host-side disk I/O outside the cost model.
   durable::Options durable;
+
+  /// Sharded serving (lacc::shard): when `shards.shards > 1` this engine is
+  /// one shard of a partitioned vertex space.  Ingested edges whose
+  /// endpoints are not both owned by `shard` never enter the graph; they
+  /// are parked and extracted at the next epoch commit (see
+  /// take_extracted_boundary) so the router can feed them to the cross-shard
+  /// reconcile.  The engine's canonical-label contract then holds over the
+  /// *owned-owned* edge prefix.
+  ShardPartition shards;
+  int shard = 0;  ///< this engine's shard id in [0, shards.shards)
+
+  bool shard_filter_enabled() const { return shards.shards > 1; }
 };
 
 /// What one advance_epoch() did (the streaming analogue of
@@ -91,6 +104,7 @@ struct EpochStats {
   std::uint64_t merges = 0;          ///< components merged away this epoch
   std::uint64_t components = 0;      ///< components after the epoch
   std::uint64_t relabeled_vertices = 0;  ///< labels that changed
+  std::uint64_t boundary_extracted = 0;  ///< cross-shard edges parked this epoch
   bool full_rebuild = false;  ///< took the lacc_dist fallback path
   bool compacted = false;     ///< delta runs merged into the DCSC base
   int iterations = 0;  ///< hook/shortcut rounds (or lacc_dist iterations)
@@ -136,6 +150,13 @@ class StreamEngine {
   /// labels (incrementally or via full recompute per StreamOptions) and
   /// start a new epoch.  Valid with no pending edges (an empty epoch).
   EpochStats advance_epoch();
+
+  /// Boundary-edge extraction at epoch commit (sharded engines only):
+  /// cross-shard edges ingested since the previous epoch, moved out.  The
+  /// epoch that committed them is the engine's current epoch(); a caller
+  /// that drains after every advance_epoch sees each boundary edge exactly
+  /// once.  Always empty when the shard filter is off.
+  std::vector<graph::Edge> take_extracted_boundary();
 
   /// Component label of v at the current epoch (canonical min-vertex-id).
   VertexId component_of(VertexId v) const;
@@ -193,6 +214,10 @@ class StreamEngine {
   std::vector<EpochStats> history_;
 
   EdgeId pending_batch_edges_ = 0;
+  /// Cross-shard edges parked by the shard filter: accumulated during
+  /// ingest, moved to extracted_boundary_ when their epoch commits.
+  std::vector<graph::Edge> pending_boundary_;
+  std::vector<graph::Edge> extracted_boundary_;
   double pending_ingest_modeled_ = 0;
   double total_modeled_ = 0;
   sim::SpmdResult last_spmd_;

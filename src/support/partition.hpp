@@ -13,6 +13,33 @@
 
 namespace lacc {
 
+/// Hash partition of the vertex id space over `shards` owners.
+///
+/// The serving router and the stream engine's boundary filter must agree on
+/// which shard owns a vertex, so the mapping lives here in the support layer
+/// (below both).  A hash — not a block split — spreads the dense low-id
+/// community structure of generated graphs evenly across shards; the
+/// splitmix64 finalizer is the same mixer the serve pair cache uses.
+struct ShardPartition {
+  int shards = 1;
+
+  ShardPartition() = default;
+  explicit ShardPartition(int shards_) : shards(shards_) {
+    LACC_CHECK(shards >= 1);
+  }
+
+  /// Shard that owns vertex id `v`.  Identity-free: depends only on (v,
+  /// shards), so every layer computes the same owner with no shared state.
+  int owner(std::uint64_t v) const {
+    if (shards == 1) return 0;
+    std::uint64_t x = v + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<int>(x % static_cast<std::uint64_t>(shards));
+  }
+};
+
 /// Even block partition of [0, n) into `parts` contiguous blocks.
 struct BlockPartition {
   std::uint64_t n = 0;

@@ -1,4 +1,4 @@
-// lacc-metrics-v5 emitter: the document structure consumed by
+// lacc-metrics-v6 emitter: the document structure consumed by
 // tools/check_obs_json.py and the perf trajectory.
 #include "obs/metrics.hpp"
 
@@ -27,13 +27,15 @@ TEST(Metrics, SerialRunRecord) {
   auto rec = obs::make_run_record("serial", 0, {}, 0.0, 1.5,
                                   {{"edges", 42.0}});
   const std::string json = emit({std::move(rec)});
-  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v5\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v6\""), std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"metrics_test\""), std::string::npos);
   // Static runs never carry the streaming-only epochs array, the
-  // serving-only serve block, or the durable-only durability block.
+  // serving-only serve block, the durable-only durability block, or the
+  // sharding-only shard block.
   EXPECT_EQ(json.find("\"epochs\""), std::string::npos);
   EXPECT_EQ(json.find("\"serve\""), std::string::npos);
   EXPECT_EQ(json.find("\"durability\""), std::string::npos);
+  EXPECT_EQ(json.find("\"shard\""), std::string::npos);
   EXPECT_NE(json.find("\"word_bytes\":8"), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"serial\""), std::string::npos);
   EXPECT_NE(json.find("\"ranks\":0"), std::string::npos);
@@ -93,6 +95,21 @@ TEST(Metrics, DurableRunEmitsDurabilityBlock) {
   const std::string json = emit({std::move(rec)});
   EXPECT_NE(json.find("\"durability\":{\"wal_records\":24,"
                       "\"fsyncs\":30,\"recovered\":1}"),
+            std::string::npos);
+}
+
+TEST(Metrics, ShardedRunEmitsNestedShardBlock) {
+  auto rec = obs::make_run_record("sharded", 0, {}, 0.0, 0.5);
+  rec.shard = {{"shards", 2.0}, {"global_epochs", 7.0}};
+  rec.shard_per_shard.push_back({{"shard", 0.0}, {"boundary_raw", 3.0}});
+  rec.shard_per_shard.push_back({{"shard", 1.0}, {"boundary_raw", 3.0}});
+  rec.shard_per_replica.push_back({{"replica", 0.0}, {"reads", 100.0}});
+  const std::string json = emit({std::move(rec)});
+  EXPECT_NE(json.find("\"shard\":{\"totals\":{\"shards\":2,"
+                      "\"global_epochs\":7},"
+                      "\"per_shard\":[{\"shard\":0,\"boundary_raw\":3},"
+                      "{\"shard\":1,\"boundary_raw\":3}],"
+                      "\"per_replica\":[{\"replica\":0,\"reads\":100}]}"),
             std::string::npos);
 }
 

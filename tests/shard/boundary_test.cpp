@@ -1,0 +1,122 @@
+// Unit tests for the shard layer's building blocks: BoundaryStore
+// accounting/compaction and the quotient reconcile's label mapping.
+#include "shard/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shard/quotient.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc::shard {
+namespace {
+
+/// A 4-shard partition and, per shard, two distinct vertices it owns.
+struct CrossShardFixture {
+  ShardPartition partition{4};
+  std::vector<VertexId> rep, rep2;
+  CrossShardFixture() : rep(4, kNoVertex), rep2(4, kNoVertex) {
+    for (VertexId v = 0; v < 1000; ++v) {
+      const auto s = static_cast<std::size_t>(partition.owner(v));
+      if (rep[s] == kNoVertex)
+        rep[s] = v;
+      else if (rep2[s] == kNoVertex)
+        rep2[s] = v;
+    }
+  }
+};
+
+TEST(BoundaryStore, CountsBothSidesAndAssignsSeqs) {
+  CrossShardFixture fx;
+  BoundaryStore store(fx.partition, /*record_raw=*/true);
+  std::vector<graph::Edge> batch;
+  batch.push_back({fx.rep[0], fx.rep[1]});
+  batch.push_back({fx.rep[2], fx.rep[3]});
+  store.add(batch);
+  EXPECT_EQ(store.total_raw(), 2u);
+  EXPECT_EQ(store.pending_raw(), 2u);
+  const auto per_shard = store.per_shard_raw();
+  for (int s = 0; s < 4; ++s)
+    EXPECT_EQ(per_shard[static_cast<std::size_t>(s)], 1u) << "shard " << s;
+  ASSERT_EQ(store.raw_log().size(), 2u);
+  EXPECT_EQ(store.raw_log()[0], batch[0]);
+}
+
+TEST(BoundaryStore, DrainDedupesAndRemembersCompactedState) {
+  CrossShardFixture fx;
+  BoundaryStore store(fx.partition, /*record_raw=*/false);
+  // Two raw edges with the same label pair plus one distinct pair.
+  store.add({{fx.rep[0], fx.rep[1]},
+             {fx.rep[1], fx.rep[0]},
+             {fx.rep[2], fx.rep[3]}});
+  const auto identity = [](VertexId v) { return v; };
+  BoundaryStore::Drain d = store.drain_and_compact(identity);
+  EXPECT_EQ(d.raw_drained, 3u);
+  EXPECT_EQ(d.covered_seq, 3u);
+  ASSERT_EQ(d.pairs.size(), 2u);
+  EXPECT_EQ(d.words_moved, 4u);
+  EXPECT_EQ(store.pending_raw(), 0u);
+
+  // Nothing new: the compacted state re-ships unchanged.
+  d = store.drain_and_compact(identity);
+  EXPECT_EQ(d.raw_drained, 0u);
+  EXPECT_EQ(d.covered_seq, 3u);
+  EXPECT_EQ(d.pairs.size(), 2u);
+
+  // Two raw edges between distinct vertex pairs of shards 0 and 1 are
+  // distinct pairs under identity labels — but once each shard's local
+  // component merges (rep2 relabels to rep, a shard-LOCAL merge), the next
+  // compaction folds old and new pairs through the new labels and they
+  // collapse to one.
+  store.add({{fx.rep2[0], fx.rep2[1]}});
+  d = store.drain_and_compact([&](VertexId v) {
+    const auto s = static_cast<std::size_t>(fx.partition.owner(v));
+    return v == fx.rep2[s] ? fx.rep[s] : v;
+  });
+  EXPECT_EQ(d.raw_drained, 1u);
+  EXPECT_EQ(d.covered_seq, 4u);
+  // (rep0, rep1) twice -> once, plus the untouched (rep2-pair of shards
+  // 2/3) from the first round.
+  ASSERT_EQ(d.pairs.size(), 2u);
+}
+
+TEST(BoundaryStore, RejectsIntraShardEdges) {
+  CrossShardFixture fx;
+  BoundaryStore store(fx.partition, false);
+  EXPECT_THROW(store.add({{fx.rep[0], fx.rep[0]}}), Error);
+}
+
+TEST(Quotient, EmptyPairsYieldEmptyMap) {
+  const ReconcileResult r =
+      reconcile_quotient({}, 4, sim::MachineModel{}, {});
+  EXPECT_TRUE(r.qmap.empty());
+  EXPECT_EQ(r.stats.quotient_vertices, 0u);
+}
+
+TEST(Quotient, MapsEveryLabelToItsComponentMinimum) {
+  // Components {1, 5, 9} and {20, 30}; labels are sparse vertex ids.
+  const std::vector<std::pair<VertexId, VertexId>> pairs = {
+      {1, 5}, {5, 9}, {20, 30}};
+  const ReconcileResult r =
+      reconcile_quotient(pairs, 4, sim::MachineModel{}, {});
+  EXPECT_EQ(r.stats.quotient_vertices, 5u);
+  EXPECT_EQ(r.stats.quotient_edges, 3u);
+  EXPECT_GE(r.stats.ranks_used, 1);
+  ASSERT_EQ(r.qmap.size(), 3u);  // identity entries omitted
+  EXPECT_EQ(r.qmap.at(5), 1u);
+  EXPECT_EQ(r.qmap.at(9), 1u);
+  EXPECT_EQ(r.qmap.at(30), 20u);
+  EXPECT_EQ(r.qmap.count(1), 0u);
+  EXPECT_EQ(r.qmap.count(20), 0u);
+}
+
+TEST(Quotient, RanksClampToQuotientSizeAndSquare) {
+  const std::vector<std::pair<VertexId, VertexId>> pairs = {{2, 7}};
+  const ReconcileResult r =
+      reconcile_quotient(pairs, 9, sim::MachineModel{}, {});
+  // min(9 ranks, 2 quotient vertices) -> largest square <= 2 is 1.
+  EXPECT_EQ(r.stats.ranks_used, 1);
+  EXPECT_EQ(r.qmap.at(7), 2u);
+}
+
+}  // namespace
+}  // namespace lacc::shard

@@ -1,0 +1,154 @@
+// Regression suite for retention-ring pinning across the router hop.
+//
+// The bug: serve's SnapshotStore dropped the oldest epoch unconditionally
+// once the ring filled, so a replica session holding ("pinning") a global
+// epoch started seeing kRetiredEpoch as soon as the router published
+// `retain` more reconciles — the router hop makes this easy to hit because
+// the reconcile thread advances epochs on its own clock, independent of
+// the session's reads.  The fix: eviction moves pinned epochs to a side
+// table; at() keeps answering until the last unpin.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+#include "shard/router.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc::shard {
+namespace {
+
+std::shared_ptr<const serve::Snapshot> make_snap(std::uint64_t epoch,
+                                                 VertexId n) {
+  std::vector<VertexId> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v] = v;
+  return std::make_shared<const serve::Snapshot>(epoch, std::move(labels),
+                                                 /*top_k=*/0,
+                                                 /*cache_bits=*/0);
+}
+
+TEST(SnapshotRingPinning, PinnedEpochSurvivesEviction) {
+  serve::SnapshotStore ring(/*retain=*/2);
+  for (std::uint64_t e = 0; e <= 2; ++e) ring.publish(make_snap(e, 4));
+  ASSERT_EQ(ring.oldest_retained(), 1u);
+  ASSERT_EQ(ring.pin(1), serve::SnapshotStore::Lookup::kOk);
+
+  // Push epoch 1 out of the ring; the pin keeps it readable.
+  for (std::uint64_t e = 3; e <= 6; ++e) ring.publish(make_snap(e, 4));
+  EXPECT_EQ(ring.oldest_retained(), 5u);
+  std::shared_ptr<const serve::Snapshot> out;
+  EXPECT_EQ(ring.at(1, out), serve::SnapshotStore::Lookup::kOk);
+  EXPECT_EQ(out->epoch(), 1u);
+  // Unpinned old epochs are gone.
+  EXPECT_EQ(ring.at(2, out), serve::SnapshotStore::Lookup::kRetired);
+
+  // Last unpin releases it.
+  ring.unpin(1);
+  EXPECT_EQ(ring.at(1, out), serve::SnapshotStore::Lookup::kRetired);
+}
+
+TEST(SnapshotRingPinning, PinsAreCountedAndValidated) {
+  serve::SnapshotStore ring(1);
+  ring.publish(make_snap(0, 4));
+  ASSERT_EQ(ring.pin(0), serve::SnapshotStore::Lookup::kOk);
+  ASSERT_EQ(ring.pin(0), serve::SnapshotStore::Lookup::kOk);  // second session
+  ring.publish(make_snap(1, 4));
+
+  std::shared_ptr<const serve::Snapshot> out;
+  ring.unpin(0);  // first session leaves; the second still holds it
+  EXPECT_EQ(ring.at(0, out), serve::SnapshotStore::Lookup::kOk);
+  ring.unpin(0);
+  EXPECT_EQ(ring.at(0, out), serve::SnapshotStore::Lookup::kRetired);
+
+  EXPECT_EQ(ring.pin(99), serve::SnapshotStore::Lookup::kFuture);
+  EXPECT_EQ(ring.pin(0), serve::SnapshotStore::Lookup::kRetired);
+  EXPECT_THROW(ring.unpin(42), Error);
+}
+
+// The race the router hop exposes: replica sessions pin and read while the
+// reconcile thread publishes (and thus evicts) concurrently.  Every read
+// of a held pin must stay kOk for the whole hold.
+TEST(SnapshotRingPinning, PinnedReadsRaceEviction) {
+  serve::SnapshotStore ring(/*retain=*/2);
+  ring.publish(make_snap(0, 8));
+  std::atomic<std::uint64_t> published{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> losses{0};
+
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < 4; ++t) {
+    sessions.emplace_back([&, t] {
+      std::uint64_t holds = 0;
+      while (!stop.load(std::memory_order_acquire) && holds < 200) {
+        const std::uint64_t target =
+            published.load(std::memory_order_acquire);
+        if (ring.pin(target) != serve::SnapshotStore::Lookup::kOk) continue;
+        ++holds;
+        for (int k = 0; k < 16; ++k) {
+          std::shared_ptr<const serve::Snapshot> out;
+          if (ring.at(target, out) != serve::SnapshotStore::Lookup::kOk)
+            losses.fetch_add(1, std::memory_order_relaxed);
+        }
+        ring.unpin(target);
+      }
+    });
+  }
+
+  // Writer: publish well past the retention window while sessions hold.
+  for (std::uint64_t e = 1; e <= 3000; ++e) {
+    ring.publish(make_snap(e, 8));
+    published.store(e, std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& s : sessions) s.join();
+  EXPECT_EQ(losses.load(), 0u);
+}
+
+// End-to-end through the router: a replica pin outlives many reconciles.
+TEST(RouterPinning, ReplicaPinOutlivesRetention) {
+  RouterOptions o;
+  o.shards = 2;
+  o.replicas = 2;
+  o.retain_epochs = 2;  // tiny window: eviction happens fast
+  o.serve.batch_max_edges = 4;
+  o.serve.batch_window_ms = 0.2;
+  o.reconcile_interval_ms = 0.5;
+  Router router(32, 1, sim::MachineModel{}, o);
+
+  // Advance to some epoch and pin it on replica 0.
+  ShardTicket t0;
+  for (VertexId v = 0; v < 6; v += 2) {
+    const auto w = router.insert_edge(v, v + 1);
+    ASSERT_EQ(w.status, serve::ServeStatus::kOk);
+    t0.merge(w.ticket);
+  }
+  ASSERT_EQ(router.component_of(0, t0, 0).status, serve::ServeStatus::kOk);
+  const std::uint64_t pinned = router.snapshot(0)->epoch();
+  ASSERT_EQ(router.pin(pinned, 0), GlobalSnapshotRing::Lookup::kOk);
+
+  // Drive the router far past the retention window: each flushed group of
+  // new writes forces at least one more published global epoch (coverage of
+  // the new seqs requires a fresh watermark publication).
+  for (VertexId g = 0; g < 5; ++g) {
+    for (VertexId v = 6 + 4 * g; v < 10 + 4 * g && v + 1 < 32; ++v)
+      ASSERT_EQ(router.insert_edge(v, v + 1).status,
+                serve::ServeStatus::kOk);
+    router.flush();
+  }
+  EXPECT_GT(router.global_epoch(), pinned + o.retain_epochs);
+
+  // The pinned epoch is still readable on replica 0 — and only there.
+  EXPECT_EQ(router.component_at(pinned, 3, 0).status,
+            serve::ServeStatus::kOk);
+  router.unpin(pinned, 0);
+  router.stop();
+  // After stop (final epoch published), the unpinned epoch has retired.
+  EXPECT_EQ(router.component_at(pinned, 3, 0).status,
+            serve::ServeStatus::kRetiredEpoch);
+}
+
+}  // namespace
+}  // namespace lacc::shard

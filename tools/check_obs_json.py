@@ -3,16 +3,19 @@
 
 Two file formats (docs/OBSERVABILITY.md):
 
-  metrics  lacc-metrics-v1/-v2/-v3/-v4/-v5, written by `lacc_cli --json`,
-           `lacc_stream_cli --json`, `lacc_serve_cli --json`, and by the
-           bench binaries as $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds
-           an optional per-run "epochs" array (streaming runs); v3 adds an
-           optional per-run "serve" scalar block (serving runs, with
-           ordered latency quantiles); v4 adds an optional per-run
-           "prepass" scalar block (sampling pre-pass attribution); v5 adds
-           an optional per-run "durability" scalar block (WAL/run-file
-           counters and recovery info for engines with a data directory).
-           Older files stay valid.
+  metrics  lacc-metrics-v1/-v2/-v3/-v4/-v5/-v6, written by `lacc_cli
+           --json`, `lacc_stream_cli --json`, `lacc_serve_cli --json`,
+           `lacc_shard_cli --json`, and by the bench binaries as
+           $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds an optional
+           per-run "epochs" array (streaming runs); v3 adds an optional
+           per-run "serve" scalar block (serving runs, with ordered latency
+           quantiles); v4 adds an optional per-run "prepass" scalar block
+           (sampling pre-pass attribution); v5 adds an optional per-run
+           "durability" scalar block (WAL/run-file counters and recovery
+           info for engines with a data directory); v6 adds an optional
+           per-run "shard" object (sharded serving: reconcile totals plus
+           "per_shard"/"per_replica" arrays keyed by strictly increasing
+           "shard"/"replica" ids).  Older files stay valid.
   trace    Chrome trace-event JSON, written by `lacc_cli --trace-out` and
            `lacc_serve_cli --trace-out` (schema tag lacc-trace-v1 in
            otherData).
@@ -36,17 +39,19 @@ import json
 import math
 import sys
 
-METRICS_SCHEMA = "lacc-metrics-v5"
+METRICS_SCHEMA = "lacc-metrics-v6"
 # Older files remain valid as long as they omit the newer optional blocks:
 # "epochs" needs v2+, "serve" needs v3+, "prepass" needs v4+, "durability"
-# needs v5.
+# needs v5+, "shard" needs v6.
 METRICS_SCHEMAS = {"lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3",
-                   "lacc-metrics-v4", "lacc-metrics-v5"}
+                   "lacc-metrics-v4", "lacc-metrics-v5", "lacc-metrics-v6"}
 EPOCHS_SCHEMAS = {"lacc-metrics-v2", "lacc-metrics-v3", "lacc-metrics-v4",
-                  "lacc-metrics-v5"}
-SERVE_SCHEMAS = {"lacc-metrics-v3", "lacc-metrics-v4", "lacc-metrics-v5"}
-PREPASS_SCHEMAS = {"lacc-metrics-v4", "lacc-metrics-v5"}
-DURABILITY_SCHEMAS = {"lacc-metrics-v5"}
+                  "lacc-metrics-v5", "lacc-metrics-v6"}
+SERVE_SCHEMAS = {"lacc-metrics-v3", "lacc-metrics-v4", "lacc-metrics-v5",
+                 "lacc-metrics-v6"}
+PREPASS_SCHEMAS = {"lacc-metrics-v4", "lacc-metrics-v5", "lacc-metrics-v6"}
+DURABILITY_SCHEMAS = {"lacc-metrics-v5", "lacc-metrics-v6"}
+SHARD_SCHEMAS = {"lacc-metrics-v6"}
 TRACE_SCHEMA = "lacc-trace-v1"
 
 # Every per-phase aggregate entry carries exactly these keys.
@@ -161,6 +166,56 @@ def _check_durability(path: str, durability: object) -> None:
         _fail(path, "replayed_wal_records nonzero without recovered=1")
 
 
+def _check_keyed_array(path: str, entries: object, id_key: str) -> None:
+    """A per-shard/per-replica array: scalar blocks keyed by a strictly
+    increasing integer id, with no negative values (everything in these
+    blocks is a count, a latency, or an id)."""
+    if not isinstance(entries, list) or not entries:
+        _fail(path, "must be a non-empty array")
+    last_id = None
+    for i, entry in enumerate(entries):
+        epath = f"{path}[{i}]"
+        _check_scalars(epath, entry)
+        if id_key not in entry:
+            _fail(epath, f"missing {id_key!r} key")
+        if last_id is not None and entry[id_key] <= last_id:
+            _fail(f"{epath}.{id_key}",
+                  f"not strictly increasing ({entry[id_key]} after "
+                  f"{last_id})")
+        last_id = entry[id_key]
+        for key, value in entry.items():
+            if value < 0:
+                _fail(f"{epath}.{key}", f"negative value {value}")
+        quantiles = [entry.get(f"read_p{q}_ms") for q in (50, 95, 99)]
+        present = [q for q in quantiles if q is not None]
+        if present != sorted(present):
+            _fail(epath, f"read latency quantiles not ordered: {quantiles}")
+
+
+def _check_shard(path: str, shard: object) -> None:
+    """The v6 shard object: {"totals": {...}, "per_shard": [...],
+    "per_replica": [...]} with the arrays optional."""
+    if not isinstance(shard, dict) or not shard:
+        _fail(path, "shard must be a non-empty object")
+    extra = shard.keys() - {"totals", "per_shard", "per_replica"}
+    if extra:
+        _fail(path, f"unknown keys {sorted(extra)}")
+    if "totals" not in shard:
+        _fail(path, "missing 'totals' key")
+    totals = shard["totals"]
+    if not isinstance(totals, dict) or not totals:
+        _fail(f"{path}.totals", "must be a non-empty object")
+    _check_scalars(f"{path}.totals", totals)
+    for key, value in totals.items():
+        if value < 0:
+            _fail(f"{path}.totals.{key}", f"negative value {value}")
+    if "per_shard" in shard:
+        _check_keyed_array(f"{path}.per_shard", shard["per_shard"], "shard")
+    if "per_replica" in shard:
+        _check_keyed_array(f"{path}.per_replica", shard["per_replica"],
+                           "replica")
+
+
 def check_metrics(doc: object, path: str = "metrics") -> None:
     """Validate one parsed lacc-metrics-v1/v2 document."""
     if not isinstance(doc, dict):
@@ -209,6 +264,11 @@ def check_metrics(doc: object, path: str = "metrics") -> None:
                 _fail(f"{rpath}.durability", f"only allowed under "
                       f"{sorted(DURABILITY_SCHEMAS)}, file is {schema!r}")
             _check_durability(f"{rpath}.durability", run["durability"])
+        if "shard" in run:
+            if schema not in SHARD_SCHEMAS:
+                _fail(f"{rpath}.shard", f"only allowed under "
+                      f"{sorted(SHARD_SCHEMAS)}, file is {schema!r}")
+            _check_shard(f"{rpath}.shard", run["shard"])
         _check_phase_entry(f"{rpath}.total", run["total"])
         if not isinstance(run["phases"], dict):
             _fail(f"{rpath}.phases", "must be an object")
@@ -347,7 +407,7 @@ def self_test() -> int:
 
     # Older files stay valid as long as they omit the newer blocks.
     for old in ("lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3",
-                "lacc-metrics-v4"):
+                "lacc-metrics-v4", "lacc-metrics-v5"):
         doc = _metrics_doc()
         doc["schema"] = old
         _expect_ok(doc)
@@ -479,6 +539,86 @@ def self_test() -> int:
 
     bad = _metrics_doc()
     bad["runs"][0]["durability"] = {"note": "text"}  # non-number
+    _expect_invalid(bad)
+
+    # The v6 shard object: totals + keyed per_shard/per_replica arrays.
+    def _shard_block() -> dict:
+        return {
+            "totals": {"shards": 2, "replicas": 2, "global_epochs": 7,
+                       "reconcile_rounds": 9, "boundary_raw_total": 12,
+                       "boundary_words_moved": 48, "ticket_waits": 3},
+            "per_shard": [
+                {"shard": 0, "applied_seq": 40, "boundary_raw": 6},
+                {"shard": 1, "applied_seq": 38, "boundary_raw": 6},
+            ],
+            "per_replica": [
+                {"replica": 0, "reads": 500, "read_p50_ms": 0.1,
+                 "read_p95_ms": 0.4, "read_p99_ms": 0.9},
+                {"replica": 1, "reads": 480, "read_p50_ms": 0.1,
+                 "read_p95_ms": 0.5, "read_p99_ms": 1.1},
+            ],
+        }
+
+    ok = _metrics_doc()
+    ok["runs"][0]["shard"] = _shard_block()
+    _expect_ok(ok)
+
+    ok = _metrics_doc()
+    ok["runs"][0]["shard"] = {"totals": {"shards": 1}}  # arrays optional
+    _expect_ok(ok)
+
+    bad = _metrics_doc()
+    bad["schema"] = "lacc-metrics-v5"
+    bad["runs"][0]["shard"] = _shard_block()  # shard is v6-only
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = {}  # must be non-empty when present
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = {"per_shard": [{"shard": 0}]}  # no totals
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = _shard_block()
+    bad["runs"][0]["shard"]["extras"] = {}  # unknown key
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = _shard_block()
+    del bad["runs"][0]["shard"]["per_shard"][1]["shard"]  # missing id
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = _shard_block()
+    bad["runs"][0]["shard"]["per_shard"][1]["shard"] = 0  # not increasing
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = _shard_block()
+    bad["runs"][0]["shard"]["per_replica"][0]["replica"] = 5
+    # per_replica ids must also increase (5 then 1).
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = _shard_block()
+    bad["runs"][0]["shard"]["per_shard"][0]["boundary_raw"] = -1
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = _shard_block()
+    bad["runs"][0]["shard"]["totals"]["ticket_waits"] = -3
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = _shard_block()
+    bad["runs"][0]["shard"]["per_replica"][0]["read_p50_ms"] = 2.0
+    _expect_invalid(bad)  # replica read quantiles out of order
+
+    bad = _metrics_doc()
+    bad["runs"][0]["shard"] = _shard_block()
+    bad["runs"][0]["shard"]["totals"]["note"] = "text"  # non-number
     _expect_invalid(bad)
 
     bad = _metrics_doc()

@@ -22,8 +22,11 @@ Static rules that complement the runtime conformance checker
       allocation-free stable radix helpers in support/sort.hpp; a
       comparator sort allocates (introsort spills) and is not stable —
       and in the delta store an unstable sort would break the sorted-run
-      invariant the merge path relies on.  Scope: src/dist/ops.cpp and
-      src/stream/*.cpp.
+      invariant the merge path relies on.  The shard layer's boundary
+      compaction and quotient build sort label pairs on the reconcile
+      thread with the same helpers (stability is what lets two single-key
+      radix passes compose into pair order).  Scope: src/dist/ops.cpp,
+      src/stream/*.cpp, and src/shard/*.cpp.
 
   heap-alloc-hot-path
       A local std::vector declaration in the arena-managed kernel hot
@@ -300,6 +303,18 @@ STREAM_RULES = [
      "the stable radix helpers in support/sort.hpp"),
 ]
 
+# The shard layer's reconcile path (boundary compaction, quotient build)
+# sorts label pairs with two stable single-key radix passes; a comparator
+# sort is unstable (breaking the pair-order composition) and allocates on
+# the reconcile thread.  As with the stream rules, the vector/arena rules
+# do not apply: shard structures are long-lived router state.
+SHARD_RULES = [
+    ("raw-sort", RAW_SORT_RE,
+     "comparator sort in the shard reconcile path; sort with the stable "
+     "radix helpers in support/sort.hpp (two stable single-key passes "
+     "compose into pair order)"),
+]
+
 # Tree-wide: a detached thread can never be joined, so shutdown order is
 # nondeterministic and TSan loses the happens-before edge at thread exit.
 THREAD_RULES = [
@@ -352,6 +367,12 @@ def lint_tree(root):
             check_line_rules(str(path.relative_to(root)),
                              path.read_text(encoding="utf-8"), findings,
                              STREAM_RULES)
+    shard = root / "src" / "shard"
+    if shard.is_dir():
+        for path in sorted(shard.rglob("*.cpp")):
+            check_line_rules(str(path.relative_to(root)),
+                             path.read_text(encoding="utf-8"), findings,
+                             SHARD_RULES)
     return findings
 
 
@@ -475,6 +496,20 @@ SELF_TESTS_STREAM = [
 ]
 
 
+SELF_TESTS_SHARD = [
+    ("raw sort in reconcile path", "std::sort(pairs.begin(), pairs.end());",
+     "raw-sort"),
+    ("stable sort in reconcile path",
+     "std::stable_sort(reps.begin(), reps.end());", "raw-sort"),
+    ("radix is fine",
+     "radix_sort_by(pairs, scratch, second_key, max_label);", None),
+    ("unique is fine",
+     "pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());",
+     None),
+    ("vector state is fine", "  std::vector<VertexId> reps;", None),
+]
+
+
 def self_test():
     failures = 0
     for name, snippet, expected in SELF_TESTS:
@@ -487,6 +522,7 @@ def self_test():
             failures += 1
     for rules_list, cases in ((HOT_PATH_RULES, SELF_TESTS_HOT),
                               (STREAM_RULES, SELF_TESTS_STREAM),
+                              (SHARD_RULES, SELF_TESTS_SHARD),
                               (THREAD_RULES, SELF_TESTS_THREADS),
                               (IO_RULES, SELF_TESTS_IO)):
         for name, snippet, expected in cases:
@@ -507,8 +543,8 @@ def self_test():
                   f"{[f[2] for f in findings]}")
             failures += 1
     total = (len(SELF_TESTS) + len(SELF_TESTS_HOT) + len(SELF_TESTS_STREAM) +
-             len(SELF_TESTS_THREADS) + len(SELF_TESTS_ATOMIC) +
-             len(SELF_TESTS_IO))
+             len(SELF_TESTS_SHARD) + len(SELF_TESTS_THREADS) +
+             len(SELF_TESTS_ATOMIC) + len(SELF_TESTS_IO))
     print(f"self-test: {total - failures}/{total} passed")
     return failures == 0
 
