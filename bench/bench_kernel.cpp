@@ -1,0 +1,190 @@
+// bench_kernel — the analytics substrate served from epoch snapshots.
+//
+// Sweeps the three semiring kernels (BFS, PageRank, triangle counting) over
+// two structural regimes (RMAT power-law, mesh3d stencil) and the rank
+// counts the kernel tests pin (1, 4, 9).  Every cell is verified against
+// the serial reference oracles before it is printed, and the bench asserts
+// the determinism contract: BFS distances and triangle counts bit-identical
+// across rank counts, PageRank pinned by tolerance (summation order moves
+// with the grid).  Modeled seconds come from the same alpha-beta-work cost
+// model as the LACC benches.
+//
+// With LACC_METRICS_OUT set, writes BENCH_kernel.json (lacc-metrics-v7)
+// carrying one run per graph x ranks with the per-kernel "kernels" block.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "kernel/kernels.hpp"
+#include "kernel/reference.hpp"
+#include "kernel/view.hpp"
+
+namespace lacc::bench {
+namespace {
+
+constexpr VertexId kSource = 0;
+
+struct Workload {
+  std::string name;
+  graph::EdgeList graph;
+};
+
+std::vector<Workload> make_workloads() {
+  const double scale = problem_scale();
+  std::vector<Workload> loads;
+  {
+    const int rmat_scale =
+        std::max(8, static_cast<int>(std::lround(11 + std::log2(scale))));
+    const auto edges =
+        static_cast<EdgeId>((VertexId{1} << rmat_scale) * 8);
+    loads.push_back({"rmat", graph::rmat(rmat_scale, edges, /*seed=*/5)});
+  }
+  {
+    const auto side = std::max<VertexId>(
+        6, static_cast<VertexId>(std::lround(16 * std::cbrt(scale))));
+    loads.push_back({"mesh3d", graph::mesh3d(side, side, side)});
+  }
+  return loads;
+}
+
+struct Cell {
+  kernel::BfsResult bfs;
+  kernel::PageRankResult pr;
+  kernel::TriangleCountResult tc;
+};
+
+/// Run all three kernels on one view and verify each against its oracle.
+Cell run_cell(const Workload& load, const kernel::GraphView& view,
+              const kernel::KernelOptions& options) {
+  Cell cell;
+  cell.bfs = kernel::bfs(view, kSource, options);
+  if (cell.bfs.dist != kernel::reference_bfs_distances(load.graph, kSource))
+    throw Error("BFS distances disagree with the reference oracle");
+
+  cell.pr = kernel::pagerank(view, options);
+  // Elementwise against the oracle: symmetric meshes carry analytically
+  // tied ranks, so a top-k id comparison would flip on last-bit rounding.
+  const auto truth = kernel::reference_pagerank(
+      load.graph, options.damping, options.tolerance, options.max_iterations);
+  if (cell.pr.rank.size() != truth.size())
+    throw Error("PageRank vector size disagrees with the reference oracle");
+  for (std::size_t v = 0; v < truth.size(); ++v) {
+    if (std::abs(cell.pr.rank[v] - truth[v]) > 1e-8)
+      throw Error("PageRank disagrees with the reference oracle");
+  }
+
+  cell.tc = kernel::triangle_count(view, options);
+  if (cell.tc.triangles != kernel::reference_triangle_count(load.graph))
+    throw Error("triangle count disagrees with the reference oracle");
+  return cell;
+}
+
+}  // namespace
+}  // namespace lacc::bench
+
+int main() {
+  using namespace lacc;
+  using namespace lacc::bench;
+
+  print_banner("bench_kernel — analytics kernels over epoch snapshots",
+               "multi-kernel extension of the GraphBLAS machinery (the "
+               "mxv/SpGEMM shapes of Sections IV-V with swapped semirings)");
+  Metrics metrics("kernel");
+
+  const auto machine = sim::MachineModel::edison();
+  const kernel::KernelOptions options;
+  const int ranks_sweep[] = {1, 4, 9};
+
+  try {
+    for (const Workload& load : make_workloads()) {
+      std::cout << "Workload: " << load.name << ", "
+                << fmt_count(load.graph.n) << " vertices, "
+                << fmt_count(load.graph.edges.size()) << " edges\n";
+      TextTable table(
+          {"ranks", "kernel", "rounds", "result", "modeled", "words"});
+      const Cell* base = nullptr;
+      Cell first;
+      for (const int ranks : ranks_sweep) {
+        const auto view =
+            kernel::GraphView::from_edges(load.graph, ranks, machine);
+        const Cell cell = run_cell(load, view, options);
+        if (base == nullptr) {
+          first = cell;
+          base = &first;
+        } else {
+          // The determinism contract across rank counts: exact for BFS and
+          // TC, tolerance-pinned for PageRank.
+          if (cell.bfs.dist != base->bfs.dist)
+            throw Error("BFS distances differ across rank counts");
+          if (cell.tc.triangles != base->tc.triangles)
+            throw Error("triangle counts differ across rank counts");
+        }
+        table.add_row({fmt_count(ranks), "bfs",
+                       fmt_count(cell.bfs.stats.rounds),
+                       fmt_count(cell.bfs.reached) + " reached",
+                       fmt_seconds(cell.bfs.stats.modeled_seconds),
+                       fmt_count(cell.bfs.stats.words_moved)});
+        table.add_row({fmt_count(ranks), "pagerank",
+                       fmt_count(cell.pr.stats.rounds),
+                       (cell.pr.converged ? "converged" : "iter-capped"),
+                       fmt_seconds(cell.pr.stats.modeled_seconds),
+                       fmt_count(cell.pr.stats.words_moved)});
+        table.add_row({fmt_count(ranks), "tc",
+                       fmt_count(cell.tc.stats.rounds),
+                       fmt_count(cell.tc.triangles) + " tri",
+                       fmt_seconds(cell.tc.stats.modeled_seconds),
+                       fmt_count(cell.tc.stats.words_moved)});
+
+        auto rec = obs::make_run_record(
+            load.name + "_r" + std::to_string(ranks), ranks,
+            cell.tc.stats.spmd.stats,
+            cell.bfs.stats.modeled_seconds +
+                cell.pr.stats.modeled_seconds +
+                cell.tc.stats.modeled_seconds,
+            cell.bfs.stats.wall_seconds + cell.pr.stats.wall_seconds +
+                cell.tc.stats.wall_seconds,
+            {{"vertices", static_cast<double>(load.graph.n)},
+             {"edges", static_cast<double>(load.graph.edges.size())},
+             {"stored_entries", static_cast<double>(view.global_nnz())}});
+        rec.kernels.push_back(
+            {{"kernel_id", 0.0},
+             {"invocations", 1.0},
+             {"rounds", static_cast<double>(cell.bfs.stats.rounds)},
+             {"modeled_seconds", cell.bfs.stats.modeled_seconds},
+             {"words_moved",
+              static_cast<double>(cell.bfs.stats.words_moved)},
+             {"reached", static_cast<double>(cell.bfs.reached)}});
+        rec.kernels.push_back(
+            {{"kernel_id", 1.0},
+             {"invocations", 1.0},
+             {"rounds", static_cast<double>(cell.pr.stats.rounds)},
+             {"modeled_seconds", cell.pr.stats.modeled_seconds},
+             {"words_moved",
+              static_cast<double>(cell.pr.stats.words_moved)},
+             {"l1_residual", cell.pr.l1_residual},
+             {"converged", cell.pr.converged ? 1.0 : 0.0}});
+        rec.kernels.push_back(
+            {{"kernel_id", 2.0},
+             {"invocations", 1.0},
+             {"rounds", static_cast<double>(cell.tc.stats.rounds)},
+             {"modeled_seconds", cell.tc.stats.modeled_seconds},
+             {"words_moved",
+              static_cast<double>(cell.tc.stats.words_moved)},
+             {"triangles", static_cast<double>(cell.tc.triangles)}});
+        metrics.add_record(std::move(rec));
+      }
+      table.print(std::cout);
+      std::cout << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "All cells verified against the serial reference oracles; "
+               "BFS and TC bit-identical across ranks 1/4/9.\n";
+  return 0;
+}

@@ -1,0 +1,440 @@
+// lacc_kernel_cli — run the analytics kernels (BFS, PageRank, triangle
+// counting) against a graph view produced by any of the three producers.
+//
+//   lacc_kernel_cli <graph.mtx|graph.bin|gen:NAME> [options]
+//
+//   --kernel bfs|pagerank|tc|all  which kernel(s) to run (default all)
+//   --mode static|stream|serve    how the view is produced (default static):
+//                                 static = GraphView::from_edges,
+//                                 stream = StreamEngine epochs + freeze_view,
+//                                 serve  = serve::Server kernel endpoints
+//                                 against its published snapshot
+//   --ranks N                 virtual ranks (default 4; perfect square)
+//   --machine edison|cori|local   cost model (default edison)
+//   --scale S                 stand-in scale for gen: inputs
+//   --source V                BFS source vertex (default 0)
+//   --topk K                  PageRank top-k size (default 8)
+//   --damping D               PageRank damping factor (default 0.85)
+//   --tol T                   PageRank L1 convergence threshold
+//   --max-iters N             PageRank iteration cap (default 200)
+//   --batches K               stream/serve: split the edges into K batches
+//                             (default 4)
+//   --verify                  check every kernel against its independent
+//                             serial reference (BFS distances, dense power
+//                             iteration, brute-force triangles)
+//   --trace-out FILE          Chrome trace of the LAST kernel's SPMD session
+//   --json FILE               write lacc-metrics-v7 JSON (kernels array)
+//
+// Inputs are the same as lacc_cli.  One table row per kernel — rounds,
+// result summary, modeled seconds.  Observability outputs go to files only,
+// so stdout is identical with and without them (docs/OBSERVABILITY.md).
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "graph/testproblems.hpp"
+#include "kernel/kernels.hpp"
+#include "kernel/reference.hpp"
+#include "kernel/view.hpp"
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "stream/engine.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace lacc;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: lacc_kernel_cli <graph.mtx|graph.bin|gen:NAME> "
+               "[--kernel bfs|pagerank|tc|all] [--mode static|stream|serve] "
+               "[--ranks N] [--machine edison|cori|local] [--scale S] "
+               "[--source V] [--topk K] [--damping D] [--tol T] "
+               "[--max-iters N] [--batches K] [--verify] [--trace-out FILE] "
+               "[--json FILE]\n";
+  return 2;
+}
+
+const sim::MachineModel& machine_by_name(const std::string& name) {
+  if (name == "edison") return sim::MachineModel::edison();
+  if (name == "cori") return sim::MachineModel::cori_knl();
+  if (name == "local") return sim::MachineModel::local();
+  throw Error("unknown machine: " + name);
+}
+
+int parse_int(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects an integer, got \"" << text
+            << "\"\n";
+  std::exit(usage());
+}
+
+double parse_double(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects a number, got \"" << text
+            << "\"\n";
+  std::exit(usage());
+}
+
+/// One executed kernel, reduced to what the table, the trace, and the v7
+/// metrics "kernels" array need.
+struct KernelRun {
+  std::string name;
+  double kernel_id = 0;  ///< 0 = bfs, 1 = pagerank, 2 = tc
+  std::string result_text;
+  kernel::KernelStats stats;
+  obs::Scalars scalars;  ///< extra per-kernel metrics keys
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string path = argv[1];
+  std::string machine = "edison", trace_out_path, json_path;
+  std::string kernel_sel = "all", mode = "static";
+  int ranks = 4, batches = 4, max_iters = 200, topk = 8;
+  int source = 0;
+  double scale = 0.25, damping = 0.85, tol = 1e-12;
+  bool verify = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kernel")
+      kernel_sel = next();
+    else if (arg == "--mode")
+      mode = next();
+    else if (arg == "--ranks")
+      ranks = parse_int("--ranks", next());
+    else if (arg == "--machine")
+      machine = next();
+    else if (arg == "--scale")
+      scale = parse_double("--scale", next());
+    else if (arg == "--source")
+      source = parse_int("--source", next());
+    else if (arg == "--topk")
+      topk = parse_int("--topk", next());
+    else if (arg == "--damping")
+      damping = parse_double("--damping", next());
+    else if (arg == "--tol")
+      tol = parse_double("--tol", next());
+    else if (arg == "--max-iters")
+      max_iters = parse_int("--max-iters", next());
+    else if (arg == "--batches")
+      batches = parse_int("--batches", next());
+    else if (arg == "--verify")
+      verify = true;
+    else if (arg == "--trace-out")
+      trace_out_path = next();
+    else if (arg == "--json")
+      json_path = next();
+    else
+      return usage();
+  }
+
+  if (kernel_sel != "bfs" && kernel_sel != "pagerank" && kernel_sel != "tc" &&
+      kernel_sel != "all") {
+    std::cerr << "error: --kernel must be bfs, pagerank, tc, or all (got "
+              << kernel_sel << ")\n";
+    return usage();
+  }
+  if (mode != "static" && mode != "stream" && mode != "serve") {
+    std::cerr << "error: --mode must be static, stream, or serve (got "
+              << mode << ")\n";
+    return usage();
+  }
+  {
+    int q = 0;
+    while (q * q < ranks) ++q;
+    if (ranks < 1 || q * q != ranks) {
+      std::cerr << "error: --ranks must be a positive perfect square (got "
+                << ranks << ")\n";
+      return usage();
+    }
+  }
+  if (scale <= 0) {
+    std::cerr << "error: --scale must be positive (got " << scale << ")\n";
+    return usage();
+  }
+  if (source < 0) {
+    std::cerr << "error: --source must be non-negative (got " << source
+              << ")\n";
+    return usage();
+  }
+  if (topk < 1) {
+    std::cerr << "error: --topk must be at least 1 (got " << topk << ")\n";
+    return usage();
+  }
+  if (damping <= 0 || damping >= 1) {
+    std::cerr << "error: --damping must be in (0, 1) (got " << damping
+              << ")\n";
+    return usage();
+  }
+  if (tol <= 0) {
+    std::cerr << "error: --tol must be positive (got " << tol << ")\n";
+    return usage();
+  }
+  if (max_iters < 1) {
+    std::cerr << "error: --max-iters must be at least 1 (got " << max_iters
+              << ")\n";
+    return usage();
+  }
+  if (batches < 1) {
+    std::cerr << "error: --batches must be at least 1 (got " << batches
+              << ")\n";
+    return usage();
+  }
+
+  if (!trace_out_path.empty()) obs::set_trace_enabled(true);
+
+  const bool run_bfs = kernel_sel == "bfs" || kernel_sel == "all";
+  const bool run_pr = kernel_sel == "pagerank" || kernel_sel == "all";
+  const bool run_tc = kernel_sel == "tc" || kernel_sel == "all";
+
+  try {
+    graph::EdgeList el;
+    if (path.rfind("gen:", 0) == 0) {
+      const auto problems = graph::make_test_problems(scale);
+      el = graph::find_problem(problems, path.substr(4)).graph;
+    } else if (path.size() > 4 && path.substr(path.size() - 4) == ".bin") {
+      el = graph::read_binary_file(path);
+    } else {
+      el = graph::read_matrix_market_file(path);
+    }
+    std::cout << "Graph: " << fmt_count(el.n) << " vertices, "
+              << fmt_count(el.edges.size()) << " entries\n";
+    if (static_cast<VertexId>(source) >= el.n) {
+      std::cerr << "error: --source must be in [0, " << el.n << ") (got "
+                << source << ")\n";
+      return usage();
+    }
+
+    const auto& m = machine_by_name(machine);
+    kernel::KernelOptions kopts;
+    kopts.damping = damping;
+    kopts.tolerance = tol;
+    kopts.max_iterations = max_iters;
+
+    Timer timer;
+    // All three producers yield the same immutable view type; serve mode
+    // additionally routes the kernels through the server's query endpoints
+    // so the retained-snapshot path is what gets exercised.
+    std::shared_ptr<const kernel::GraphView> view;
+    std::unique_ptr<serve::Server> server;
+    const std::size_t per_batch =
+        (el.edges.size() + static_cast<std::size_t>(batches) - 1) /
+        static_cast<std::size_t>(batches);
+    if (mode == "static") {
+      view = std::make_shared<const kernel::GraphView>(
+          kernel::GraphView::from_edges(el, ranks, m));
+    } else if (mode == "stream") {
+      stream::StreamEngine engine(el.n, ranks, m, {});
+      for (std::size_t at = 0; at < el.edges.size() || at == 0;
+           at += std::max<std::size_t>(per_batch, 1)) {
+        graph::EdgeList slice(el.n);
+        const std::size_t hi = std::min(at + per_batch, el.edges.size());
+        slice.edges.assign(el.edges.begin() + static_cast<std::ptrdiff_t>(at),
+                           el.edges.begin() + static_cast<std::ptrdiff_t>(hi));
+        engine.ingest(slice);
+        engine.advance_epoch();
+        if (hi >= el.edges.size()) break;
+      }
+      // The frozen blocks are shared_ptrs; the view outlives the engine.
+      view = std::make_shared<const kernel::GraphView>(engine.freeze_view());
+    } else {
+      serve::ServeOptions so;
+      so.enable_kernel_queries = true;
+      so.kernel_options = kopts;
+      so.batch_max_edges = std::max<std::size_t>(per_batch, 1);
+      server = std::make_unique<serve::Server>(el.n, ranks, m, so);
+      for (const auto& e : el.edges) server->insert_edge(e.u, e.v);
+      server->flush();
+      view = server->snapshot()->view();
+    }
+    std::cout << "View: mode " << mode << ", " << ranks << " virtual ranks ("
+              << m.name << " model), epoch " << view->epoch() << ", "
+              << fmt_count(view->global_nnz()) << " stored entries\n";
+
+    std::vector<KernelRun> runs;
+    kernel::BfsResult bfs_res;
+    kernel::PageRankResult pr_res;
+    std::vector<kernel::RankEntry> pr_top;
+    kernel::TriangleCountResult tc_res;
+
+    if (run_bfs) {
+      if (server) {
+        auto q = server->bfs_dist(static_cast<VertexId>(source));
+        bfs_res = std::move(q.result);
+      } else {
+        bfs_res = kernel::bfs(*view, static_cast<VertexId>(source), kopts);
+      }
+      std::ostringstream os;
+      os << "reached " << fmt_count(bfs_res.reached) << " from " << source;
+      runs.push_back(
+          {"bfs", 0.0, os.str(), bfs_res.stats,
+           {{"reached", static_cast<double>(bfs_res.reached)},
+            {"words_moved", static_cast<double>(bfs_res.stats.words_moved)}}});
+    }
+    if (run_pr) {
+      if (server) {
+        auto q = server->pagerank_topk(static_cast<std::size_t>(topk));
+        pr_top = std::move(q.top);
+        pr_res.l1_residual = q.l1_residual;
+        pr_res.converged = q.converged;
+        pr_res.stats = q.stats;
+      } else {
+        pr_res = kernel::pagerank(*view, kopts);
+        pr_top = kernel::top_k_ranks(pr_res.rank,
+                                     static_cast<std::size_t>(topk));
+      }
+      std::ostringstream os;
+      os << (pr_res.converged ? "converged" : "iteration cap") << ", top v="
+         << (pr_top.empty() ? VertexId{0} : pr_top.front().v);
+      runs.push_back(
+          {"pagerank", 1.0, os.str(), pr_res.stats,
+           {{"l1_residual", pr_res.l1_residual},
+            {"converged", pr_res.converged ? 1.0 : 0.0}}});
+    }
+    if (run_tc) {
+      if (server) {
+        auto q = server->triangle_count();
+        tc_res.triangles = q.triangles;
+        tc_res.stats = q.stats;
+      } else {
+        tc_res = kernel::triangle_count(*view, kopts);
+      }
+      runs.push_back(
+          {"tc", 2.0, fmt_count(tc_res.triangles) + " triangles",
+           tc_res.stats,
+           {{"triangles", static_cast<double>(tc_res.triangles)}}});
+    }
+    const double wall = timer.seconds();
+
+    TextTable table({"kernel", "rounds", "result", "modeled"});
+    double kernels_modeled = 0;
+    for (const auto& r : runs) {
+      table.add_row({r.name, std::to_string(r.stats.rounds), r.result_text,
+                     fmt_seconds(r.stats.modeled_seconds)});
+      kernels_modeled += r.stats.modeled_seconds;
+    }
+    table.print(std::cout);
+    std::cout << "Wall time: " << fmt_seconds(wall)
+              << ", modeled time: " << fmt_seconds(kernels_modeled)
+              << " (+ view build "
+              << fmt_seconds(view->build_modeled_seconds()) << ")\n";
+
+    if (verify) {
+      if (run_bfs) {
+        const auto truth =
+            kernel::reference_bfs_distances(el,
+                                            static_cast<VertexId>(source));
+        if (bfs_res.dist != truth) {
+          std::cerr << "error: VERIFY FAILED — bfs distances disagree with "
+                       "serial BFS\n";
+          return 1;
+        }
+        std::cout << "Verify: bfs distances match serial BFS\n";
+      }
+      if (run_pr) {
+        const auto truth =
+            kernel::reference_pagerank(el, damping, tol, max_iters);
+        const auto truth_top =
+            kernel::top_k_ranks(truth, static_cast<std::size_t>(topk));
+        bool ok = truth_top.size() == pr_top.size();
+        for (std::size_t i = 0; ok && i < pr_top.size(); ++i)
+          ok = pr_top[i].v == truth_top[i].v &&
+               std::abs(pr_top[i].rank - truth_top[i].rank) <= 1e-8;
+        if (!ok) {
+          std::cerr << "error: VERIFY FAILED — pagerank top-k disagrees "
+                       "with dense power iteration\n";
+          return 1;
+        }
+        std::cout << "Verify: pagerank top-" << topk
+                  << " matches dense power iteration\n";
+      }
+      if (run_tc) {
+        const auto truth = kernel::reference_triangle_count(el);
+        if (tc_res.triangles != truth) {
+          std::cerr << "error: VERIFY FAILED — triangle count disagrees "
+                       "with brute force (" << tc_res.triangles << " vs "
+                    << truth << ")\n";
+          return 1;
+        }
+        std::cout << "Verify: triangle count matches brute force\n";
+      }
+      std::cout << "Verify: all kernels match reference\n";
+    }
+
+    if (!trace_out_path.empty() && !runs.empty()) {
+      std::ofstream out(trace_out_path);
+      LACC_CHECK_MSG(out.good(), "cannot write " << trace_out_path);
+      obs::TraceMeta meta;
+      meta.process_name =
+          "lacc_kernel_cli " + path + " (" + runs.back().name + ")";
+      obs::write_chrome_trace(out, runs.back().stats.spmd.stats, meta);
+    }
+
+    if (!json_path.empty()) {
+      obs::RunRecord rec = obs::make_run_record(
+          path, ranks,
+          runs.empty() ? std::vector<sim::RankStats>{}
+                       : runs.back().stats.spmd.stats,
+          kernels_modeled + view->build_modeled_seconds(), wall, {});
+      rec.scalars = {
+          {"vertices", static_cast<double>(el.n)},
+          {"edges", static_cast<double>(el.edges.size())},
+          {"stored_entries", static_cast<double>(view->global_nnz())},
+          {"view_epoch", static_cast<double>(view->epoch())},
+          {"view_build_modeled_seconds", view->build_modeled_seconds()}};
+      for (const auto& r : runs) {
+        obs::Scalars entry = {
+            {"kernel_id", r.kernel_id},
+            {"invocations", 1.0},
+            {"rounds", static_cast<double>(r.stats.rounds)},
+            {"modeled_seconds", r.stats.modeled_seconds}};
+        entry.insert(entry.end(), r.scalars.begin(), r.scalars.end());
+        rec.kernels.push_back(std::move(entry));
+      }
+      std::ofstream out(json_path);
+      LACC_CHECK_MSG(out.good(), "cannot write " << json_path);
+      obs::write_metrics_json(
+          out, "lacc_kernel_cli",
+          {{"scale", scale},
+           {"ranks", static_cast<double>(ranks)},
+           {"mode", mode == "static" ? 0.0 : mode == "stream" ? 1.0 : 2.0},
+           {"batches", static_cast<double>(batches)},
+           {"source", static_cast<double>(source)},
+           {"topk", static_cast<double>(topk)},
+           {"damping", damping}},
+          {std::move(rec)});
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -26,7 +26,7 @@
 //   --shards N            accepted for parity with lacc_shard_cli; this
 //                         binary serves exactly one shard (only 1 is valid)
 //   --replicas M          same; only 1 is valid here
-//   --json FILE           write lacc-metrics-v6 JSON with the serve block
+//   --json FILE           write lacc-metrics-v7 JSON with the serve block
 //   --trace-out FILE      Chrome trace of per-request spans (wall clock)
 //
 // The workload partitions the input edge list round-robin across writers

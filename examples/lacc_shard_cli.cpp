@@ -23,7 +23,7 @@
 //   --seed S              workload RNG seed (default 1)
 //   --verify              record everything and replay every published
 //                         global epoch through from-scratch lacc_dist
-//   --json FILE           write lacc-metrics-v6 JSON with the shard block
+//   --json FILE           write lacc-metrics-v7 JSON with the shard block
 //   --trace-out FILE      Chrome trace of per-request spans (all shards;
 //                         each span carries its shard id)
 //

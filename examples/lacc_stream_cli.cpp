@@ -22,7 +22,7 @@
 //   --verify                  check final labels against serial union-find
 //   --out labels.txt          write "vertex component" lines (final epoch)
 //   --trace-out FILE          Chrome trace of the LAST epoch's SPMD session
-//   --json FILE               write lacc-metrics-v6 JSON (per-epoch array)
+//   --json FILE               write lacc-metrics-v7 JSON (per-epoch array)
 //
 // Inputs are the same as lacc_cli (Matrix Market, LACC binary, gen:NAME).
 // Prints one table row per epoch — batch size, cross-component edges, dirty
@@ -248,6 +248,13 @@ int main(int argc, char** argv) {
                   << fmt_seconds(ds.recovery_seconds) << ")";
       }
       std::cout << "\n";
+    }
+    if (verify && engine.recovered()) {
+      std::cerr << "error: --verify needs the full batch history, but this "
+                   "engine recovered at epoch "
+                << engine.recovered_epoch()
+                << "; run --verify against a fresh --data-dir\n";
+      return 1;
     }
     const std::size_t per_batch =
         (el.edges.size() + static_cast<std::size_t>(batches) - 1) /

@@ -487,6 +487,186 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
 }
 
 
+namespace {
+
+/// Accumulator cell for the (plus, times) kernel: cnt == 0 marks "empty",
+/// so a stored sum of exactly 0.0 survives the dense reduction.
+struct PlusCell {
+  double sum;
+  std::uint64_t cnt;
+};
+
+struct PlusTuple {
+  VertexId index;
+  double value;
+};
+
+PlusCell plus_combine(PlusCell a, PlusCell b) {
+  return {a.sum + b.sum, a.cnt + b.cnt};
+}
+
+}  // namespace
+
+DistVec<double> mxv_plus(ProcGrid& grid, const DistCsc& A,
+                         const DistVec<double>& x, const MaskSpec& mask,
+                         const CommTuning& tuning) {
+  LACC_CHECK(x.global_size() == A.n());
+  LACC_CHECK_MSG(x.layout() == Layout::kBlockAligned,
+                 "mxv requires block-aligned input; realign with to_layout");
+  auto& world = grid.world();
+  sim::TraceSpan trace(world.state(), "op:mxv_plus");
+  auto& arena = grid.arena();
+  const auto q = static_cast<std::uint64_t>(grid.q());
+  const BlockPartition& part = A.chunk_partition();
+
+  const std::uint64_t stored = global_nvals(grid, x);
+  const bool dense_path =
+      tuning.force_dense ||
+      static_cast<double>(stored) >
+          tuning.dense_threshold * static_cast<double>(A.n());
+
+  // Phase 1: input gather within the processor column, as in mxv_select2nd.
+  auto& x_tuples = arena.buffer<Tuple<double>>("mxvp.x_tuples");
+  x.tuples_into(x_tuples);
+  auto& gathered = arena.buffer<Tuple<double>>("mxvp.gathered");
+  grid.col_comm().allgatherv_into(x_tuples, gathered);
+
+  // All-{0.0, 0}-between-calls accumulator with the shared bitmap trick.
+  const VertexId rb = A.row_begin(), re = A.row_end();
+  const VertexId cb = A.col_begin();
+  auto& acc = arena.persistent<PlusCell>("mxvp.acc");
+  if (acc.size() != static_cast<std::size_t>(re - rb))
+    acc.assign(re - rb, PlusCell{0.0, 0});
+  auto& bits = arena.persistent<std::uint64_t>("mxvp.touch_bits");
+  const std::size_t words = (acc.size() + 63) / 64;
+  if (bits.size() != words) bits.assign(words, 0);
+  std::size_t ntouched = 0;
+  double flops = 0;
+
+  auto accumulate = [&](VertexId row, double value) {
+    auto& slot = acc[row - rb];
+    if (slot.cnt == 0) {
+      bits[(row - rb) >> 6] |= std::uint64_t{1} << ((row - rb) & 63);
+      ++ntouched;
+    }
+    slot.sum += value;
+    ++slot.cnt;
+  };
+
+  if (dense_path) {
+    // Dense SpMV: a value array plus a presence bitmap (unlike the VertexId
+    // kernels there is no in-band absent marker for doubles), both with the
+    // write-then-wipe persistence trick.
+    auto& xd = arena.persistent<double>("mxvp.xd");
+    if (xd.size() != static_cast<std::size_t>(A.col_end() - cb))
+      xd.assign(A.col_end() - cb, 0.0);
+    auto& xp = arena.persistent<std::uint64_t>("mxvp.x_bits");
+    const std::size_t xwords = (xd.size() + 63) / 64;
+    if (xp.size() != xwords) xp.assign(xwords, 0);
+    for (const auto& t : gathered) {
+      xd[t.index - cb] = t.value;
+      xp[(t.index - cb) >> 6] |= std::uint64_t{1} << ((t.index - cb) & 63);
+    }
+    const auto& cols = A.col_ids();
+    for (std::size_t ci = 0; ci < cols.size(); ++ci) {
+      const VertexId c = cols[ci] - cb;
+      if ((xp[c >> 6] & (std::uint64_t{1} << (c & 63))) == 0) continue;
+      const double xv = xd[c];
+      for (const VertexId r : A.col_rows(ci)) accumulate(r, xv);
+      flops += static_cast<double>(A.col_rows(ci).size());
+    }
+    flops += static_cast<double>(gathered.size());
+    for (const auto& t : gathered) {
+      xd[t.index - cb] = 0.0;
+      xp[(t.index - cb) >> 6] &=
+          ~(std::uint64_t{1} << ((t.index - cb) & 63));
+    }
+  } else {
+    // SpMSpV merge-join, as in mxv_select2nd.
+    const auto& cols = A.col_ids();
+    std::size_t ci = 0;
+    for (const auto& t : gathered) {
+      ci = gallop_to(cols, ci, t.index);
+      if (ci == cols.size()) break;
+      if (cols[ci] != t.index) continue;
+      for (const VertexId r : A.col_rows(ci)) accumulate(r, t.value);
+      flops += static_cast<double>(A.col_rows(ci).size()) + 1;
+    }
+  }
+  world.charge_compute(flops);
+
+  // Phase 2: row-wise reduce, with the same OR-reduced density vote.
+  const std::uint8_t dense_vote =
+      (dense_path || ntouched * 4 > acc.size()) ? 1 : 0;
+  const bool dense_reduce =
+      grid.row_comm().allreduce(dense_vote, [](std::uint8_t a, std::uint8_t b) {
+        return static_cast<std::uint8_t>(a | b);
+      }) != 0;
+  auto& piece = arena.buffer<PlusTuple>("mxvp.piece");
+  const auto my_piece_chunk =
+      static_cast<std::uint64_t>(grid.my_row()) * q +
+      static_cast<std::uint64_t>(grid.my_col());
+
+  auto drain_touched = [&](auto&& fn) {
+    for (std::size_t wi = 0; wi < words; ++wi) {
+      std::uint64_t word = bits[wi];
+      if (word == 0) continue;
+      bits[wi] = 0;
+      while (word != 0) {
+        const auto bit = static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        const auto r = static_cast<VertexId>(rb + (wi << 6) + bit);
+        fn(r);
+        acc[r - rb] = PlusCell{0.0, 0};
+      }
+    }
+  };
+
+  if (dense_reduce) {
+    const BlockPartition row_split(acc.size(), q);
+    auto& reduced = arena.buffer<PlusCell>("mxvp.reduced");
+    grid.row_comm().reduce_scatter_block_into(acc, plus_combine, row_split,
+                                              reduced);
+    drain_touched([](VertexId) {});
+    const VertexId piece_begin = part.begin(my_piece_chunk);
+    for (std::size_t k = 0; k < reduced.size(); ++k)
+      if (reduced[k].cnt != 0)
+        piece.push_back({piece_begin + k, reduced[k].sum});
+  } else {
+    const auto my_row_first_chunk =
+        static_cast<std::uint64_t>(grid.my_row()) * q;
+    auto& send = arena.buffer<PlusTuple>("mxvp.send");
+    send.reserve(ntouched);
+    auto& counts = arena.buffer<std::size_t>("mxvp.counts");
+    counts.assign(q, 0);
+    drain_touched([&](VertexId r) {
+      ++counts[part.owner(r) - my_row_first_chunk];
+      send.push_back({r, acc[r - rb].sum});
+    });
+    auto& received = arena.buffer<PlusTuple>("mxvp.recv");
+    grid.row_comm().alltoallv_into(send, counts, received, tuning.alltoall);
+    // Cross-block merge through the (clean again) accumulator.  Arrival
+    // order is fixed by the all-to-all schedule, and the final drain
+    // re-sorts by row, so the summation order is deterministic.
+    for (const auto& t : received) accumulate(t.index, t.value);
+    drain_touched([&](VertexId r) { piece.push_back({r, acc[r - rb].sum}); });
+    world.charge_compute(static_cast<double>(received.size()) * 3);
+  }
+
+  // Phase 3: transpose realignment, as in mxv_select2nd.
+  auto& realigned = arena.buffer<PlusTuple>("mxvp.realigned");
+  world.sendrecv_into(piece, grid.transpose_rank(), grid.transpose_rank(),
+                      realigned);
+
+  DistVec<double> out(grid, A.n());
+  for (const auto& t : realigned) {
+    LACC_DCHECK(out.owns(t.index));
+    if (mask.allows(t.index)) out.set(t.index, t.value);
+  }
+  world.charge_compute(static_cast<double>(realigned.size()));
+  return out;
+}
+
 std::uint64_t scatter_accumulate_min(ProcGrid& grid, DistVec<VertexId>& w,
                                      std::vector<Tuple<VertexId>> pairs,
                                      const CommTuning& tuning) {

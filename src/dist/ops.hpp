@@ -84,6 +84,19 @@ std::pair<DistVec<VertexId>, DistVec<VertexId>> mxv_select2nd_minmax(
     ProcGrid& grid, const DistCsc& A, const DistVec<VertexId>& x,
     const MaskSpec& mask, const CommTuning& tuning);
 
+/// Distributed GrB_mxv on the (plus, times) semiring over a pattern matrix
+/// (stored entries act as 1.0): out[i] = sum { x[j] : j in N(i), x[j]
+/// stored }, masked.  This is the PageRank pull step; it shares the
+/// column-allgather / row-reduce / transpose-realignment structure of
+/// mxv_select2nd, with a (sum, contribution-count) cell through the dense
+/// reduction so absent and stored-zero stay distinguishable.  Summation
+/// order is fixed per (grid, layout) so results are bit-deterministic for a
+/// given rank count; across rank counts they agree only to rounding.
+/// Collective over the grid.
+DistVec<double> mxv_plus(ProcGrid& grid, const DistCsc& A,
+                         const DistVec<double>& x, const MaskSpec& mask,
+                         const CommTuning& tuning);
+
 /// Sum of stored elements across all ranks (collective).
 template <typename T>
 std::uint64_t global_nvals(ProcGrid& grid, const DistVec<T>& v) {

@@ -1,0 +1,104 @@
+// Direction-aware BFS over the (Select2nd, min) semiring.
+//
+// One masked mxv per level: the frontier vector carries x[v] = v, so the
+// Select2nd multiply delivers each discovered vertex its *minimum-id*
+// previous-level neighbor as the BFS-tree parent, and the complement-of-
+// visited mask keeps already-settled vertices out of the output.  The
+// dense/sparse switch inside mxv_select2nd (tuning.dense_threshold) is the
+// push/pull direction switch: small frontiers merge-join matrix columns
+// (SpMSpV, "push"), large frontiers scan them against a dense input array
+// (SpMV, "pull").
+
+#include <sstream>
+
+#include "dist/grid.hpp"
+#include "dist/ops.hpp"
+#include "kernel/kernels.hpp"
+#include "sim/runtime.hpp"
+#include "support/error.hpp"
+
+namespace lacc::kernel {
+
+BfsResult bfs(const GraphView& view, VertexId source,
+              const KernelOptions& options) {
+  if (source >= view.n()) {
+    std::ostringstream os;
+    os << "kernel query: vertex " << source << " out of range [0, " << view.n()
+       << ")";
+    throw Error(os.str());
+  }
+
+  const int nranks = view.nranks();
+  BfsResult result;
+  std::vector<double> modeled(static_cast<std::size_t>(nranks), 0);
+  std::uint64_t rounds_out = 0;
+  std::uint64_t words_out = 0;
+
+  auto spmd = sim::run_spmd(nranks, view.machine(), [&](sim::Comm& world) {
+    dist::ProcGrid grid(world);
+    sim::Region region(world, "kernel-bfs");
+    const dist::DistCsc& A = view.block(world.rank());
+
+    dist::DistVec<VertexId> distv(grid, view.n());
+    dist::DistVec<VertexId> parentv(grid, view.n());
+    dist::DistVec<std::uint8_t> visited(grid, view.n());
+    dist::DistVec<VertexId> frontier(grid, view.n());
+    if (distv.owns(source)) {
+      distv.set(source, 0);
+      parentv.set(source, source);
+      visited.set(source, 1);
+      frontier.set(source, source);
+    }
+
+    std::uint64_t rounds = 0;
+    std::uint64_t words = 0;
+    for (;;) {
+      const std::uint64_t fsize = dist::global_nvals(grid, frontier);
+      if (fsize == 0) break;
+      ++rounds;
+      words += fsize;
+      sim::Region round(world, "bfs-round",
+                        static_cast<std::int64_t>(rounds));
+      // The mask reflects visitation *before* this round, so the mxv output
+      // is exactly the next level: vertices adjacent to the frontier that no
+      // earlier level settled.
+      const dist::MaskSpec unvisited{&visited, /*complement=*/true};
+      const auto next =
+          dist::mxv_select2nd_min(grid, A, frontier, unvisited, options.tuning);
+      frontier.clear();
+      next.for_each_stored([&](VertexId g, const VertexId& parent) {
+        visited.set(g, 1);
+        distv.set(g, rounds);
+        parentv.set(g, parent);
+        // Select2nd needs x[j] = j so the *discovered* id, not the parent,
+        // seeds the next level.
+        frontier.set(g, g);
+      });
+    }
+
+    // Stamp the modeled clock before result extraction: to_global is a
+    // test/serving convenience gather, not part of the kernel proper.
+    modeled[static_cast<std::size_t>(world.rank())] = world.state().sim_time;
+    const auto dist_all = dist::to_global(grid, distv, kNoVertex);
+    const auto parent_all = dist::to_global(grid, parentv, kNoVertex);
+    if (world.rank() == 0) {
+      result.dist = dist_all;
+      result.parent = parent_all;
+      rounds_out = rounds;
+      words_out = words;
+    }
+  });
+
+  for (const VertexId d : result.dist)
+    if (d != kNoVertex) ++result.reached;
+  result.stats.rounds = rounds_out;
+  result.stats.words_moved = words_out;
+  for (const double m : modeled)
+    result.stats.modeled_seconds = std::max(result.stats.modeled_seconds, m);
+  result.stats.wall_seconds = spmd.wall_seconds;
+  result.stats.epoch = view.epoch();
+  result.stats.spmd = std::move(spmd);
+  return result;
+}
+
+}  // namespace lacc::kernel

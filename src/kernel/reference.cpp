@@ -1,0 +1,111 @@
+#include "kernel/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "support/error.hpp"
+
+namespace lacc::kernel {
+
+namespace {
+
+/// Sorted undirected adjacency lists with self-loops and duplicates removed.
+std::vector<std::vector<VertexId>> build_adjacency(const graph::EdgeList& el) {
+  std::vector<std::vector<VertexId>> adj(el.n);
+  for (const auto& e : el.edges) {
+    LACC_CHECK_MSG(e.u < el.n && e.v < el.n, "edge endpoint out of range");
+    if (e.u == e.v) continue;
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  for (auto& nbrs : adj) {
+    // The reference oracle is deliberately naive and independent of the
+    // radix helpers the kernels use.  lint-spmd: allow(raw-sort)
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<VertexId> reference_bfs_distances(const graph::EdgeList& el,
+                                              VertexId source) {
+  LACC_CHECK_MSG(source < el.n, "reference BFS source out of range");
+  const auto adj = build_adjacency(el);
+  std::vector<VertexId> dist(el.n, kNoVertex);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId w : adj[v]) {
+      if (dist[w] != kNoVertex) continue;
+      dist[w] = dist[v] + 1;
+      queue.push_back(w);
+    }
+  }
+  return dist;
+}
+
+std::vector<double> reference_pagerank(const graph::EdgeList& el,
+                                       double damping, double tolerance,
+                                       int max_iterations) {
+  const auto n = static_cast<std::size_t>(el.n);
+  if (n == 0) return {};
+  const auto adj = build_adjacency(el);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> x(n, inv_n);
+  std::vector<double> y(n, 0.0);
+  for (int it = 0; it < max_iterations; ++it) {
+    double dangling = 0;
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (adj[v].empty()) {
+        dangling += x[v];
+        continue;
+      }
+      const double share = x[v] / static_cast<double>(adj[v].size());
+      for (const VertexId w : adj[v]) y[w] += share;
+    }
+    const double teleport = (1.0 - damping) * inv_n;
+    const double dangling_share = dangling * inv_n;
+    double l1 = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double nx = teleport + damping * (y[v] + dangling_share);
+      l1 += std::abs(nx - x[v]);
+      x[v] = nx;
+    }
+    if (l1 <= tolerance) break;
+  }
+  return x;
+}
+
+std::uint64_t reference_triangle_count(const graph::EdgeList& el) {
+  const auto adj = build_adjacency(el);
+  std::uint64_t count = 0;
+  for (VertexId v = 0; v < el.n; ++v) {
+    for (const VertexId u : adj[v]) {
+      if (u >= v) break;  // neighbors sorted: only u < v wedges
+      // Common neighbors w > v close the triangle u < v < w.
+      auto iu = std::upper_bound(adj[u].begin(), adj[u].end(), v);
+      auto iv = std::upper_bound(adj[v].begin(), adj[v].end(), v);
+      while (iu != adj[u].end() && iv != adj[v].end()) {
+        if (*iu < *iv)
+          ++iu;
+        else if (*iv < *iu)
+          ++iv;
+        else {
+          ++count;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace lacc::kernel

@@ -1,0 +1,35 @@
+// Independent serial references the kernel tests and --verify paths check
+// against.  Each is implemented with none of the distributed machinery: a
+// queue BFS over a CSR built here, a dense power iteration, and a sorted
+// adjacency intersection count — deliberately boring so a bug in the
+// distributed kernels cannot hide in a shared helper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "support/types.hpp"
+
+namespace lacc::kernel {
+
+/// Hop distances from `source` by queue BFS; kNoVertex = unreachable.
+/// Self-loops and duplicate edges are tolerated (the edge list is used as
+/// an undirected multigraph).
+std::vector<VertexId> reference_bfs_distances(const graph::EdgeList& el,
+                                              VertexId source);
+
+/// PageRank by dense power iteration with uniform dangling redistribution,
+/// iterated until the L1 delta drops to `tolerance` (or `max_iterations`).
+/// Matches the distributed kernel's formulation exactly; only summation
+/// order differs.
+std::vector<double> reference_pagerank(const graph::EdgeList& el,
+                                       double damping = 0.85,
+                                       double tolerance = 1e-12,
+                                       int max_iterations = 200);
+
+/// Exact triangle count by sorted-neighbor intersection over canonical
+/// undirected edges (self-loops and duplicates dropped first).
+std::uint64_t reference_triangle_count(const graph::EdgeList& el);
+
+}  // namespace lacc::kernel

@@ -1,0 +1,27 @@
+#include "kernel/view.hpp"
+
+#include "dist/grid.hpp"
+#include "sim/runtime.hpp"
+
+namespace lacc::kernel {
+
+GraphView GraphView::from_edges(const graph::EdgeList& el, int nranks,
+                                const sim::MachineModel& machine) {
+  int q = 0;
+  while (q * q < nranks) ++q;
+  LACC_CHECK_MSG(nranks >= 1 && q * q == nranks,
+                 "graph view rank count " << nranks
+                                          << " is not a perfect square");
+  std::vector<std::shared_ptr<const dist::DistCsc>> blocks(
+      static_cast<std::size_t>(nranks));
+  const auto spmd = sim::run_spmd(nranks, machine, [&](sim::Comm& world) {
+    dist::ProcGrid grid(world);
+    sim::Region region(world, "kernel-view-build");
+    blocks[static_cast<std::size_t>(world.rank())] =
+        std::make_shared<const dist::DistCsc>(grid, el);
+  });
+  return GraphView(el.n, nranks, machine, /*epoch=*/0, std::move(blocks),
+                   spmd.sim_seconds);
+}
+
+}  // namespace lacc::kernel

@@ -1,0 +1,97 @@
+// Immutable read view of the 2D-distributed graph, shared by every kernel.
+//
+// LACC's connected components, BFS, PageRank, and triangle counting all
+// consume the same per-rank DCSC blocks; what differs is the semiring.  The
+// GraphView pins those blocks behind an immutable interface so the three
+// producers — a from-scratch build, a stream engine epoch, and a serve /
+// shard snapshot — hand kernels the identical structure without copying:
+//
+//   * GraphView::from_edges() builds fresh blocks with the standard
+//     distributed ingestion (one SPMD session);
+//   * StreamEngine::freeze_view() *shares* each rank's base block when no
+//     delta run is resident, and pays one merged copy per rank otherwise
+//     (processed-but-uncompacted runs are reflected in the labels but not
+//     the DCSC arrays, so a faithful view must fold them in);
+//   * serve::Snapshot carries the frozen view of its epoch, so analytics
+//     run against retained snapshots while ingest continues.
+//
+// Sharing is safe because a frozen block is never mutated: the stream
+// engine's compaction copies-on-write when a view still references its
+// base (see StreamEngine::advance_epoch).  Kernels spawn their own
+// run_spmd sessions over the view; the conformance layer's block fences
+// pass because kernel sessions use the view's rank count, so thread N is
+// virtual rank N in both the producing and the consuming session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "graph/edge_list.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+#include "support/types.hpp"
+
+namespace lacc::kernel {
+
+class GraphView {
+ public:
+  /// Build a fresh view from an edge list: one SPMD session constructing
+  /// every rank's DCSC block (the lacc_dist ingestion path).  `nranks` must
+  /// be a perfect square.  The session's modeled cost is recorded as
+  /// build_modeled_seconds().
+  static GraphView from_edges(const graph::EdgeList& el, int nranks,
+                              const sim::MachineModel& machine);
+
+  GraphView(VertexId n, int nranks, sim::MachineModel machine,
+            std::uint64_t epoch,
+            std::vector<std::shared_ptr<const dist::DistCsc>> blocks,
+            double build_modeled_seconds = 0)
+      : n_(n),
+        nranks_(nranks),
+        machine_(std::move(machine)),
+        epoch_(epoch),
+        build_modeled_seconds_(build_modeled_seconds),
+        blocks_(std::move(blocks)) {
+    LACC_CHECK(blocks_.size() == static_cast<std::size_t>(nranks_));
+  }
+
+  VertexId n() const { return n_; }
+  int nranks() const { return nranks_; }
+  const sim::MachineModel& machine() const { return machine_; }
+
+  /// Epoch of the producing snapshot (0 for from-scratch views).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Modeled seconds paid to materialize the view: the construction session
+  /// for from_edges(), the merge session for a freeze with resident delta
+  /// runs, and 0 for a freeze that shared every block.
+  double build_modeled_seconds() const { return build_modeled_seconds_; }
+
+  /// Directed stored entries across all blocks (each undirected edge twice).
+  EdgeId global_nnz() const {
+    return blocks_.empty() ? 0 : blocks_[0]->global_nnz();
+  }
+
+  /// Rank `rank`'s DCSC block.  Iterating its columns is fenced: only the
+  /// matching virtual rank of a kernel's SPMD session may touch it.
+  const dist::DistCsc& block(int rank) const {
+    return *blocks_[static_cast<std::size_t>(rank)];
+  }
+
+  std::shared_ptr<const dist::DistCsc> block_ptr(int rank) const {
+    return blocks_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  VertexId n_ = 0;
+  int nranks_ = 1;
+  sim::MachineModel machine_;
+  std::uint64_t epoch_ = 0;
+  double build_modeled_seconds_ = 0;
+  std::vector<std::shared_ptr<const dist::DistCsc>> blocks_;
+};
+
+}  // namespace lacc::kernel

@@ -60,7 +60,7 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
                         const std::vector<RunRecord>& runs) {
   JsonWriter w(out);
   w.begin_object();
-  w.kv("schema", "lacc-metrics-v6");
+  w.kv("schema", "lacc-metrics-v7");
   w.kv("tool", tool);
   w.kv("word_bytes", kWordBytes);
   w.key("config");
@@ -111,6 +111,12 @@ void write_metrics_json(std::ostream& out, const std::string& tool,
         w.end_array();
       }
       w.end_object();
+    }
+    if (!run.kernels.empty()) {
+      w.key("kernels");
+      w.begin_array();
+      for (const Scalars& k : run.kernels) write_scalars(w, k);
+      w.end_array();
     }
     w.key("total");
     write_phase_entry(w, run.max.total, run.sum.total);

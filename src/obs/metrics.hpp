@@ -1,4 +1,4 @@
-// Machine-readable metrics emitter: the `lacc-metrics-v6` JSON schema.
+// Machine-readable metrics emitter: the `lacc-metrics-v7` JSON schema.
 //
 // Benches and the CLI reduce an SPMD run to one RunRecord (per-phase
 // modeled/wall seconds, words, messages, per-rank max and sum) and write a
@@ -14,7 +14,11 @@
 // engines running with a --data-dir; v6 adds an optional per-run "shard"
 // block for sharded serving (lacc::shard::Router): reconcile totals plus a
 // "per_shard" array (one scalar block per shard, keyed by a strictly
-// increasing "shard" id) and a "per_replica" array (keyed by "replica").
+// increasing "shard" id) and a "per_replica" array (keyed by "replica");
+// v7 adds an optional per-run "kernels" array for analytics runs
+// (lacc::kernel): one scalar block per kernel, keyed by a strictly
+// increasing numeric "kernel_id" (0 = bfs, 1 = pagerank, 2 = tc),
+// aggregating that kernel's executions within the run.
 // Files without the optional blocks are exactly the v1 shape.  See
 // docs/OBSERVABILITY.md.
 #pragma once
@@ -68,6 +72,12 @@ struct RunRecord {
   /// Per-replica scalar blocks; each must carry a "replica" key, strictly
   /// increasing.  Only emitted (inside the "shard" object) when non-empty.
   std::vector<Scalars> shard_per_replica;
+  /// Analytics runs (lacc::kernel): one scalar block per kernel, each
+  /// carrying a strictly increasing "kernel_id" key (0 = bfs, 1 = pagerank,
+  /// 2 = tc) plus that kernel's aggregates (invocations, rounds,
+  /// modeled_seconds, ...).  Empty for everything else — the key is then
+  /// omitted from the JSON entirely.
+  std::vector<Scalars> kernels;
 };
 
 /// Reduce per-rank stats into a RunRecord.  Pass an empty `per_rank` for
@@ -77,7 +87,7 @@ RunRecord make_run_record(std::string name, int ranks,
                           double modeled_seconds, double wall_seconds,
                           Scalars scalars = {});
 
-/// Write the lacc-metrics-v6 document for one tool's runs.
+/// Write the lacc-metrics-v7 document for one tool's runs.
 void write_metrics_json(std::ostream& out, const std::string& tool,
                         const Scalars& config,
                         const std::vector<RunRecord>& runs);

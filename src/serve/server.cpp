@@ -54,7 +54,7 @@ Server::Server(VertexId n, int nranks, const sim::MachineModel& machine,
   // so restarted servers resume serving the labels they had committed.
   store_.publish(std::make_shared<const Snapshot>(
       engine_.epoch(), engine_.labels(), options_.top_k,
-      options_.pair_cache_bits));
+      options_.pair_cache_bits, maybe_freeze_view()));
   engine_thread_ = std::thread([this] { engine_main(); });
 }
 
@@ -112,6 +112,127 @@ std::shared_ptr<const Snapshot> Server::snapshot() const {
 SnapshotStore::Lookup Server::snapshot_at(
     std::uint64_t epoch, std::shared_ptr<const Snapshot>& out) const {
   return store_.at(epoch, out);
+}
+
+std::shared_ptr<const kernel::GraphView> Server::maybe_freeze_view() {
+  if (!options_.enable_kernel_queries) return nullptr;
+  return std::make_shared<const kernel::GraphView>(engine_.freeze_view());
+}
+
+ServeStatus Server::kernel_snapshot(
+    bool pinned, std::uint64_t epoch,
+    std::shared_ptr<const Snapshot>& snap) const {
+  if (!options_.enable_kernel_queries)
+    throw Error(
+        "kernel queries are disabled; construct the server with "
+        "ServeOptions::enable_kernel_queries");
+  if (!pinned) {
+    snap = store_.current();
+    return ServeStatus::kOk;
+  }
+  switch (store_.at(epoch, snap)) {
+    case SnapshotStore::Lookup::kRetired:
+      return ServeStatus::kRetiredEpoch;
+    case SnapshotStore::Lookup::kFuture:
+      return ServeStatus::kFutureEpoch;
+    case SnapshotStore::Lookup::kOk:
+      break;
+  }
+  return ServeStatus::kOk;
+}
+
+void Server::record_kernel(const kernel::KernelStats& stats, bool ok) const {
+  kernel_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) kernel_query_errors_.fetch_add(1, std::memory_order_relaxed);
+  kernel_modeled_us_.fetch_add(
+      static_cast<std::uint64_t>(stats.modeled_seconds * 1e6),
+      std::memory_order_relaxed);
+}
+
+BfsQueryResult Server::bfs_dist(VertexId source) const {
+  return bfs_impl(/*pinned=*/false, 0, source);
+}
+
+BfsQueryResult Server::bfs_dist_at(std::uint64_t epoch,
+                                   VertexId source) const {
+  return bfs_impl(/*pinned=*/true, epoch, source);
+}
+
+BfsQueryResult Server::bfs_impl(bool pinned, std::uint64_t epoch,
+                                VertexId source) const {
+  RequestTimer span(log_, "kernel.bfs", options_.shard_tag);
+  BfsQueryResult r;
+  std::shared_ptr<const Snapshot> snap;
+  r.status = kernel_snapshot(pinned, epoch, snap);
+  if (r.status == ServeStatus::kOk && source >= n_)
+    r.status = ServeStatus::kUnknownVertex;
+  if (r.status == ServeStatus::kOk) {
+    r.epoch = snap->epoch();
+    r.result = kernel::bfs(*snap->view(), source, options_.kernel_options);
+    record_kernel(r.result.stats, true);
+  } else {
+    record_kernel({}, false);
+    span.set_ok(false);
+  }
+  return r;
+}
+
+PageRankQueryResult Server::pagerank_topk(std::size_t k) const {
+  return pagerank_impl(/*pinned=*/false, 0, k);
+}
+
+PageRankQueryResult Server::pagerank_topk_at(std::uint64_t epoch,
+                                             std::size_t k) const {
+  return pagerank_impl(/*pinned=*/true, epoch, k);
+}
+
+PageRankQueryResult Server::pagerank_impl(bool pinned, std::uint64_t epoch,
+                                          std::size_t k) const {
+  RequestTimer span(log_, "kernel.pagerank", options_.shard_tag);
+  PageRankQueryResult r;
+  std::shared_ptr<const Snapshot> snap;
+  r.status = kernel_snapshot(pinned, epoch, snap);
+  if (r.status == ServeStatus::kOk) {
+    r.epoch = snap->epoch();
+    const auto pr = kernel::pagerank(*snap->view(), options_.kernel_options);
+    r.top = kernel::top_k_ranks(pr.rank, k);
+    r.l1_residual = pr.l1_residual;
+    r.converged = pr.converged;
+    r.stats = pr.stats;
+    record_kernel(r.stats, true);
+  } else {
+    record_kernel({}, false);
+    span.set_ok(false);
+  }
+  return r;
+}
+
+TriangleQueryResult Server::triangle_count() const {
+  return triangles_impl(/*pinned=*/false, 0);
+}
+
+TriangleQueryResult Server::triangle_count_at(std::uint64_t epoch) const {
+  return triangles_impl(/*pinned=*/true, epoch);
+}
+
+TriangleQueryResult Server::triangles_impl(bool pinned,
+                                           std::uint64_t epoch) const {
+  RequestTimer span(log_, "kernel.triangles", options_.shard_tag);
+  TriangleQueryResult r;
+  std::shared_ptr<const Snapshot> snap;
+  r.status = kernel_snapshot(pinned, epoch, snap);
+  if (r.status == ServeStatus::kOk) {
+    r.epoch = snap->epoch();
+    const auto tc = kernel::triangle_count(*snap->view(),
+                                           options_.kernel_options);
+    r.triangles = tc.triangles;
+    r.stats = tc.stats;
+    record_kernel(r.stats, true);
+  } else {
+    record_kernel({}, false);
+    span.set_ok(false);
+  }
+  return r;
 }
 
 ReadResult Server::read_latest(const char* what, VertexId u, VertexId v,
@@ -220,7 +341,8 @@ void Server::apply_batch(std::vector<PendingWrite> batch) {
   }
 
   store_.publish(std::make_shared<const Snapshot>(
-      st.epoch, engine_.labels(), options_.top_k, options_.pair_cache_bits));
+      st.epoch, engine_.labels(), options_.top_k, options_.pair_cache_bits,
+      maybe_freeze_view()));
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_edges_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -276,6 +398,12 @@ ServeStats Server::stats() const {
   s.commit_p50 = commit_latency_.quantile(0.50);
   s.commit_p95 = commit_latency_.quantile(0.95);
   s.commit_p99 = commit_latency_.quantile(0.99);
+  s.kernel_queries = kernel_queries_.load(std::memory_order_relaxed);
+  s.kernel_query_errors =
+      kernel_query_errors_.load(std::memory_order_relaxed);
+  s.kernel_modeled_seconds =
+      static_cast<double>(kernel_modeled_us_.load(std::memory_order_relaxed)) *
+      1e-6;
   return s;
 }
 

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "graph/edge_list.hpp"
+#include "kernel/kernels.hpp"
 #include "obs/latency.hpp"
 #include "serve/ingest_queue.hpp"
 #include "serve/snapshot.hpp"
@@ -93,6 +94,15 @@ struct ServeOptions {
   /// Entries of each snapshot's top-components view.
   std::size_t top_k = 8;
 
+  /// Attach a frozen kernel::GraphView to every published snapshot and
+  /// enable the analytics endpoints (bfs_dist / pagerank_topk /
+  /// triangle_count).  Off by default: freezing costs a per-epoch view
+  /// build (zero-copy when no delta runs are resident) and keeps retained
+  /// epochs' graph structure alive.
+  bool enable_kernel_queries = false;
+  /// Tuning/convergence knobs for the analytics kernels.
+  kernel::KernelOptions kernel_options;
+
   /// Record per-request spans (exportable via write_request_trace).
   bool record_requests = false;
   /// Keep every applied batch for post-hoc verification (lacc_serve_cli
@@ -126,6 +136,30 @@ struct ReadResult {
   bool same = false;           ///< same_component answers
 };
 
+/// One analytics query answer.  `epoch` is the snapshot the kernel ran
+/// against; the kernel payload is valid only when status == kOk.
+struct BfsQueryResult {
+  ServeStatus status = ServeStatus::kOk;
+  std::uint64_t epoch = 0;
+  kernel::BfsResult result;
+};
+
+struct PageRankQueryResult {
+  ServeStatus status = ServeStatus::kOk;
+  std::uint64_t epoch = 0;
+  std::vector<kernel::RankEntry> top;  ///< top-k by rank, ties by min id
+  double l1_residual = 0;
+  bool converged = false;
+  kernel::KernelStats stats;
+};
+
+struct TriangleQueryResult {
+  ServeStatus status = ServeStatus::kOk;
+  std::uint64_t epoch = 0;
+  std::uint64_t triangles = 0;
+  kernel::KernelStats stats;
+};
+
 /// Point-in-time serving statistics (safe to call from any thread).
 struct ServeStats {
   std::uint64_t reads = 0;
@@ -144,6 +178,9 @@ struct ServeStats {
   double epochs_per_sec = 0;
   double read_p50 = 0, read_p95 = 0, read_p99 = 0;        ///< seconds
   double commit_p50 = 0, commit_p95 = 0, commit_p99 = 0;  ///< seconds
+  std::uint64_t kernel_queries = 0;  ///< analytics endpoint calls
+  std::uint64_t kernel_query_errors = 0;
+  double kernel_modeled_seconds = 0;  ///< summed kernel modeled time
 };
 
 /// Concurrent connected-components server.  Construction publishes the
@@ -188,6 +225,21 @@ class Server {
   std::shared_ptr<const Snapshot> snapshot() const;
   SnapshotStore::Lookup snapshot_at(std::uint64_t epoch,
                                     std::shared_ptr<const Snapshot>& out) const;
+
+  /// Analytics endpoints (require ServeOptions::enable_kernel_queries,
+  /// else they throw Error — a configuration mistake, not a request
+  /// error).  Each runs its kernel on the *caller's* thread against the
+  /// latest (or, for the _at variants, a pinned retention-ring) snapshot's
+  /// frozen view, so analytics never block ingest: the engine thread keeps
+  /// advancing epochs while a kernel runs, and compaction copies-on-write
+  /// around the pinned view.
+  BfsQueryResult bfs_dist(VertexId source) const;
+  BfsQueryResult bfs_dist_at(std::uint64_t epoch, VertexId source) const;
+  PageRankQueryResult pagerank_topk(std::size_t k) const;
+  PageRankQueryResult pagerank_topk_at(std::uint64_t epoch,
+                                       std::size_t k) const;
+  TriangleQueryResult triangle_count() const;
+  TriangleQueryResult triangle_count_at(std::uint64_t epoch) const;
 
   /// Highest write ticket covered by a published epoch — the shard's
   /// applied-seq watermark.  The router reads this *before* grabbing
@@ -235,6 +287,22 @@ class Server {
 
   void engine_main();
   void apply_batch(std::vector<PendingWrite> batch);
+  /// Freeze the engine's current epoch into a snapshot-attachable view
+  /// (null unless kernel queries are enabled).  Engine-thread / pre-start
+  /// only, like every engine collective.
+  std::shared_ptr<const kernel::GraphView> maybe_freeze_view();
+  /// Resolve the snapshot a kernel query runs against: the latest
+  /// (pinned=false) or the ring entry at `epoch`.  Returns kOk with a
+  /// non-null snap, or the lookup failure status.  Throws Error when
+  /// kernel queries are disabled.
+  ServeStatus kernel_snapshot(bool pinned, std::uint64_t epoch,
+                              std::shared_ptr<const Snapshot>& snap) const;
+  void record_kernel(const kernel::KernelStats& stats, bool ok) const;
+  BfsQueryResult bfs_impl(bool pinned, std::uint64_t epoch,
+                          VertexId source) const;
+  PageRankQueryResult pagerank_impl(bool pinned, std::uint64_t epoch,
+                                    std::size_t k) const;
+  TriangleQueryResult triangles_impl(bool pinned, std::uint64_t epoch) const;
   ServeStatus wait_for_ticket(std::uint64_t ticket) const;
   ReadResult read_latest(const char* what, VertexId u, VertexId v, bool pair,
                          std::uint64_t ticket) const;
@@ -264,6 +332,11 @@ class Server {
   std::atomic<std::uint64_t> writes_shed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_edges_{0};
+  mutable std::atomic<std::uint64_t> kernel_queries_{0};
+  mutable std::atomic<std::uint64_t> kernel_query_errors_{0};
+  /// Summed kernel modeled seconds in microsecond ticks (atomic double via
+  /// integer, same idiom as the router's reconcile clock).
+  mutable std::atomic<std::uint64_t> kernel_modeled_us_{0};
   mutable obs::LatencyHistogram read_latency_;
   obs::LatencyHistogram commit_latency_;
   const std::chrono::steady_clock::time_point started_;

@@ -6,10 +6,12 @@
 namespace lacc::serve {
 
 Snapshot::Snapshot(std::uint64_t epoch, std::vector<VertexId> labels,
-                   std::size_t top_k, std::uint32_t cache_bits)
+                   std::size_t top_k, std::uint32_t cache_bits,
+                   std::shared_ptr<const kernel::GraphView> view)
     : epoch_(epoch),
       labels_(std::move(labels)),
-      cache_(cache_bits, static_cast<VertexId>(labels_.size())) {
+      cache_(cache_bits, static_cast<VertexId>(labels_.size())),
+      view_(std::move(view)) {
   const auto n = static_cast<VertexId>(labels_.size());
   for (VertexId v = 0; v < n; ++v) {
     LACC_CHECK_MSG(labels_[v] <= v && labels_[labels_[v]] == labels_[v],

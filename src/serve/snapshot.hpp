@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "kernel/view.hpp"
 #include "support/error.hpp"
 #include "support/sync.hpp"
 #include "support/types.hpp"
@@ -126,9 +127,13 @@ using PairCache = BasicPairCache<support::StdSyncPolicy>;
 class Snapshot {
  public:
   /// Derive the read structures from a canonical label vector (label[v] =
-  /// minimum vertex id of v's component, normalize_labels form).
+  /// minimum vertex id of v's component, normalize_labels form).  `view`
+  /// optionally attaches the epoch's frozen graph (StreamEngine::
+  /// freeze_view) so analytics kernels can run against this exact epoch
+  /// while ingest continues; null when kernel queries are disabled.
   Snapshot(std::uint64_t epoch, std::vector<VertexId> labels,
-           std::size_t top_k, std::uint32_t cache_bits);
+           std::size_t top_k, std::uint32_t cache_bits,
+           std::shared_ptr<const kernel::GraphView> view = nullptr);
 
   std::uint64_t epoch() const { return epoch_; }
   VertexId num_vertices() const {
@@ -152,12 +157,21 @@ class Snapshot {
 
   const PairCache& cache() const { return cache_; }
 
+  /// The epoch's frozen graph view (null unless the server was constructed
+  /// with kernel queries enabled).  Holding the snapshot pins the view:
+  /// compaction copies-on-write around live views, so kernels read this
+  /// epoch's structure no matter how far ingest has advanced.
+  const std::shared_ptr<const kernel::GraphView>& view() const {
+    return view_;
+  }
+
  private:
   std::uint64_t epoch_;
   std::vector<VertexId> labels_;
   std::uint64_t num_components_ = 0;
   std::vector<std::pair<VertexId, std::uint64_t>> top_components_;
   PairCache cache_;
+  std::shared_ptr<const kernel::GraphView> view_;
 };
 
 /// Epoch-indexed snapshot publication point: one writer publishes strictly

@@ -4,6 +4,12 @@
 #include <chrono>
 
 #include "core/lacc_dist.hpp"
+#include "dist/dist_mat.hpp"
+#include "dist/grid.hpp"
+#include "kernel/kernels.hpp"
+#include "sim/comm.hpp"
+#include "sim/runtime.hpp"
+#include "stream/delta_store.hpp"
 #include "support/error.hpp"
 
 namespace lacc::shard {
@@ -29,8 +35,15 @@ Router::Router(VertexId n, int nranks, const sim::MachineModel& machine,
     if (options_.shards > 1) {
       // The engine thread pushes each epoch's extracted cross-shard edges
       // here before publishing the epoch's snapshot (see ServeOptions).
+      // Kernel queries keep their own copy: a cross-shard edge never enters
+      // any shard's matrix, so view composition has to re-add it.
       so.boundary_sink = [this](std::vector<graph::Edge> edges,
                                 std::uint64_t /*epoch*/) {
+        if (options_.serve.enable_kernel_queries) {
+          std::lock_guard<std::mutex> lock(kernel_mu_);
+          kernel_boundary_.insert(kernel_boundary_.end(), edges.begin(),
+                                  edges.end());
+        }
         boundary_.add(std::move(edges));
       };
     }
@@ -306,6 +319,128 @@ bool Router::stopped() const {
   return stopped_.load(std::memory_order_acquire);
 }
 
+std::shared_ptr<const kernel::GraphView> Router::compose_view() const {
+  if (!options_.serve.enable_kernel_queries)
+    throw Error(
+        "kernel queries are disabled; construct the router with "
+        "ServeOptions::enable_kernel_queries on the serve template");
+
+  // Grab every shard's latest snapshot first (each pins its frozen view),
+  // then the boundary log; the composed graph is their union.  The cache
+  // key is (per-shard epochs, boundary count): either changing means the
+  // union changed, neither changing means it did not — shard snapshots are
+  // immutable and the boundary log is append-only.
+  std::vector<std::shared_ptr<const serve::Snapshot>> snaps;
+  snaps.reserve(shards_.size());
+  std::vector<std::uint64_t> key;
+  key.reserve(shards_.size() + 1);
+  for (const auto& sh : shards_) {
+    snaps.push_back(sh->snapshot());
+    key.push_back(snaps.back()->epoch());
+  }
+  std::vector<graph::Edge> boundary;
+  {
+    std::lock_guard<std::mutex> lock(kernel_mu_);
+    key.push_back(kernel_boundary_.size());
+    if (kernel_view_cache_ && kernel_view_key_ == key)
+      return kernel_view_cache_;
+    boundary = kernel_boundary_;
+  }
+
+  const int nranks = snaps.front()->view()->nranks();
+  std::vector<std::shared_ptr<const dist::DistCsc>> blocks(
+      static_cast<std::size_t>(nranks));
+  const auto spmd = sim::run_spmd(nranks, machine_, [&](sim::Comm& world) {
+    dist::ProcGrid grid(world);
+    sim::Region region(world, "kernel-compose",
+                       static_cast<std::int64_t>(watermarks_.epoch()));
+    // Every shard engine spans the full vertex space at the same SPMD
+    // width, so shard s's rank-r block covers exactly this rank's row and
+    // column ranges; their entries concatenate coordinate-for-coordinate.
+    std::vector<dist::CscCoord> coords;
+    for (const auto& snap : snaps) {
+      const dist::DistCsc& blk = snap->view()->block(world.rank());
+      const auto& cols = blk.col_ids();
+      for (std::size_t ci = 0; ci < cols.size(); ++ci)
+        for (const VertexId row : blk.col_rows(ci))
+          coords.push_back({row, cols[ci]});
+    }
+    graph::EdgeList empty(n_);
+    auto merged = std::make_shared<dist::DistCsc>(grid, empty);
+    // Cross-shard edges symmetrize like ingestion would; keep the
+    // coordinates landing in this rank's block.
+    const VertexId rb = merged->row_begin(), re = merged->row_end();
+    const VertexId cb = merged->col_begin(), ce = merged->col_end();
+    for (const auto& e : boundary) {
+      if (e.u == e.v) continue;
+      if (e.u >= rb && e.u < re && e.v >= cb && e.v < ce)
+        coords.push_back({e.u, e.v});
+      if (e.v >= rb && e.v < re && e.u >= cb && e.u < ce)
+        coords.push_back({e.v, e.u});
+    }
+    stream::sort_unique_column_major(coords, n_);
+    merged->merge_delta(grid, coords);
+    blocks[static_cast<std::size_t>(world.rank())] = std::move(merged);
+  });
+
+  auto view = std::make_shared<const kernel::GraphView>(
+      n_, nranks, machine_, watermarks_.epoch(), std::move(blocks),
+      spmd.sim_seconds);
+  kernel_modeled_us_.fetch_add(
+      static_cast<std::uint64_t>(spmd.sim_seconds * 1e6),
+      std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(kernel_mu_);
+  kernel_view_key_ = std::move(key);
+  kernel_view_cache_ = view;
+  return view;
+}
+
+serve::BfsQueryResult Router::bfs_dist(VertexId source) const {
+  serve::BfsQueryResult r;
+  kernel_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (source >= n_) {
+    r.status = serve::ServeStatus::kUnknownVertex;
+    return r;
+  }
+  const auto view = compose_view();
+  r.epoch = view->epoch();
+  r.result = kernel::bfs(*view, source, options_.serve.kernel_options);
+  kernel_modeled_us_.fetch_add(
+      static_cast<std::uint64_t>(r.result.stats.modeled_seconds * 1e6),
+      std::memory_order_relaxed);
+  return r;
+}
+
+serve::PageRankQueryResult Router::pagerank_topk(std::size_t k) const {
+  serve::PageRankQueryResult r;
+  kernel_queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto view = compose_view();
+  r.epoch = view->epoch();
+  const auto pr = kernel::pagerank(*view, options_.serve.kernel_options);
+  r.top = kernel::top_k_ranks(pr.rank, k);
+  r.l1_residual = pr.l1_residual;
+  r.converged = pr.converged;
+  r.stats = pr.stats;
+  kernel_modeled_us_.fetch_add(
+      static_cast<std::uint64_t>(r.stats.modeled_seconds * 1e6),
+      std::memory_order_relaxed);
+  return r;
+}
+
+serve::TriangleQueryResult Router::triangle_count() const {
+  serve::TriangleQueryResult r;
+  kernel_queries_.fetch_add(1, std::memory_order_relaxed);
+  const auto view = compose_view();
+  r.epoch = view->epoch();
+  const auto tc = kernel::triangle_count(*view, options_.serve.kernel_options);
+  r.triangles = tc.triangles;
+  r.stats = tc.stats;
+  kernel_modeled_us_.fetch_add(
+      static_cast<std::uint64_t>(r.stats.modeled_seconds * 1e6),
+      std::memory_order_relaxed);
+  return r;
+}
+
 RouterStats Router::stats() const {
   RouterStats s;
   for (const auto& sh : shards_) {
@@ -329,6 +464,10 @@ RouterStats Router::stats() const {
   s.reconcile_modeled_seconds =
       static_cast<double>(
           reconcile_modeled_us_.load(std::memory_order_relaxed)) /
+      1e6;
+  s.kernel_queries = kernel_queries_.load(std::memory_order_relaxed);
+  s.kernel_modeled_seconds =
+      static_cast<double>(kernel_modeled_us_.load(std::memory_order_relaxed)) /
       1e6;
   return s;
 }

@@ -119,6 +119,8 @@ struct RouterStats {
   std::uint64_t boundary_raw_total = 0;  ///< raw cross-shard edges routed
   std::uint64_t boundary_words_moved = 0;  ///< cumulative quotient words
   double reconcile_modeled_seconds = 0;    ///< summed boundary LACC time
+  std::uint64_t kernel_queries = 0;        ///< router-level kernel queries
+  double kernel_modeled_seconds = 0;       ///< summed kernel SPMD time
   std::vector<serve::ServeStats> shard_stats;
   std::vector<ReplicaStats> replica_stats;
   std::vector<std::uint64_t> boundary_per_shard;
@@ -183,6 +185,21 @@ class Router {
 
   /// Latest global snapshot of one replica (never null).
   std::shared_ptr<const GlobalSnapshot> snapshot(int replica = 0) const;
+
+  /// Analytics over the composed global graph: the union of every shard's
+  /// latest published snapshot plus all cross-shard edges routed so far.
+  /// After flush() this is exactly the full ingested graph.  Requires
+  /// ServeOptions::enable_kernel_queries on the serve template; runs on the
+  /// caller's thread against a cached composed view (rebuilt only when a
+  /// shard epoch advanced or a boundary edge arrived), never blocking
+  /// ingest or reconcile.  Results carry the global epoch of composition.
+  serve::BfsQueryResult bfs_dist(VertexId source) const;
+  serve::PageRankQueryResult pagerank_topk(std::size_t k) const;
+  serve::TriangleQueryResult triangle_count() const;
+
+  /// The composed global view the kernel endpoints run against (tests,
+  /// drivers).  Throws when kernel queries are disabled.
+  std::shared_ptr<const kernel::GraphView> compose_view() const;
 
   /// Latest global epoch whose coverage is published (replicas may briefly
   /// be ahead — they publish first).
@@ -261,6 +278,16 @@ class Router {
   std::vector<std::uint64_t> last_w_, last_e_;
   std::vector<EpochRecord> history_;
 
+  /// Kernel-query state: cross-shard edges retained for view composition
+  /// (appended by shard engine threads through boundary_sink, only when
+  /// kernel queries are enabled) plus a one-entry compose cache keyed by
+  /// (per-shard epochs, boundary count) so repeated queries against an
+  /// unchanged router share one composed view.
+  mutable std::mutex kernel_mu_;
+  std::vector<graph::Edge> kernel_boundary_;
+  mutable std::vector<std::uint64_t> kernel_view_key_;
+  mutable std::shared_ptr<const kernel::GraphView> kernel_view_cache_;
+
   // Monitoring.
   mutable std::atomic<std::uint64_t> next_replica_{0};
   mutable std::atomic<std::uint64_t> ticket_waits_{0};
@@ -270,6 +297,8 @@ class Router {
   std::atomic<std::uint64_t> published_epoch_{0};
   /// Modeled seconds in microsecond ticks (atomic double via integer).
   std::atomic<std::uint64_t> reconcile_modeled_us_{0};
+  mutable std::atomic<std::uint64_t> kernel_queries_{0};
+  mutable std::atomic<std::uint64_t> kernel_modeled_us_{0};
 
   std::thread reconcile_thread_;  ///< last member: joined in stop()
 };

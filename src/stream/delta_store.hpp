@@ -128,6 +128,30 @@ class DeltaStore {
     pending_from_ = runs_.size();
   }
 
+  /// Frozen-view support (StreamEngine::freeze_view): the *processed* runs'
+  /// coordinates — edges already reflected in the labels but not yet
+  /// compacted into the DCSC base — merged into one column-major sorted,
+  /// unique sequence without draining the store.  Pending runs are excluded:
+  /// they are not part of the published epoch any more than they are part of
+  /// the labels.
+  std::vector<dist::CscCoord> processed_coords() const {
+    fence();
+    std::vector<dist::CscCoord> out;
+    out.reserve(static_cast<std::size_t>(processed_nnz()));
+    for (std::size_t r = 0; r < pending_from_; ++r)
+      out.insert(out.end(), runs_[r].begin(), runs_[r].end());
+    sort_unique_column_major(out, n_);
+    return out;
+  }
+
+  /// Directed entries in processed (label-folded, uncompacted) runs.
+  EdgeId processed_nnz() const {
+    fence();
+    EdgeId total = 0;
+    for (std::size_t r = 0; r < pending_from_; ++r) total += runs_[r].size();
+    return total;
+  }
+
   /// Compaction: merge all runs into one column-major sorted, unique
   /// sequence (ready for DistCsc::merge_delta) and clear the store.
   /// Draining destroys the run structure, so it is an LACC_CHECK failure to

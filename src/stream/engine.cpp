@@ -70,7 +70,11 @@ int rebuild_labels(ProcGrid& grid, sim::Comm& world,
 /// sessions (all members are plain data; the conformance layer's block
 /// fences verify only the owning rank ever touches them).
 struct StreamEngine::RankSlot {
-  std::optional<DistCsc> base;          ///< compacted DCSC adjacency
+  /// Compacted DCSC adjacency.  Held by shared_ptr so freeze_view() can
+  /// hand out zero-copy immutable views: a frozen block is never mutated —
+  /// compaction copies-on-write when a view still references the base
+  /// (use_count > 1) and swings the pointer to the fresh copy instead.
+  std::shared_ptr<DistCsc> base;
   std::optional<DeltaStore> delta;      ///< uncompacted edge runs
   std::optional<DistVec<VertexId>> labels;  ///< canonical min-id labels, dense
   /// Component size stored exactly at current roots (drives the dirty
@@ -117,7 +121,7 @@ StreamEngine::StreamEngine(VertexId n, int nranks,
     ProcGrid grid(world);
     const int rank = world.rank();
     RankSlot& slot = *slots_[static_cast<std::size_t>(rank)];
-    slot.base.emplace(grid, empty);
+    slot.base = std::make_shared<DistCsc>(grid, empty);
     slot.delta.emplace(grid, n_);
     slot.labels.emplace(grid, n_);
     slot.comp_size.emplace(grid, n_);
@@ -293,7 +297,6 @@ EpochStats StreamEngine::advance_epoch() {
   auto spmd = sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
     ProcGrid grid(world);
     RankSlot& slot = *slots_[static_cast<std::size_t>(world.rank())];
-    DistCsc& base = *slot.base;
     DeltaStore& delta = *slot.delta;
     DistVec<VertexId>& labels = *slot.labels;
     DistVec<std::uint64_t>& comp_size = *slot.comp_size;
@@ -360,7 +363,7 @@ EpochStats StreamEngine::advance_epoch() {
         full || static_cast<double>(delta_nnz) >
                     options_.compaction_factor *
                         static_cast<double>(std::max<EdgeId>(
-                            base.global_nnz(), 1));
+                            slot.base->global_nnz(), 1));
     if (compact && delta_nnz != 0) {
       sim::Region region(world, "stream-compact");
       const std::vector<CscCoord> drained = delta.drain_merged(grid);
@@ -369,7 +372,15 @@ EpochStats StreamEngine::advance_epoch() {
       // rotate the WAL — its records are all represented in run files now.
       // Disk I/O is host work, outside the modeled cost.
       if (slot.store != nullptr) slot.store->apply_plan(plan, drained, n);
-      base.merge_delta(grid, drained);
+      // Copy-on-write: a frozen GraphView may still hold this block, and
+      // frozen blocks are immutable.  The check is per-rank and local (no
+      // collective inside the branch), so it tolerates a view being
+      // destroyed concurrently on another thread: any *live* view keeps
+      // every rank's count above 1 for the whole epoch, and a dying view's
+      // blocks are no longer read by anyone either way.
+      if (slot.base.use_count() > 1)
+        slot.base = std::make_shared<DistCsc>(*slot.base);
+      slot.base->merge_delta(grid, drained);
     }
 
     int iterations = 0;
@@ -378,8 +389,8 @@ EpochStats StreamEngine::advance_epoch() {
       // algorithm and re-canonicalize.  Every rank computes the same
       // normalized vector from the gathered parents.
       sim::Region region(world, "stream-rebuild");
-      iterations = rebuild_labels(grid, world, options_.lacc, n, base, labels,
-                                  comp_size);
+      iterations = rebuild_labels(grid, world, options_.lacc, n, *slot.base,
+                                  labels, comp_size);
     } else if (cross_total != 0) {
       // --- Incremental path: Shiloach–Vishkin on the contracted multigraph
       // whose vertices are current roots and whose edges are the cross
@@ -534,6 +545,40 @@ EpochStats StreamEngine::advance_epoch() {
   last_spmd_ = std::move(spmd);
   history_.push_back(st);
   return st;
+}
+
+kernel::GraphView StreamEngine::freeze_view() {
+  // Host-side peek at the processed-run watermark (fences are no-ops
+  // outside run_spmd).  All-or-nothing across ranks: compaction and
+  // mark_pending_processed are collective, so either every rank has
+  // processed runs resident or none does.
+  bool resident = false;
+  for (const auto& slot : slots_)
+    if (slot->delta->processed_nnz() != 0) resident = true;
+
+  std::vector<std::shared_ptr<const dist::DistCsc>> blocks(slots_.size());
+  double freeze_modeled = 0;
+  if (!resident) {
+    // Zero-copy: share the base blocks; the next compaction copies-on-write
+    // while this view is alive.
+    for (std::size_t r = 0; r < slots_.size(); ++r)
+      blocks[r] = slots_[r]->base;
+  } else {
+    // Processed runs are reflected in the labels but not the DCSC arrays;
+    // a faithful view of the published epoch folds them into a merged copy.
+    const auto spmd = sim::run_spmd(nranks_, machine_, [&](sim::Comm& world) {
+      ProcGrid grid(world);
+      sim::Region region(world, "kernel-freeze",
+                         static_cast<std::int64_t>(epoch_));
+      RankSlot& slot = *slots_[static_cast<std::size_t>(world.rank())];
+      auto merged = std::make_shared<DistCsc>(*slot.base);
+      merged->merge_delta(grid, slot.delta->processed_coords());
+      blocks[static_cast<std::size_t>(world.rank())] = std::move(merged);
+    });
+    freeze_modeled = spmd.sim_seconds;
+  }
+  return kernel::GraphView(n_, nranks_, machine_, epoch_, std::move(blocks),
+                           freeze_modeled);
 }
 
 std::vector<graph::Edge> StreamEngine::take_extracted_boundary() {

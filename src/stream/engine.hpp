@@ -42,6 +42,7 @@
 
 #include "core/options.hpp"
 #include "graph/edge_list.hpp"
+#include "kernel/view.hpp"
 #include "sim/machine.hpp"
 #include "sim/runtime.hpp"
 #include "stream/durable/options.hpp"
@@ -171,6 +172,18 @@ class StreamEngine {
 
   /// Full canonical label vector at the current epoch.
   const std::vector<VertexId>& labels() const { return current_labels_; }
+
+  /// Freeze an immutable kernel::GraphView of the graph at the current
+  /// epoch: the DCSC base plus every *processed* delta run (edges already
+  /// folded into the labels but not yet compacted; pending runs belong to
+  /// the next epoch and are excluded).  When no processed runs are resident
+  /// the view shares the base blocks without copying — the next compaction
+  /// copies-on-write if the view is still alive — otherwise one SPMD merge
+  /// session pays for a merged copy per rank and its modeled cost is
+  /// recorded on the view.  Like every collective operation here, not
+  /// thread-safe against concurrent ingest/advance; serve::Server calls it
+  /// from its engine thread before publishing the epoch's snapshot.
+  kernel::GraphView freeze_view();
 
   /// Per-epoch records, oldest first (history()[e - 1] is epoch e).
   const std::vector<EpochStats>& history() const { return history_; }

@@ -1,0 +1,89 @@
+// Golden test pinning top_k_components tie-breaking across rank counts.
+//
+// The serving tier's top-components view (serve::Snapshot, shard replicas)
+// and the kernel CLI both surface top_k_components answers to users, so the
+// exact ordering — size descending, ties broken by smaller canonical label,
+// canonical label = minimum vertex id in the component — must never drift,
+// and must be identical whatever rank count produced the labeling.  The
+// first test pins hand-computable literals on a tie-heavy graph; the second
+// pins an FNV-1a digest of the full top-k answer on a many-component
+// path forest, regenerable with:
+//
+//   LACC_GOLDEN_PRINT=1 ./core_dist_test --gtest_filter='TopKGolden.*'
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/lacc_dist.hpp"
+#include "graph/generators.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc::core {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (x >> (8 * b)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 1469598103934665603ull;
+
+std::vector<std::pair<VertexId, std::uint64_t>> top_k_of(
+    const graph::EdgeList& el, int ranks, std::size_t k) {
+  const auto result =
+      lacc_dist(el, ranks, sim::MachineModel::edison());
+  return top_k_components(result.cc.parent, k);
+}
+
+TEST(TopKGolden, TieBreakLiteralsStableAcrossRanks) {
+  // Components: {0..4} path, {5..9} cycle, {10..14} clique, {15..17} path,
+  // {18..20} cycle — sizes [5, 5, 5, 3, 3], canonical labels = min ids.
+  auto el = graph::disjoint_union(graph::path(5), graph::cycle(5));
+  el = graph::disjoint_union(el, graph::complete(5));
+  el = graph::disjoint_union(el, graph::path(3));
+  el = graph::disjoint_union(el, graph::cycle(3));
+
+  const std::vector<std::pair<VertexId, std::uint64_t>> expected = {
+      {0, 5}, {5, 5}, {10, 5}, {15, 3}};
+  for (const int ranks : {1, 4, 9}) {
+    const auto top = top_k_of(el, ranks, 4);
+    EXPECT_EQ(top, expected) << "ranks=" << ranks;
+    // k past the component count clamps to all of them, same order.
+    const auto all = top_k_of(el, ranks, 100);
+    ASSERT_EQ(all.size(), 5u) << "ranks=" << ranks;
+    EXPECT_EQ(all[4], (std::pair<VertexId, std::uint64_t>{18, 3}));
+  }
+}
+
+TEST(TopKGolden, PathForestDigestStableAcrossRanks) {
+  // Many small components with heavy size ties — the regime where an
+  // unstable tie-break would scramble the answer.
+  const auto el = graph::path_forest(600, 6, /*seed=*/29);
+  constexpr std::uint64_t kGolden = 0x55b8ceeb173e8790ull;
+  for (const int ranks : {1, 4, 9}) {
+    const auto top = top_k_of(el, ranks, 16);
+    std::uint64_t digest = kFnvSeed;
+    for (const auto& [label, size] : top) {
+      digest = fnv1a(digest, static_cast<std::uint64_t>(label));
+      digest = fnv1a(digest, size);
+    }
+    if (std::getenv("LACC_GOLDEN_PRINT") != nullptr && ranks == 1) {
+      std::cout << "TopKGolden digest: 0x" << std::hex << digest
+                << std::dec << "\n";
+      for (const auto& [label, size] : top)
+        std::cout << "  label=" << label << " size=" << size << "\n";
+    }
+    EXPECT_EQ(digest, kGolden) << "ranks=" << ranks;
+  }
+}
+
+}  // namespace
+}  // namespace lacc::core

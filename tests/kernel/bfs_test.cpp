@@ -1,0 +1,120 @@
+// Direction-aware BFS over the (min, Select2nd) semiring, checked against
+// the serial queue oracle across rank counts and graph regimes, plus the
+// structural contract of the min-parent tree.
+#include "kernel/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "kernel/reference.hpp"
+#include "kernel/view.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace lacc::kernel {
+namespace {
+
+const sim::MachineModel& machine() {
+  static const sim::MachineModel m = sim::MachineModel::edison();
+  return m;
+}
+
+void expect_matches_reference(const graph::EdgeList& el, VertexId source) {
+  const auto truth = reference_bfs_distances(el, source);
+  for (const int nranks : {1, 4, 9}) {
+    const auto view = GraphView::from_edges(el, nranks, machine());
+    const auto result = bfs(view, source);
+    EXPECT_EQ(result.dist, truth) << "nranks=" << nranks;
+    const auto reached = static_cast<std::uint64_t>(
+        std::count_if(truth.begin(), truth.end(),
+                      [](VertexId d) { return d != kNoVertex; }));
+    EXPECT_EQ(result.reached, reached) << "nranks=" << nranks;
+  }
+}
+
+TEST(Bfs, MatchesReferenceOnPath) {
+  expect_matches_reference(graph::path(37), 0);
+  expect_matches_reference(graph::path(37), 18);
+}
+
+TEST(Bfs, MatchesReferenceOnRmat) {
+  expect_matches_reference(graph::rmat(8, 2048, /*seed=*/3), 0);
+}
+
+TEST(Bfs, MatchesReferenceOnMesh) {
+  expect_matches_reference(graph::mesh3d(5, 5, 5), 62);
+}
+
+TEST(Bfs, UnreachableVerticesStayNoVertex) {
+  // Two far-apart components: everything across the gap is unreachable.
+  const auto el =
+      graph::disjoint_union(graph::cycle(20), graph::complete(10));
+  const auto view = GraphView::from_edges(el, 4, machine());
+  const auto result = bfs(view, 3);
+  EXPECT_EQ(result.reached, 20u);
+  for (VertexId v = 20; v < 30; ++v) {
+    EXPECT_EQ(result.dist[v], kNoVertex);
+    EXPECT_EQ(result.parent[v], kNoVertex);
+  }
+}
+
+TEST(Bfs, ParentTreeIsMinIdPreviousLevelNeighbor) {
+  const auto el = graph::erdos_renyi(60, 140, /*seed=*/5);
+  const auto view = GraphView::from_edges(el, 4, machine());
+  const auto result = bfs(view, 0);
+
+  // Sorted adjacency for the structural check.
+  std::vector<std::vector<VertexId>> adj(el.n);
+  for (const auto& e : el.edges) {
+    if (e.u == e.v) continue;
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+
+  EXPECT_EQ(result.parent[0], 0u);
+  EXPECT_EQ(result.dist[0], 0u);
+  for (VertexId v = 1; v < el.n; ++v) {
+    if (result.dist[v] == kNoVertex) continue;
+    const VertexId p = result.parent[v];
+    ASSERT_NE(p, kNoVertex);
+    // The parent is one level up and the *smallest* such neighbor — the min
+    // semiring pins the tree deterministically.
+    EXPECT_EQ(result.dist[p] + 1, result.dist[v]);
+    VertexId min_prev = kNoVertex;
+    for (const VertexId w : adj[v])
+      if (result.dist[w] != kNoVertex && result.dist[w] + 1 == result.dist[v])
+        min_prev = std::min(min_prev, w);
+    EXPECT_EQ(p, min_prev) << "v=" << v;
+  }
+}
+
+TEST(Bfs, DeterministicAcrossRankCounts) {
+  const auto el = graph::rmat(8, 1500, /*seed=*/11);
+  const auto base = bfs(GraphView::from_edges(el, 1, machine()), 0);
+  for (const int nranks : {4, 9}) {
+    const auto got = bfs(GraphView::from_edges(el, nranks, machine()), 0);
+    EXPECT_EQ(got.dist, base.dist);
+    EXPECT_EQ(got.parent, base.parent);
+    EXPECT_EQ(got.reached, base.reached);
+  }
+}
+
+TEST(Bfs, RoundsEqualEccentricityPlusOne) {
+  const auto el = graph::path(17);
+  const auto result = bfs(GraphView::from_edges(el, 4, machine()), 0);
+  // 16 levels of frontier expansion from the end of a path, plus the final
+  // round that drains the last frontier and discovers nothing.
+  EXPECT_EQ(result.stats.rounds, 17u);
+  EXPECT_GT(result.stats.modeled_seconds, 0.0);
+}
+
+TEST(Bfs, OutOfRangeSourceThrows) {
+  const auto view = GraphView::from_edges(graph::path(8), 1, machine());
+  EXPECT_THROW(bfs(view, 8), Error);
+}
+
+}  // namespace
+}  // namespace lacc::kernel

@@ -1,0 +1,118 @@
+// PageRank by (plus, times) power iteration: oracle agreement within
+// tolerance, probability-mass conservation, dangling-vertex handling, the
+// iteration cap, and the deterministic top-k tie-break.
+#include "kernel/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "kernel/reference.hpp"
+#include "kernel/view.hpp"
+#include "sim/machine.hpp"
+
+namespace lacc::kernel {
+namespace {
+
+const sim::MachineModel& machine() {
+  static const sim::MachineModel m = sim::MachineModel::edison();
+  return m;
+}
+
+void expect_matches_reference(const graph::EdgeList& el) {
+  const KernelOptions options;
+  const auto truth = reference_pagerank(el, options.damping,
+                                        options.tolerance,
+                                        options.max_iterations);
+  for (const int nranks : {1, 4, 9}) {
+    const auto view = GraphView::from_edges(el, nranks, machine());
+    const auto result = pagerank(view, options);
+    ASSERT_EQ(result.rank.size(), truth.size());
+    for (std::size_t v = 0; v < truth.size(); ++v)
+      EXPECT_NEAR(result.rank[v], truth[v], 1e-8)
+          << "nranks=" << nranks << " v=" << v;
+    EXPECT_TRUE(result.converged) << "nranks=" << nranks;
+  }
+}
+
+TEST(PageRank, MatchesReferenceOnRmat) {
+  expect_matches_reference(graph::rmat(8, 2048, /*seed=*/3));
+}
+
+TEST(PageRank, MatchesReferenceOnStar) {
+  expect_matches_reference(graph::star(40));
+}
+
+TEST(PageRank, MassSumsToOne) {
+  const auto el = graph::erdos_renyi(80, 200, /*seed=*/9);
+  const auto result = pagerank(GraphView::from_edges(el, 4, machine()));
+  const double sum =
+      std::accumulate(result.rank.begin(), result.rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRank, DanglingMassRedistributedUniformly) {
+  // Isolated vertices (degree 0) are the dangling set in an undirected
+  // graph; their rank must stay the uniform teleport share, and the total
+  // must still sum to 1 (mass is redistributed, not dropped).
+  const auto el =
+      graph::disjoint_union(graph::complete(10), graph::empty_graph(10));
+  const auto result = pagerank(GraphView::from_edges(el, 4, machine()));
+  const double sum =
+      std::accumulate(result.rank.begin(), result.rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // All dangling vertices are structurally identical: equal rank.
+  for (VertexId v = 11; v < 20; ++v)
+    EXPECT_NEAR(result.rank[v], result.rank[10], 1e-12);
+  // The clique vertices absorb strictly more mass than the isolates.
+  EXPECT_GT(result.rank[0], result.rank[10]);
+}
+
+TEST(PageRank, IterationCapRespected) {
+  KernelOptions options;
+  // Degree-skewed graph: the uniform start is not stationary (on a regular
+  // graph it is, and the residual would hit exactly zero in round one).
+  options.tolerance = 0;
+  options.max_iterations = 7;
+  const auto el = graph::star(30);
+  const auto result =
+      pagerank(GraphView::from_edges(el, 4, machine()), options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.stats.rounds, 7u);
+}
+
+TEST(PageRank, ConvergedReportsResidualUnderTolerance) {
+  KernelOptions options;
+  options.tolerance = 1e-10;
+  const auto el = graph::rmat(7, 800, /*seed=*/21);
+  const auto result =
+      pagerank(GraphView::from_edges(el, 4, machine()), options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.l1_residual, options.tolerance);
+  EXPECT_LT(result.stats.rounds,
+            static_cast<std::uint64_t>(options.max_iterations));
+}
+
+TEST(TopKRanks, TiesBreakTowardSmallerVertexId) {
+  const std::vector<double> ranks = {0.2, 0.3, 0.2, 0.3, 0.0};
+  const auto top = top_k_ranks(ranks, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].v, 1u);  // 0.3, smaller id first
+  EXPECT_EQ(top[1].v, 3u);
+  EXPECT_EQ(top[2].v, 0u);  // 0.2, smaller id first
+  EXPECT_DOUBLE_EQ(top[0].rank, 0.3);
+  EXPECT_DOUBLE_EQ(top[2].rank, 0.2);
+}
+
+TEST(TopKRanks, KLargerThanNClamps) {
+  const std::vector<double> ranks = {0.5, 0.5};
+  const auto top = top_k_ranks(ranks, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].v, 0u);
+  EXPECT_EQ(top[1].v, 1u);
+}
+
+}  // namespace
+}  // namespace lacc::kernel

@@ -1,4 +1,4 @@
-// lacc-metrics-v6 emitter: the document structure consumed by
+// lacc-metrics-v7 emitter: the document structure consumed by
 // tools/check_obs_json.py and the perf trajectory.
 #include "obs/metrics.hpp"
 
@@ -27,7 +27,7 @@ TEST(Metrics, SerialRunRecord) {
   auto rec = obs::make_run_record("serial", 0, {}, 0.0, 1.5,
                                   {{"edges", 42.0}});
   const std::string json = emit({std::move(rec)});
-  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v6\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"lacc-metrics-v7\""), std::string::npos);
   EXPECT_NE(json.find("\"tool\":\"metrics_test\""), std::string::npos);
   // Static runs never carry the streaming-only epochs array, the
   // serving-only serve block, the durable-only durability block, or the
@@ -111,6 +111,24 @@ TEST(Metrics, ShardedRunEmitsNestedShardBlock) {
                       "{\"shard\":1,\"boundary_raw\":3}],"
                       "\"per_replica\":[{\"replica\":0,\"reads\":100}]}"),
             std::string::npos);
+}
+
+TEST(Metrics, AnalyticsRunEmitsKernelsArray) {
+  auto rec = obs::make_run_record("analytics", 0, {}, 0.0, 0.5);
+  rec.kernels.push_back(
+      {{"kernel_id", 0.0}, {"invocations", 1.0}, {"rounds", 4.0}});
+  rec.kernels.push_back(
+      {{"kernel_id", 2.0}, {"invocations", 2.0}, {"triangles", 9.0}});
+  const std::string json = emit({std::move(rec)});
+  EXPECT_NE(json.find("\"kernels\":[{\"kernel_id\":0,\"invocations\":1,"
+                      "\"rounds\":4},"
+                      "{\"kernel_id\":2,\"invocations\":2,"
+                      "\"triangles\":9}]"),
+            std::string::npos);
+  // A kernel-free run omits the key entirely.
+  const std::string bare =
+      emit({obs::make_run_record("plain", 0, {}, 0.0, 0.5)});
+  EXPECT_EQ(bare.find("\"kernels\""), std::string::npos);
 }
 
 TEST(Metrics, NonFiniteScalarsBecomeNull) {

@@ -1,0 +1,139 @@
+// Analytics endpoints on serve::Server: gating, correctness against the
+// serial oracles on the accumulated graph, pinned-epoch queries, error
+// statuses, and the kernel counters in ServeStats.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "kernel/reference.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace lacc::serve {
+namespace {
+
+constexpr VertexId kN = 64;
+
+ServeOptions kernel_options() {
+  ServeOptions o;
+  o.batch_max_edges = 32;
+  o.enable_kernel_queries = true;
+  return o;
+}
+
+graph::EdgeList test_graph() {
+  return graph::erdos_renyi(kN, 160, /*seed=*/23);
+}
+
+void load(Server& server, const graph::EdgeList& el) {
+  for (const graph::Edge& e : el.edges)
+    ASSERT_EQ(server.insert_edge(e.u, e.v).status, ServeStatus::kOk);
+  server.flush();
+}
+
+TEST(ServeKernel, DisabledByDefaultThrows) {
+  Server server(kN, 4, sim::MachineModel::edison());
+  EXPECT_THROW(server.bfs_dist(0), Error);
+  EXPECT_THROW(server.pagerank_topk(4), Error);
+  EXPECT_THROW(server.triangle_count(), Error);
+}
+
+TEST(ServeKernel, BfsMatchesReferenceOnAccumulatedGraph) {
+  const auto el = test_graph();
+  Server server(kN, 4, sim::MachineModel::edison(), kernel_options());
+  load(server, el);
+  const BfsQueryResult r = server.bfs_dist(0);
+  ASSERT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_GT(r.epoch, 0u);
+  EXPECT_EQ(r.result.dist, kernel::reference_bfs_distances(el, 0));
+}
+
+TEST(ServeKernel, PageRankTopKMatchesReference) {
+  const auto el = test_graph();
+  Server server(kN, 4, sim::MachineModel::edison(), kernel_options());
+  load(server, el);
+  const PageRankQueryResult r = server.pagerank_topk(5);
+  ASSERT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_TRUE(r.converged);
+  ASSERT_EQ(r.top.size(), 5u);
+  const kernel::KernelOptions defaults;
+  const auto truth = kernel::top_k_ranks(
+      kernel::reference_pagerank(el, defaults.damping, defaults.tolerance,
+                                 defaults.max_iterations),
+      5);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(r.top[i].v, truth[i].v) << "i=" << i;
+    EXPECT_NEAR(r.top[i].rank, truth[i].rank, 1e-8);
+  }
+}
+
+TEST(ServeKernel, TriangleCountMatchesReference) {
+  const auto el = test_graph();
+  Server server(kN, 4, sim::MachineModel::edison(), kernel_options());
+  load(server, el);
+  const TriangleQueryResult r = server.triangle_count();
+  ASSERT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_EQ(r.triangles, kernel::reference_triangle_count(el));
+}
+
+TEST(ServeKernel, EpochZeroServesEmptyGraph) {
+  Server server(kN, 1, sim::MachineModel::edison(), kernel_options());
+  const TriangleQueryResult t = server.triangle_count();
+  ASSERT_EQ(t.status, ServeStatus::kOk);
+  EXPECT_EQ(t.epoch, 0u);
+  EXPECT_EQ(t.triangles, 0u);
+  const BfsQueryResult b = server.bfs_dist(3);
+  ASSERT_EQ(b.status, ServeStatus::kOk);
+  EXPECT_EQ(b.result.reached, 1u);  // just the source
+}
+
+TEST(ServeKernel, PinnedEpochQueriesSeeOldGraph) {
+  Server server(kN, 1, sim::MachineModel::edison(), kernel_options());
+  // Epoch 0: empty.  Then a triangle arrives.
+  load(server, [] {
+    graph::EdgeList el(kN);
+    el.add(0, 1);
+    el.add(1, 2);
+    el.add(2, 0);
+    return el;
+  }());
+  const std::uint64_t now = server.triangle_count().epoch;
+  ASSERT_GT(now, 0u);
+  const TriangleQueryResult then = server.triangle_count_at(0);
+  ASSERT_EQ(then.status, ServeStatus::kOk);
+  EXPECT_EQ(then.epoch, 0u);
+  EXPECT_EQ(then.triangles, 0u);
+  EXPECT_EQ(server.triangle_count_at(now).triangles, 1u);
+  EXPECT_EQ(server.bfs_dist_at(0, 0).result.reached, 1u);
+  EXPECT_EQ(server.bfs_dist_at(now, 0).result.reached, 3u);
+}
+
+TEST(ServeKernel, ErrorStatuses) {
+  Server server(kN, 1, sim::MachineModel::edison(), kernel_options());
+  EXPECT_EQ(server.bfs_dist(kN).status, ServeStatus::kUnknownVertex);
+  EXPECT_EQ(server.bfs_dist_at(99, 0).status, ServeStatus::kFutureEpoch);
+  EXPECT_EQ(server.triangle_count_at(99).status, ServeStatus::kFutureEpoch);
+  EXPECT_EQ(server.pagerank_topk_at(99, 3).status,
+            ServeStatus::kFutureEpoch);
+}
+
+TEST(ServeKernel, StatsCountQueriesAndModeledTime) {
+  const auto el = test_graph();
+  Server server(kN, 4, sim::MachineModel::edison(), kernel_options());
+  load(server, el);
+  const auto before = server.stats();
+  (void)server.bfs_dist(0);
+  (void)server.pagerank_topk(3);
+  (void)server.triangle_count();
+  (void)server.bfs_dist(kN);  // error path
+  const auto after = server.stats();
+  EXPECT_EQ(after.kernel_queries, before.kernel_queries + 4);
+  EXPECT_EQ(after.kernel_query_errors, before.kernel_query_errors + 1);
+  EXPECT_GT(after.kernel_modeled_seconds, before.kernel_modeled_seconds);
+}
+
+}  // namespace
+}  // namespace lacc::serve

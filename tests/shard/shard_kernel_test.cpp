@@ -1,0 +1,123 @@
+// Analytics endpoints on shard::Router: the composed view must equal the
+// full ingested graph after flush() — shard-local snapshots plus every
+// routed cross-shard boundary edge — across shard counts, with the same
+// gating and counter contracts as the single-server endpoints.
+#include "shard/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "kernel/reference.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace lacc::shard {
+namespace {
+
+constexpr VertexId kN = 72;
+
+RouterOptions kernel_options(int shards) {
+  RouterOptions o;
+  o.shards = shards;
+  o.serve.batch_max_edges = 32;
+  o.serve.enable_kernel_queries = true;
+  return o;
+}
+
+graph::EdgeList test_graph() {
+  // Erdős–Rényi scatters edges across every shard pair, so the composed
+  // view leans on both shard snapshots and the boundary log.
+  return graph::erdos_renyi(kN, 180, /*seed=*/31);
+}
+
+void load(Router& router, const graph::EdgeList& el) {
+  for (const graph::Edge& e : el.edges)
+    ASSERT_EQ(router.insert_edge(e.u, e.v).status, serve::ServeStatus::kOk);
+  router.flush();
+}
+
+TEST(ShardKernel, DisabledByDefaultThrows) {
+  Router router(kN, 1, sim::MachineModel::edison(), RouterOptions{});
+  EXPECT_THROW(router.bfs_dist(0), Error);
+  EXPECT_THROW(router.pagerank_topk(4), Error);
+  EXPECT_THROW(router.triangle_count(), Error);
+  EXPECT_THROW(router.compose_view(), Error);
+}
+
+TEST(ShardKernel, ComposedViewEqualsFullGraph) {
+  const auto el = test_graph();
+  const auto bfs_truth = kernel::reference_bfs_distances(el, 0);
+  const auto tc_truth = kernel::reference_triangle_count(el);
+  for (const int shards : {1, 2, 4}) {
+    Router router(kN, 4, sim::MachineModel::edison(),
+                  kernel_options(shards));
+    load(router, el);
+
+    const serve::BfsQueryResult b = router.bfs_dist(0);
+    ASSERT_EQ(b.status, serve::ServeStatus::kOk) << "shards=" << shards;
+    EXPECT_EQ(b.result.dist, bfs_truth) << "shards=" << shards;
+
+    const serve::TriangleQueryResult t = router.triangle_count();
+    ASSERT_EQ(t.status, serve::ServeStatus::kOk);
+    EXPECT_EQ(t.triangles, tc_truth) << "shards=" << shards;
+  }
+}
+
+TEST(ShardKernel, PageRankTopKMatchesReference) {
+  const auto el = test_graph();
+  Router router(kN, 4, sim::MachineModel::edison(), kernel_options(2));
+  load(router, el);
+  const serve::PageRankQueryResult r = router.pagerank_topk(5);
+  ASSERT_EQ(r.status, serve::ServeStatus::kOk);
+  const kernel::KernelOptions defaults;
+  const auto truth = kernel::top_k_ranks(
+      kernel::reference_pagerank(el, defaults.damping, defaults.tolerance,
+                                 defaults.max_iterations),
+      5);
+  ASSERT_EQ(r.top.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(r.top[i].v, truth[i].v) << "i=" << i;
+    EXPECT_NEAR(r.top[i].rank, truth[i].rank, 1e-8);
+  }
+}
+
+TEST(ShardKernel, ComposedViewIsCachedUntilStateMoves) {
+  const auto el = test_graph();
+  Router router(kN, 4, sim::MachineModel::edison(), kernel_options(2));
+  load(router, el);
+  const auto v1 = router.compose_view();
+  const auto v2 = router.compose_view();
+  // Same shard epochs, same boundary count: the composed view is reused.
+  EXPECT_EQ(v1.get(), v2.get());
+  // New edge, new epochs: the cache must miss and rebuild.
+  ASSERT_EQ(router.insert_edge(0, kN - 1).status, serve::ServeStatus::kOk);
+  router.flush();
+  const auto v3 = router.compose_view();
+  EXPECT_NE(v1.get(), v3.get());
+}
+
+TEST(ShardKernel, UnknownVertexAndCounters) {
+  const auto el = test_graph();
+  Router router(kN, 4, sim::MachineModel::edison(), kernel_options(2));
+  load(router, el);
+  const auto before = router.stats();
+  EXPECT_EQ(router.bfs_dist(kN).status, serve::ServeStatus::kUnknownVertex);
+  (void)router.triangle_count();
+  const auto after = router.stats();
+  EXPECT_EQ(after.kernel_queries, before.kernel_queries + 2);
+  EXPECT_GT(after.kernel_modeled_seconds, before.kernel_modeled_seconds);
+}
+
+TEST(ShardKernel, MatchesSingleShardAnswers) {
+  const auto el = test_graph();
+  Router one(kN, 4, sim::MachineModel::edison(), kernel_options(1));
+  Router four(kN, 4, sim::MachineModel::edison(), kernel_options(4));
+  load(one, el);
+  load(four, el);
+  EXPECT_EQ(one.bfs_dist(5).result.dist, four.bfs_dist(5).result.dist);
+  EXPECT_EQ(one.triangle_count().triangles,
+            four.triangle_count().triangles);
+}
+
+}  // namespace
+}  // namespace lacc::shard

@@ -3,19 +3,22 @@
 
 Two file formats (docs/OBSERVABILITY.md):
 
-  metrics  lacc-metrics-v1/-v2/-v3/-v4/-v5/-v6, written by `lacc_cli
-           --json`, `lacc_stream_cli --json`, `lacc_serve_cli --json`,
-           `lacc_shard_cli --json`, and by the bench binaries as
-           $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds an optional
-           per-run "epochs" array (streaming runs); v3 adds an optional
-           per-run "serve" scalar block (serving runs, with ordered latency
-           quantiles); v4 adds an optional per-run "prepass" scalar block
-           (sampling pre-pass attribution); v5 adds an optional per-run
-           "durability" scalar block (WAL/run-file counters and recovery
-           info for engines with a data directory); v6 adds an optional
-           per-run "shard" object (sharded serving: reconcile totals plus
-           "per_shard"/"per_replica" arrays keyed by strictly increasing
-           "shard"/"replica" ids).  Older files stay valid.
+  metrics  lacc-metrics-v1 through -v7, written by `lacc_cli --json`,
+           `lacc_stream_cli --json`, `lacc_serve_cli --json`,
+           `lacc_shard_cli --json`, `lacc_kernel_cli --json`, and by the
+           bench binaries as $LACC_METRICS_OUT/BENCH_<tool>.json.  v2 adds
+           an optional per-run "epochs" array (streaming runs); v3 adds an
+           optional per-run "serve" scalar block (serving runs, with
+           ordered latency quantiles); v4 adds an optional per-run
+           "prepass" scalar block (sampling pre-pass attribution); v5 adds
+           an optional per-run "durability" scalar block (WAL/run-file
+           counters and recovery info for engines with a data directory);
+           v6 adds an optional per-run "shard" object (sharded serving:
+           reconcile totals plus "per_shard"/"per_replica" arrays keyed by
+           strictly increasing "shard"/"replica" ids); v7 adds an optional
+           per-run "kernels" array (analytics runs: one scalar block per
+           kernel, keyed by a strictly increasing "kernel_id" where
+           0 = bfs, 1 = pagerank, 2 = tc).  Older files stay valid.
   trace    Chrome trace-event JSON, written by `lacc_cli --trace-out` and
            `lacc_serve_cli --trace-out` (schema tag lacc-trace-v1 in
            otherData).
@@ -39,19 +42,25 @@ import json
 import math
 import sys
 
-METRICS_SCHEMA = "lacc-metrics-v6"
+METRICS_SCHEMA = "lacc-metrics-v7"
 # Older files remain valid as long as they omit the newer optional blocks:
 # "epochs" needs v2+, "serve" needs v3+, "prepass" needs v4+, "durability"
-# needs v5+, "shard" needs v6.
+# needs v5+, "shard" needs v6+, "kernels" needs v7.
 METRICS_SCHEMAS = {"lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3",
-                   "lacc-metrics-v4", "lacc-metrics-v5", "lacc-metrics-v6"}
+                   "lacc-metrics-v4", "lacc-metrics-v5", "lacc-metrics-v6",
+                   "lacc-metrics-v7"}
 EPOCHS_SCHEMAS = {"lacc-metrics-v2", "lacc-metrics-v3", "lacc-metrics-v4",
-                  "lacc-metrics-v5", "lacc-metrics-v6"}
+                  "lacc-metrics-v5", "lacc-metrics-v6", "lacc-metrics-v7"}
 SERVE_SCHEMAS = {"lacc-metrics-v3", "lacc-metrics-v4", "lacc-metrics-v5",
-                 "lacc-metrics-v6"}
-PREPASS_SCHEMAS = {"lacc-metrics-v4", "lacc-metrics-v5", "lacc-metrics-v6"}
-DURABILITY_SCHEMAS = {"lacc-metrics-v5", "lacc-metrics-v6"}
-SHARD_SCHEMAS = {"lacc-metrics-v6"}
+                 "lacc-metrics-v6", "lacc-metrics-v7"}
+PREPASS_SCHEMAS = {"lacc-metrics-v4", "lacc-metrics-v5", "lacc-metrics-v6",
+                   "lacc-metrics-v7"}
+DURABILITY_SCHEMAS = {"lacc-metrics-v5", "lacc-metrics-v6",
+                      "lacc-metrics-v7"}
+SHARD_SCHEMAS = {"lacc-metrics-v6", "lacc-metrics-v7"}
+KERNELS_SCHEMAS = {"lacc-metrics-v7"}
+# kernel_id values the v7 "kernels" array may carry.
+KERNEL_IDS = {0: "bfs", 1: "pagerank", 2: "tc"}
 TRACE_SCHEMA = "lacc-trace-v1"
 
 # Every per-phase aggregate entry carries exactly these keys.
@@ -192,6 +201,17 @@ def _check_keyed_array(path: str, entries: object, id_key: str) -> None:
             _fail(epath, f"read latency quantiles not ordered: {quantiles}")
 
 
+def _check_kernels(path: str, kernels: object) -> None:
+    """The v7 kernels array: per-kernel scalar blocks keyed by a strictly
+    increasing "kernel_id" drawn from KERNEL_IDS."""
+    _check_keyed_array(path, kernels, "kernel_id")
+    for i, entry in enumerate(kernels):
+        if entry["kernel_id"] not in KERNEL_IDS:
+            _fail(f"{path}[{i}].kernel_id",
+                  f"unknown kernel id {entry['kernel_id']!r} "
+                  f"(expected one of {sorted(KERNEL_IDS)})")
+
+
 def _check_shard(path: str, shard: object) -> None:
     """The v6 shard object: {"totals": {...}, "per_shard": [...],
     "per_replica": [...]} with the arrays optional."""
@@ -269,6 +289,11 @@ def check_metrics(doc: object, path: str = "metrics") -> None:
                 _fail(f"{rpath}.shard", f"only allowed under "
                       f"{sorted(SHARD_SCHEMAS)}, file is {schema!r}")
             _check_shard(f"{rpath}.shard", run["shard"])
+        if "kernels" in run:
+            if schema not in KERNELS_SCHEMAS:
+                _fail(f"{rpath}.kernels", f"only allowed under "
+                      f"{sorted(KERNELS_SCHEMAS)}, file is {schema!r}")
+            _check_kernels(f"{rpath}.kernels", run["kernels"])
         _check_phase_entry(f"{rpath}.total", run["total"])
         if not isinstance(run["phases"], dict):
             _fail(f"{rpath}.phases", "must be an object")
@@ -407,7 +432,7 @@ def self_test() -> int:
 
     # Older files stay valid as long as they omit the newer blocks.
     for old in ("lacc-metrics-v1", "lacc-metrics-v2", "lacc-metrics-v3",
-                "lacc-metrics-v4", "lacc-metrics-v5"):
+                "lacc-metrics-v4", "lacc-metrics-v5", "lacc-metrics-v6"):
         doc = _metrics_doc()
         doc["schema"] = old
         _expect_ok(doc)
@@ -620,6 +645,62 @@ def self_test() -> int:
     bad["runs"][0]["shard"] = _shard_block()
     bad["runs"][0]["shard"]["totals"]["note"] = "text"  # non-number
     _expect_invalid(bad)
+
+    # A v6 file carrying its newest block (shard) must keep validating.
+    ok = _metrics_doc()
+    ok["schema"] = "lacc-metrics-v6"
+    ok["runs"][0]["shard"] = _shard_block()
+    _expect_ok(ok)
+
+    # The v7 kernels array: per-kernel blocks keyed by kernel_id.
+    def _kernels_block() -> list:
+        return [
+            {"kernel_id": 0, "invocations": 2, "rounds": 11,
+             "reached": 4096, "modeled_seconds": 0.012},
+            {"kernel_id": 1, "invocations": 1, "rounds": 34,
+             "l1_residual": 4.0e-13, "converged": 1,
+             "modeled_seconds": 0.08},
+            {"kernel_id": 2, "invocations": 1, "triangles": 98765,
+             "modeled_seconds": 0.05},
+        ]
+
+    ok = _metrics_doc()
+    ok["runs"][0]["kernels"] = _kernels_block()
+    _expect_ok(ok)
+
+    ok = _metrics_doc()
+    ok["runs"][0]["kernels"] = [{"kernel_id": 2, "triangles": 3.0}]
+    _expect_ok(ok)  # a single kernel is fine
+
+    bad = _metrics_doc()
+    bad["schema"] = "lacc-metrics-v6"
+    bad["runs"][0]["kernels"] = _kernels_block()  # kernels is v7-only
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["kernels"] = []  # must be non-empty when present
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["kernels"] = [{"invocations": 1}]  # missing kernel_id
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["kernels"] = _kernels_block()
+    bad["runs"][0]["kernels"][1]["kernel_id"] = 0  # not increasing
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["kernels"] = [{"kernel_id": 3}]  # unknown kernel
+    _expect_invalid(bad)
+
+    bad = _metrics_doc()
+    bad["runs"][0]["kernels"] = [{"kernel_id": 0, "rounds": -2}]
+    _expect_invalid(bad)  # counts never go negative
+
+    bad = _metrics_doc()
+    bad["runs"][0]["kernels"] = [{"kernel_id": 0, "note": "text"}]
+    _expect_invalid(bad)  # non-number
 
     bad = _metrics_doc()
     bad["runs"][0]["total"]["modeled_max"] = float("nan")

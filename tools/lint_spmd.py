@@ -25,8 +25,11 @@ Static rules that complement the runtime conformance checker
       invariant the merge path relies on.  The shard layer's boundary
       compaction and quotient build sort label pairs on the reconcile
       thread with the same helpers (stability is what lets two single-key
-      radix passes compose into pair order).  Scope: src/dist/ops.cpp,
-      src/stream/*.cpp, and src/shard/*.cpp.
+      radix passes compose into pair order).  The analytics kernels
+      (src/kernel/) sort gathered coordinate sets the same way — triangle
+      counting's stage bcast relies on the stable counting sort keeping
+      rows ascending within each column.  Scope: src/dist/ops.cpp,
+      src/stream/*.cpp, src/shard/*.cpp, and src/kernel/*.cpp.
 
   heap-alloc-hot-path
       A local std::vector declaration in the arena-managed kernel hot
@@ -94,7 +97,7 @@ COLLECTIVE_RE = re.compile(
 DIST_COLLECTIVE_RE = re.compile(
     r"\b(?:dist\s*::\s*)?(gather_values|gather_at|scatter_assign_min|"
     r"scatter_accumulate_min|scatter_set|global_any|global_nvals|"
-    r"mxv_select2nd(?:_minmax)?|to_layout|to_global)\s*\("
+    r"mxv_select2nd(?:_minmax)?|mxv_plus|to_layout|to_global)\s*\("
 )
 RANK_TOKEN_RE = re.compile(
     r"\b(rank|rank_|my_rank|my_row|my_col|leader|is_leader|is_root|"
@@ -315,6 +318,19 @@ SHARD_RULES = [
      "compose into pair order)"),
 ]
 
+# The analytics kernels gather and re-sort coordinate sets per query
+# (triangle counting's stage columns, view composition's merged deltas);
+# a comparator sort is unstable — the stage bcast relies on rows staying
+# ascending within each column — and allocates on the query thread.  The
+# vector/arena rules do not apply: kernel scratch is per-query, not a
+# steady-state hot path.
+KERNEL_RULES = [
+    ("raw-sort", RAW_SORT_RE,
+     "comparator sort in the kernel analytics path; sort with the stable "
+     "radix/counting helpers (support/sort.hpp, "
+     "stream::sort_unique_column_major) so rows stay ascending per column"),
+]
+
 # Tree-wide: a detached thread can never be joined, so shutdown order is
 # nondeterministic and TSan loses the happens-before edge at thread exit.
 THREAD_RULES = [
@@ -373,6 +389,12 @@ def lint_tree(root):
             check_line_rules(str(path.relative_to(root)),
                              path.read_text(encoding="utf-8"), findings,
                              SHARD_RULES)
+    kernel = root / "src" / "kernel"
+    if kernel.is_dir():
+        for path in sorted(kernel.rglob("*.cpp")):
+            check_line_rules(str(path.relative_to(root)),
+                             path.read_text(encoding="utf-8"), findings,
+                             KERNEL_RULES)
     return findings
 
 
@@ -411,6 +433,13 @@ SELF_TESTS = [
      "if (pending) changed = dist::global_any(grid, changed);", None),
     ("dist collective after rank branch",
      "if (rank == 0) local();\ndist::to_global(grid, f, kNoVertex);", None),
+    ("mxv_plus under rank condition",
+     "if (world.rank() == 0) {\n"
+     "  auto y = dist::mxv_plus(grid, A, x, mask, tuning);\n}",
+     "rank-conditional-collective"),
+    ("mxv_plus under uniform condition",
+     "if (iter < max_iters) y = mxv_plus(grid, A, contrib, {}, tuning);",
+     None),
 ]
 
 SELF_TESTS_HOT = [
@@ -496,6 +525,19 @@ SELF_TESTS_STREAM = [
 ]
 
 
+SELF_TESTS_KERNEL = [
+    ("raw sort in kernel path", "std::sort(coords.begin(), coords.end());",
+     "raw-sort"),
+    ("stable sort in kernel path",
+     "std::stable_sort(rows.begin(), rows.end());", "raw-sort"),
+    ("counting sort is fine",
+     "stream::sort_unique_column_major(coords, n);", None),
+    ("partial_sort is fine",
+     "std::partial_sort(out.begin(), mid, out.end(), by_rank);", None),
+    ("vector state is fine", "  std::vector<VertexId> rows;", None),
+]
+
+
 SELF_TESTS_SHARD = [
     ("raw sort in reconcile path", "std::sort(pairs.begin(), pairs.end());",
      "raw-sort"),
@@ -523,6 +565,7 @@ def self_test():
     for rules_list, cases in ((HOT_PATH_RULES, SELF_TESTS_HOT),
                               (STREAM_RULES, SELF_TESTS_STREAM),
                               (SHARD_RULES, SELF_TESTS_SHARD),
+                              (KERNEL_RULES, SELF_TESTS_KERNEL),
                               (THREAD_RULES, SELF_TESTS_THREADS),
                               (IO_RULES, SELF_TESTS_IO)):
         for name, snippet, expected in cases:
@@ -543,8 +586,9 @@ def self_test():
                   f"{[f[2] for f in findings]}")
             failures += 1
     total = (len(SELF_TESTS) + len(SELF_TESTS_HOT) + len(SELF_TESTS_STREAM) +
-             len(SELF_TESTS_SHARD) + len(SELF_TESTS_THREADS) +
-             len(SELF_TESTS_ATOMIC) + len(SELF_TESTS_IO))
+             len(SELF_TESTS_SHARD) + len(SELF_TESTS_KERNEL) +
+             len(SELF_TESTS_THREADS) + len(SELF_TESTS_ATOMIC) +
+             len(SELF_TESTS_IO))
     print(f"self-test: {total - failures}/{total} passed")
     return failures == 0
 
